@@ -1,0 +1,102 @@
+// CLM-EXP: cost of Procedure ExpandRule (§2) and of the containment
+// machinery behind Theorem 2.1 — the building blocks of the rewrite
+// semi-decision.
+
+#include <benchmark/benchmark.h>
+
+#include "core/expansion.h"
+#include "core/rewrite.h"
+#include "cq/containment.h"
+#include "parser/parser.h"
+
+namespace {
+
+dire::ast::RecursiveDefinition Def(const char* text, const char* target) {
+  dire::ast::Program p = dire::parser::ParseProgram(text).value();
+  return dire::ast::MakeDefinition(p, target).value();
+}
+
+constexpr const char* kTc = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+constexpr const char* kExample43 = R"(
+  t(X, Y, Z) :- p(X, Z), t(Y, M, N), q(M, N).
+  t(X, Y, Z) :- e(X, Y, Z).
+)";
+
+void BM_ExpandRule_Tc(benchmark::State& state) {
+  dire::ast::RecursiveDefinition def = Def(kTc, "t");
+  int depth = static_cast<int>(state.range(0));
+  size_t atoms = 0;
+  for (auto _ : state) {
+    dire::Result<std::vector<dire::core::ExpansionString>> strings =
+        dire::core::ExpandToDepth(def, depth);
+    if (!strings.ok()) {
+      state.SkipWithError("expansion failed");
+      return;
+    }
+    atoms = 0;
+    for (const dire::core::ExpansionString& s : *strings) {
+      atoms += s.query.body.size();
+    }
+    benchmark::DoNotOptimize(atoms);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(atoms));
+}
+BENCHMARK(BM_ExpandRule_Tc)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_ExpandRule_Example43(benchmark::State& state) {
+  dire::ast::RecursiveDefinition def = Def(kExample43, "t");
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dire::Result<std::vector<dire::core::ExpansionString>> strings =
+        dire::core::ExpandToDepth(def, depth);
+    benchmark::DoNotOptimize(strings.ok());
+  }
+}
+BENCHMARK(BM_ExpandRule_Example43)->RangeMultiplier(2)->Range(8, 128);
+
+// Containment-mapping search between expansion strings of growing length:
+// the inner loop of Theorem 2.1.
+void BM_ContainmentMapping_TcStrings(benchmark::State& state) {
+  dire::ast::RecursiveDefinition def = Def(kTc, "t");
+  int depth = static_cast<int>(state.range(0));
+  std::vector<dire::core::ExpansionString> strings =
+      dire::core::ExpandToDepth(def, depth + 1).value();
+  const dire::cq::ConjunctiveQuery& shorter =
+      strings[strings.size() - 2].query;
+  const dire::cq::ConjunctiveQuery& longer = strings.back().query;
+  for (auto _ : state) {
+    bool maps = dire::cq::MapsTo(shorter, longer);
+    if (maps) {
+      state.SkipWithError("TC strings must not map forward");
+      return;
+    }
+  }
+  state.counters["string_atoms"] = static_cast<double>(longer.body.size());
+}
+BENCHMARK(BM_ContainmentMapping_TcStrings)->RangeMultiplier(2)->Range(4, 64);
+
+// The full semi-decision on a bounded definition (Example 4.4 has five
+// atoms per level and repeated predicates — the hard case for containment).
+void BM_BoundedRewrite_Example44(benchmark::State& state) {
+  dire::ast::RecursiveDefinition def = Def(R"(
+    t(X, Y, Z) :- t(X, W, Z), e(W, Y), e(W, Z), e(Z, Z), e(Z, Y).
+    t(X, Y, Z) :- t0(X, Y, Z).
+  )", "t");
+  for (auto _ : state) {
+    dire::Result<dire::core::RewriteResult> r = dire::core::BoundedRewrite(def);
+    if (!r.ok() ||
+        r->outcome != dire::core::RewriteResult::Outcome::kBounded) {
+      state.SkipWithError("expected bounded");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_BoundedRewrite_Example44)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

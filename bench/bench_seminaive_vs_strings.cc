@@ -1,0 +1,83 @@
+// CLM-STRWISE: §6 — "A relation defined by a linear recursive rule can be
+// constructed by evaluating successive strings in the expansion ... This
+// method would be hopelessly inefficient." This bench quantifies
+// "hopelessly": transitive closure on a path graph evaluated (a) by
+// string-at-a-time expansion evaluation, (b) by naive fixpoint, (c) by
+// semi-naive fixpoint (the compiled-evaluation technique the paper cites).
+
+#include <benchmark/benchmark.h>
+
+#include "core/strings_eval.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "storage/generators.h"
+
+namespace {
+
+constexpr const char* kTc = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+void BM_Tc_StringAtATime(benchmark::State& state) {
+  dire::ast::Program program = dire::parser::ParseProgram(kTc).value();
+  dire::ast::RecursiveDefinition def =
+      dire::ast::MakeDefinition(program, "t").value();
+  int n = static_cast<int>(state.range(0));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dire::storage::Database db;
+    if (!dire::storage::MakeChain(&db, "e", n).ok()) std::abort();
+    state.ResumeTiming();
+    dire::core::StringEvalOptions opts;
+    opts.max_levels = n + 4;
+    dire::Result<dire::core::StringEvalStats> stats =
+        dire::core::EvaluateViaExpansion(def, &db, opts);
+    if (!stats.ok() || !stats->converged) {
+      state.SkipWithError("string evaluation did not converge");
+      return;
+    }
+    tuples = db.Find("t")->size();
+  }
+  state.counters["t_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_Tc_StringAtATime)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void RunFixpoint(benchmark::State& state, dire::eval::EvalOptions opts) {
+  dire::ast::Program program = dire::parser::ParseProgram(kTc).value();
+  int n = static_cast<int>(state.range(0));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dire::storage::Database db;
+    if (!dire::storage::MakeChain(&db, "e", n).ok()) std::abort();
+    state.ResumeTiming();
+    dire::eval::Evaluator ev(&db, opts);
+    if (!ev.Evaluate(program).ok()) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+    tuples = db.Find("t")->size();
+  }
+  state.counters["t_tuples"] = static_cast<double>(tuples);
+}
+
+void BM_Tc_NaiveFixpoint(benchmark::State& state) {
+  dire::eval::EvalOptions opts;
+  opts.mode = dire::eval::EvalOptions::Mode::kNaive;
+  RunFixpoint(state, opts);
+}
+BENCHMARK(BM_Tc_NaiveFixpoint)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_SemiNaiveFixpoint(benchmark::State& state) {
+  RunFixpoint(state, dire::eval::EvalOptions{});
+}
+BENCHMARK(BM_Tc_SemiNaiveFixpoint)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

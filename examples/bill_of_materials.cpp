@@ -1,0 +1,73 @@
+// Bill-of-materials scenario: the classic deductive-database part-explosion
+// query. Shows the substrate features a downstream user leans on once the
+// paper's analysis has classified the recursion as genuinely data dependent:
+// semi-naive evaluation, magic-set point queries ("what goes into a gearbox?")
+// and provenance ("why does a bicycle contain a ball bearing?").
+//
+//   $ ./bill_of_materials
+
+#include <cstdio>
+
+#include "dire.h"
+#include "eval/magic.h"
+#include "eval/provenance.h"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+  % part(Assembly, Component): direct composition.
+  part(bicycle, frame).     part(bicycle, wheel).
+  part(bicycle, gearbox).   part(wheel, rim).
+  part(wheel, spoke).       part(wheel, hub).
+  part(hub, axle).          part(hub, bearing).
+  part(gearbox, gear).      part(gearbox, bearing).
+  part(gear, tooth).
+  part(lamp, bulb).         part(lamp, socket).
+
+  % contains: transitive part-of.
+  contains(A, P) :- part(A, P).
+  contains(A, P) :- part(A, S), contains(S, P).
+)";
+
+}  // namespace
+
+int main() {
+  dire::ast::Program program = dire::parser::ParseProgram(kProgram).value();
+
+  // 1. The analysis classifies `contains` as data dependent — the recursion
+  //    is real and must be evaluated.
+  dire::core::RecursionAnalysis analysis =
+      dire::core::AnalyzeRecursion(program, "contains").value();
+  std::printf("analysis: %s (%s)\n\n",
+              dire::core::VerdictName(analysis.strong.verdict),
+              analysis.strong.theorem.c_str());
+
+  // 2. Full evaluation with provenance tracking.
+  dire::storage::Database db;
+  dire::eval::ProvenanceTracker tracker;
+  dire::eval::EvalOptions options;
+  options.tracker = &tracker;
+  dire::eval::Evaluator evaluator(&db, options);
+  dire::eval::EvalStats stats = evaluator.Evaluate(program).value();
+  std::printf("part explosion: %zu contains-tuples in %d rounds\n\n",
+              db.Find("contains")->size(), stats.iterations);
+
+  // 3. Magic-sets point query: only the gearbox subtree is explored.
+  dire::storage::Database qdb;
+  dire::ast::Atom query =
+      dire::parser::ParseAtom("contains(gearbox, P)").value();
+  dire::eval::QueryAnswer answer =
+      dire::eval::AnswerQuery(&qdb, program, query).value();
+  std::printf("contains(gearbox, P): %zu answers\n", answer.tuples.size());
+  for (const dire::storage::Tuple& t : answer.tuples) {
+    std::printf("  gearbox -> %s\n", qdb.symbols().Name(t[1]).c_str());
+  }
+
+  // 4. Provenance: why does the bicycle contain a bearing?
+  dire::ast::Atom fact =
+      dire::parser::ParseAtom("contains(bicycle, bearing)").value();
+  dire::eval::Derivation why =
+      dire::eval::Explain(&db, program, tracker, fact).value();
+  std::printf("\nwhy contains(bicycle, bearing)?\n%s", why.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Marketing analytics scenario (paper Example 1.2 at scale).
+//
+// A consumer-behaviour team stores likes(person, product) and
+// trendy(person) and asks for all (person, product) purchase predictions
+// under the viral rule "trendy people buy what anyone else bought".
+//
+// The recursion is data independent: the paper's analysis replaces it by
+// two nonrecursive rules. This example measures what that buys us:
+// semi-naive fixpoint evaluation of the recursive program vs one-pass
+// evaluation of the rewrite, across growing databases.
+//
+//   $ ./marketing [num_people]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dire.h"
+
+namespace {
+
+constexpr const char* kRules = R"(
+  buys(X, Y) :- likes(X, Y).
+  buys(X, Y) :- trendy(X), buys(Z, Y).
+)";
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_people = argc > 1 ? std::atoi(argv[1]) : 2000;
+
+  dire::ast::Program rules = dire::parser::ParseProgram(kRules).value();
+  dire::ast::RecursiveDefinition def =
+      dire::ast::MakeDefinition(rules, "buys").value();
+
+  // Analysis + rewrite happen once, independent of the data — that is the
+  // point of *data independent* recursion.
+  dire::core::RecursionAnalysis analysis =
+      dire::core::AnalyzeRecursion(rules, "buys").value();
+  std::printf("analysis verdict: %s (%s)\n",
+              dire::core::VerdictName(analysis.strong.verdict),
+              analysis.strong.theorem.c_str());
+  dire::core::RewriteResult rewrite =
+      dire::core::BoundedRewrite(def).value();
+  std::printf("rewrite: %zu nonrecursive rules, bound %d\n\n",
+              rewrite.rewritten.rules.size(), rewrite.bound);
+
+  std::printf("%10s %12s %14s %16s %10s\n", "people", "buys-tuples",
+              "recursive(ms)", "nonrecursive(ms)", "speedup");
+  for (int people = 500; people <= max_people; people *= 2) {
+    dire::storage::Database db_rec;
+    dire::storage::Database db_flat;
+    dire::Rng rng(2026);
+    int products = people / 5 + 1;
+    for (dire::storage::Database* db : {&db_rec, &db_flat}) {
+      dire::Rng local = rng;  // Same data in both databases.
+      if (!dire::storage::MakeConsumerData(db, people, products, 3, 0.1,
+                                           &local)
+               .ok()) {
+        return 1;
+      }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    dire::eval::Evaluator recursive(&db_rec);
+    if (!recursive.Evaluate(rules).ok()) return 1;
+    double rec_ms = MillisSince(t0);
+
+    auto t1 = std::chrono::steady_clock::now();
+    dire::eval::Evaluator flat(&db_flat);
+    if (!flat.EvaluateOnce(rewrite.rewritten.rules).ok()) return 1;
+    double flat_ms = MillisSince(t1);
+
+    size_t rec_tuples = db_rec.Find("buys")->size();
+    size_t flat_tuples = db_flat.Find("buys")->size();
+    if (rec_tuples != flat_tuples) {
+      std::fprintf(stderr, "MISMATCH: %zu vs %zu tuples\n", rec_tuples,
+                   flat_tuples);
+      return 1;
+    }
+    std::printf("%10d %12zu %14.2f %16.2f %9.2fx\n", people, rec_tuples,
+                rec_ms, flat_ms, rec_ms / flat_ms);
+  }
+  std::printf(
+      "\nBoth strategies agree on every database; the nonrecursive rewrite\n"
+      "needs one pass where the fixpoint needs several.\n");
+  return 0;
+}

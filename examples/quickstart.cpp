@@ -1,0 +1,75 @@
+// Quickstart: parse a recursive Datalog program, run the paper's
+// boundedness analysis, replace the recursion by its nonrecursive
+// equivalent when possible, and evaluate.
+//
+//   $ ./quickstart
+//
+// exercises Example 1.2 of the paper (the "buys" rules) end to end.
+
+#include <cstdio>
+
+#include "dire.h"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+  % A person buys a product if they like it, or if they are trendy and
+  % someone else has bought it (paper Example 1.2).
+  buys(X, Y) :- likes(X, Y).
+  buys(X, Y) :- trendy(X), buys(Z, Y).
+
+  likes(ann, vase).
+  likes(bob, lamp).
+  trendy(cara).
+  trendy(bob).
+)";
+
+}  // namespace
+
+int main() {
+  // 1. Parse.
+  dire::Result<dire::ast::Program> program =
+      dire::parser::ParseProgram(kProgram);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Analyze the recursion (A/V graph, chain generating paths,
+  //    Theorems 4.1-4.3).
+  dire::Result<dire::core::RecursionAnalysis> analysis =
+      dire::core::AnalyzeRecursion(*program, "buys");
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", analysis->Report().c_str());
+
+  // 3. If data independent, construct the equivalent nonrecursive rules
+  //    (Theorem 2.1).
+  if (analysis->strongly_data_independent()) {
+    dire::Result<dire::core::RewriteResult> rewrite =
+        dire::core::BoundedRewrite(analysis->definition);
+    if (rewrite.ok() &&
+        rewrite->outcome == dire::core::RewriteResult::Outcome::kBounded) {
+      std::printf("equivalent nonrecursive definition (bound %d):\n%s\n",
+                  rewrite->bound, rewrite->rewritten.ToString().c_str());
+    }
+  }
+
+  // 4. Evaluate bottom-up (semi-naive) and print the result.
+  dire::storage::Database db;
+  dire::eval::Evaluator evaluator(&db);
+  dire::Result<dire::eval::EvalStats> stats = evaluator.Evaluate(*program);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("evaluated in %d iteration(s), %zu tuple(s) derived:\n%s",
+              stats->iterations, stats->tuples_derived,
+              db.DumpRelation("buys").c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+
+namespace dire::ast {
+
+std::vector<std::string> Atom::Variables() const {
+  std::vector<std::string> out;
+  for (const Term& t : args) {
+    if (t.IsVariable() &&
+        std::find(out.begin(), out.end(), t.text()) == out.end()) {
+      out.push_back(t.text());
+    }
+  }
+  return out;
+}
+
+std::string Atom::ToString() const {
+  std::string out = negated ? "not " + predicate : predicate;
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += args[i].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+std::set<std::string> Rule::DistinguishedVariables() const {
+  std::set<std::string> out;
+  for (const Term& t : head.args) {
+    if (t.IsVariable()) out.insert(t.text());
+  }
+  return out;
+}
+
+std::set<std::string> Rule::NondistinguishedVariables() const {
+  std::set<std::string> distinguished = DistinguishedVariables();
+  std::set<std::string> out;
+  for (const Atom& a : body) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable() && distinguished.count(t.text()) == 0) {
+        out.insert(t.text());
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> Rule::AllVariables() const {
+  std::set<std::string> out = DistinguishedVariables();
+  for (const Atom& a : body) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) out.insert(t.text());
+    }
+  }
+  return out;
+}
+
+bool Rule::BodyUses(const std::string& predicate) const {
+  for (const Atom& a : body) {
+    if (a.predicate == predicate) return true;
+  }
+  return false;
+}
+
+int Rule::BodyCount(const std::string& predicate) const {
+  int n = 0;
+  for (const Atom& a : body) {
+    if (a.predicate == predicate) ++n;
+  }
+  return n;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  out += '.';
+  return out;
+}
+
+std::vector<Rule> Program::RulesFor(const std::string& predicate) const {
+  std::vector<Rule> out;
+  for (const Rule& r : rules) {
+    if (r.head.predicate == predicate) out.push_back(r);
+  }
+  return out;
+}
+
+std::set<std::string> Program::HeadPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules) out.insert(r.head.predicate);
+  return out;
+}
+
+std::set<std::string> Program::EdbPredicates() const {
+  std::set<std::string> heads = HeadPredicates();
+  std::set<std::string> out;
+  for (const Rule& r : rules) {
+    for (const Atom& a : r.body) {
+      if (heads.count(a.predicate) == 0) out.insert(a.predicate);
+    }
+  }
+  return out;
+}
+
+std::set<std::string> Program::AllPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules) {
+    out.insert(r.head.predicate);
+    for (const Atom& a : r.body) out.insert(a.predicate);
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dire::ast

@@ -1,0 +1,146 @@
+#ifndef DIRE_AST_AST_H_
+#define DIRE_AST_AST_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dire::ast {
+
+// A term of a function-free Horn clause: either a variable or a constant.
+// The paper's model (after Reiter) is function-free Datalog, so terms never
+// nest. Variables are written with a leading upper-case letter or '_'
+// ("X", "Z1"); constants with a leading lower-case letter, digit, or quotes
+// ("alice", "42").
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  Term() : kind_(Kind::kConstant) {}
+
+  static Term Var(std::string name) {
+    return Term(Kind::kVariable, std::move(name));
+  }
+  static Term Const(std::string text) {
+    return Term(Kind::kConstant, std::move(text));
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+
+  // The variable name or constant spelling.
+  const std::string& text() const { return text_; }
+
+  std::string ToString() const { return text_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.text_ == b.text_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.text_ < b.text_;
+  }
+
+ private:
+  Term(Kind kind, std::string text) : kind_(kind), text_(std::move(text)) {}
+
+  Kind kind_;
+  std::string text_;
+};
+
+// An atom p(t1, ..., tn), or its negation `not p(t1, ..., tn)` when used as
+// a body literal of a stratified program. Predicates are identified by
+// name; within one program a predicate name is expected to be used with a
+// single arity (the parser enforces this).
+//
+// Negation is a substrate feature: the paper's boundedness analysis covers
+// positive (definite) rules only, and ast::MakeDefinition rejects negated
+// body atoms accordingly.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+  bool negated = false;  // Only meaningful in rule bodies.
+
+  Atom() = default;
+  Atom(std::string pred, std::vector<Term> arguments)
+      : predicate(std::move(pred)), args(std::move(arguments)) {}
+
+  size_t arity() const { return args.size(); }
+
+  // Variable names appearing in this atom, in first-occurrence order.
+  std::vector<std::string> Variables() const;
+
+  // "p(X,a,Y)" / "not p(X,a,Y)".
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.negated == b.negated &&
+           a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.negated != b.negated) return a.negated < b.negated;
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+};
+
+// A Horn rule `head :- body.`; an empty body makes the rule a fact.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  Rule() = default;
+  Rule(Atom h, std::vector<Atom> b) : head(std::move(h)), body(std::move(b)) {}
+
+  bool IsFact() const { return body.empty(); }
+
+  // Distinguished variables: variables of the head (Section 2 of the paper).
+  std::set<std::string> DistinguishedVariables() const;
+  // Variables appearing only in the body.
+  std::set<std::string> NondistinguishedVariables() const;
+  // All variables of the rule.
+  std::set<std::string> AllVariables() const;
+
+  // True if `predicate` occurs in the body.
+  bool BodyUses(const std::string& predicate) const;
+  // Number of body occurrences of `predicate`.
+  int BodyCount(const std::string& predicate) const;
+
+  // "t(X,Y) :- e(X,Z), t(Z,Y)." (facts render as "p(a,b).").
+  std::string ToString() const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+// A Datalog program: a list of rules (and facts). Order is preserved but has
+// no semantic meaning.
+struct Program {
+  std::vector<Rule> rules;
+
+  Program() = default;
+  explicit Program(std::vector<Rule> r) : rules(std::move(r)) {}
+
+  // All rules whose head predicate is `predicate`.
+  std::vector<Rule> RulesFor(const std::string& predicate) const;
+
+  // Predicates appearing in some rule head (the IDB of the paper's model,
+  // plus facts' predicates).
+  std::set<std::string> HeadPredicates() const;
+  // Predicates appearing only in rule bodies (the EDB).
+  std::set<std::string> EdbPredicates() const;
+  // Every predicate mentioned anywhere.
+  std::set<std::string> AllPredicates() const;
+
+  // One rule per line.
+  std::string ToString() const;
+};
+
+}  // namespace dire::ast
+
+#endif  // DIRE_AST_AST_H_

@@ -1,0 +1,182 @@
+#include "ast/classify.h"
+
+#include <map>
+#include <set>
+
+#include "ast/substitution.h"
+#include "base/string_util.h"
+
+namespace dire::ast {
+
+bool IsRecursiveRule(const Rule& rule, const std::string& target) {
+  return rule.BodyUses(target);
+}
+
+bool IsLinearRecursive(const Rule& rule, const std::string& target) {
+  return rule.BodyCount(target) == 1;
+}
+
+bool IsRegularRecursive(const Rule& rule, const std::string& target) {
+  return IsLinearRecursive(rule, target) &&
+         rule.body.size() == 2;  // One recursive atom + one nonrecursive atom.
+}
+
+bool HeadHasNoRepeatsOrConstants(const Rule& rule) {
+  std::set<std::string> seen;
+  for (const Term& t : rule.head.args) {
+    if (!t.IsVariable()) return false;
+    if (!seen.insert(t.text()).second) return false;
+  }
+  return true;
+}
+
+bool HasRepeatedNonrecursivePredicate(const Rule& rule,
+                                      const std::string& target) {
+  std::map<std::string, int> counts;
+  for (const Atom& a : rule.body) {
+    if (a.predicate != target) ++counts[a.predicate];
+  }
+  for (const auto& [pred, n] : counts) {
+    if (n > 1) return true;
+  }
+  return false;
+}
+
+bool IsTyped(const Rule& rule) {
+  // Position index of each variable; a variable seen at two distinct indices
+  // (in head or body) makes the rule untyped.
+  std::map<std::string, size_t> position_of;
+  auto check_atom = [&](const Atom& a) {
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      const Term& t = a.args[i];
+      if (!t.IsVariable()) continue;
+      auto [it, inserted] = position_of.emplace(t.text(), i);
+      if (!inserted && it->second != i) return false;
+    }
+    return true;
+  };
+  if (!check_atom(rule.head)) return false;
+  for (const Atom& a : rule.body) {
+    if (!check_atom(a)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Renames rule `r` so that its head becomes target(head_vars...) and its
+// nondistinguished variables avoid `used_names`; freshly chosen names are
+// added to `used_names`.
+Rule Standardize(const Rule& r, const std::vector<std::string>& head_vars,
+                 std::set<std::string>* used_names, int rule_index) {
+  Substitution s;
+  for (size_t i = 0; i < r.head.args.size(); ++i) {
+    const std::string& old_name = r.head.args[i].text();
+    if (old_name != head_vars[i]) s.Bind(old_name, Term::Var(head_vars[i]));
+  }
+  std::set<std::string> head_var_set(head_vars.begin(), head_vars.end());
+  for (const std::string& w : r.NondistinguishedVariables()) {
+    std::string candidate = w;
+    if (head_var_set.count(candidate) != 0 || used_names->count(candidate) != 0) {
+      candidate = StrFormat("%s_r%d", w.c_str(), rule_index);
+      int uniquifier = 0;
+      while (head_var_set.count(candidate) != 0 ||
+             used_names->count(candidate) != 0) {
+        candidate = StrFormat("%s_r%d_%d", w.c_str(), rule_index, uniquifier++);
+      }
+    }
+    used_names->insert(candidate);
+    if (candidate != w) s.Bind(w, Term::Var(candidate));
+  }
+  return s.Apply(r);
+}
+
+}  // namespace
+
+Result<RecursiveDefinition> MakeDefinition(const Program& program,
+                                           const std::string& target,
+                                           const DefinitionOptions& options) {
+  std::vector<Rule> rules = program.RulesFor(target);
+  if (rules.empty()) {
+    return Status::NotFound("no rules define predicate '" + target + "'");
+  }
+
+  RecursiveDefinition def;
+  def.target = target;
+  def.arity = rules.front().head.arity();
+
+  for (const Rule& r : rules) {
+    if (r.head.arity() != def.arity) {
+      return Status::InvalidArgument(
+          StrFormat("predicate '%s' used with arities %zu and %zu",
+                    target.c_str(), def.arity, r.head.arity()));
+    }
+    if (r.IsFact()) {
+      return Status::InvalidArgument(
+          "facts for the recursive predicate are not part of a definition; "
+          "store them in the EDB instead: " +
+          r.ToString());
+    }
+    if (!HeadHasNoRepeatsOrConstants(r)) {
+      return Status::InvalidArgument(
+          "rule head must contain no repeated variables and no constants "
+          "(paper §2 restriction): " +
+          r.ToString());
+    }
+    for (const Atom& a : r.body) {
+      if (a.negated) {
+        return Status::InvalidArgument(
+            "the paper's analysis covers definite (negation-free) rules: " +
+            r.ToString());
+      }
+      // Comparison builtins (eval/builtins.h) denote fixed infinite
+      // relations; the boundedness theorems quantify over arbitrary finite
+      // EDBs, so their dependence direction would be unsound here.
+      if (a.predicate == "neq" || a.predicate == "lt" ||
+          a.predicate == "leq") {
+        return Status::InvalidArgument(
+            "comparison builtin '" + a.predicate +
+            "' is outside the boundedness analysis; the theorems assume "
+            "ordinary EDB relations");
+      }
+    }
+  }
+
+  if (options.require_edb_body) {
+    // Predicates defined only by facts are stored data, i.e. EDB; only
+    // proper rules make a predicate intensional.
+    std::set<std::string> idb;
+    for (const Rule& r : program.rules) {
+      if (!r.IsFact()) idb.insert(r.head.predicate);
+    }
+    for (const Rule& r : rules) {
+      for (const Atom& a : r.body) {
+        if (a.predicate != target && idb.count(a.predicate) != 0) {
+          return Status::InvalidArgument(
+              "body predicate '" + a.predicate +
+              "' is an IDB predicate; the paper's analysis assumes all "
+              "nonrecursive predicates are EDB predicates (§2)");
+        }
+      }
+    }
+  }
+
+  // Common head variables: take the first rule's head names.
+  for (const Term& t : rules.front().head.args) {
+    def.head_vars.push_back(t.text());
+  }
+
+  std::set<std::string> used_names;
+  int index = 0;
+  for (const Rule& r : rules) {
+    Rule std_rule = Standardize(r, def.head_vars, &used_names, index++);
+    if (IsRecursiveRule(std_rule, target)) {
+      def.recursive_rules.push_back(std::move(std_rule));
+    } else {
+      def.exit_rules.push_back(std::move(std_rule));
+    }
+  }
+  return def;
+}
+
+}  // namespace dire::ast

@@ -1,0 +1,82 @@
+#ifndef DIRE_AST_CLASSIFY_H_
+#define DIRE_AST_CLASSIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+
+namespace dire::ast {
+
+// ---------------------------------------------------------------------------
+// Rule-class predicates from the paper (Sections 1-5). All take the name of
+// the recursively defined predicate `target`.
+// ---------------------------------------------------------------------------
+
+// True if the rule's body contains `target` (directly recursive rule).
+bool IsRecursiveRule(const Rule& rule, const std::string& target);
+
+// "A linear recursive rule is a rule with exactly one recursive predicate"
+// (§1): exactly one body occurrence of `target`.
+bool IsLinearRecursive(const Rule& rule, const std::string& target);
+
+// "The body of a regular recursive rule contains only one nonrecursive
+// predicate" (§1): linear, with exactly one non-target body atom.
+bool IsRegularRecursive(const Rule& rule, const std::string& target);
+
+// The paper's standing restriction (§1): the rule head contains no repeated
+// variables and no constants.
+bool HeadHasNoRepeatsOrConstants(const Rule& rule);
+
+// True if some nonrecursive predicate name occurs more than once in the body
+// (the class excluded by Theorem 4.2's completeness direction).
+bool HasRepeatedNonrecursivePredicate(const Rule& rule,
+                                      const std::string& target);
+
+// Sagiv's typed class (§1): every variable appears in exactly one argument
+// position index, though possibly in several atoms.
+bool IsTyped(const Rule& rule);
+
+// ---------------------------------------------------------------------------
+// RecursiveDefinition: the standardized form the paper's algorithms operate
+// on — a set of recursive rules and exit rules for one predicate, with
+// identical heads and pairwise-disjoint nondistinguished variables (§2).
+// ---------------------------------------------------------------------------
+
+struct RecursiveDefinition {
+  std::string target;
+  size_t arity = 0;
+
+  // Common head variable names, in head-position order. Every rule below has
+  // head target(head_vars[0], ..., head_vars[arity-1]).
+  std::vector<std::string> head_vars;
+
+  std::vector<Rule> recursive_rules;
+  std::vector<Rule> exit_rules;
+
+  bool AllRecursiveRulesLinear() const {
+    for (const Rule& r : recursive_rules) {
+      if (!IsLinearRecursive(r, target)) return false;
+    }
+    return true;
+  }
+};
+
+struct DefinitionOptions {
+  // The paper assumes (§2 end) that all nonrecursive predicates are EDB
+  // predicates; with this flag set we reject definitions whose rule bodies
+  // mention another IDB predicate.
+  bool require_edb_body = true;
+};
+
+// Extracts and standardizes the definition of `target` from `program`.
+// Fails if `target` has no rules, if some head repeats a variable or uses a
+// constant, or (by default) if a body atom uses another IDB predicate.
+Result<RecursiveDefinition> MakeDefinition(const Program& program,
+                                           const std::string& target,
+                                           const DefinitionOptions& options = {});
+
+}  // namespace dire::ast
+
+#endif  // DIRE_AST_CLASSIFY_H_

@@ -1,0 +1,119 @@
+#include "ast/dependency.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dire::ast {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  for (const Rule& r : program.rules) {
+    edges_[r.head.predicate];  // Ensure head nodes exist even for facts.
+    for (const Atom& a : r.body) {
+      edges_[r.head.predicate].insert(a.predicate);
+      edges_[a.predicate];  // Body-only (EDB) predicates are sinks.
+      if (a.negated) negative_edges_.emplace(r.head.predicate, a.predicate);
+    }
+  }
+  ComputeSccs();
+  for (const auto& [head, body] : negative_edges_) {
+    if (stratum_of_.at(head) == stratum_of_.at(body)) {
+      stratification_violation_ =
+          "predicate '" + head + "' depends negatively on '" + body +
+          "' within the same recursive component";
+      break;
+    }
+  }
+}
+
+const std::set<std::string>& DependencyGraph::DependenciesOf(
+    const std::string& p) const {
+  auto it = edges_.find(p);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+bool DependencyGraph::IsRecursive(const std::string& p) const {
+  return recursive_.count(p) != 0;
+}
+
+int DependencyGraph::StratumOf(const std::string& p) const {
+  auto it = stratum_of_.find(p);
+  return it == stratum_of_.end() ? -1 : it->second;
+}
+
+std::set<std::string> DependencyGraph::Predicates() const {
+  std::set<std::string> out;
+  for (const auto& [p, deps] : edges_) out.insert(p);
+  return out;
+}
+
+void DependencyGraph::ComputeSccs() {
+  // Iterative Tarjan SCC. Components are emitted in reverse-topological
+  // order (dependencies first), which is exactly evaluation order.
+  std::map<std::string, int> index;
+  std::map<std::string, int> lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next;
+    std::set<std::string>::const_iterator end;
+  };
+
+  for (const auto& [start, start_deps] : edges_) {
+    if (index.count(start) != 0) continue;
+    std::vector<Frame> frames;
+    auto push_node = [&](const std::string& v) {
+      index[v] = lowlink[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      const auto& deps = edges_.at(v);
+      frames.push_back(Frame{v, deps.begin(), deps.end()});
+    };
+    push_node(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next != f.end) {
+        const std::string& w = *f.next++;
+        if (index.count(w) == 0) {
+          push_node(w);
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        std::string v = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> component;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          int id = static_cast<int>(strata_.size());
+          for (const std::string& m : component) stratum_of_[m] = id;
+          strata_.push_back(std::move(component));
+        }
+      }
+    }
+  }
+
+  // A predicate is recursive if its SCC has >1 member or it has a self-loop.
+  for (const auto& component : strata_) {
+    for (const std::string& p : component) {
+      if (component.size() > 1 || edges_.at(p).count(p) != 0) {
+        recursive_.insert(p);
+      }
+    }
+  }
+}
+
+}  // namespace dire::ast

@@ -1,0 +1,64 @@
+#ifndef DIRE_AST_DEPENDENCY_H_
+#define DIRE_AST_DEPENDENCY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace dire::ast {
+
+// The predicate dependency graph of a program: an edge p -> q whenever q
+// appears in the body of some rule with head p. Used by the evaluator to
+// stratify general positive programs into strongly connected components
+// evaluated bottom-up.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Program& program);
+
+  // Predicates that p directly depends on.
+  const std::set<std::string>& DependenciesOf(const std::string& p) const;
+
+  // True if `p` is recursive: its definition depends, directly or indirectly,
+  // on itself (§1 of the paper).
+  bool IsRecursive(const std::string& p) const;
+
+  // Strongly connected components in reverse-topological (evaluation) order:
+  // every component only depends on itself and earlier components.
+  const std::vector<std::vector<std::string>>& Strata() const {
+    return strata_;
+  }
+
+  // The component index of `p` within Strata(), or -1 for unknown predicates.
+  int StratumOf(const std::string& p) const;
+
+  std::set<std::string> Predicates() const;
+
+  // True if no negative dependency (p :- ..., not q, ...) stays within a
+  // single strongly connected component — the stratifiability condition for
+  // evaluating programs with negation-as-failure.
+  bool IsStratified() const { return stratification_violation_.empty(); }
+
+  // A human-readable description of the first violation, or "" if
+  // stratified.
+  const std::string& StratificationViolation() const {
+    return stratification_violation_;
+  }
+
+ private:
+  void ComputeSccs();
+
+  std::map<std::string, std::set<std::string>> edges_;
+  std::set<std::pair<std::string, std::string>> negative_edges_;
+  std::string stratification_violation_;
+  std::set<std::string> recursive_;
+  std::vector<std::vector<std::string>> strata_;
+  std::map<std::string, int> stratum_of_;
+  std::set<std::string> empty_;
+};
+
+}  // namespace dire::ast
+
+#endif  // DIRE_AST_DEPENDENCY_H_

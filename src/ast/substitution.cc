@@ -1,0 +1,62 @@
+#include "ast/substitution.h"
+
+namespace dire::ast {
+
+Term Substitution::Apply(const Term& t) const {
+  if (!t.IsVariable()) return t;
+  auto it = map_.find(t.text());
+  if (it == map_.end()) return t;
+  return it->second;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  Atom out;
+  out.predicate = a.predicate;
+  out.negated = a.negated;
+  out.args.reserve(a.args.size());
+  for (const Term& t : a.args) out.args.push_back(Apply(t));
+  return out;
+}
+
+Rule Substitution::Apply(const Rule& r) const {
+  Rule out;
+  out.head = Apply(r.head);
+  out.body.reserve(r.body.size());
+  for (const Atom& a : r.body) out.body.push_back(Apply(a));
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var;
+    out += "->";
+    out += term.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Atom RenameVariables(const Atom& a, const std::string& suffix) {
+  Atom out;
+  out.predicate = a.predicate;
+  out.negated = a.negated;
+  out.args.reserve(a.args.size());
+  for (const Term& t : a.args) {
+    out.args.push_back(t.IsVariable() ? Term::Var(t.text() + suffix) : t);
+  }
+  return out;
+}
+
+Rule RenameVariables(const Rule& r, const std::string& suffix) {
+  Rule out;
+  out.head = RenameVariables(r.head, suffix);
+  out.body.reserve(r.body.size());
+  for (const Atom& a : r.body) out.body.push_back(RenameVariables(a, suffix));
+  return out;
+}
+
+}  // namespace dire::ast

@@ -1,0 +1,57 @@
+#ifndef DIRE_AST_SUBSTITUTION_H_
+#define DIRE_AST_SUBSTITUTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ast/ast.h"
+
+namespace dire::ast {
+
+// A mapping from variable names to terms. Applying a substitution replaces
+// each bound variable by its image; unbound variables and constants are left
+// unchanged. Substitutions are *not* applied recursively: images are terms of
+// the target, never rewritten again (sufficient for function-free clauses).
+class Substitution {
+ public:
+  Substitution() = default;
+
+  // Binds `var` to `value`, overwriting any previous binding.
+  void Bind(const std::string& var, Term value) {
+    map_[var] = std::move(value);
+  }
+
+  // Returns the binding for `var`, if any.
+  std::optional<Term> Lookup(const std::string& var) const {
+    auto it = map_.find(var);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const std::string& var) const { return map_.count(var) != 0; }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Rule Apply(const Rule& r) const;
+
+  const std::map<std::string, Term>& map() const { return map_; }
+
+  // "{X->a, Y->Z}".
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term> map_;
+};
+
+// Renames every variable of `r` by appending `suffix` (e.g. "_3"), producing
+// a variant whose variables are disjoint from any rule not sharing the
+// suffix. Used by ExpandRule's per-iteration subscripting (§2 of the paper).
+Rule RenameVariables(const Rule& r, const std::string& suffix);
+Atom RenameVariables(const Atom& a, const std::string& suffix);
+
+}  // namespace dire::ast
+
+#endif  // DIRE_AST_SUBSTITUTION_H_

@@ -1,0 +1,90 @@
+#include "ast/unify.h"
+
+#include <map>
+#include <string>
+
+namespace dire::ast {
+namespace {
+
+// Union-find over term equivalence classes, with class representatives
+// preferring constants (so a class containing a constant resolves to it, and
+// two distinct constants in one class signal a clash).
+class TermUnion {
+ public:
+  // Returns false on constant clash.
+  bool Merge(const Term& a, const Term& b) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.IsConstant() && rb.IsConstant()) return false;
+    if (ra.IsConstant()) {
+      parent_[Key(rb)] = ra;
+    } else {
+      parent_[Key(ra)] = rb;
+    }
+    return true;
+  }
+
+  Term Find(const Term& t) {
+    auto it = parent_.find(Key(t));
+    if (it == parent_.end()) return t;
+    Term root = Find(it->second);
+    parent_[Key(t)] = root;  // Path compression.
+    return root;
+  }
+
+ private:
+  static std::string Key(const Term& t) {
+    return (t.IsVariable() ? "v:" : "c:") + t.text();
+  }
+
+  std::map<std::string, Term> parent_;
+};
+
+}  // namespace
+
+std::optional<Substitution> Unify(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) {
+    return std::nullopt;
+  }
+  TermUnion uf;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!uf.Merge(a.args[i], b.args[i])) return std::nullopt;
+  }
+  Substitution s;
+  auto bind_vars = [&](const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.IsVariable() && !s.Contains(t.text())) {
+        Term root = uf.Find(t);
+        if (root != t) s.Bind(t.text(), root);
+      }
+    }
+  };
+  bind_vars(a);
+  bind_vars(b);
+  return s;
+}
+
+std::optional<Substitution> Match(const Atom& pattern, const Atom& target) {
+  if (pattern.predicate != target.predicate ||
+      pattern.arity() != target.arity()) {
+    return std::nullopt;
+  }
+  Substitution s;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    const Term& p = pattern.args[i];
+    const Term& t = target.args[i];
+    if (p.IsConstant()) {
+      if (p != t) return std::nullopt;
+      continue;
+    }
+    if (auto bound = s.Lookup(p.text())) {
+      if (*bound != t) return std::nullopt;
+    } else {
+      s.Bind(p.text(), t);
+    }
+  }
+  return s;
+}
+
+}  // namespace dire::ast

@@ -1,0 +1,23 @@
+#ifndef DIRE_AST_UNIFY_H_
+#define DIRE_AST_UNIFY_H_
+
+#include <optional>
+
+#include "ast/ast.h"
+#include "ast/substitution.h"
+
+namespace dire::ast {
+
+// Most-general unifier of two function-free atoms, or nullopt if they do not
+// unify. Because terms never nest, unification reduces to union-find over
+// argument pairs; no occurs check is needed.
+std::optional<Substitution> Unify(const Atom& a, const Atom& b);
+
+// Matching (one-way unification): a substitution s over the variables of
+// `pattern` with s(pattern) == target, or nullopt. Variables of `target` are
+// treated as constants.
+std::optional<Substitution> Match(const Atom& pattern, const Atom& target);
+
+}  // namespace dire::ast
+
+#endif  // DIRE_AST_UNIFY_H_

@@ -1,0 +1,41 @@
+#ifndef DIRE_BASE_HASH_H_
+#define DIRE_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dire {
+
+// 64-bit mix function (SplitMix64 finalizer). Good avalanche behaviour for
+// combining word-sized keys into hash-table buckets.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two hash values.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+// Hashes a sequence of integer ids (e.g., a tuple of interned values).
+template <typename Int>
+uint64_t HashSpan(const Int* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = Mix64(seed ^ n);
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(data[i]));
+  }
+  return h;
+}
+
+template <typename Int>
+uint64_t HashVector(const std::vector<Int>& v, uint64_t seed = 0) {
+  return HashSpan(v.data(), v.size(), seed);
+}
+
+}  // namespace dire
+
+#endif  // DIRE_BASE_HASH_H_

@@ -1,0 +1,75 @@
+#ifndef DIRE_BASE_RESULT_H_
+#define DIRE_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace dire {
+
+// Result<T> holds either a value of type T or a non-OK Status. It is the
+// return type of every fallible operation that produces a value.
+//
+//   Result<Program> p = ParseProgram(text);
+//   if (!p.ok()) return p.status();
+//   Use(p.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return my_value;` / `return Status::ParseError(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Requires: !ok(). Returns the error.
+  const Status& status() const {
+    assert(!ok());
+    return std::get<Status>(rep_);
+  }
+
+  // Requires: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace dire
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DIRE_ASSIGN_OR_RETURN(lhs, expr)             \
+  DIRE_ASSIGN_OR_RETURN_IMPL_(                       \
+      DIRE_CONCAT_(_dire_result_, __LINE__), lhs, expr)
+
+#define DIRE_CONCAT_INNER_(a, b) a##b
+#define DIRE_CONCAT_(a, b) DIRE_CONCAT_INNER_(a, b)
+
+#define DIRE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // DIRE_BASE_RESULT_H_

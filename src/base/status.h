@@ -1,0 +1,83 @@
+#ifndef DIRE_BASE_STATUS_H_
+#define DIRE_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dire {
+
+// Error categories used across the library. Modeled on the Status idiom used
+// by large C++ database codebases (Arrow, RocksDB): no exceptions cross the
+// public API; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  // Malformed input text (parser) or malformed rule structure.
+  kParseError,
+  // A request that is structurally invalid (wrong arity, unknown predicate,
+  // rule outside the class an algorithm supports, ...).
+  kInvalidArgument,
+  // A semi-decision procedure exhausted its budget without an answer.
+  kInconclusive,
+  // An internal invariant failed; indicates a bug in this library.
+  kInternal,
+  // Referenced entity (predicate, relation, file) does not exist.
+  kNotFound,
+};
+
+// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, copyable success-or-error value. The OK status carries no
+// allocation; error statuses carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Inconclusive(std::string m) {
+    return Status(StatusCode::kInconclusive, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace dire
+
+// Propagates a non-OK Status from the evaluated expression.
+#define DIRE_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dire::Status _dire_status = (expr);            \
+    if (!_dire_status.ok()) return _dire_status;     \
+  } while (false)
+
+#endif  // DIRE_BASE_STATUS_H_

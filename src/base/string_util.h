@@ -1,0 +1,28 @@
+#ifndef DIRE_BASE_STRING_UTIL_H_
+#define DIRE_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dire {
+
+// Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dire
+
+#endif  // DIRE_BASE_STRING_UTIL_H_

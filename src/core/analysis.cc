@@ -1,0 +1,80 @@
+#include "core/analysis.h"
+
+#include "base/string_util.h"
+
+namespace dire::core {
+
+Result<RecursionAnalysis> AnalyzeRecursion(const ast::Program& program,
+                                           const std::string& target) {
+  DIRE_ASSIGN_OR_RETURN(ast::RecursiveDefinition def,
+                        ast::MakeDefinition(program, target));
+  if (def.recursive_rules.empty()) {
+    return Status::InvalidArgument(
+        "predicate '" + target +
+        "' is not recursive; nothing to analyze (its rules are already "
+        "nonrecursive)");
+  }
+  DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  DIRE_ASSIGN_OR_RETURN(StrongIndependenceResult strong,
+                        TestStrongIndependence(def, graph, chains));
+
+  RecursionAnalysis out{std::move(def), std::move(graph), std::move(chains),
+                        std::move(strong), std::nullopt};
+  if (!out.definition.exit_rules.empty()) {
+    DIRE_ASSIGN_OR_RETURN(WeakIndependenceResult weak,
+                          TestWeakIndependence(out.definition));
+    out.weak = std::move(weak);
+  }
+  return out;
+}
+
+std::string RecursionAnalysis::Report() const {
+  std::string out;
+  out += StrFormat("== Recursion analysis for %s/%zu ==\n",
+                   definition.target.c_str(), definition.arity);
+  out += StrFormat("recursive rules: %zu, exit rules: %zu\n",
+                   definition.recursive_rules.size(),
+                   definition.exit_rules.size());
+  for (const ast::Rule& r : definition.recursive_rules) {
+    out += "  [rec]  " + r.ToString() + "\n";
+  }
+  for (const ast::Rule& r : definition.exit_rules) {
+    out += "  [exit] " + r.ToString() + "\n";
+  }
+  out += StrFormat("A/V graph: %zu nodes, %zu edges\n", graph.nodes().size(),
+                   graph.edges().size());
+  if (chains.has_chain_generating_path) {
+    out += "chain generating path: YES";
+    if (chains.witness.has_value()) {
+      out += " — " + chains.witness->ToString(graph);
+    }
+    out += "\n";
+  } else {
+    out += "chain generating path: no\n";
+  }
+  out += StrFormat("strong data independence: %s",
+                   VerdictName(strong.verdict));
+  if (!strong.theorem.empty()) out += " [" + strong.theorem + "]";
+  out += "\n  " + strong.explanation + "\n";
+  if (weak.has_value()) {
+    out += StrFormat("weak data independence: %s",
+                     VerdictName(weak->verdict));
+    if (!weak->theorem.empty()) out += " [" + weak->theorem + "]";
+    out += "\n  " + weak->explanation + "\n";
+    if (weak->regular_pair_test_applied) {
+      out += StrFormat(
+          "  Theorem 4.3 inputs: cgp=%s connected=%s irredundant=%s",
+          weak->has_chain_generating_path ? "yes" : "no",
+          weak->exit_connected ? "yes" : "no",
+          weak->exit_irredundant ? "yes" : "no");
+      if (weak->irredundance_condition != 0) {
+        out += StrFormat(" (Def 4.2 clause %d)", weak->irredundance_condition);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dire::core

@@ -1,0 +1,45 @@
+#ifndef DIRE_CORE_ANALYSIS_H_
+#define DIRE_CORE_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+
+#include "ast/ast.h"
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/av_graph.h"
+#include "core/chain.h"
+#include "core/strong.h"
+#include "core/weak.h"
+
+namespace dire::core {
+
+// One-call front end: everything the paper's algorithms can say about the
+// recursive definition of `target` in `program`.
+struct RecursionAnalysis {
+  ast::RecursiveDefinition definition;
+  AvGraph graph;
+  ChainAnalysis chains;
+  StrongIndependenceResult strong;
+  // Present when the definition has exit rules.
+  std::optional<WeakIndependenceResult> weak;
+
+  bool strongly_data_independent() const {
+    return strong.verdict == Verdict::kIndependent;
+  }
+  bool weakly_data_independent() const {
+    return weak.has_value() && weak->verdict == Verdict::kIndependent;
+  }
+
+  // Multi-section human-readable report (rule classes, graph size, chain
+  // witness, verdicts with the justifying theorems).
+  std::string Report() const;
+};
+
+// Extracts, standardizes and analyzes the definition of `target`.
+Result<RecursionAnalysis> AnalyzeRecursion(const ast::Program& program,
+                                           const std::string& target);
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_ANALYSIS_H_

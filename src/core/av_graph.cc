@@ -1,0 +1,206 @@
+#include "core/av_graph.h"
+
+#include <map>
+
+#include "base/string_util.h"
+
+namespace dire::core {
+namespace {
+
+// Builds display names for atoms: the paper writes the exit-rule occurrence
+// of a predicate as e' when e also occurs in the recursive rule, and we
+// additionally number repeated occurrences (e, e_2, ...).
+std::string AtomBaseLabel(const std::string& predicate, bool in_exit_rule,
+                          int occurrence) {
+  std::string base = predicate;
+  if (in_exit_rule) base += '\'';
+  if (occurrence > 1) base += StrFormat("_%d", occurrence);
+  return base;
+}
+
+}  // namespace
+
+Result<AvGraph> AvGraph::Build(const ast::RecursiveDefinition& def) {
+  AvGraph g;
+  g.target_ = def.target;
+  g.num_recursive_rules_ = static_cast<int>(def.recursive_rules.size());
+
+  std::map<std::string, int> var_node;
+  auto variable_node = [&](const std::string& name) {
+    auto it = var_node.find(name);
+    if (it != var_node.end()) return it->second;
+    Node n;
+    n.kind = NodeKind::kVariable;
+    n.var_name = name;
+    n.label = name;
+    int id = static_cast<int>(g.nodes_.size());
+    g.nodes_.push_back(std::move(n));
+    var_node.emplace(name, id);
+    return id;
+  };
+
+  // Distinguished variables first, so they exist even if unused in bodies.
+  for (const std::string& v : def.head_vars) {
+    int id = variable_node(v);
+    g.nodes_[static_cast<size_t>(id)].distinguished = true;
+  }
+
+  // Label disambiguation across the whole graph.
+  std::map<std::string, int> occurrence_count;
+
+  auto add_rule = [&](const ast::Rule& rule, int rule_index,
+                      bool is_exit) -> Status {
+    for (size_t atom_index = 0; atom_index < rule.body.size(); ++atom_index) {
+      const ast::Atom& atom = rule.body[atom_index];
+      bool recursive_atom = !is_exit && atom.predicate == def.target;
+      int occurrence = ++occurrence_count[atom.predicate +
+                                          (is_exit ? "'" : "")];
+      std::string base =
+          AtomBaseLabel(atom.predicate, is_exit, occurrence);
+      std::vector<int> arg_ids;
+      for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+        const ast::Term& term = atom.args[pos];
+        if (!term.IsVariable()) {
+          return Status::InvalidArgument(
+              "A/V graphs require constant-free rule bodies; found " +
+              atom.ToString());
+        }
+        Node n;
+        n.kind = NodeKind::kArgument;
+        n.rule_index = rule_index;
+        n.in_exit_rule = is_exit;
+        n.atom_index = static_cast<int>(atom_index);
+        n.position = static_cast<int>(pos);
+        n.predicate = atom.predicate;
+        n.recursive_atom = recursive_atom;
+        n.label = StrFormat("%s^%zu", base.c_str(), pos + 1);
+        int arg_id = static_cast<int>(g.nodes_.size());
+        g.nodes_.push_back(std::move(n));
+        arg_ids.push_back(arg_id);
+
+        // Identity edge to the variable in this position.
+        int var_id = variable_node(term.text());
+        g.edges_.push_back(Edge{EdgeKind::kIdentity, arg_id, var_id});
+
+        // Unification edge to the head variable at the same position.
+        if (recursive_atom) {
+          int head_var = variable_node(def.head_vars[pos]);
+          g.edges_.push_back(Edge{EdgeKind::kUnification, arg_id, head_var});
+        }
+      }
+      // Predicate edges between adjacent positions of nonrecursive atoms.
+      if (!recursive_atom) {
+        for (size_t pos = 0; pos + 1 < arg_ids.size(); ++pos) {
+          g.edges_.push_back(Edge{EdgeKind::kPredicate, arg_ids[pos],
+                                  arg_ids[pos + 1]});
+        }
+      }
+    }
+    return Status::Ok();
+  };
+
+  int rule_index = 0;
+  for (const ast::Rule& r : def.recursive_rules) {
+    DIRE_RETURN_IF_ERROR(add_rule(r, rule_index++, /*is_exit=*/false));
+  }
+  for (const ast::Rule& r : def.exit_rules) {
+    DIRE_RETURN_IF_ERROR(add_rule(r, rule_index++, /*is_exit=*/true));
+  }
+
+  // Adjacency lists.
+  g.adjacency_core_.resize(g.nodes_.size());
+  g.adjacency_aug_.resize(g.nodes_.size());
+  for (size_t e = 0; e < g.edges_.size(); ++e) {
+    const Edge& edge = g.edges_[e];
+    int id = static_cast<int>(e);
+    switch (edge.kind) {
+      case EdgeKind::kIdentity:
+        g.AddStep(edge.from, edge.to, id, 0, /*augmented_only=*/false);
+        g.AddStep(edge.to, edge.from, id, 0, /*augmented_only=*/false);
+        break;
+      case EdgeKind::kUnification:
+        g.AddStep(edge.from, edge.to, id, +1, /*augmented_only=*/false);
+        g.AddStep(edge.to, edge.from, id, -1, /*augmented_only=*/false);
+        break;
+      case EdgeKind::kPredicate:
+        g.AddStep(edge.from, edge.to, id, 0, /*augmented_only=*/true);
+        g.AddStep(edge.to, edge.from, id, 0, /*augmented_only=*/true);
+        break;
+    }
+  }
+  return g;
+}
+
+void AvGraph::AddStep(int from, int to, int edge, int weight,
+                      bool augmented_only) {
+  Step s{edge, to, weight};
+  adjacency_aug_[static_cast<size_t>(from)].push_back(s);
+  if (!augmented_only) {
+    adjacency_core_[static_cast<size_t>(from)].push_back(s);
+  }
+}
+
+int AvGraph::VariableNode(const std::string& name) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kVariable && nodes_[i].var_name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int AvGraph::ArgumentNode(int rule_index, int atom_index, int position) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == NodeKind::kArgument && n.rule_index == rule_index &&
+        n.atom_index == atom_index && n.position == position) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const std::vector<AvGraph::Step>& AvGraph::Adjacent(int node,
+                                                    bool augmented) const {
+  return augmented ? adjacency_aug_[static_cast<size_t>(node)]
+                   : adjacency_core_[static_cast<size_t>(node)];
+}
+
+std::string AvGraph::ToDot(const std::set<int>& highlight_edges) const {
+  std::string out = "graph av_graph {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == NodeKind::kVariable) {
+      out += StrFormat(
+          "  n%zu [label=\"%s\", shape=circle%s];\n", i, n.label.c_str(),
+          n.distinguished ? ", style=bold" : "");
+    } else {
+      out += StrFormat("  n%zu [label=\"%s\", shape=box];\n", i,
+                       n.label.c_str());
+    }
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& edge = edges_[e];
+    std::string attrs;
+    switch (edge.kind) {
+      case EdgeKind::kIdentity:
+        attrs = "style=solid";
+        break;
+      case EdgeKind::kUnification:
+        attrs = "style=dashed, dir=forward";
+        break;
+      case EdgeKind::kPredicate:
+        attrs = "style=dotted";
+        break;
+    }
+    if (highlight_edges.count(static_cast<int>(e)) != 0) {
+      attrs += ", color=red, penwidth=2.0";
+    }
+    out += StrFormat("  n%d -- n%d [%s];\n", edge.from, edge.to,
+                     attrs.c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dire::core

@@ -1,0 +1,103 @@
+#ifndef DIRE_CORE_AV_GRAPH_H_
+#define DIRE_CORE_AV_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/classify.h"
+#include "base/result.h"
+
+namespace dire::core {
+
+// The argument/variable (A/V) graph of Section 3 of the paper, extended to
+// multiple rules as in Section 5, including the exit rules (needed by the
+// weak-data-independence tests of Section 4.3).
+//
+// Nodes are variables (distinguished or nondistinguished) and argument
+// positions of body atoms. Edges:
+//   * identity edges:    argument node -> node of the variable appearing in
+//                        that position;
+//   * unification edges: argument node of a *recursive* body atom at
+//                        position p -> distinguished variable at position p
+//                        of the rule head;
+//   * predicate edges:   between adjacent argument positions of each
+//                        nonrecursive body atom ("augmented" graph, §4.1).
+//
+// Traversal is undirected; a unification edge contributes +1 traversed
+// forward (argument -> variable) and -1 traversed in reverse; all other
+// edges weigh 0 (§3).
+class AvGraph {
+ public:
+  enum class NodeKind { kVariable, kArgument };
+  enum class EdgeKind { kIdentity, kUnification, kPredicate };
+
+  struct Node {
+    NodeKind kind;
+    std::string label;
+
+    // Variable nodes.
+    std::string var_name;
+    bool distinguished = false;
+
+    // Argument nodes. rule_index counts recursive rules first, then exit
+    // rules (matching RuleCount() ordering).
+    int rule_index = -1;
+    bool in_exit_rule = false;
+    int atom_index = -1;  // Body atom index within its rule.
+    int position = -1;    // Argument position within the atom.
+    std::string predicate;
+    bool recursive_atom = false;
+  };
+
+  struct Edge {
+    EdgeKind kind;
+    int from;  // Argument node for identity/unification/predicate edges.
+    int to;    // Variable node, or the second argument node for kPredicate.
+  };
+
+  // One directed traversal of an edge out of a node.
+  struct Step {
+    int edge;
+    int neighbor;
+    int weight;  // +1 / -1 for unification edges by direction, else 0.
+  };
+
+  // Builds the A/V graph for a standardized definition. Requires every
+  // recursive rule head to be target(head_vars...) — guaranteed by
+  // ast::MakeDefinition.
+  static Result<AvGraph> Build(const ast::RecursiveDefinition& def);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  int num_recursive_rules() const { return num_recursive_rules_; }
+  const std::string& target() const { return target_; }
+
+  // Node id of the variable `name`, or -1.
+  int VariableNode(const std::string& name) const;
+  // Node id of argument `position` of body atom `atom_index` of rule
+  // `rule_index` (recursive rules first, then exit rules), or -1.
+  int ArgumentNode(int rule_index, int atom_index, int position) const;
+
+  // All traversals out of `node`. With `augmented` false, predicate edges
+  // are omitted (the non-augmented graph of §3).
+  const std::vector<Step>& Adjacent(int node, bool augmented) const;
+
+  // Graphviz rendering; `highlight_edges` are drawn bold/red (used to show
+  // chain generating paths in the figure reproductions).
+  std::string ToDot(const std::set<int>& highlight_edges = {}) const;
+
+ private:
+  void AddStep(int from, int to, int edge, int weight, bool augmented_only);
+
+  std::string target_;
+  int num_recursive_rules_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Step>> adjacency_core_;  // Without predicate edges.
+  std::vector<std::vector<Step>> adjacency_aug_;   // With predicate edges.
+};
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_AV_GRAPH_H_

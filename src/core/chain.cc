@@ -1,0 +1,533 @@
+#include "core/chain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+#include "core/graph_view.h"
+
+namespace dire::core {
+namespace {
+
+// Weight of traversing `edge_id` starting from node `from`.
+int StepWeight(const AvGraph& g, int edge_id, int from) {
+  const AvGraph::Edge& e = g.edges()[static_cast<size_t>(edge_id)];
+  if (e.kind != AvGraph::EdgeKind::kUnification) return 0;
+  return e.from == from ? +1 : -1;
+}
+
+// Nodes participating in the recursive rules: their argument nodes plus
+// every variable node incident to one of them.
+std::vector<bool> RecursiveRuleFilter(const AvGraph& g) {
+  std::vector<bool> include(g.nodes().size(), false);
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const AvGraph::Node& n = g.nodes()[i];
+    if (n.kind == AvGraph::NodeKind::kArgument && !n.in_exit_rule) {
+      include[i] = true;
+    }
+  }
+  for (const AvGraph::Edge& e : g.edges()) {
+    if (e.kind == AvGraph::EdgeKind::kPredicate) continue;
+    if (include[static_cast<size_t>(e.from)]) {
+      include[static_cast<size_t>(e.to)] = true;
+    }
+  }
+  return include;
+}
+
+bool IsNondistinguishedVar(const AvGraph& g, int v) {
+  const AvGraph::Node& n = g.nodes()[static_cast<size_t>(v)];
+  return n.kind == AvGraph::NodeKind::kVariable && !n.distinguished;
+}
+
+// Finds a simple cycle of nonzero weight within `include` (+augmented
+// edges), as a witness for phase 2. Returns nullopt if none exists.
+std::optional<ChainWitness> FindNonzeroCycle(const AvGraph& g,
+                                             const std::vector<bool>& include) {
+  size_t n = g.nodes().size();
+  std::vector<bool> visited(n, false);
+  std::vector<int64_t> pot(n, 0);
+  std::vector<int> parent(n, -1);
+  std::vector<int> parent_edge(n, -1);
+
+  for (size_t start = 0; start < n; ++start) {
+    if (!include[start] || visited[start]) continue;
+    std::vector<int> stack{static_cast<int>(start)};
+    visited[start] = true;
+    std::vector<bool> edge_seen(g.edges().size(), false);
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (const AvGraph::Step& s : g.Adjacent(u, /*augmented=*/true)) {
+        if (!include[static_cast<size_t>(s.neighbor)]) continue;
+        if (edge_seen[static_cast<size_t>(s.edge)]) continue;
+        edge_seen[static_cast<size_t>(s.edge)] = true;
+        int v = s.neighbor;
+        if (!visited[static_cast<size_t>(v)]) {
+          visited[static_cast<size_t>(v)] = true;
+          pot[static_cast<size_t>(v)] = pot[static_cast<size_t>(u)] + s.weight;
+          parent[static_cast<size_t>(v)] = u;
+          parent_edge[static_cast<size_t>(v)] = s.edge;
+          stack.push_back(v);
+          continue;
+        }
+        if (pot[static_cast<size_t>(u)] + s.weight ==
+            pot[static_cast<size_t>(v)]) {
+          continue;
+        }
+        // Conflict: the tree paths to u and v plus this edge close a cycle
+        // of nonzero weight. Build v .. lca .. u, then the closing edge.
+        auto path_to_root = [&](int x) {
+          std::vector<int> path{x};
+          while (parent[static_cast<size_t>(x)] != -1) {
+            x = parent[static_cast<size_t>(x)];
+            path.push_back(x);
+          }
+          return path;  // x .. root
+        };
+        std::vector<int> pu = path_to_root(u);
+        std::vector<int> pv = path_to_root(v);
+        // Strip the common tail (from the root side).
+        while (pu.size() > 1 && pv.size() > 1 &&
+               pu[pu.size() - 2] == pv[pv.size() - 2]) {
+          pu.pop_back();
+          pv.pop_back();
+        }
+        // pu: u .. lca ; pv: v .. lca (they share only the last node).
+        ChainWitness w;
+        // Nodes: v, ..., lca, ..., u  then close with edge (u,v).
+        w.nodes.assign(pv.begin(), pv.end());
+        for (size_t i = pu.size() - 1; i-- > 0;) {
+          w.nodes.push_back(pu[i]);
+        }
+        for (size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+          int a = w.nodes[i];
+          int b = w.nodes[i + 1];
+          // Consecutive cycle nodes are parent/child in the DFS tree.
+          w.edges.push_back(parent[static_cast<size_t>(a)] == b
+                                ? parent_edge[static_cast<size_t>(a)]
+                                : parent_edge[static_cast<size_t>(b)]);
+        }
+        w.edges.push_back(s.edge);
+        int64_t total = 0;
+        int at = w.nodes[0];
+        for (int e : w.edges) {
+          total += StepWeight(g, e, at);
+          const AvGraph::Edge& edge = g.edges()[static_cast<size_t>(e)];
+          at = edge.from == at ? edge.to : edge.from;
+        }
+        w.weight = total;
+        return w;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared post-processing: Def 6.1 chain connectivity.
+// ---------------------------------------------------------------------------
+
+// Builds the Def 6.1 closure. `core_view` is the non-augmented view over the
+// recursive-rule nodes; two atoms share a nondistinguished variable (across
+// iterations) when their argument nodes meet in a component that contains a
+// nondistinguished variable node.
+void ComputeChainConnectivity(const AvGraph& g, const GraphView& core_view,
+                              ChainAnalysis* analysis) {
+  // Components that carry nondistinguished variables.
+  std::vector<bool> component_carries(
+      static_cast<size_t>(core_view.num_components()), false);
+  for (size_t v = 0; v < g.nodes().size(); ++v) {
+    int c = core_view.Included(static_cast<int>(v))
+                ? core_view.ComponentOf(static_cast<int>(v))
+                : -1;
+    if (c >= 0 && IsNondistinguishedVar(g, static_cast<int>(v))) {
+      component_carries[static_cast<size_t>(c)] = true;
+    }
+  }
+
+  // Atom -> components and component -> atoms (nonrecursive atoms only).
+  std::map<AtomRef, std::set<int>> atom_components;
+  std::map<int, std::set<AtomRef>> component_atoms;
+  for (size_t v = 0; v < g.nodes().size(); ++v) {
+    const AvGraph::Node& n = g.nodes()[v];
+    if (n.kind != AvGraph::NodeKind::kArgument || n.in_exit_rule ||
+        n.recursive_atom) {
+      continue;
+    }
+    int c = core_view.Included(static_cast<int>(v))
+                ? core_view.ComponentOf(static_cast<int>(v))
+                : -1;
+    if (c < 0 || !component_carries[static_cast<size_t>(c)]) continue;
+    AtomRef ref{n.rule_index, n.atom_index};
+    atom_components[ref].insert(c);
+    component_atoms[c].insert(ref);
+  }
+
+  // BFS from the atoms on chain generating paths.
+  std::vector<AtomRef> frontier(analysis->atoms_on_chains.begin(),
+                                analysis->atoms_on_chains.end());
+  analysis->chain_connected_atoms = analysis->atoms_on_chains;
+  while (!frontier.empty()) {
+    AtomRef a = frontier.back();
+    frontier.pop_back();
+    for (int c : atom_components[a]) {
+      for (const AtomRef& b : component_atoms[c]) {
+        if (analysis->chain_connected_atoms.insert(b).second) {
+          frontier.push_back(b);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single recursive rule: the exact two-phase linear algorithm of §4.2.
+// ---------------------------------------------------------------------------
+
+ChainAnalysis DetectSingleRule(const AvGraph& g) {
+  ChainAnalysis analysis;
+  std::vector<bool> filter = RecursiveRuleFilter(g);
+
+  // Phase 1: components of the non-augmented graph; survivors are the
+  // components with no cycle (equivalently, by Lemmas 3.1/3.2, the ones
+  // containing a nondistinguished variable).
+  GraphView core_view(g, filter, /*augmented=*/false);
+  analysis.surviving.assign(g.nodes().size(), false);
+  for (size_t v = 0; v < g.nodes().size(); ++v) {
+    int c = core_view.Included(static_cast<int>(v))
+                ? core_view.ComponentOf(static_cast<int>(v))
+                : -1;
+    if (c >= 0 && !core_view.ComponentHasCycle(c)) analysis.surviving[v] = true;
+  }
+
+  // Phase 2: a nonzero-weight cycle among the survivors of the augmented
+  // graph witnesses a chain generating path.
+  GraphView aug_view(g, analysis.surviving, /*augmented=*/true);
+  for (int c = 0; c < aug_view.num_components(); ++c) {
+    if (aug_view.ComponentCycleGcd(c) != 0) {
+      analysis.has_chain_generating_path = true;
+      break;
+    }
+  }
+  if (analysis.has_chain_generating_path) {
+    analysis.witness = FindNonzeroCycle(g, analysis.surviving);
+    for (size_t v = 0; v < g.nodes().size(); ++v) {
+      const AvGraph::Node& n = g.nodes()[v];
+      if (n.kind == AvGraph::NodeKind::kArgument && !n.in_exit_rule &&
+          !n.recursive_atom && aug_view.OnNonzeroCycle(static_cast<int>(v))) {
+        analysis.atoms_on_chains.insert(AtomRef{n.rule_index, n.atom_index});
+      }
+    }
+  }
+
+  ComputeChainConnectivity(g, core_view, &analysis);
+  return analysis;
+}
+
+// ---------------------------------------------------------------------------
+// Multiple recursive rules (§5): simple-cycle enumeration with the
+// consistency conditions of Def 5.1 / Def 5.2.
+// ---------------------------------------------------------------------------
+
+struct Cycle {
+  std::vector<int> nodes;   // n0 .. nk, closing back to n0.
+  std::vector<int> edges;   // edges[i] joins nodes[i] and nodes[i+1 mod k].
+  int64_t weight = 0;
+};
+
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const AvGraph& g, const std::vector<bool>& include,
+                  size_t cap)
+      : g_(g), include_(include), cap_(cap) {}
+
+  // Enumerates simple cycles; returns false if the cap was hit.
+  bool Run(std::vector<Cycle>* out) {
+    out_ = out;
+    size_t n = g_.nodes().size();
+    for (size_t start = 0; start < n; ++start) {
+      if (!include_[start]) continue;
+      start_ = static_cast<int>(start);
+      on_path_.assign(n, false);
+      on_path_[start] = true;
+      path_nodes_ = {start_};
+      path_edges_.clear();
+      path_weights_ = {0};
+      if (!Extend(start_)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Extend(int u) {
+    for (const AvGraph::Step& s : g_.Adjacent(u, /*augmented=*/true)) {
+      int v = s.neighbor;
+      if (!include_[static_cast<size_t>(v)] || v < start_) continue;
+      if (!path_edges_.empty() && s.edge == path_edges_.back()) continue;
+      if (std::find(path_edges_.begin(), path_edges_.end(), s.edge) !=
+          path_edges_.end()) {
+        continue;
+      }
+      if (v == start_ && path_edges_.size() >= 1) {
+        // Close the cycle (needs at least 2 edges in total).
+        Cycle c;
+        c.nodes = path_nodes_;
+        c.edges = path_edges_;
+        c.edges.push_back(s.edge);
+        c.weight = path_weights_.back() + s.weight;
+        if (c.edges.size() >= 2 && !Seen(c)) {
+          out_->push_back(std::move(c));
+          if (out_->size() > cap_) return false;
+        }
+        continue;
+      }
+      if (on_path_[static_cast<size_t>(v)]) continue;
+      on_path_[static_cast<size_t>(v)] = true;
+      path_nodes_.push_back(v);
+      path_edges_.push_back(s.edge);
+      path_weights_.push_back(path_weights_.back() + s.weight);
+      if (!Extend(v)) return false;
+      on_path_[static_cast<size_t>(v)] = false;
+      path_nodes_.pop_back();
+      path_edges_.pop_back();
+      path_weights_.pop_back();
+    }
+    return true;
+  }
+
+  bool Seen(const Cycle& c) {
+    std::vector<int> key = c.edges;
+    std::sort(key.begin(), key.end());
+    return !seen_.insert(key).second;
+  }
+
+  const AvGraph& g_;
+  const std::vector<bool>& include_;
+  size_t cap_;
+  std::vector<Cycle>* out_ = nullptr;
+  int start_ = 0;
+  std::vector<bool> on_path_;
+  std::vector<int> path_nodes_;
+  std::vector<int> path_edges_;
+  std::vector<int64_t> path_weights_;
+  std::set<std::vector<int>> seen_;
+};
+
+// Rule-at-weight-class assignment of a candidate cycle (Def 5.1 adapted:
+// the unrolled chain repeats the cycle's rule sequence with period |weight|,
+// so argument positions conflict when they demand different rules at the
+// same class modulo the weight). Returns false on conflict.
+bool CycleConsistent(const AvGraph& g, const Cycle& c,
+                     std::map<int64_t, int>* rule_at_class) {
+  int64_t period = c.weight < 0 ? -c.weight : c.weight;
+  int64_t w = 0;
+  int at = c.nodes[0];
+  for (size_t i = 0; i <= c.edges.size(); ++i) {
+    const AvGraph::Node& n = g.nodes()[static_cast<size_t>(at)];
+    if (n.kind == AvGraph::NodeKind::kArgument) {
+      int64_t cls = ((w % period) + period) % period;
+      auto [it, inserted] = rule_at_class->emplace(cls, n.rule_index);
+      if (!inserted && it->second != n.rule_index) return false;
+    }
+    if (i == c.edges.size()) break;
+    int e = c.edges[i];
+    w += StepWeight(g, e, at);
+    const AvGraph::Edge& edge = g.edges()[static_cast<size_t>(e)];
+    at = edge.from == at ? edge.to : edge.from;
+  }
+  return true;
+}
+
+// Def 5.2 condition 3: a predicate-edge-free path, consistent with the
+// cycle's rule assignment, from some nondistinguished variable to argument
+// node `arg` (searched backwards from `arg` over (node, class) states).
+bool HasConsistentFeeder(const AvGraph& g, const std::vector<bool>& include,
+                         const std::map<int64_t, int>& rule_at_class,
+                         int64_t period, int arg, int64_t arg_class) {
+  std::set<std::pair<int, int64_t>> visited;
+  std::vector<std::pair<int, int64_t>> stack{{arg, arg_class}};
+  visited.insert({arg, arg_class});
+  while (!stack.empty()) {
+    auto [u, cls] = stack.back();
+    stack.pop_back();
+    if (IsNondistinguishedVar(g, u)) return true;
+    for (const AvGraph::Step& s : g.Adjacent(u, /*augmented=*/false)) {
+      int v = s.neighbor;
+      if (!include[static_cast<size_t>(v)]) continue;
+      int64_t vcls = (((cls + s.weight) % period) + period) % period;
+      const AvGraph::Node& n = g.nodes()[static_cast<size_t>(v)];
+      if (n.kind == AvGraph::NodeKind::kArgument) {
+        auto it = rule_at_class.find(vcls);
+        if (it != rule_at_class.end() && it->second != n.rule_index) continue;
+      }
+      if (visited.insert({v, vcls}).second) stack.push_back({v, vcls});
+    }
+  }
+  return false;
+}
+
+ChainAnalysis DetectMultiRule(const AvGraph& g) {
+  ChainAnalysis analysis;
+  std::vector<bool> filter = RecursiveRuleFilter(g);
+  GraphView core_view(g, filter, /*augmented=*/false);
+
+  // Soundness gate. An unbounded chain yields a closed walk of nonzero
+  // weight whose every node lies on a Lemma-3.3 valley path through a
+  // nondistinguished variable, hence is core-reachable from one. The walk
+  // need NOT be a simple cycle of the base graph (it can be simple only in
+  // the weight-modular covering graph — e.g. a weight-1 rule cycle pumped
+  // through another rule's parallel identity/unification pair), so the
+  // *absence* test must be the coarser one: no nonzero-weight cycle at all
+  // among the fed nodes. Only if that holds may we declare independence.
+  std::vector<bool> fed(g.nodes().size(), false);
+  {
+    std::vector<int> stack;
+    for (size_t v = 0; v < g.nodes().size(); ++v) {
+      if (filter[v] && IsNondistinguishedVar(g, static_cast<int>(v))) {
+        fed[v] = true;
+        stack.push_back(static_cast<int>(v));
+      }
+    }
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (const AvGraph::Step& s : g.Adjacent(u, /*augmented=*/false)) {
+        size_t v = static_cast<size_t>(s.neighbor);
+        if (!filter[v] || fed[v]) continue;
+        fed[v] = true;
+        stack.push_back(s.neighbor);
+      }
+    }
+  }
+  GraphView fed_view(g, fed, /*augmented=*/true);
+  bool any_nonzero_cycle = false;
+  for (int c = 0; c < fed_view.num_components(); ++c) {
+    if (fed_view.ComponentCycleGcd(c) != 0) any_nonzero_cycle = true;
+  }
+  if (!any_nonzero_cycle) {
+    // Sound: no chain generating structure can exist.
+    ComputeChainConnectivity(g, core_view, &analysis);
+    return analysis;
+  }
+  analysis.has_chain_generating_path = true;
+  // Mark the atoms on nonzero cycles of the fed subgraph for §6.
+  for (size_t v = 0; v < g.nodes().size(); ++v) {
+    const AvGraph::Node& n = g.nodes()[v];
+    if (n.kind == AvGraph::NodeKind::kArgument && !n.in_exit_rule &&
+        !n.recursive_atom && fed_view.OnNonzeroCycle(static_cast<int>(v))) {
+      analysis.atoms_on_chains.insert(AtomRef{n.rule_index, n.atom_index});
+    }
+  }
+
+  // Refinement: look for a consistency-checked simple-cycle witness
+  // (Def 5.1/5.2). Finding one upgrades the report; not finding one leaves
+  // the conservative verdict with exact == false (the cycle may only be
+  // simple in the covering graph, or may be spurious).
+  constexpr size_t kCycleCap = 20000;
+  std::vector<Cycle> cycles;
+  CycleEnumerator enumerator(g, filter, kCycleCap);
+  if (!enumerator.Run(&cycles)) {
+    analysis.exact = false;
+    analysis.note = "cycle enumeration cap exceeded; nonzero-weight cycles "
+                    "exist among fed nodes";
+    ComputeChainConnectivity(g, core_view, &analysis);
+    return analysis;
+  }
+
+  bool witness_found = false;
+  for (const Cycle& c : cycles) {
+    if (c.weight == 0) continue;
+    std::map<int64_t, int> rule_at_class;
+    if (!CycleConsistent(g, c, &rule_at_class)) continue;
+    int64_t period = c.weight < 0 ? -c.weight : c.weight;
+
+    // Every argument position on the cycle needs a consistent feeder path
+    // from a nondistinguished variable (Def 5.2 condition 3).
+    bool all_fed = true;
+    int64_t w = 0;
+    int at = c.nodes[0];
+    std::vector<std::pair<int, int64_t>> arg_positions;
+    for (size_t i = 0; i <= c.edges.size(); ++i) {
+      const AvGraph::Node& n = g.nodes()[static_cast<size_t>(at)];
+      if (n.kind == AvGraph::NodeKind::kArgument && i < c.edges.size()) {
+        arg_positions.emplace_back(at, ((w % period) + period) % period);
+      }
+      if (i == c.edges.size()) break;
+      w += StepWeight(g, c.edges[i], at);
+      const AvGraph::Edge& edge = g.edges()[static_cast<size_t>(c.edges[i])];
+      at = edge.from == at ? edge.to : edge.from;
+    }
+    for (const auto& [node, cls] : arg_positions) {
+      if (!HasConsistentFeeder(g, filter, rule_at_class, period, node, cls)) {
+        all_fed = false;
+        break;
+      }
+    }
+    if (!all_fed) continue;
+
+    witness_found = true;
+    if (!analysis.witness.has_value()) {
+      ChainWitness witness;
+      witness.nodes = c.nodes;
+      witness.edges = c.edges;
+      witness.weight = c.weight;
+      analysis.witness = witness;
+    }
+    for (const auto& [node, cls] : arg_positions) {
+      const AvGraph::Node& n = g.nodes()[static_cast<size_t>(node)];
+      if (!n.recursive_atom) {
+        analysis.atoms_on_chains.insert(AtomRef{n.rule_index, n.atom_index});
+      }
+    }
+  }
+
+  if (!witness_found) {
+    analysis.exact = false;
+    analysis.note =
+        "nonzero-weight cycles exist among nodes fed by nondistinguished "
+        "variables, but no consistent simple-cycle witness was found; the "
+        "chain may be simple only in the covering graph";
+  }
+  ComputeChainConnectivity(g, core_view, &analysis);
+  return analysis;
+}
+
+}  // namespace
+
+std::string ChainWitness::ToString(const AvGraph& g) const {
+  std::vector<std::string> labels;
+  for (int n : nodes) {
+    labels.push_back(g.nodes()[static_cast<size_t>(n)].label);
+  }
+  return StrFormat("cycle [%s] weight %lld", Join(labels, " - ").c_str(),
+                   static_cast<long long>(weight));
+}
+
+Result<ChainAnalysis> DetectChains(const AvGraph& g) {
+  if (g.num_recursive_rules() == 0) {
+    return Status::InvalidArgument(
+        "chain detection requires at least one recursive rule");
+  }
+  // The two-phase linear-time algorithm relies on the component structure of
+  // Lemmas 3.1/3.2, which assumes a single *linear* rule (each distinguished
+  // variable has exactly one incident unification edge). A nonlinear rule
+  // (several recursive atoms) is handled by the general cycle enumeration,
+  // like multiple rules.
+  std::set<std::pair<int, int>> recursive_atoms;
+  for (const AvGraph::Node& n : g.nodes()) {
+    if (n.kind == AvGraph::NodeKind::kArgument && n.recursive_atom) {
+      recursive_atoms.insert({n.rule_index, n.atom_index});
+    }
+  }
+  if (g.num_recursive_rules() == 1 && recursive_atoms.size() <= 1) {
+    return DetectSingleRule(g);
+  }
+  return DetectMultiRule(g);
+}
+
+}  // namespace dire::core

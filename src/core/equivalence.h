@@ -1,0 +1,36 @@
+#ifndef DIRE_CORE_EQUIVALENCE_H_
+#define DIRE_CORE_EQUIVALENCE_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/rng.h"
+
+namespace dire::core {
+
+struct EquivalenceCheckOptions {
+  int trials = 8;          // Random databases to test.
+  int domain_size = 5;     // Constants per trial database.
+  double tuple_density = 0.4;  // Fill ratio per EDB relation (capped).
+  uint64_t seed = 42;
+};
+
+struct EquivalenceCheckResult {
+  bool equivalent = true;
+  std::string counterexample;  // Dump of the first differing trial, if any.
+};
+
+// Tests whether `a` and `b` compute the same `target` relation by evaluating
+// both on random databases over their EDB predicates. A probabilistic
+// falsifier (semantic equivalence of Datalog programs is undecidable): a
+// reported difference is a genuine counterexample; agreement on all trials
+// is strong but not conclusive evidence. Used as an engineering guard on
+// program transformations and heavily in the test suite.
+Result<EquivalenceCheckResult> CheckEquivalenceOnRandomDatabases(
+    const ast::Program& a, const ast::Program& b, const std::string& target,
+    const EquivalenceCheckOptions& options = {});
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_EQUIVALENCE_H_

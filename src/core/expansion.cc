@@ -1,0 +1,223 @@
+#include "core/expansion.h"
+
+#include <functional>
+#include <map>
+
+#include "ast/substitution.h"
+#include "base/string_util.h"
+
+namespace dire::core {
+namespace {
+
+// Subscripts every variable of `r` with "_<iteration>" (ExpandRule line 8).
+ast::Rule Subscript(const ast::Rule& r, int iteration) {
+  return ast::RenameVariables(r, StrFormat("_%d", iteration));
+}
+
+// The unification step of ExpandRule: because rule heads contain no repeated
+// variables and no constants (§2 restriction, enforced by MakeDefinition),
+// unifying the subscripted head with the CurString instance of the recursive
+// atom is a plain substitution head-var -> instance-arg.
+ast::Substitution HeadUnifier(const ast::Rule& subscripted_rule,
+                              const ast::Atom& instance) {
+  ast::Substitution s;
+  for (size_t i = 0; i < subscripted_rule.head.args.size(); ++i) {
+    s.Bind(subscripted_rule.head.args[i].text(), instance.args[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+ExpansionEnumerator::ExpansionEnumerator(const ast::RecursiveDefinition& def,
+                                         Options options)
+    : def_(def), options_(options) {
+  Partial initial;
+  initial.recursive_atom = ast::Atom(
+      def_.target, [&] {
+        std::vector<ast::Term> args;
+        for (const std::string& v : def_.head_vars) {
+          args.push_back(ast::Term::Var(v));
+        }
+        return args;
+      }());
+  partials_.push_back(std::move(initial));
+}
+
+Result<ExpansionEnumerator> ExpansionEnumerator::Create(
+    const ast::RecursiveDefinition& def, const Options& options) {
+  if (def.recursive_rules.empty()) {
+    return Status::InvalidArgument(
+        "definition has no recursive rule; its expansion is just its exit "
+        "rules");
+  }
+  for (const ast::Rule& r : def.recursive_rules) {
+    if (!ast::IsLinearRecursive(r, def.target)) {
+      return Status::InvalidArgument(
+          "ExpandRule requires linear recursive rules; not linear: " +
+          r.ToString());
+    }
+  }
+  if (def.exit_rules.empty()) {
+    return Status::InvalidArgument(
+        "definition has no exit rule; every expansion string is empty");
+  }
+  return ExpansionEnumerator(def, options);
+}
+
+ExpansionEnumerator::Partial ExpansionEnumerator::ApplyRecursive(
+    const Partial& p, const ast::Rule& r, int rule_index) const {
+  ast::Rule rule = Subscript(r, depth_);
+  ast::Substitution unifier = HeadUnifier(rule, p.recursive_atom);
+
+  Partial out;
+  out.rule_sequence = p.rule_sequence;
+  out.rule_sequence.push_back(rule_index);
+  out.atoms.assign(p.atoms.begin(),
+                   p.atoms.begin() + static_cast<long>(p.insert_at));
+  bool seen_recursive = false;
+  for (const ast::Atom& a : rule.body) {
+    ast::Atom instantiated = unifier.Apply(a);
+    if (!seen_recursive && a.predicate == def_.target) {
+      seen_recursive = true;
+      out.recursive_atom = std::move(instantiated);
+      out.insert_at = out.atoms.size();
+      continue;
+    }
+    out.atoms.push_back(std::move(instantiated));
+  }
+  out.atoms.insert(out.atoms.end(),
+                   p.atoms.begin() + static_cast<long>(p.insert_at),
+                   p.atoms.end());
+  return out;
+}
+
+std::vector<ast::Atom> ExpansionEnumerator::ApplyExit(
+    const Partial& p, const ast::Rule& r) const {
+  ast::Rule rule = Subscript(r, depth_);
+  ast::Substitution unifier = HeadUnifier(rule, p.recursive_atom);
+  std::vector<ast::Atom> out(p.atoms.begin(),
+                             p.atoms.begin() + static_cast<long>(p.insert_at));
+  for (const ast::Atom& a : rule.body) {
+    out.push_back(unifier.Apply(a));
+  }
+  out.insert(out.end(), p.atoms.begin() + static_cast<long>(p.insert_at),
+             p.atoms.end());
+  return out;
+}
+
+Result<std::vector<ExpansionString>> ExpansionEnumerator::NextLevel() {
+  std::vector<ast::Term> head;
+  for (const std::string& v : def_.head_vars) head.push_back(ast::Term::Var(v));
+
+  std::vector<ExpansionString> level;
+  for (const Partial& p : partials_) {
+    for (size_t e = 0; e < def_.exit_rules.size(); ++e) {
+      ExpansionString s;
+      s.query.head = head;
+      s.query.body = ApplyExit(p, def_.exit_rules[e]);
+      s.rule_sequence = p.rule_sequence;
+      s.exit_rule = static_cast<int>(e);
+      s.depth = depth_;
+      level.push_back(std::move(s));
+    }
+  }
+
+  // Advance CurString by one application of each recursive rule.
+  size_t next_size = partials_.size() * def_.recursive_rules.size();
+  if (next_size > options_.max_partial_strings) {
+    return Status::Inconclusive(StrFormat(
+        "expansion level %d would hold %zu partial strings (cap %zu)",
+        depth_ + 1, next_size, options_.max_partial_strings));
+  }
+  std::vector<Partial> next;
+  next.reserve(next_size);
+  for (const Partial& p : partials_) {
+    for (size_t r = 0; r < def_.recursive_rules.size(); ++r) {
+      next.push_back(
+          ApplyRecursive(p, def_.recursive_rules[r], static_cast<int>(r)));
+    }
+  }
+  partials_ = std::move(next);
+  ++depth_;
+  return level;
+}
+
+Result<ast::Atom> ExpansionEnumerator::CurrentRecursiveAtom() const {
+  if (partials_.size() != 1) {
+    return Status::InvalidArgument(
+        "CurrentRecursiveAtom requires a single recursive rule");
+  }
+  return partials_.front().recursive_atom;
+}
+
+std::vector<std::pair<std::vector<int>, std::string>>
+ExpansionEnumerator::PartialStrings() const {
+  std::vector<std::pair<std::vector<int>, std::string>> out;
+  for (const Partial& p : partials_) {
+    std::string text;
+    for (size_t i = 0; i <= p.atoms.size(); ++i) {
+      if (i == p.insert_at) {
+        if (!text.empty()) text += ' ';
+        text += p.recursive_atom.ToString();
+      }
+      if (i == p.atoms.size()) break;
+      if (!text.empty()) text += ' ';
+      text += p.atoms[i].ToString();
+    }
+    out.emplace_back(p.rule_sequence, std::move(text));
+  }
+  return out;
+}
+
+Result<std::string> RenderRuleGoalTree(const ast::RecursiveDefinition& def,
+                                       int depth) {
+  DIRE_ASSIGN_OR_RETURN(ExpansionEnumerator it,
+                        ExpansionEnumerator::Create(def));
+  // Collect all partials per level; parentage is "drop the last rule".
+  std::map<std::vector<int>, std::string> labels;
+  for (const auto& [seq, text] : it.PartialStrings()) labels[seq] = text;
+  for (int level = 0; level < depth; ++level) {
+    Result<std::vector<ExpansionString>> ignored = it.NextLevel();
+    if (!ignored.ok()) return ignored.status();
+    for (const auto& [seq, text] : it.PartialStrings()) labels[seq] = text;
+  }
+
+  std::string out;
+  // Depth-first rendering from the root (empty sequence).
+  std::function<void(const std::vector<int>&, const std::string&)> render =
+      [&](const std::vector<int>& seq, const std::string& prefix) {
+        size_t num_rules = def.recursive_rules.size();
+        std::vector<std::vector<int>> children;
+        for (size_t r = 0; r < num_rules; ++r) {
+          std::vector<int> child = seq;
+          child.push_back(static_cast<int>(r));
+          if (labels.count(child) != 0) children.push_back(std::move(child));
+        }
+        for (size_t i = 0; i < children.size(); ++i) {
+          bool last = i + 1 == children.size();
+          out += prefix + (last ? "`- " : "|- ") +
+                 StrFormat("[r%d] ", children[i].back() + 1) +
+                 labels[children[i]] + "\n";
+          render(children[i], prefix + (last ? "   " : "|  "));
+        }
+      };
+  out += labels[{}] + "\n";
+  render({}, "");
+  return out;
+}
+
+Result<std::vector<ExpansionString>> ExpandToDepth(
+    const ast::RecursiveDefinition& def, int levels,
+    const ExpansionEnumerator::Options& options) {
+  DIRE_ASSIGN_OR_RETURN(ExpansionEnumerator it,
+                        ExpansionEnumerator::Create(def, options));
+  std::vector<ExpansionString> out;
+  for (int k = 0; k < levels; ++k) {
+    DIRE_ASSIGN_OR_RETURN(std::vector<ExpansionString> level, it.NextLevel());
+    for (ExpansionString& s : level) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dire::core

@@ -1,0 +1,309 @@
+#include "core/graph_view.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace dire::core {
+namespace {
+
+int64_t Gcd(int64_t a, int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+bool WalkWeights::ContainsValue(int64_t w) const {
+  if (!connected) return false;
+  if (gcd == 0) return w == base;
+  return (w - base) % gcd == 0;
+}
+
+bool WalkWeights::ContainsPositive() const {
+  if (!connected) return false;
+  if (gcd != 0) return true;  // Unbounded in both directions.
+  return base > 0;
+}
+
+bool Intersects(const WalkWeights& a, const WalkWeights& b) {
+  if (!a.connected || !b.connected) return false;
+  // base_a + k*g_a == base_b + m*g_b has a solution iff
+  // gcd(g_a, g_b) divides base_b - base_a (with 0-gcds meaning fixed value).
+  int64_t g = Gcd(a.gcd, b.gcd);
+  int64_t diff = b.base - a.base;
+  if (g == 0) return diff == 0;
+  return diff % g == 0;
+}
+
+namespace {
+
+// Extended gcd: returns g = gcd(a, b) and x, y with a*x + b*y == g.
+int64_t ExtGcd(int64_t a, int64_t b, int64_t* x, int64_t* y) {
+  if (b == 0) {
+    *x = a >= 0 ? 1 : -1;
+    *y = 0;
+    return a >= 0 ? a : -a;
+  }
+  int64_t x1 = 0;
+  int64_t y1 = 0;
+  int64_t g = ExtGcd(b, a % b, &x1, &y1);
+  *x = y1;
+  *y = x1 - (a / b) * y1;
+  return g;
+}
+
+}  // namespace
+
+WalkWeights IntersectCosets(const WalkWeights& a, const WalkWeights& b) {
+  WalkWeights out;
+  if (!a.connected || !b.connected) return out;
+  if (a.gcd == 0 && b.gcd == 0) {
+    out.connected = a.base == b.base;
+    out.base = a.base;
+    out.gcd = 0;
+    return out;
+  }
+  if (a.gcd == 0) {
+    out.connected = b.ContainsValue(a.base);
+    out.base = a.base;
+    out.gcd = 0;
+    return out;
+  }
+  if (b.gcd == 0) {
+    out.connected = a.ContainsValue(b.base);
+    out.base = b.base;
+    out.gcd = 0;
+    return out;
+  }
+  // Solve base_a + k*g_a == base_b (mod g_b) via CRT.
+  int64_t x = 0;
+  int64_t y = 0;
+  int64_t g = ExtGcd(a.gcd, b.gcd, &x, &y);
+  int64_t diff = b.base - a.base;
+  if (diff % g != 0) return out;  // Empty.
+  int64_t lcm = a.gcd / g * b.gcd;
+  // One solution: base_a + (diff/g)*x*g_a, then reduce modulo lcm.
+  __int128 sol = static_cast<__int128>(a.base) +
+                 static_cast<__int128>(diff / g) * x * a.gcd;
+  int64_t l = lcm < 0 ? -lcm : lcm;
+  int64_t value = static_cast<int64_t>(((sol % l) + l) % l);
+  out.connected = true;
+  out.base = value;
+  out.gcd = l;
+  return out;
+}
+
+WalkWeights SumOf(const WalkWeights& a, const WalkWeights& b) {
+  WalkWeights out;
+  out.connected = a.connected && b.connected;
+  if (!out.connected) return out;
+  out.base = a.base + b.base;
+  out.gcd = Gcd(a.gcd, b.gcd);
+  return out;
+}
+
+GraphView::GraphView(const AvGraph& g, std::vector<bool> include,
+                     bool augmented)
+    : graph_(g), include_(std::move(include)) {
+  include_.resize(g.nodes().size(), false);
+  adj_.resize(g.nodes().size());
+  for (size_t e = 0; e < g.edges().size(); ++e) {
+    const AvGraph::Edge& edge = g.edges()[e];
+    if (!augmented && edge.kind == AvGraph::EdgeKind::kPredicate) continue;
+    if (!include_[static_cast<size_t>(edge.from)] ||
+        !include_[static_cast<size_t>(edge.to)]) {
+      continue;
+    }
+    int weight = edge.kind == AvGraph::EdgeKind::kUnification ? 1 : 0;
+    int idx = static_cast<int>(edges_.size());
+    edges_.push_back(ViewEdge{static_cast<int>(e), edge.from, edge.to,
+                              weight});
+    view_edges_.push_back(static_cast<int>(e));
+    adj_[static_cast<size_t>(edge.from)].emplace_back(idx, +1);
+    adj_[static_cast<size_t>(edge.to)].emplace_back(idx, -1);
+  }
+  ComputeComponents();
+  ComputeBiconnectivity();
+}
+
+GraphView GraphView::All(const AvGraph& g, bool augmented) {
+  return GraphView(g, std::vector<bool>(g.nodes().size(), true), augmented);
+}
+
+void GraphView::ComputeComponents() {
+  size_t n = include_.size();
+  component_.assign(n, -1);
+  potential_.assign(n, 0);
+
+  for (size_t start = 0; start < n; ++start) {
+    if (!include_[start] || component_[start] != -1) continue;
+    int comp = static_cast<int>(component_nodes_.size());
+    component_nodes_.emplace_back();
+    component_has_cycle_.push_back(false);
+    component_gcd_.push_back(0);
+
+    // Iterative DFS building a spanning tree; every non-tree edge closes a
+    // fundamental cycle whose weight feeds the component gcd.
+    std::vector<std::pair<int, int>> stack;  // (node, incoming view-edge idx)
+    component_[start] = comp;
+    component_nodes_.back().push_back(static_cast<int>(start));
+    stack.emplace_back(static_cast<int>(start), -1);
+    std::vector<bool> edge_used(edges_.size(), false);
+    while (!stack.empty()) {
+      auto [u, via] = stack.back();
+      stack.pop_back();
+      for (const auto& [edge_idx, dir] : adj_[static_cast<size_t>(u)]) {
+        if (edge_used[static_cast<size_t>(edge_idx)]) continue;
+        edge_used[static_cast<size_t>(edge_idx)] = true;
+        const ViewEdge& e = edges_[static_cast<size_t>(edge_idx)];
+        int v = dir > 0 ? e.v : e.u;
+        int64_t w = dir > 0 ? e.weight : -e.weight;
+        if (component_[static_cast<size_t>(v)] == -1) {
+          component_[static_cast<size_t>(v)] = comp;
+          component_nodes_.back().push_back(v);
+          potential_[static_cast<size_t>(v)] =
+              potential_[static_cast<size_t>(u)] + w;
+          stack.emplace_back(v, edge_idx);
+        } else {
+          // Non-tree edge: fundamental cycle weight.
+          component_has_cycle_.back() = true;
+          int64_t cycle = potential_[static_cast<size_t>(u)] + w -
+                          potential_[static_cast<size_t>(v)];
+          component_gcd_.back() = Gcd(component_gcd_.back(), cycle);
+        }
+      }
+      (void)via;
+    }
+  }
+}
+
+WalkWeights GraphView::Weights(int u, int v) const {
+  WalkWeights out;
+  int cu = component_[static_cast<size_t>(u)];
+  int cv = component_[static_cast<size_t>(v)];
+  if (cu == -1 || cu != cv) return out;
+  out.connected = true;
+  out.base = potential_[static_cast<size_t>(v)] -
+             potential_[static_cast<size_t>(u)];
+  out.gcd = component_gcd_[static_cast<size_t>(cu)];
+  return out;
+}
+
+void GraphView::ComputeBiconnectivity() {
+  size_t n = include_.size();
+  on_cycle_.assign(n, false);
+  on_nonzero_cycle_.assign(n, false);
+
+  // Standard lowpoint biconnectivity with an edge stack, iterative to avoid
+  // deep recursion. Parallel edges are distinct edges, so a doubled edge
+  // forms a two-edge biconnected component (a cycle), as required by the
+  // paper's Figure 2 (the t2 - Y - t2 cycle).
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, -1);
+  std::vector<int> edge_stack;
+  int timer = 0;
+
+  struct Frame {
+    int node;
+    int parent_edge;
+    size_t next_adj = 0;
+  };
+
+  auto process_component = [&](const std::vector<int>& comp_edges) {
+    if (comp_edges.size() < 2) return;  // A bridge is not a cycle.
+    // Collect the component's nodes and test for a nonzero-weight cycle by
+    // checking fundamental cycles of the component's own spanning tree.
+    std::map<int, int64_t> pot;
+    std::map<int, std::vector<std::pair<int, int>>> local_adj;
+    for (int idx : comp_edges) {
+      const ViewEdge& e = edges_[static_cast<size_t>(idx)];
+      local_adj[e.u].emplace_back(idx, +1);
+      local_adj[e.v].emplace_back(idx, -1);
+    }
+    bool nonzero = false;
+    std::vector<bool> used(edges_.size(), false);
+    for (const auto& [root, unused] : local_adj) {
+      if (pot.count(root) != 0) continue;
+      pot[root] = 0;
+      std::vector<int> stack{root};
+      while (!stack.empty()) {
+        int u = stack.back();
+        stack.pop_back();
+        for (const auto& [idx, dir] : local_adj[u]) {
+          if (used[static_cast<size_t>(idx)]) continue;
+          used[static_cast<size_t>(idx)] = true;
+          const ViewEdge& e = edges_[static_cast<size_t>(idx)];
+          int v = dir > 0 ? e.v : e.u;
+          int64_t w = dir > 0 ? e.weight : -e.weight;
+          auto it = pot.find(v);
+          if (it == pot.end()) {
+            pot[v] = pot[u] + w;
+            stack.push_back(v);
+          } else if (pot[u] + w != it->second) {
+            nonzero = true;
+          }
+        }
+      }
+    }
+    for (const auto& [node, unused] : local_adj) {
+      on_cycle_[static_cast<size_t>(node)] = true;
+      if (nonzero) on_nonzero_cycle_[static_cast<size_t>(node)] = true;
+    }
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (!include_[start] || disc[start] != -1) continue;
+    std::vector<Frame> frames;
+    disc[start] = low[start] = timer++;
+    frames.push_back(Frame{static_cast<int>(start), -1});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      size_t u = static_cast<size_t>(f.node);
+      if (f.next_adj < adj_[u].size()) {
+        auto [edge_idx, dir] = adj_[u][f.next_adj++];
+        if (edge_idx == f.parent_edge) continue;
+        const ViewEdge& e = edges_[static_cast<size_t>(edge_idx)];
+        int v = dir > 0 ? e.v : e.u;
+        size_t sv = static_cast<size_t>(v);
+        if (disc[sv] == -1) {
+          edge_stack.push_back(edge_idx);
+          disc[sv] = low[sv] = timer++;
+          frames.push_back(Frame{v, edge_idx});
+        } else if (disc[sv] < disc[u]) {
+          // Back edge.
+          edge_stack.push_back(edge_idx);
+          low[u] = std::min(low[u], disc[sv]);
+        }
+      } else {
+        int child_edge = f.parent_edge;
+        int child = f.node;
+        frames.pop_back();
+        if (frames.empty()) break;
+        Frame& parent = frames.back();
+        size_t pu = static_cast<size_t>(parent.node);
+        low[pu] = std::min(low[pu], low[static_cast<size_t>(child)]);
+        if (low[static_cast<size_t>(child)] >= disc[pu]) {
+          // parent is an articulation point (or root): pop one component.
+          std::vector<int> comp;
+          while (!edge_stack.empty()) {
+            int idx = edge_stack.back();
+            edge_stack.pop_back();
+            comp.push_back(idx);
+            if (idx == child_edge) break;
+          }
+          process_component(comp);
+        }
+      }
+    }
+    edge_stack.clear();
+  }
+}
+
+}  // namespace dire::core

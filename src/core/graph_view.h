@@ -1,0 +1,114 @@
+#ifndef DIRE_CORE_GRAPH_VIEW_H_
+#define DIRE_CORE_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/av_graph.h"
+
+namespace dire::core {
+
+// The set of weights achievable by walks between two fixed nodes of a
+// GraphView. Reversing a walk negates its weight, so the achievable set is
+// the coset base + gcd*Z (gcd == 0 means exactly {base}). `connected` false
+// means no walk exists.
+struct WalkWeights {
+  bool connected = false;
+  int64_t base = 0;
+  int64_t gcd = 0;
+
+  bool ContainsValue(int64_t w) const;
+  bool ContainsPositive() const;
+};
+
+// True if the two weight sets share an element.
+bool Intersects(const WalkWeights& a, const WalkWeights& b);
+
+// The intersection coset of the two weight sets (CRT); connected == false
+// when the intersection is empty.
+WalkWeights IntersectCosets(const WalkWeights& a, const WalkWeights& b);
+
+// The set of sums {x + y | x in a, y in b}; connected only if both are.
+WalkWeights SumOf(const WalkWeights& a, const WalkWeights& b);
+
+// A filtered, weighted, undirected view of an A/V graph restricted to a node
+// subset, optionally including predicate edges (the "augmented" graph of
+// §4.1). Computes, once, the connected components, spanning-tree potentials,
+// per-component cycle structure, and the nodes lying on (nonzero-weight)
+// cycles — the primitives behind the paper's §4 and §5 tests.
+class GraphView {
+ public:
+  // `include[v]` selects the nodes; edges are kept when both endpoints are
+  // included (and, unless `augmented`, the edge is not a predicate edge).
+  GraphView(const AvGraph& g, std::vector<bool> include, bool augmented);
+
+  // Convenience: all nodes.
+  static GraphView All(const AvGraph& g, bool augmented);
+
+  int num_nodes() const { return static_cast<int>(include_.size()); }
+  bool Included(int v) const { return include_[static_cast<size_t>(v)]; }
+
+  // Component id of v, or -1 if v is excluded.
+  int ComponentOf(int v) const { return component_[static_cast<size_t>(v)]; }
+  int num_components() const { return static_cast<int>(component_nodes_.size()); }
+  const std::vector<int>& ComponentNodes(int c) const {
+    return component_nodes_[static_cast<size_t>(c)];
+  }
+
+  // Spanning-tree potential of v relative to its component root: the weight
+  // of the tree walk root -> v.
+  int64_t Potential(int v) const { return potential_[static_cast<size_t>(v)]; }
+
+  // True if component c contains any cycle (parallel edges included).
+  bool ComponentHasCycle(int c) const {
+    return component_has_cycle_[static_cast<size_t>(c)];
+  }
+  // gcd of the absolute weights of the component's fundamental cycles
+  // (0 when every cycle has weight zero or there are no cycles).
+  int64_t ComponentCycleGcd(int c) const {
+    return component_gcd_[static_cast<size_t>(c)];
+  }
+
+  // Walk weights u -> v: {pot(v)-pot(u) + gcd*Z} when connected (weights of
+  // all walks; see WalkWeights).
+  WalkWeights Weights(int u, int v) const;
+
+  // v lies on some simple cycle (biconnected component with >= 2 edges).
+  bool OnCycle(int v) const { return on_cycle_[static_cast<size_t>(v)]; }
+  // v lies on some simple cycle of nonzero weight.
+  bool OnNonzeroCycle(int v) const {
+    return on_nonzero_cycle_[static_cast<size_t>(v)];
+  }
+
+  // The view's edges as (edge id in the A/V graph).
+  const std::vector<int>& ViewEdges() const { return view_edges_; }
+
+ private:
+  struct ViewEdge {
+    int id;  // A/V graph edge id.
+    int u;
+    int v;
+    int weight;  // Traversed u -> v.
+  };
+
+  void ComputeComponents();
+  void ComputeBiconnectivity();
+
+  const AvGraph& graph_;
+  std::vector<bool> include_;
+  std::vector<ViewEdge> edges_;
+  std::vector<int> view_edges_;
+  std::vector<std::vector<std::pair<int, int>>> adj_;  // (edge idx, dir +1/-1)
+
+  std::vector<int> component_;
+  std::vector<int64_t> potential_;
+  std::vector<std::vector<int>> component_nodes_;
+  std::vector<bool> component_has_cycle_;
+  std::vector<int64_t> component_gcd_;
+  std::vector<bool> on_cycle_;
+  std::vector<bool> on_nonzero_cycle_;
+};
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_GRAPH_VIEW_H_

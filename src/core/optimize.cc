@@ -1,0 +1,190 @@
+#include "core/optimize.h"
+
+#include <set>
+
+#include "base/string_util.h"
+#include "core/av_graph.h"
+#include "core/graph_view.h"
+
+namespace dire::core {
+namespace {
+
+ast::Program OriginalProgram(const ast::RecursiveDefinition& def) {
+  ast::Program p;
+  p.rules = def.recursive_rules;
+  for (const ast::Rule& r : def.exit_rules) p.rules.push_back(r);
+  return p;
+}
+
+ast::Atom HeadAtom(const std::string& predicate,
+                   const std::vector<std::string>& head_vars) {
+  std::vector<ast::Term> args;
+  for (const std::string& v : head_vars) args.push_back(ast::Term::Var(v));
+  return ast::Atom(predicate, std::move(args));
+}
+
+}  // namespace
+
+Result<HoistResult> HoistUnconnectedPredicates(
+    const ast::RecursiveDefinition& def, const HoistOptions& options) {
+  HoistResult out;
+  out.program = OriginalProgram(def);
+
+  if (def.recursive_rules.size() != 1) {
+    out.note = "hoisting is implemented for a single linear recursive rule";
+    return out;
+  }
+  const ast::Rule& rule = def.recursive_rules.front();
+  if (!ast::IsLinearRecursive(rule, def.target)) {
+    out.note = "recursive rule is not linear";
+    return out;
+  }
+  if (def.exit_rules.empty()) {
+    out.note = "no exit rule; nothing to evaluate";
+    return out;
+  }
+
+  DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  if (!chains.has_chain_generating_path) {
+    out.note =
+        "no unbounded chain: the definition is strongly data independent; "
+        "use BoundedRewrite instead of hoisting";
+    return out;
+  }
+
+  // Candidates: nonrecursive atoms not connected to any unbounded chain
+  // (Def 6.1). Indexed by body atom position.
+  std::set<int> candidates;
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (rule.body[j].predicate == def.target) continue;
+    if (chains.chain_connected_atoms.count(AtomRef{0, static_cast<int>(j)}) ==
+        0) {
+      candidates.insert(static_cast<int>(j));
+    }
+  }
+  if (candidates.empty()) {
+    out.note = "every nonrecursive atom is connected to an unbounded chain";
+    return out;
+  }
+
+  // Structural stability filter (see header): iterate to a fixpoint because
+  // removing an atom can strand a variable component another atom relies on.
+  GraphView view = GraphView::All(graph, /*augmented=*/false);
+  std::set<int> hoistable = candidates;
+  bool changed_set = true;
+  while (changed_set) {
+    changed_set = false;
+    for (auto it = hoistable.begin(); it != hoistable.end();) {
+      int j = *it;
+      const ast::Atom& atom = rule.body[static_cast<size_t>(j)];
+      bool ok = true;
+      for (const ast::Term& t : atom.args) {
+        if (!t.IsVariable()) {
+          ok = false;
+          break;
+        }
+        int v = graph.VariableNode(t.text());
+        const AvGraph::Node& vn = graph.nodes()[static_cast<size_t>(v)];
+        if (vn.distinguished) {
+          // Stable iff the variable reappears in the same role every
+          // iteration: it rides a cycle whose weights generate all of Z.
+          int c = view.ComponentOf(v);
+          if (!view.OnCycle(v) || c < 0 || view.ComponentCycleGcd(c) != 1) {
+            ok = false;
+            break;
+          }
+        } else {
+          // Private iff its component holds no recursive-atom argument and
+          // only argument positions of atoms being hoisted.
+          int c = view.ComponentOf(v);
+          for (int node : view.ComponentNodes(c)) {
+            const AvGraph::Node& n = graph.nodes()[static_cast<size_t>(node)];
+            if (n.kind != AvGraph::NodeKind::kArgument) continue;
+            if (n.in_exit_rule || n.recursive_atom ||
+                hoistable.count(n.atom_index) == 0) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+      }
+      if (!ok) {
+        it = hoistable.erase(it);
+        changed_set = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (hoistable.empty()) {
+    out.note =
+        "unconnected atoms exist but none passed the structural stability "
+        "check";
+    return out;
+  }
+
+  // Pick a fresh auxiliary predicate name.
+  std::string aux = options.aux_predicate.empty() ? def.target + "__core"
+                                                  : options.aux_predicate;
+  {
+    std::set<std::string> taken;
+    for (const ast::Rule& r : out.program.rules) {
+      taken.insert(r.head.predicate);
+      for (const ast::Atom& a : r.body) taken.insert(a.predicate);
+    }
+    while (taken.count(aux) != 0) aux += "_";
+  }
+
+  // Assemble the transformed program.
+  ast::Program transformed;
+  ast::Atom t_head = HeadAtom(def.target, def.head_vars);
+  ast::Atom aux_head = HeadAtom(aux, def.head_vars);
+
+  for (const ast::Rule& e : def.exit_rules) {
+    transformed.rules.push_back(ast::Rule(t_head, e.body));
+  }
+  std::vector<ast::Atom> bridge_body;
+  std::vector<ast::Atom> core_body;
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    ast::Atom a = rule.body[j];
+    if (a.predicate == def.target) a.predicate = aux;
+    bridge_body.push_back(a);
+    if (hoistable.count(static_cast<int>(j)) == 0) {
+      core_body.push_back(a);
+    } else {
+      out.hoisted.push_back(rule.body[j]);
+    }
+  }
+  transformed.rules.push_back(ast::Rule(t_head, bridge_body));
+  transformed.rules.push_back(ast::Rule(aux_head, core_body));
+  for (const ast::Rule& e : def.exit_rules) {
+    transformed.rules.push_back(ast::Rule(aux_head, e.body));
+  }
+
+  if (options.verify) {
+    DIRE_ASSIGN_OR_RETURN(
+        EquivalenceCheckResult check,
+        CheckEquivalenceOnRandomDatabases(out.program, transformed,
+                                          def.target,
+                                          options.verify_options));
+    if (!check.equivalent) {
+      out.note =
+          "hoisting verification failed; returning the original program "
+          "unchanged:\n" +
+          check.counterexample;
+      out.hoisted.clear();
+      return out;
+    }
+  }
+
+  out.changed = true;
+  out.program = std::move(transformed);
+  out.aux_predicate = aux;
+  out.note = StrFormat("hoisted %zu atom(s) out of the recursion",
+                       out.hoisted.size());
+  return out;
+}
+
+}  // namespace dire::core

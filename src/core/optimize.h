@@ -1,0 +1,56 @@
+#ifndef DIRE_CORE_OPTIMIZE_H_
+#define DIRE_CORE_OPTIMIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/chain.h"
+#include "core/equivalence.h"
+
+namespace dire::core {
+
+struct HoistOptions {
+  // Name for the auxiliary predicate carrying the stripped recursion;
+  // "<target>__core" when empty.
+  std::string aux_predicate;
+  // Verify the transformation against the original definition on random
+  // databases before returning it (engineering guard; the structural
+  // soundness conditions are conservative already).
+  bool verify = true;
+  EquivalenceCheckOptions verify_options;
+};
+
+struct HoistResult {
+  bool changed = false;
+
+  // Equivalent program. When changed:
+  //   target(H) :- <exit body>.                       (one per exit rule)
+  //   target(H) :- <hoisted atoms>, <kept atoms>, aux(T).
+  //   aux(H)    :- <kept atoms>, aux(T).
+  //   aux(H)    :- <exit body>.                       (one per exit rule)
+  // so the hoisted atoms are evaluated once per derivation instead of once
+  // per recursion level (Theorem 6.1 / the paper's Example 6.1).
+  ast::Program program;
+
+  // The atoms moved out of the recursion.
+  std::vector<ast::Atom> hoisted;
+  std::string aux_predicate;
+  std::string note;
+};
+
+// §6 loop-invariant hoisting. Detects the nonrecursive atoms of a single
+// linear recursive rule that are not connected to any unbounded chain
+// (Def 6.1, computed by DetectChains) and, for those that additionally pass
+// a structural stability check (each variable either rides a weight-1 cycle
+// of distinguished variables, or lives in a variable component private to
+// hoisted atoms), rewrites the definition so they are evaluated a bounded
+// number of times (Theorem 6.1). Returns changed == false (with a note)
+// when nothing can be hoisted.
+Result<HoistResult> HoistUnconnectedPredicates(
+    const ast::RecursiveDefinition& def, const HoistOptions& options = {});
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_OPTIMIZE_H_

@@ -1,0 +1,155 @@
+#include "core/plan_program.h"
+
+#include <map>
+#include <set>
+
+#include "ast/classify.h"
+#include "ast/dependency.h"
+#include "base/string_util.h"
+#include "core/weak.h"
+
+namespace dire::core {
+
+const char* ActionName(PredicateReport::Action action) {
+  switch (action) {
+    case PredicateReport::Action::kRewritten:
+      return "rewritten";
+    case PredicateReport::Action::kHoisted:
+      return "hoisted";
+    case PredicateReport::Action::kUnchanged:
+      return "unchanged";
+    case PredicateReport::Action::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+std::string ProgramPlan::Summary() const {
+  std::string out;
+  for (const PredicateReport& r : reports) {
+    out += StrFormat("%-16s %-10s %s\n", r.predicate.c_str(),
+                     ActionName(r.action), r.note.c_str());
+  }
+  return out;
+}
+
+namespace {
+
+// Plans one directly-recursive predicate; returns the replacement rules for
+// it (or the original rules when nothing applies).
+PredicateReport PlanPredicate(const ast::Program& program,
+                              const std::string& predicate,
+                              const PlanProgramOptions& options,
+                              std::vector<ast::Rule>* replacement) {
+  PredicateReport report;
+  report.predicate = predicate;
+
+  Result<ast::RecursiveDefinition> def =
+      ast::MakeDefinition(program, predicate);
+  if (!def.ok()) {
+    report.note = def.status().message();
+    return report;
+  }
+
+  Result<StrongIndependenceResult> strong = TestStrongIndependence(*def);
+  if (!strong.ok()) {
+    report.note = strong.status().message();
+    return report;
+  }
+  report.strong_verdict = strong->verdict;
+
+  bool independent = strong->verdict == Verdict::kIndependent;
+  if (!independent && !def->exit_rules.empty()) {
+    Result<WeakIndependenceResult> weak = TestWeakIndependence(*def);
+    independent = weak.ok() && weak->verdict == Verdict::kIndependent;
+  }
+
+  if (independent && options.enable_rewrite) {
+    Result<RewriteResult> rewrite = BoundedRewrite(*def, options.rewrite);
+    if (rewrite.ok() &&
+        rewrite->outcome == RewriteResult::Outcome::kBounded) {
+      *replacement = rewrite->rewritten.rules;
+      report.action = PredicateReport::Action::kRewritten;
+      report.note = StrFormat("data independent; %zu nonrecursive rules "
+                              "(bound %d)",
+                              replacement->size(), rewrite->bound);
+      return report;
+    }
+    report.action = PredicateReport::Action::kUnchanged;
+    report.note =
+        "independent but the rewrite budget ran out; kept the recursion";
+    return report;
+  }
+
+  if (options.enable_hoist) {
+    Result<HoistResult> hoist =
+        HoistUnconnectedPredicates(*def, options.hoist);
+    if (hoist.ok() && hoist->changed) {
+      *replacement = hoist->program.rules;
+      report.action = PredicateReport::Action::kHoisted;
+      report.note = hoist->note;
+      return report;
+    }
+  }
+
+  report.action = PredicateReport::Action::kUnchanged;
+  report.note = strong->verdict == Verdict::kDependent
+                    ? "data dependent; evaluate with semi-naive"
+                    : "no applicable transformation";
+  return report;
+}
+
+}  // namespace
+
+Result<ProgramPlan> OptimizeProgram(const ast::Program& program,
+                                    const PlanProgramOptions& options) {
+  ast::DependencyGraph deps(program);
+
+  // Directly recursive predicates in singleton components; mutual recursion
+  // is outside the paper's framework and passes through.
+  std::set<std::string> candidates;
+  std::map<std::string, std::string> skip_reason;
+  for (const std::vector<std::string>& stratum : deps.Strata()) {
+    for (const std::string& p : stratum) {
+      if (!deps.IsRecursive(p)) continue;
+      if (stratum.size() > 1) {
+        skip_reason[p] = "mutually recursive component";
+      } else {
+        candidates.insert(p);
+      }
+    }
+  }
+
+  ProgramPlan plan;
+  std::map<std::string, std::vector<ast::Rule>> replacements;
+  for (const std::string& p : candidates) {
+    std::vector<ast::Rule> replacement;
+    PredicateReport report =
+        PlanPredicate(program, p, options, &replacement);
+    if (!replacement.empty()) replacements[p] = std::move(replacement);
+    plan.reports.push_back(std::move(report));
+  }
+  for (const auto& [p, reason] : skip_reason) {
+    PredicateReport report;
+    report.predicate = p;
+    report.action = PredicateReport::Action::kSkipped;
+    report.note = reason;
+    plan.reports.push_back(std::move(report));
+  }
+
+  // Assemble: keep every rule whose head was not replaced; append the
+  // replacement rule sets in predicate order.
+  std::set<std::string> replaced;
+  for (const auto& [p, rules] : replacements) replaced.insert(p);
+  for (const ast::Rule& r : program.rules) {
+    if (replaced.count(r.head.predicate) == 0) {
+      plan.optimized.rules.push_back(r);
+    }
+  }
+  for (const auto& [p, rules] : replacements) {
+    for (const ast::Rule& r : rules) plan.optimized.rules.push_back(r);
+  }
+  return plan;
+}
+
+}  // namespace dire::core

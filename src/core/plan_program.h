@@ -1,0 +1,68 @@
+#ifndef DIRE_CORE_PLAN_PROGRAM_H_
+#define DIRE_CORE_PLAN_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "core/optimize.h"
+#include "core/rewrite.h"
+#include "core/strong.h"
+
+namespace dire::core {
+
+// The whole-program optimization pass sketched at the close of the paper's
+// §6: "testing for chain generating paths and removing predicates from the
+// recursive rule ... may be a useful part of a query planning process."
+// For every directly recursive predicate whose definition the paper's
+// analysis covers, the planner
+//   1. runs the boundedness analysis;
+//   2. replaces a (strongly or weakly) data independent recursion with its
+//      nonrecursive rewrite (Theorem 2.1);
+//   3. otherwise hoists chain-unconnected predicates (Theorem 6.1);
+//   4. otherwise leaves the definition unchanged.
+// Facts, nonrecursive rules, mutually recursive components, and rules
+// outside the analyzable class pass through untouched (with a report entry
+// saying why).
+
+struct PlanProgramOptions {
+  RewriteOptions rewrite;
+  HoistOptions hoist;
+  // Skip the rewrite step even for independent definitions (useful to
+  // isolate hoisting in ablations).
+  bool enable_rewrite = true;
+  bool enable_hoist = true;
+};
+
+struct PredicateReport {
+  std::string predicate;
+  enum class Action {
+    kRewritten,   // Recursion replaced by nonrecursive rules.
+    kHoisted,     // Loop-invariant atoms moved out (Theorem 6.1).
+    kUnchanged,   // Recursive, but nothing applied.
+    kSkipped,     // Outside the analyzable class (reason in `note`).
+  };
+  Action action = Action::kSkipped;
+  Verdict strong_verdict = Verdict::kUnknown;
+  std::string note;
+};
+
+const char* ActionName(PredicateReport::Action action);
+
+struct ProgramPlan {
+  // The equivalent optimized program (original rule order preserved where
+  // rules were kept; replacements appended per predicate).
+  ast::Program optimized;
+  std::vector<PredicateReport> reports;
+
+  // Multi-line summary of what happened per predicate.
+  std::string Summary() const;
+};
+
+Result<ProgramPlan> OptimizeProgram(const ast::Program& program,
+                                    const PlanProgramOptions& options = {});
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_PLAN_PROGRAM_H_

@@ -1,0 +1,220 @@
+#include "core/related_work.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace dire::core {
+namespace {
+
+// Body atoms in which each variable occurs.
+std::map<std::string, std::set<size_t>> AtomsOfVariables(
+    const ast::Rule& rule) {
+  std::map<std::string, std::set<size_t>> out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    for (const ast::Term& t : rule.body[i].args) {
+      if (t.IsVariable()) out[t.text()].insert(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MinkerNicolasResult> TestMinkerNicolas(
+    const ast::RecursiveDefinition& def) {
+  if (def.recursive_rules.size() != 1) {
+    return Status::InvalidArgument(
+        "the Minker–Nicolas comparator handles one recursive rule");
+  }
+  const ast::Rule& rule = def.recursive_rules.front();
+  MinkerNicolasResult out;
+
+  if (!ast::IsLinearRecursive(rule, def.target)) {
+    out.reason = "nonlinear recursion (outside this implementation's scope)";
+    return out;
+  }
+
+  std::set<std::string> nondist = rule.NondistinguishedVariables();
+
+  // Rule 1: no nondistinguished variable shared between predicates.
+  for (const auto& [var, atoms] : AtomsOfVariables(rule)) {
+    if (nondist.count(var) != 0 && atoms.size() > 1) {
+      out.reason = "nondistinguished variable '" + var +
+                   "' is shared between body predicates";
+      return out;
+    }
+  }
+
+  // Rule 2: no permutation of distinguished variables, except in atoms
+  // containing no nondistinguished variable. We check the recursive atom
+  // (where "position" aligns with the head): if it carries any
+  // nondistinguished variable, every distinguished variable in it must sit
+  // at its own head position.
+  for (const ast::Atom& atom : rule.body) {
+    if (atom.predicate != def.target) continue;
+    bool has_nondist = false;
+    for (const ast::Term& t : atom.args) {
+      if (t.IsVariable() && nondist.count(t.text()) != 0) has_nondist = true;
+    }
+    if (!has_nondist) continue;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const ast::Term& t = atom.args[p];
+      if (t.IsVariable() && nondist.count(t.text()) == 0 &&
+          t.text() != def.head_vars[p]) {
+        out.reason = StrFormat(
+            "distinguished variable '%s' is permuted into position %zu of "
+            "the recursive atom, which carries nondistinguished variables",
+            t.text().c_str(), p + 1);
+        return out;
+      }
+    }
+  }
+
+  out.in_class = true;
+  out.independent = true;
+  out.reason =
+      "in the Minker–Nicolas class: every resolution branch terminates by "
+      "subsumption, so the rule is strongly data independent";
+  return out;
+}
+
+Result<IoannidisResult> TestIoannidis(const ast::RecursiveDefinition& def) {
+  if (def.recursive_rules.size() != 1) {
+    return Status::InvalidArgument(
+        "the Ioannidis comparator handles one recursive rule");
+  }
+  const ast::Rule& rule = def.recursive_rules.front();
+  if (!ast::IsLinearRecursive(rule, def.target)) {
+    return Status::InvalidArgument(
+        "the Ioannidis comparator requires a linear recursive rule");
+  }
+
+  IoannidisResult out;
+  const ast::Atom* recursive_atom = nullptr;
+  for (const ast::Atom& a : rule.body) {
+    if (a.predicate == def.target) recursive_atom = &a;
+  }
+
+  // Class check: no nonempty subset S of positions of the recursive atom
+  // such that the multiset of its variables at S equals the multiset of head
+  // variables at S.
+  size_t arity = def.arity;
+  bool permutation_found = false;
+  for (size_t mask = 1; mask < (1u << arity); ++mask) {
+    std::multiset<std::string> body_side;
+    std::multiset<std::string> head_side;
+    bool all_vars = true;
+    for (size_t p = 0; p < arity; ++p) {
+      if ((mask & (1u << p)) == 0) continue;
+      const ast::Term& t = recursive_atom->args[p];
+      if (!t.IsVariable()) {
+        all_vars = false;
+        break;
+      }
+      body_side.insert(t.text());
+      head_side.insert(def.head_vars[p]);
+    }
+    if (all_vars && body_side == head_side) {
+      permutation_found = true;
+      break;
+    }
+  }
+  out.in_class = !permutation_found;
+
+  // Alpha-graph: variable nodes only.
+  //   * weight-0 edges between variables co-occurring in a nonrecursive atom
+  //   * weight-1 edges from the variable at recursive-atom position p to the
+  //     head variable of position p (possibly a self loop).
+  struct AlphaEdge {
+    std::string u;
+    std::string v;
+    int weight;  // Traversed u -> v.
+  };
+  std::vector<AlphaEdge> edges;
+  for (const ast::Atom& atom : rule.body) {
+    if (atom.predicate == def.target) {
+      for (size_t p = 0; p < atom.args.size(); ++p) {
+        edges.push_back(
+            AlphaEdge{atom.args[p].text(), def.head_vars[p], 1});
+      }
+    } else {
+      std::vector<std::string> vars = atom.Variables();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        for (size_t j = i + 1; j < vars.size(); ++j) {
+          edges.push_back(AlphaEdge{vars[i], vars[j], 0});
+        }
+      }
+    }
+  }
+
+  std::set<std::string> nondist = rule.NondistinguishedVariables();
+
+  // Nodes reachable from some nondistinguished variable.
+  std::map<std::string, std::vector<std::pair<size_t, int>>> adj;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].u].emplace_back(e, +1);
+    adj[edges[e].v].emplace_back(e, -1);
+  }
+  std::set<std::string> reachable;
+  std::vector<std::string> stack(nondist.begin(), nondist.end());
+  for (const std::string& w : stack) reachable.insert(w);
+  while (!stack.empty()) {
+    std::string u = stack.back();
+    stack.pop_back();
+    for (const auto& [e, dir] : adj[u]) {
+      const std::string& v = dir > 0 ? edges[e].v : edges[e].u;
+      if (reachable.insert(v).second) stack.push_back(v);
+    }
+  }
+
+  // Potential-conflict search (Ioannidis Algorithm 6.1 / the paper's
+  // phase 2) restricted to the reachable nodes, self loops included.
+  std::map<std::string, int64_t> pot;
+  bool conflict = false;
+  for (const std::string& start : reachable) {
+    if (pot.count(start) != 0) continue;
+    pot[start] = 0;
+    std::vector<std::string> dfs{start};
+    std::set<size_t> used;
+    while (!dfs.empty() && !conflict) {
+      std::string u = dfs.back();
+      dfs.pop_back();
+      for (const auto& [e, dir] : adj[u]) {
+        if (reachable.count(edges[e].u) == 0 ||
+            reachable.count(edges[e].v) == 0) {
+          continue;
+        }
+        if (!used.insert(e).second) continue;
+        const std::string& v = dir > 0 ? edges[e].v : edges[e].u;
+        int64_t w = dir > 0 ? edges[e].weight : -edges[e].weight;
+        if (edges[e].u == edges[e].v && edges[e].weight != 0) {
+          conflict = true;  // Nonzero self loop.
+          break;
+        }
+        auto it = pot.find(v);
+        if (it == pot.end()) {
+          pot[v] = pot[u] + w;
+          dfs.push_back(v);
+        } else if (pot[u] + w != it->second) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) break;
+  }
+
+  out.alpha_graph_independent = !conflict;
+  out.reason = out.in_class
+                   ? (conflict ? "alpha-graph cycle of nonzero weight "
+                                 "reachable from a nondistinguished variable"
+                               : "no nonzero alpha-graph cycle")
+                   : "a subset of recursive-atom positions permutes the head "
+                     "variables; the alpha-graph verdict is advisory only";
+  return out;
+}
+
+}  // namespace dire::core

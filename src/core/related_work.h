@@ -1,0 +1,64 @@
+#ifndef DIRE_CORE_RELATED_WORK_H_
+#define DIRE_CORE_RELATED_WORK_H_
+
+#include <string>
+
+#include "ast/classify.h"
+#include "base/result.h"
+
+namespace dire::core {
+
+// Implementations of the two prior tests the paper compares against in its
+// introduction. They serve as baselines: the test suite checks that this
+// library's chain-generating-path analysis subsumes both on their own
+// classes (the paper's claim of generality).
+
+// ---------------------------------------------------------------------------
+// Minker–Nicolas [10] (paper §1): a syntactic class of recursive rules whose
+// membership is sufficient for strong data independence. Their class
+//   * disallows nondistinguished variables shared between body predicates,
+//   * excludes permutations of distinguished variables, except in predicates
+//     in which no nondistinguished variable appears.
+// ---------------------------------------------------------------------------
+
+struct MinkerNicolasResult {
+  bool in_class = false;
+  // Only meaningful when in_class: rules in the class are strongly data
+  // independent (all resolution branches terminate by subsumption).
+  bool independent = false;
+  std::string reason;
+};
+
+// Checks the Minker–Nicolas class for a single recursive rule.
+Result<MinkerNicolasResult> TestMinkerNicolas(
+    const ast::RecursiveDefinition& def);
+
+// ---------------------------------------------------------------------------
+// Ioannidis [7] (paper §1/§4.2): the alpha-graph. Like the A/V graph but
+// with variable nodes only: co-occurrence in a nonrecursive predicate gives
+// a weight-0 edge, a recursive-atom position gives a weight-1 edge to the
+// head variable of that position. His cycle test (Algorithm 6.1, which the
+// paper reuses as phase 2) decides strong data independence for rules in
+// which no subset of recursive-atom positions carries a permutation of the
+// corresponding head variables.
+// ---------------------------------------------------------------------------
+
+struct IoannidisResult {
+  // True if the rule is in Ioannidis's class: no subset of argument
+  // positions of the recursive body atom holds a permutation of the head
+  // variables at the same positions (including the trivial permutation).
+  bool in_class = false;
+  // The alpha-graph verdict: true iff the alpha-graph has no nonzero-weight
+  // cycle reachable from a nondistinguished variable. On the class above
+  // this is a necessary and sufficient condition for strong data
+  // independence; outside it the alpha-graph loses information (no argument
+  // nodes) and is only advisory.
+  bool alpha_graph_independent = false;
+  std::string reason;
+};
+
+Result<IoannidisResult> TestIoannidis(const ast::RecursiveDefinition& def);
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_RELATED_WORK_H_

@@ -1,0 +1,70 @@
+#include "core/rewrite.h"
+
+#include "base/string_util.h"
+#include "cq/containment.h"
+
+namespace dire::core {
+
+Result<RewriteResult> BoundedRewrite(const ast::RecursiveDefinition& def,
+                                     const RewriteOptions& options) {
+  DIRE_ASSIGN_OR_RETURN(ExpansionEnumerator levels,
+                        ExpansionEnumerator::Create(def, options.expansion));
+
+  RewriteResult result;
+  std::vector<cq::ConjunctiveQuery> kept;
+  int last_new_level = -1;
+
+  for (int level = 0; level <= options.max_depth; ++level) {
+    auto level_strings = levels.NextLevel();
+    if (!level_strings.ok()) {
+      // Expansion blow-up (multi-rule): give up gracefully.
+      result.outcome = RewriteResult::Outcome::kInconclusive;
+      result.note = level_strings.status().ToString();
+      return result;
+    }
+    for (const ExpansionString& s : *level_strings) {
+      ++result.strings_seen;
+      if (cq::UnionContains(kept, s.query)) continue;
+      kept.push_back(s.query);
+      last_new_level = level;
+    }
+    if (last_new_level >= 0 &&
+        level - last_new_level >= options.verification_margin) {
+      result.outcome = RewriteResult::Outcome::kBounded;
+      result.bound = last_new_level;
+      break;
+    }
+  }
+
+  if (result.outcome != RewriteResult::Outcome::kBounded) {
+    result.note = StrFormat(
+        "no %d consecutive redundant levels within depth %d",
+        options.verification_margin, options.max_depth);
+    return result;
+  }
+
+  for (const cq::ConjunctiveQuery& q : kept) {
+    cq::ConjunctiveQuery emit = options.minimize_queries ? cq::Minimize(q) : q;
+    result.rewritten.rules.push_back(emit.ToRule(def.target));
+  }
+  result.strings_kept = kept.size();
+  result.note = StrFormat(
+      "bounded: every expansion string beyond level %d is contained in the "
+      "union of the %zu kept strings",
+      result.bound, result.strings_kept);
+  return result;
+}
+
+Result<int> PlanIterationBound(const ast::RecursiveDefinition& def,
+                               const RewriteOptions& options) {
+  DIRE_ASSIGN_OR_RETURN(RewriteResult r, BoundedRewrite(def, options));
+  if (r.outcome != RewriteResult::Outcome::kBounded) {
+    return Status::Inconclusive(
+        "definition not shown bounded within the rewrite budget: " + r.note);
+  }
+  // Bottom-up round k derives the strings of depth k-1, so covering depths
+  // 0..bound takes bound+1 rounds.
+  return r.bound + 1;
+}
+
+}  // namespace dire::core

@@ -1,0 +1,66 @@
+#ifndef DIRE_CORE_REWRITE_H_
+#define DIRE_CORE_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/expansion.h"
+
+namespace dire::core {
+
+struct RewriteOptions {
+  // Deepest expansion level to explore.
+  int max_depth = 12;
+  // Consecutive fully-redundant levels required before declaring the
+  // definition bounded. Theorem 2.1 only requires that *eventually* every
+  // string is mapped to by an earlier one; the margin guards against
+  // definitions that go quiet for a level and then produce new strings.
+  int verification_margin = 3;
+  // Minimize (compute the core of) each kept string before emitting rules.
+  bool minimize_queries = true;
+  ExpansionEnumerator::Options expansion;
+};
+
+struct RewriteResult {
+  enum class Outcome {
+    // An equivalent nonrecursive definition was constructed.
+    kBounded,
+    // The budget ran out before `verification_margin` redundant levels were
+    // seen. (Unavoidable in general: boundedness is undecidable.)
+    kInconclusive,
+  };
+  Outcome outcome = Outcome::kInconclusive;
+
+  // Deepest level that contributed a non-redundant string (the n0 of
+  // Theorem 2.1); -1 when inconclusive.
+  int bound = -1;
+
+  // The equivalent nonrecursive rules "t :- s_i." for the kept strings.
+  ast::Program rewritten;
+
+  size_t strings_kept = 0;
+  size_t strings_seen = 0;
+  std::string note;
+};
+
+// The constructive side of Theorem 2.1: enumerates the expansion level by
+// level, keeps each string that is not already contained in the union of the
+// kept strings (checked by containment mappings, Lemma 2.1 /
+// Sagiv–Yannakakis), and stops once `verification_margin` consecutive levels
+// add nothing. For definitions proved independent by the §4 tests this
+// terminates quickly; for data dependent definitions it returns
+// kInconclusive at max_depth.
+Result<RewriteResult> BoundedRewrite(const ast::RecursiveDefinition& def,
+                                     const RewriteOptions& options = {});
+
+// §6 first application: if the definition is bounded with rewrite bound n0,
+// a bottom-up evaluator needs exactly n0 + 1 rounds — no termination test.
+// Returns the round count, or kInconclusive.
+Result<int> PlanIterationBound(const ast::RecursiveDefinition& def,
+                               const RewriteOptions& options = {});
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_REWRITE_H_

@@ -1,0 +1,40 @@
+#include "core/strings_eval.h"
+
+#include "cq/containment.h"
+#include "eval/evaluator.h"
+
+namespace dire::core {
+
+Result<StringEvalStats> EvaluateViaExpansion(
+    const ast::RecursiveDefinition& def, storage::Database* db,
+    const StringEvalOptions& options) {
+  DIRE_ASSIGN_OR_RETURN(ExpansionEnumerator levels,
+                        ExpansionEnumerator::Create(def, options.expansion));
+  eval::Evaluator evaluator(db);
+
+  StringEvalStats stats;
+  int quiet = 0;
+  for (int level = 0; level < options.max_levels; ++level) {
+    DIRE_ASSIGN_OR_RETURN(std::vector<ExpansionString> strings,
+                          levels.NextLevel());
+    ++stats.levels;
+    std::vector<ast::Rule> rules;
+    rules.reserve(strings.size());
+    for (const ExpansionString& s : strings) {
+      rules.push_back(options.minimize_strings
+                          ? cq::Minimize(s.query).ToRule(def.target)
+                          : s.query.ToRule(def.target));
+    }
+    stats.strings += rules.size();
+    DIRE_ASSIGN_OR_RETURN(eval::EvalStats pass, evaluator.EvaluateOnce(rules));
+    stats.tuples += pass.tuples_derived;
+    quiet = pass.tuples_derived == 0 ? quiet + 1 : 0;
+    if (quiet >= options.quiet_levels) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dire::core

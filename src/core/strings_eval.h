@@ -1,0 +1,45 @@
+#ifndef DIRE_CORE_STRINGS_EVAL_H_
+#define DIRE_CORE_STRINGS_EVAL_H_
+
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/expansion.h"
+#include "storage/database.h"
+
+namespace dire::core {
+
+struct StringEvalStats {
+  int levels = 0;        // Expansion levels evaluated.
+  size_t strings = 0;    // Conjunctive queries executed.
+  size_t tuples = 0;     // New tuples inserted into the target relation.
+  bool converged = false;
+};
+
+struct StringEvalOptions {
+  // Hard cap on levels.
+  int max_levels = 64;
+  // Stop after this many consecutive levels that derived nothing new. This
+  // is the naive termination test the paper's §6 calls "hopelessly
+  // inefficient" as an evaluation strategy; it is implemented as the
+  // baseline for the CLM-STRWISE experiment and for cross-checking the
+  // fixpoint evaluator in tests.
+  int quiet_levels = 2;
+  // Minimize (compute the core of) each string before executing it. On
+  // Example 6.1 this is exactly Theorem 6.1's effect in the paper's own
+  // evaluation model: the k copies of the unconnected b predicate fold into
+  // one, so each string joins b once instead of once per level.
+  bool minimize_strings = false;
+  ExpansionEnumerator::Options expansion;
+};
+
+// Evaluates the recursive definition string-at-a-time: materializes each
+// expansion string as a nonrecursive rule and runs it against `db`,
+// re-evaluating longer and longer conjunctions from scratch (§6's strawman).
+// Results accumulate in the relation named def.target.
+Result<StringEvalStats> EvaluateViaExpansion(
+    const ast::RecursiveDefinition& def, storage::Database* db,
+    const StringEvalOptions& options = {});
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_STRINGS_EVAL_H_

@@ -1,0 +1,89 @@
+#include "core/strong.h"
+
+#include "base/string_util.h"
+
+namespace dire::core {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kIndependent:
+      return "data independent";
+    case Verdict::kDependent:
+      return "data dependent";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+Result<StrongIndependenceResult> TestStrongIndependence(
+    const ast::RecursiveDefinition& def) {
+  DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  return TestStrongIndependence(def, graph, chains);
+}
+
+Result<StrongIndependenceResult> TestStrongIndependence(
+    const ast::RecursiveDefinition& def, const AvGraph& graph,
+    const ChainAnalysis& chains) {
+  if (def.recursive_rules.empty()) {
+    return Status::InvalidArgument(
+        "strong data independence concerns recursive rules; none given");
+  }
+  if (!def.AllRecursiveRulesLinear()) {
+    StrongIndependenceResult out;
+    out.verdict = Verdict::kUnknown;
+    out.explanation =
+        "the paper's chain-generating-path analysis covers linear recursive "
+        "rules; a nonlinear rule is present";
+    out.chains = chains;
+    return out;
+  }
+
+  StrongIndependenceResult out;
+  out.chains = chains;
+  bool single = def.recursive_rules.size() == 1;
+
+  if (!chains.has_chain_generating_path) {
+    out.verdict = Verdict::kIndependent;
+    out.theorem = single ? "Theorem 4.1" : "Theorem 5.1";
+    out.explanation = StrFormat(
+        "no chain generating path in the augmented A/V graph; by %s the "
+        "recursive %s strongly data independent",
+        out.theorem.c_str(), single ? "rule is" : "rules are");
+    return out;
+  }
+
+  if (!chains.exact) {
+    out.verdict = Verdict::kUnknown;
+    out.explanation =
+        "a chain generating structure may exist (" + chains.note + ")";
+    return out;
+  }
+
+  std::string witness =
+      chains.witness.has_value() ? chains.witness->ToString(graph) : "";
+
+  if (single && !ast::HasRepeatedNonrecursivePredicate(
+                    def.recursive_rules.front(), def.target)) {
+    out.verdict = Verdict::kDependent;
+    out.theorem = "Theorem 4.2";
+    out.explanation = StrFormat(
+        "chain generating path found (%s) and the rule has no repeated "
+        "nonrecursive predicate; by Theorem 4.2 it is not strongly data "
+        "independent",
+        witness.c_str());
+    return out;
+  }
+
+  out.verdict = Verdict::kUnknown;
+  out.explanation = StrFormat(
+      "chain generating path found (%s), but the chain test is incomplete "
+      "for this class (%s); see the paper's Example 4.4 and the "
+      "Mairson–Sagiv undecidability result",
+      witness.c_str(),
+      single ? "repeated nonrecursive predicates" : "multiple recursive rules");
+  return out;
+}
+
+}  // namespace dire::core

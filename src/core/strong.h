@@ -1,0 +1,54 @@
+#ifndef DIRE_CORE_STRONG_H_
+#define DIRE_CORE_STRONG_H_
+
+#include <string>
+
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/av_graph.h"
+#include "core/chain.h"
+
+namespace dire::core {
+
+// Three-valued analysis outcome. kUnknown is unavoidable in general:
+// weak data independence is undecidable even for one linear rule (Vardi),
+// and strong data independence is undecidable for multiple linear rules
+// (Mairson–Sagiv), as the paper discusses in §4.3 and §5.
+enum class Verdict {
+  kIndependent,
+  kDependent,
+  kUnknown,
+};
+
+const char* VerdictName(Verdict v);
+
+struct StrongIndependenceResult {
+  Verdict verdict = Verdict::kUnknown;
+  // Which of the paper's results justified the verdict ("Theorem 4.1",
+  // "Theorem 4.2", "Theorem 5.1"), empty for kUnknown.
+  std::string theorem;
+  std::string explanation;
+  ChainAnalysis chains;
+};
+
+// Tests strong data independence (Def 2.2: the recursive rules stay bounded
+// under *any* exit rule) of the recursive rules of `def`:
+//   * no chain generating path                  -> kIndependent
+//     (Theorem 4.1 for one rule, Theorem 5.1 for several);
+//   * CGP + single rule + no repeated nonrecursive predicate
+//                                               -> kDependent (Theorem 4.2);
+//   * CGP otherwise                             -> kUnknown (the test is
+//     incomplete there: the paper's Example 4.4 is a strongly independent
+//     rule with a CGP).
+// Requires at least one recursive rule, all linear.
+Result<StrongIndependenceResult> TestStrongIndependence(
+    const ast::RecursiveDefinition& def);
+
+// Variant reusing an existing graph and chain analysis.
+Result<StrongIndependenceResult> TestStrongIndependence(
+    const ast::RecursiveDefinition& def, const AvGraph& graph,
+    const ChainAnalysis& chains);
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_STRONG_H_

@@ -1,0 +1,242 @@
+#include "core/weak.h"
+
+#include <vector>
+
+#include "base/string_util.h"
+#include "core/chain.h"
+#include "core/graph_view.h"
+
+namespace dire::core {
+namespace {
+
+// Locates the argument nodes of an atom, in position order.
+std::vector<int> AtomArgNodes(const AvGraph& g, int rule_index,
+                              int atom_index, size_t arity) {
+  std::vector<int> out;
+  for (size_t pos = 0; pos < arity; ++pos) {
+    out.push_back(g.ArgumentNode(rule_index, atom_index,
+                                 static_cast<int>(pos)));
+  }
+  return out;
+}
+
+std::vector<int> VariableNodes(const AvGraph& g, bool distinguished_only) {
+  std::vector<int> out;
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const AvGraph::Node& n = g.nodes()[i];
+    if (n.kind != AvGraph::NodeKind::kVariable) continue;
+    if (distinguished_only && !n.distinguished) continue;
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+// Def 4.3: a positive-weight path from some argument of p, through some
+// nondistinguished variable node, to an argument of e.
+bool ExitConnected(const AvGraph& g, const GraphView& view,
+                   const std::vector<int>& p_args,
+                   const std::vector<int>& e_args) {
+  std::vector<int> nondist;
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const AvGraph::Node& n = g.nodes()[i];
+    if (n.kind == AvGraph::NodeKind::kVariable && !n.distinguished) {
+      nondist.push_back(static_cast<int>(i));
+    }
+  }
+  for (int a : p_args) {
+    for (int v : nondist) {
+      WalkWeights first = view.Weights(a, v);
+      if (!first.connected) continue;
+      for (int b : e_args) {
+        WalkWeights second = view.Weights(v, b);
+        if (SumOf(first, second).ContainsPositive()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Def 4.2: the four irredundance clauses. Returns the first clause that
+// holds (1..4), or 0 when e is redundant.
+int ExitIrredundanceCondition(const AvGraph& g, const GraphView& view,
+                              const ast::Atom& p_atom,
+                              const ast::Atom& e_atom,
+                              const std::vector<int>& p_args,
+                              const std::vector<int>& e_args) {
+  // Clause 1: e is a different predicate from p.
+  if (e_atom.predicate != p_atom.predicate ||
+      e_atom.arity() != p_atom.arity()) {
+    return 1;
+  }
+
+  size_t arity = e_atom.arity();
+
+  // Clause 2: a distinguished variable V on a cycle reaches some argument of
+  // e but not the same argument of p.
+  for (int v : VariableNodes(g, /*distinguished_only=*/true)) {
+    if (!view.OnCycle(v)) continue;
+    for (size_t i = 0; i < arity; ++i) {
+      if (view.Weights(v, e_args[i]).connected &&
+          !view.Weights(v, p_args[i]).connected) {
+        return 2;
+      }
+    }
+  }
+
+  // Clause 3: some variable reaches two distinct arguments of e with equal
+  // weight, while no variable does so for the corresponding arguments of p.
+  std::vector<int> all_vars = VariableNodes(g, /*distinguished_only=*/false);
+  for (size_t i = 0; i < arity; ++i) {
+    for (size_t j = i + 1; j < arity; ++j) {
+      bool e_side = false;
+      for (int v : all_vars) {
+        if (Intersects(view.Weights(v, e_args[i]),
+                       view.Weights(v, e_args[j]))) {
+          e_side = true;
+          break;
+        }
+      }
+      if (!e_side) continue;
+      bool p_side = false;
+      for (int v : all_vars) {
+        if (Intersects(view.Weights(v, p_args[i]),
+                       view.Weights(v, p_args[j]))) {
+          p_side = true;
+          break;
+        }
+      }
+      if (!p_side) return 3;
+    }
+  }
+
+  // Clause 4: let {V_i} be the distinguished variables appearing in e that
+  // are reachable from arguments of p by positive-weight paths (these are
+  // the variables e shares with the chain). e is irredundant iff there is no
+  // single weight k with a path of weight k from each V_i to the
+  // corresponding argument of p.
+  WalkWeights common;
+  common.connected = true;
+  common.base = 0;
+  common.gcd = 1;  // Start with "all integers".
+  bool any_pair = false;
+  for (size_t pos = 0; pos < arity; ++pos) {
+    const ast::Term& t = e_atom.args[pos];
+    if (!t.IsVariable()) continue;
+    int v = g.VariableNode(t.text());
+    if (v < 0 || !g.nodes()[static_cast<size_t>(v)].distinguished) continue;
+    bool positive_from_p = false;
+    for (int a : p_args) {
+      if (view.Weights(a, v).ContainsPositive()) {
+        positive_from_p = true;
+        break;
+      }
+    }
+    if (!positive_from_p) continue;
+    any_pair = true;
+    common = IntersectCosets(common, view.Weights(v, p_args[pos]));
+    if (!common.connected) return 4;
+  }
+  // With no shared variables (or a common k), clause 4 does not make e
+  // irredundant.
+  (void)any_pair;
+  return 0;
+}
+
+}  // namespace
+
+Result<WeakIndependenceResult> TestWeakIndependence(
+    const ast::RecursiveDefinition& def) {
+  if (def.recursive_rules.empty()) {
+    return Status::InvalidArgument("no recursive rule in definition");
+  }
+  if (def.exit_rules.empty()) {
+    return Status::InvalidArgument(
+        "weak data independence is a property of a recursive/exit rule "
+        "pairing; no exit rule given");
+  }
+
+  DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  DIRE_ASSIGN_OR_RETURN(StrongIndependenceResult strong,
+                        TestStrongIndependence(def, graph, chains));
+
+  WeakIndependenceResult out;
+  out.has_chain_generating_path = chains.has_chain_generating_path;
+
+  // Strong independence carries over to any pairing.
+  if (strong.verdict == Verdict::kIndependent) {
+    out.verdict = Verdict::kIndependent;
+    out.theorem = strong.theorem;
+    out.explanation =
+        "the recursive rules are strongly data independent, so any exit "
+        "rule yields a data independent definition (" +
+        strong.explanation + ")";
+    return out;
+  }
+
+  // The decidable class of Theorem 4.3: one regular recursive rule and one
+  // single-atom exit rule.
+  bool in_class =
+      def.recursive_rules.size() == 1 && def.exit_rules.size() == 1 &&
+      ast::IsRegularRecursive(def.recursive_rules.front(), def.target) &&
+      def.exit_rules.front().body.size() == 1;
+  if (!in_class) {
+    out.verdict = Verdict::kUnknown;
+    out.explanation =
+        "outside the decidable class of Theorem 4.3 (one regular recursive "
+        "rule + one single-atom exit rule); weak data independence is "
+        "undecidable in general (Vardi, Gaifman) — consider the "
+        "BoundedRewrite semi-decision";
+    return out;
+  }
+
+  const ast::Rule& rrule = def.recursive_rules.front();
+  int p_atom_index = -1;
+  for (size_t i = 0; i < rrule.body.size(); ++i) {
+    if (rrule.body[i].predicate != def.target) {
+      p_atom_index = static_cast<int>(i);
+      break;
+    }
+  }
+  const ast::Atom& p_atom = rrule.body[static_cast<size_t>(p_atom_index)];
+  const ast::Atom& e_atom = def.exit_rules.front().body.front();
+
+  GraphView view = GraphView::All(graph, /*augmented=*/false);
+  std::vector<int> p_args =
+      AtomArgNodes(graph, /*rule_index=*/0, p_atom_index, p_atom.arity());
+  std::vector<int> e_args = AtomArgNodes(
+      graph, /*rule_index=*/1, /*atom_index=*/0, e_atom.arity());
+
+  out.regular_pair_test_applied = true;
+  out.exit_connected = ExitConnected(graph, view, p_args, e_args);
+  out.irredundance_condition = ExitIrredundanceCondition(
+      graph, view, p_atom, e_atom, p_args, e_args);
+  out.exit_irredundant = out.irredundance_condition != 0;
+  out.theorem = "Theorem 4.3";
+
+  if (out.has_chain_generating_path && out.exit_connected &&
+      out.exit_irredundant) {
+    out.verdict = Verdict::kDependent;
+    out.explanation = StrFormat(
+        "chain generating path present, exit predicate connected to the "
+        "unbounded chain (Def 4.3) and irredundant (Def 4.2 clause %d): by "
+        "Theorem 4.3 the pair is data dependent",
+        out.irredundance_condition);
+  } else {
+    out.verdict = Verdict::kIndependent;
+    std::string why;
+    if (!out.has_chain_generating_path) {
+      why = "no chain generating path";
+    } else if (!out.exit_connected) {
+      why = "the exit predicate is not connected to the unbounded chain "
+            "(Def 4.3)";
+    } else {
+      why = "the exit predicate is redundant (no clause of Def 4.2 holds)";
+    }
+    out.explanation =
+        "by Theorem 4.3 the pair is data independent: " + why;
+  }
+  return out;
+}
+
+}  // namespace dire::core

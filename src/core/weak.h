@@ -1,0 +1,44 @@
+#ifndef DIRE_CORE_WEAK_H_
+#define DIRE_CORE_WEAK_H_
+
+#include <string>
+
+#include "ast/classify.h"
+#include "base/result.h"
+#include "core/strong.h"
+
+namespace dire::core {
+
+struct WeakIndependenceResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::string theorem;
+  std::string explanation;
+
+  // The three conditions of Theorem 4.3, when the regular-pair test applied.
+  bool regular_pair_test_applied = false;
+  bool has_chain_generating_path = false;
+  bool exit_connected = false;    // Def 4.3.
+  bool exit_irredundant = false;  // Def 4.2.
+  int irredundance_condition = 0;  // Which clause of Def 4.2 fired (1..4), 0 if none.
+};
+
+// Tests weak data independence (Def 2.1) of the full definition (recursive
+// rules + the given exit rules):
+//
+//   * If the recursive rules are strongly data independent, any pairing is
+//     weakly independent.
+//   * For the paper's decidable class — one regular recursive rule (single
+//     nonrecursive body atom) and one exit rule with a single-atom body —
+//     Theorem 4.3 decides: the pair is data DEPENDENT iff a chain generating
+//     path exists AND the exit predicate is connected to the unbounded chain
+//     (Def 4.3) AND the exit predicate is irredundant (Def 4.2); otherwise
+//     data independent.
+//   * Outside that class the verdict is kUnknown (weak data independence is
+//     undecidable in general, Vardi/Gaifman); callers can fall back to the
+//     BoundedRewrite semi-decision.
+Result<WeakIndependenceResult> TestWeakIndependence(
+    const ast::RecursiveDefinition& def);
+
+}  // namespace dire::core
+
+#endif  // DIRE_CORE_WEAK_H_

@@ -1,0 +1,61 @@
+#include "cq/conjunctive_query.h"
+
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace dire::cq {
+
+std::vector<std::string> ConjunctiveQuery::DistinguishedVariables() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const ast::Term& t : head) {
+    if (t.IsVariable() && seen.insert(t.text()).second) {
+      out.push_back(t.text());
+    }
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out;
+  for (const ast::Atom& a : body) out += a.ToString();
+  return out;
+}
+
+ConjunctiveQuery Canonicalize(const ConjunctiveQuery& q) {
+  std::set<std::string> distinguished;
+  for (const ast::Term& t : q.head) {
+    if (t.IsVariable()) distinguished.insert(t.text());
+  }
+  std::map<std::string, std::string> rename;
+  int counter = 0;
+  ConjunctiveQuery out;
+  out.head = q.head;
+  out.body.reserve(q.body.size());
+  for (const ast::Atom& a : q.body) {
+    ast::Atom b;
+    b.predicate = a.predicate;
+    b.args.reserve(a.args.size());
+    for (const ast::Term& t : a.args) {
+      if (!t.IsVariable() || distinguished.count(t.text()) != 0) {
+        b.args.push_back(t);
+        continue;
+      }
+      auto [it, inserted] =
+          rename.emplace(t.text(), StrFormat("W%d", counter));
+      if (inserted) ++counter;
+      b.args.push_back(ast::Term::Var(it->second));
+    }
+    out.body.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool Isomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  if (a.head != b.head || a.body.size() != b.body.size()) return false;
+  return Canonicalize(a) == Canonicalize(b);
+}
+
+}  // namespace dire::cq

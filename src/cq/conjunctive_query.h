@@ -1,0 +1,57 @@
+#ifndef DIRE_CQ_CONJUNCTIVE_QUERY_H_
+#define DIRE_CQ_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace dire::cq {
+
+// A conjunctive query: the "strings" of the paper's Section 2. `head` holds
+// the distinguished terms in output order; `body` is the ordered conjunction
+// of EDB atoms. The relation specified by the query is
+//   { head | exists(nondistinguished vars) body }   (paper, Section 2).
+struct ConjunctiveQuery {
+  std::vector<ast::Term> head;
+  std::vector<ast::Atom> body;
+
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<ast::Term> h, std::vector<ast::Atom> b)
+      : head(std::move(h)), body(std::move(b)) {}
+
+  // Builds the CQ for a nonrecursive rule: head terms from the rule head,
+  // body from the rule body.
+  static ConjunctiveQuery FromRule(const ast::Rule& rule) {
+    return ConjunctiveQuery(rule.head.args, rule.body);
+  }
+
+  // Renders as a rule with the given head predicate:
+  // "t(X,Y) :- e(X,Z), e(Z,Y)."
+  ast::Rule ToRule(const std::string& head_predicate) const {
+    return ast::Rule(ast::Atom(head_predicate, head), body);
+  }
+
+  // Distinguished variable names (variables of `head`).
+  std::vector<std::string> DistinguishedVariables() const;
+
+  // Paper-style string rendering: "e(X,Z_0)e(Z_0,Y)".
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+// Renames nondistinguished variables to W0, W1, ... in first-occurrence
+// order. Two queries are isomorphic (paper Def 2.4: identical up to renaming
+// of nondistinguished variables) iff their canonical forms are equal.
+ConjunctiveQuery Canonicalize(const ConjunctiveQuery& q);
+
+// Def 2.4 isomorphism test.
+bool Isomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+}  // namespace dire::cq
+
+#endif  // DIRE_CQ_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,201 @@
+#include "cq/containment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace dire::cq {
+namespace {
+
+// Backtracking homomorphism search with static candidate filtering and a
+// work budget. Containment of conjunctive queries is NP-complete
+// (Chandra–Merlin); the filters keep expansion-shaped queries polynomial in
+// practice, and the budget turns the rare adversarial case into a
+// conservative "no mapping found" answer (callers treat that as "not
+// contained", which only ever costs precision, never soundness).
+class MappingSearch {
+ public:
+  MappingSearch(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
+                size_t budget)
+      : from_(from), to_(to), budget_(budget) {
+    // Distinguished variables map to themselves (Def 2.3).
+    for (const ast::Term& t : from_.head) {
+      if (t.IsVariable()) {
+        rigid_.insert(t.text());
+        binding_[t.text()] = t;
+      }
+    }
+    BuildCandidates();
+    // Most-constrained-first: atoms with the fewest candidates early.
+    order_.resize(from_.body.size());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+      return candidates_[a].size() < candidates_[b].size();
+    });
+  }
+
+  std::optional<ast::Substitution> Run() {
+    if (from_.head != to_.head) return std::nullopt;
+    for (const std::vector<size_t>& c : candidates_) {
+      if (c.empty()) return std::nullopt;
+    }
+    if (!Extend(0)) return std::nullopt;
+    ast::Substitution s;
+    for (const auto& [var, term] : binding_) s.Bind(var, term);
+    return s;
+  }
+
+ private:
+  // A from-position is rigid when its image is known up front: a constant,
+  // or a distinguished variable (which must map to itself).
+  bool IsRigid(const ast::Term& t) const {
+    return t.IsConstant() || rigid_.count(t.text()) != 0;
+  }
+
+  // Static compatibility of `target` as an image of `atom`: predicate,
+  // arity, rigid positions, and equality patterns of repeated variables.
+  bool Compatible(const ast::Atom& atom, const ast::Atom& target) const {
+    if (atom.predicate != target.predicate || atom.arity() != target.arity()) {
+      return false;
+    }
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const ast::Term& src = atom.args[i];
+      const ast::Term& dst = target.args[i];
+      if (IsRigid(src) && src != dst) return false;
+      if (dst.IsConstant() && src.IsConstant() && src != dst) return false;
+      // Repeated variable within the atom: images must agree.
+      if (src.IsVariable()) {
+        for (size_t j = i + 1; j < atom.args.size(); ++j) {
+          if (atom.args[j] == src && target.args[j] != dst) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void BuildCandidates() {
+    candidates_.resize(from_.body.size());
+    for (size_t i = 0; i < from_.body.size(); ++i) {
+      for (size_t j = 0; j < to_.body.size(); ++j) {
+        if (Compatible(from_.body[i], to_.body[j])) {
+          candidates_[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  bool Extend(size_t depth) {
+    if (depth == order_.size()) return true;
+    const size_t atom_index = order_[depth];
+    const ast::Atom& atom = from_.body[atom_index];
+    for (size_t target_index : candidates_[atom_index]) {
+      if (work_++ > budget_) return false;  // Conservative give-up.
+      const ast::Atom& target = to_.body[target_index];
+      std::vector<std::string> trail;
+      if (TryMatch(atom, target, &trail)) {
+        if (Extend(depth + 1)) return true;
+      }
+      for (const std::string& var : trail) binding_.erase(var);
+    }
+    return false;
+  }
+
+  // Extends binding_ so that binding_(atom) == target; records newly bound
+  // variables in `trail` for rollback.
+  bool TryMatch(const ast::Atom& atom, const ast::Atom& target,
+                std::vector<std::string>* trail) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const ast::Term& src = atom.args[i];
+      const ast::Term& dst = target.args[i];
+      if (src.IsConstant()) {
+        if (src != dst) return false;
+        continue;
+      }
+      auto it = binding_.find(src.text());
+      if (it != binding_.end()) {
+        if (it->second != dst) return false;
+        continue;
+      }
+      binding_.emplace(src.text(), dst);
+      trail->push_back(src.text());
+    }
+    return true;
+  }
+
+  const ConjunctiveQuery& from_;
+  const ConjunctiveQuery& to_;
+  size_t budget_;
+  size_t work_ = 0;
+  std::set<std::string> rigid_;
+  std::vector<std::vector<size_t>> candidates_;
+  std::map<std::string, ast::Term> binding_;
+  std::vector<size_t> order_;
+};
+
+// Generous default: far beyond anything the expansion strings of realistic
+// rules need, small enough to bound adversarial inputs to well under a
+// second.
+constexpr size_t kDefaultBudget = 2'000'000;
+
+}  // namespace
+
+std::optional<ast::Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  return MappingSearch(from, to, kDefaultBudget).Run();
+}
+
+bool MapsTo(const ConjunctiveQuery& s1, const ConjunctiveQuery& s2) {
+  return FindContainmentMapping(s1, s2).has_value();
+}
+
+bool Contains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return MapsTo(q1, q2);
+}
+
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return MapsTo(a, b) && MapsTo(b, a);
+}
+
+bool UnionContains(const std::vector<ConjunctiveQuery>& ucq,
+                   const ConjunctiveQuery& q) {
+  for (const ConjunctiveQuery& member : ucq) {
+    if (MapsTo(member, q)) return true;
+  }
+  return false;
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t k = 0; k < current.body.size(); ++k) {
+      ConjunctiveQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() + static_cast<long>(k));
+      // Safety: every distinguished variable must still occur in the body.
+      std::set<std::string> body_vars;
+      for (const ast::Atom& a : candidate.body) {
+        for (const ast::Term& t : a.args) {
+          if (t.IsVariable()) body_vars.insert(t.text());
+        }
+      }
+      bool safe = true;
+      for (const ast::Term& t : candidate.head) {
+        if (t.IsVariable() && body_vars.count(t.text()) == 0) safe = false;
+      }
+      if (!safe) continue;
+      // Dropping a conjunct can only enlarge the result, so candidate
+      // contains current for free; equivalence needs the other direction:
+      // a mapping current -> candidate.
+      if (MapsTo(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace dire::cq

@@ -1,0 +1,46 @@
+#ifndef DIRE_CQ_CONTAINMENT_H_
+#define DIRE_CQ_CONTAINMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "ast/substitution.h"
+#include "cq/conjunctive_query.h"
+
+namespace dire::cq {
+
+// Searches for a containment mapping (paper Def 2.3) from `from` to `to`:
+// a variable mapping fixing distinguished variables (and constants) such
+// that every atom of `from`, after mapping, appears in `to`. Backtracking
+// homomorphism search; worst-case exponential (the problem is NP-complete,
+// Chandra–Merlin), fast on expansion-shaped queries.
+//
+// Requires from.head == to.head (the paper standardizes heads; callers built
+// both queries from the same standardized definition).
+std::optional<ast::Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+// Lemma 2.1 orientation helper: MapsTo(s1, s2) means a containment mapping
+// s1 -> s2 exists, hence rel(s2) is contained in rel(s1) for every EDB.
+bool MapsTo(const ConjunctiveQuery& s1, const ConjunctiveQuery& s2);
+
+// rel(q2) subset-of rel(q1) on every database (Chandra–Merlin: iff q1 maps
+// to q2).
+bool Contains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+// True if rel(q) is contained in the union of the rels of `ucq` on every
+// database. For unions of CQs this is the Sagiv–Yannakakis criterion the
+// paper cites in Theorem 2.1's proof: q is contained in the union iff some
+// member alone contains q.
+bool UnionContains(const std::vector<ConjunctiveQuery>& ucq,
+                   const ConjunctiveQuery& q);
+
+// Computes the core of `q`: a minimal equivalent subquery, found by
+// repeatedly folding removable atoms (Chandra–Merlin minimization).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+
+}  // namespace dire::cq
+
+#endif  // DIRE_CQ_CONTAINMENT_H_

@@ -1,0 +1,48 @@
+#ifndef DIRE_DIRE_H_
+#define DIRE_DIRE_H_
+
+// DIRE — Data Independent Recursion Engine.
+//
+// Umbrella header for the public API. The library reproduces
+//   Jeff Naughton, "Data Independent Recursion in Deductive Databases",
+//   PODS 1986,
+// on top of a self-contained Datalog substrate:
+//
+//   ast/      rules, programs, substitutions, rule classification
+//   parser/   Datalog text -> ast::Program
+//   storage/  relations, database, workload generators
+//   eval/     naive and semi-naive bottom-up evaluation
+//   cq/       conjunctive queries, containment mappings
+//   core/     the paper: ExpandRule, A/V graphs, chain generating paths,
+//             strong/weak data independence, bounded rewrite, §6 optimizer
+
+#include "ast/ast.h"
+#include "ast/classify.h"
+#include "ast/dependency.h"
+#include "ast/substitution.h"
+#include "ast/unify.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/string_util.h"
+#include "core/analysis.h"
+#include "core/av_graph.h"
+#include "core/chain.h"
+#include "core/equivalence.h"
+#include "core/expansion.h"
+#include "core/graph_view.h"
+#include "core/optimize.h"
+#include "core/plan_program.h"
+#include "core/rewrite.h"
+#include "core/strong.h"
+#include "core/weak.h"
+#include "cq/conjunctive_query.h"
+#include "cq/containment.h"
+#include "eval/evaluator.h"
+#include "eval/plan.h"
+#include "parser/parser.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/generators.h"
+
+#endif  // DIRE_DIRE_H_

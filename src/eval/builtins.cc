@@ -1,0 +1,38 @@
+#include "eval/builtins.h"
+
+#include <cstdlib>
+
+namespace dire::eval {
+namespace {
+
+// Three-way comparison: numeric when both spellings are decimal integers,
+// lexicographic otherwise.
+int Compare(const std::string& a, const std::string& b) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  long va = std::strtol(a.c_str(), &end_a, 10);
+  long vb = std::strtol(b.c_str(), &end_b, 10);
+  bool numeric = !a.empty() && !b.empty() && *end_a == '\0' && *end_b == '\0';
+  if (numeric) {
+    if (va < vb) return -1;
+    if (va > vb) return 1;
+    return 0;
+  }
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+}  // namespace
+
+bool IsBuiltinPredicate(const std::string& name) {
+  return name == "neq" || name == "lt" || name == "leq";
+}
+
+bool EvalBuiltin(const std::string& name, const storage::SymbolTable& symbols,
+                 storage::ValueId a, storage::ValueId b) {
+  if (name == "neq") return a != b;
+  int cmp = Compare(symbols.Name(a), symbols.Name(b));
+  if (name == "lt") return cmp < 0;
+  return cmp <= 0;  // leq
+}
+
+}  // namespace dire::eval

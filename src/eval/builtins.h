@@ -1,0 +1,33 @@
+#ifndef DIRE_EVAL_BUILTINS_H_
+#define DIRE_EVAL_BUILTINS_H_
+
+#include <string>
+
+#include "storage/value.h"
+
+namespace dire::eval {
+
+// Comparison builtins usable in rule bodies:
+//
+//   sibling(X, Y) :- parent(P, X), parent(P, Y), neq(X, Y).
+//
+//   neq(X, Y)   X != Y
+//   lt(X, Y)    X <  Y
+//   leq(X, Y)   X <= Y
+//
+// Both arguments must be bound by positive atoms (checked at compile time,
+// like negation). Values that both parse as decimal integers compare
+// numerically; otherwise the comparison is lexicographic on the constant
+// spelling. Builtin predicates are reserved: programs may not define rules
+// or facts for them.
+
+// True if `name` is a reserved builtin predicate (arity 2).
+bool IsBuiltinPredicate(const std::string& name);
+
+// Evaluates the builtin. Requires IsBuiltinPredicate(name).
+bool EvalBuiltin(const std::string& name, const storage::SymbolTable& symbols,
+                 storage::ValueId a, storage::ValueId b);
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_BUILTINS_H_

@@ -1,0 +1,384 @@
+#include "eval/evaluator.h"
+
+#include <set>
+
+#include "ast/dependency.h"
+#include "base/string_util.h"
+#include "eval/builtins.h"
+
+namespace dire::eval {
+namespace {
+
+// Recursive nested-loop join with index probes over the compiled atom order.
+class RuleExecutor {
+ public:
+  RuleExecutor(const CompiledRule& rule, const RelationResolver& resolve,
+               const TupleSink& sink, const storage::SymbolTable* symbols)
+      : rule_(rule), resolve_(resolve), sink_(sink), symbols_(symbols) {
+    slots_.resize(static_cast<size_t>(rule.num_slots));
+  }
+
+  void Run() { Descend(0); }
+
+ private:
+  void Descend(size_t atom_index) {
+    if (atom_index == rule_.body.size()) {
+      Emit();
+      return;
+    }
+    const CompiledAtom& atom = rule_.body[atom_index];
+    if (atom.builtin) {
+      // Both positions are bound; evaluate the comparison directly.
+      if (symbols_ != nullptr &&
+          EvalBuiltin(atom.predicate, *symbols_, ValueAt(atom, 0),
+                      ValueAt(atom, 1))) {
+        Descend(atom_index + 1);
+      }
+      return;
+    }
+    storage::Relation* rel = resolve_(atom);
+    if (atom.negated) {
+      // All positions are bound: continue iff the tuple is absent.
+      storage::Tuple key;
+      key.reserve(atom.args.size());
+      for (const ArgRef& ref : atom.args) {
+        key.push_back(ref.is_const ? ref.value
+                                   : slots_[static_cast<size_t>(ref.slot)]);
+      }
+      if (rel == nullptr || !rel->Contains(key)) Descend(atom_index + 1);
+      return;
+    }
+    if (rel == nullptr || rel->empty()) return;
+    // Projection pushdown: when some of this atom's bindings are dead
+    // (never read downstream), only the distinct live projections matter;
+    // deduplicate on them so a high-multiplicity scan cannot multiply the
+    // continuation (e.g. buys(X,Y) :- trendy(X), buys(Z,Y): each distinct Y
+    // continues once, not once per Z).
+    std::set<storage::Tuple> seen_projections;
+    std::set<storage::Tuple>* seen =
+        atom.live_bind_positions.size() != atom.bind_positions.size()
+            ? &seen_projections
+            : nullptr;
+    if (atom.probe_position >= 0) {
+      size_t pos = static_cast<size_t>(atom.probe_position);
+      const ArgRef& ref = atom.args[pos];
+      storage::ValueId key =
+          ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
+      for (uint32_t row : rel->Probe(pos, key)) {
+        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+      }
+    } else {
+      // Note: body relations are never mutated during a pass (derived tuples
+      // flow through the sink into a staging relation), so iterating tuples() is safe.
+      for (const storage::Tuple& t : rel->tuples()) {
+        TryTuple(atom, t, atom_index, seen);
+      }
+    }
+  }
+
+  void TryTuple(const CompiledAtom& atom, const storage::Tuple& t,
+                size_t atom_index, std::set<storage::Tuple>* seen) {
+    // Bind before checking: a check position may test a variable bound by an
+    // earlier position of this same atom (repeated variables, e.g. e(X,X)).
+    for (int pos : atom.bind_positions) {
+      const ArgRef& ref = atom.args[static_cast<size_t>(pos)];
+      slots_[static_cast<size_t>(ref.slot)] = t[static_cast<size_t>(pos)];
+    }
+    for (int pos : atom.check_positions) {
+      const ArgRef& ref = atom.args[static_cast<size_t>(pos)];
+      storage::ValueId want =
+          ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
+      if (t[static_cast<size_t>(pos)] != want) return;
+    }
+    if (seen != nullptr) {
+      storage::Tuple projection;
+      projection.reserve(atom.live_bind_positions.size());
+      for (int pos : atom.live_bind_positions) {
+        projection.push_back(t[static_cast<size_t>(pos)]);
+      }
+      if (!seen->insert(std::move(projection)).second) return;
+    }
+    Descend(atom_index + 1);
+  }
+
+  storage::ValueId ValueAt(const CompiledAtom& atom, size_t pos) const {
+    const ArgRef& ref = atom.args[pos];
+    return ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
+  }
+
+  void Emit() {
+    scratch_.clear();
+    for (const ArgRef& ref : rule_.head_args) {
+      scratch_.push_back(ref.is_const ? ref.value
+                                      : slots_[static_cast<size_t>(ref.slot)]);
+    }
+    sink_(scratch_);
+  }
+
+  const CompiledRule& rule_;
+  const RelationResolver& resolve_;
+  const TupleSink& sink_;
+  const storage::SymbolTable* symbols_;
+  std::vector<storage::ValueId> slots_;
+  storage::Tuple scratch_;
+};
+
+}  // namespace
+
+void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
+                 const TupleSink& sink, const storage::SymbolTable* symbols) {
+  RuleExecutor(rule, resolve, sink, symbols).Run();
+}
+
+Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
+  DIRE_RETURN_IF_ERROR(db_->LoadFacts(program));
+  if (!options_.stop_on_fixpoint && options_.max_iterations <= 0) {
+    return Status::InvalidArgument(
+        "stop_on_fixpoint=false requires max_iterations > 0");
+  }
+
+  // Make sure every head relation exists, so queries over empty results work.
+  std::vector<ast::Rule> proper_rules;
+  for (const ast::Rule& r : program.rules) {
+    if (r.IsFact()) continue;
+    DIRE_RETURN_IF_ERROR(
+        db_->GetOrCreate(r.head.predicate, r.head.arity()).ok()
+            ? Status::Ok()
+            : db_->GetOrCreate(r.head.predicate, r.head.arity()).status());
+    proper_rules.push_back(r);
+  }
+
+  ast::DependencyGraph deps(program);
+  if (!deps.IsStratified()) {
+    return Status::InvalidArgument("program is not stratifiable: " +
+                                   deps.StratificationViolation());
+  }
+  EvalStats total;
+  for (const std::vector<std::string>& stratum : deps.Strata()) {
+    std::vector<ast::Rule> stratum_rules;
+    std::set<std::string> members(stratum.begin(), stratum.end());
+    for (const ast::Rule& r : proper_rules) {
+      if (members.count(r.head.predicate) != 0) stratum_rules.push_back(r);
+    }
+    if (stratum_rules.empty()) continue;
+    DIRE_ASSIGN_OR_RETURN(EvalStats s, EvaluateStratum(stratum_rules, stratum));
+    total.iterations += s.iterations;
+    total.tuples_derived += s.tuples_derived;
+    total.rule_firings += s.rule_firings;
+    total.converged = total.converged && s.converged;
+  }
+  return total;
+}
+
+Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
+  EvalStats stats;
+  stats.iterations = 1;
+  for (const ast::Rule& r : rules) {
+    if (r.IsFact()) {
+      DIRE_RETURN_IF_ERROR(db_->AddFact(r.head));
+      continue;
+    }
+    CompileOptions copts;
+    copts.reorder = options_.reorder_atoms;
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                          CompileRule(r, &db_->symbols(), copts));
+    DIRE_ASSIGN_OR_RETURN(storage::Relation * head,
+                          db_->GetOrCreate(plan.head_predicate,
+                                           plan.head_arity));
+    auto resolve = [this](const CompiledAtom& atom) {
+      return db_->Find(atom.predicate);
+    };
+    storage::Relation staging("$staging", head->arity());
+    ++provenance_round_;  // Later rules may read this rule's output.
+    ExecuteRule(plan, resolve,
+                [&staging](const storage::Tuple& t) { staging.Insert(t); },
+                &db_->symbols());
+    ++stats.rule_firings;
+    for (const storage::Tuple& t : staging.tuples()) {
+      if (head->Insert(t)) {
+        ++stats.tuples_derived;
+        Note(plan.head_predicate, t);
+      }
+    }
+  }
+  return stats;
+}
+
+Result<EvalStats> Evaluator::EvaluateStratum(
+    const std::vector<ast::Rule>& rules,
+    const std::vector<std::string>& stratum) {
+  // A stratum needs fixpoint iteration only if some rule reads a predicate
+  // defined in the same stratum.
+  std::set<std::string> members(stratum.begin(), stratum.end());
+  bool recursive = false;
+  for (const ast::Rule& r : rules) {
+    for (const ast::Atom& a : r.body) {
+      if (members.count(a.predicate) != 0) recursive = true;
+    }
+  }
+  if (!recursive) return EvaluateOnce(rules);
+  if (options_.mode == EvalOptions::Mode::kNaive) {
+    return NaiveFixpoint(rules);
+  }
+  return SemiNaiveFixpoint(rules, stratum);
+}
+
+Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules) {
+  std::vector<CompiledRule> plans;
+  std::vector<storage::Relation*> heads;
+  for (const ast::Rule& r : rules) {
+    CompileOptions copts;
+    copts.reorder = options_.reorder_atoms;
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                          CompileRule(r, &db_->symbols(), copts));
+    DIRE_ASSIGN_OR_RETURN(
+        storage::Relation * head,
+        db_->GetOrCreate(plan.head_predicate, plan.head_arity));
+    plans.push_back(std::move(plan));
+    heads.push_back(head);
+  }
+  auto resolve = [this](const CompiledAtom& atom) {
+    return db_->Find(atom.predicate);
+  };
+
+  EvalStats stats;
+  while (true) {
+    if (options_.max_iterations > 0 &&
+        stats.iterations >= options_.max_iterations) {
+      stats.converged = !options_.stop_on_fixpoint ? true : false;
+      break;
+    }
+    ++stats.iterations;
+    size_t new_tuples = 0;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      storage::Relation staging("$staging", heads[i]->arity());
+      ++provenance_round_;
+      ExecuteRule(plans[i], resolve,
+                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
+                  &db_->symbols());
+      ++stats.rule_firings;
+      for (const storage::Tuple& t : staging.tuples()) {
+        if (heads[i]->Insert(t)) {
+          ++new_tuples;
+          Note(plans[i].head_predicate, t);
+        }
+      }
+    }
+    stats.tuples_derived += new_tuples;
+    if (options_.stop_on_fixpoint && new_tuples == 0) break;
+  }
+  return stats;
+}
+
+Result<EvalStats> Evaluator::SemiNaiveFixpoint(
+    const std::vector<ast::Rule>& rules,
+    const std::vector<std::string>& stratum) {
+  std::set<std::string> members(stratum.begin(), stratum.end());
+
+  // Plain plans (all-full) run once to seed the deltas; differentiated
+  // variants (one stratum-IDB occurrence reads the delta) run each round.
+  struct Variant {
+    CompiledRule plan;
+    storage::Relation* head;
+  };
+  std::vector<Variant> seed_plans;
+  std::vector<Variant> delta_plans;
+  for (const ast::Rule& r : rules) {
+    CompileOptions copts;
+    copts.reorder = options_.reorder_atoms;
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                          CompileRule(r, &db_->symbols(), copts));
+    DIRE_ASSIGN_OR_RETURN(
+        storage::Relation * head,
+        db_->GetOrCreate(plan.head_predicate, plan.head_arity));
+    seed_plans.push_back(Variant{std::move(plan), head});
+    for (size_t j = 0; j < r.body.size(); ++j) {
+      if (r.body[j].negated || members.count(r.body[j].predicate) == 0) {
+        continue;
+      }
+      CompileOptions dopts;
+      dopts.reorder = options_.reorder_atoms;
+      dopts.delta_atom = static_cast<int>(j);
+      DIRE_ASSIGN_OR_RETURN(CompiledRule dplan,
+                            CompileRule(r, &db_->symbols(), dopts));
+      delta_plans.push_back(Variant{std::move(dplan), head});
+    }
+  }
+
+  // Per-predicate delta relations, double buffered.
+  std::map<std::string, std::unique_ptr<storage::Relation>> delta;
+  std::map<std::string, std::unique_ptr<storage::Relation>> next_delta;
+  for (const std::string& p : stratum) {
+    storage::Relation* full = db_->Find(p);
+    if (full == nullptr) continue;  // Stratum member without rules or facts.
+    delta[p] = std::make_unique<storage::Relation>(p, full->arity());
+    next_delta[p] = std::make_unique<storage::Relation>(p, full->arity());
+  }
+
+  auto resolve_full = [this](const CompiledAtom& atom) {
+    return db_->Find(atom.predicate);
+  };
+  auto resolve_delta = [this, &delta](const CompiledAtom& atom) {
+    if (atom.source == AtomSource::kDelta) {
+      auto it = delta.find(atom.predicate);
+      return it == delta.end() ? nullptr : it->second.get();
+    }
+    return db_->Find(atom.predicate);
+  };
+
+  EvalStats stats;
+
+  // Seed round: evaluate every rule on the current database.
+  ++stats.iterations;
+  for (Variant& v : seed_plans) {
+    storage::Relation staging("$staging", v.plan.head_arity);
+    ++provenance_round_;
+    ExecuteRule(v.plan, resolve_full,
+                [&staging](const storage::Tuple& t) { staging.Insert(t); },
+                &db_->symbols());
+    ++stats.rule_firings;
+    for (const storage::Tuple& t : staging.tuples()) {
+      if (v.head->Insert(t)) {
+        ++stats.tuples_derived;
+        Note(v.plan.head_predicate, t);
+        delta[v.plan.head_predicate]->Insert(t);
+      }
+    }
+  }
+
+  while (true) {
+    if (options_.stop_on_fixpoint) {
+      bool any_delta = false;
+      for (const auto& [p, rel] : delta) any_delta |= !rel->empty();
+      if (!any_delta) break;
+    }
+    if (options_.max_iterations > 0 &&
+        stats.iterations >= options_.max_iterations) {
+      stats.converged = options_.stop_on_fixpoint ? false : true;
+      break;
+    }
+    ++stats.iterations;
+    for (Variant& v : delta_plans) {
+      storage::Relation staging("$staging", v.plan.head_arity);
+      ++provenance_round_;
+      ExecuteRule(v.plan, resolve_delta,
+                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
+                  &db_->symbols());
+      ++stats.rule_firings;
+      for (const storage::Tuple& t : staging.tuples()) {
+        if (v.head->Insert(t)) {
+          ++stats.tuples_derived;
+          Note(v.plan.head_predicate, t);
+          next_delta[v.plan.head_predicate]->Insert(t);
+        }
+      }
+    }
+    for (auto& [p, rel] : delta) {
+      rel->Clear();
+      std::swap(delta[p], next_delta[p]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dire::eval

@@ -1,0 +1,109 @@
+#ifndef DIRE_EVAL_EVALUATOR_H_
+#define DIRE_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/plan.h"
+#include "eval/provenance.h"
+#include "storage/database.h"
+
+namespace dire::eval {
+
+struct EvalOptions {
+  enum class Mode {
+    kNaive,      // Re-run every rule on the full relations each round.
+    kSemiNaive,  // Differentiate rules through delta relations
+                 // (the compiled-evaluation baseline the paper cites
+                 // [Bancilhon et al., Henschen–Naqvi]).
+  };
+  Mode mode = Mode::kSemiNaive;
+
+  // Per-stratum cap on fixpoint rounds; 0 means unlimited.
+  int max_iterations = 0;
+
+  // When false, recursive strata run exactly `max_iterations` rounds with no
+  // convergence test — the paper's §6 "replace termination conditions by
+  // iteration bounds" evaluation mode. Requires max_iterations > 0.
+  bool stop_on_fixpoint = true;
+
+  // Greedy join reordering (see CompileOptions::reorder).
+  bool reorder_atoms = true;
+
+  // When set, every derived tuple's first-derivation round is recorded,
+  // enabling Explain() provenance queries afterwards. Not owned.
+  ProvenanceTracker* tracker = nullptr;
+};
+
+struct EvalStats {
+  // Fixpoint rounds summed over all strata (a nonrecursive stratum counts 1).
+  int iterations = 0;
+  // New tuples inserted into IDB relations.
+  size_t tuples_derived = 0;
+  // Rule-variant executions.
+  size_t rule_firings = 0;
+  // False only if a stratum hit max_iterations before reaching a fixpoint.
+  bool converged = true;
+};
+
+// Bottom-up Datalog evaluation over a Database. General positive programs
+// are supported: predicates are stratified into strongly connected
+// components of the dependency graph and evaluated dependencies-first.
+class Evaluator {
+ public:
+  explicit Evaluator(storage::Database* db, EvalOptions options = {})
+      : db_(db), options_(options) {}
+
+  // Loads the program's facts into the database, then evaluates all rules to
+  // fixpoint (or to the iteration bound). Derived tuples are inserted into
+  // the database's relations.
+  Result<EvalStats> Evaluate(const ast::Program& program);
+
+  // Runs each rule exactly once against the current database contents and
+  // inserts the results — evaluation of a nonrecursive rule set (a union of
+  // conjunctive queries).
+  Result<EvalStats> EvaluateOnce(const std::vector<ast::Rule>& rules);
+
+ private:
+  Result<EvalStats> EvaluateStratum(const std::vector<ast::Rule>& rules,
+                                    const std::vector<std::string>& stratum);
+  Result<EvalStats> NaiveFixpoint(const std::vector<ast::Rule>& rules);
+  Result<EvalStats> SemiNaiveFixpoint(const std::vector<ast::Rule>& rules,
+                                      const std::vector<std::string>& stratum);
+
+  // Records `tuple` for provenance when a tracker is attached.
+  void Note(const std::string& predicate, const storage::Tuple& tuple) {
+    if (options_.tracker != nullptr) {
+      options_.tracker->Record(predicate, tuple, provenance_round_);
+    }
+  }
+
+  storage::Database* db_;
+  EvalOptions options_;
+  // Monotone pass counter shared by all strata, so premises always carry
+  // strictly smaller rounds than their conclusions.
+  int provenance_round_ = 0;
+};
+
+// Executes one compiled rule. `resolve` maps a body atom to the relation it
+// reads (may return nullptr for a missing relation, which yields no rows).
+// Each derived head tuple is passed to `sink` (duplicates possible); sinks
+// typically stage into a deduplicating Relation so that a high-multiplicity
+// join cannot blow up memory.
+using RelationResolver =
+    std::function<storage::Relation*(const CompiledAtom&)>;
+using TupleSink = std::function<void(const storage::Tuple&)>;
+// `symbols` is needed to evaluate comparison builtins (may be null for
+// rules that use none; a builtin atom then never matches).
+void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
+                 const TupleSink& sink,
+                 const storage::SymbolTable* symbols = nullptr);
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_EVALUATOR_H_

@@ -1,0 +1,84 @@
+#include "eval/explain.h"
+
+#include <map>
+
+#include "base/string_util.h"
+
+namespace dire::eval {
+namespace {
+
+std::string SlotName(const CompiledRule& plan, int slot) {
+  size_t i = static_cast<size_t>(slot);
+  if (i < plan.slot_names.size()) return plan.slot_names[i];
+  return StrFormat("s%d", slot);
+}
+
+std::string ArgName(const CompiledRule& plan, const ArgRef& ref,
+                    const storage::SymbolTable& symbols) {
+  if (ref.is_const) {
+    return "'" + symbols.Name(ref.value) + "'";
+  }
+  return SlotName(plan, ref.slot);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const CompiledRule& plan,
+                        const storage::SymbolTable& symbols) {
+  std::string out = StrFormat("plan for %s/%zu (%d slots):\n",
+                              plan.head_predicate.c_str(), plan.head_arity,
+                              plan.num_slots);
+  int step = 1;
+  for (const CompiledAtom& atom : plan.body) {
+    std::string access;
+    if (atom.probe_position >= 0) {
+      const ArgRef& ref =
+          atom.args[static_cast<size_t>(atom.probe_position)];
+      access = StrFormat("probe #%d=%s", atom.probe_position + 1,
+                         ArgName(plan, ref, symbols).c_str());
+    } else {
+      access = "scan ";
+    }
+    std::string binds;
+    for (int pos : atom.bind_positions) {
+      binds += StrFormat(
+          " #%d->%s", pos + 1,
+          SlotName(plan, atom.args[static_cast<size_t>(pos)].slot).c_str());
+    }
+    std::string checks;
+    for (int pos : atom.check_positions) {
+      if (pos == atom.probe_position) continue;
+      checks += StrFormat(
+          " #%d=%s", pos + 1,
+          ArgName(plan, atom.args[static_cast<size_t>(pos)], symbols)
+              .c_str());
+    }
+    out += StrFormat("  %d. %-5s %-12s", step++, access.c_str(),
+                     atom.predicate.c_str());
+    if (!checks.empty()) out += " check" + checks;
+    if (!binds.empty()) out += " bind" + binds;
+    if (atom.source == AtomSource::kDelta) out += "  [delta]";
+    out += '\n';
+  }
+  out += "  head:";
+  for (const ArgRef& ref : plan.head_args) {
+    out += ' ' + ArgName(plan, ref, symbols);
+  }
+  out += '\n';
+  return out;
+}
+
+Result<std::string> ExplainProgram(const ast::Program& program) {
+  storage::SymbolTable symbols;
+  std::string out;
+  for (const ast::Rule& rule : program.rules) {
+    if (rule.IsFact()) continue;
+    out += rule.ToString();
+    out += '\n';
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan, CompileRule(rule, &symbols, {}));
+    out += ExplainPlan(plan, symbols);
+  }
+  return out;
+}
+
+}  // namespace dire::eval

@@ -1,0 +1,32 @@
+#ifndef DIRE_EVAL_EXPLAIN_H_
+#define DIRE_EVAL_EXPLAIN_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/plan.h"
+#include "storage/value.h"
+
+namespace dire::eval {
+
+// Renders a compiled rule's physical plan: the chosen join order, for each
+// atom which positions are index probes / residual checks / fresh bindings,
+// and the delta source used by semi-naive variants. For humans debugging
+// the optimizer, and for the CLI's `--explain`.
+//
+//   t(X,Y) :- e(X,Z), t(Z,Y).
+//   => join order:
+//      1. scan  t            bind #1->Z #2->Y           [delta]
+//      2. probe e on #2=Z    bind #1->X
+//      head: t(X, Y)
+std::string ExplainPlan(const CompiledRule& plan,
+                        const storage::SymbolTable& symbols);
+
+// Compiles every rule of `program` (plain full-relation plans, greedy
+// reordering as the evaluator would) and explains each.
+Result<std::string> ExplainProgram(const ast::Program& program);
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_EXPLAIN_H_

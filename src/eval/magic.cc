@@ -1,0 +1,206 @@
+#include "eval/magic.h"
+
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace dire::eval {
+namespace {
+
+// '@' cannot appear in parsed predicate names, so generated names never
+// collide with user predicates.
+std::string AdornedName(const std::string& pred, const std::string& ad) {
+  return pred + "@" + ad;
+}
+std::string MagicName(const std::string& pred, const std::string& ad) {
+  return "m_" + pred + "@" + ad;
+}
+
+std::string AdornAtom(const ast::Atom& atom,
+                      const std::set<std::string>& bound) {
+  std::string ad;
+  for (const ast::Term& t : atom.args) {
+    bool b = t.IsConstant() || bound.count(t.text()) != 0;
+    ad += b ? 'b' : 'f';
+  }
+  return ad;
+}
+
+// The magic atom for `atom` under adornment `ad`: the bound-position
+// arguments only.
+ast::Atom MagicAtom(const ast::Atom& atom, const std::string& ad) {
+  std::vector<ast::Term> args;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (ad[i] == 'b') args.push_back(atom.args[i]);
+  }
+  return ast::Atom(MagicName(atom.predicate, ad), std::move(args));
+}
+
+// True if `tuple` matches the constant / repeated-variable pattern of
+// `query` (variables of the query are bindings to read off).
+bool Matches(const ast::Atom& query, const storage::Tuple& tuple,
+             const storage::SymbolTable& symbols) {
+  std::map<std::string, storage::ValueId> binding;
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    const ast::Term& t = query.args[i];
+    if (t.IsConstant()) {
+      storage::ValueId id = symbols.Find(t.text());
+      if (id == storage::SymbolTable::kMissing || tuple[i] != id) return false;
+    } else {
+      auto [it, inserted] = binding.emplace(t.text(), tuple[i]);
+      if (!inserted && it->second != tuple[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
+                                       const ast::Atom& query) {
+  std::set<std::string> idb;
+  for (const ast::Rule& r : program.rules) {
+    if (!r.IsFact()) idb.insert(r.head.predicate);
+    for (const ast::Atom& a : r.body) {
+      if (a.negated) {
+        return Status::InvalidArgument(
+            "the magic-sets rewrite is implemented for positive programs; "
+            "negated literal in: " +
+            r.ToString());
+      }
+    }
+  }
+  if (idb.count(query.predicate) == 0) {
+    return Status::InvalidArgument(
+        "query predicate '" + query.predicate +
+        "' has no rules; magic sets applies to IDB queries");
+  }
+
+  MagicRewrite out;
+  // Keep the EDB facts.
+  for (const ast::Rule& r : program.rules) {
+    if (r.IsFact()) out.program.rules.push_back(r);
+  }
+
+  // Query adornment and seed.
+  std::string query_ad = AdornAtom(query, /*bound=*/{});
+  out.adornment = query_ad;
+  out.answer_predicate = AdornedName(query.predicate, query_ad);
+  out.rewritten_query = ast::Atom(out.answer_predicate, query.args);
+
+  ast::Atom seed = MagicAtom(query, query_ad);
+  out.program.rules.push_back(ast::Rule(seed, {}));  // A fact.
+
+  // Process each reachable (predicate, adornment) pair once.
+  std::set<std::pair<std::string, std::string>> done;
+  std::vector<std::pair<std::string, std::string>> worklist = {
+      {query.predicate, query_ad}};
+  done.insert(worklist.front());
+
+  while (!worklist.empty()) {
+    auto [pred, ad] = worklist.back();
+    worklist.pop_back();
+
+    for (const ast::Rule& rule : program.rules) {
+      if (rule.IsFact() || rule.head.predicate != pred) continue;
+      if (rule.head.arity() != ad.size()) {
+        return Status::InvalidArgument(
+            "adornment arity mismatch for predicate '" + pred + "'");
+      }
+
+      // Variables bound on entry: head variables at bound positions.
+      std::set<std::string> bound;
+      for (size_t i = 0; i < ad.size(); ++i) {
+        if (ad[i] == 'b' && rule.head.args[i].IsVariable()) {
+          bound.insert(rule.head.args[i].text());
+        }
+      }
+
+      ast::Atom head_magic = MagicAtom(rule.head, ad);
+      std::vector<ast::Atom> prefix = {head_magic};
+
+      // Left-to-right sideways information passing.
+      std::vector<ast::Atom> new_body = {head_magic};
+      for (const ast::Atom& atom : rule.body) {
+        if (idb.count(atom.predicate) != 0) {
+          std::string sub_ad = AdornAtom(atom, bound);
+          auto key = std::make_pair(atom.predicate, sub_ad);
+          if (done.insert(key).second) worklist.push_back(key);
+          // Magic rule: bindings flow into the subgoal.
+          ast::Atom sub_magic = MagicAtom(atom, sub_ad);
+          out.program.rules.push_back(ast::Rule(sub_magic, prefix));
+          ast::Atom adorned(AdornedName(atom.predicate, sub_ad), atom.args);
+          new_body.push_back(adorned);
+          prefix.push_back(adorned);
+        } else {
+          new_body.push_back(atom);
+          prefix.push_back(atom);
+        }
+        for (const ast::Term& t : atom.args) {
+          if (t.IsVariable()) bound.insert(t.text());
+        }
+      }
+
+      out.program.rules.push_back(ast::Rule(
+          ast::Atom(AdornedName(pred, ad), rule.head.args), new_body));
+    }
+  }
+  return out;
+}
+
+Result<QueryAnswer> AnswerQuery(storage::Database* db,
+                                const ast::Program& program,
+                                const ast::Atom& query,
+                                const EvalOptions& options) {
+  std::set<std::string> idb;
+  for (const ast::Rule& r : program.rules) {
+    if (!r.IsFact()) idb.insert(r.head.predicate);
+  }
+  if (idb.count(query.predicate) == 0) {
+    // EDB query: load facts and select.
+    DIRE_RETURN_IF_ERROR(db->LoadFacts(program));
+    QueryAnswer out;
+    storage::Relation* rel = db->Find(query.predicate);
+    if (rel != nullptr) {
+      for (const storage::Tuple& t : rel->tuples()) {
+        if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  DIRE_ASSIGN_OR_RETURN(MagicRewrite rewrite,
+                        MagicSetTransform(program, query));
+  Evaluator evaluator(db, options);
+  DIRE_ASSIGN_OR_RETURN(EvalStats stats, evaluator.Evaluate(rewrite.program));
+
+  QueryAnswer out;
+  out.stats = stats;
+  storage::Relation* rel = db->Find(rewrite.answer_predicate);
+  if (rel != nullptr) {
+    for (const storage::Tuple& t : rel->tuples()) {
+      if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+    }
+  }
+  return out;
+}
+
+Result<QueryAnswer> AnswerQueryByFullEvaluation(storage::Database* db,
+                                                const ast::Program& program,
+                                                const ast::Atom& query,
+                                                const EvalOptions& options) {
+  Evaluator evaluator(db, options);
+  DIRE_ASSIGN_OR_RETURN(EvalStats stats, evaluator.Evaluate(program));
+  QueryAnswer out;
+  out.stats = stats;
+  storage::Relation* rel = db->Find(query.predicate);
+  if (rel != nullptr) {
+    for (const storage::Tuple& t : rel->tuples()) {
+      if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace dire::eval

@@ -1,0 +1,218 @@
+#include "eval/plan.h"
+
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+#include "eval/builtins.h"
+
+namespace dire::eval {
+namespace {
+
+// Number of argument positions of `atom` whose variable is in `bound` or is
+// a constant — the join selectivity proxy used by the greedy ordering.
+int BoundCount(const ast::Atom& atom, const std::set<std::string>& bound) {
+  int n = 0;
+  for (const ast::Term& t : atom.args) {
+    if (t.IsConstant() || bound.count(t.text()) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<CompiledRule> CompileRule(const ast::Rule& rule,
+                                 storage::SymbolTable* symbols,
+                                 const CompileOptions& options) {
+  if (rule.IsFact()) {
+    return Status::InvalidArgument("cannot compile a fact as a rule: " +
+                                   rule.ToString());
+  }
+  if (options.delta_atom >= static_cast<int>(rule.body.size())) {
+    return Status::InvalidArgument("delta_atom out of range");
+  }
+
+  if (IsBuiltinPredicate(rule.head.predicate)) {
+    return Status::InvalidArgument("builtin predicate '" +
+                                   rule.head.predicate +
+                                   "' cannot be defined by rules");
+  }
+  for (const ast::Atom& a : rule.body) {
+    if (IsBuiltinPredicate(a.predicate) && (a.arity() != 2 || a.negated)) {
+      return Status::InvalidArgument(
+          "builtin '" + a.predicate +
+          "' takes exactly two positive arguments: " + a.ToString());
+    }
+  }
+
+  // Choose the join order over the positive relational atoms; negated atoms
+  // and builtins run last (they only filter, never bind, and need every
+  // variable bound).
+  auto is_filter = [](const ast::Atom& a) {
+    return a.negated || IsBuiltinPredicate(a.predicate);
+  };
+  size_t num_positive = 0;
+  for (const ast::Atom& a : rule.body) num_positive += is_filter(a) ? 0 : 1;
+  if (options.delta_atom >= 0 &&
+      is_filter(rule.body[static_cast<size_t>(options.delta_atom)])) {
+    return Status::InvalidArgument(
+        "delta differentiation applies to positive atoms only");
+  }
+
+  std::vector<size_t> order;
+  std::vector<bool> used(rule.body.size(), false);
+  std::set<std::string> bound_vars;
+  auto take = [&](size_t i) {
+    order.push_back(i);
+    used[i] = true;
+    for (const ast::Term& t : rule.body[i].args) {
+      if (t.IsVariable()) bound_vars.insert(t.text());
+    }
+  };
+  if (options.delta_atom >= 0) take(static_cast<size_t>(options.delta_atom));
+  if (!options.reorder) {
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (!used[i] && !is_filter(rule.body[i])) take(i);
+    }
+  } else {
+    while (order.size() < num_positive) {
+      int best = -1;
+      int best_score = -1;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (used[i] || is_filter(rule.body[i])) continue;
+        int score = BoundCount(rule.body[i], bound_vars);
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      take(static_cast<size_t>(best));
+    }
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (is_filter(rule.body[i])) {
+      for (const ast::Term& t : rule.body[i].args) {
+        if (t.IsVariable() && bound_vars.count(t.text()) == 0) {
+          return Status::InvalidArgument(
+              StrFormat("unsafe %s: variable '%s' in %s is not bound by a "
+                        "positive atom",
+                        rule.body[i].negated ? "negation" : "builtin",
+                        t.text().c_str(),
+                        rule.body[i].ToString().c_str()));
+        }
+      }
+      order.push_back(i);
+    }
+  }
+
+  CompiledRule out;
+  out.head_predicate = rule.head.predicate;
+  out.head_arity = rule.head.arity();
+
+  std::map<std::string, int> slot_of;
+  auto slot_for = [&](const std::string& var) {
+    auto [it, inserted] = slot_of.emplace(var, out.num_slots);
+    if (inserted) {
+      ++out.num_slots;
+      out.slot_names.push_back(var);
+    }
+    return it->second;
+  };
+
+  std::set<std::string> bound_so_far;
+  for (size_t body_index : order) {
+    const ast::Atom& atom = rule.body[body_index];
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    ca.negated = atom.negated;
+    ca.builtin = IsBuiltinPredicate(atom.predicate);
+    if (options.delta_atom >= 0 &&
+        body_index == static_cast<size_t>(options.delta_atom)) {
+      ca.source = AtomSource::kDelta;
+    }
+    std::set<std::string> bound_in_atom;
+    for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+      const ast::Term& t = atom.args[pos];
+      ArgRef ref;
+      if (t.IsConstant()) {
+        ref.is_const = true;
+        ref.value = symbols->Intern(t.text());
+        ca.check_positions.push_back(static_cast<int>(pos));
+      } else {
+        ref.slot = slot_for(t.text());
+        bool already_bound = bound_so_far.count(t.text()) != 0 ||
+                             bound_in_atom.count(t.text()) != 0;
+        if (already_bound) {
+          ca.check_positions.push_back(static_cast<int>(pos));
+        } else {
+          ca.bind_positions.push_back(static_cast<int>(pos));
+          bound_in_atom.insert(t.text());
+        }
+      }
+      ca.args.push_back(ref);
+    }
+    // Probe on the first checkable position; repeats within this atom are
+    // only checkable against slots bound by this atom's own earlier
+    // positions, so restrict the probe to constants/earlier-atom variables.
+    // Negated atoms use a direct membership lookup instead of a probe;
+    // builtins evaluate directly.
+    if (!ca.negated && !ca.builtin) {
+      for (int pos : ca.check_positions) {
+        const ArgRef& ref = ca.args[static_cast<size_t>(pos)];
+        if (ref.is_const ||
+            bound_so_far.count(atom.args[static_cast<size_t>(pos)].text()) !=
+                0) {
+          ca.probe_position = pos;
+          break;
+        }
+      }
+    }
+    for (const std::string& v : bound_in_atom) bound_so_far.insert(v);
+    out.body.push_back(std::move(ca));
+  }
+
+  // Liveness pass (reverse): a binding is live if its slot is read by any
+  // later atom or by the head.
+  {
+    std::set<int> read_later;
+    for (const ast::Term& t : rule.head.args) {
+      if (t.IsVariable()) {
+        auto it = slot_of.find(t.text());
+        if (it != slot_of.end()) read_later.insert(it->second);
+      }
+    }
+    for (size_t i = out.body.size(); i-- > 0;) {
+      CompiledAtom& ca = out.body[i];
+      for (int pos : ca.bind_positions) {
+        int slot = ca.args[static_cast<size_t>(pos)].slot;
+        if (read_later.count(slot) != 0) {
+          ca.live_bind_positions.push_back(pos);
+        }
+      }
+      for (const ArgRef& ref : ca.args) {
+        if (!ref.is_const) read_later.insert(ref.slot);
+      }
+    }
+  }
+
+  for (const ast::Term& t : rule.head.args) {
+    ArgRef ref;
+    if (t.IsConstant()) {
+      ref.is_const = true;
+      ref.value = symbols->Intern(t.text());
+    } else {
+      auto it = slot_of.find(t.text());
+      if (it == slot_of.end()) {
+        return Status::InvalidArgument(
+            StrFormat("unsafe rule: head variable '%s' not bound by the "
+                      "body in %s",
+                      t.text().c_str(), rule.ToString().c_str()));
+      }
+      ref.slot = it->second;
+    }
+    out.head_args.push_back(ref);
+  }
+  return out;
+}
+
+}  // namespace dire::eval

@@ -1,0 +1,83 @@
+#ifndef DIRE_EVAL_PLAN_H_
+#define DIRE_EVAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "storage/value.h"
+
+namespace dire::eval {
+
+// Where a body atom reads its tuples during semi-naive evaluation.
+enum class AtomSource {
+  kFull,   // The accumulated relation.
+  kDelta,  // Tuples newly derived in the previous iteration.
+};
+
+// A compiled argument: either an interned constant or a variable slot.
+struct ArgRef {
+  bool is_const = false;
+  storage::ValueId value = 0;  // When is_const.
+  int slot = -1;               // When !is_const.
+};
+
+// A body atom compiled against a fixed join order. `check_positions` are
+// argument positions whose value is already known when the atom executes
+// (constants, variables bound by earlier atoms, or repeats within this
+// atom); `bind_positions` bind fresh slots. If `probe_position` >= 0 the
+// executor uses a column hash index on that position instead of scanning.
+struct CompiledAtom {
+  std::string predicate;
+  std::vector<ArgRef> args;
+  std::vector<int> check_positions;
+  std::vector<int> bind_positions;
+  int probe_position = -1;
+  AtomSource source = AtomSource::kFull;
+  // The subset of bind_positions whose slot is read downstream (by a later
+  // atom or the head). When some bindings are dead, the executor
+  // deduplicates on the live projection — the classic projection pushdown:
+  //   buys(X,Y) :- trendy(X), buys(Z,Y).
+  // scans each distinct Y of buys once instead of once per (Z,Y).
+  std::vector<int> live_bind_positions;
+  // Negation-as-failure: all positions are bound when the atom executes;
+  // the executor continues iff the tuple is absent from the relation.
+  // Negated atoms are placed after every positive atom in the join order.
+  bool negated = false;
+  // Comparison builtin (see eval/builtins.h): evaluated directly, both
+  // positions bound, ordered after the positive atoms like negation.
+  bool builtin = false;
+};
+
+// A rule compiled for bottom-up execution: ordered body atoms plus the head
+// constructor.
+struct CompiledRule {
+  std::string head_predicate;
+  size_t head_arity = 0;
+  std::vector<ArgRef> head_args;
+  std::vector<CompiledAtom> body;
+  int num_slots = 0;
+  // Source variable name of each slot (for plan explanation).
+  std::vector<std::string> slot_names;
+};
+
+struct CompileOptions {
+  // Greedily reorder body atoms so that each atom joins on already-bound
+  // variables where possible. When false the written order is kept.
+  bool reorder = true;
+  // Index (into the *original* rule body) of the atom that must execute
+  // first and read from the delta source, or -1. Used by semi-naive rule
+  // differentiation.
+  int delta_atom = -1;
+};
+
+// Compiles `rule`, interning its constants into `symbols`. Fails on unsafe
+// rules (head variable absent from the body).
+Result<CompiledRule> CompileRule(const ast::Rule& rule,
+                                 storage::SymbolTable* symbols,
+                                 const CompileOptions& options = {});
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_PLAN_H_

@@ -1,0 +1,278 @@
+#include "eval/provenance.h"
+
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+#include "eval/builtins.h"
+
+namespace dire::eval {
+namespace {
+
+// Backtracking search for one rule-body instantiation deriving `fact_tuple`
+// with every positive premise strictly older than `fact_round`.
+class BodySearch {
+ public:
+  BodySearch(storage::Database* db, const ProvenanceTracker& tracker,
+             int fact_round)
+      : db_(db), tracker_(tracker), fact_round_(fact_round) {}
+
+  // On success fills `premises` with (atom ground instance) per body atom.
+  bool Run(const ast::Rule& rule,
+           const std::map<std::string, storage::ValueId>& head_binding,
+           std::vector<ast::Atom>* premises) {
+    rule_ = &rule;
+    binding_ = head_binding;
+    premises->clear();
+    if (!Extend(0)) return false;
+    // Materialize the ground premises from the final binding.
+    for (const ast::Atom& atom : rule.body) {
+      ast::Atom ground;
+      ground.predicate = atom.predicate;
+      ground.negated = atom.negated;
+      for (const ast::Term& t : atom.args) {
+        ground.args.push_back(ast::Term::Const(
+            db_->symbols().Name(ValueOf(t))));
+      }
+      premises->push_back(std::move(ground));
+    }
+    return true;
+  }
+
+ private:
+  storage::ValueId ValueOf(const ast::Term& t) const {
+    if (t.IsConstant()) {
+      return db_->symbols().Intern(t.text());
+    }
+    return binding_.at(t.text());
+  }
+
+  bool Extend(size_t index) {
+    if (index == rule_->body.size()) return true;
+    const ast::Atom& atom = rule_->body[index];
+    if (IsBuiltinPredicate(atom.predicate)) {
+      return CheckBuiltin(atom) && Extend(index + 1);
+    }
+    if (atom.negated) {
+      // Defer all negated atoms to the end (they are checks).
+      return CheckNegated(atom) && Extend(index + 1);
+    }
+    storage::Relation* rel = db_->Find(atom.predicate);
+    if (rel == nullptr) return false;
+    for (const storage::Tuple& t : rel->tuples()) {
+      if (tracker_.RoundOf(atom.predicate, t) >= fact_round_) continue;
+      std::vector<std::string> trail;
+      if (TryBind(atom, t, &trail)) {
+        if (Extend(index + 1)) return true;
+      }
+      for (const std::string& v : trail) binding_.erase(v);
+    }
+    return false;
+  }
+
+  bool CheckBuiltin(const ast::Atom& atom) {
+    if (atom.arity() != 2) return false;
+    storage::ValueId values[2];
+    for (int i = 0; i < 2; ++i) {
+      const ast::Term& t = atom.args[static_cast<size_t>(i)];
+      if (t.IsConstant()) {
+        values[i] = db_->symbols().Intern(t.text());
+      } else {
+        auto it = binding_.find(t.text());
+        if (it == binding_.end()) return false;
+        values[i] = it->second;
+      }
+    }
+    return EvalBuiltin(atom.predicate, db_->symbols(), values[0], values[1]);
+  }
+
+  bool CheckNegated(const ast::Atom& atom) {
+    storage::Relation* rel = db_->Find(atom.predicate);
+    if (rel == nullptr) return true;
+    storage::Tuple key;
+    for (const ast::Term& t : atom.args) {
+      if (t.IsConstant()) {
+        storage::ValueId id = db_->symbols().Find(t.text());
+        if (id == storage::SymbolTable::kMissing) return true;
+        key.push_back(id);
+      } else {
+        auto it = binding_.find(t.text());
+        if (it == binding_.end()) return false;  // Unsafe; treat as failure.
+        key.push_back(it->second);
+      }
+    }
+    return !rel->Contains(key);
+  }
+
+  bool TryBind(const ast::Atom& atom, const storage::Tuple& t,
+               std::vector<std::string>* trail) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const ast::Term& term = atom.args[i];
+      if (term.IsConstant()) {
+        storage::ValueId id = db_->symbols().Find(term.text());
+        if (id != t[i]) return false;
+        continue;
+      }
+      auto it = binding_.find(term.text());
+      if (it != binding_.end()) {
+        if (it->second != t[i]) return false;
+      } else {
+        binding_.emplace(term.text(), t[i]);
+        trail->push_back(term.text());
+      }
+    }
+    return true;
+  }
+
+  storage::Database* db_;
+  const ProvenanceTracker& tracker_;
+  int fact_round_;
+  const ast::Rule* rule_ = nullptr;
+  std::map<std::string, storage::ValueId> binding_;
+};
+
+class Explainer {
+ public:
+  Explainer(storage::Database* db, const ast::Program& program,
+            const ProvenanceTracker& tracker, const ExplainOptions& options)
+      : db_(db), program_(program), tracker_(tracker), options_(options) {
+    for (const ast::Rule& r : program.rules) {
+      if (!r.IsFact()) idb_.insert(r.head.predicate);
+    }
+  }
+
+  Result<Derivation> Build(const ast::Atom& fact, int depth) {
+    if (depth > options_.max_depth) {
+      return Status::Internal("derivation depth limit exceeded");
+    }
+    storage::Tuple tuple;
+    for (const ast::Term& t : fact.args) {
+      if (t.IsVariable()) {
+        return Status::InvalidArgument("fact must be ground: " +
+                                       fact.ToString());
+      }
+      storage::ValueId id = db_->symbols().Find(t.text());
+      if (id == storage::SymbolTable::kMissing) {
+        return Status::NotFound("unknown constant in " + fact.ToString());
+      }
+      tuple.push_back(id);
+    }
+    storage::Relation* rel = db_->Find(fact.predicate);
+    if (rel == nullptr || !rel->Contains(tuple)) {
+      return Status::NotFound(fact.ToString() + " is not in the database");
+    }
+
+    Derivation node;
+    node.fact = fact;
+    node.fact.negated = false;
+
+    if (idb_.count(fact.predicate) == 0) {
+      return node;  // EDB leaf.
+    }
+    int round = tracker_.RoundOf(fact.predicate, tuple);
+    if (round == 0) {
+      return Status::InvalidArgument(
+          "no recorded derivation round for " + fact.ToString() +
+          "; was the ProvenanceTracker attached during evaluation?");
+    }
+
+    for (size_t rule_index = 0; rule_index < program_.rules.size();
+         ++rule_index) {
+      const ast::Rule& rule = program_.rules[rule_index];
+      if (rule.IsFact() || rule.head.predicate != fact.predicate) continue;
+      // Bind head variables against the fact (head terms may repeat).
+      std::map<std::string, storage::ValueId> head_binding;
+      bool head_ok = rule.head.arity() == tuple.size();
+      for (size_t i = 0; head_ok && i < tuple.size(); ++i) {
+        const ast::Term& t = rule.head.args[i];
+        if (t.IsConstant()) {
+          head_ok = db_->symbols().Find(t.text()) == tuple[i];
+        } else {
+          auto [it, inserted] = head_binding.emplace(t.text(), tuple[i]);
+          head_ok = inserted || it->second == tuple[i];
+        }
+      }
+      if (!head_ok) continue;
+
+      BodySearch search(db_, tracker_, round);
+      std::vector<ast::Atom> premises;
+      if (!search.Run(rule, head_binding, &premises)) continue;
+
+      node.rule_index = static_cast<int>(rule_index);
+      bool all_ok = true;
+      for (const ast::Atom& premise : premises) {
+        if (IsBuiltinPredicate(premise.predicate)) {
+          Derivation leaf;
+          leaf.fact = premise;
+          leaf.rule_index = -2;  // Rendered as [builtin].
+          node.premises.push_back(std::move(leaf));
+          continue;
+        }
+        if (premise.negated) {
+          Derivation leaf;
+          leaf.fact = premise;
+          node.premises.push_back(std::move(leaf));
+          continue;
+        }
+        Result<Derivation> child = Build(premise, depth + 1);
+        if (!child.ok()) {
+          all_ok = false;
+          break;
+        }
+        node.premises.push_back(std::move(child).value());
+      }
+      if (all_ok) return node;
+      node.premises.clear();
+    }
+    return Status::NotFound("no well-founded rule instance derives " +
+                            fact.ToString());
+  }
+
+ private:
+  storage::Database* db_;
+  const ast::Program& program_;
+  const ProvenanceTracker& tracker_;
+  ExplainOptions options_;
+  std::set<std::string> idb_;
+};
+
+void Render(const Derivation& node, const std::string& prefix, bool last,
+            bool root, std::string* out) {
+  if (!root) {
+    *out += prefix + (last ? "`- " : "|- ");
+  }
+  *out += node.fact.ToString();
+  if (node.fact.negated) {
+    *out += "  [absent]";
+  } else if (node.rule_index == -2) {
+    *out += "  [builtin]";
+  } else if (node.rule_index < 0) {
+    *out += "  [edb]";
+  } else {
+    *out += StrFormat("  [rule %d]", node.rule_index);
+  }
+  *out += '\n';
+  std::string child_prefix =
+      root ? "" : prefix + (last ? "   " : "|  ");
+  for (size_t i = 0; i < node.premises.size(); ++i) {
+    Render(node.premises[i], child_prefix, i + 1 == node.premises.size(),
+           /*root=*/false, out);
+  }
+}
+
+}  // namespace
+
+std::string Derivation::ToString() const {
+  std::string out;
+  Render(*this, "", /*last=*/true, /*root=*/true, &out);
+  return out;
+}
+
+Result<Derivation> Explain(storage::Database* db, const ast::Program& program,
+                           const ProvenanceTracker& tracker,
+                           const ast::Atom& fact,
+                           const ExplainOptions& options) {
+  return Explainer(db, program, tracker, options).Build(fact, 0);
+}
+
+}  // namespace dire::eval

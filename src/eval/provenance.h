@@ -1,0 +1,83 @@
+#ifndef DIRE_EVAL_PROVENANCE_H_
+#define DIRE_EVAL_PROVENANCE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/hash.h"
+#include "base/result.h"
+#include "storage/database.h"
+
+namespace dire::eval {
+
+// Records, for every derived tuple, the evaluation round in which it first
+// appeared. Pass a tracker through EvalOptions::tracker; rounds then allow
+// Explain() to rebuild well-founded derivation trees (each premise strictly
+// older than its conclusion, so recursive predicates cannot justify a fact
+// with itself).
+class ProvenanceTracker {
+ public:
+  void Record(const std::string& predicate, const storage::Tuple& tuple,
+              int round) {
+    rounds_[predicate].emplace(tuple, round);
+  }
+
+  // Round of first derivation; 0 for unknown tuples (EDB facts).
+  int RoundOf(const std::string& predicate,
+              const storage::Tuple& tuple) const {
+    auto it = rounds_.find(predicate);
+    if (it == rounds_.end()) return 0;
+    auto jt = it->second.find(tuple);
+    return jt == it->second.end() ? 0 : jt->second;
+  }
+
+  void Clear() { rounds_.clear(); }
+
+ private:
+  struct TupleHasher {
+    size_t operator()(const storage::Tuple& t) const {
+      return static_cast<size_t>(HashVector(t));
+    }
+  };
+  std::unordered_map<std::string,
+                     std::unordered_map<storage::Tuple, int, TupleHasher>>
+      rounds_;
+};
+
+// One node of a derivation tree: `fact` was produced by rule `rule_index`
+// of the program (or is an EDB fact when rule_index == -1), from the listed
+// premises.
+struct Derivation {
+  ast::Atom fact;
+  int rule_index = -1;
+  std::vector<Derivation> premises;
+
+  // Pretty tree rendering:
+  //   t(a,c)  [rule 1]
+  //   |- e(a,b)  [edb]
+  //   `- t(b,c)  [rule 2]
+  //      `- e(b,c)  [edb]
+  std::string ToString() const;
+};
+
+struct ExplainOptions {
+  // Guard against pathological depth (cannot trigger on consistent
+  // tracker data, where premise rounds strictly decrease).
+  int max_depth = 10000;
+};
+
+// Builds one derivation tree for the ground `fact` (all arguments
+// constants) against a database previously evaluated with `tracker`
+// attached. Fails if the fact is not in the database or no well-founded
+// rule instance explains it (e.g. the tracker was not attached).
+Result<Derivation> Explain(storage::Database* db, const ast::Program& program,
+                           const ProvenanceTracker& tracker,
+                           const ast::Atom& fact,
+                           const ExplainOptions& options = {});
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_PROVENANCE_H_

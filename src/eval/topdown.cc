@@ -1,0 +1,239 @@
+#include "eval/topdown.h"
+
+#include "eval/builtins.h"
+
+namespace dire::eval {
+namespace {
+
+// Binds the variables of `atom` against `tuple`; false on mismatch with the
+// existing bindings or the atom's constants/repeats. Newly bound variables
+// are recorded in `trail`.
+bool BindAtom(const ast::Atom& atom, const storage::Tuple& tuple,
+              storage::SymbolTable* symbols,
+              std::map<std::string, storage::ValueId>* bindings,
+              std::vector<std::string>* trail) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const ast::Term& t = atom.args[i];
+    if (t.IsConstant()) {
+      if (symbols->Intern(t.text()) != tuple[i]) return false;
+      continue;
+    }
+    auto it = bindings->find(t.text());
+    if (it != bindings->end()) {
+      if (it->second != tuple[i]) return false;
+    } else {
+      bindings->emplace(t.text(), tuple[i]);
+      trail->push_back(t.text());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TabledTopDown::TabledTopDown(storage::Database* db,
+                             const ast::Program& program)
+    : db_(db), program_(program) {
+  for (const ast::Rule& r : program.rules) {
+    if (!r.IsFact()) idb_.insert(r.head.predicate);
+  }
+}
+
+Status TabledTopDown::EnsureFactsLoaded() {
+  if (facts_loaded_) return Status::Ok();
+  facts_loaded_ = true;
+  return db_->LoadFacts(program_);
+}
+
+TabledTopDown::CallKey TabledTopDown::MakeKey(const ast::Atom& goal,
+                                              const Bindings& bindings) const {
+  CallKey key;
+  key.predicate = goal.predicate;
+  for (const ast::Term& t : goal.args) {
+    if (t.IsConstant()) {
+      key.pattern += 'b';
+      key.bound.push_back(
+          const_cast<storage::SymbolTable&>(db_->symbols()).Intern(t.text()));
+      continue;
+    }
+    auto it = bindings.find(t.text());
+    if (it != bindings.end()) {
+      key.pattern += 'b';
+      key.bound.push_back(it->second);
+    } else {
+      key.pattern += 'f';
+    }
+  }
+  return key;
+}
+
+Result<QueryAnswer> TabledTopDown::Query(const ast::Atom& query) {
+  for (const ast::Rule& r : program_.rules) {
+    for (const ast::Atom& a : r.body) {
+      if (a.negated) {
+        return Status::InvalidArgument(
+            "tabled top-down evaluation is implemented for positive "
+            "programs; negated literal in: " +
+            r.ToString());
+      }
+    }
+  }
+  DIRE_RETURN_IF_ERROR(EnsureFactsLoaded());
+
+  QueryAnswer out;
+  Bindings empty;
+  if (idb_.count(query.predicate) == 0) {
+    // EDB query: plain selection.
+    storage::Relation* rel = db_->Find(query.predicate);
+    if (rel == nullptr) return out;
+    for (const storage::Tuple& t : rel->tuples()) {
+      Bindings bindings;
+      std::vector<std::string> trail;
+      if (BindAtom(query, t, &db_->symbols(), &bindings, &trail)) {
+        out.tuples.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  CallKey root = MakeKey(query, empty);
+  // Outer fixpoint: re-solve until no table grows (cyclic tables pick up
+  // the answers discovered by later passes).
+  do {
+    grew_ = false;
+    completed_this_pass_.clear();
+    ++stats_.outer_passes;
+    DIRE_RETURN_IF_ERROR(SolveCall(root));
+  } while (grew_);
+
+  stats_.tables = tables_.size();
+  stats_.answers = 0;
+  for (const auto& [key, answers] : tables_) stats_.answers += answers.size();
+
+  for (const storage::Tuple& t : tables_[root]) {
+    Bindings bindings;
+    std::vector<std::string> trail;
+    if (BindAtom(query, t, &db_->symbols(), &bindings, &trail)) {
+      out.tuples.push_back(t);
+    }
+  }
+  return out;
+}
+
+Status TabledTopDown::SolveCall(const CallKey& key) {
+  if (in_progress_.count(key) != 0 ||
+      completed_this_pass_.count(key) != 0) {
+    return Status::Ok();  // Consume the table as it stands.
+  }
+  in_progress_.insert(key);
+  tables_[key];  // Materialize the table.
+
+  for (const ast::Rule& rule : program_.rules) {
+    if (rule.IsFact() || rule.head.predicate != key.predicate) continue;
+    // Bind head variables from the call's bound positions.
+    Bindings bindings;
+    bool feasible = true;
+    size_t bound_index = 0;
+    std::vector<std::string> trail;
+    for (size_t i = 0; i < rule.head.args.size() && feasible; ++i) {
+      if (key.pattern[i] != 'b') continue;
+      storage::ValueId value = key.bound[bound_index++];
+      const ast::Term& t = rule.head.args[i];
+      if (t.IsConstant()) {
+        feasible = db_->symbols().Intern(t.text()) == value;
+      } else {
+        auto it = bindings.find(t.text());
+        if (it != bindings.end()) {
+          feasible = it->second == value;
+        } else {
+          bindings.emplace(t.text(), value);
+        }
+      }
+    }
+    if (!feasible) continue;
+    DIRE_RETURN_IF_ERROR(SolveBody(key, rule, 0, &bindings));
+  }
+
+  in_progress_.erase(key);
+  completed_this_pass_.insert(key);
+  return Status::Ok();
+}
+
+Status TabledTopDown::SolveBody(const CallKey& key, const ast::Rule& rule,
+                                size_t index, Bindings* bindings) {
+  if (index == rule.body.size()) {
+    // Head instance complete? Every head variable must be bound (safe rule).
+    storage::Tuple answer;
+    for (const ast::Term& t : rule.head.args) {
+      if (t.IsConstant()) {
+        answer.push_back(db_->symbols().Intern(t.text()));
+        continue;
+      }
+      auto it = bindings->find(t.text());
+      if (it == bindings->end()) {
+        return Status::InvalidArgument(
+            "unsafe rule: head variable '" + t.text() +
+            "' unbound after solving the body of " + rule.ToString());
+      }
+      answer.push_back(it->second);
+    }
+    if (tables_[key].insert(answer).second) grew_ = true;
+    return Status::Ok();
+  }
+
+  const ast::Atom& goal = rule.body[index];
+  if (IsBuiltinPredicate(goal.predicate)) {
+    if (goal.arity() != 2) {
+      return Status::InvalidArgument("builtin '" + goal.predicate +
+                                     "' takes two arguments");
+    }
+    storage::ValueId values[2];
+    for (int i = 0; i < 2; ++i) {
+      const ast::Term& t = goal.args[static_cast<size_t>(i)];
+      if (t.IsConstant()) {
+        values[i] = db_->symbols().Intern(t.text());
+      } else {
+        auto it = bindings->find(t.text());
+        if (it == bindings->end()) {
+          return Status::InvalidArgument(
+              "unsafe builtin: variable '" + t.text() +
+              "' unbound in " + goal.ToString());
+        }
+        values[i] = it->second;
+      }
+    }
+    if (EvalBuiltin(goal.predicate, db_->symbols(), values[0], values[1])) {
+      DIRE_RETURN_IF_ERROR(SolveBody(key, rule, index + 1, bindings));
+    }
+    return Status::Ok();
+  }
+  if (idb_.count(goal.predicate) != 0) {
+    CallKey subcall = MakeKey(goal, *bindings);
+    DIRE_RETURN_IF_ERROR(SolveCall(subcall));
+    // Iterate over a snapshot: recursive sub-solving may grow the table;
+    // the outer fixpoint pass picks up late arrivals.
+    std::vector<storage::Tuple> snapshot(tables_[subcall].begin(),
+                                         tables_[subcall].end());
+    for (const storage::Tuple& t : snapshot) {
+      std::vector<std::string> trail;
+      if (BindAtom(goal, t, &db_->symbols(), bindings, &trail)) {
+        DIRE_RETURN_IF_ERROR(SolveBody(key, rule, index + 1, bindings));
+      }
+      for (const std::string& v : trail) bindings->erase(v);
+    }
+    return Status::Ok();
+  }
+
+  storage::Relation* rel = db_->Find(goal.predicate);
+  if (rel == nullptr) return Status::Ok();
+  for (const storage::Tuple& t : rel->tuples()) {
+    std::vector<std::string> trail;
+    if (BindAtom(goal, t, &db_->symbols(), bindings, &trail)) {
+      DIRE_RETURN_IF_ERROR(SolveBody(key, rule, index + 1, bindings));
+    }
+    for (const std::string& v : trail) bindings->erase(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dire::eval

@@ -1,0 +1,164 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+
+namespace dire::parser {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kConstant:
+      return "constant";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kImplies:
+      return "':-'";
+    case TokenKind::kQuery:
+      return "'?-'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAhead() const {
+    return pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  Cursor cur(input);
+
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    int line = cur.line();
+    int column = cur.column();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.Advance();
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+      continue;
+    }
+
+    auto push = [&](TokenKind kind, std::string text) {
+      tokens.push_back(Token{kind, std::move(text), line, column});
+    };
+
+    if (c == '(') {
+      cur.Advance();
+      push(TokenKind::kLParen, "(");
+    } else if (c == ')') {
+      cur.Advance();
+      push(TokenKind::kRParen, ")");
+    } else if (c == ',') {
+      cur.Advance();
+      push(TokenKind::kComma, ",");
+    } else if (c == '.') {
+      cur.Advance();
+      push(TokenKind::kPeriod, ".");
+    } else if (c == ':' && cur.PeekAhead() == '-') {
+      cur.Advance();
+      cur.Advance();
+      push(TokenKind::kImplies, ":-");
+    } else if (c == '?' && cur.PeekAhead() == '-') {
+      cur.Advance();
+      cur.Advance();
+      push(TokenKind::kQuery, "?-");
+    } else if (c == '"') {
+      cur.Advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.AtEnd()) {
+        char d = cur.Advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\n') break;  // Strings may not span lines.
+        text += d;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("%d:%d: unterminated string literal", line, column));
+      }
+      push(TokenKind::kString, std::move(text));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && std::isdigit(
+                                static_cast<unsigned char>(cur.PeekAhead())))) {
+      std::string text;
+      text += cur.Advance();
+      while (!cur.AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+        text += cur.Advance();
+      }
+      push(TokenKind::kNumber, std::move(text));
+    } else if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!cur.AtEnd() && IsIdentBody(cur.Peek())) text += cur.Advance();
+      push(TokenKind::kVariable, std::move(text));
+    } else if (std::islower(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (!cur.AtEnd() && IsIdentBody(cur.Peek())) text += cur.Advance();
+      push(TokenKind::kConstant, std::move(text));
+    } else {
+      return Status::ParseError(
+          StrFormat("%d:%d: unexpected character '%c'", line, column, c));
+    }
+  }
+
+  tokens.push_back(Token{TokenKind::kEof, "", cur.line(), cur.column()});
+  return tokens;
+}
+
+}  // namespace dire::parser

@@ -1,0 +1,42 @@
+#ifndef DIRE_PARSER_LEXER_H_
+#define DIRE_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace dire::parser {
+
+enum class TokenKind {
+  kVariable,    // Leading upper-case or '_': X, Z1, _tmp
+  kConstant,    // Leading lower-case identifier: alice, e2
+  kNumber,      // 42, -7
+  kString,      // "free text" (stored without quotes)
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kPeriod,      // .
+  kImplies,     // :-
+  kQuery,       // ?-
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // Spelling (for identifiers/numbers/strings).
+  int line = 1;      // 1-based position of the first character.
+  int column = 1;
+};
+
+// Tokenizes Datalog text. Comments run from '%' or '#' to end of line.
+// Fails on unrecognized characters or unterminated strings, reporting
+// line:column.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace dire::parser
+
+#endif  // DIRE_PARSER_LEXER_H_

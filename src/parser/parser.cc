@@ -1,0 +1,172 @@
+#include "parser/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+#include "parser/lexer.h"
+
+namespace dire::parser {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ast::Program> Program() {
+    ast::Program program;
+    while (!Check(TokenKind::kEof)) {
+      DIRE_ASSIGN_OR_RETURN(ast::Rule rule, RuleClause());
+      DIRE_RETURN_IF_ERROR(CheckArities(rule));
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+  Result<ast::Rule> SingleRule() {
+    DIRE_ASSIGN_OR_RETURN(ast::Rule rule, RuleClause());
+    DIRE_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return rule;
+  }
+
+  Result<ast::Atom> SingleAtom() {
+    DIRE_ASSIGN_OR_RETURN(ast::Atom atom, AtomClause());
+    DIRE_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return atom;
+  }
+
+ private:
+  Result<ast::Rule> RuleClause() {
+    DIRE_ASSIGN_OR_RETURN(ast::Atom head, AtomClause());
+    ast::Rule rule;
+    rule.head = std::move(head);
+    if (Check(TokenKind::kImplies)) {
+      Advance();
+      while (true) {
+        // `not p(...)`: negation-as-failure literal (stratified programs).
+        // `not` followed by '(' is the predicate named "not" instead.
+        bool negated = false;
+        if (Check(TokenKind::kConstant) && Peek().text == "not" &&
+            PeekNext().kind == TokenKind::kConstant) {
+          Advance();
+          negated = true;
+        }
+        DIRE_ASSIGN_OR_RETURN(ast::Atom atom, AtomClause());
+        atom.negated = negated;
+        rule.body.push_back(std::move(atom));
+        if (!Check(TokenKind::kComma)) break;
+        Advance();
+      }
+    }
+    DIRE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return rule;
+  }
+
+  Result<ast::Atom> AtomClause() {
+    const Token& name = Peek();
+    if (name.kind != TokenKind::kConstant) {
+      return Error(name, "predicate name (lower-case identifier)");
+    }
+    Advance();
+    ast::Atom atom;
+    atom.predicate = name.text;
+    if (!Check(TokenKind::kLParen)) return atom;  // 0-ary predicate.
+    Advance();
+    if (Check(TokenKind::kRParen)) {
+      Advance();
+      return atom;
+    }
+    while (true) {
+      DIRE_ASSIGN_OR_RETURN(ast::Term term, TermClause());
+      atom.args.push_back(std::move(term));
+      if (Check(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      DIRE_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return atom;
+    }
+  }
+
+  Result<ast::Term> TermClause() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        Advance();
+        return ast::Term::Var(tok.text);
+      case TokenKind::kConstant:
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        Advance();
+        return ast::Term::Const(tok.text);
+      default:
+        return Error(tok, "term (variable or constant)");
+    }
+  }
+
+  Status CheckArities(const ast::Rule& rule) {
+    DIRE_RETURN_IF_ERROR(CheckArity(rule.head));
+    for (const ast::Atom& a : rule.body) DIRE_RETURN_IF_ERROR(CheckArity(a));
+    return Status::Ok();
+  }
+
+  Status CheckArity(const ast::Atom& atom) {
+    auto [it, inserted] = arity_.emplace(atom.predicate, atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      return Status::ParseError(
+          StrFormat("predicate '%s' used with arity %zu after arity %zu",
+                    atom.predicate.c_str(), atom.arity(), it->second));
+    }
+    return Status::Ok();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekNext() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Error(Peek(), TokenKindName(kind));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status Error(const Token& got, const std::string& wanted) const {
+    return Status::ParseError(StrFormat(
+        "%d:%d: expected %s but found %s%s%s", got.line, got.column,
+        wanted.c_str(), TokenKindName(got.kind), got.text.empty() ? "" : " ",
+        got.text.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, size_t> arity_;
+};
+
+}  // namespace
+
+Result<ast::Program> ParseProgram(std::string_view text) {
+  DIRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Program();
+}
+
+Result<ast::Rule> ParseRule(std::string_view text) {
+  DIRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.SingleRule();
+}
+
+Result<ast::Atom> ParseAtom(std::string_view text) {
+  DIRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.SingleAtom();
+}
+
+}  // namespace dire::parser

@@ -1,0 +1,31 @@
+#ifndef DIRE_PARSER_PARSER_H_
+#define DIRE_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/ast.h"
+#include "base/result.h"
+
+namespace dire::parser {
+
+// Parses a Datalog program:
+//
+//   % transitive closure (paper Example 2.1)
+//   t(X, Y) :- e(X, Z), t(Z, Y).
+//   t(X, Y) :- e(X, Y).
+//   e(a, b).
+//
+// Variables start upper-case or '_', constants lower-case (numbers and
+// "quoted strings" are also constants). Enforces one arity per predicate
+// name. Errors carry line:column positions.
+Result<ast::Program> ParseProgram(std::string_view text);
+
+// Parses a single rule or fact (must consume all input up to one final '.').
+Result<ast::Rule> ParseRule(std::string_view text);
+
+// Parses a single atom, e.g. "t(X, Y)".
+Result<ast::Atom> ParseAtom(std::string_view text);
+
+}  // namespace dire::parser
+
+#endif  // DIRE_PARSER_PARSER_H_

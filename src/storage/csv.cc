@@ -1,0 +1,68 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace dire::storage {
+
+Status LoadCsv(Database* db, const std::string& name, std::string_view text) {
+  Relation* rel = nullptr;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields = Split(line, ',');
+    Tuple t;
+    t.reserve(fields.size());
+    for (const std::string& f : fields) {
+      t.push_back(db->symbols().Intern(StripWhitespace(f)));
+    }
+    if (rel == nullptr) {
+      DIRE_ASSIGN_OR_RETURN(rel, db->GetOrCreate(name, t.size()));
+    }
+    if (t.size() != rel->arity()) {
+      return Status::ParseError(
+          StrFormat("%s line %zu: expected %zu fields, found %zu",
+                    name.c_str(), line_no, rel->arity(), t.size()));
+    }
+    rel->Insert(t);
+  }
+  return Status::Ok();
+}
+
+Status LoadCsvFile(Database* db, const std::string& name,
+                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsv(db, name, buffer.str());
+}
+
+Result<std::string> DumpCsv(const Database& db, const std::string& name) {
+  const Relation* rel = db.Find(name);
+  if (rel == nullptr) return Status::NotFound("no relation " + name);
+  std::string out;
+  for (const Tuple& t : rel->tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i != 0) out += ',';
+      out += db.symbols().Name(t[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status DumpCsvFile(const Database& db, const std::string& name,
+                   const std::string& path) {
+  DIRE_ASSIGN_OR_RETURN(std::string text, DumpCsv(db, name));
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << text;
+  return Status::Ok();
+}
+
+}  // namespace dire::storage

@@ -1,0 +1,30 @@
+#ifndef DIRE_STORAGE_CSV_H_
+#define DIRE_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "storage/database.h"
+
+namespace dire::storage {
+
+// Loads comma-separated rows from `text` into relation `name`. Every line is
+// one tuple; fields are trimmed; blank lines and lines starting with '#' are
+// skipped. All rows must have the same field count (which fixes the arity).
+Status LoadCsv(Database* db, const std::string& name, std::string_view text);
+
+// Reads `path` and calls LoadCsv.
+Status LoadCsvFile(Database* db, const std::string& name,
+                   const std::string& path);
+
+// Serializes a relation as CSV (insertion order).
+Result<std::string> DumpCsv(const Database& db, const std::string& name);
+
+// Writes DumpCsv output to `path`.
+Status DumpCsvFile(const Database& db, const std::string& name,
+                   const std::string& path);
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_CSV_H_

@@ -1,0 +1,106 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace dire::storage {
+
+Result<Relation*> Database::GetOrCreate(const std::string& name,
+                                        size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second->arity() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("relation '%s' exists with arity %zu, requested %zu",
+                    name.c_str(), it->second->arity(), arity));
+    }
+    return it->second.get();
+  }
+  auto rel = std::make_unique<Relation>(name, arity);
+  Relation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
+Relation* Database::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Database::AddFact(const ast::Atom& atom) {
+  Tuple t;
+  t.reserve(atom.args.size());
+  for (const ast::Term& term : atom.args) {
+    if (term.IsVariable()) {
+      return Status::InvalidArgument("fact contains a variable: " +
+                                     atom.ToString());
+    }
+    t.push_back(symbols_.Intern(term.text()));
+  }
+  DIRE_ASSIGN_OR_RETURN(Relation * rel,
+                        GetOrCreate(atom.predicate, atom.arity()));
+  rel->Insert(t);
+  return Status::Ok();
+}
+
+Status Database::LoadFacts(const ast::Program& program) {
+  for (const ast::Rule& r : program.rules) {
+    if (r.IsFact()) DIRE_RETURN_IF_ERROR(AddFact(r.head));
+  }
+  return Status::Ok();
+}
+
+Status Database::AddRow(const std::string& name,
+                        const std::vector<std::string>& values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (const std::string& v : values) t.push_back(symbols_.Intern(v));
+  DIRE_ASSIGN_OR_RETURN(Relation * rel, GetOrCreate(name, values.size()));
+  rel->Insert(t);
+  return Status::Ok();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->size();
+  return n;
+}
+
+std::string Database::DumpRelation(const std::string& name) const {
+  const Relation* rel = Find(name);
+  if (rel == nullptr) return "";
+  std::vector<std::string> lines;
+  lines.reserve(rel->size());
+  for (const Tuple& t : rel->tuples()) {
+    std::string line = name;
+    line += '(';
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i != 0) line += ',';
+      line += symbols_.Name(t[i]);
+    }
+    line += ')';
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dire::storage

@@ -1,0 +1,63 @@
+#ifndef DIRE_STORAGE_DATABASE_H_
+#define DIRE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "storage/relation.h"
+#include "storage/value.h"
+
+namespace dire::storage {
+
+// A main-memory database: a symbol table plus named relations. Serves as
+// both the EDB (loaded facts) and the store for derived IDB relations.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // Returns the relation named `name`, creating it with `arity` if absent.
+  // Fails if it exists with a different arity.
+  Result<Relation*> GetOrCreate(const std::string& name, size_t arity);
+
+  // Returns the relation or nullptr.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  // Interns the constants of a ground atom and inserts the tuple.
+  // Fails if the atom contains variables.
+  Status AddFact(const ast::Atom& atom);
+
+  // Inserts every fact (empty-body rule) of `program`.
+  Status LoadFacts(const ast::Program& program);
+
+  // Convenience: add tuple of constant spellings to relation `name`.
+  Status AddRow(const std::string& name,
+                const std::vector<std::string>& values);
+
+  // Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  // Total tuple count across all relations.
+  size_t TotalTuples() const;
+
+  // Renders `rel`'s tuples as sorted "name(a,b)" lines (deterministic, for
+  // tests and golden output).
+  std::string DumpRelation(const std::string& name) const;
+
+ private:
+  SymbolTable symbols_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_DATABASE_H_

@@ -1,0 +1,134 @@
+#include "storage/generators.h"
+
+#include <set>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace dire::storage {
+namespace {
+
+std::string Node(int i) { return StrFormat("n%d", i); }
+
+Status AddEdge(Database* db, const std::string& rel, int a, int b) {
+  return db->AddRow(rel, {Node(a), Node(b)});
+}
+
+// Creates an empty relation if absent, so generators that may emit zero rows
+// still leave a queryable relation behind.
+Status EnsureRelation(Database* db, const std::string& rel, size_t arity) {
+  Result<Relation*> r = db->GetOrCreate(rel, arity);
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+}  // namespace
+
+Status MakeChain(Database* db, const std::string& rel, int n) {
+  DIRE_RETURN_IF_ERROR(EnsureRelation(db, rel, 2));
+  for (int i = 0; i + 1 < n; ++i) {
+    DIRE_RETURN_IF_ERROR(AddEdge(db, rel, i, i + 1));
+  }
+  return Status::Ok();
+}
+
+Status MakeCycle(Database* db, const std::string& rel, int n) {
+  DIRE_RETURN_IF_ERROR(MakeChain(db, rel, n));
+  if (n > 1) DIRE_RETURN_IF_ERROR(AddEdge(db, rel, n - 1, 0));
+  return Status::Ok();
+}
+
+Status MakeTree(Database* db, const std::string& rel, int branching,
+                int depth) {
+  if (branching < 1) {
+    return Status::InvalidArgument("branching must be >= 1");
+  }
+  // Nodes are numbered breadth-first; node i's children are
+  // i*branching+1 ... i*branching+branching.
+  int level_start = 0;
+  int level_size = 1;
+  for (int d = 0; d < depth; ++d) {
+    for (int i = level_start; i < level_start + level_size; ++i) {
+      for (int c = 1; c <= branching; ++c) {
+        DIRE_RETURN_IF_ERROR(AddEdge(db, rel, i, i * branching + c));
+      }
+    }
+    level_start = level_start * branching + 1;
+    level_size *= branching;
+  }
+  return Status::Ok();
+}
+
+Status MakeRandomGraph(Database* db, const std::string& rel, int n, int m,
+                       Rng* rng) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  int64_t max_edges = static_cast<int64_t>(n) * (n - 1);
+  if (m > max_edges) {
+    return Status::InvalidArgument("more edges requested than possible");
+  }
+  std::set<std::pair<int, int>> edges;
+  while (static_cast<int>(edges.size()) < m) {
+    int a = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n)));
+    int b = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n)));
+    if (a == b) continue;
+    edges.emplace(a, b);
+  }
+  for (const auto& [a, b] : edges) {
+    DIRE_RETURN_IF_ERROR(AddEdge(db, rel, a, b));
+  }
+  return Status::Ok();
+}
+
+Status MakeGrid(Database* db, const std::string& rel, int w, int h) {
+  auto id = [w](int x, int y) { return y * w + x; };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        DIRE_RETURN_IF_ERROR(AddEdge(db, rel, id(x, y), id(x + 1, y)));
+      }
+      if (y + 1 < h) {
+        DIRE_RETURN_IF_ERROR(AddEdge(db, rel, id(x, y), id(x, y + 1)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status MakeConsumerData(Database* db, int num_people, int num_products,
+                        int likes_per_person, double trendy_fraction,
+                        Rng* rng) {
+  if (num_products < 1) {
+    return Status::InvalidArgument("need at least one product");
+  }
+  for (int p = 0; p < num_people; ++p) {
+    std::string person = StrFormat("p%d", p);
+    std::set<int> chosen;
+    int want = std::min(likes_per_person, num_products);
+    while (static_cast<int>(chosen.size()) < want) {
+      chosen.insert(
+          static_cast<int>(rng->Uniform(static_cast<uint64_t>(num_products))));
+    }
+    for (int item : chosen) {
+      DIRE_RETURN_IF_ERROR(
+          db->AddRow("likes", {person, StrFormat("item%d", item)}));
+    }
+    if (rng->Chance(trendy_fraction)) {
+      DIRE_RETURN_IF_ERROR(db->AddRow("trendy", {person}));
+    }
+  }
+  // Ensure both relations exist even when empty (e.g. trendy_fraction == 0).
+  DIRE_RETURN_IF_ERROR(EnsureRelation(db, "likes", 2));
+  DIRE_RETURN_IF_ERROR(EnsureRelation(db, "trendy", 1));
+  return Status::Ok();
+}
+
+Status MakeHoistingData(Database* db, int n, int m, int num_b, Rng* rng) {
+  DIRE_RETURN_IF_ERROR(MakeRandomGraph(db, "e", n, m, rng));
+  for (int i = 0; i < num_b; ++i) {
+    int a = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n)));
+    int b = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n)));
+    DIRE_RETURN_IF_ERROR(db->AddRow("b", {Node(a), Node(b)}));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dire::storage

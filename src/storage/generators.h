@@ -1,0 +1,50 @@
+#ifndef DIRE_STORAGE_GENERATORS_H_
+#define DIRE_STORAGE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "storage/database.h"
+
+namespace dire::storage {
+
+// Synthetic workload generators. The paper (1986) ships no datasets; these
+// deterministic generators produce the graph shapes its examples assume
+// (edge relations for transitive closure) and the consumer data of
+// Example 1.2. All node constants are rendered as "n<index>".
+
+// Path graph: edges n0->n1->...->n<n-1> in relation `rel` (arity 2).
+Status MakeChain(Database* db, const std::string& rel, int n);
+
+// Cycle: chain plus a closing edge n<n-1>->n0.
+Status MakeCycle(Database* db, const std::string& rel, int n);
+
+// Complete k-ary tree with `depth` levels of edges, parent->child.
+Status MakeTree(Database* db, const std::string& rel, int branching,
+                int depth);
+
+// G(n, m): m distinct random directed edges (no self loops) over n nodes.
+Status MakeRandomGraph(Database* db, const std::string& rel, int n, int m,
+                       Rng* rng);
+
+// w x h grid digraph with right and down edges.
+Status MakeGrid(Database* db, const std::string& rel, int w, int h);
+
+// Consumer data for paper Example 1.2:
+//   likes(person, product)  — `likes_per_person` random products per person
+//   trendy(person)          — each person trendy with prob `trendy_fraction`
+// Persons are "p<i>", products "item<j>".
+Status MakeConsumerData(Database* db, int num_people, int num_products,
+                        int likes_per_person, double trendy_fraction,
+                        Rng* rng);
+
+// Data for paper Example 6.1:
+//   e(X, Z): random digraph with n nodes and m edges
+//   b(W, Y): num_b random pairs over the same node universe
+Status MakeHoistingData(Database* db, int n, int m, int num_b, Rng* rng);
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_GENERATORS_H_

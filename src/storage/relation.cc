@@ -1,0 +1,77 @@
+#include "storage/relation.h"
+
+#include <cassert>
+
+namespace dire::storage {
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+bool Relation::Insert(const Tuple& t) {
+  assert(t.size() == arity_);
+  // Stage the candidate at the end of the row store so the hash set (which
+  // compares rows by index) can probe it, then undo if it was a duplicate.
+  tuples_.push_back(t);
+  uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
+  auto [it, inserted] = dedup_.insert(row);
+  if (!inserted) {
+    tuples_.pop_back();
+    return false;
+  }
+  for (size_t col = 0; col < indexes_.size(); ++col) {
+    if (indexes_[col].built) {
+      indexes_[col].buckets[t[col]].push_back(row);
+    }
+  }
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  assert(t.size() == arity_);
+  // Stage-and-probe as in Insert, but restore the store unconditionally.
+  // Safe because find() does not keep references past the call.
+  auto* self = const_cast<Relation*>(this);
+  self->tuples_.push_back(t);
+  uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
+  bool found = dedup_.find(row) != dedup_.end();
+  self->tuples_.pop_back();
+  return found;
+}
+
+const std::vector<uint32_t>& Relation::Probe(size_t col, ValueId value) {
+  assert(col < arity_);
+  if (indexes_.size() < arity_) indexes_.resize(arity_);
+  if (!indexes_[col].built) BuildIndex(col);
+  auto it = indexes_[col].buckets.find(value);
+  return it == indexes_[col].buckets.end() ? kEmptyRows : it->second;
+}
+
+void Relation::BuildIndex(size_t col) {
+  ColumnIndex& index = indexes_[col];
+  index.built = true;
+  index.buckets.reserve(tuples_.size());
+  for (uint32_t row = 0; row < tuples_.size(); ++row) {
+    index.buckets[tuples_[row][col]].push_back(row);
+  }
+}
+
+void Relation::Clear() {
+  dedup_.clear();
+  tuples_.clear();
+  indexes_.clear();
+}
+
+std::string Relation::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += name_;
+    out += '(';
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i != 0) out += ',';
+      out += symbols.Name(t[i]);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace dire::storage

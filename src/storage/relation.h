@@ -1,0 +1,88 @@
+#ifndef DIRE_STORAGE_RELATION_H_
+#define DIRE_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "storage/value.h"
+
+namespace dire::storage {
+
+// A set of fixed-arity tuples with O(1) duplicate detection and lazily built
+// per-column hash indexes for join probes. Insert-only (evaluation never
+// deletes); Clear() resets everything.
+class Relation {
+ public:
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  // Not copyable or movable: the duplicate-detection set holds pointers into
+  // this object's tuple storage. Databases hold relations by unique_ptr.
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Inserts `t`; returns true if it was new. Requires t.size() == arity().
+  bool Insert(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  // All tuples, in insertion order. Stable across Insert calls (indexes into
+  // this vector are used as row ids).
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // Row ids of tuples whose column `col` equals `value`. Builds the column
+  // index on first use; subsequent inserts maintain it.
+  const std::vector<uint32_t>& Probe(size_t col, ValueId value);
+
+  // True if a hash index exists for `col`.
+  bool HasIndex(size_t col) const {
+    return col < indexes_.size() && !indexes_[col].buckets.empty();
+  }
+
+  void Clear();
+
+  // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  struct ColumnIndex {
+    bool built = false;
+    std::unordered_map<ValueId, std::vector<uint32_t>> buckets;
+  };
+
+  struct RowHash {
+    const std::vector<Tuple>* rows;
+    size_t operator()(uint32_t i) const {
+      return static_cast<size_t>(HashVector((*rows)[i]));
+    }
+  };
+  struct RowEq {
+    const std::vector<Tuple>* rows;
+    bool operator()(uint32_t a, uint32_t b) const {
+      return (*rows)[a] == (*rows)[b];
+    }
+  };
+
+  void BuildIndex(size_t col);
+
+  std::string name_;
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<uint32_t, RowHash, RowEq> dedup_{
+      16, RowHash{&tuples_}, RowEq{&tuples_}};
+  std::vector<ColumnIndex> indexes_;
+  static const std::vector<uint32_t> kEmptyRows;
+};
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_RELATION_H_

@@ -1,0 +1,110 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace dire::storage {
+
+namespace {
+constexpr const char* kHeader = "# dire snapshot v1";
+}  // namespace
+
+Result<std::string> SaveSnapshot(const Database& db) {
+  std::string out = kHeader;
+  out += '\n';
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* rel = db.Find(name);
+    out += StrFormat("@relation %s %zu\n", name.c_str(), rel->arity());
+    for (const Tuple& t : rel->tuples()) {
+      if (t.empty()) {
+        out += "()\n";  // Zero-arity tuple marker.
+        continue;
+      }
+      for (size_t i = 0; i < t.size(); ++i) {
+        const std::string& value = db.symbols().Name(t[i]);
+        if (value.find('\t') != std::string::npos ||
+            value.find('\n') != std::string::npos) {
+          return Status::InvalidArgument(
+              "value contains a tab or newline and cannot be snapshotted: " +
+              value);
+        }
+        if (i != 0) out += '\t';
+        out += value;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status SaveSnapshotFile(const Database& db, const std::string& path) {
+  DIRE_ASSIGN_OR_RETURN(std::string text, SaveSnapshot(db));
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << text;
+  return Status::Ok();
+}
+
+Status LoadSnapshot(Database* db, std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || StripWhitespace(lines[0]) != kHeader) {
+    return Status::ParseError("missing snapshot header '" +
+                              std::string(kHeader) + "'");
+  }
+  Relation* current = nullptr;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (StartsWith(line, "@relation ")) {
+      std::vector<std::string> parts = Split(line, ' ');
+      if (parts.size() != 3) {
+        return Status::ParseError(
+            StrFormat("line %zu: malformed @relation directive", i + 1));
+      }
+      int arity = std::atoi(parts[2].c_str());
+      if (arity < 0 || (arity == 0 && parts[2] != "0")) {
+        return Status::ParseError(
+            StrFormat("line %zu: bad arity '%s'", i + 1, parts[2].c_str()));
+      }
+      DIRE_ASSIGN_OR_RETURN(current, db->GetOrCreate(parts[1],
+                                                     static_cast<size_t>(
+                                                         arity)));
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::ParseError(
+          StrFormat("line %zu: tuple before any @relation", i + 1));
+    }
+    if (current->arity() == 0) {
+      if (line != "()") {
+        return Status::ParseError(
+            StrFormat("line %zu: expected '()' for zero-arity tuple", i + 1));
+      }
+      current->Insert({});
+      continue;
+    }
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != current->arity()) {
+      return Status::ParseError(
+          StrFormat("line %zu: expected %zu fields, found %zu", i + 1,
+                    current->arity(), fields.size()));
+    }
+    Tuple t;
+    t.reserve(fields.size());
+    for (const std::string& f : fields) t.push_back(db->symbols().Intern(f));
+    current->Insert(t);
+  }
+  return Status::Ok();
+}
+
+Status LoadSnapshotFile(Database* db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSnapshot(db, buffer.str());
+}
+
+}  // namespace dire::storage

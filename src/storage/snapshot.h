@@ -1,0 +1,39 @@
+#ifndef DIRE_STORAGE_SNAPSHOT_H_
+#define DIRE_STORAGE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "storage/database.h"
+
+namespace dire::storage {
+
+// Whole-database snapshots in a line-oriented text format:
+//
+//   # dire snapshot v1
+//   @relation e 2
+//   a	b
+//   b	c
+//   @relation trendy 1
+//   bob
+//
+// Fields are tab-separated (values therefore must not contain tabs or
+// newlines; Save rejects them). Relations appear in name order, tuples in
+// insertion order, so snapshots of equal databases are byte-identical.
+
+// Serializes every relation of `db`.
+Result<std::string> SaveSnapshot(const Database& db);
+
+// Writes SaveSnapshot output to `path`.
+Status SaveSnapshotFile(const Database& db, const std::string& path);
+
+// Loads a snapshot produced by SaveSnapshot into `db` (which may already
+// hold data; tuples are inserted, arities must match).
+Status LoadSnapshot(Database* db, std::string_view text);
+
+Status LoadSnapshotFile(Database* db, const std::string& path);
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_SNAPSHOT_H_

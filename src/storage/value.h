@@ -1,0 +1,55 @@
+#ifndef DIRE_STORAGE_VALUE_H_
+#define DIRE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dire::storage {
+
+// Interned constant identifier. Tuples store ValueIds, never strings, so
+// joins and hashing are integer operations.
+using ValueId = uint32_t;
+
+// Bidirectional string <-> ValueId interning table. One per Database.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `text`, interning it on first use.
+  ValueId Intern(std::string_view text) {
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    ValueId id = static_cast<ValueId>(names_.size());
+    names_.emplace_back(text);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `text` if already interned, or kMissing.
+  static constexpr ValueId kMissing = UINT32_MAX;
+  ValueId Find(std::string_view text) const {
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? kMissing : it->second;
+  }
+
+  // Requires: id was returned by Intern.
+  const std::string& Name(ValueId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, ValueId> ids_;
+  std::vector<std::string> names_;
+};
+
+// A database tuple: a fixed-arity vector of interned values.
+using Tuple = std::vector<ValueId>;
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_VALUE_H_

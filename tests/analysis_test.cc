@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::AnalyzeOrDie;
+using dire::testing::ParseOrDie;
+
+TEST(Analysis, ReportMentionsAllSections) {
+  RecursionAnalysis a = AnalyzeOrDie(dire::testing::kTransitiveClosure, "t");
+  std::string report = a.Report();
+  EXPECT_NE(report.find("Recursion analysis for t/2"), std::string::npos);
+  EXPECT_NE(report.find("chain generating path: YES"), std::string::npos);
+  EXPECT_NE(report.find("Theorem 4.2"), std::string::npos);
+  EXPECT_NE(report.find("Theorem 4.3"), std::string::npos);
+  EXPECT_NE(report.find("[rec]"), std::string::npos);
+  EXPECT_NE(report.find("[exit]"), std::string::npos);
+}
+
+TEST(Analysis, ConvenienceAccessors) {
+  RecursionAnalysis buys = AnalyzeOrDie(dire::testing::kBuys, "buys");
+  EXPECT_TRUE(buys.strongly_data_independent());
+  EXPECT_TRUE(buys.weakly_data_independent());
+
+  RecursionAnalysis tc = AnalyzeOrDie(dire::testing::kTransitiveClosure, "t");
+  EXPECT_FALSE(tc.strongly_data_independent());
+  EXPECT_FALSE(tc.weakly_data_independent());
+}
+
+TEST(Analysis, NoExitRuleMeansNoWeakResult) {
+  RecursionAnalysis a = AnalyzeOrDie("t(X,Y) :- e(X,Z), t(Z,Y).", "t");
+  EXPECT_FALSE(a.weak.has_value());
+  EXPECT_FALSE(a.Report().empty());
+}
+
+TEST(Analysis, NonRecursivePredicateRejected) {
+  ast::Program p = ParseOrDie("t(X) :- e(X).");
+  Result<RecursionAnalysis> a = AnalyzeRecursion(p, "t");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(Analysis, UnknownPredicateRejected) {
+  ast::Program p = ParseOrDie("t(X) :- e(X), t(X).");
+  Result<RecursionAnalysis> a = AnalyzeRecursion(p, "nope");
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Analysis, NonlinearRuleYieldsUnknown) {
+  RecursionAnalysis a = AnalyzeOrDie(R"(
+    t(X, Y) :- t(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  EXPECT_EQ(a.strong.verdict, Verdict::kUnknown);
+  EXPECT_NE(a.strong.explanation.find("linear"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::core

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "ast/ast.h"
+#include "ast/classify.h"
+#include "ast/dependency.h"
+#include "ast/substitution.h"
+#include "ast/unify.h"
+#include "tests/test_util.h"
+
+namespace dire::ast {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+Rule R(std::string_view text) {
+  Result<Rule> r = parser::ParseRule(text);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+  return std::move(r).value();
+}
+
+Atom A(std::string_view text) {
+  Result<Atom> a = parser::ParseAtom(text);
+  EXPECT_TRUE(a.ok()) << (a.ok() ? "" : a.status().ToString());
+  return std::move(a).value();
+}
+
+TEST(Term, KindsAndEquality) {
+  Term v = Term::Var("X");
+  Term c = Term::Const("x");
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_NE(v, Term::Const("X"));
+  EXPECT_EQ(v, Term::Var("X"));
+}
+
+TEST(Atom, VariablesInFirstOccurrenceOrder) {
+  Atom a = A("p(Y, a, X, Y)");
+  EXPECT_EQ(a.Variables(), (std::vector<std::string>{"Y", "X"}));
+  EXPECT_EQ(a.ToString(), "p(Y,a,X,Y)");
+}
+
+TEST(Rule, DistinguishedAndNondistinguished) {
+  Rule r = R("t(X, Y) :- e(X, Z), t(Z, Y).");
+  EXPECT_EQ(r.DistinguishedVariables(), (std::set<std::string>{"X", "Y"}));
+  EXPECT_EQ(r.NondistinguishedVariables(), (std::set<std::string>{"Z"}));
+  EXPECT_EQ(r.AllVariables(), (std::set<std::string>{"X", "Y", "Z"}));
+}
+
+TEST(Rule, BodyCountsAndToString) {
+  Rule r = R("t(X,Y) :- e(X,Z), e(Z,Y), t(Z,Y).");
+  EXPECT_EQ(r.BodyCount("e"), 2);
+  EXPECT_EQ(r.BodyCount("t"), 1);
+  EXPECT_TRUE(r.BodyUses("t"));
+  EXPECT_FALSE(r.BodyUses("q"));
+  EXPECT_EQ(r.ToString(), "t(X,Y) :- e(X,Z), e(Z,Y), t(Z,Y).");
+}
+
+TEST(Rule, FactRendering) {
+  Rule f = R("e(a, b).");
+  EXPECT_TRUE(f.IsFact());
+  EXPECT_EQ(f.ToString(), "e(a,b).");
+}
+
+TEST(Program, PredicatePartition) {
+  Program p = ParseOrDie(R"(
+    t(X,Y) :- e(X,Z), t(Z,Y).
+    t(X,Y) :- e(X,Y).
+    e(a,b).
+  )");
+  EXPECT_EQ(p.HeadPredicates(), (std::set<std::string>{"t", "e"}));
+  // e appears as a fact head, so it is not body-only.
+  EXPECT_TRUE(p.EdbPredicates().empty());
+  EXPECT_EQ(p.AllPredicates(), (std::set<std::string>{"t", "e"}));
+  EXPECT_EQ(p.RulesFor("t").size(), 2u);
+}
+
+TEST(Substitution, ApplyIsNonRecursive) {
+  Substitution s;
+  s.Bind("X", Term::Var("Y"));
+  s.Bind("Y", Term::Const("a"));
+  Atom a = s.Apply(A("p(X, Y)"));
+  // X -> Y, not X -> Y -> a.
+  EXPECT_EQ(a.ToString(), "p(Y,a)");
+}
+
+TEST(Substitution, RenameVariablesLeavesConstants) {
+  Rule r = RenameVariables(R("t(X) :- e(X, a)."), "_3");
+  EXPECT_EQ(r.ToString(), "t(X_3) :- e(X_3,a).");
+}
+
+TEST(Unify, BasicMgu) {
+  auto s = Unify(A("p(X, b)"), A("p(a, Y)"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->Apply(A("p(X, b)")), s->Apply(A("p(a, Y)")));
+}
+
+TEST(Unify, ClashFails) {
+  EXPECT_FALSE(Unify(A("p(a)"), A("p(b)")).has_value());
+  EXPECT_FALSE(Unify(A("p(X)"), A("q(X)")).has_value());
+  EXPECT_FALSE(Unify(A("p(X)"), A("p(X, Y)")).has_value());
+}
+
+TEST(Unify, ChainedVariables) {
+  // p(X, X) with p(Y, a): X and Y both become a.
+  auto s = Unify(A("p(X, X)"), A("p(Y, a)"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->Apply(Term::Var("X")), Term::Const("a"));
+  EXPECT_EQ(s->Apply(Term::Var("Y")), Term::Const("a"));
+}
+
+TEST(Match, OneWayOnly) {
+  EXPECT_TRUE(Match(A("p(X, X)"), A("p(a, a)")).has_value());
+  EXPECT_FALSE(Match(A("p(X, X)"), A("p(a, b)")).has_value());
+  // Variables of the target are constants for Match.
+  EXPECT_FALSE(Match(A("p(a)"), A("p(X)")).has_value());
+}
+
+TEST(Classify, LinearAndRegular) {
+  EXPECT_TRUE(IsLinearRecursive(R("t(X) :- e(X,Z), t(Z)."), "t"));
+  EXPECT_FALSE(IsLinearRecursive(R("t(X) :- t(X), t(X)."), "t"));
+  EXPECT_TRUE(IsRegularRecursive(R("t(X) :- e(X,Z), t(Z)."), "t"));
+  EXPECT_FALSE(IsRegularRecursive(R("t(X) :- e(X,Z), f(Z,W), t(W)."), "t"));
+}
+
+TEST(Classify, HeadRestrictions) {
+  EXPECT_TRUE(HeadHasNoRepeatsOrConstants(R("t(X,Y) :- e(X,Y).")));
+  EXPECT_FALSE(HeadHasNoRepeatsOrConstants(R("t(X,X) :- e(X).")));
+  EXPECT_FALSE(HeadHasNoRepeatsOrConstants(R("t(X,a) :- e(X).")));
+}
+
+TEST(Classify, RepeatedNonrecursivePredicates) {
+  EXPECT_TRUE(HasRepeatedNonrecursivePredicate(
+      R("t(X) :- e(X,Z), e(Z,W), t(W)."), "t"));
+  EXPECT_FALSE(HasRepeatedNonrecursivePredicate(
+      R("t(X) :- e(X,Z), f(Z,W), t(W)."), "t"));
+}
+
+TEST(Classify, Typedness) {
+  // Every variable stays in a single column (Sagiv's typed class).
+  EXPECT_TRUE(IsTyped(R("t(X,Y) :- t(X,Z).")));
+  EXPECT_TRUE(IsTyped(R("t(X,Y) :- t(X,W), t(X,Y).")));
+  // Z crosses from column 2 to column 1 — untyped.
+  EXPECT_FALSE(IsTyped(R("t(X,Y) :- t(X,Z), t(Z,Y).")));
+  // X appears in both columns.
+  EXPECT_FALSE(IsTyped(R("t(X,Y) :- t(Y,X).")));
+}
+
+TEST(MakeDefinition, SplitsAndStandardizes) {
+  Program p = ParseOrDie(R"(
+    t(A, B) :- e(A, C), t(C, B).
+    t(U, V) :- e(U, V).
+  )");
+  Result<RecursiveDefinition> d = MakeDefinition(p, "t");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->head_vars, (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(d->recursive_rules.size(), 1u);
+  ASSERT_EQ(d->exit_rules.size(), 1u);
+  // The exit rule's head is renamed onto the common head variables.
+  EXPECT_EQ(d->exit_rules[0].ToString(), "t(A,B) :- e(A,B).");
+}
+
+TEST(MakeDefinition, DisjointNondistinguishedVariables) {
+  Program p = ParseOrDie(R"(
+    t(X) :- a(X, W), t(W).
+    t(X) :- b(X, W).
+  )");
+  Result<RecursiveDefinition> d = MakeDefinition(p, "t");
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::set<std::string> rec = d->recursive_rules[0].NondistinguishedVariables();
+  std::set<std::string> exit = d->exit_rules[0].NondistinguishedVariables();
+  for (const std::string& w : rec) EXPECT_EQ(exit.count(w), 0u) << w;
+}
+
+TEST(MakeDefinition, RejectsRepeatedHeadVariables) {
+  Program p = ParseOrDie("t(X, X) :- e(X), t(X, X).");
+  EXPECT_FALSE(MakeDefinition(p, "t").ok());
+}
+
+TEST(MakeDefinition, RejectsIdbBodyPredicateByDefault) {
+  Program p = ParseOrDie(R"(
+    t(X) :- e(X, Z), t(Z).
+    e(X, Y) :- a(X), b(Y).
+  )");
+  Result<RecursiveDefinition> d = MakeDefinition(p, "t");
+  EXPECT_FALSE(d.ok());
+  DefinitionOptions opts;
+  opts.require_edb_body = false;
+  EXPECT_TRUE(MakeDefinition(p, "t", opts).ok());
+}
+
+TEST(MakeDefinition, MissingPredicate) {
+  Program p = ParseOrDie("t(X) :- e(X).");
+  EXPECT_EQ(MakeDefinition(p, "zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DependencyGraph, StrataAreDependencyOrdered) {
+  Program p = ParseOrDie(R"(
+    a(X) :- b(X).
+    b(X) :- c(X).
+    c(X) :- base(X).
+  )");
+  DependencyGraph g(p);
+  EXPECT_LT(g.StratumOf("base"), g.StratumOf("c"));
+  EXPECT_LT(g.StratumOf("c"), g.StratumOf("b"));
+  EXPECT_LT(g.StratumOf("b"), g.StratumOf("a"));
+  EXPECT_FALSE(g.IsRecursive("a"));
+}
+
+TEST(DependencyGraph, MutualRecursionSharesStratum) {
+  Program p = ParseOrDie(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  DependencyGraph g(p);
+  EXPECT_EQ(g.StratumOf("even"), g.StratumOf("odd"));
+  EXPECT_TRUE(g.IsRecursive("even"));
+  EXPECT_TRUE(g.IsRecursive("odd"));
+  EXPECT_FALSE(g.IsRecursive("succ"));
+}
+
+TEST(DependencyGraph, SelfLoopIsRecursive) {
+  Program p = ParseOrDie("t(X,Y) :- e(X,Z), t(Z,Y).");
+  DependencyGraph g(p);
+  EXPECT_TRUE(g.IsRecursive("t"));
+  EXPECT_FALSE(g.IsRecursive("e"));
+}
+
+}  // namespace
+}  // namespace dire::ast

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/av_graph.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::DefOrDie;
+
+AvGraph Build(std::string_view program, const std::string& target) {
+  ast::RecursiveDefinition def = DefOrDie(program, target);
+  Result<AvGraph> g = AvGraph::Build(def);
+  EXPECT_TRUE(g.ok()) << (g.ok() ? "" : g.status().ToString());
+  if (!g.ok()) std::abort();
+  return std::move(g).value();
+}
+
+// Figure 2: the A/V graph of the transitive closure rules.
+TEST(AvGraph, Figure2Structure) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  // Variables X, Y, Z + argument nodes e1 e2 t1 t2 (recursive rule) and
+  // e'1 e'2 (exit rule).
+  int vars = 0;
+  int args = 0;
+  for (const AvGraph::Node& n : g.nodes()) {
+    (n.kind == AvGraph::NodeKind::kVariable ? vars : args)++;
+  }
+  EXPECT_EQ(vars, 3);
+  EXPECT_EQ(args, 6);
+  // Identity edges: one per argument node. Unification: one per recursive
+  // atom position. Predicate: adjacent positions of e and e'.
+  int identity = 0;
+  int unification = 0;
+  int predicate = 0;
+  for (const AvGraph::Edge& e : g.edges()) {
+    switch (e.kind) {
+      case AvGraph::EdgeKind::kIdentity:
+        ++identity;
+        break;
+      case AvGraph::EdgeKind::kUnification:
+        ++unification;
+        break;
+      case AvGraph::EdgeKind::kPredicate:
+        ++predicate;
+        break;
+    }
+  }
+  EXPECT_EQ(identity, 6);
+  EXPECT_EQ(unification, 2);
+  EXPECT_EQ(predicate, 2);
+}
+
+// Structural invariants from §3 of the paper.
+TEST(AvGraph, Section3Properties) {
+  for (std::string_view program :
+       {dire::testing::kTransitiveClosure, dire::testing::kExample33,
+        dire::testing::kExample43, dire::testing::kExample45,
+        dire::testing::kExample51}) {
+    AvGraph g = Build(program, "t");
+    for (size_t i = 0; i < g.nodes().size(); ++i) {
+      const AvGraph::Node& n = g.nodes()[i];
+      if (n.kind != AvGraph::NodeKind::kArgument) continue;
+      int identity = 0;
+      int unification = 0;
+      for (const AvGraph::Edge& e : g.edges()) {
+        if (e.from != static_cast<int>(i)) continue;
+        if (e.kind == AvGraph::EdgeKind::kIdentity) ++identity;
+        if (e.kind == AvGraph::EdgeKind::kUnification) ++unification;
+      }
+      // Property 3: each argument node has exactly one incident identity
+      // edge; recursive-atom positions also source exactly one unification
+      // edge.
+      EXPECT_EQ(identity, 1) << n.label;
+      EXPECT_EQ(unification, n.recursive_atom ? 1 : 0) << n.label;
+    }
+  }
+}
+
+TEST(AvGraph, EveryEdgeTouchesArgumentNode) {
+  AvGraph g = Build(dire::testing::kExample43, "t");
+  for (const AvGraph::Edge& e : g.edges()) {
+    // Property 1: edges join an argument node and a variable node, except
+    // predicate edges which join two argument nodes.
+    const AvGraph::Node& from = g.nodes()[static_cast<size_t>(e.from)];
+    const AvGraph::Node& to = g.nodes()[static_cast<size_t>(e.to)];
+    EXPECT_EQ(from.kind, AvGraph::NodeKind::kArgument);
+    if (e.kind == AvGraph::EdgeKind::kPredicate) {
+      EXPECT_EQ(to.kind, AvGraph::NodeKind::kArgument);
+    } else {
+      EXPECT_EQ(to.kind, AvGraph::NodeKind::kVariable);
+    }
+  }
+}
+
+TEST(AvGraph, LabelsDisambiguateOccurrences) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  std::set<std::string> labels;
+  for (const AvGraph::Node& n : g.nodes()) labels.insert(n.label);
+  // The exit-rule occurrence of e is primed, paper-style.
+  EXPECT_TRUE(labels.count("e^1") == 1) << "have e^1";
+  EXPECT_TRUE(labels.count("e'^1") == 1) << "have e'^1";
+  EXPECT_EQ(labels.size(), g.nodes().size());  // All distinct.
+}
+
+TEST(AvGraph, NodeLookups) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  EXPECT_GE(g.VariableNode("X"), 0);
+  EXPECT_GE(g.VariableNode("Z"), 0);
+  EXPECT_EQ(g.VariableNode("Q"), -1);
+  EXPECT_GE(g.ArgumentNode(0, 0, 1), 0);
+  EXPECT_EQ(g.ArgumentNode(5, 0, 0), -1);
+}
+
+TEST(AvGraph, UnificationEdgeWeightsByDirection) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  // Find the recursive atom's position-1 node (t^1, holding Z) and check the
+  // traversal weights of its unification edge (to X).
+  int t1 = -1;
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const AvGraph::Node& n = g.nodes()[i];
+    if (n.recursive_atom && n.position == 0) t1 = static_cast<int>(i);
+  }
+  ASSERT_GE(t1, 0);
+  bool found_forward = false;
+  for (const AvGraph::Step& s : g.Adjacent(t1, /*augmented=*/false)) {
+    if (g.edges()[static_cast<size_t>(s.edge)].kind ==
+        AvGraph::EdgeKind::kUnification) {
+      EXPECT_EQ(s.weight, 1);
+      found_forward = true;
+      // And the reverse traversal from the variable side weighs -1.
+      for (const AvGraph::Step& back : g.Adjacent(s.neighbor, false)) {
+        if (back.edge == s.edge) {
+          EXPECT_EQ(back.weight, -1);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST(AvGraph, AugmentedAdjacencyIncludesPredicateEdges) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  int e1 = g.ArgumentNode(0, 0, 0);
+  ASSERT_GE(e1, 0);
+  size_t core = g.Adjacent(e1, /*augmented=*/false).size();
+  size_t aug = g.Adjacent(e1, /*augmented=*/true).size();
+  EXPECT_EQ(core + 1, aug);  // Exactly the predicate edge to e^2.
+}
+
+TEST(AvGraph, RejectsConstantsInBody) {
+  ast::RecursiveDefinition def = DefOrDie(R"(
+    t(X) :- e(X, a), t(X).
+    t(X) :- e(X, X).
+  )", "t");
+  EXPECT_FALSE(AvGraph::Build(def).ok());
+}
+
+TEST(AvGraph, DotExportMentionsAllNodes) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure, "t");
+  std::string dot = g.ToDot();
+  for (const AvGraph::Node& n : g.nodes()) {
+    EXPECT_NE(dot.find(n.label), std::string::npos) << n.label;
+  }
+  EXPECT_NE(dot.find("graph av_graph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/hash.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace dire {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kParseError, StatusCode::kInvalidArgument,
+        StatusCode::kInconclusive, StatusCode::kInternal,
+        StatusCode::kNotFound}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> in) {
+  DIRE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> err = Doubler(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().message(), "boom");
+}
+
+TEST(StringUtil, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "", "bc"};
+  EXPECT_EQ(Join(parts, ","), "a,,bc");
+  EXPECT_EQ(Split("a,,bc", ','), parts);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("theorem", "theo"));
+  EXPECT_FALSE(StartsWith("t", "theo"));
+  EXPECT_TRUE(EndsWith("theorem", "rem"));
+  EXPECT_FALSE(EndsWith("m", "rem"));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Hash, VectorHashDependsOnOrderAndContent) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {3, 2, 1};
+  std::vector<uint32_t> c = {1, 2, 3};
+  EXPECT_EQ(HashVector(a), HashVector(c));
+  EXPECT_NE(HashVector(a), HashVector(b));
+}
+
+TEST(Hash, SeedChangesHash) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  EXPECT_NE(HashVector(a, 0), HashVector(a, 1));
+}
+
+TEST(Hash, EmptyVectorsHashBySize) {
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b = {0};
+  EXPECT_NE(HashVector(a), HashVector(b));
+}
+
+}  // namespace
+}  // namespace dire

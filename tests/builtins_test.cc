@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "eval/builtins.h"
+#include "eval/magic.h"
+#include "eval/provenance.h"
+#include "eval/topdown.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+TEST(Builtins, Recognition) {
+  EXPECT_TRUE(IsBuiltinPredicate("neq"));
+  EXPECT_TRUE(IsBuiltinPredicate("lt"));
+  EXPECT_TRUE(IsBuiltinPredicate("leq"));
+  EXPECT_FALSE(IsBuiltinPredicate("eq"));
+  EXPECT_FALSE(IsBuiltinPredicate("edge"));
+}
+
+TEST(Builtins, NumericVsLexicographic) {
+  storage::SymbolTable symbols;
+  storage::ValueId v2 = symbols.Intern("2");
+  storage::ValueId v10 = symbols.Intern("10");
+  storage::ValueId apple = symbols.Intern("apple");
+  storage::ValueId pear = symbols.Intern("pear");
+  // Numeric: 2 < 10 although "10" < "2" lexicographically.
+  EXPECT_TRUE(EvalBuiltin("lt", symbols, v2, v10));
+  EXPECT_FALSE(EvalBuiltin("lt", symbols, v10, v2));
+  // Lexicographic for names.
+  EXPECT_TRUE(EvalBuiltin("lt", symbols, apple, pear));
+  EXPECT_TRUE(EvalBuiltin("leq", symbols, apple, apple));
+  EXPECT_FALSE(EvalBuiltin("lt", symbols, apple, apple));
+  EXPECT_TRUE(EvalBuiltin("neq", symbols, apple, pear));
+  EXPECT_FALSE(EvalBuiltin("neq", symbols, v2, v2));
+}
+
+TEST(Builtins, SiblingQuery) {
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    parent(ann, bob). parent(ann, cara). parent(dan, eve).
+    sibling(X, Y) :- parent(P, X), parent(P, Y), neq(X, Y).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.DumpRelation("sibling"),
+            "sibling(bob,cara)\nsibling(cara,bob)\n");
+}
+
+TEST(Builtins, OrderedPairsWithLt) {
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    n(1). n(2). n(3).
+    pair(X, Y) :- n(X), n(Y), lt(X, Y).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.DumpRelation("pair"),
+            "pair(1,2)\npair(1,3)\npair(2,3)\n");
+}
+
+TEST(Builtins, InsideRecursion) {
+  // Strictly increasing paths.
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    e(1, 3). e(3, 2). e(2, 5). e(3, 4). e(4, 5).
+    up(X, Y) :- e(X, Y), lt(X, Y).
+    up(X, Y) :- up(X, Z), e(Z, Y), lt(Z, Y).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // 1->3 rises; 3->2 falls. 3->4->5 rises.
+  std::string dump = db.DumpRelation("up");
+  EXPECT_NE(dump.find("up(1,3)"), std::string::npos);
+  EXPECT_NE(dump.find("up(1,4)"), std::string::npos);
+  EXPECT_NE(dump.find("up(1,5)"), std::string::npos);
+  EXPECT_EQ(dump.find("up(3,2)"), std::string::npos);
+}
+
+TEST(Builtins, UnboundArgumentRejected) {
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie("p(X) :- base(X), lt(X, Y)."));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("unsafe builtin"),
+            std::string::npos);
+}
+
+TEST(Builtins, CannotBeDefined) {
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> stats = ev.Evaluate(ParseOrDie("lt(X, Y) :- e(X, Y)."));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("cannot be defined"),
+            std::string::npos);
+}
+
+TEST(Builtins, WrongArityRejected) {
+  storage::Database db;
+  Evaluator ev(&db);
+  EXPECT_FALSE(ev.Evaluate(ParseOrDie("p(X) :- base(X), neq(X).")).ok());
+}
+
+TEST(Builtins, TopDownAgrees) {
+  ast::Program p = ParseOrDie(R"(
+    parent(ann, bob). parent(ann, cara).
+    sibling(X, Y) :- parent(P, X), parent(P, Y), neq(X, Y).
+  )");
+  storage::Database db;
+  TabledTopDown engine(&db, p);
+  Result<ast::Atom> q = parser::ParseAtom("sibling(bob, Y)");
+  ASSERT_TRUE(q.ok());
+  Result<QueryAnswer> ans = engine.Query(*q);
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 1u);
+}
+
+TEST(Builtins, MagicSetsHandlesBuiltins) {
+  ast::Program p = ParseOrDie(R"(
+    e(1, 2). e(2, 3). e(1, 3).
+    up(X, Y) :- e(X, Y), lt(X, Y).
+    up(X, Y) :- up(X, Z), e(Z, Y), lt(Z, Y).
+  )");
+  storage::Database db;
+  Result<ast::Atom> q = parser::ParseAtom("up(1, Y)");
+  ASSERT_TRUE(q.ok());
+  Result<QueryAnswer> ans = AnswerQuery(&db, p, *q);
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 2u);  // 2 and 3.
+}
+
+TEST(Builtins, ProvenanceThroughBuiltins) {
+  ast::Program p = ParseOrDie(R"(
+    parent(ann, bob). parent(ann, cara).
+    sibling(X, Y) :- parent(P, X), parent(P, Y), neq(X, Y).
+  )");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  Result<ast::Atom> fact = parser::ParseAtom("sibling(bob, cara)");
+  ASSERT_TRUE(fact.ok());
+  Result<Derivation> d = Explain(&db, p, tracker, *fact);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_NE(d->ToString().find("[builtin]"), std::string::npos)
+      << d->ToString();
+}
+
+TEST(Builtins, BoundednessAnalysisRefusesBuiltins) {
+  // The dependence direction of the theorems builds witness databases and
+  // cannot control a builtin's (fixed, infinite) relation, so the analysis
+  // must refuse rather than misclassify.
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- e(X, Z), lt(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  Result<ast::RecursiveDefinition> def = ast::MakeDefinition(p, "t");
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("builtin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::eval

@@ -1,0 +1,167 @@
+// A catalog of recursive definitions with expected analysis outcomes —
+// a regression corpus spanning the classes the paper distinguishes. Each
+// entry records whether a chain generating path exists and the strong/weak
+// verdicts; TEST_P runs the full analysis on every entry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace dire {
+namespace {
+
+using core::Verdict;
+
+struct CatalogEntry {
+  const char* name;
+  const char* target;
+  const char* rules;
+  bool chain;
+  Verdict strong;
+  Verdict weak;
+};
+
+const CatalogEntry kCatalog[] = {
+    // --- classic data dependent recursions -------------------------------
+    {"transitive_closure", "t",
+     "t(X,Y) :- e(X,Z), t(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kDependent},
+    {"left_linear_closure", "t",
+     "t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kDependent},
+    {"ancestor_with_names", "anc",
+     "anc(X,Y) :- par(X,Z), anc(Z,Y). anc(X,Y) :- par(X,Y).", true,
+     Verdict::kDependent, Verdict::kDependent},
+    {"two_hop_chain", "t",  // Not regular: weak test abstains.
+     "t(X,Y) :- p(X,W), q(W,Z), t(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+    {"backward_chain", "t",
+     "t(X,Y) :- e(Z,X), t(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kDependent},
+    {"both_args_chain", "t",  // Not regular: weak test abstains.
+     "t(X,Y) :- p(X,U), q(Y,V), t(U,V). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+    {"cross_shift", "t",  // Not regular: weak test abstains.
+     "t(X,Y) :- p(X,W), q(Y,Z), t(Z,W). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+    {"unary_growth", "t",
+     "t(X) :- e(X,Z), t(Z). t(X) :- base(X).", true, Verdict::kDependent,
+     Verdict::kDependent},
+
+    // --- data independent recursions --------------------------------------
+    {"buys", "buys",
+     "buys(X,Y) :- likes(X,Y). buys(X,Y) :- trendy(X), buys(Z,Y).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"static_recursive_atom", "t",
+     "t(X,Y) :- e(X,W), t(X,Y). t(X,Y) :- e(X,Y).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"swap_no_chain", "t",
+     "t(X,Y,Z) :- t(Y,X,W), e(X,W). t(X,Y,Z) :- t0(X,Y,Z).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"fresh_private_vars", "t",
+     "t(X,Y) :- p(X), q(Y), t(U,V), b(U), c(V). t(X,Y) :- e(X,Y).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"zero_weight_cycle_only", "t",
+     "t(X,Y) :- p(X,W), q(X,W), t(X,Y). t(X,Y) :- e(X,Y).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"unary_viral", "d",
+     "d(X) :- famous(X). d(X) :- noble(X), d(Z).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+    {"three_arg_rotation_free", "t",
+     "t(X,Y,Z) :- a(U), b(V), t(X,Y,Z). t(X,Y,Z) :- e(X,Y,Z).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+
+    {"filtered_chain", "t",  // Chain plus a unary filter riding it.
+     "t(X,Y) :- e(X,Z), f(Z), t(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+    {"left_linear_second_arg", "t",
+     "t(X,Y) :- e(Y,Z), t(X,Z). t(X,Y) :- e(X,Y).", true,
+     Verdict::kDependent, Verdict::kDependent},
+    {"rotation_all_distinguished", "t",  // Period-3 rotation, no chain.
+     "t(X,Y,Z) :- e(W), t(Y,Z,X). t(X,Y,Z) :- t0(X,Y,Z).", false,
+     Verdict::kIndependent, Verdict::kIndependent},
+
+    // --- chains present but the test abstains -----------------------------
+    {"example_4_4_repeated_preds", "t",
+     "t(X,Y,Z) :- t(X,W,Z), e(W,Y), e(W,Z), e(Z,Z), e(Z,Y). "
+     "t(X,Y,Z) :- t0(X,Y,Z).",
+     true, Verdict::kUnknown, Verdict::kUnknown},
+    {"example_4_6_weak_only", "t",
+     "t(X,Y) :- t(X,Z), e(Z,Y), e(X,W), e(W,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kUnknown, Verdict::kUnknown},
+
+    // --- weak independence via Theorem 4.3 --------------------------------
+    {"tc_loose_exit", "t",
+     "t(X,Y) :- e(X,Z), t(Z,Y). t(X,Y) :- e(W,Y).", true,
+     Verdict::kDependent, Verdict::kIndependent},
+    {"example_4_7_unconnected", "t",
+     "t(X,Y,U,W) :- t(X,M,M,Y), e(M,Y). t(X,Y,U,W) :- e(X,X).", true,
+     Verdict::kDependent, Verdict::kIndependent},
+    {"example_4_7_redundant", "t",
+     "t(X,Y,U,W) :- t(X,M,M,Y), e(M,Y). t(X,Y,U,W) :- e(U,W).", true,
+     Verdict::kDependent, Verdict::kIndependent},
+    {"example_4_7_dependent", "t",
+     "t(X,Y,U,W) :- t(X,M,M,Y), e(M,Y). t(X,Y,U,W) :- e(U,U).", true,
+     Verdict::kDependent, Verdict::kDependent},
+
+    // --- multiple recursive rules (§5) -------------------------------------
+    {"example_5_1_pair", "t",
+     "t(X,Y,Z) :- t(X,U,Z), p1(U,Z). t(X,Y,Z) :- t(X,Y,V), p2(V,Y). "
+     "t(X,Y,Z) :- e(X,Y).",
+     true, Verdict::kUnknown, Verdict::kUnknown},
+    {"two_rules_both_static", "t",
+     "t(X,Y) :- a(X), t(X,Y). t(X,Y) :- b(Y), t(X,Y). t(X,Y) :- e(X,Y).",
+     false, Verdict::kIndependent, Verdict::kIndependent},
+    {"alternating_tc", "t",
+     "t(X,Y) :- a(X,Z), t(Z,Y). t(X,Y) :- b(X,Z), t(Z,Y). "
+     "t(X,Y) :- e(X,Y).",
+     true, Verdict::kUnknown, Verdict::kUnknown},
+
+    // --- hoisting shapes ----------------------------------------------------
+    {"example_6_1", "t",
+     "t(X,Y) :- e(X,Z), b(W,Y), t(Z,Y). t(X,Y) :- t0(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+    {"hoist_on_stable_var", "t",
+     "t(X,Y) :- e(X,Z), b(Y), t(Z,Y). t(X,Y) :- t0(X,Y).", true,
+     Verdict::kDependent, Verdict::kUnknown},
+
+    // --- nonlinear ---------------------------------------------------------
+    {"same_generation_doubling", "t",
+     "t(X,Y) :- t(X,Z), t(Z,Y). t(X,Y) :- e(X,Y).", true,
+     Verdict::kUnknown, Verdict::kUnknown},
+};
+
+class Catalog : public ::testing::TestWithParam<CatalogEntry> {};
+
+TEST_P(Catalog, VerdictsMatch) {
+  const CatalogEntry& entry = GetParam();
+  SCOPED_TRACE(entry.name);
+  core::RecursionAnalysis a =
+      dire::testing::AnalyzeOrDie(entry.rules, entry.target);
+  EXPECT_EQ(a.chains.has_chain_generating_path, entry.chain);
+  EXPECT_EQ(a.strong.verdict, entry.strong) << a.strong.explanation;
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_EQ(a.weak->verdict, entry.weak) << a.weak->explanation;
+}
+
+// A verdict of kIndependent must always be backed by a theorem citation.
+TEST_P(Catalog, IndependentVerdictsCiteTheorems) {
+  const CatalogEntry& entry = GetParam();
+  core::RecursionAnalysis a =
+      dire::testing::AnalyzeOrDie(entry.rules, entry.target);
+  if (a.strong.verdict != Verdict::kUnknown) {
+    EXPECT_FALSE(a.strong.theorem.empty());
+  }
+}
+
+std::string EntryName(const ::testing::TestParamInfo<CatalogEntry>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, Catalog, ::testing::ValuesIn(kCatalog),
+                         EntryName);
+
+}  // namespace
+}  // namespace dire

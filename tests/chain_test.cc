@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/chain.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::AnalyzeOrDie;
+using dire::testing::DefOrDie;
+
+ChainAnalysis Detect(std::string_view program, const std::string& target,
+                     AvGraph* graph_out = nullptr) {
+  ast::RecursiveDefinition def = DefOrDie(program, target);
+  Result<AvGraph> g = AvGraph::Build(def);
+  EXPECT_TRUE(g.ok());
+  if (!g.ok()) std::abort();
+  Result<ChainAnalysis> c = DetectChains(*g);
+  EXPECT_TRUE(c.ok()) << (c.ok() ? "" : c.status().ToString());
+  if (graph_out != nullptr) *graph_out = *g;
+  if (!c.ok()) std::abort();
+  return std::move(c).value();
+}
+
+// Validates a witness: edges really connect consecutive nodes and the
+// declared weight is the traversal sum.
+void CheckWitness(const AvGraph& g, const ChainWitness& w) {
+  ASSERT_EQ(w.nodes.size(), w.edges.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < w.edges.size(); ++i) {
+    const AvGraph::Edge& e = g.edges()[static_cast<size_t>(w.edges[i])];
+    int a = w.nodes[i];
+    int b = w.nodes[(i + 1) % w.nodes.size()];
+    EXPECT_TRUE((e.from == a && e.to == b) || (e.from == b && e.to == a))
+        << "edge " << i << " does not join nodes";
+    if (e.kind == AvGraph::EdgeKind::kUnification) {
+      total += e.from == a ? 1 : -1;
+    }
+  }
+  EXPECT_EQ(total, w.weight);
+  EXPECT_NE(w.weight, 0);
+  // Simple cycle: no repeated nodes.
+  std::set<int> distinct(w.nodes.begin(), w.nodes.end());
+  EXPECT_EQ(distinct.size(), w.nodes.size());
+}
+
+TEST(Chain, TransitiveClosureWitnessIsValidCycle) {
+  AvGraph g;
+  ChainAnalysis c = Detect(dire::testing::kTransitiveClosure, "t", &g);
+  ASSERT_TRUE(c.has_chain_generating_path);
+  ASSERT_TRUE(c.witness.has_value());
+  CheckWitness(g, *c.witness);
+  // Example 4.2's path visits e1, e2, Z, t1, X: five nodes, weight 1.
+  EXPECT_EQ(c.witness->nodes.size(), 5u);
+  EXPECT_EQ(std::abs(c.witness->weight), 1);
+}
+
+TEST(Chain, TwoSegmentWitness) {
+  AvGraph g;
+  ChainAnalysis c = Detect(dire::testing::kTwoSegment, "t", &g);
+  ASSERT_TRUE(c.has_chain_generating_path);
+  ASSERT_TRUE(c.witness.has_value());
+  CheckWitness(g, *c.witness);
+}
+
+TEST(Chain, MultiRuleWitnessExample51) {
+  AvGraph g;
+  ChainAnalysis c = Detect(dire::testing::kExample51, "t", &g);
+  ASSERT_TRUE(c.has_chain_generating_path);
+  ASSERT_TRUE(c.witness.has_value());
+  CheckWitness(g, *c.witness);
+  // The paper's chain alternates the two rules: period 2.
+  EXPECT_EQ(std::abs(c.witness->weight), 2);
+}
+
+TEST(Chain, SurvivingNodesOfPhase1) {
+  AvGraph g;
+  ChainAnalysis c = Detect(dire::testing::kTransitiveClosure, "t", &g);
+  // Y's cyclic component is removed; Z's tree survives.
+  EXPECT_FALSE(c.surviving[static_cast<size_t>(g.VariableNode("Y"))]);
+  EXPECT_TRUE(c.surviving[static_cast<size_t>(g.VariableNode("Z"))]);
+  EXPECT_TRUE(c.surviving[static_cast<size_t>(g.VariableNode("X"))]);
+}
+
+// A rule whose only "cycle" has weight zero must NOT be reported: the chain
+// generating path needs nonzero weight. t's body shares W between p and q
+// at the same iteration — bounded repetition, no growing chain.
+TEST(Chain, ZeroWeightCycleIsNotAChain) {
+  ChainAnalysis c = Detect(R"(
+    t(X, Y) :- p(X, W), q(X, W), t(X, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  EXPECT_FALSE(c.has_chain_generating_path);
+}
+
+// Hereditarily bounded pattern: the recursive atom repeats the head
+// variables, so nothing can chain.
+TEST(Chain, StaticRecursiveAtom) {
+  ChainAnalysis c = Detect(R"(
+    t(X, Y) :- e(X, W), t(X, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  EXPECT_FALSE(c.has_chain_generating_path);
+}
+
+// Example 6.1 chain-connectivity sets.
+TEST(Chain, Example61Connectivity) {
+  ChainAnalysis c = Detect(dire::testing::kExample61, "t");
+  ASSERT_TRUE(c.has_chain_generating_path);
+  EXPECT_EQ(c.atoms_on_chains, (std::set<AtomRef>{{0, 0}}));       // e only.
+  EXPECT_EQ(c.chain_connected_atoms, (std::set<AtomRef>{{0, 0}}));
+}
+
+// Transitive connectivity: c shares a variable with e (on the chain), and d
+// shares one with c — both are connected, none hoistable.
+TEST(Chain, TransitiveConnectivityClosure) {
+  ChainAnalysis c = Detect(R"(
+    t(X, Y) :- e(X, Z), c(Z, V), d(V), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  ASSERT_TRUE(c.has_chain_generating_path);
+  EXPECT_TRUE(c.chain_connected_atoms.count({0, 1}) == 1);
+  EXPECT_TRUE(c.chain_connected_atoms.count({0, 2}) == 1);
+}
+
+// Nonlinear rules: the A/V graph is still buildable and detection runs on
+// every recursive atom's unification edges.
+TEST(Chain, NonlinearRuleDetects) {
+  ChainAnalysis c = Detect(R"(
+    t(X, Y) :- t(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  // Same-generation-style doubling: Z chains through the two t atoms.
+  EXPECT_TRUE(c.has_chain_generating_path);
+}
+
+TEST(Chain, MultiRuleConsistencyRejectsMixedCycles) {
+  // Two rules whose graphs only close a cycle by demanding both rules at
+  // the same iteration parity everywhere; the classic TC split into two
+  // alternating-only rules still chains (period 2), so detection must find
+  // it; but a pair with genuinely incompatible assignments must not.
+  ChainAnalysis alternating = Detect(R"(
+    t(X, Y) :- a(X, Z), t(Z, Y).
+    t(X, Y) :- b(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t");
+  EXPECT_TRUE(alternating.has_chain_generating_path);
+  EXPECT_TRUE(alternating.exact);
+}
+
+// Regression: a two-rule definition whose unbounded chain corresponds to a
+// closed walk that is simple only in the weight-modular covering graph (it
+// pumps a weight-1 rule cycle through the other rule's parallel
+// identity/unification pair). The expansion keeps producing non-redundant
+// strings forever along the alternating rule sequence, so the detector must
+// NOT report "no chain" (which Theorem 5.1 would turn into a wrong
+// independence claim). Found by the MultiRuleTheorem51 property suite.
+TEST(Chain, CoveringGraphOnlyChainIsNotMissed) {
+  ChainAnalysis c = Detect(R"(
+    t(X, Y) :- p0(U0, Y), p1(Y, X), t(X, X).
+    t(X, Y) :- q0(U1, U1), q1(V1, U1), t(V1, Y).
+    t(X, Y) :- t0(X, Y).
+  )", "t");
+  EXPECT_TRUE(c.has_chain_generating_path);
+  // No consistent simple-cycle witness exists in the base graph, so the
+  // verdict is conservative.
+  EXPECT_FALSE(c.exact);
+}
+
+TEST(Chain, RequiresRecursiveRule) {
+  ast::Program p = dire::testing::ParseOrDie("t(X) :- e(X).");
+  Result<ast::RecursiveDefinition> def = ast::MakeDefinition(p, "t");
+  ASSERT_TRUE(def.ok());
+  Result<AvGraph> g = AvGraph::Build(*def);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(DetectChains(*g).ok());
+}
+
+TEST(Chain, WitnessToStringNamesNodes) {
+  AvGraph g;
+  ChainAnalysis c = Detect(dire::testing::kTransitiveClosure, "t", &g);
+  ASSERT_TRUE(c.witness.has_value());
+  std::string s = c.witness->ToString(g);
+  EXPECT_NE(s.find("weight"), std::string::npos);
+  EXPECT_NE(s.find("cycle ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::core

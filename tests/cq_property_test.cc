@@ -1,0 +1,103 @@
+// Property suite for the conjunctive-query machinery: canonicalization,
+// isomorphism, minimization and containment obey their algebraic laws on
+// random queries.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "cq/conjunctive_query.h"
+#include "cq/containment.h"
+#include "tests/test_util.h"
+
+namespace dire::cq {
+namespace {
+
+ConjunctiveQuery RandomQuery(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> pool = {"X", "Y", "A", "B", "C"};
+  ConjunctiveQuery q;
+  q.head = {ast::Term::Var("X"), ast::Term::Var("Y")};
+  int atoms = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < atoms; ++i) {
+    std::vector<ast::Term> args;
+    int arity = 1 + static_cast<int>(rng.Uniform(2));
+    for (int k = 0; k < arity; ++k) {
+      args.push_back(ast::Term::Var(pool[rng.Uniform(pool.size())]));
+    }
+    q.body.emplace_back(StrFormat("r%d", static_cast<int>(rng.Uniform(3))),
+                        std::move(args));
+  }
+  // Keep the query safe.
+  q.body.emplace_back("anchor", std::vector<ast::Term>{ast::Term::Var("X"),
+                                                       ast::Term::Var("Y")});
+  return q;
+}
+
+// Renames the nondistinguished variables with an arbitrary suffix: an
+// isomorphic variant.
+ConjunctiveQuery RenameVariant(const ConjunctiveQuery& q) {
+  ConjunctiveQuery out;
+  out.head = q.head;
+  for (const ast::Atom& a : q.body) {
+    ast::Atom b = a;
+    for (ast::Term& t : b.args) {
+      if (t.IsVariable() && t.text() != "X" && t.text() != "Y") {
+        t = ast::Term::Var(t.text() + "_renamed");
+      }
+    }
+    out.body.push_back(std::move(b));
+  }
+  return out;
+}
+
+class CqLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqLaws, CanonicalizeIsIdempotent) {
+  ConjunctiveQuery q = RandomQuery(GetParam());
+  ConjunctiveQuery once = Canonicalize(q);
+  ConjunctiveQuery twice = Canonicalize(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(CqLaws, RenamedVariantIsIsomorphic) {
+  ConjunctiveQuery q = RandomQuery(GetParam());
+  ConjunctiveQuery variant = RenameVariant(q);
+  EXPECT_TRUE(Isomorphic(q, variant));
+  // Isomorphic queries map both ways.
+  EXPECT_TRUE(MapsTo(q, variant));
+  EXPECT_TRUE(MapsTo(variant, q));
+}
+
+TEST_P(CqLaws, ContainmentIsReflexiveAndTransitiveOnSamples) {
+  ConjunctiveQuery a = RandomQuery(GetParam());
+  ConjunctiveQuery b = RandomQuery(GetParam() + 7777);
+  ConjunctiveQuery c = RandomQuery(GetParam() + 15555);
+  EXPECT_TRUE(MapsTo(a, a));
+  if (MapsTo(a, b) && MapsTo(b, c)) {
+    EXPECT_TRUE(MapsTo(a, c)) << a.ToString() << " / " << b.ToString()
+                              << " / " << c.ToString();
+  }
+}
+
+TEST_P(CqLaws, MinimizeIsEquivalentAndMinimal) {
+  ConjunctiveQuery q = RandomQuery(GetParam());
+  ConjunctiveQuery m = Minimize(q);
+  EXPECT_LE(m.body.size(), q.body.size());
+  EXPECT_TRUE(Equivalent(q, m)) << q.ToString() << " vs " << m.ToString();
+  // Minimization is a fixpoint.
+  EXPECT_EQ(Minimize(m).body.size(), m.body.size());
+}
+
+TEST_P(CqLaws, UnionContainmentConsistentWithMemberContainment) {
+  ConjunctiveQuery a = RandomQuery(GetParam() + 1);
+  ConjunctiveQuery b = RandomQuery(GetParam() + 2);
+  ConjunctiveQuery probe = RandomQuery(GetParam() + 3);
+  bool member = MapsTo(a, probe) || MapsTo(b, probe);
+  EXPECT_EQ(UnionContains({a, b}, probe), member);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqLaws, ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace dire::cq

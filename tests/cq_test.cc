@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "cq/conjunctive_query.h"
+#include "cq/containment.h"
+#include "tests/test_util.h"
+
+namespace dire::cq {
+namespace {
+
+// Builds a CQ from rule syntax: the head gives the distinguished terms.
+ConjunctiveQuery Q(std::string_view rule_text) {
+  Result<ast::Rule> r = parser::ParseRule(rule_text);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+  return ConjunctiveQuery::FromRule(*r);
+}
+
+TEST(ConjunctiveQuery, RenderingAndRoundTrip) {
+  ConjunctiveQuery q = Q("t(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_EQ(q.ToString(), "e(X,Z)e(Z,Y)");
+  EXPECT_EQ(q.ToRule("t").ToString(), "t(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_EQ(q.DistinguishedVariables(),
+            (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(Canonicalize, RenamesNondistinguishedOnly) {
+  ConjunctiveQuery q = Q("t(X) :- e(X,Foo), e(Foo,Bar).");
+  ConjunctiveQuery c = Canonicalize(q);
+  EXPECT_EQ(c.ToString(), "e(X,W0)e(W0,W1)");
+}
+
+TEST(Isomorphic, UpToNondistinguishedRenaming) {
+  EXPECT_TRUE(Isomorphic(Q("t(X) :- e(X,A), e(A,B)."),
+                         Q("t(X) :- e(X,P), e(P,Q).")));
+  EXPECT_FALSE(Isomorphic(Q("t(X) :- e(X,A), e(A,B)."),
+                          Q("t(X) :- e(X,A), e(B,A).")));
+  // Distinguished variables may not be renamed.
+  EXPECT_FALSE(Isomorphic(Q("t(X) :- e(X,X)."), Q("t(Y) :- e(Y,Y).")));
+}
+
+TEST(Containment, PathQueryClassic) {
+  // Longer paths are contained in shorter ones only via folding; a length-2
+  // path maps onto a length-1 self-loop pattern but not vice versa.
+  ConjunctiveQuery p1 = Q("t(X,Y) :- e(X,Y).");
+  ConjunctiveQuery p2 = Q("t(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_FALSE(MapsTo(p1, p2));  // e(X,Y) cannot appear in p2's body.
+  EXPECT_FALSE(MapsTo(p2, p1));  // Z would need to be both X and Y.
+}
+
+TEST(Containment, FoldingThroughNondistinguished) {
+  // q1 = exists Z: e(X,Z); q2 = e(X,X). Mapping Z -> X shows q1 maps to q2.
+  ConjunctiveQuery q1 = Q("t(X) :- e(X,Z).");
+  ConjunctiveQuery q2 = Q("t(X) :- e(X,X).");
+  EXPECT_TRUE(MapsTo(q1, q2));
+  EXPECT_FALSE(MapsTo(q2, q1));
+}
+
+TEST(Containment, MappingFixesDistinguishedVariables) {
+  ConjunctiveQuery q1 = Q("t(X,Y) :- e(X,Y).");
+  ConjunctiveQuery q2 = Q("t(X,Y) :- e(Y,X).");
+  EXPECT_FALSE(MapsTo(q1, q2));
+  EXPECT_FALSE(MapsTo(q2, q1));
+}
+
+TEST(Containment, ConstantsMustMatch) {
+  EXPECT_TRUE(MapsTo(Q("t(X) :- e(X,Z)."), Q("t(X) :- e(X,a).")));
+  EXPECT_FALSE(MapsTo(Q("t(X) :- e(X,a)."), Q("t(X) :- e(X,b).")));
+  EXPECT_TRUE(MapsTo(Q("t(X) :- e(X,a)."), Q("t(X) :- e(X,a).")));
+}
+
+TEST(Containment, ReturnsWitnessMapping) {
+  ConjunctiveQuery q1 = Q("t(X) :- e(X,Z).");
+  ConjunctiveQuery q2 = Q("t(X) :- e(X,W), f(W).");
+  auto m = FindContainmentMapping(q1, q2);
+  ASSERT_TRUE(m.has_value());
+  // Applying the mapping to q1's body must produce atoms of q2.
+  ast::Atom mapped = m->Apply(q1.body[0]);
+  EXPECT_EQ(mapped, q2.body[0]);
+}
+
+TEST(Containment, ExpansionStringsOfTransitiveClosure) {
+  // Paper Example 2.1: no string of the TC expansion maps to a longer one
+  // (that is exactly why the recursion is data dependent).
+  ConjunctiveQuery s0 = Q("t(X,Y) :- e(X,Y).");
+  ConjunctiveQuery s1 = Q("t(X,Y) :- e(X,Z0), e(Z0,Y).");
+  ConjunctiveQuery s2 = Q("t(X,Y) :- e(X,Z0), e(Z0,Z1), e(Z1,Y).");
+  EXPECT_FALSE(MapsTo(s0, s1));
+  EXPECT_FALSE(MapsTo(s1, s2));
+  EXPECT_FALSE(MapsTo(s0, s2));
+  // And the reverse directions also fail (distinct relations).
+  EXPECT_FALSE(MapsTo(s1, s0));
+  EXPECT_FALSE(MapsTo(s2, s0));
+}
+
+TEST(Containment, BuysStringsCollapse) {
+  // Paper Example 1.2: string 1 maps to string 2, so evaluating string 2
+  // adds nothing. (The two are in fact equivalent: the extra trendy atom of
+  // string 2 folds onto trendy(X).)
+  ConjunctiveQuery s1 = Q("b(X,Y) :- trendy(X), likes(Z0,Y).");
+  ConjunctiveQuery s2 = Q("b(X,Y) :- trendy(X), trendy(Z0), likes(Z1,Y).");
+  EXPECT_TRUE(MapsTo(s1, s2));
+  EXPECT_TRUE(MapsTo(s2, s1));
+  EXPECT_EQ(Minimize(s2).body.size(), 2u);
+}
+
+TEST(Containment, Equivalence) {
+  ConjunctiveQuery a = Q("t(X) :- e(X,Z), e(X,W).");
+  ConjunctiveQuery b = Q("t(X) :- e(X,U).");
+  EXPECT_TRUE(Equivalent(a, b));
+  EXPECT_FALSE(Equivalent(a, Q("t(X) :- e(Z,X).")));
+}
+
+TEST(UnionContains, AnyMemberSuffices) {
+  std::vector<ConjunctiveQuery> ucq = {Q("t(X) :- e(X,a)."),
+                                       Q("t(X) :- e(X,Z).")};
+  EXPECT_TRUE(UnionContains(ucq, Q("t(X) :- e(X,b).")));
+  EXPECT_FALSE(UnionContains({Q("t(X) :- e(X,a).")}, Q("t(X) :- e(X,b).")));
+  EXPECT_FALSE(UnionContains({}, Q("t(X) :- e(X,b).")));
+}
+
+TEST(Minimize, RemovesFoldableAtoms) {
+  ConjunctiveQuery q = Q("t(X) :- e(X,Z), e(X,W), e(X,V).");
+  ConjunctiveQuery m = Minimize(q);
+  EXPECT_EQ(m.body.size(), 1u);
+  EXPECT_TRUE(Equivalent(q, m));
+}
+
+TEST(Minimize, KeepsCore) {
+  ConjunctiveQuery q = Q("t(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_EQ(Minimize(q).body.size(), 2u);
+}
+
+TEST(Minimize, RespectsSafety) {
+  // The only atom carrying Y cannot be removed even though it looks
+  // foldable onto the first atom.
+  ConjunctiveQuery q = Q("t(X,Y) :- e(X,X), e(X,Y).");
+  ConjunctiveQuery m = Minimize(q);
+  bool has_y = false;
+  for (const ast::Atom& a : m.body) {
+    for (const ast::Term& t : a.args) {
+      if (t.IsVariable() && t.text() == "Y") has_y = true;
+    }
+  }
+  EXPECT_TRUE(has_y);
+}
+
+TEST(Minimize, ExampleFromSagivTradition) {
+  // exists Z,W: e(X,Z), e(Z,W) folds to exists Z: e(X,Z) only if W can map
+  // into the 2-chain consistently: it can (Z->Z, W->W ... keep both). The
+  // core of a genuine 2-chain with only X distinguished IS foldable:
+  // map Z->Z, W->Z requires e(Z,Z) — absent. So the core keeps both atoms.
+  ConjunctiveQuery q = Q("t(X) :- e(X,Z), e(Z,W).");
+  EXPECT_EQ(Minimize(q).body.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dire::cq

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+TEST(Equivalence, IdenticalProgramsAgree) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  Result<EquivalenceCheckResult> r =
+      CheckEquivalenceOnRandomDatabases(p, p, "t");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->equivalent);
+}
+
+TEST(Equivalence, DetectsRealDifference) {
+  ast::Program closure = ParseOrDie(dire::testing::kTransitiveClosure);
+  ast::Program one_step = ParseOrDie("t(X, Y) :- e(X, Y).");
+  Result<EquivalenceCheckResult> r =
+      CheckEquivalenceOnRandomDatabases(closure, one_step, "t");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->equivalent);
+  EXPECT_NE(r->counterexample.find("differs"), std::string::npos);
+}
+
+TEST(Equivalence, SyntacticallyDifferentButEqualPrograms) {
+  // Right-linear vs left-linear transitive closure.
+  ast::Program right = ParseOrDie(dire::testing::kTransitiveClosure);
+  ast::Program left = ParseOrDie(R"(
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  Result<EquivalenceCheckResult> r =
+      CheckEquivalenceOnRandomDatabases(right, left, "t");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->equivalent) << r->counterexample;
+}
+
+TEST(Equivalence, MixedArityEdbRejected) {
+  ast::Program a = ParseOrDie("t(X) :- e(X).");
+  ast::Program b = ParseOrDie("t(X) :- e(X, X).");
+  Result<EquivalenceCheckResult> r =
+      CheckEquivalenceOnRandomDatabases(a, b, "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Equivalence, DeterministicAcrossRuns) {
+  ast::Program closure = ParseOrDie(dire::testing::kTransitiveClosure);
+  ast::Program one_step = ParseOrDie("t(X, Y) :- e(X, Y).");
+  EquivalenceCheckOptions opts;
+  opts.seed = 1234;
+  Result<EquivalenceCheckResult> r1 =
+      CheckEquivalenceOnRandomDatabases(closure, one_step, "t", opts);
+  Result<EquivalenceCheckResult> r2 =
+      CheckEquivalenceOnRandomDatabases(closure, one_step, "t", opts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->counterexample, r2->counterexample);
+}
+
+}  // namespace
+}  // namespace dire::core

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "eval/plan.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+// Transitive closure of a 5-node chain has n*(n-1)/2 = 10 pairs.
+constexpr size_t kChain5Closure = 10;
+
+EvalOptions Naive() {
+  EvalOptions o;
+  o.mode = EvalOptions::Mode::kNaive;
+  return o;
+}
+
+TEST(Evaluator, TransitiveClosureOnChainSemiNaive) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 5).ok());
+  Evaluator ev(&db);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.Find("t")->size(), kChain5Closure);
+  EXPECT_TRUE(stats->converged);
+}
+
+TEST(Evaluator, NaiveAndSemiNaiveAgree) {
+  for (int seed : {1, 2, 3}) {
+    storage::Database a;
+    storage::Database b;
+    Rng ra(static_cast<uint64_t>(seed));
+    Rng rb(static_cast<uint64_t>(seed));
+    ASSERT_TRUE(storage::MakeRandomGraph(&a, "e", 12, 25, &ra).ok());
+    ASSERT_TRUE(storage::MakeRandomGraph(&b, "e", 12, 25, &rb).ok());
+    Evaluator ea(&a, Naive());
+    Evaluator eb(&b);
+    ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+    ASSERT_TRUE(ea.Evaluate(p).ok());
+    ASSERT_TRUE(eb.Evaluate(p).ok());
+    EXPECT_EQ(a.DumpRelation("t"), b.DumpRelation("t")) << "seed " << seed;
+  }
+}
+
+TEST(Evaluator, CycleClosureIsComplete) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeCycle(&db, "e", 6).ok());
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure)).ok());
+  // On a cycle every node reaches every node (including itself).
+  EXPECT_EQ(db.Find("t")->size(), 36u);
+}
+
+TEST(Evaluator, FactsInProgramAreLoaded) {
+  storage::Database db;
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(R"(
+    e(a, b). e(b, c). e(c, d).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )")).ok());
+  EXPECT_EQ(db.DumpRelation("t"),
+            "t(a,b)\nt(a,c)\nt(a,d)\nt(b,c)\nt(b,d)\nt(c,d)\n");
+}
+
+TEST(Evaluator, MutualRecursion) {
+  storage::Database db;
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(R"(
+    zero(n0).
+    succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )")).ok());
+  EXPECT_EQ(db.DumpRelation("even"), "even(n0)\neven(n2)\neven(n4)\n");
+  EXPECT_EQ(db.DumpRelation("odd"), "odd(n1)\nodd(n3)\n");
+}
+
+TEST(Evaluator, ConstantsInRules) {
+  storage::Database db;
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(R"(
+    e(a, b). e(b, c).
+    from_a(Y) :- e(a, Y).
+  )")).ok());
+  EXPECT_EQ(db.DumpRelation("from_a"), "from_a(b)\n");
+}
+
+TEST(Evaluator, RepeatedVariableInAtom) {
+  storage::Database db;
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(R"(
+    e(a, a). e(a, b). e(c, c).
+    loop(X) :- e(X, X).
+  )")).ok());
+  EXPECT_EQ(db.DumpRelation("loop"), "loop(a)\nloop(c)\n");
+}
+
+TEST(Evaluator, UnsafeRuleRejected) {
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> r = ev.Evaluate(ParseOrDie("t(X, Y) :- e(X)."));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST(Evaluator, MissingEdbRelationYieldsEmpty) {
+  storage::Database db;
+  Evaluator ev(&db);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie("t(X) :- ghost(X).")).ok());
+  ASSERT_NE(db.Find("t"), nullptr);
+  EXPECT_EQ(db.Find("t")->size(), 0u);
+}
+
+TEST(Evaluator, IterationBoundRunsExactRounds) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 8).ok());
+  EvalOptions opts;
+  opts.mode = EvalOptions::Mode::kNaive;
+  opts.max_iterations = 2;
+  opts.stop_on_fixpoint = false;
+  Evaluator ev(&db);
+  ev = Evaluator(&db, opts);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->iterations, 2);
+  // Two naive rounds reach paths of length <= 2: 7 + 6 edges.
+  EXPECT_EQ(db.Find("t")->size(), 13u);
+}
+
+TEST(Evaluator, IterationBoundRequiresPositiveCap) {
+  storage::Database db;
+  EvalOptions opts;
+  opts.stop_on_fixpoint = false;
+  Evaluator ev(&db, opts);
+  EXPECT_FALSE(ev.Evaluate(ParseOrDie("t(X) :- e(X).")).ok());
+}
+
+TEST(Evaluator, MaxIterationsReportsNonConvergence) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 30).ok());
+  EvalOptions opts;
+  opts.max_iterations = 3;
+  Evaluator ev(&db, opts);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->converged);
+}
+
+TEST(Evaluator, EvaluateOnceIsSinglePass) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 5).ok());
+  Evaluator ev(&db);
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, Z), e(Z, Y).
+  )");
+  Result<EvalStats> stats = ev.EvaluateOnce(p.rules);
+  ASSERT_TRUE(stats.ok());
+  // Paths of length 1 (4) and 2 (3).
+  EXPECT_EQ(db.Find("t")->size(), 7u);
+}
+
+TEST(Evaluator, SemiNaiveFewerFiringsThanNaiveDerivations) {
+  storage::Database db1;
+  storage::Database db2;
+  ASSERT_TRUE(storage::MakeChain(&db1, "e", 40).ok());
+  ASSERT_TRUE(storage::MakeChain(&db2, "e", 40).ok());
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  Evaluator naive(&db1, Naive());
+  Evaluator semi(&db2);
+  Result<EvalStats> sn = naive.Evaluate(p);
+  Result<EvalStats> ss = semi.Evaluate(p);
+  ASSERT_TRUE(sn.ok());
+  ASSERT_TRUE(ss.ok());
+  EXPECT_EQ(db1.Find("t")->size(), db2.Find("t")->size());
+  // Both must have derived the same set; semi-naive should not do more
+  // iterations than naive.
+  EXPECT_LE(ss->iterations, sn->iterations + 1);
+}
+
+TEST(CompileRule, GreedyReorderPutsBoundAtomsFirst) {
+  storage::SymbolTable symbols;
+  Result<ast::Rule> rule =
+      parser::ParseRule("t(Y) :- big(Z, Y), anchor(a, Z).");
+  ASSERT_TRUE(rule.ok());
+  Result<CompiledRule> plan = CompileRule(*rule, &symbols, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // anchor has a constant, so the greedy order starts with it.
+  EXPECT_EQ(plan->body[0].predicate, "anchor");
+  EXPECT_EQ(plan->body[1].predicate, "big");
+  // big joins on Z which is then bound: probe position 0.
+  EXPECT_EQ(plan->body[1].probe_position, 0);
+}
+
+TEST(CompileRule, DeltaAtomGoesFirst) {
+  storage::SymbolTable symbols;
+  Result<ast::Rule> rule =
+      parser::ParseRule("t(X, Y) :- e(X, Z), t(Z, Y).");
+  ASSERT_TRUE(rule.ok());
+  CompileOptions opts;
+  opts.delta_atom = 1;
+  Result<CompiledRule> plan = CompileRule(*rule, &symbols, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->body[0].predicate, "t");
+  EXPECT_EQ(plan->body[0].source, AtomSource::kDelta);
+  EXPECT_EQ(plan->body[1].source, AtomSource::kFull);
+}
+
+}  // namespace
+}  // namespace dire::eval

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/expansion.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::DefOrDie;
+
+std::vector<std::string> Strings(std::string_view program,
+                                 const std::string& target, int levels) {
+  ast::RecursiveDefinition def = DefOrDie(program, target);
+  Result<std::vector<ExpansionString>> r = ExpandToDepth(def, levels);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+  std::vector<std::string> out;
+  for (const ExpansionString& s : *r) out.push_back(s.ToString());
+  return out;
+}
+
+// Paper Example 2.1: the first four strings of the transitive closure
+// expansion.
+TEST(Expansion, TransitiveClosureMatchesPaper) {
+  std::vector<std::string> s =
+      Strings(dire::testing::kTransitiveClosure, "t", 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "e(X,Y)");
+  EXPECT_EQ(s[1], "e(X,Z_0)e(Z_0,Y)");
+  EXPECT_EQ(s[2], "e(X,Z_0)e(Z_0,Z_1)e(Z_1,Y)");
+  EXPECT_EQ(s[3], "e(X,Z_0)e(Z_0,Z_1)e(Z_1,Z_2)e(Z_2,Y)");
+}
+
+// Paper Example 3.3: note the reversed growth (new atoms prepend) and the
+// W-subscript pattern.
+TEST(Expansion, Example33MatchesPaper) {
+  std::vector<std::string> s = Strings(dire::testing::kExample33, "t", 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "e(X,Y,Z)");
+  EXPECT_EQ(s[1], "e(W_0,W_0,X)p(Y,Z)");
+  EXPECT_EQ(s[2], "e(W_1,W_1,W_0)p(W_0,X)p(Y,Z)");
+  EXPECT_EQ(s[3], "e(W_2,W_2,W_1)p(W_1,W_0)p(W_0,X)p(Y,Z)");
+}
+
+// Paper Example 6.1 strings.
+TEST(Expansion, Example61MatchesPaper) {
+  std::vector<std::string> s = Strings(dire::testing::kExample61, "t", 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "t0(X,Y)");
+  EXPECT_EQ(s[1], "e(X,Z_0)b(W_0,Y)t0(Z_0,Y)");
+  EXPECT_EQ(s[2], "e(X,Z_0)b(W_0,Y)e(Z_0,Z_1)b(W_1,Y)t0(Z_1,Y)");
+}
+
+// Paper Example 4.7 (exit e(U,U)): the expansion prefix from the paper.
+TEST(Expansion, Example47MatchesPaper) {
+  std::string text = std::string(dire::testing::kExample47RecRule) + "\n" +
+                     std::string(dire::testing::kExample47ExitC);
+  std::vector<std::string> s = Strings(text, "t", 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "e(U,U)");
+  EXPECT_EQ(s[1], "e(M_0,M_0)e(M_0,Y)");
+  EXPECT_EQ(s[2], "e(M_1,M_1)e(M_1,M_0)e(M_0,Y)");
+}
+
+TEST(Expansion, DepthAndRuleSequenceMetadata) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  Result<std::vector<ExpansionString>> r = ExpandToDepth(def, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[2].depth, 2);
+  EXPECT_EQ((*r)[2].rule_sequence, (std::vector<int>{0, 0}));
+  EXPECT_EQ((*r)[2].exit_rule, 0);
+}
+
+// Multi-rule expansion: level k holds |R|^k strings per exit rule.
+TEST(Expansion, MultiRuleLevelGrowth) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kExample51, "t");
+  Result<ExpansionEnumerator> e = ExpansionEnumerator::Create(def);
+  ASSERT_TRUE(e.ok()) << e.status();
+  Result<std::vector<ExpansionString>> l0 = e->NextLevel();
+  ASSERT_TRUE(l0.ok());
+  EXPECT_EQ(l0->size(), 1u);
+  Result<std::vector<ExpansionString>> l1 = e->NextLevel();
+  ASSERT_TRUE(l1.ok());
+  EXPECT_EQ(l1->size(), 2u);
+  Result<std::vector<ExpansionString>> l2 = e->NextLevel();
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(l2->size(), 4u);
+  EXPECT_EQ(e->num_partials(), 8u);
+}
+
+// Paper Example 5.1: the string for rule sequence r1, r2, r1 then exit.
+TEST(Expansion, Example51SequenceString) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kExample51, "t");
+  Result<std::vector<ExpansionString>> r = ExpandToDepth(def, 4);
+  ASSERT_TRUE(r.ok());
+  std::string want_sequence;
+  for (const ExpansionString& s : *r) {
+    if (s.rule_sequence == std::vector<int>{0, 1, 0}) {
+      want_sequence = s.ToString();
+    }
+  }
+  // Paper: e(X,U2) p1(U2,V1) p2(V1,U0) p1(U0,Z); our subscripting writes
+  // U_2 etc. and keeps the textual atom order of CurString.
+  EXPECT_EQ(want_sequence, "e(X,U_2)p1(U_2,V_1)p2(V_1,U_0)p1(U_0,Z)");
+}
+
+TEST(Expansion, CapOnPartialStrings) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kExample51, "t");
+  ExpansionEnumerator::Options opts;
+  opts.max_partial_strings = 4;
+  Result<ExpansionEnumerator> e = ExpansionEnumerator::Create(def, opts);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->NextLevel().ok());  // 1 -> 2 partials.
+  ASSERT_TRUE(e->NextLevel().ok());  // 2 -> 4 partials.
+  Result<std::vector<ExpansionString>> l = e->NextLevel();  // 4 -> 8: too many.
+  ASSERT_FALSE(l.ok());
+  EXPECT_EQ(l.status().code(), StatusCode::kInconclusive);
+}
+
+TEST(Expansion, CurrentRecursiveAtomCyclesForExample47) {
+  // Theorem 4.3's proof observes that the t instances in CurString become
+  // isomorphic with some period. For the Example 4.7 rule the instance is
+  // t(X, M_i, M_i, Y)-shaped from iteration 1 on.
+  std::string text = std::string(dire::testing::kExample47RecRule) + "\n" +
+                     std::string(dire::testing::kExample47ExitC);
+  ast::RecursiveDefinition def = DefOrDie(text, "t");
+  Result<ExpansionEnumerator> e = ExpansionEnumerator::Create(def);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->NextLevel().ok());
+  Result<ast::Atom> a1 = e->CurrentRecursiveAtom();
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->ToString(), "t(X,M_0,M_0,Y)");
+  ASSERT_TRUE(e->NextLevel().ok());
+  Result<ast::Atom> a2 = e->CurrentRecursiveAtom();
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->ToString(), "t(X,M_1,M_1,M_0)");
+}
+
+TEST(RuleGoalTree, SingleRuleIsAChain) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  Result<std::string> tree = RenderRuleGoalTree(def, 2);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  // Root, then one child per level.
+  EXPECT_NE(tree->find("t(X,Y)\n"), std::string::npos) << *tree;
+  EXPECT_NE(tree->find("`- [r1] e(X,Z_0) t(Z_0,Y)"), std::string::npos)
+      << *tree;
+  EXPECT_NE(tree->find("   `- [r1] e(X,Z_0) e(Z_0,Z_1) t(Z_1,Y)"),
+            std::string::npos)
+      << *tree;
+}
+
+TEST(RuleGoalTree, MultiRuleBranches) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kExample51, "t");
+  Result<std::string> tree = RenderRuleGoalTree(def, 2);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  // Fig 13: both rules branch at each level: 1 + 2 + 4 nodes.
+  size_t r1 = 0;
+  size_t r2 = 0;
+  for (size_t pos = tree->find("[r1]"); pos != std::string::npos;
+       pos = tree->find("[r1]", pos + 1)) {
+    ++r1;
+  }
+  for (size_t pos = tree->find("[r2]"); pos != std::string::npos;
+       pos = tree->find("[r2]", pos + 1)) {
+    ++r2;
+  }
+  EXPECT_EQ(r1, 3u);
+  EXPECT_EQ(r2, 3u);
+  EXPECT_NE(tree->find("t(X,U_0,Z) p1(U_0,Z)"), std::string::npos) << *tree;
+}
+
+TEST(Expansion, PartialStringsKeyedBySequence) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kExample51, "t");
+  Result<ExpansionEnumerator> e = ExpansionEnumerator::Create(def);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->NextLevel().ok());
+  ASSERT_TRUE(e->NextLevel().ok());
+  auto partials = e->PartialStrings();
+  ASSERT_EQ(partials.size(), 4u);
+  std::set<std::vector<int>> keys;
+  for (const auto& [seq, text] : partials) {
+    EXPECT_EQ(seq.size(), 2u);
+    keys.insert(seq);
+    EXPECT_NE(text.find("t("), std::string::npos);
+  }
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(Expansion, RequiresLinearRules) {
+  ast::RecursiveDefinition def = DefOrDie(R"(
+    t(X) :- t(X), t(X), e(X).
+    t(X) :- e(X).
+  )", "t");
+  EXPECT_FALSE(ExpansionEnumerator::Create(def).ok());
+}
+
+TEST(Expansion, RequiresExitRule) {
+  ast::RecursiveDefinition def = DefOrDie("t(X) :- e(X,Z), t(Z).", "t");
+  EXPECT_FALSE(ExpansionEnumerator::Create(def).ok());
+}
+
+}  // namespace
+}  // namespace dire::core

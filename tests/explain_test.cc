@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "eval/explain.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+TEST(Explain, ShowsJoinOrderAndProbes) {
+  ast::Program p = ParseOrDie("t(Y) :- big(Z, Y), anchor(a, Z).");
+  Result<std::string> text = ExplainProgram(p);
+  ASSERT_TRUE(text.ok()) << text.status();
+  // The anchored atom comes first, then big probes on the bound Z.
+  size_t anchor_pos = text->find("anchor");
+  size_t big_pos = text->find("big", text->find("plan for"));
+  ASSERT_NE(anchor_pos, std::string::npos);
+  ASSERT_NE(big_pos, std::string::npos);
+  EXPECT_LT(anchor_pos, big_pos);
+  EXPECT_NE(text->find("probe #1=Z"), std::string::npos) << *text;
+}
+
+TEST(Explain, UsesVariableNames) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  Result<std::string> text = ExplainProgram(p);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("bind"), std::string::npos);
+  EXPECT_NE(text->find("head: X Y"), std::string::npos) << *text;
+}
+
+TEST(Explain, ShowsConstants) {
+  ast::Program p = ParseOrDie("q(Y) :- e(alice, Y).");
+  Result<std::string> text = ExplainProgram(p);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("'alice'"), std::string::npos) << *text;
+}
+
+TEST(Explain, DeltaMarkerOnDifferentiatedPlans) {
+  storage::SymbolTable symbols;
+  Result<ast::Rule> rule =
+      parser::ParseRule("t(X, Y) :- e(X, Z), t(Z, Y).");
+  ASSERT_TRUE(rule.ok());
+  CompileOptions opts;
+  opts.delta_atom = 1;
+  Result<CompiledRule> plan = CompileRule(*rule, &symbols, opts);
+  ASSERT_TRUE(plan.ok());
+  std::string text = ExplainPlan(*plan, symbols);
+  EXPECT_NE(text.find("[delta]"), std::string::npos) << text;
+}
+
+TEST(Explain, SkipsFacts) {
+  ast::Program p = ParseOrDie("e(a, b). t(X) :- e(X, Y).");
+  Result<std::string> text = ExplainProgram(p);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("e(a,b)"), std::string::npos);
+  EXPECT_NE(text->find("plan for t/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::eval

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/graph_view.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::DefOrDie;
+
+AvGraph Build(std::string_view program) {
+  ast::RecursiveDefinition def = DefOrDie(program, "t");
+  Result<AvGraph> g = AvGraph::Build(def);
+  EXPECT_TRUE(g.ok());
+  if (!g.ok()) std::abort();
+  return std::move(g).value();
+}
+
+// Figure 2 / Example 3.2: the graph splits into the cyclic component
+// {t2, Y, e'2} and a tree containing the nondistinguished Z.
+TEST(GraphView, Figure2Components) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure);
+  GraphView view = GraphView::All(g, /*augmented=*/false);
+  int y = g.VariableNode("Y");
+  int z = g.VariableNode("Z");
+  int x = g.VariableNode("X");
+  ASSERT_GE(y, 0);
+  EXPECT_NE(view.ComponentOf(y), view.ComponentOf(z));
+  EXPECT_EQ(view.ComponentOf(x), view.ComponentOf(z));
+  EXPECT_TRUE(view.ComponentHasCycle(view.ComponentOf(y)));
+  EXPECT_FALSE(view.ComponentHasCycle(view.ComponentOf(z)));
+  // The t2-Y parallel pair (identity + unification) is a weight-1 cycle.
+  EXPECT_EQ(view.ComponentCycleGcd(view.ComponentOf(y)), 1);
+  EXPECT_TRUE(view.OnCycle(y));
+  EXPECT_TRUE(view.OnNonzeroCycle(y));
+  EXPECT_FALSE(view.OnCycle(z));
+}
+
+TEST(GraphView, AugmentedViewAddsChainCycle) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure);
+  GraphView aug = GraphView::All(g, /*augmented=*/true);
+  int z = g.VariableNode("Z");
+  // With the e1-e2 predicate edge, Z joins a nonzero-weight cycle
+  // (the chain generating path of Example 4.2).
+  EXPECT_TRUE(aug.OnNonzeroCycle(z));
+}
+
+TEST(GraphView, WalkWeightsAlongTree) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure);
+  GraphView view = GraphView::All(g, /*augmented=*/false);
+  int z = g.VariableNode("Z");
+  int x = g.VariableNode("X");
+  // Z reaches X through t1's unification edge: weight +1, acyclic component
+  // so the weight is exact.
+  WalkWeights w = view.Weights(z, x);
+  ASSERT_TRUE(w.connected);
+  EXPECT_EQ(w.gcd, 0);
+  EXPECT_EQ(w.base, 1);
+  // And the reverse direction negates.
+  EXPECT_EQ(view.Weights(x, z).base, -1);
+}
+
+TEST(GraphView, DisconnectedPairs) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure);
+  GraphView view = GraphView::All(g, /*augmented=*/false);
+  WalkWeights w = view.Weights(g.VariableNode("Z"), g.VariableNode("Y"));
+  EXPECT_FALSE(w.connected);
+  EXPECT_FALSE(w.ContainsValue(0));
+  EXPECT_FALSE(w.ContainsPositive());
+}
+
+TEST(GraphView, FilteredViewExcludesNodes) {
+  AvGraph g = Build(dire::testing::kTransitiveClosure);
+  std::vector<bool> none(g.nodes().size(), false);
+  GraphView view(g, none, /*augmented=*/true);
+  EXPECT_EQ(view.num_components(), 0);
+  EXPECT_EQ(view.ComponentOf(0), -1);
+}
+
+TEST(WalkWeights, ContainsValueCosetArithmetic) {
+  WalkWeights w{true, 2, 3};  // {..., -1, 2, 5, 8, ...}
+  EXPECT_TRUE(w.ContainsValue(2));
+  EXPECT_TRUE(w.ContainsValue(-1));
+  EXPECT_TRUE(w.ContainsValue(8));
+  EXPECT_FALSE(w.ContainsValue(3));
+  EXPECT_TRUE(w.ContainsPositive());
+}
+
+TEST(WalkWeights, FixedValueSet) {
+  WalkWeights w{true, -2, 0};
+  EXPECT_TRUE(w.ContainsValue(-2));
+  EXPECT_FALSE(w.ContainsValue(0));
+  EXPECT_FALSE(w.ContainsPositive());
+}
+
+TEST(WalkWeights, Intersections) {
+  WalkWeights a{true, 1, 4};   // 1 mod 4
+  WalkWeights b{true, 3, 6};   // 3 mod 6
+  EXPECT_TRUE(Intersects(a, b));  // 9 = 1+2*4 = 3+6.
+  WalkWeights c{true, 0, 4};
+  WalkWeights d{true, 1, 2};
+  EXPECT_FALSE(Intersects(c, d));  // Even vs odd.
+  EXPECT_FALSE(Intersects(WalkWeights{}, a));
+}
+
+TEST(WalkWeights, IntersectCosetsCrt) {
+  WalkWeights a{true, 1, 4};
+  WalkWeights b{true, 3, 6};
+  WalkWeights i = IntersectCosets(a, b);
+  ASSERT_TRUE(i.connected);
+  EXPECT_EQ(i.gcd, 12);
+  EXPECT_TRUE(i.ContainsValue(9));
+  EXPECT_TRUE(a.ContainsValue(i.base));
+  EXPECT_TRUE(b.ContainsValue(i.base));
+}
+
+TEST(WalkWeights, IntersectCosetsWithFixedValues) {
+  WalkWeights fixed{true, 5, 0};
+  WalkWeights coset{true, 1, 2};
+  EXPECT_TRUE(IntersectCosets(fixed, coset).connected);  // 5 is odd.
+  WalkWeights coset_even{true, 0, 2};
+  EXPECT_FALSE(IntersectCosets(fixed, coset_even).connected);
+  EXPECT_FALSE(IntersectCosets(WalkWeights{}, coset).connected);
+}
+
+TEST(WalkWeights, SumOf) {
+  WalkWeights a{true, 2, 4};
+  WalkWeights b{true, -1, 6};
+  WalkWeights s = SumOf(a, b);
+  ASSERT_TRUE(s.connected);
+  EXPECT_EQ(s.base, 1);
+  EXPECT_EQ(s.gcd, 2);
+}
+
+// Example 4.5's graph: component of X and Y is cyclic (removed by phase 1);
+// the W component is a tree.
+TEST(GraphView, Example45ComponentShapes) {
+  AvGraph g = Build(dire::testing::kExample45);
+  GraphView view = GraphView::All(g, /*augmented=*/false);
+  int x = g.VariableNode("X");
+  int y = g.VariableNode("Y");
+  int w = g.VariableNode("W");
+  EXPECT_EQ(view.ComponentOf(x), view.ComponentOf(y));
+  EXPECT_TRUE(view.ComponentHasCycle(view.ComponentOf(x)));
+  // The X-Y swap cycle has weight 2: X only reappears every other iteration.
+  EXPECT_EQ(view.ComponentCycleGcd(view.ComponentOf(x)), 2);
+  EXPECT_FALSE(view.ComponentHasCycle(view.ComponentOf(w)));
+}
+
+}  // namespace
+}  // namespace dire::core

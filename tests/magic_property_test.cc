@@ -1,0 +1,156 @@
+// Property suite for the magic-sets rewriting: on random programs, random
+// databases and random query patterns, the magic evaluation must return
+// exactly the tuples the full fixpoint evaluation returns for the query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "eval/magic.h"
+#include "eval/topdown.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+struct Scenario {
+  ast::Program program;
+  ast::Atom query;
+};
+
+// Random linear-rule program over an edge relation plus a random query with
+// a random bound/free pattern.
+Scenario MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  const char* programs[] = {
+      R"(t(X, Y) :- e(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).)",
+      R"(t(X, Y) :- t(X, Z), e(Z, Y). t(X, Y) :- e(X, Y).)",
+      R"(t(X, Y) :- e(X, Z), t(Z, Y). t(X, Y) :- f(X, Y).)",
+      R"(t(X, Y) :- t(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).)",
+      R"(p(X) :- start(X). p(X) :- e(Y, X), p(Y). t(X, Y) :- e(X, Y), p(X).)",
+  };
+  Scenario s;
+  s.program = ParseOrDie(programs[rng.Uniform(5)]);
+
+  // Query pattern over t/2: each argument bound to a random node constant
+  // with probability 1/2.
+  std::vector<ast::Term> args;
+  const char* vars[] = {"Qx", "Qy"};
+  for (int i = 0; i < 2; ++i) {
+    if (rng.Chance(0.5)) {
+      args.push_back(ast::Term::Const(
+          StrFormat("n%d", static_cast<int>(rng.Uniform(12)))));
+    } else {
+      args.push_back(ast::Term::Var(vars[i]));
+    }
+  }
+  s.query = ast::Atom("t", std::move(args));
+  return s;
+}
+
+Status FillEdges(storage::Database* db, uint64_t seed) {
+  Rng rng(seed);
+  DIRE_RETURN_IF_ERROR(storage::MakeRandomGraph(db, "e", 12, 24, &rng));
+  // Some scenarios also read f/start.
+  for (int i = 0; i < 4; ++i) {
+    DIRE_RETURN_IF_ERROR(db->AddRow(
+        "f", {StrFormat("n%d", static_cast<int>(rng.Uniform(12))),
+              StrFormat("n%d", static_cast<int>(rng.Uniform(12)))}));
+  }
+  DIRE_RETURN_IF_ERROR(db->AddRow("start", {"n0"}));
+  return Status::Ok();
+}
+
+std::vector<std::string> Render(const std::vector<storage::Tuple>& tuples,
+                                const storage::Database& db) {
+  std::vector<std::string> out;
+  for (const storage::Tuple& t : tuples) {
+    std::string row;
+    for (storage::ValueId v : t) row += db.symbols().Name(v) + ",";
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class MagicAgreesWithFull : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MagicAgreesWithFull, SameAnswers) {
+  Scenario s = MakeScenario(GetParam());
+  storage::Database db_magic;
+  storage::Database db_full;
+  ASSERT_TRUE(FillEdges(&db_magic, GetParam() * 3 + 1).ok());
+  ASSERT_TRUE(FillEdges(&db_full, GetParam() * 3 + 1).ok());
+
+  Result<QueryAnswer> magic = AnswerQuery(&db_magic, s.program, s.query);
+  Result<QueryAnswer> full =
+      AnswerQueryByFullEvaluation(&db_full, s.program, s.query);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  EXPECT_EQ(Render(magic->tuples, db_magic), Render(full->tuples, db_full))
+      << "query " << s.query.ToString() << "\n"
+      << s.program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicAgreesWithFull,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// Magic evaluation never derives MORE answer-predicate tuples than the full
+// closure of the query predicate (relevance).
+class MagicRelevance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MagicRelevance, NoIrrelevantAnswers) {
+  Scenario s = MakeScenario(GetParam() + 500);
+  storage::Database db_magic;
+  storage::Database db_full;
+  ASSERT_TRUE(FillEdges(&db_magic, GetParam() * 7 + 3).ok());
+  ASSERT_TRUE(FillEdges(&db_full, GetParam() * 7 + 3).ok());
+
+  Result<MagicRewrite> rewrite = MagicSetTransform(s.program, s.query);
+  ASSERT_TRUE(rewrite.ok());
+  Result<QueryAnswer> magic = AnswerQuery(&db_magic, s.program, s.query);
+  ASSERT_TRUE(magic.ok());
+  Result<QueryAnswer> full = AnswerQueryByFullEvaluation(
+      &db_full, s.program, ast::Atom("t", {ast::Term::Var("A"),
+                                           ast::Term::Var("B")}));
+  ASSERT_TRUE(full.ok());
+  storage::Relation* answers = db_magic.Find(rewrite->answer_predicate);
+  size_t derived = answers == nullptr ? 0 : answers->size();
+  EXPECT_LE(derived, db_full.Find("t")->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicRelevance,
+                         ::testing::Range<uint64_t>(0, 30));
+
+// Third opinion: the tabled top-down engine must agree with both bottom-up
+// strategies on the same scenarios.
+class TopDownAgreesWithMagic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopDownAgreesWithMagic, SameAnswers) {
+  Scenario s = MakeScenario(GetParam() + 900);
+  storage::Database db_td;
+  storage::Database db_magic;
+  ASSERT_TRUE(FillEdges(&db_td, GetParam() * 13 + 5).ok());
+  ASSERT_TRUE(FillEdges(&db_magic, GetParam() * 13 + 5).ok());
+
+  TabledTopDown engine(&db_td, s.program);
+  Result<QueryAnswer> td = engine.Query(s.query);
+  Result<QueryAnswer> mg = AnswerQuery(&db_magic, s.program, s.query);
+  ASSERT_TRUE(td.ok()) << td.status();
+  ASSERT_TRUE(mg.ok()) << mg.status();
+  EXPECT_EQ(Render(td->tuples, db_td), Render(mg->tuples, db_magic))
+      << "query " << s.query.ToString() << "\n"
+      << s.program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopDownAgreesWithMagic,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace dire::eval

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "eval/magic.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+ast::Atom QueryAtom(std::string_view text) {
+  Result<ast::Atom> a = parser::ParseAtom(text);
+  EXPECT_TRUE(a.ok()) << (a.ok() ? "" : a.status().ToString());
+  return std::move(a).value();
+}
+
+TEST(MagicSets, TransformShapeForTc) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  Result<MagicRewrite> r = MagicSetTransform(p, QueryAtom("t(a, Y)"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->adornment, "bf");
+  EXPECT_EQ(r->answer_predicate, "t@bf");
+  // Seed fact + 2 adorned rules + 1 magic rule for the recursive subgoal.
+  EXPECT_EQ(r->program.rules.size(), 4u);
+  bool found_seed = false;
+  for (const ast::Rule& rule : r->program.rules) {
+    if (rule.IsFact() && rule.head.predicate == "m_t@bf") {
+      found_seed = true;
+      EXPECT_EQ(rule.head.ToString(), "m_t@bf(a)");
+    }
+  }
+  EXPECT_TRUE(found_seed);
+}
+
+TEST(MagicSets, AnswersMatchFullEvaluationOnChain) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db_magic;
+  storage::Database db_full;
+  ASSERT_TRUE(storage::MakeChain(&db_magic, "e", 20).ok());
+  ASSERT_TRUE(storage::MakeChain(&db_full, "e", 20).ok());
+
+  Result<QueryAnswer> magic = AnswerQuery(&db_magic, p, QueryAtom("t(n5, Y)"));
+  Result<QueryAnswer> full =
+      AnswerQueryByFullEvaluation(&db_full, p, QueryAtom("t(n5, Y)"));
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  ASSERT_TRUE(full.ok()) << full.status();
+  // n5 reaches n6..n19: 14 nodes. Value ids differ across databases only if
+  // interning order differs; compare through rendered constants.
+  EXPECT_EQ(magic->tuples.size(), 14u);
+  EXPECT_EQ(full->tuples.size(), 14u);
+}
+
+TEST(MagicSets, MagicTouchesLessData) {
+  // Two disconnected chains; a query about the first must not derive
+  // reachability facts inside the second.
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 10).ok());
+  for (int i = 100; i < 140; ++i) {
+    ASSERT_TRUE(db.AddRow("e", {StrFormat("n%d", i),
+                                StrFormat("n%d", i + 1)}).ok());
+  }
+  Result<QueryAnswer> magic = AnswerQuery(&db, p, QueryAtom("t(n0, Y)"));
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  EXPECT_EQ(magic->tuples.size(), 9u);
+  // The adorned relation holds the answers of every magic-reachable
+  // subquery — the closure of the 10-node chain (45 pairs) — but nothing
+  // from the disconnected 41-node chain (whose closure alone is 820 pairs).
+  EXPECT_EQ(db.Find("t@bf")->size(), 45u);
+}
+
+TEST(MagicSets, AllFreeQueryDegeneratesToFullEvaluation) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db_magic;
+  storage::Database db_full;
+  ASSERT_TRUE(storage::MakeCycle(&db_magic, "e", 5).ok());
+  ASSERT_TRUE(storage::MakeCycle(&db_full, "e", 5).ok());
+  Result<QueryAnswer> magic = AnswerQuery(&db_magic, p, QueryAtom("t(X, Y)"));
+  Result<QueryAnswer> full =
+      AnswerQueryByFullEvaluation(&db_full, p, QueryAtom("t(X, Y)"));
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(magic->tuples.size(), full->tuples.size());
+  EXPECT_EQ(magic->tuples.size(), 25u);
+}
+
+TEST(MagicSets, BoundSecondArgument) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 8).ok());
+  Result<QueryAnswer> ans = AnswerQuery(&db, p, QueryAtom("t(X, n7)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 7u);  // n0..n6 all reach n7.
+}
+
+TEST(MagicSets, FullyBoundQuery) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 8).ok());
+  Result<QueryAnswer> yes = AnswerQuery(&db, p, QueryAtom("t(n1, n5)"));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->tuples.size(), 1u);
+  storage::Database db2;
+  ASSERT_TRUE(storage::MakeChain(&db2, "e", 8).ok());
+  Result<QueryAnswer> no = AnswerQuery(&db2, p, QueryAtom("t(n5, n1)"));
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->tuples.empty());
+}
+
+TEST(MagicSets, RepeatedVariableInQuery) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeCycle(&db, "e", 4).ok());
+  // t(X, X): nodes on cycles reaching themselves — all 4.
+  Result<QueryAnswer> ans = AnswerQuery(&db, p, QueryAtom("t(X, X)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 4u);
+}
+
+TEST(MagicSets, EdbQueryIsPlainSelection) {
+  ast::Program p = ParseOrDie("e(a,b). e(a,c). e(b,c).");
+  storage::Database db;
+  Result<QueryAnswer> ans = AnswerQuery(&db, p, QueryAtom("e(a, Y)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 2u);
+}
+
+TEST(MagicSets, UnknownIdbPredicateRejectedByTransform) {
+  ast::Program p = ParseOrDie("t(X) :- e(X).");
+  EXPECT_FALSE(MagicSetTransform(p, QueryAtom("zzz(a)")).ok());
+}
+
+TEST(MagicSets, NonlinearRules) {
+  // Same-generation-style doubling recursion.
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- t(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db_magic;
+  storage::Database db_full;
+  ASSERT_TRUE(storage::MakeChain(&db_magic, "e", 12).ok());
+  ASSERT_TRUE(storage::MakeChain(&db_full, "e", 12).ok());
+  Result<QueryAnswer> magic = AnswerQuery(&db_magic, p, QueryAtom("t(n0, Y)"));
+  Result<QueryAnswer> full =
+      AnswerQueryByFullEvaluation(&db_full, p, QueryAtom("t(n0, Y)"));
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(magic->tuples.size(), full->tuples.size());
+}
+
+TEST(MagicSets, MutuallyRecursivePredicates) {
+  ast::Program p = ParseOrDie(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    zero(n0).
+    succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).
+  )");
+  storage::Database db;
+  Result<QueryAnswer> ans = AnswerQuery(&db, p, QueryAtom("even(n4)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 1u);
+  storage::Database db2;
+  Result<QueryAnswer> none = AnswerQuery(&db2, p, QueryAtom("even(n3)"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->tuples.empty());
+}
+
+}  // namespace
+}  // namespace dire::eval

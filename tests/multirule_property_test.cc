@@ -1,0 +1,143 @@
+// Property suite for the §5 extension: on random pairs of linear recursive
+// rules, Theorem 5.1's verdict ("no chain generating path" => strongly data
+// independent) is validated against the rewrite semi-decision with the
+// canonical t0 exit rule, and structural invariants of the A/V machinery
+// are checked on the way.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "core/analysis.h"
+#include "core/equivalence.h"
+#include "core/graph_view.h"
+#include "core/rewrite.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+ast::Term Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return ast::Term::Var(pool[rng->Uniform(pool.size())]);
+}
+
+// Two random linear recursive rules over t/2 plus the canonical exit rule.
+ast::Program RandomPair(uint64_t seed) {
+  Rng rng(seed);
+  ast::Program out;
+  for (int r = 0; r < 2; ++r) {
+    std::vector<std::string> pool = {"X", "Y", StrFormat("U%d", r),
+                                     StrFormat("V%d", r)};
+    ast::Rule rule;
+    rule.head = ast::Atom("t", {ast::Term::Var("X"), ast::Term::Var("Y")});
+    int atoms = 1 + static_cast<int>(rng.Uniform(2));
+    for (int i = 0; i < atoms; ++i) {
+      std::vector<ast::Term> args = {Pick(pool, &rng), Pick(pool, &rng)};
+      rule.body.emplace_back(StrFormat("p%d_%d", r, i), std::move(args));
+    }
+    rule.body.emplace_back(
+        "t", std::vector<ast::Term>{Pick(pool, &rng), Pick(pool, &rng)});
+    out.rules.push_back(std::move(rule));
+  }
+  ast::Rule exit;
+  exit.head = ast::Atom("t", {ast::Term::Var("X"), ast::Term::Var("Y")});
+  exit.body.emplace_back(
+      "t0", std::vector<ast::Term>{ast::Term::Var("X"), ast::Term::Var("Y")});
+  out.rules.push_back(std::move(exit));
+  return out;
+}
+
+class MultiRuleTheorem51 : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiRuleTheorem51, NoChainImpliesBounded) {
+  ast::Program program = RandomPair(GetParam());
+  Result<ast::RecursiveDefinition> def = ast::MakeDefinition(program, "t");
+  ASSERT_TRUE(def.ok()) << def.status();
+  Result<StrongIndependenceResult> strong = TestStrongIndependence(*def);
+  ASSERT_TRUE(strong.ok()) << strong.status();
+  if (strong->verdict != Verdict::kIndependent) return;
+
+  SCOPED_TRACE(program.ToString());
+  RewriteOptions opts;
+  opts.max_depth = 8;
+  opts.expansion.max_partial_strings = 1024;
+  Result<RewriteResult> rewrite = BoundedRewrite(*def, opts);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->outcome, RewriteResult::Outcome::kBounded)
+      << "Theorem 5.1 said independent but no bound found: "
+      << rewrite->note;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRuleTheorem51,
+                         ::testing::Range<uint64_t>(0, 80));
+
+// Structural invariants of the graph machinery on random pairs.
+class MultiRuleStructure : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiRuleStructure, GraphInvariantsHold) {
+  ast::Program program = RandomPair(GetParam() + 300);
+  Result<ast::RecursiveDefinition> def = ast::MakeDefinition(program, "t");
+  ASSERT_TRUE(def.ok());
+  Result<AvGraph> graph = AvGraph::Build(*def);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  GraphView view = GraphView::All(*graph, /*augmented=*/true);
+  for (size_t u = 0; u < graph->nodes().size(); ++u) {
+    // Walk weights are antisymmetric in their base and share the gcd.
+    for (size_t v = u; v < graph->nodes().size(); ++v) {
+      WalkWeights forward = view.Weights(static_cast<int>(u),
+                                         static_cast<int>(v));
+      WalkWeights backward = view.Weights(static_cast<int>(v),
+                                          static_cast<int>(u));
+      ASSERT_EQ(forward.connected, backward.connected);
+      if (!forward.connected) continue;
+      EXPECT_TRUE(forward.ContainsValue(-backward.base));
+      EXPECT_EQ(forward.gcd, backward.gcd);
+      // Concatenating u->v and v->u must contain 0.
+      EXPECT_TRUE(SumOf(forward, backward).ContainsValue(0));
+    }
+  }
+
+  // Every edge's endpoints agree with the potential function modulo the
+  // component gcd.
+  for (const AvGraph::Edge& e : graph->edges()) {
+    int w = e.kind == AvGraph::EdgeKind::kUnification ? 1 : 0;
+    WalkWeights across = view.Weights(e.from, e.to);
+    ASSERT_TRUE(across.connected);
+    EXPECT_TRUE(across.ContainsValue(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRuleStructure,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// Chain detection is order-insensitive: permuting the two recursive rules
+// must not change the verdict.
+class MultiRuleOrderInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiRuleOrderInvariance, VerdictStable) {
+  ast::Program program = RandomPair(GetParam() + 600);
+  ast::Program swapped;
+  swapped.rules = {program.rules[1], program.rules[0], program.rules[2]};
+
+  Result<ast::RecursiveDefinition> d1 = ast::MakeDefinition(program, "t");
+  Result<ast::RecursiveDefinition> d2 = ast::MakeDefinition(swapped, "t");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  Result<AvGraph> g1 = AvGraph::Build(*d1);
+  Result<AvGraph> g2 = AvGraph::Build(*d2);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  Result<ChainAnalysis> c1 = DetectChains(*g1);
+  Result<ChainAnalysis> c2 = DetectChains(*g2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1->has_chain_generating_path, c2->has_chain_generating_path)
+      << program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRuleOrderInvariance,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace dire::core

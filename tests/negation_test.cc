@@ -1,0 +1,170 @@
+// Stratified negation-as-failure: a substrate feature of the evaluator.
+// The paper's boundedness analysis covers definite rules only, so the
+// analysis entry points must reject negated literals (also tested here).
+
+#include <gtest/gtest.h>
+
+#include "eval/magic.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+TEST(Negation, ParserAcceptsNotLiterals) {
+  Result<ast::Rule> r =
+      parser::ParseRule("alone(X) :- person(X), not likes(X, Y).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->body[0].negated);
+  EXPECT_TRUE(r->body[1].negated);
+  EXPECT_EQ(r->ToString(), "alone(X) :- person(X), not likes(X,Y).");
+  // Round trip.
+  Result<ast::Rule> again = parser::ParseRule(r->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*r, *again);
+}
+
+TEST(Negation, NotAsPredicateNameStillWorks) {
+  Result<ast::Rule> r = parser::ParseRule("q(X) :- not(X).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->body[0].predicate, "not");
+  EXPECT_FALSE(r->body[0].negated);
+}
+
+TEST(Negation, SetDifferenceEvaluation) {
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  Result<eval::EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    node(a). node(b). node(c).
+    covered(a). covered(c).
+    uncovered(X) :- node(X), not covered(X).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.DumpRelation("uncovered"), "uncovered(b)\n");
+}
+
+TEST(Negation, NegationOverDerivedPredicate) {
+  // Nodes that cannot reach d: negation over the transitive closure, a
+  // lower stratum.
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  Result<eval::EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    e(a, b). e(b, c). e(c, d). e(x, y).
+    node(a). node(b). node(c). node(d). node(x). node(y).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+    stuck(X) :- node(X), not t(X, d).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.DumpRelation("stuck"), "stuck(d)\nstuck(x)\nstuck(y)\n");
+}
+
+TEST(Negation, UnstratifiableProgramRejected) {
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  Result<eval::EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    p(X) :- base(X), not q(X).
+    q(X) :- base(X), not p(X).
+  )"));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("stratifiable"), std::string::npos);
+}
+
+TEST(Negation, SelfNegationRejected) {
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  Result<eval::EvalStats> stats =
+      ev.Evaluate(ParseOrDie("p(X) :- base(X), not p(X)."));
+  ASSERT_FALSE(stats.ok());
+}
+
+TEST(Negation, UnsafeNegationRejected) {
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  // Y occurs only under the negation: unsafe.
+  Result<eval::EvalStats> stats =
+      ev.Evaluate(ParseOrDie("p(X) :- base(X), not e(X, Y), anchor(X)."));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("unsafe negation"),
+            std::string::npos);
+}
+
+TEST(Negation, NegatedAtomNeverBindsOrProbes) {
+  storage::SymbolTable symbols;
+  Result<ast::Rule> rule =
+      parser::ParseRule("p(X) :- base(X), not e(X, X).");
+  ASSERT_TRUE(rule.ok());
+  Result<eval::CompiledRule> plan = eval::CompileRule(*rule, &symbols, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const eval::CompiledAtom& last = plan->body.back();
+  EXPECT_TRUE(last.negated);
+  EXPECT_TRUE(last.bind_positions.empty());
+  EXPECT_EQ(last.probe_position, -1);
+}
+
+TEST(Negation, MissingNegatedRelationMeansAlwaysTrue) {
+  storage::Database db;
+  eval::Evaluator ev(&db);
+  Result<eval::EvalStats> stats = ev.Evaluate(ParseOrDie(R"(
+    base(a). base(b).
+    p(X) :- base(X), not ghost(X).
+  )"));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.Find("p")->size(), 2u);
+}
+
+TEST(Negation, SemiNaiveAndNaiveAgreeWithNegation) {
+  const char* program = R"(
+    e(n0, n1). e(n1, n2). e(n2, n3). e(n0, n3). blocked(n2).
+    path(X, Y) :- e(X, Y), not blocked(Y).
+    path(X, Y) :- path(X, Z), e(Z, Y), not blocked(Y).
+  )";
+  storage::Database a;
+  storage::Database b;
+  eval::EvalOptions naive;
+  naive.mode = eval::EvalOptions::Mode::kNaive;
+  eval::Evaluator ea(&a, naive);
+  eval::Evaluator eb(&b);
+  ASSERT_TRUE(ea.Evaluate(ParseOrDie(program)).ok());
+  ASSERT_TRUE(eb.Evaluate(ParseOrDie(program)).ok());
+  EXPECT_EQ(a.DumpRelation("path"), b.DumpRelation("path"));
+  EXPECT_NE(a.DumpRelation("path").find("path(n0,n3)"), std::string::npos);
+  EXPECT_EQ(a.DumpRelation("path").find("path(n0,n2)"), std::string::npos);
+}
+
+TEST(Negation, AnalysisRejectsNegatedDefinitions) {
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- e(X, Z), not bad(Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  Result<ast::RecursiveDefinition> def = ast::MakeDefinition(p, "t");
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("definite"), std::string::npos);
+}
+
+TEST(Negation, MagicSetsRejectsNegation) {
+  ast::Program p = ParseOrDie(R"(
+    t(X) :- base(X), not bad(X).
+  )");
+  Result<ast::Atom> q = parser::ParseAtom("t(a)");
+  ASSERT_TRUE(q.ok());
+  storage::Database db;
+  Result<eval::QueryAnswer> ans = eval::AnswerQuery(&db, p, *q);
+  ASSERT_FALSE(ans.ok());
+}
+
+TEST(Negation, StratificationReportedInDependencyGraph) {
+  ast::Program good = ParseOrDie("p(X) :- base(X), not q(X). q(X) :- r(X).");
+  ast::DependencyGraph g1(good);
+  EXPECT_TRUE(g1.IsStratified());
+
+  ast::Program bad = ParseOrDie("p(X) :- base(X), not p(X).");
+  ast::DependencyGraph g2(bad);
+  EXPECT_FALSE(g2.IsStratified());
+  EXPECT_FALSE(g2.StratificationViolation().empty());
+}
+
+}  // namespace
+}  // namespace dire

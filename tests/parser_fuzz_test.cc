@@ -1,0 +1,80 @@
+// Robustness fuzzing for the lexer/parser: random byte soup and random
+// token soup must never crash — only parse or return a positioned error —
+// and everything that parses must round-trip through ToString().
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace dire::parser {
+namespace {
+
+std::string RandomBytes(uint64_t seed, size_t length) {
+  Rng rng(seed);
+  const char alphabet[] =
+      "abcXYZ012(),.:-_ \t\n\"%#?!@$[]{}<>=+*/\\'";
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out += alphabet[rng.Uniform(sizeof(alphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomTokenSoup(uint64_t seed, size_t length) {
+  Rng rng(seed);
+  const char* tokens[] = {"t",  "e",  "X",   "Y",  "Z",  "(", ")", ",",
+                          ".",  ":-", "not", "42", "\"s\"", "p", "q",
+                          "_W", "%c\n"};
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out += tokens[rng.Uniform(sizeof(tokens) / sizeof(tokens[0]))];
+    out += ' ';
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  for (size_t length : {5, 40, 200}) {
+    std::string input = RandomBytes(GetParam() * 97 + length, length);
+    Result<ast::Program> p = ParseProgram(input);
+    if (p.ok()) {
+      // Whatever parsed must re-parse from its own rendering.
+      Result<ast::Program> again = ParseProgram(p->ToString());
+      EXPECT_TRUE(again.ok()) << p->ToString();
+    } else {
+      EXPECT_FALSE(p.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  for (size_t length : {3, 15, 60}) {
+    std::string input = RandomTokenSoup(GetParam() * 131 + length, length);
+    Result<ast::Program> p = ParseProgram(input);
+    if (p.ok()) {
+      Result<ast::Program> again = ParseProgram(p->ToString());
+      ASSERT_TRUE(again.ok()) << input << "\n->\n" << p->ToString();
+      EXPECT_EQ(p->ToString(), again->ToString());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, LexerHandlesArbitraryInput) {
+  std::string input = RandomBytes(GetParam() * 7 + 1, 300);
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (tokens.ok()) {
+    EXPECT_FALSE(tokens->empty());
+    EXPECT_EQ(tokens->back().kind, TokenKind::kEof);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace dire::parser

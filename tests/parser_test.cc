@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace dire::parser {
+namespace {
+
+TEST(Lexer, TokenKinds) {
+  Result<std::vector<Token>> toks = Tokenize("t(X, abc) :- 42, \"hi\".");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kConstant, TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kComma, TokenKind::kConstant, TokenKind::kRParen,
+                TokenKind::kImplies, TokenKind::kNumber, TokenKind::kComma,
+                TokenKind::kString, TokenKind::kPeriod, TokenKind::kEof}));
+}
+
+TEST(Lexer, PositionsAndComments) {
+  Result<std::vector<Token>> toks = Tokenize("% comment\n  t(X).");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 2);
+  EXPECT_EQ((*toks)[0].column, 3);
+}
+
+TEST(Lexer, HashCommentsToo) {
+  Result<std::vector<Token>> toks = Tokenize("# c\nt.");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "t");
+}
+
+TEST(Lexer, NegativeNumbersAndUnderscoreVariables) {
+  Result<std::vector<Token>> toks = Tokenize("_x -12");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kVariable);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kNumber);
+  EXPECT_EQ((*toks)[1].text, "-12");
+}
+
+TEST(Lexer, UnterminatedString) {
+  Result<std::vector<Token>> toks = Tokenize("p(\"oops");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, UnknownCharacterReportsPosition) {
+  Result<std::vector<Token>> toks = Tokenize("p(X) @");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("1:6"), std::string::npos);
+}
+
+TEST(Parser, RuleAndFact) {
+  Result<ast::Program> p = ParseProgram(R"(
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    e(a, b).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->rules.size(), 2u);
+  EXPECT_FALSE(p->rules[0].IsFact());
+  EXPECT_TRUE(p->rules[1].IsFact());
+  EXPECT_EQ(p->rules[0].ToString(), "t(X,Y) :- e(X,Z), t(Z,Y).");
+}
+
+TEST(Parser, ZeroArityPredicates) {
+  Result<ast::Program> p = ParseProgram("ok :- ready(). ready().");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules[0].head.arity(), 0u);
+  EXPECT_EQ(p->rules[0].body[0].arity(), 0u);
+}
+
+TEST(Parser, ConstantsKinds) {
+  Result<ast::Rule> r = ParseRule("p(alice, 42, \"New York\").");
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (const ast::Term& t : r->head.args) EXPECT_TRUE(t.IsConstant());
+  EXPECT_EQ(r->head.args[2].text(), "New York");
+}
+
+TEST(Parser, ArityConflictRejected) {
+  Result<ast::Program> p = ParseProgram("p(a). p(a, b).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("arity"), std::string::npos);
+}
+
+TEST(Parser, MissingPeriod) {
+  Result<ast::Program> p = ParseProgram("p(a)");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, UpperCasePredicateRejected) {
+  Result<ast::Program> p = ParseProgram("P(a).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("predicate name"), std::string::npos);
+}
+
+TEST(Parser, DanglingComma) {
+  EXPECT_FALSE(ParseProgram("t(X) :- e(X), .").ok());
+}
+
+TEST(Parser, SingleAtomHelpers) {
+  Result<ast::Atom> a = ParseAtom("edge(X, Y)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "edge(X,Y)");
+  // Trailing garbage rejected.
+  EXPECT_FALSE(ParseAtom("edge(X) extra").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* text = "t(X,Y) :- e(X,Z_0), t(Z_0,Y).";
+  Result<ast::Rule> r1 = ParseRule(text);
+  ASSERT_TRUE(r1.ok());
+  Result<ast::Rule> r2 = ParseRule(r1->ToString());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(Parser, ErrorPositionInMessage) {
+  Result<ast::Program> p = ParseProgram("t(X) :-\n  e(X\n.");
+  ASSERT_FALSE(p.ok());
+  // The ')' is missing; the error should point at line 3.
+  EXPECT_NE(p.status().message().find("3:"), std::string::npos)
+      << p.status().message();
+}
+
+}  // namespace
+}  // namespace dire::parser

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "core/plan_program.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+const PredicateReport* FindReport(const ProgramPlan& plan,
+                                  const std::string& predicate) {
+  for (const PredicateReport& r : plan.reports) {
+    if (r.predicate == predicate) return &r;
+  }
+  return nullptr;
+}
+
+// A mixed workload: one bounded recursion, one genuine recursion, one
+// hoistable recursion, one nonrecursive view.
+constexpr const char* kMixed = R"(
+  buys(X, Y) :- likes(X, Y).
+  buys(X, Y) :- trendy(X), buys(Z, Y).
+
+  reach(X, Y) :- edge(X, Z), reach(Z, Y).
+  reach(X, Y) :- edge(X, Y).
+
+  annot(X, Y) :- edge(X, Z), tag(W, Y), annot(Z, Y).
+  annot(X, Y) :- seed(X, Y).
+
+  view(X) :- likes(X, Y), trendy(X).
+)";
+
+TEST(PlanProgram, MixedWorkloadActions) {
+  ast::Program program = ParseOrDie(kMixed);
+  Result<ProgramPlan> plan = OptimizeProgram(program);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const PredicateReport* buys = FindReport(*plan, "buys");
+  ASSERT_NE(buys, nullptr);
+  EXPECT_EQ(buys->action, PredicateReport::Action::kRewritten) << buys->note;
+
+  const PredicateReport* reach = FindReport(*plan, "reach");
+  ASSERT_NE(reach, nullptr);
+  EXPECT_EQ(reach->action, PredicateReport::Action::kUnchanged);
+  EXPECT_EQ(reach->strong_verdict, Verdict::kDependent);
+
+  const PredicateReport* annot = FindReport(*plan, "annot");
+  ASSERT_NE(annot, nullptr);
+  EXPECT_EQ(annot->action, PredicateReport::Action::kHoisted) << annot->note;
+
+  // Nonrecursive predicates do not appear in the reports.
+  EXPECT_EQ(FindReport(*plan, "view"), nullptr);
+
+  // No rule of the optimized buys definition is recursive anymore.
+  for (const ast::Rule& r : plan->optimized.rules) {
+    if (r.head.predicate == "buys") {
+      EXPECT_FALSE(r.BodyUses("buys")) << r.ToString();
+    }
+  }
+}
+
+TEST(PlanProgram, OptimizedProgramIsEquivalent) {
+  ast::Program program = ParseOrDie(kMixed);
+  Result<ProgramPlan> plan = OptimizeProgram(program);
+  ASSERT_TRUE(plan.ok());
+  for (const char* target : {"buys", "reach", "annot", "view"}) {
+    Result<EquivalenceCheckResult> eq = CheckEquivalenceOnRandomDatabases(
+        program, plan->optimized, target);
+    ASSERT_TRUE(eq.ok()) << eq.status();
+    EXPECT_TRUE(eq->equivalent) << target << "\n" << eq->counterexample;
+  }
+}
+
+TEST(PlanProgram, MutualRecursionSkipped) {
+  ast::Program program = ParseOrDie(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  Result<ProgramPlan> plan = OptimizeProgram(program);
+  ASSERT_TRUE(plan.ok());
+  const PredicateReport* even = FindReport(*plan, "even");
+  ASSERT_NE(even, nullptr);
+  EXPECT_EQ(even->action, PredicateReport::Action::kSkipped);
+  EXPECT_NE(even->note.find("mutually recursive"), std::string::npos);
+  EXPECT_EQ(plan->optimized.rules.size(), program.rules.size());
+}
+
+TEST(PlanProgram, FactsPassThrough) {
+  ast::Program program = ParseOrDie(R"(
+    likes(ann, vase).
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  Result<ProgramPlan> plan = OptimizeProgram(program);
+  ASSERT_TRUE(plan.ok());
+  bool fact_kept = false;
+  for (const ast::Rule& r : plan->optimized.rules) {
+    if (r.IsFact() && r.head.predicate == "likes") fact_kept = true;
+  }
+  EXPECT_TRUE(fact_kept);
+}
+
+TEST(PlanProgram, DisablingStepsKeepsRecursion) {
+  ast::Program program = ParseOrDie(dire::testing::kBuys);
+  PlanProgramOptions options;
+  options.enable_rewrite = false;
+  options.enable_hoist = false;
+  Result<ProgramPlan> plan = OptimizeProgram(program, options);
+  ASSERT_TRUE(plan.ok());
+  const PredicateReport* buys = FindReport(*plan, "buys");
+  ASSERT_NE(buys, nullptr);
+  EXPECT_EQ(buys->action, PredicateReport::Action::kUnchanged);
+  EXPECT_EQ(plan->optimized.rules.size(), program.rules.size());
+}
+
+TEST(PlanProgram, SummaryListsEveryReport) {
+  ast::Program program = ParseOrDie(kMixed);
+  Result<ProgramPlan> plan = OptimizeProgram(program);
+  ASSERT_TRUE(plan.ok());
+  std::string summary = plan->Summary();
+  EXPECT_NE(summary.find("buys"), std::string::npos);
+  EXPECT_NE(summary.find("rewritten"), std::string::npos);
+  EXPECT_NE(summary.find("hoisted"), std::string::npos);
+  EXPECT_NE(summary.find("unchanged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "eval/provenance.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+ast::Atom Fact(std::string_view text) {
+  Result<ast::Atom> a = parser::ParseAtom(text);
+  EXPECT_TRUE(a.ok());
+  return std::move(a).value();
+}
+
+// Validates well-foundedness: premise rounds strictly below conclusion
+// rounds, recursively.
+void CheckWellFounded(const Derivation& node, storage::Database* db,
+                      const ProvenanceTracker& tracker) {
+  if (node.rule_index < 0) {
+    EXPECT_TRUE(node.premises.empty());
+    return;
+  }
+  storage::Tuple tuple;
+  for (const ast::Term& t : node.fact.args) {
+    tuple.push_back(db->symbols().Intern(t.text()));
+  }
+  int my_round = tracker.RoundOf(node.fact.predicate, tuple);
+  EXPECT_GT(my_round, 0);
+  for (const Derivation& premise : node.premises) {
+    if (premise.fact.negated) continue;
+    storage::Tuple pt;
+    for (const ast::Term& t : premise.fact.args) {
+      pt.push_back(db->symbols().Intern(t.text()));
+    }
+    EXPECT_LT(tracker.RoundOf(premise.fact.predicate, pt), my_round);
+    CheckWellFounded(premise, db, tracker);
+  }
+}
+
+TEST(Provenance, ExplainsTransitiveClosureFact) {
+  ast::Program p = ParseOrDie(R"(
+    e(a, b). e(b, c). e(c, d).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+
+  Result<Derivation> d = Explain(&db, p, tracker, Fact("t(a, d)"));
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->fact.ToString(), "t(a,d)");
+  EXPECT_GE(d->rule_index, 0);
+  CheckWellFounded(*d, &db, tracker);
+
+  std::string text = d->ToString();
+  EXPECT_NE(text.find("t(a,d)"), std::string::npos);
+  EXPECT_NE(text.find("[edb]"), std::string::npos);
+  EXPECT_NE(text.find("[rule"), std::string::npos);
+}
+
+TEST(Provenance, EdbFactIsALeaf) {
+  ast::Program p = ParseOrDie(R"(
+    e(a, b).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  Result<Derivation> d = Explain(&db, p, tracker, Fact("e(a, b)"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rule_index, -1);
+  EXPECT_TRUE(d->premises.empty());
+}
+
+TEST(Provenance, MissingFactReported) {
+  ast::Program p = ParseOrDie("e(a, b). t(X, Y) :- e(X, Y).");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  Result<Derivation> d = Explain(&db, p, tracker, Fact("t(b, a)"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Provenance, RequiresTracker) {
+  ast::Program p = ParseOrDie("e(a, b). t(X, Y) :- e(X, Y).");
+  storage::Database db;
+  Evaluator ev(&db);  // No tracker attached.
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  ProvenanceTracker empty;
+  Result<Derivation> d = Explain(&db, p, empty, Fact("t(a, b)"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("ProvenanceTracker"),
+            std::string::npos);
+}
+
+TEST(Provenance, RequiresGroundFact) {
+  ast::Program p = ParseOrDie("e(a, b). t(X, Y) :- e(X, Y).");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  EXPECT_FALSE(Explain(&db, p, tracker, Fact("t(a, Y)")).ok());
+}
+
+TEST(Provenance, NegatedPremiseRendered) {
+  ast::Program p = ParseOrDie(R"(
+    node(a). node(b). covered(b).
+    free(X) :- node(X), not covered(X).
+  )");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  Result<Derivation> d = Explain(&db, p, tracker, Fact("free(a)"));
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->premises.size(), 2u);
+  EXPECT_TRUE(d->premises[1].fact.negated);
+  EXPECT_NE(d->ToString().find("[absent]"), std::string::npos);
+}
+
+TEST(Provenance, DeepChainExplainsEveryHop) {
+  ast::Program rules = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 12).ok());
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(rules).ok());
+  Result<Derivation> d = Explain(&db, rules, tracker, Fact("t(n0, n11)"));
+  ASSERT_TRUE(d.ok()) << d.status();
+  // The derivation tree must bottom out in e facts; count leaves.
+  int leaves = 0;
+  std::vector<const Derivation*> stack = {&*d};
+  while (!stack.empty()) {
+    const Derivation* n = stack.back();
+    stack.pop_back();
+    if (n->premises.empty()) ++leaves;
+    for (const Derivation& c : n->premises) stack.push_back(&c);
+  }
+  EXPECT_EQ(leaves, 11);  // Eleven edges justify the 11-hop path.
+  CheckWellFounded(*d, &db, tracker);
+}
+
+TEST(Provenance, EveryDerivedTupleIsExplainable) {
+  ast::Program p = ParseOrDie(R"(
+    e(n0, n1). e(n1, n2). e(n2, n0). e(n2, n3).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db;
+  ProvenanceTracker tracker;
+  EvalOptions opts;
+  opts.tracker = &tracker;
+  Evaluator ev(&db, opts);
+  ASSERT_TRUE(ev.Evaluate(p).ok());
+  const storage::Relation* t = db.Find("t");
+  ASSERT_NE(t, nullptr);
+  for (const storage::Tuple& tuple : t->tuples()) {
+    ast::Atom fact("t", {ast::Term::Const(db.symbols().Name(tuple[0])),
+                         ast::Term::Const(db.symbols().Name(tuple[1]))});
+    Result<Derivation> d = Explain(&db, p, tracker, fact);
+    EXPECT_TRUE(d.ok()) << fact.ToString() << ": " << d.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dire::eval

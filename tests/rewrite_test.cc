@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "core/rewrite.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::DefOrDie;
+using dire::testing::ParseOrDie;
+
+RewriteResult Rewrite(std::string_view program, const std::string& target,
+                      RewriteOptions options = {}) {
+  ast::RecursiveDefinition def = DefOrDie(program, target);
+  Result<RewriteResult> r = BoundedRewrite(def, options);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+// The rewrite of a bounded definition must be semantically equivalent to the
+// original on random databases.
+void ExpectEquivalent(std::string_view program, const std::string& target,
+                      const ast::Program& rewritten) {
+  Result<EquivalenceCheckResult> eq = CheckEquivalenceOnRandomDatabases(
+      ParseOrDie(program), rewritten, target);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(eq->equivalent) << eq->counterexample;
+}
+
+// Containment-based equivalence for definitions whose rules are not
+// range-restricted (the paper allows head variables that never occur in a
+// body, e.g. Example 4.5's Z; classical bottom-up evaluation does not):
+// every expansion string up to `depth` must be contained in the union of
+// the rewrite's conjunctive queries (Theorem 2.1 / Sagiv–Yannakakis).
+void ExpectRewriteCoversExpansion(std::string_view program,
+                                  const std::string& target,
+                                  const ast::Program& rewritten, int depth) {
+  ast::RecursiveDefinition def = DefOrDie(program, target);
+  std::vector<cq::ConjunctiveQuery> union_queries;
+  for (const ast::Rule& r : rewritten.rules) {
+    union_queries.push_back(cq::ConjunctiveQuery::FromRule(r));
+  }
+  Result<std::vector<core::ExpansionString>> strings =
+      core::ExpandToDepth(def, depth);
+  ASSERT_TRUE(strings.ok()) << strings.status();
+  for (const core::ExpansionString& s : *strings) {
+    EXPECT_TRUE(cq::UnionContains(union_queries, s.query))
+        << "string not covered: " << s.ToString();
+  }
+}
+
+TEST(Rewrite, BuysIsBoundedAndEquivalent) {
+  RewriteResult r = Rewrite(dire::testing::kBuys, "buys");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  EXPECT_EQ(r.bound, 1);
+  EXPECT_EQ(r.strings_kept, 2u);
+  ExpectEquivalent(dire::testing::kBuys, "buys", r.rewritten);
+}
+
+TEST(Rewrite, TransitiveClosureIsInconclusive) {
+  RewriteResult r = Rewrite(dire::testing::kTransitiveClosure, "t");
+  EXPECT_EQ(r.outcome, RewriteResult::Outcome::kInconclusive);
+  EXPECT_EQ(r.bound, -1);
+  EXPECT_TRUE(r.rewritten.rules.empty());
+}
+
+TEST(Rewrite, Example44BoundedAndEquivalent) {
+  RewriteResult r = Rewrite(dire::testing::kExample44, "t");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  ExpectEquivalent(dire::testing::kExample44, "t", r.rewritten);
+}
+
+TEST(Rewrite, Example46BoundedAndEquivalent) {
+  RewriteResult r = Rewrite(dire::testing::kExample46, "t");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  EXPECT_EQ(r.bound, 1);
+  ExpectEquivalent(dire::testing::kExample46, "t", r.rewritten);
+}
+
+TEST(Rewrite, Example45StrongIndependenceYieldsBound) {
+  // Example 4.5's rule binds Z only through the exit rule, so the program
+  // is not range-restricted; equivalence is checked by containment.
+  RewriteResult r = Rewrite(dire::testing::kExample45, "t");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  ExpectRewriteCoversExpansion(dire::testing::kExample45, "t", r.rewritten,
+                               r.bound + 4);
+}
+
+TEST(Rewrite, ExitDefinedRecursion) {
+  // Example 4.6 variant: the exit rule e(W,Y) alone defines t (and leaves X
+  // range-unrestricted, so again check by containment).
+  RewriteResult r = Rewrite(dire::testing::kTcLooseExit, "t");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  ExpectRewriteCoversExpansion(dire::testing::kTcLooseExit, "t", r.rewritten,
+                               r.bound + 4);
+}
+
+TEST(Rewrite, MultiRuleBoundedDefinition) {
+  // Both rules only permute head variables; everything collapses quickly.
+  const char* program = R"(
+    t(X, Y) :- a(X), t(X, Y).
+    t(X, Y) :- b(Y), t(X, Y).
+    t(X, Y) :- e(X, Y).
+  )";
+  RewriteResult r = Rewrite(program, "t");
+  ASSERT_EQ(r.outcome, RewriteResult::Outcome::kBounded);
+  ExpectEquivalent(program, "t", r.rewritten);
+}
+
+TEST(Rewrite, MinimizationShrinksKeptStrings) {
+  // Level 1 is kept (likes(X,Y) cannot map onto likes(Z_0,Y)), and its two
+  // tr atoms fold into one under minimization.
+  const char* program = R"(
+    t(X, Y) :- tr(X, W), tr(X, V), t(Z, Y).
+    t(X, Y) :- likes(X, Y).
+  )";
+  RewriteOptions with;
+  with.minimize_queries = true;
+  RewriteOptions without;
+  without.minimize_queries = false;
+  RewriteResult minimized = Rewrite(program, "t", with);
+  RewriteResult raw = Rewrite(program, "t", without);
+  ASSERT_EQ(minimized.outcome, RewriteResult::Outcome::kBounded);
+  size_t total_min = 0;
+  size_t total_raw = 0;
+  for (const ast::Rule& r : minimized.rewritten.rules) {
+    total_min += r.body.size();
+  }
+  for (const ast::Rule& r : raw.rewritten.rules) total_raw += r.body.size();
+  EXPECT_LT(total_min, total_raw);
+  ExpectEquivalent(program, "t", minimized.rewritten);
+}
+
+TEST(Rewrite, MaxDepthIsRespected) {
+  RewriteOptions opts;
+  opts.max_depth = 2;
+  RewriteResult r = Rewrite(dire::testing::kTransitiveClosure, "t", opts);
+  EXPECT_EQ(r.outcome, RewriteResult::Outcome::kInconclusive);
+  EXPECT_LE(r.strings_seen, 3u);
+}
+
+TEST(PlanIterationBound, BoundedDefinitionGetsRounds) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kBuys, "buys");
+  Result<int> rounds = PlanIterationBound(def);
+  ASSERT_TRUE(rounds.ok()) << rounds.status();
+  EXPECT_EQ(*rounds, 2);  // Strings of depth 0 and 1.
+}
+
+TEST(PlanIterationBound, DependentDefinitionInconclusive) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  Result<int> rounds = PlanIterationBound(def);
+  ASSERT_FALSE(rounds.ok());
+  EXPECT_EQ(rounds.status().code(), StatusCode::kInconclusive);
+}
+
+}  // namespace
+}  // namespace dire::core

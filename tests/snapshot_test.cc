@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/generators.h"
+#include "storage/snapshot.h"
+#include "tests/test_util.h"
+
+namespace dire::storage {
+namespace {
+
+TEST(Snapshot, RoundTripPreservesContents) {
+  Database original;
+  Rng rng(4);
+  ASSERT_TRUE(MakeRandomGraph(&original, "e", 10, 20, &rng).ok());
+  ASSERT_TRUE(original.AddRow("label", {"x", "some text"}).ok());
+
+  Result<std::string> text = SaveSnapshot(original);
+  ASSERT_TRUE(text.ok()) << text.status();
+
+  Database loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, *text).ok());
+  EXPECT_EQ(original.DumpRelation("e"), loaded.DumpRelation("e"));
+  EXPECT_EQ(original.DumpRelation("label"), loaded.DumpRelation("label"));
+}
+
+TEST(Snapshot, Deterministic) {
+  Database a;
+  Database b;
+  // Same tuples inserted in the same order but interned differently.
+  ASSERT_TRUE(a.AddRow("r", {"p", "q"}).ok());
+  ASSERT_TRUE(a.AddRow("s", {"z"}).ok());
+  ASSERT_TRUE(b.symbols().Intern("unrelated") !=
+              SymbolTable::kMissing);  // Shift intern ids.
+  ASSERT_TRUE(b.AddRow("r", {"p", "q"}).ok());
+  ASSERT_TRUE(b.AddRow("s", {"z"}).ok());
+  EXPECT_EQ(*SaveSnapshot(a), *SaveSnapshot(b));
+}
+
+TEST(Snapshot, ZeroArityRelations) {
+  Database db;
+  Result<Relation*> rel = db.GetOrCreate("flag", 0);
+  ASSERT_TRUE(rel.ok());
+  (*rel)->Insert({});
+  Result<std::string> text = SaveSnapshot(db);
+  ASSERT_TRUE(text.ok());
+  Database loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, *text).ok());
+  ASSERT_NE(loaded.Find("flag"), nullptr);
+  EXPECT_EQ(loaded.Find("flag")->size(), 1u);
+}
+
+TEST(Snapshot, RejectsTabbedValues) {
+  Database db;
+  ASSERT_TRUE(db.AddRow("r", {"has\ttab"}).ok());
+  EXPECT_FALSE(SaveSnapshot(db).ok());
+}
+
+TEST(Snapshot, RejectsMissingHeader) {
+  Database db;
+  EXPECT_FALSE(LoadSnapshot(&db, "@relation r 1\nx\n").ok());
+}
+
+TEST(Snapshot, RejectsFieldCountMismatch) {
+  Database db;
+  Status s = LoadSnapshot(&db,
+                          "# dire snapshot v1\n@relation r 2\nonlyone\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("expected 2 fields"), std::string::npos);
+}
+
+TEST(Snapshot, RejectsTupleBeforeRelation) {
+  Database db;
+  EXPECT_FALSE(LoadSnapshot(&db, "# dire snapshot v1\na\tb\n").ok());
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Database db;
+  ASSERT_TRUE(MakeChain(&db, "e", 5).ok());
+  std::string path = ::testing::TempDir() + "/dire_snapshot_test.snap";
+  ASSERT_TRUE(SaveSnapshotFile(db, path).ok());
+  Database loaded;
+  ASSERT_TRUE(LoadSnapshotFile(&loaded, path).ok());
+  EXPECT_EQ(db.DumpRelation("e"), loaded.DumpRelation("e"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadSnapshotFile(&loaded, path + ".missing").ok());
+}
+
+TEST(Snapshot, LoadIntoNonEmptyDatabaseMerges) {
+  Database db;
+  ASSERT_TRUE(db.AddRow("e", {"a", "b"}).ok());
+  ASSERT_TRUE(LoadSnapshot(&db,
+                           "# dire snapshot v1\n@relation e 2\nb\tc\n")
+                  .ok());
+  EXPECT_EQ(db.Find("e")->size(), 2u);
+  // Arity conflicts are rejected.
+  EXPECT_FALSE(LoadSnapshot(&db,
+                            "# dire snapshot v1\n@relation e 3\na\tb\tc\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dire::storage

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/generators.h"
+#include "storage/relation.h"
+#include "storage/value.h"
+#include "tests/test_util.h"
+
+namespace dire::storage {
+namespace {
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  ValueId a = t.Intern("alice");
+  ValueId b = t.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Intern("alice"), a);
+  EXPECT_EQ(t.Name(a), "alice");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTable, FindWithoutIntern) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("x"), SymbolTable::kMissing);
+  ValueId a = t.Intern("x");
+  EXPECT_EQ(t.Find("x"), a);
+}
+
+TEST(Relation, InsertDeduplicates) {
+  Relation r("e", 2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({2, 1}));
+  EXPECT_FALSE(r.Contains({9, 9}));
+}
+
+TEST(Relation, ProbeFindsMatchingRows) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  r.Insert({2, 3});
+  const std::vector<uint32_t>& rows = r.Probe(0, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(r.tuples()[rows[0]][0], 1u);
+  EXPECT_EQ(r.tuples()[rows[1]][0], 1u);
+  EXPECT_TRUE(r.Probe(1, 99).empty());
+}
+
+TEST(Relation, IndexMaintainedAcrossInserts) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  EXPECT_EQ(r.Probe(0, 1).size(), 1u);  // Builds the index.
+  r.Insert({1, 5});                     // Must update it.
+  EXPECT_EQ(r.Probe(0, 1).size(), 2u);
+  EXPECT_TRUE(r.HasIndex(0));
+  EXPECT_FALSE(r.HasIndex(1));
+}
+
+TEST(Relation, ClearResetsEverything) {
+  Relation r("e", 1);
+  r.Insert({7});
+  r.Probe(0, 7);
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.Probe(0, 7).empty());
+  EXPECT_TRUE(r.Insert({7}));
+}
+
+TEST(Database, GetOrCreateChecksArity) {
+  Database db;
+  ASSERT_TRUE(db.GetOrCreate("e", 2).ok());
+  EXPECT_TRUE(db.GetOrCreate("e", 2).ok());
+  EXPECT_FALSE(db.GetOrCreate("e", 3).ok());
+  EXPECT_NE(db.Find("e"), nullptr);
+  EXPECT_EQ(db.Find("nope"), nullptr);
+}
+
+TEST(Database, AddFactAndDump) {
+  Database db;
+  ast::Program p = dire::testing::ParseOrDie("e(b, c). e(a, b).");
+  ASSERT_TRUE(db.LoadFacts(p).ok());
+  EXPECT_EQ(db.DumpRelation("e"), "e(a,b)\ne(b,c)\n");  // Sorted.
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+TEST(Database, AddFactRejectsVariables) {
+  Database db;
+  ast::Atom atom("e", {ast::Term::Var("X")});
+  EXPECT_FALSE(db.AddFact(atom).ok());
+}
+
+TEST(Csv, LoadAndDumpRoundTrip) {
+  Database db;
+  ASSERT_TRUE(LoadCsv(&db, "e", "a, b\n# comment\n\nb,c\n").ok());
+  Result<std::string> out = DumpCsv(db, "e");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "a,b\nb,c\n");
+}
+
+TEST(Csv, FieldCountMismatch) {
+  Database db;
+  Status s = LoadCsv(&db, "e", "a,b\na\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(Generators, ChainHasNMinusOneEdges) {
+  Database db;
+  ASSERT_TRUE(MakeChain(&db, "e", 10).ok());
+  EXPECT_EQ(db.Find("e")->size(), 9u);
+}
+
+TEST(Generators, CycleClosesChain) {
+  Database db;
+  ASSERT_TRUE(MakeCycle(&db, "e", 10).ok());
+  EXPECT_EQ(db.Find("e")->size(), 10u);
+}
+
+TEST(Generators, TreeEdgeCount) {
+  Database db;
+  ASSERT_TRUE(MakeTree(&db, "e", 2, 3).ok());
+  // Complete binary tree with 3 edge levels: 2 + 4 + 8 = 14 edges.
+  EXPECT_EQ(db.Find("e")->size(), 14u);
+}
+
+TEST(Generators, RandomGraphExactEdgeCount) {
+  Database db;
+  Rng rng(5);
+  ASSERT_TRUE(MakeRandomGraph(&db, "e", 20, 50, &rng).ok());
+  EXPECT_EQ(db.Find("e")->size(), 50u);
+  // No self loops.
+  for (const Tuple& t : db.Find("e")->tuples()) EXPECT_NE(t[0], t[1]);
+}
+
+TEST(Generators, RandomGraphRejectsImpossible) {
+  Database db;
+  Rng rng(5);
+  EXPECT_FALSE(MakeRandomGraph(&db, "e", 2, 5, &rng).ok());
+}
+
+TEST(Generators, GridEdgeCount) {
+  Database db;
+  ASSERT_TRUE(MakeGrid(&db, "e", 3, 4).ok());
+  // Right edges: 2*4, down edges: 3*3.
+  EXPECT_EQ(db.Find("e")->size(), 8u + 9u);
+}
+
+TEST(Generators, ConsumerData) {
+  Database db;
+  Rng rng(7);
+  ASSERT_TRUE(MakeConsumerData(&db, 20, 10, 3, 0.5, &rng).ok());
+  EXPECT_EQ(db.Find("likes")->size(), 60u);
+  EXPECT_LE(db.Find("trendy")->size(), 20u);
+}
+
+TEST(Generators, ConsumerDataZeroTrendyStillCreatesRelation) {
+  Database db;
+  Rng rng(7);
+  ASSERT_TRUE(MakeConsumerData(&db, 5, 5, 1, 0.0, &rng).ok());
+  ASSERT_NE(db.Find("trendy"), nullptr);
+  EXPECT_EQ(db.Find("trendy")->size(), 0u);
+}
+
+TEST(Generators, Deterministic) {
+  Database a;
+  Database b;
+  Rng ra(11);
+  Rng rb(11);
+  ASSERT_TRUE(MakeRandomGraph(&a, "e", 15, 30, &ra).ok());
+  ASSERT_TRUE(MakeRandomGraph(&b, "e", 15, 30, &rb).ok());
+  EXPECT_EQ(a.DumpRelation("e"), b.DumpRelation("e"));
+}
+
+}  // namespace
+}  // namespace dire::storage

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/strings_eval.h"
+#include "eval/evaluator.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::DefOrDie;
+using dire::testing::ParseOrDie;
+
+TEST(StringsEval, MatchesFixpointOnTransitiveClosure) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  storage::Database via_strings;
+  storage::Database via_fixpoint;
+  ASSERT_TRUE(storage::MakeChain(&via_strings, "e", 9).ok());
+  ASSERT_TRUE(storage::MakeChain(&via_fixpoint, "e", 9).ok());
+
+  Result<StringEvalStats> stats = EvaluateViaExpansion(def, &via_strings);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->converged);
+  // A 9-node chain needs strings up to depth 7 (8 edges) plus quiet levels.
+  EXPECT_GE(stats->levels, 8);
+
+  eval::Evaluator ev(&via_fixpoint);
+  ASSERT_TRUE(ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure)).ok());
+  EXPECT_EQ(via_strings.DumpRelation("t"), via_fixpoint.DumpRelation("t"));
+}
+
+TEST(StringsEval, BoundedDefinitionConvergesEarly) {
+  ast::RecursiveDefinition def = DefOrDie(dire::testing::kBuys, "buys");
+  storage::Database db;
+  Rng rng(3);
+  ASSERT_TRUE(storage::MakeConsumerData(&db, 40, 12, 2, 0.3, &rng).ok());
+  Result<StringEvalStats> stats = EvaluateViaExpansion(def, &db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->converged);
+  // Strings beyond depth 1 add nothing; with the default 2 quiet levels the
+  // evaluation stops after ~4 levels.
+  EXPECT_LE(stats->levels, 5);
+}
+
+TEST(StringsEval, MaxLevelsCapStopsEvaluation) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 30).ok());
+  StringEvalOptions opts;
+  opts.max_levels = 3;
+  Result<StringEvalStats> stats = EvaluateViaExpansion(def, &db, opts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->converged);
+  EXPECT_EQ(stats->levels, 3);
+  // Only paths up to length 3 were derived.
+  EXPECT_EQ(db.Find("t")->size(), 29u + 28u + 27u);
+}
+
+TEST(StringsEval, CountsStringsAndTuples) {
+  ast::RecursiveDefinition def =
+      DefOrDie(dire::testing::kTransitiveClosure, "t");
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 4).ok());
+  Result<StringEvalStats> stats = EvaluateViaExpansion(def, &db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(static_cast<size_t>(stats->levels), stats->strings);  // 1/level.
+  EXPECT_EQ(stats->tuples, 6u);
+}
+
+}  // namespace
+}  // namespace dire::core

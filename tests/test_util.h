@@ -1,0 +1,132 @@
+#ifndef DIRE_TESTS_TEST_UTIL_H_
+#define DIRE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "dire.h"
+
+namespace dire::testing {
+
+// gtest-friendly unwrap helpers: fail the test with the Status message.
+inline ast::Program ParseOrDie(std::string_view text) {
+  Result<ast::Program> p = parser::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.status().ToString());
+  return p.ok() ? std::move(p).value() : ast::Program{};
+}
+
+inline ast::RecursiveDefinition DefOrDie(std::string_view text,
+                                         const std::string& target) {
+  ast::Program p = ParseOrDie(text);
+  Result<ast::RecursiveDefinition> d = ast::MakeDefinition(p, target);
+  EXPECT_TRUE(d.ok()) << (d.ok() ? "" : d.status().ToString());
+  return d.ok() ? std::move(d).value() : ast::RecursiveDefinition{};
+}
+
+inline core::RecursionAnalysis AnalyzeOrDie(std::string_view text,
+                                            const std::string& target) {
+  ast::Program p = ParseOrDie(text);
+  Result<core::RecursionAnalysis> a = core::AnalyzeRecursion(p, target);
+  EXPECT_TRUE(a.ok()) << (a.ok() ? "" : a.status().ToString());
+  if (!a.ok()) std::abort();
+  return std::move(a).value();
+}
+
+// --------------------------------------------------------------------------
+// The paper's example rule sets, verbatim.
+// --------------------------------------------------------------------------
+
+// Example 1.1 / 2.1 / 4.2 / Figure 2/5: transitive closure.
+inline constexpr std::string_view kTransitiveClosure = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+// Example 1.2: trendy consumers ("buys").
+inline constexpr std::string_view kBuys = R"(
+  buys(X, Y) :- likes(X, Y).
+  buys(X, Y) :- trendy(X), buys(Z, Y).
+)";
+
+// Example 3.3 / Figure 4.
+inline constexpr std::string_view kExample33 = R"(
+  t(X, Y, Z) :- t(W, W, X), p(Y, Z).
+  t(X, Y, Z) :- e(X, Y, Z).
+)";
+
+// Example 4.2 second rule / Figure 6: a two-segment chain generating path.
+inline constexpr std::string_view kTwoSegment = R"(
+  t(X, Y) :- p(X, W), q(W, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+// Example 4.3 / Figure 7.
+inline constexpr std::string_view kExample43 = R"(
+  t(X, Y, Z) :- p(X, Z), t(Y, M, N), q(M, N).
+  t(X, Y, Z) :- e(X, Y, Z).
+)";
+
+// Example 4.4: strongly data independent despite a chain generating path
+// (repeated nonrecursive predicate e).
+inline constexpr std::string_view kExample44 = R"(
+  t(X, Y, Z) :- t(X, W, Z), e(W, Y), e(W, Z), e(Z, Z), e(Z, Y).
+  t(X, Y, Z) :- t0(X, Y, Z).
+)";
+
+// Example 4.5 / Figure 8: no chain generating path.
+inline constexpr std::string_view kExample45 = R"(
+  t(X, Y, Z) :- t(Y, X, W), e(X, W).
+  t(X, Y, Z) :- t0(X, Y, Z).
+)";
+
+// Example 4.6, second pair (r3/r4): weakly data independent although the
+// recursive rule is not strongly data independent.
+inline constexpr std::string_view kExample46 = R"(
+  t(X, Y) :- t(X, Z), e(Z, Y), e(X, W), e(W, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+// Example 4.6 variant: transitive-closure rule with the exit rule
+// t(X,Y) :- e(W,Y), which makes the pair data independent.
+inline constexpr std::string_view kTcLooseExit = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(W, Y).
+)";
+
+// Example 4.7 / Figures 9-11: three exit rules for one recursive rule.
+inline constexpr std::string_view kExample47RecRule =
+    "t(X, Y, U, W) :- t(X, M, M, Y), e(M, Y).";
+inline constexpr std::string_view kExample47ExitA =
+    "t(X, Y, U, W) :- e(X, X).";  // Not connected.
+inline constexpr std::string_view kExample47ExitB =
+    "t(X, Y, U, W) :- e(U, W).";  // Connected but redundant.
+inline constexpr std::string_view kExample47ExitC =
+    "t(X, Y, U, W) :- e(U, U).";  // Connected and irredundant: dependent.
+
+// Example 5.1 / Figures 12-15: two individually-independent rules whose
+// combination has a chain generating path.
+inline constexpr std::string_view kExample51 = R"(
+  t(X, Y, Z) :- t(X, U, Z), p1(U, Z).
+  t(X, Y, Z) :- t(X, Y, V), p2(V, Y).
+  t(X, Y, Z) :- e(X, Y).
+)";
+inline constexpr std::string_view kExample51R1Only = R"(
+  t(X, Y, Z) :- t(X, U, Z), p1(U, Z).
+  t(X, Y, Z) :- e(X, Y).
+)";
+inline constexpr std::string_view kExample51R2Only = R"(
+  t(X, Y, Z) :- t(X, Y, V), p2(V, Y).
+  t(X, Y, Z) :- e(X, Y).
+)";
+
+// Example 6.1: the b predicate is not connected to the unbounded chain.
+inline constexpr std::string_view kExample61 = R"(
+  t(X, Y) :- e(X, Z), b(W, Y), t(Z, Y).
+  t(X, Y) :- t0(X, Y).
+)";
+
+}  // namespace dire::testing
+
+#endif  // DIRE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/magic.h"
+#include "eval/topdown.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+ast::Atom Q(std::string_view text) {
+  Result<ast::Atom> a = parser::ParseAtom(text);
+  EXPECT_TRUE(a.ok());
+  return std::move(a).value();
+}
+
+std::vector<std::string> Render(const std::vector<storage::Tuple>& tuples,
+                                const storage::Database& db) {
+  std::vector<std::string> out;
+  for (const storage::Tuple& t : tuples) {
+    std::string row;
+    for (storage::ValueId v : t) row += db.symbols().Name(v) + "|";
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TopDown, AnswersTcPointQuery) {
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 10).ok());
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("t(n3, Y)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 6u);  // n4..n9.
+}
+
+TEST(TopDown, LeftRecursionTerminates) {
+  // Left-recursive closure on cyclic data: classic Prolog death, fine with
+  // tabling.
+  ast::Program p = ParseOrDie(R"(
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeCycle(&db, "e", 6).ok());
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("t(n0, Y)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 6u);  // Everything, including n0 itself.
+}
+
+TEST(TopDown, AgreesWithMagicAndBottomUp) {
+  const char* programs[] = {
+      R"(t(X, Y) :- e(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).)",
+      R"(t(X, Y) :- t(X, Z), e(Z, Y). t(X, Y) :- e(X, Y).)",
+      R"(t(X, Y) :- t(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).)",
+  };
+  const char* queries[] = {"t(n2, Y)", "t(X, n5)", "t(X, Y)", "t(n0, n4)"};
+  for (const char* ptext : programs) {
+    ast::Program p = ParseOrDie(ptext);
+    for (const char* qtext : queries) {
+      SCOPED_TRACE(std::string(ptext) + " ?- " + qtext);
+      storage::Database db_td;
+      storage::Database db_magic;
+      Rng r1(5);
+      Rng r2(5);
+      ASSERT_TRUE(storage::MakeRandomGraph(&db_td, "e", 10, 18, &r1).ok());
+      ASSERT_TRUE(storage::MakeRandomGraph(&db_magic, "e", 10, 18, &r2).ok());
+      TabledTopDown engine(&db_td, p);
+      Result<QueryAnswer> td = engine.Query(Q(qtext));
+      Result<QueryAnswer> mg = AnswerQuery(&db_magic, p, Q(qtext));
+      ASSERT_TRUE(td.ok()) << td.status();
+      ASSERT_TRUE(mg.ok()) << mg.status();
+      EXPECT_EQ(Render(td->tuples, db_td), Render(mg->tuples, db_magic));
+    }
+  }
+}
+
+TEST(TopDown, MutualRecursion) {
+  ast::Program p = ParseOrDie(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    zero(n0).
+    succ(n0, n1). succ(n1, n2). succ(n2, n3).
+  )");
+  storage::Database db;
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("odd(X)"));
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->tuples.size(), 2u);  // n1, n3.
+}
+
+TEST(TopDown, TablesOnlyRelevantCalls) {
+  // Two disjoint chains; querying one must not table calls about the other.
+  ast::Program p = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 8).ok());
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(db.AddRow("e", {StrFormat("n%d", i),
+                                StrFormat("n%d", i + 1)}).ok());
+  }
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("t(n0, Y)"));
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->tuples.size(), 7u);
+  // Tabled answers stay within the first chain: well under the full closure.
+  EXPECT_LE(engine.stats().answers, 7u * 8u);
+}
+
+TEST(TopDown, EdbQueryIsSelection) {
+  ast::Program p = ParseOrDie("e(a,b). e(a,c). t(X) :- e(X, X).");
+  storage::Database db;
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("e(a, Y)"));
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->tuples.size(), 2u);
+}
+
+TEST(TopDown, RejectsNegation) {
+  ast::Program p = ParseOrDie("t(X) :- base(X), not bad(X).");
+  storage::Database db;
+  TabledTopDown engine(&db, p);
+  EXPECT_FALSE(engine.Query(Q("t(a)")).ok());
+}
+
+TEST(TopDown, UnsafeRuleReported) {
+  ast::Program p = ParseOrDie("t(X, Y) :- e(X).");
+  storage::Database db;
+  ASSERT_TRUE(db.AddRow("e", {"a"}).ok());
+  TabledTopDown engine(&db, p);
+  Result<QueryAnswer> ans = engine.Query(Q("t(X, Y)"));
+  ASSERT_FALSE(ans.ok());
+  EXPECT_NE(ans.status().message().find("unsafe"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dire::eval

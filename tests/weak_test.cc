@@ -1,0 +1,118 @@
+// Focused tests for the Theorem 4.3 machinery (Defs 4.2/4.3), beyond the
+// paper's own Example 4.7 cases covered in paper_examples_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "core/rewrite.h"
+#include "core/weak.h"
+#include "tests/test_util.h"
+
+namespace dire::core {
+namespace {
+
+using dire::testing::AnalyzeOrDie;
+using dire::testing::DefOrDie;
+
+// Example 4.7's recursive rule with exit e(W,U): the exit predicate shares
+// the chain variables, but their weights to the corresponding positions of
+// the recursive e atom differ (-2 vs 0), so no single k satisfies clause 4
+// of Def 4.2 — irredundant, hence data dependent.
+TEST(WeakIndependence, Clause4Fires) {
+  core::RecursionAnalysis a = AnalyzeOrDie(R"(
+    t(X, Y, U, W) :- t(X, M, M, Y), e(M, Y).
+    t(X, Y, U, W) :- e(W, U).
+  )", "t");
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_TRUE(a.weak->regular_pair_test_applied);
+  EXPECT_TRUE(a.weak->exit_connected);
+  EXPECT_TRUE(a.weak->exit_irredundant);
+  EXPECT_EQ(a.weak->irredundance_condition, 4);
+  EXPECT_EQ(a.weak->verdict, Verdict::kDependent);
+
+  // Cross-check with the semi-decision: no bound should appear.
+  ast::RecursiveDefinition def = DefOrDie(R"(
+    t(X, Y, U, W) :- t(X, M, M, Y), e(M, Y).
+    t(X, Y, U, W) :- e(W, U).
+  )", "t");
+  Result<RewriteResult> r = BoundedRewrite(def);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outcome, RewriteResult::Outcome::kInconclusive);
+}
+
+// Clause 1: a distinct exit predicate is always irredundant.
+TEST(WeakIndependence, Clause1DistinctPredicate) {
+  core::RecursionAnalysis a = AnalyzeOrDie(R"(
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- base(X, Y).
+  )", "t");
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_EQ(a.weak->irredundance_condition, 1);
+  EXPECT_EQ(a.weak->verdict, Verdict::kDependent);
+}
+
+// Clause 2 fired for the standard transitive-closure pairing (checked in
+// the catalog); here verify the recorded clause index.
+TEST(WeakIndependence, Clause2StableVariableSeparation) {
+  core::RecursionAnalysis a =
+      AnalyzeOrDie(dire::testing::kTransitiveClosure, "t");
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_EQ(a.weak->irredundance_condition, 2);
+}
+
+// The weak test result must agree with the rewrite semi-decision on every
+// Theorem 4.3-class pairing in this file.
+TEST(WeakIndependence, AgreesWithRewriteOnRegularPairs) {
+  const char* pairs[] = {
+      "t(X, Y) :- e(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).",
+      "t(X, Y) :- e(X, Z), t(Z, Y). t(X, Y) :- e(W, Y).",
+      "t(X, Y, U, W) :- t(X, M, M, Y), e(M, Y). t(X, Y, U, W) :- e(U, W).",
+      "t(X, Y, U, W) :- t(X, M, M, Y), e(M, Y). t(X, Y, U, W) :- e(U, U).",
+      "t(X, Y) :- trendy(X), t(Z, Y). t(X, Y) :- likes(X, Y).",
+  };
+  for (const char* text : pairs) {
+    SCOPED_TRACE(text);
+    ast::RecursiveDefinition def = DefOrDie(text, "t");
+    Result<WeakIndependenceResult> weak = TestWeakIndependence(def);
+    ASSERT_TRUE(weak.ok());
+    ASSERT_NE(weak->verdict, Verdict::kUnknown);
+    Result<RewriteResult> rewrite = BoundedRewrite(def);
+    ASSERT_TRUE(rewrite.ok());
+    if (weak->verdict == Verdict::kIndependent) {
+      EXPECT_EQ(rewrite->outcome, RewriteResult::Outcome::kBounded);
+    } else {
+      EXPECT_EQ(rewrite->outcome, RewriteResult::Outcome::kInconclusive);
+    }
+  }
+}
+
+TEST(WeakIndependence, RequiresExitRule) {
+  ast::RecursiveDefinition def =
+      DefOrDie("t(X,Y) :- e(X,Z), t(Z,Y).", "t");
+  EXPECT_FALSE(TestWeakIndependence(def).ok());
+}
+
+// Multiple exit rules: outside Theorem 4.3's class, but strong independence
+// still settles the question when available.
+TEST(WeakIndependence, MultipleExitRules) {
+  core::RecursionAnalysis a = AnalyzeOrDie(R"(
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- owns(X, Y).
+  )", "buys");
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_EQ(a.weak->verdict, Verdict::kIndependent);
+  EXPECT_FALSE(a.weak->regular_pair_test_applied);
+}
+
+TEST(WeakIndependence, MultipleExitRulesDependentStaysUnknown) {
+  core::RecursionAnalysis a = AnalyzeOrDie(R"(
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- base(X, Y).
+  )", "t");
+  ASSERT_TRUE(a.weak.has_value());
+  EXPECT_EQ(a.weak->verdict, Verdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace dire::core

@@ -1,0 +1,352 @@
+// dire_cli — command-line driver for the DIRE library.
+//
+// Usage:
+//   dire_cli PROGRAM.dl [options]
+//
+// Options (applied in the order given):
+//   --plan                run the whole-program optimizer (rewrites bounded
+//                         recursions, hoists loop invariants) and print what
+//                         happened per predicate
+//   --analyze PRED        print the full recursion analysis report
+//   --rewrite PRED        print the bounded nonrecursive rewrite (if any)
+//   --hoist PRED          print the §6 hoisted program (if applicable)
+//   --explain             print physical plans for every rule
+//   --eval                evaluate the program bottom-up (semi-naive)
+//   --naive               use naive instead of semi-naive evaluation
+//   --query 'ATOM'        answer a query with magic sets, e.g. 't(a, X)'
+//   --why 'FACT'          print a derivation tree for a ground fact
+//                         (after --eval), e.g. 't(a, c)'
+//   --dump PRED           print a relation after --eval / --query
+//   --dot PRED FILE       write the A/V graph of PRED's definition as DOT
+//   --repl                interactive session: `?- atom.` queries (magic
+//                         sets), `fact.`/`rule.` additions, `.analyze P`,
+//                         `.plan`, `.dump P`, `.why fact`, `.quit`
+//
+// Example:
+//   dire_cli examples.dl --analyze buys --rewrite buys --eval --dump buys
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/related_work.h"
+#include "dire.h"
+#include "eval/explain.h"
+#include "eval/magic.h"
+#include "eval/provenance.h"
+
+namespace {
+
+int Fail(const dire::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dire_cli PROGRAM.dl [--plan] [--analyze PRED] "
+               "[--rewrite PRED] "
+               "[--hoist PRED]\n"
+               "       [--explain] [--eval] [--naive] [--query ATOM] "
+               "[--why FACT] [--dump PRED] [--dot PRED FILE]\n");
+  return 2;
+}
+
+// Interactive read-eval-print loop over the loaded program.
+int Repl(dire::ast::Program program) {
+  std::printf("dire repl — `?- atom.` queries, `head :- body.` additions,\n"
+              "            `.analyze PRED`, `.plan`, `.dump PRED`, "
+              "`.why FACT.`, `.quit`\n");
+  std::string line;
+  while (true) {
+    std::printf("dire> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = dire::StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+
+    auto report = [](const dire::Status& status) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    };
+
+    if (trimmed[0] == '.') {
+      std::vector<std::string> parts =
+          dire::Split(std::string(trimmed), ' ');
+      if (parts[0] == ".analyze" && parts.size() == 2) {
+        dire::Result<dire::core::RecursionAnalysis> a =
+            dire::core::AnalyzeRecursion(program, parts[1]);
+        if (a.ok()) {
+          std::printf("%s", a->Report().c_str());
+        } else {
+          report(a.status());
+        }
+      } else if (parts[0] == ".plan") {
+        dire::Result<dire::core::ProgramPlan> plan =
+            dire::core::OptimizeProgram(program);
+        if (plan.ok()) {
+          std::printf("%s", plan->Summary().c_str());
+        } else {
+          report(plan.status());
+        }
+      } else if (parts[0] == ".dump" && parts.size() == 2) {
+        dire::storage::Database db;
+        dire::eval::Evaluator ev(&db);
+        dire::Result<dire::eval::EvalStats> stats = ev.Evaluate(program);
+        if (!stats.ok()) {
+          report(stats.status());
+        } else {
+          std::printf("%s", db.DumpRelation(parts[1]).c_str());
+        }
+      } else if (parts[0] == ".why" && parts.size() >= 2) {
+        std::string text(trimmed.substr(5));
+        if (!text.empty() && text.back() == '.') text.pop_back();
+        dire::Result<dire::ast::Atom> fact = dire::parser::ParseAtom(text);
+        if (!fact.ok()) {
+          report(fact.status());
+          continue;
+        }
+        dire::storage::Database db;
+        dire::eval::ProvenanceTracker tracker;
+        dire::eval::EvalOptions opts;
+        opts.tracker = &tracker;
+        dire::eval::Evaluator ev(&db, opts);
+        dire::Result<dire::eval::EvalStats> stats = ev.Evaluate(program);
+        if (!stats.ok()) {
+          report(stats.status());
+          continue;
+        }
+        dire::Result<dire::eval::Derivation> d =
+            dire::eval::Explain(&db, program, tracker, *fact);
+        if (d.ok()) {
+          std::printf("%s", d->ToString().c_str());
+        } else {
+          report(d.status());
+        }
+      } else {
+        std::printf("unknown command: %s\n", parts[0].c_str());
+      }
+      continue;
+    }
+
+    if (trimmed.substr(0, 2) == "?-") {
+      std::string text(trimmed.substr(2));
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
+      if (!atom.ok()) {
+        report(atom.status());
+        continue;
+      }
+      dire::storage::Database db;
+      dire::Result<dire::eval::QueryAnswer> ans =
+          dire::eval::AnswerQuery(&db, program, *atom);
+      if (!ans.ok()) {
+        report(ans.status());
+        continue;
+      }
+      for (const dire::storage::Tuple& t : ans->tuples) {
+        std::string row;
+        for (size_t k = 0; k < t.size(); ++k) {
+          if (k != 0) row += ", ";
+          row += db.symbols().Name(t[k]);
+        }
+        std::printf("  (%s)\n", row.c_str());
+      }
+      std::printf("%zu answer(s)\n", ans->tuples.size());
+      continue;
+    }
+
+    // Otherwise: a rule or fact to append.
+    dire::Result<dire::ast::Rule> rule =
+        dire::parser::ParseRule(std::string(trimmed));
+    if (!rule.ok()) {
+      report(rule.status());
+      continue;
+    }
+    program.rules.push_back(std::move(rule).value());
+    std::printf("added (%zu clauses)\n", program.rules.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  dire::Result<dire::ast::Program> program =
+      dire::parser::ParseProgram(buffer.str());
+  if (!program.ok()) return Fail(program.status());
+
+  dire::storage::Database db;
+  dire::eval::ProvenanceTracker tracker;
+  dire::eval::EvalOptions eval_options;
+  eval_options.tracker = &tracker;
+  bool evaluated = false;
+
+  auto definition_of =
+      [&](const std::string& pred)
+      -> dire::Result<dire::ast::RecursiveDefinition> {
+    return dire::ast::MakeDefinition(*program, pred);
+  };
+
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+
+    if (flag == "--repl") {
+      return Repl(*program);
+    } else if (flag == "--plan") {
+      dire::Result<dire::core::ProgramPlan> plan =
+          dire::core::OptimizeProgram(*program);
+      if (!plan.ok()) return Fail(plan.status());
+      std::printf("%s", plan->Summary().c_str());
+      std::printf("optimized program:\n%s",
+                  plan->optimized.ToString().c_str());
+      // Later --eval/--query run against the optimized program.
+      *program = plan->optimized;
+    } else if (flag == "--naive") {
+      eval_options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--analyze") {
+      const char* pred = next();
+      if (pred == nullptr) return Usage();
+      dire::Result<dire::core::RecursionAnalysis> a =
+          dire::core::AnalyzeRecursion(*program, pred);
+      if (!a.ok()) return Fail(a.status());
+      std::printf("%s", a->Report().c_str());
+      // Related-work comparators, when applicable.
+      dire::Result<dire::core::MinkerNicolasResult> mn =
+          dire::core::TestMinkerNicolas(a->definition);
+      if (mn.ok()) {
+        std::printf("Minker-Nicolas class: %s (%s)\n",
+                    mn->in_class ? "yes" : "no", mn->reason.c_str());
+      }
+      dire::Result<dire::core::IoannidisResult> io =
+          dire::core::TestIoannidis(a->definition);
+      if (io.ok()) {
+        std::printf("Ioannidis class: %s, alpha-graph: %s\n",
+                    io->in_class ? "yes" : "no",
+                    io->alpha_graph_independent ? "independent"
+                                                : "cycle found");
+      }
+    } else if (flag == "--rewrite") {
+      const char* pred = next();
+      if (pred == nullptr) return Usage();
+      dire::Result<dire::ast::RecursiveDefinition> def = definition_of(pred);
+      if (!def.ok()) return Fail(def.status());
+      dire::Result<dire::core::RewriteResult> r =
+          dire::core::BoundedRewrite(*def);
+      if (!r.ok()) return Fail(r.status());
+      if (r->outcome == dire::core::RewriteResult::Outcome::kBounded) {
+        std::printf("bounded at depth %d:\n%s", r->bound,
+                    r->rewritten.ToString().c_str());
+      } else {
+        std::printf("not shown bounded: %s\n", r->note.c_str());
+      }
+    } else if (flag == "--hoist") {
+      const char* pred = next();
+      if (pred == nullptr) return Usage();
+      dire::Result<dire::ast::RecursiveDefinition> def = definition_of(pred);
+      if (!def.ok()) return Fail(def.status());
+      dire::Result<dire::core::HoistResult> h =
+          dire::core::HoistUnconnectedPredicates(*def);
+      if (!h.ok()) return Fail(h.status());
+      if (h->changed) {
+        std::printf("hoisted (%s):\n%s", h->note.c_str(),
+                    h->program.ToString().c_str());
+      } else {
+        std::printf("nothing hoisted: %s\n", h->note.c_str());
+      }
+    } else if (flag == "--explain") {
+      dire::Result<std::string> text = dire::eval::ExplainProgram(*program);
+      if (!text.ok()) return Fail(text.status());
+      std::printf("%s", text->c_str());
+    } else if (flag == "--eval") {
+      dire::eval::Evaluator evaluator(&db, eval_options);
+      dire::Result<dire::eval::EvalStats> stats =
+          evaluator.Evaluate(*program);
+      if (!stats.ok()) return Fail(stats.status());
+      std::printf("evaluated: %d iteration(s), %zu tuple(s) derived\n",
+                  stats->iterations, stats->tuples_derived);
+      evaluated = true;
+    } else if (flag == "--query") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
+      if (!atom.ok()) return Fail(atom.status());
+      dire::Result<dire::eval::QueryAnswer> ans =
+          dire::eval::AnswerQuery(&db, *program, *atom, eval_options);
+      if (!ans.ok()) return Fail(ans.status());
+      std::printf("%zu answer(s) for %s:\n", ans->tuples.size(),
+                  atom->ToString().c_str());
+      for (const dire::storage::Tuple& t : ans->tuples) {
+        std::string row;
+        for (size_t k = 0; k < t.size(); ++k) {
+          if (k != 0) row += ", ";
+          row += db.symbols().Name(t[k]);
+        }
+        std::printf("  (%s)\n", row.c_str());
+      }
+      evaluated = true;
+    } else if (flag == "--why") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
+      if (!atom.ok()) return Fail(atom.status());
+      if (!evaluated) {
+        std::fprintf(stderr, "note: --why before --eval; evaluating now\n");
+        dire::eval::Evaluator evaluator(&db, eval_options);
+        dire::Result<dire::eval::EvalStats> stats =
+            evaluator.Evaluate(*program);
+        if (!stats.ok()) return Fail(stats.status());
+        evaluated = true;
+      }
+      dire::Result<dire::eval::Derivation> d =
+          dire::eval::Explain(&db, *program, tracker, *atom);
+      if (!d.ok()) return Fail(d.status());
+      std::printf("%s", d->ToString().c_str());
+    } else if (flag == "--dump") {
+      const char* pred = next();
+      if (pred == nullptr) return Usage();
+      if (!evaluated) {
+        std::fprintf(stderr, "note: --dump before --eval/--query; relation "
+                             "may be empty\n");
+      }
+      std::printf("%s", db.DumpRelation(pred).c_str());
+    } else if (flag == "--dot") {
+      const char* pred = next();
+      const char* path = next();
+      if (pred == nullptr || path == nullptr) return Usage();
+      dire::Result<dire::ast::RecursiveDefinition> def = definition_of(pred);
+      if (!def.ok()) return Fail(def.status());
+      dire::Result<dire::core::AvGraph> graph =
+          dire::core::AvGraph::Build(*def);
+      if (!graph.ok()) return Fail(graph.status());
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path);
+        return 1;
+      }
+      out << graph->ToDot();
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  return 0;
+}
