@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_vs_recursive.dir/bench_bounded_vs_recursive.cc.o"
+  "CMakeFiles/bench_bounded_vs_recursive.dir/bench_bounded_vs_recursive.cc.o.d"
+  "bench_bounded_vs_recursive"
+  "bench_bounded_vs_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_vs_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

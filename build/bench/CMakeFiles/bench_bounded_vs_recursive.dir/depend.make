@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bounded_vs_recursive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hoisting.dir/bench_hoisting.cc.o"
+  "CMakeFiles/bench_hoisting.dir/bench_hoisting.cc.o.d"
+  "bench_hoisting"
+  "bench_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

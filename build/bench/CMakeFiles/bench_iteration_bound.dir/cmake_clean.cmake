@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iteration_bound.dir/bench_iteration_bound.cc.o"
+  "CMakeFiles/bench_iteration_bound.dir/bench_iteration_bound.cc.o.d"
+  "bench_iteration_bound"
+  "bench_iteration_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

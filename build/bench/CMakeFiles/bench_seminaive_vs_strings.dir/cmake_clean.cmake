@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seminaive_vs_strings.dir/bench_seminaive_vs_strings.cc.o"
+  "CMakeFiles/bench_seminaive_vs_strings.dir/bench_seminaive_vs_strings.cc.o.d"
+  "bench_seminaive_vs_strings"
+  "bench_seminaive_vs_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seminaive_vs_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_seminaive_vs_strings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figures.dir/repro_figures.cc.o"
+  "CMakeFiles/repro_figures.dir/repro_figures.cc.o.d"
+  "repro_figures"
+  "repro_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketing.dir/marketing.cpp.o"
+  "CMakeFiles/marketing.dir/marketing.cpp.o.d"
+  "marketing"
+  "marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

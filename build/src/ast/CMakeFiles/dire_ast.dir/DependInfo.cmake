@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/ast/CMakeFiles/dire_ast.dir/ast.cc.o" "gcc" "src/ast/CMakeFiles/dire_ast.dir/ast.cc.o.d"
+  "/root/repo/src/ast/classify.cc" "src/ast/CMakeFiles/dire_ast.dir/classify.cc.o" "gcc" "src/ast/CMakeFiles/dire_ast.dir/classify.cc.o.d"
+  "/root/repo/src/ast/dependency.cc" "src/ast/CMakeFiles/dire_ast.dir/dependency.cc.o" "gcc" "src/ast/CMakeFiles/dire_ast.dir/dependency.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/ast/CMakeFiles/dire_ast.dir/substitution.cc.o" "gcc" "src/ast/CMakeFiles/dire_ast.dir/substitution.cc.o.d"
+  "/root/repo/src/ast/unify.cc" "src/ast/CMakeFiles/dire_ast.dir/unify.cc.o" "gcc" "src/ast/CMakeFiles/dire_ast.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

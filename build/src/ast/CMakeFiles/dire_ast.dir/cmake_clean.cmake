@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_ast.dir/ast.cc.o"
+  "CMakeFiles/dire_ast.dir/ast.cc.o.d"
+  "CMakeFiles/dire_ast.dir/classify.cc.o"
+  "CMakeFiles/dire_ast.dir/classify.cc.o.d"
+  "CMakeFiles/dire_ast.dir/dependency.cc.o"
+  "CMakeFiles/dire_ast.dir/dependency.cc.o.d"
+  "CMakeFiles/dire_ast.dir/substitution.cc.o"
+  "CMakeFiles/dire_ast.dir/substitution.cc.o.d"
+  "CMakeFiles/dire_ast.dir/unify.cc.o"
+  "CMakeFiles/dire_ast.dir/unify.cc.o.d"
+  "libdire_ast.a"
+  "libdire_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

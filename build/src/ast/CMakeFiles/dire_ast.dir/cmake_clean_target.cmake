@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdire_ast.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_base.dir/status.cc.o"
+  "CMakeFiles/dire_base.dir/status.cc.o.d"
+  "CMakeFiles/dire_base.dir/string_util.cc.o"
+  "CMakeFiles/dire_base.dir/string_util.cc.o.d"
+  "libdire_base.a"
+  "libdire_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/dire_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/av_graph.cc" "src/core/CMakeFiles/dire_core.dir/av_graph.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/av_graph.cc.o.d"
+  "/root/repo/src/core/chain.cc" "src/core/CMakeFiles/dire_core.dir/chain.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/chain.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/core/CMakeFiles/dire_core.dir/equivalence.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/equivalence.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/core/CMakeFiles/dire_core.dir/expansion.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/expansion.cc.o.d"
+  "/root/repo/src/core/graph_view.cc" "src/core/CMakeFiles/dire_core.dir/graph_view.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/graph_view.cc.o.d"
+  "/root/repo/src/core/optimize.cc" "src/core/CMakeFiles/dire_core.dir/optimize.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/optimize.cc.o.d"
+  "/root/repo/src/core/plan_program.cc" "src/core/CMakeFiles/dire_core.dir/plan_program.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/plan_program.cc.o.d"
+  "/root/repo/src/core/related_work.cc" "src/core/CMakeFiles/dire_core.dir/related_work.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/related_work.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/dire_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/strings_eval.cc" "src/core/CMakeFiles/dire_core.dir/strings_eval.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/strings_eval.cc.o.d"
+  "/root/repo/src/core/strong.cc" "src/core/CMakeFiles/dire_core.dir/strong.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/strong.cc.o.d"
+  "/root/repo/src/core/weak.cc" "src/core/CMakeFiles/dire_core.dir/weak.cc.o" "gcc" "src/core/CMakeFiles/dire_core.dir/weak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/dire_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/dire_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dire_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dire_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

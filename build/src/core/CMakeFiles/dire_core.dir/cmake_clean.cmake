@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_core.dir/analysis.cc.o"
+  "CMakeFiles/dire_core.dir/analysis.cc.o.d"
+  "CMakeFiles/dire_core.dir/av_graph.cc.o"
+  "CMakeFiles/dire_core.dir/av_graph.cc.o.d"
+  "CMakeFiles/dire_core.dir/chain.cc.o"
+  "CMakeFiles/dire_core.dir/chain.cc.o.d"
+  "CMakeFiles/dire_core.dir/equivalence.cc.o"
+  "CMakeFiles/dire_core.dir/equivalence.cc.o.d"
+  "CMakeFiles/dire_core.dir/expansion.cc.o"
+  "CMakeFiles/dire_core.dir/expansion.cc.o.d"
+  "CMakeFiles/dire_core.dir/graph_view.cc.o"
+  "CMakeFiles/dire_core.dir/graph_view.cc.o.d"
+  "CMakeFiles/dire_core.dir/optimize.cc.o"
+  "CMakeFiles/dire_core.dir/optimize.cc.o.d"
+  "CMakeFiles/dire_core.dir/plan_program.cc.o"
+  "CMakeFiles/dire_core.dir/plan_program.cc.o.d"
+  "CMakeFiles/dire_core.dir/related_work.cc.o"
+  "CMakeFiles/dire_core.dir/related_work.cc.o.d"
+  "CMakeFiles/dire_core.dir/rewrite.cc.o"
+  "CMakeFiles/dire_core.dir/rewrite.cc.o.d"
+  "CMakeFiles/dire_core.dir/strings_eval.cc.o"
+  "CMakeFiles/dire_core.dir/strings_eval.cc.o.d"
+  "CMakeFiles/dire_core.dir/strong.cc.o"
+  "CMakeFiles/dire_core.dir/strong.cc.o.d"
+  "CMakeFiles/dire_core.dir/weak.cc.o"
+  "CMakeFiles/dire_core.dir/weak.cc.o.d"
+  "libdire_core.a"
+  "libdire_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

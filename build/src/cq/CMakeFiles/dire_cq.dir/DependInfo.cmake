@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/conjunctive_query.cc" "src/cq/CMakeFiles/dire_cq.dir/conjunctive_query.cc.o" "gcc" "src/cq/CMakeFiles/dire_cq.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/cq/containment.cc" "src/cq/CMakeFiles/dire_cq.dir/containment.cc.o" "gcc" "src/cq/CMakeFiles/dire_cq.dir/containment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/dire_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

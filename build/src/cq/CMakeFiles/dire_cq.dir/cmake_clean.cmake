@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_cq.dir/conjunctive_query.cc.o"
+  "CMakeFiles/dire_cq.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/dire_cq.dir/containment.cc.o"
+  "CMakeFiles/dire_cq.dir/containment.cc.o.d"
+  "libdire_cq.a"
+  "libdire_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

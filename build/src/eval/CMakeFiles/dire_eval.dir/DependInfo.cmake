@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/builtins.cc" "src/eval/CMakeFiles/dire_eval.dir/builtins.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/builtins.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/dire_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/evaluator.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/eval/CMakeFiles/dire_eval.dir/explain.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/explain.cc.o.d"
+  "/root/repo/src/eval/magic.cc" "src/eval/CMakeFiles/dire_eval.dir/magic.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/magic.cc.o.d"
+  "/root/repo/src/eval/plan.cc" "src/eval/CMakeFiles/dire_eval.dir/plan.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/plan.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/eval/CMakeFiles/dire_eval.dir/provenance.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/provenance.cc.o.d"
+  "/root/repo/src/eval/topdown.cc" "src/eval/CMakeFiles/dire_eval.dir/topdown.cc.o" "gcc" "src/eval/CMakeFiles/dire_eval.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/dire_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dire_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

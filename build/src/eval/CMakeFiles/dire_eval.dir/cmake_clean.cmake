@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_eval.dir/builtins.cc.o"
+  "CMakeFiles/dire_eval.dir/builtins.cc.o.d"
+  "CMakeFiles/dire_eval.dir/evaluator.cc.o"
+  "CMakeFiles/dire_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/dire_eval.dir/explain.cc.o"
+  "CMakeFiles/dire_eval.dir/explain.cc.o.d"
+  "CMakeFiles/dire_eval.dir/magic.cc.o"
+  "CMakeFiles/dire_eval.dir/magic.cc.o.d"
+  "CMakeFiles/dire_eval.dir/plan.cc.o"
+  "CMakeFiles/dire_eval.dir/plan.cc.o.d"
+  "CMakeFiles/dire_eval.dir/provenance.cc.o"
+  "CMakeFiles/dire_eval.dir/provenance.cc.o.d"
+  "CMakeFiles/dire_eval.dir/topdown.cc.o"
+  "CMakeFiles/dire_eval.dir/topdown.cc.o.d"
+  "libdire_eval.a"
+  "libdire_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_parser.dir/lexer.cc.o"
+  "CMakeFiles/dire_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/dire_parser.dir/parser.cc.o"
+  "CMakeFiles/dire_parser.dir/parser.cc.o.d"
+  "libdire_parser.a"
+  "libdire_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

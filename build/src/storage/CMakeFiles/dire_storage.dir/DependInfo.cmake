@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/dire_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/dire_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/dire_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/dire_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/generators.cc" "src/storage/CMakeFiles/dire_storage.dir/generators.cc.o" "gcc" "src/storage/CMakeFiles/dire_storage.dir/generators.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/dire_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/dire_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/storage/CMakeFiles/dire_storage.dir/snapshot.cc.o" "gcc" "src/storage/CMakeFiles/dire_storage.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/dire_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_storage.dir/csv.cc.o"
+  "CMakeFiles/dire_storage.dir/csv.cc.o.d"
+  "CMakeFiles/dire_storage.dir/database.cc.o"
+  "CMakeFiles/dire_storage.dir/database.cc.o.d"
+  "CMakeFiles/dire_storage.dir/generators.cc.o"
+  "CMakeFiles/dire_storage.dir/generators.cc.o.d"
+  "CMakeFiles/dire_storage.dir/relation.cc.o"
+  "CMakeFiles/dire_storage.dir/relation.cc.o.d"
+  "CMakeFiles/dire_storage.dir/snapshot.cc.o"
+  "CMakeFiles/dire_storage.dir/snapshot.cc.o.d"
+  "libdire_storage.a"
+  "libdire_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

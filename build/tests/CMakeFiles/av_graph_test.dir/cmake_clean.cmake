@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_graph_test.dir/av_graph_test.cc.o"
+  "CMakeFiles/av_graph_test.dir/av_graph_test.cc.o.d"
+  "av_graph_test"
+  "av_graph_test.pdb"
+  "av_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_property_test.dir/cq_property_test.cc.o"
+  "CMakeFiles/cq_property_test.dir/cq_property_test.cc.o.d"
+  "cq_property_test"
+  "cq_property_test.pdb"
+  "cq_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/equivalence_test.cc" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dire_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dire_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/dire_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dire_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dire_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dire_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dire_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_options_property_test.dir/eval_options_property_test.cc.o"
+  "CMakeFiles/eval_options_property_test.dir/eval_options_property_test.cc.o.d"
+  "eval_options_property_test"
+  "eval_options_property_test.pdb"
+  "eval_options_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_options_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoist_property_test.dir/hoist_property_test.cc.o"
+  "CMakeFiles/hoist_property_test.dir/hoist_property_test.cc.o.d"
+  "hoist_property_test"
+  "hoist_property_test.pdb"
+  "hoist_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoist_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

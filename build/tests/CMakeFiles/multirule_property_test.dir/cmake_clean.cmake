@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirule_property_test.dir/multirule_property_test.cc.o"
+  "CMakeFiles/multirule_property_test.dir/multirule_property_test.cc.o.d"
+  "multirule_property_test"
+  "multirule_property_test.pdb"
+  "multirule_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirule_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

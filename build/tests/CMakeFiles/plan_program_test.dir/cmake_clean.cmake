@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_program_test.dir/plan_program_test.cc.o"
+  "CMakeFiles/plan_program_test.dir/plan_program_test.cc.o.d"
+  "plan_program_test"
+  "plan_program_test.pdb"
+  "plan_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_eval_test.dir/strings_eval_test.cc.o"
+  "CMakeFiles/strings_eval_test.dir/strings_eval_test.cc.o.d"
+  "strings_eval_test"
+  "strings_eval_test.pdb"
+  "strings_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_test.dir/topdown_test.cc.o"
+  "CMakeFiles/topdown_test.dir/topdown_test.cc.o.d"
+  "topdown_test"
+  "topdown_test.pdb"
+  "topdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dire_cli.dir/dire_cli.cc.o"
+  "CMakeFiles/dire_cli.dir/dire_cli.cc.o.d"
+  "dire_cli"
+  "dire_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dire_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
