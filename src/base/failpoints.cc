@@ -1,0 +1,75 @@
+#include "base/failpoints.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace dire::failpoints {
+namespace {
+
+struct State {
+  Config config;
+  int hits = 0;
+};
+
+// Number of armed failpoints; lets Check() skip the lock entirely while the
+// registry is empty, which is the steady state outside failpoint tests.
+std::atomic<int> g_armed{0};
+
+std::mutex& Mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::map<std::string, State>& Registry() {
+  static std::map<std::string, State>* r = new std::map<std::string, State>;
+  return *r;
+}
+
+}  // namespace
+
+void Enable(const std::string& name, const Config& config) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(name, State{config, 0});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(name) != 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed.fetch_sub(static_cast<int>(Registry().size()),
+                    std::memory_order_relaxed);
+  Registry().clear();
+}
+
+int HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+Status Check(const char* name) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return Status::Ok();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::Ok();
+  State& state = it->second;
+  int hit = state.hits++;
+  const Config& c = state.config;
+  bool fires = hit >= c.skip &&
+               (c.fire_count < 0 || hit < c.skip + c.fire_count);
+  if (!fires) return Status::Ok();
+  std::string message = c.message.empty()
+                            ? "failpoint " + std::string(name) + " fired"
+                            : c.message;
+  return Status(c.code, std::move(message));
+}
+
+}  // namespace dire::failpoints

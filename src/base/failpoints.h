@@ -1,0 +1,91 @@
+#ifndef DIRE_BASE_FAILPOINTS_H_
+#define DIRE_BASE_FAILPOINTS_H_
+
+#include <string>
+
+#include "base/status.h"
+
+// Deterministic fault injection for exercising error paths in tests.
+//
+// A failpoint is a named site in the library where a test can make an
+// otherwise-infallible operation fail on demand:
+//
+//   dire::failpoints::Scoped fp("storage.relation_insert",
+//                               {.skip = 10});           // 11th hit fails
+//   Status s = evaluator.Evaluate(program);              // clean error,
+//                                                        // consistent db
+//
+// Sites are compiled in only when DIRE_FAILPOINTS_ENABLED is defined (the
+// DIRE_FAILPOINTS CMake option, ON by default so the test suite exercises
+// every error path; production deployments configure it OFF and the
+// DIRE_FAILPOINT macro expands to nothing). Firing is deterministic: a
+// failpoint fires on hits `skip .. skip + fire_count - 1` of its site, in
+// program order, never randomly.
+//
+// Registered sites:
+//   storage.relation_insert   before a derived/loaded tuple is inserted
+//   storage.allocate_relation before a relation is created
+//   eval.stratum              at each stratum boundary in Evaluator
+namespace dire::failpoints {
+
+struct Config {
+  // Number of hits that pass through before the failpoint starts firing.
+  int skip = 0;
+  // Number of hits that fire after the skipped ones; -1 = every later hit.
+  int fire_count = -1;
+  // Status code injected when firing.
+  StatusCode code = StatusCode::kInternal;
+  // Injected message; empty means "failpoint <name> fired".
+  std::string message;
+};
+
+// Arms `name` with `config`, replacing any previous arming and resetting its
+// hit counter. Thread-safe.
+void Enable(const std::string& name, const Config& config = Config());
+
+// Disarms `name`. No-op if not armed.
+void Disable(const std::string& name);
+
+// Disarms everything (test teardown safety net).
+void DisableAll();
+
+// Hits observed by `name` since it was last armed; 0 when not armed.
+// (Hits are only counted while armed, so an unused registry costs one
+// relaxed atomic load per site.)
+int HitCount(const std::string& name);
+
+// The site-side check: counts a hit against `name` and returns the injected
+// status when this hit is in the firing window, Ok otherwise. Call through
+// DIRE_FAILPOINT rather than directly so release builds compile the site
+// out.
+Status Check(const char* name);
+
+// RAII arming for tests: enables on construction, disables on destruction.
+class Scoped {
+ public:
+  explicit Scoped(std::string name, const Config& config = Config())
+      : name_(std::move(name)) {
+    Enable(name_, config);
+  }
+  ~Scoped() { Disable(name_); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace dire::failpoints
+
+// Site macro: propagates the injected status out of the enclosing
+// Status/Result-returning function when the named failpoint fires.
+#ifdef DIRE_FAILPOINTS_ENABLED
+#define DIRE_FAILPOINT(name) \
+  DIRE_RETURN_IF_ERROR(::dire::failpoints::Check(name))
+#else
+#define DIRE_FAILPOINT(name) \
+  do {                       \
+  } while (false)
+#endif
+
+#endif  // DIRE_BASE_FAILPOINTS_H_

@@ -1,0 +1,79 @@
+#include "base/guard.h"
+
+#include "base/string_util.h"
+
+namespace dire {
+
+void ExecutionGuard::AddTuples(uint64_t n) const {
+  uint64_t total = tuples_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_tuples != 0 && total >= limits_.max_tuples) {
+    RecordTrip(Trip::kTuples);
+  }
+}
+
+void ExecutionGuard::SetMemoryUsage(uint64_t bytes) const {
+  memory_.store(bytes, std::memory_order_relaxed);
+  if (limits_.max_memory_bytes != 0 && bytes > limits_.max_memory_bytes) {
+    RecordTrip(Trip::kMemory);
+  }
+}
+
+int64_t ExecutionGuard::elapsed_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ExecutionGuard::RecordTrip(Trip what) const {
+  // First trip wins; later limits tripping do not overwrite the reason.
+  int expected = static_cast<int>(Trip::kNone);
+  trip_kind_.compare_exchange_strong(expected, static_cast<int>(what),
+                                     std::memory_order_relaxed);
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status ExecutionGuard::Check() const {
+  if (!Tripped()) {
+    if (token_.cancelled()) {
+      RecordTrip(Trip::kCancel);
+    } else if (limits_.timeout_ms != 0 && elapsed_ms() >= limits_.timeout_ms) {
+      RecordTrip(Trip::kDeadline);
+    } else if (TuplesExhausted()) {
+      RecordTrip(Trip::kTuples);
+    }
+  }
+  if (!Tripped()) return Status::Ok();
+  return TripStatus();
+}
+
+std::string ExecutionGuard::trip_reason() const {
+  if (!Tripped()) return "";
+  switch (static_cast<Trip>(trip_kind_.load(std::memory_order_relaxed))) {
+    case Trip::kDeadline:
+      return StrFormat("deadline exceeded after %lldms (budget %lldms)",
+                       static_cast<long long>(elapsed_ms()),
+                       static_cast<long long>(limits_.timeout_ms));
+    case Trip::kTuples:
+      return StrFormat("tuple budget exhausted (%llu of %llu derived)",
+                       static_cast<unsigned long long>(tuples_charged()),
+                       static_cast<unsigned long long>(limits_.max_tuples));
+    case Trip::kMemory:
+      return StrFormat("memory budget exhausted (%llu of %llu bytes)",
+                       static_cast<unsigned long long>(memory_usage()),
+                       static_cast<unsigned long long>(
+                           limits_.max_memory_bytes));
+    case Trip::kCancel:
+      return "execution cancelled";
+    case Trip::kNone:
+      break;
+  }
+  return "";
+}
+
+Status ExecutionGuard::TripStatus() const {
+  Trip what = static_cast<Trip>(trip_kind_.load(std::memory_order_relaxed));
+  if (what == Trip::kCancel) return Status::Cancelled(trip_reason());
+  return Status::ResourceExhausted(trip_reason());
+}
+
+}  // namespace dire

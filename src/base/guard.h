@@ -1,0 +1,130 @@
+#ifndef DIRE_BASE_GUARD_H_
+#define DIRE_BASE_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+
+namespace dire {
+
+// Cooperative cancellation. Copies share one flag, so a token handed to a
+// long-running computation can be cancelled from another thread:
+//
+//   CancellationToken token;
+//   std::thread worker([&] { evaluator_with(token).Evaluate(program); });
+//   token.Cancel();          // the evaluator returns kCancelled soon after
+//
+// Cancellation is sticky and one-way; there is no Reset.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Resource budgets for one guarded execution. A zero limit means unlimited.
+struct GuardLimits {
+  // Wall-clock budget measured on the steady clock from guard construction.
+  int64_t timeout_ms = 0;
+  // Budget on newly derived (successfully inserted) tuples.
+  uint64_t max_tuples = 0;
+  // Budget on approximate bytes held by the database's relations, as
+  // reported through SetMemoryUsage (see storage::Relation::ApproxBytes).
+  uint64_t max_memory_bytes = 0;
+};
+
+// ExecutionGuard bounds a long-running computation with a deadline, a tuple
+// budget, a memory budget, and a cancellation token. The engine's static
+// analyses (boundedness, data independence) are semi-decisions; whenever
+// they return kInconclusive the runtime must fall back to dynamic
+// governance, which this class provides.
+//
+// The guard is passed around as `const ExecutionGuard*` and shared by every
+// stage of one execution; accounting members are mutable atomics so hot
+// loops can charge it through a const pointer. A trip is *sticky*: once any
+// limit is exceeded (or the token is cancelled), every later Check() returns
+// the same non-OK status, so nested stages cannot accidentally resume.
+//
+// Callers decide the trip granularity: Check() reads the clock and should
+// run once per batch (per rule firing, per fixpoint round, per expansion
+// level); TuplesExhausted() is a clock-free atomic comparison cheap enough
+// to run per inserted tuple, which is what makes the tuple budget exact.
+class ExecutionGuard {
+ public:
+  // Unlimited guard with a private (never cancelled) token.
+  ExecutionGuard() : ExecutionGuard(GuardLimits{}) {}
+  explicit ExecutionGuard(GuardLimits limits,
+                          CancellationToken token = CancellationToken())
+      : limits_(limits),
+        token_(std::move(token)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  // Not copyable: one guard per execution; share by pointer.
+  ExecutionGuard(const ExecutionGuard&) = delete;
+  ExecutionGuard& operator=(const ExecutionGuard&) = delete;
+
+  const GuardLimits& limits() const { return limits_; }
+  const CancellationToken& token() const { return token_; }
+
+  // Charges `n` newly derived tuples. Trips the guard exactly when the
+  // running count crosses max_tuples.
+  void AddTuples(uint64_t n = 1) const;
+
+  // Reports the current approximate memory footprint (absolute, not a
+  // delta); trips the guard when it exceeds max_memory_bytes.
+  void SetMemoryUsage(uint64_t bytes) const;
+
+  // True as soon as the tuple budget is consumed. No clock read; safe to
+  // call per tuple.
+  bool TuplesExhausted() const {
+    return limits_.max_tuples != 0 &&
+           tuples_.load(std::memory_order_relaxed) >= limits_.max_tuples;
+  }
+
+  // Full check: deadline, tuple budget, memory budget, cancellation.
+  // Returns Ok, or a sticky kResourceExhausted / kCancelled naming the
+  // tripped limit.
+  Status Check() const;
+
+  // True if a previous Check()/AddTuples()/SetMemoryUsage() tripped. Does
+  // not itself read the clock or the token.
+  bool Tripped() const { return tripped_.load(std::memory_order_acquire); }
+
+  // Human-readable description of the trip ("deadline exceeded after
+  // 105ms", ...); empty while not tripped.
+  std::string trip_reason() const;
+
+  uint64_t tuples_charged() const {
+    return tuples_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_usage() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+  int64_t elapsed_ms() const;
+
+ private:
+  enum class Trip : int { kNone = 0, kDeadline, kTuples, kMemory, kCancel };
+
+  void RecordTrip(Trip what) const;
+  Status TripStatus() const;
+
+  GuardLimits limits_;
+  CancellationToken token_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::atomic<uint64_t> tuples_{0};
+  mutable std::atomic<uint64_t> memory_{0};
+  mutable std::atomic<bool> tripped_{false};
+  mutable std::atomic<int> trip_kind_{static_cast<int>(Trip::kNone)};
+};
+
+}  // namespace dire
+
+#endif  // DIRE_BASE_GUARD_H_

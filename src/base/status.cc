@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,12 @@ enum class StatusCode {
   kInternal,
   // Referenced entity (predicate, relation, file) does not exist.
   kNotFound,
+  // An ExecutionGuard budget (deadline, tuple, or memory limit) tripped.
+  // Partial results already materialized are sound (Datalog is monotone)
+  // but incomplete.
+  kResourceExhausted,
+  // A CancellationToken was cancelled by the caller.
+  kCancelled,
 };
 
 // Returns a stable human-readable name, e.g. "ParseError".
@@ -51,6 +57,12 @@ class Status {
   }
   static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -107,6 +107,9 @@ std::vector<ast::Atom> ExpansionEnumerator::ApplyExit(
 }
 
 Result<std::vector<ExpansionString>> ExpansionEnumerator::NextLevel() {
+  if (options_.guard != nullptr) {
+    DIRE_RETURN_IF_ERROR(options_.guard->Check());
+  }
   std::vector<ast::Term> head;
   for (const std::string& v : def_.head_vars) head.push_back(ast::Term::Var(v));
 
@@ -133,6 +136,11 @@ Result<std::vector<ExpansionString>> ExpansionEnumerator::NextLevel() {
   std::vector<Partial> next;
   next.reserve(next_size);
   for (const Partial& p : partials_) {
+    // Levels grow geometrically with several recursive rules; poll the
+    // guard while materializing one so a deadline trips mid-level.
+    if (options_.guard != nullptr && (next.size() & 255u) == 0) {
+      DIRE_RETURN_IF_ERROR(options_.guard->Check());
+    }
     for (size_t r = 0; r < def_.recursive_rules.size(); ++r) {
       next.push_back(
           ApplyRecursive(p, def_.recursive_rules[r], static_cast<int>(r)));

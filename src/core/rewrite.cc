@@ -7,17 +7,29 @@ namespace dire::core {
 
 Result<RewriteResult> BoundedRewrite(const ast::RecursiveDefinition& def,
                                      const RewriteOptions& options) {
+  ExpansionEnumerator::Options expansion = options.expansion;
+  if (expansion.guard == nullptr) expansion.guard = options.guard;
   DIRE_ASSIGN_OR_RETURN(ExpansionEnumerator levels,
-                        ExpansionEnumerator::Create(def, options.expansion));
+                        ExpansionEnumerator::Create(def, expansion));
 
   RewriteResult result;
   std::vector<cq::ConjunctiveQuery> kept;
   int last_new_level = -1;
 
   for (int level = 0; level <= options.max_depth; ++level) {
+    if (options.guard != nullptr) {
+      // The containment checks below are NP-hard in the query size, so the
+      // guard is consulted per level, before and after enumeration.
+      DIRE_RETURN_IF_ERROR(options.guard->Check());
+    }
     auto level_strings = levels.NextLevel();
     if (!level_strings.ok()) {
-      // Expansion blow-up (multi-rule): give up gracefully.
+      // A guard trip is a hard stop; an expansion blow-up against the
+      // static cap (multi-rule) is the ordinary inconclusive answer.
+      if (level_strings.status().code() == StatusCode::kResourceExhausted ||
+          level_strings.status().code() == StatusCode::kCancelled) {
+        return level_strings.status();
+      }
       result.outcome = RewriteResult::Outcome::kInconclusive;
       result.note = level_strings.status().ToString();
       return result;

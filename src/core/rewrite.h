@@ -13,6 +13,11 @@ namespace dire::core {
 struct RewriteOptions {
   // Deepest expansion level to explore.
   int max_depth = 12;
+  // Dynamic bound on the whole semi-decision (deadline, cancellation):
+  // checked per level here and threaded into the expansion enumeration. A
+  // trip surfaces as kResourceExhausted / kCancelled — unlike the
+  // max_depth budget, which is an ordinary kInconclusive answer. Not owned.
+  const ExecutionGuard* guard = nullptr;
   // Consecutive fully-redundant levels required before declaring the
   // definition bounded. Theorem 2.1 only requires that *eventually* every
   // string is mapped to by an earlier one; the margin guards against

@@ -17,9 +17,12 @@ const char* VerdictName(Verdict v) {
 }
 
 Result<StrongIndependenceResult> TestStrongIndependence(
-    const ast::RecursiveDefinition& def) {
+    const ast::RecursiveDefinition& def, const ExecutionGuard* guard) {
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   return TestStrongIndependence(def, graph, chains);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "ast/classify.h"
+#include "base/guard.h"
 #include "base/result.h"
 #include "core/av_graph.h"
 #include "core/chain.h"
@@ -41,8 +42,15 @@ struct StrongIndependenceResult {
 //     incomplete there: the paper's Example 4.4 is a strongly independent
 //     rule with a CGP).
 // Requires at least one recursive rule, all linear.
+//
+// The optional `guard` bounds the semi-decision: the multi-rule chain
+// detection enumerates cycles and can be slow on adversarial rule sets, so
+// the guard is checked between the graph-construction and chain-detection
+// phases. A trip returns kResourceExhausted / kCancelled — the dynamic
+// analogue of the kUnknown verdict.
 Result<StrongIndependenceResult> TestStrongIndependence(
-    const ast::RecursiveDefinition& def);
+    const ast::RecursiveDefinition& def,
+    const ExecutionGuard* guard = nullptr);
 
 // Variant reusing an existing graph and chain analysis.
 Result<StrongIndependenceResult> TestStrongIndependence(

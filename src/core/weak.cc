@@ -145,7 +145,7 @@ int ExitIrredundanceCondition(const AvGraph& g, const GraphView& view,
 }  // namespace
 
 Result<WeakIndependenceResult> TestWeakIndependence(
-    const ast::RecursiveDefinition& def) {
+    const ast::RecursiveDefinition& def, const ExecutionGuard* guard) {
   if (def.recursive_rules.empty()) {
     return Status::InvalidArgument("no recursive rule in definition");
   }
@@ -155,8 +155,11 @@ Result<WeakIndependenceResult> TestWeakIndependence(
         "pairing; no exit rule given");
   }
 
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(ChainAnalysis chains, DetectChains(graph));
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(StrongIndependenceResult strong,
                         TestStrongIndependence(def, graph, chains));
 

@@ -36,8 +36,12 @@ struct WeakIndependenceResult {
 //   * Outside that class the verdict is kUnknown (weak data independence is
 //     undecidable in general, Vardi/Gaifman); callers can fall back to the
 //     BoundedRewrite semi-decision.
+//
+// The optional `guard` bounds the analysis (see TestStrongIndependence);
+// checked between phases, a trip returns kResourceExhausted / kCancelled.
 Result<WeakIndependenceResult> TestWeakIndependence(
-    const ast::RecursiveDefinition& def);
+    const ast::RecursiveDefinition& def,
+    const ExecutionGuard* guard = nullptr);
 
 }  // namespace dire::core
 

@@ -21,6 +21,8 @@
 #include "ast/dependency.h"
 #include "ast/substitution.h"
 #include "ast/unify.h"
+#include "base/failpoints.h"
+#include "base/guard.h"
 #include "base/result.h"
 #include "base/rng.h"
 #include "base/status.h"

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ast/dependency.h"
+#include "base/failpoints.h"
 #include "base/string_util.h"
 #include "eval/builtins.h"
 
@@ -13,8 +14,10 @@ namespace {
 class RuleExecutor {
  public:
   RuleExecutor(const CompiledRule& rule, const RelationResolver& resolve,
-               const TupleSink& sink, const storage::SymbolTable* symbols)
-      : rule_(rule), resolve_(resolve), sink_(sink), symbols_(symbols) {
+               const TupleSink& sink, const storage::SymbolTable* symbols,
+               const ExecutionGuard* guard)
+      : rule_(rule), resolve_(resolve), sink_(sink), symbols_(symbols),
+        guard_(guard) {
     slots_.resize(static_cast<size_t>(rule.num_slots));
   }
 
@@ -22,6 +25,14 @@ class RuleExecutor {
 
  private:
   void Descend(size_t atom_index) {
+    // Poll the guard every 1024 descents so even a single cartesian join
+    // stops promptly on a deadline or cancellation; once stopped, the whole
+    // recursion unwinds without emitting further tuples.
+    if (stopped_) return;
+    if (guard_ != nullptr && (++ops_ & 1023u) == 0 && !guard_->Check().ok()) {
+      stopped_ = true;
+      return;
+    }
     if (atom_index == rule_.body.size()) {
       Emit();
       return;
@@ -119,23 +130,69 @@ class RuleExecutor {
   const RelationResolver& resolve_;
   const TupleSink& sink_;
   const storage::SymbolTable* symbols_;
+  const ExecutionGuard* guard_;
   std::vector<storage::ValueId> slots_;
   storage::Tuple scratch_;
+  uint32_t ops_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace
 
 void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
-                 const TupleSink& sink, const storage::SymbolTable* symbols) {
-  RuleExecutor(rule, resolve, sink, symbols).Run();
+                 const TupleSink& sink, const storage::SymbolTable* symbols,
+                 const ExecutionGuard* guard) {
+  RuleExecutor(rule, resolve, sink, symbols, guard).Run();
 }
 
-Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
-  DIRE_RETURN_IF_ERROR(db_->LoadFacts(program));
-  if (!options_.stop_on_fixpoint && options_.max_iterations <= 0) {
+Status EvalOptions::Validate() const {
+  if (max_iterations < 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_iterations must be >= 0, got %d", max_iterations));
+  }
+  if (!stop_on_fixpoint && max_iterations == 0) {
     return Status::InvalidArgument(
         "stop_on_fixpoint=false requires max_iterations > 0");
   }
+  return Status::Ok();
+}
+
+Status Evaluator::GuardCheck(EvalStats* stats, bool* stop) {
+  if (options_.guard == nullptr) return Status::Ok();
+  options_.guard->SetMemoryUsage(db_->ApproxBytes());
+  Status s = options_.guard->Check();
+  if (s.ok()) return s;
+  if (options_.on_exhaustion == EvalOptions::OnExhaustion::kError) return s;
+  *stop = true;
+  stats->converged = false;
+  stats->exhausted = true;
+  stats->exhausted_reason = options_.guard->trip_reason();
+  return Status::Ok();
+}
+
+Status Evaluator::MergeStaging(const storage::Relation& staging,
+                               const std::string& predicate,
+                               storage::Relation* head,
+                               storage::Relation* delta, EvalStats* stats) {
+  const ExecutionGuard* guard = options_.guard;
+  for (const storage::Tuple& t : staging.tuples()) {
+    // Stop before exceeding the tuple budget: the budget trips exactly at
+    // its limit, and everything inserted so far is a sound derivation.
+    if (guard != nullptr && guard->TuplesExhausted()) break;
+    DIRE_FAILPOINT("storage.relation_insert");
+    if (head->Insert(t)) {
+      ++stats->tuples_derived;
+      Note(predicate, t);
+      if (delta != nullptr) delta->Insert(t);
+      if (guard != nullptr) guard->AddTuples(1);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
+  DIRE_RETURN_IF_ERROR(options_.Validate());
+  DIRE_RETURN_IF_ERROR(db_->LoadFacts(program));
 
   // Make sure every head relation exists, so queries over empty results work.
   std::vector<ast::Rule> proper_rules;
@@ -161,11 +218,20 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
       if (members.count(r.head.predicate) != 0) stratum_rules.push_back(r);
     }
     if (stratum_rules.empty()) continue;
+    DIRE_FAILPOINT("eval.stratum");
+    bool stop = false;
+    DIRE_RETURN_IF_ERROR(GuardCheck(&total, &stop));
+    if (stop) break;  // Completed strata stand; later ones never start.
     DIRE_ASSIGN_OR_RETURN(EvalStats s, EvaluateStratum(stratum_rules, stratum));
     total.iterations += s.iterations;
     total.tuples_derived += s.tuples_derived;
     total.rule_firings += s.rule_firings;
     total.converged = total.converged && s.converged;
+    if (s.exhausted) {
+      total.exhausted = true;
+      total.exhausted_reason = s.exhausted_reason;
+      break;
+    }
   }
   return total;
 }
@@ -174,6 +240,9 @@ Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
   EvalStats stats;
   stats.iterations = 1;
   for (const ast::Rule& r : rules) {
+    bool stop = false;
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    if (stop) break;
     if (r.IsFact()) {
       DIRE_RETURN_IF_ERROR(db_->AddFact(r.head));
       continue;
@@ -192,14 +261,10 @@ Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
     ++provenance_round_;  // Later rules may read this rule's output.
     ExecuteRule(plan, resolve,
                 [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                &db_->symbols());
+                &db_->symbols(), options_.guard);
     ++stats.rule_firings;
-    for (const storage::Tuple& t : staging.tuples()) {
-      if (head->Insert(t)) {
-        ++stats.tuples_derived;
-        Note(plan.head_predicate, t);
-      }
-    }
+    DIRE_RETURN_IF_ERROR(MergeStaging(staging, plan.head_predicate, head,
+                                      /*delta=*/nullptr, &stats));
   }
   return stats;
 }
@@ -248,24 +313,24 @@ Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules) 
       stats.converged = !options_.stop_on_fixpoint ? true : false;
       break;
     }
+    bool stop = false;
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    if (stop) break;
     ++stats.iterations;
-    size_t new_tuples = 0;
+    size_t before = stats.tuples_derived;
     for (size_t i = 0; i < plans.size(); ++i) {
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+      if (stop) return stats;
       storage::Relation staging("$staging", heads[i]->arity());
       ++provenance_round_;
       ExecuteRule(plans[i], resolve,
                   [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                  &db_->symbols());
+                  &db_->symbols(), options_.guard);
       ++stats.rule_firings;
-      for (const storage::Tuple& t : staging.tuples()) {
-        if (heads[i]->Insert(t)) {
-          ++new_tuples;
-          Note(plans[i].head_predicate, t);
-        }
-      }
+      DIRE_RETURN_IF_ERROR(MergeStaging(staging, plans[i].head_predicate,
+                                        heads[i], /*delta=*/nullptr, &stats));
     }
-    stats.tuples_derived += new_tuples;
-    if (options_.stop_on_fixpoint && new_tuples == 0) break;
+    if (options_.stop_on_fixpoint && stats.tuples_derived == before) break;
   }
   return stats;
 }
@@ -331,19 +396,18 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
   // Seed round: evaluate every rule on the current database.
   ++stats.iterations;
   for (Variant& v : seed_plans) {
+    bool stop = false;
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    if (stop) return stats;
     storage::Relation staging("$staging", v.plan.head_arity);
     ++provenance_round_;
     ExecuteRule(v.plan, resolve_full,
                 [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                &db_->symbols());
+                &db_->symbols(), options_.guard);
     ++stats.rule_firings;
-    for (const storage::Tuple& t : staging.tuples()) {
-      if (v.head->Insert(t)) {
-        ++stats.tuples_derived;
-        Note(v.plan.head_predicate, t);
-        delta[v.plan.head_predicate]->Insert(t);
-      }
-    }
+    DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate, v.head,
+                                      delta[v.plan.head_predicate].get(),
+                                      &stats));
   }
 
   while (true) {
@@ -357,21 +421,23 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
       stats.converged = options_.stop_on_fixpoint ? false : true;
       break;
     }
+    bool stop = false;
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    if (stop) break;
     ++stats.iterations;
     for (Variant& v : delta_plans) {
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+      if (stop) return stats;
       storage::Relation staging("$staging", v.plan.head_arity);
       ++provenance_round_;
       ExecuteRule(v.plan, resolve_delta,
                   [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                  &db_->symbols());
+                  &db_->symbols(), options_.guard);
       ++stats.rule_firings;
-      for (const storage::Tuple& t : staging.tuples()) {
-        if (v.head->Insert(t)) {
-          ++stats.tuples_derived;
-          Note(v.plan.head_predicate, t);
-          next_delta[v.plan.head_predicate]->Insert(t);
-        }
-      }
+      DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate,
+                                        v.head,
+                                        next_delta[v.plan.head_predicate].get(),
+                                        &stats));
     }
     for (auto& [p, rel] : delta) {
       rel->Clear();

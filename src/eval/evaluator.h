@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "base/guard.h"
 #include "base/result.h"
 #include "eval/plan.h"
 #include "eval/provenance.h"
@@ -38,6 +39,28 @@ struct EvalOptions {
   // When set, every derived tuple's first-derivation round is recorded,
   // enabling Explain() provenance queries afterwards. Not owned.
   ProvenanceTracker* tracker = nullptr;
+
+  // When set, evaluation is bounded by the guard's deadline, tuple budget,
+  // memory budget and cancellation token, checked per rule firing and per
+  // fixpoint round. Not owned; one guard may be shared by several stages of
+  // a single execution (e.g. magic rewrite + evaluation). Not owned.
+  const ExecutionGuard* guard = nullptr;
+
+  // What to do when the guard trips.
+  enum class OnExhaustion {
+    // Return kResourceExhausted / kCancelled. The database retains the
+    // tuples derived so far (all sound; Datalog is monotone).
+    kError,
+    // Return OK with EvalStats{converged=false, exhausted=true,
+    // exhausted_reason=...}: a well-formed partial result.
+    kPartial,
+  };
+  OnExhaustion on_exhaustion = OnExhaustion::kError;
+
+  // Rejects option combinations documented as invalid: a negative
+  // max_iterations, or stop_on_fixpoint == false with no iteration bound
+  // (which would run forever).
+  Status Validate() const;
 };
 
 struct EvalStats {
@@ -47,8 +70,15 @@ struct EvalStats {
   size_t tuples_derived = 0;
   // Rule-variant executions.
   size_t rule_firings = 0;
-  // False only if a stratum hit max_iterations before reaching a fixpoint.
+  // False if a stratum hit max_iterations before reaching a fixpoint, or if
+  // a resource guard stopped evaluation early.
   bool converged = true;
+  // True when an ExecutionGuard tripped under OnExhaustion::kPartial; the
+  // derived relations then hold a sound but possibly incomplete prefix.
+  bool exhausted = false;
+  // Which limit tripped ("deadline exceeded after ...", ...); empty
+  // otherwise.
+  std::string exhausted_reason;
 };
 
 // Bottom-up Datalog evaluation over a Database. General positive programs
@@ -76,6 +106,19 @@ class Evaluator {
   Result<EvalStats> SemiNaiveFixpoint(const std::vector<ast::Rule>& rules,
                                       const std::vector<std::string>& stratum);
 
+  // Consults the guard after charging it the database's current memory
+  // footprint. On a trip: under OnExhaustion::kError returns the trip
+  // status; under kPartial marks `stats` exhausted, sets *stop, and returns
+  // OK so the caller can wind down with a consistent partial result.
+  Status GuardCheck(EvalStats* stats, bool* stop);
+
+  // Merges `staging` into `head` (and `delta` when non-null), charging the
+  // guard per new tuple so the tuple budget trips exactly at its limit.
+  // Fails only through the storage.relation_insert failpoint.
+  Status MergeStaging(const storage::Relation& staging,
+                      const std::string& predicate, storage::Relation* head,
+                      storage::Relation* delta, EvalStats* stats);
+
   // Records `tuple` for provenance when a tracker is attached.
   void Note(const std::string& predicate, const storage::Tuple& tuple) {
     if (options_.tracker != nullptr) {
@@ -100,9 +143,13 @@ using RelationResolver =
 using TupleSink = std::function<void(const storage::Tuple&)>;
 // `symbols` is needed to evaluate comparison builtins (may be null for
 // rules that use none; a builtin atom then never matches).
+// When `guard` is set the join polls it periodically and stops emitting as
+// soon as it trips, so a single enormous join cannot outlive the deadline;
+// the caller observes the trip through guard->Check().
 void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
                  const TupleSink& sink,
-                 const storage::SymbolTable* symbols = nullptr);
+                 const storage::SymbolTable* symbols = nullptr,
+                 const ExecutionGuard* guard = nullptr);
 
 }  // namespace dire::eval
 

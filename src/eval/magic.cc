@@ -58,7 +58,8 @@ bool Matches(const ast::Atom& query, const storage::Tuple& tuple,
 }  // namespace
 
 Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
-                                       const ast::Atom& query) {
+                                       const ast::Atom& query,
+                                       const ExecutionGuard* guard) {
   std::set<std::string> idb;
   for (const ast::Rule& r : program.rules) {
     if (!r.IsFact()) idb.insert(r.head.predicate);
@@ -99,6 +100,7 @@ Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
   done.insert(worklist.front());
 
   while (!worklist.empty()) {
+    if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
     auto [pred, ad] = worklist.back();
     worklist.pop_back();
 
@@ -171,7 +173,7 @@ Result<QueryAnswer> AnswerQuery(storage::Database* db,
   }
 
   DIRE_ASSIGN_OR_RETURN(MagicRewrite rewrite,
-                        MagicSetTransform(program, query));
+                        MagicSetTransform(program, query, options.guard));
   Evaluator evaluator(db, options);
   DIRE_ASSIGN_OR_RETURN(EvalStats stats, evaluator.Evaluate(rewrite.program));
 

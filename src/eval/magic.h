@@ -35,9 +35,12 @@ struct MagicRewrite {
 
 // Rewrites `program` for the given query atom. The query may mix constants
 // (bound) and distinct variables (free). Fails if the query predicate is
-// unknown or if the program is not positive Datalog.
+// unknown or if the program is not positive Datalog. The adornment worklist
+// can visit up to 2^arity patterns per predicate, so the optional `guard`
+// bounds the transform itself, not just the subsequent evaluation.
 Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
-                                       const ast::Atom& query);
+                                       const ast::Atom& query,
+                                       const ExecutionGuard* guard = nullptr);
 
 struct QueryAnswer {
   std::vector<storage::Tuple> tuples;  // Bindings of the query atom.

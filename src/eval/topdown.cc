@@ -121,6 +121,7 @@ Result<QueryAnswer> TabledTopDown::Query(const ast::Atom& query) {
 }
 
 Status TabledTopDown::SolveCall(const CallKey& key) {
+  if (guard_ != nullptr) DIRE_RETURN_IF_ERROR(guard_->Check());
   if (in_progress_.count(key) != 0 ||
       completed_this_pass_.count(key) != 0) {
     return Status::Ok();  // Consume the table as it stands.
@@ -161,6 +162,9 @@ Status TabledTopDown::SolveCall(const CallKey& key) {
 
 Status TabledTopDown::SolveBody(const CallKey& key, const ast::Rule& rule,
                                 size_t index, Bindings* bindings) {
+  // SolveBody recurses per matched tuple, so this check bounds the whole
+  // search, not just the top of each rule.
+  if (guard_ != nullptr) DIRE_RETURN_IF_ERROR(guard_->Check());
   if (index == rule.body.size()) {
     // Head instance complete? Every head variable must be bound (safe rule).
     storage::Tuple answer;
@@ -177,7 +181,10 @@ Status TabledTopDown::SolveBody(const CallKey& key, const ast::Rule& rule,
       }
       answer.push_back(it->second);
     }
-    if (tables_[key].insert(answer).second) grew_ = true;
+    if (tables_[key].insert(answer).second) {
+      grew_ = true;
+      if (guard_ != nullptr) guard_->AddTuples(1);
+    }
     return Status::Ok();
   }
 

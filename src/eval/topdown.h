@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ast/ast.h"
+#include "base/guard.h"
 #include "base/result.h"
 #include "eval/magic.h"
 #include "storage/database.h"
@@ -39,6 +40,13 @@ class TabledTopDown {
   // non-positive programs.
   Result<QueryAnswer> Query(const ast::Atom& query);
 
+  // Bounds subsequent Query calls: SolveCall/SolveBody poll the guard and
+  // abandon the search with kResourceExhausted / kCancelled when it trips.
+  // Tabled answers are discarded on a trip (top-down tables are
+  // call-pattern-specific, so no partial-result contract is offered here —
+  // use the bottom-up evaluator for graceful degradation). Not owned.
+  void set_guard(const ExecutionGuard* guard) { guard_ = guard; }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -69,6 +77,7 @@ class TabledTopDown {
 
   storage::Database* db_;
   const ast::Program& program_;
+  const ExecutionGuard* guard_ = nullptr;
   std::set<std::string> idb_;
   bool facts_loaded_ = false;
   bool grew_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/failpoints.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
@@ -17,6 +18,7 @@ Result<Relation*> Database::GetOrCreate(const std::string& name,
     }
     return it->second.get();
   }
+  DIRE_FAILPOINT("storage.allocate_relation");
   auto rel = std::make_unique<Relation>(name, arity);
   Relation* ptr = rel.get();
   relations_.emplace(name, std::move(rel));
@@ -45,6 +47,7 @@ Status Database::AddFact(const ast::Atom& atom) {
   }
   DIRE_ASSIGN_OR_RETURN(Relation * rel,
                         GetOrCreate(atom.predicate, atom.arity()));
+  DIRE_FAILPOINT("storage.relation_insert");
   rel->Insert(t);
   return Status::Ok();
 }
@@ -77,6 +80,12 @@ size_t Database::TotalTuples() const {
   size_t n = 0;
   for (const auto& [name, rel] : relations_) n += rel->size();
   return n;
+}
+
+size_t Database::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, rel] : relations_) bytes += rel->ApproxBytes();
+  return bytes;
 }
 
 std::string Database::DumpRelation(const std::string& name) const {

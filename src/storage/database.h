@@ -49,6 +49,9 @@ class Database {
   // Total tuple count across all relations.
   size_t TotalTuples() const;
 
+  // Approximate heap bytes across all relations (see Relation::ApproxBytes).
+  size_t ApproxBytes() const;
+
   // Renders `rel`'s tuples as sorted "name(a,b)" lines (deterministic, for
   // tests and golden output).
   std::string DumpRelation(const std::string& name) const;

@@ -54,6 +54,23 @@ void Relation::BuildIndex(size_t col) {
   }
 }
 
+size_t Relation::ApproxBytes() const {
+  // Per-tuple: the inline vector header + arity values, one dedup-set slot,
+  // and a flat constant for allocator/node overhead.
+  constexpr size_t kPerTupleOverhead = 32;
+  size_t per_tuple = sizeof(Tuple) + arity_ * sizeof(ValueId) +
+                     sizeof(uint32_t) + kPerTupleOverhead;
+  size_t bytes = sizeof(Relation) + tuples_.size() * per_tuple;
+  for (const ColumnIndex& index : indexes_) {
+    if (!index.built) continue;
+    // Each bucket holds row ids plus map-node overhead; each row appears in
+    // exactly one bucket per built column.
+    bytes += index.buckets.size() * kPerTupleOverhead +
+             tuples_.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 void Relation::Clear() {
   dedup_.clear();
   tuples_.clear();

@@ -50,6 +50,12 @@ class Relation {
 
   void Clear();
 
+  // Approximate heap bytes held by this relation: row storage, the dedup
+  // set, and any built column indexes. Used by ExecutionGuard memory
+  // accounting; an estimate (allocator overhead is modeled with a flat
+  // per-node constant), not a measurement.
+  size_t ApproxBytes() const;
+
   // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
   std::string ToString(const SymbolTable& symbols) const;
 

@@ -1,0 +1,507 @@
+// ExecutionGuard + failpoint coverage: every trip point (deadline, tuple
+// budget, memory budget, cancellation) across the evaluator, magic sets,
+// tabled top-down, the expansion enumeration, and the independence tests —
+// plus the deterministic fault-injection registry that exercises the
+// engine's error paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <climits>
+#include <set>
+#include <thread>
+
+#include "base/failpoints.h"
+#include "base/guard.h"
+#include "core/rewrite.h"
+#include "core/strong.h"
+#include "core/weak.h"
+#include "eval/evaluator.h"
+#include "eval/magic.h"
+#include "eval/topdown.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace dire {
+namespace {
+
+using dire::testing::ParseOrDie;
+using eval::EvalOptions;
+using eval::EvalStats;
+using eval::Evaluator;
+
+// A transitive closure over a chain of `n` nodes: n*(n+1)/2 derived tuples.
+ast::Program ChainClosure(int n) {
+  std::string text = "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, Z), t(Z, Y).\n";
+  for (int i = 0; i < n; ++i) {
+    text += "e(c" + std::to_string(i) + ", c" + std::to_string(i + 1) + ").\n";
+  }
+  return ParseOrDie(text);
+}
+
+// The evaluator configuration that "loops forever" absent a guard: the §6
+// iteration-bound mode re-runs rounds with no convergence test.
+EvalOptions ForeverOptions() {
+  EvalOptions options;
+  options.stop_on_fixpoint = false;
+  options.max_iterations = INT_MAX;
+  return options;
+}
+
+std::set<storage::Tuple> FullClosureTuples(const ast::Program& program) {
+  storage::Database db;
+  Evaluator ev(&db);
+  EXPECT_TRUE(ev.Evaluate(program).ok());
+  const storage::Relation* t = db.Find("t");
+  EXPECT_NE(t, nullptr);
+  return std::set<storage::Tuple>(t->tuples().begin(), t->tuples().end());
+}
+
+class GuardTest : public ::testing::Test {
+ protected:
+  ~GuardTest() override { failpoints::DisableAll(); }
+};
+
+TEST_F(GuardTest, StatusFactoriesAndNames) {
+  Status re = Status::ResourceExhausted("out of budget");
+  EXPECT_EQ(re.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(re.ToString(), "ResourceExhausted: out of budget");
+  Status c = Status::Cancelled("stop");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stop");
+}
+
+TEST_F(GuardTest, UnlimitedGuardNeverTrips) {
+  ExecutionGuard guard;
+  guard.AddTuples(1u << 20);
+  guard.SetMemoryUsage(1ull << 40);
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_FALSE(guard.Tripped());
+  EXPECT_EQ(guard.trip_reason(), "");
+}
+
+TEST_F(GuardTest, TripIsStickyAndFirstReasonWins) {
+  GuardLimits limits;
+  limits.max_tuples = 5;
+  limits.max_memory_bytes = 100;
+  ExecutionGuard guard(limits);
+  guard.AddTuples(5);
+  EXPECT_TRUE(guard.Tripped());
+  Status first = guard.Check();
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(first.message().find("tuple budget"), std::string::npos);
+  // A later memory trip does not overwrite the recorded reason.
+  guard.SetMemoryUsage(1000);
+  EXPECT_NE(guard.Check().message().find("tuple budget"), std::string::npos);
+}
+
+TEST_F(GuardTest, CancellationTokenCopiesShareOneFlag) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+// --- EvalOptions validation (documented-invalid combinations) ------------
+
+TEST_F(GuardTest, ValidateRejectsUnboundedNonConvergentMode) {
+  EvalOptions options;
+  options.stop_on_fixpoint = false;
+  options.max_iterations = 0;
+  Status s = options.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(3));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GuardTest, ValidateRejectsNegativeMaxIterations) {
+  EvalOptions options;
+  options.max_iterations = -2;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(3));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Deadline ------------------------------------------------------------
+
+TEST_F(GuardTest, DeadlineStopsAProgramThatWouldRunForever) {
+  GuardLimits limits;
+  limits.timeout_ms = 100;
+  ExecutionGuard guard(limits);
+  EvalOptions options = ForeverOptions();
+  options.guard = &guard;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  auto start = std::chrono::steady_clock::now();
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(10));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("deadline"), std::string::npos);
+  // Generous margin: the point is "minutes become milliseconds".
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST_F(GuardTest, DeadlinePartialModeReturnsWellFormedStats) {
+  GuardLimits limits;
+  limits.timeout_ms = 100;
+  ExecutionGuard guard(limits);
+  EvalOptions options = ForeverOptions();
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(10));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->exhausted);
+  EXPECT_FALSE(r->converged);
+  EXPECT_NE(r->exhausted_reason.find("deadline"), std::string::npos);
+}
+
+TEST_F(GuardTest, ExpiredDeadlineMidStratumLeavesDatabaseConsistent) {
+  ast::Program program = ChainClosure(40);
+  std::set<storage::Tuple> closure = FullClosureTuples(program);
+
+  GuardLimits limits;
+  limits.timeout_ms = 1;
+  ExecutionGuard guard(limits);
+  // Burn the whole budget before evaluation starts, so the trip lands at
+  // the first in-stratum check deterministically.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  EvalOptions options;
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(program);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->exhausted);
+
+  // Consistent partial state: the EDB is fully loaded and every derived
+  // tuple is a member of the true closure (sound prefix).
+  const storage::Relation* e = db.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->size(), 40u);
+  const storage::Relation* t = db.Find("t");
+  if (t != nullptr) {
+    for (const storage::Tuple& tuple : t->tuples()) {
+      EXPECT_EQ(closure.count(tuple), 1u);
+    }
+  }
+}
+
+// --- Tuple budget --------------------------------------------------------
+
+TEST_F(GuardTest, TupleBudgetTripsExactlyAtTheLimit) {
+  ast::Program program = ChainClosure(30);
+  std::set<storage::Tuple> closure = FullClosureTuples(program);
+  ASSERT_GT(closure.size(), 10u);
+
+  GuardLimits limits;
+  limits.max_tuples = 10;
+  ExecutionGuard guard(limits);
+  EvalOptions options;
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(program);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->exhausted);
+  EXPECT_NE(r->exhausted_reason.find("tuple budget"), std::string::npos);
+  // Exactly at the limit, in the stats, the guard, and the database.
+  EXPECT_EQ(r->tuples_derived, 10u);
+  EXPECT_EQ(guard.tuples_charged(), 10u);
+  const storage::Relation* t = db.Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 10u);
+  for (const storage::Tuple& tuple : t->tuples()) {
+    EXPECT_EQ(closure.count(tuple), 1u);  // Sound prefix.
+  }
+}
+
+TEST_F(GuardTest, TupleBudgetErrorModeReturnsResourceExhausted) {
+  GuardLimits limits;
+  limits.max_tuples = 4;
+  ExecutionGuard guard(limits);
+  EvalOptions options;
+  options.guard = &guard;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(30));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Memory budget -------------------------------------------------------
+
+TEST_F(GuardTest, MemoryBudgetTrips) {
+  GuardLimits limits;
+  limits.max_memory_bytes = 4 * 1024;  // Far below 100 chain nodes + closure.
+  ExecutionGuard guard(limits);
+  EvalOptions options;
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(100));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->exhausted);
+  EXPECT_NE(r->exhausted_reason.find("memory budget"), std::string::npos);
+  EXPECT_GT(guard.memory_usage(), limits.max_memory_bytes);
+}
+
+TEST_F(GuardTest, RelationApproxBytesGrowsWithContents) {
+  storage::Relation rel("r", 2);
+  size_t empty = rel.ApproxBytes();
+  for (storage::ValueId i = 0; i < 100; ++i) rel.Insert({i, i + 1});
+  size_t filled = rel.ApproxBytes();
+  EXPECT_GT(filled, empty);
+  rel.Probe(0, 1);  // Builds a column index, which costs memory too.
+  EXPECT_GT(rel.ApproxBytes(), filled);
+}
+
+// --- Cancellation --------------------------------------------------------
+
+TEST_F(GuardTest, CancellationFromAnotherThreadStopsEvaluation) {
+  CancellationToken token;
+  GuardLimits limits;
+  limits.timeout_ms = 30000;  // Fallback so a regression cannot hang CI.
+  ExecutionGuard guard(limits, token);
+  EvalOptions options = ForeverOptions();
+  options.guard = &guard;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> result = EvalStats{};
+  std::thread worker([&] { result = ev.Evaluate(ChainClosure(10)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  worker.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, PreCancelledTokenStopsBeforeAnyStratum) {
+  CancellationToken token;
+  token.Cancel();
+  ExecutionGuard guard(GuardLimits{}, token);
+  EvalOptions options;
+  options.guard = &guard;
+
+  storage::Database db;
+  Evaluator ev(&db, options);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(5));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  // Facts were loaded, nothing was derived.
+  const storage::Relation* t = db.Find("t");
+  EXPECT_TRUE(t == nullptr || t->empty());
+}
+
+// --- Guard through magic sets and top-down -------------------------------
+
+TEST_F(GuardTest, MagicQueryHonoursGuard) {
+  CancellationToken token;
+  token.Cancel();
+  ExecutionGuard guard(GuardLimits{}, token);
+  EvalOptions options;
+  options.guard = &guard;
+
+  storage::Database db;
+  ast::Program program = ChainClosure(10);
+  ast::Atom query = ParseOrDie("q(X) :- t(c0, X).").rules.front().body.front();
+  Result<eval::QueryAnswer> ans =
+      eval::AnswerQuery(&db, program, query, options);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, MagicQueryPartialModeReportsExhaustion) {
+  GuardLimits limits;
+  limits.max_tuples = 3;
+  ExecutionGuard guard(limits);
+  EvalOptions options;
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+
+  storage::Database db;
+  ast::Program program = ChainClosure(30);
+  ast::Atom query = ParseOrDie("q(X) :- t(c0, X).").rules.front().body.front();
+  Result<eval::QueryAnswer> ans =
+      eval::AnswerQuery(&db, program, query, options);
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_TRUE(ans->stats.exhausted);
+}
+
+TEST_F(GuardTest, TopDownHonoursGuard) {
+  GuardLimits limits;
+  limits.max_tuples = 3;
+  ExecutionGuard guard(limits);
+
+  storage::Database db;
+  ast::Program program = ChainClosure(30);
+  eval::TabledTopDown topdown(&db, program);
+  topdown.set_guard(&guard);
+  ast::Atom query = ParseOrDie("q(X) :- t(c0, X).").rules.front().body.front();
+  Result<eval::QueryAnswer> ans = topdown.Query(query);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Guard through the §2 expansion and the analyses ---------------------
+
+TEST_F(GuardTest, ExpansionEnumerationHonoursGuard) {
+  ast::RecursiveDefinition def = dire::testing::DefOrDie(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n",
+      "t");
+
+  CancellationToken token;
+  token.Cancel();
+  ExecutionGuard guard(GuardLimits{}, token);
+  core::ExpansionEnumerator::Options options;
+  options.guard = &guard;
+  Result<std::vector<core::ExpansionString>> strings =
+      core::ExpandToDepth(def, 4, options);
+  ASSERT_FALSE(strings.ok());
+  EXPECT_EQ(strings.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, BoundedRewriteHonoursGuard) {
+  ast::RecursiveDefinition def = dire::testing::DefOrDie(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n",
+      "t");
+
+  CancellationToken token;
+  token.Cancel();
+  ExecutionGuard guard(GuardLimits{}, token);
+  core::RewriteOptions options;
+  options.guard = &guard;
+  Result<core::RewriteResult> r = core::BoundedRewrite(def, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, IndependenceTestsHonourGuard) {
+  ast::RecursiveDefinition def = dire::testing::DefOrDie(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n",
+      "t");
+
+  CancellationToken token;
+  token.Cancel();
+  ExecutionGuard guard(GuardLimits{}, token);
+  Result<core::StrongIndependenceResult> strong =
+      core::TestStrongIndependence(def, &guard);
+  ASSERT_FALSE(strong.ok());
+  EXPECT_EQ(strong.status().code(), StatusCode::kCancelled);
+  Result<core::WeakIndependenceResult> weak =
+      core::TestWeakIndependence(def, &guard);
+  ASSERT_FALSE(weak.ok());
+  EXPECT_EQ(weak.status().code(), StatusCode::kCancelled);
+}
+
+// --- Failpoints ----------------------------------------------------------
+
+TEST_F(GuardTest, FailpointFiresDeterministicallyInItsWindow) {
+  failpoints::Config window;
+  window.skip = 2;
+  window.fire_count = 2;
+  failpoints::Enable("test.window", window);
+  EXPECT_TRUE(failpoints::Check("test.window").ok());   // hit 0
+  EXPECT_TRUE(failpoints::Check("test.window").ok());   // hit 1
+  EXPECT_FALSE(failpoints::Check("test.window").ok());  // hit 2: fires
+  EXPECT_FALSE(failpoints::Check("test.window").ok());  // hit 3: fires
+  EXPECT_TRUE(failpoints::Check("test.window").ok());   // hit 4: window over
+  EXPECT_EQ(failpoints::HitCount("test.window"), 5);
+  failpoints::Disable("test.window");
+  EXPECT_TRUE(failpoints::Check("test.window").ok());
+  EXPECT_EQ(failpoints::HitCount("test.window"), 0);
+}
+
+TEST_F(GuardTest, InsertFailpointSurfacesCleanErrorAndConsistentDatabase) {
+  ast::Program program = ChainClosure(20);
+  std::set<storage::Tuple> closure = FullClosureTuples(program);
+
+  // Let the 20 EDB fact inserts pass, then fail mid-stratum on a derived
+  // insert.
+  failpoints::Config config;
+  config.skip = 25;
+  failpoints::Scoped fp("storage.relation_insert", config);
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> r = ev.Evaluate(program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("failpoint"), std::string::npos);
+  EXPECT_GT(failpoints::HitCount("storage.relation_insert"), 25);
+
+  // The database holds the EDB plus a sound prefix of the closure.
+  const storage::Relation* e = db.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->size(), 20u);
+  const storage::Relation* t = db.Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 5u);  // Exactly the inserts that passed the window.
+  for (const storage::Tuple& tuple : t->tuples()) {
+    EXPECT_EQ(closure.count(tuple), 1u);
+  }
+}
+
+TEST_F(GuardTest, AllocationFailpointFailsRelationCreation) {
+  failpoints::Config config;
+  config.code = StatusCode::kInternal;
+  config.message = "injected allocation failure";
+  failpoints::Scoped fp("storage.allocate_relation", config);
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> r = ev.Evaluate(ChainClosure(3));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "injected allocation failure");
+}
+
+TEST_F(GuardTest, StratumFailpointStopsBetweenStrata) {
+  // Two strata: t's closure, then s reading t.
+  ast::Program program = ParseOrDie(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "s(X) :- t(X, Y).\n"
+      "e(a, b).\n"
+      "e(b, c).\n");
+  failpoints::Config config;
+  config.skip = 1;
+  failpoints::Scoped fp("eval.stratum", config);
+  storage::Database db;
+  Evaluator ev(&db);
+  Result<EvalStats> r = ev.Evaluate(program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  // The first stratum completed; the second never started.
+  const storage::Relation* t = db.Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 3u);
+  const storage::Relation* s = db.Find("s");
+  EXPECT_TRUE(s == nullptr || s->empty());
+}
+
+}  // namespace
+}  // namespace dire

@@ -1,14 +1,22 @@
 // Robustness fuzzing for the lexer/parser: random byte soup and random
 // token soup must never crash — only parse or return a positioned error —
 // and everything that parses must round-trip through ToString().
+//
+// Fuzz programs that do parse are additionally pushed through the evaluator
+// under an injected storage failure and a small resource guard: every
+// outcome must be a clean Status, never a crash or a corrupted database.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "base/failpoints.h"
+#include "base/guard.h"
 #include "base/rng.h"
+#include "eval/evaluator.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
+#include "storage/database.h"
 
 namespace dire::parser {
 namespace {
@@ -61,6 +69,45 @@ TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
       Result<ast::Program> again = ParseProgram(p->ToString());
       ASSERT_TRUE(again.ok()) << input << "\n->\n" << p->ToString();
       EXPECT_EQ(p->ToString(), again->ToString());
+    }
+  }
+}
+
+// Any program the parser accepts must evaluate to either an OK result or a
+// clean error — even when every few relation inserts fail (fault injection)
+// and a tight resource guard is armed. The database must stay usable.
+TEST_P(ParserFuzz, ParsedProgramsSurviveFaultyEvaluation) {
+  for (size_t length : {15, 60}) {
+    std::string input = RandomTokenSoup(GetParam() * 131 + length, length);
+    Result<ast::Program> p = ParseProgram(input);
+    if (!p.ok()) continue;
+
+    failpoints::Config insert_failure;
+    insert_failure.skip = 3;
+    insert_failure.fire_count = 1;
+    failpoints::Scoped fp("storage.relation_insert", insert_failure);
+    GuardLimits limits;
+    limits.timeout_ms = 2000;
+    limits.max_tuples = 500;
+    ExecutionGuard guard(limits);
+    eval::EvalOptions options;
+    options.guard = &guard;
+
+    storage::Database db;
+    eval::Evaluator ev(&db, options);
+    Result<eval::EvalStats> r = ev.Evaluate(*p);
+    if (r.ok()) {
+      EXPECT_GE(r->iterations, 0);
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+    // Whatever happened, the database is still coherent enough to walk.
+    for (const std::string& name : db.RelationNames()) {
+      const storage::Relation* rel = db.Find(name);
+      ASSERT_NE(rel, nullptr);
+      for (const storage::Tuple& t : rel->tuples()) {
+        EXPECT_EQ(t.size(), rel->arity());
+      }
     }
   }
 }

@@ -22,13 +22,22 @@
 //                         sets), `fact.`/`rule.` additions, `.analyze P`,
 //                         `.plan`, `.dump P`, `.why fact`, `.quit`
 //
+// Resource governance (applies to each later --eval / --query):
+//   --timeout-ms N        wall-clock budget per evaluation
+//   --max-tuples N        budget on derived tuples
+//   --max-memory-mb N     budget on approximate relation memory
+//   --on-exhaustion=MODE  error (default): exit with ResourceExhausted;
+//                         partial: report the sound prefix computed so far
+//
 // Example:
 //   dire_cli examples.dl --analyze buys --rewrite buys --eval --dump buys
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,8 +61,19 @@ int Usage() {
                "[--rewrite PRED] "
                "[--hoist PRED]\n"
                "       [--explain] [--eval] [--naive] [--query ATOM] "
-               "[--why FACT] [--dump PRED] [--dot PRED FILE]\n");
+               "[--why FACT] [--dump PRED] [--dot PRED FILE]\n"
+               "       [--timeout-ms N] [--max-tuples N] [--max-memory-mb N] "
+               "[--on-exhaustion={error,partial}]\n");
   return 2;
+}
+
+// Parses a nonnegative integer flag value; returns -1 on garbage.
+int64_t ParseCount(const char* text) {
+  if (text == nullptr || *text == '\0') return -1;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (*end != '\0' || v < 0) return -1;
+  return v;
 }
 
 // Interactive read-eval-print loop over the loaded program.
@@ -196,6 +216,27 @@ int main(int argc, char** argv) {
   eval_options.tracker = &tracker;
   bool evaluated = false;
 
+  // Resource-governance flags accumulate into `limits`; each --eval/--query
+  // then runs under a fresh guard (the deadline clock starts at the action,
+  // not at flag parsing).
+  dire::GuardLimits limits;
+  std::optional<dire::ExecutionGuard> guard;
+  auto arm_guard = [&]() {
+    if (limits.timeout_ms == 0 && limits.max_tuples == 0 &&
+        limits.max_memory_bytes == 0) {
+      return;
+    }
+    guard.emplace(limits);
+    eval_options.guard = &*guard;
+  };
+  auto report_exhaustion = [](const dire::eval::EvalStats& stats) {
+    if (stats.exhausted) {
+      std::fprintf(stderr, "resource limit: %s — results are a sound "
+                           "partial prefix\n",
+                   stats.exhausted_reason.c_str());
+    }
+  };
+
   auto definition_of =
       [&](const std::string& pred)
       -> dire::Result<dire::ast::RecursiveDefinition> {
@@ -221,6 +262,24 @@ int main(int argc, char** argv) {
       *program = plan->optimized;
     } else if (flag == "--naive") {
       eval_options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--timeout-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      limits.timeout_ms = v;
+    } else if (flag == "--max-tuples") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      limits.max_tuples = static_cast<uint64_t>(v);
+    } else if (flag == "--max-memory-mb") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      limits.max_memory_bytes = static_cast<uint64_t>(v) * 1024 * 1024;
+    } else if (flag == "--on-exhaustion=error") {
+      eval_options.on_exhaustion =
+          dire::eval::EvalOptions::OnExhaustion::kError;
+    } else if (flag == "--on-exhaustion=partial") {
+      eval_options.on_exhaustion =
+          dire::eval::EvalOptions::OnExhaustion::kPartial;
     } else if (flag == "--analyze") {
       const char* pred = next();
       if (pred == nullptr) return Usage();
@@ -276,21 +335,25 @@ int main(int argc, char** argv) {
       if (!text.ok()) return Fail(text.status());
       std::printf("%s", text->c_str());
     } else if (flag == "--eval") {
+      arm_guard();
       dire::eval::Evaluator evaluator(&db, eval_options);
       dire::Result<dire::eval::EvalStats> stats =
           evaluator.Evaluate(*program);
       if (!stats.ok()) return Fail(stats.status());
       std::printf("evaluated: %d iteration(s), %zu tuple(s) derived\n",
                   stats->iterations, stats->tuples_derived);
+      report_exhaustion(*stats);
       evaluated = true;
     } else if (flag == "--query") {
       const char* text = next();
       if (text == nullptr) return Usage();
       dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
       if (!atom.ok()) return Fail(atom.status());
+      arm_guard();
       dire::Result<dire::eval::QueryAnswer> ans =
           dire::eval::AnswerQuery(&db, *program, *atom, eval_options);
       if (!ans.ok()) return Fail(ans.status());
+      report_exhaustion(ans->stats);
       std::printf("%zu answer(s) for %s:\n", ans->tuples.size(),
                   atom->ToString().c_str());
       for (const dire::storage::Tuple& t : ans->tuples) {
@@ -309,6 +372,7 @@ int main(int argc, char** argv) {
       if (!atom.ok()) return Fail(atom.status());
       if (!evaluated) {
         std::fprintf(stderr, "note: --why before --eval; evaluating now\n");
+        arm_guard();  // Fresh deadline for the implicit evaluation.
         dire::eval::Evaluator evaluator(&db, eval_options);
         dire::Result<dire::eval::EvalStats> stats =
             evaluator.Evaluate(*program);
