@@ -26,6 +26,15 @@
 //   storage.relation_insert   before a derived/loaded tuple is inserted
 //   storage.allocate_relation before a relation is created
 //   eval.stratum              at each stratum boundary in Evaluator
+//   eval.checkpoint           before a checkpoint is persisted
+//   io.atomic.open            temp file creation in AtomicWriteFile
+//   io.atomic.write           short write: half the data lands, then "crash"
+//   io.atomic.enospc          the data write fails wholesale (disk full)
+//   io.atomic.fsync           fsync of the temp file fails; no rename happens
+//   io.atomic.rename          rename of temp over destination fails
+//   wal.append.short          a prefix of one WAL record lands, then "crash"
+//   wal.append.enospc         the WAL record write fails wholesale
+//   wal.sync                  WAL fsync fails after a complete append
 namespace dire::failpoints {
 
 struct Config {

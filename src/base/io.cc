@@ -1,0 +1,259 @@
+#include "base/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/failpoints.h"
+#include "base/string_util.h"
+
+namespace dire::io {
+
+namespace {
+
+// CRC-32C lookup table for the reflected Castagnoli polynomial 0x82F63B78,
+// generated once on first use (byte-at-a-time; fast enough for snapshot and
+// WAL sizes, and has no alignment or endianness subtleties).
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// RAII fd that closes on scope exit; Release() disarms it.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  // Closes now and reports failure (close can surface deferred write errors).
+  bool CloseNow() {
+    int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// Writes all of `data` to `fd`, retrying short writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Fsyncs the directory containing `path` so a completed rename survives a
+// crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                          : slash == 0               ? std::string("/")
+                                     : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xFFu];
+  }
+  return ~crc;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failed for " + path);
+  return buffer.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+
+  DIRE_FAILPOINT("io.atomic.open");
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  if (fd.get() < 0) return Errno("cannot create " + tmp);
+
+#ifdef DIRE_FAILPOINTS_ENABLED
+  // Simulated crash mid-write: only a prefix of the data reaches the temp
+  // file. The destination must stay intact and the torn temp file must be
+  // ignored by every reader.
+  {
+    Status torn = failpoints::Check("io.atomic.write");
+    if (!torn.ok()) {
+      WriteAll(fd.get(), contents.data(), contents.size() / 2);
+      return torn;
+    }
+  }
+#endif
+  DIRE_FAILPOINT("io.atomic.enospc");
+  if (!WriteAll(fd.get(), contents.data(), contents.size())) {
+    return Errno("write failed for " + tmp);
+  }
+
+  DIRE_FAILPOINT("io.atomic.fsync");
+  if (::fsync(fd.get()) != 0) return Errno("fsync failed for " + tmp);
+  if (!fd.CloseNow()) return Errno("close failed for " + tmp);
+
+  DIRE_FAILPOINT("io.atomic.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename " + tmp + " -> " + path + " failed");
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      partial += path[i];
+      continue;
+    }
+    if (i < path.size()) partial += '/';
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir " + partial + " failed");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string EscapeTsvField(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\0':
+        out += "\\0";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeTsvField(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i + 1 == escaped.size()) {
+      return Status::Corruption("dangling backslash in escaped field");
+    }
+    switch (escaped[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case '0':
+        out += '\0';
+        break;
+      default:
+        return Status::Corruption(
+            StrFormat("unknown escape '\\%c' in field", escaped[i]));
+    }
+  }
+  return out;
+}
+
+std::string CrcToHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+Result<uint32_t> CrcFromHex(std::string_view hex) {
+  if (hex.size() != 8) {
+    return Status::Corruption("checksum is not 8 hex digits: '" +
+                              std::string(hex) + "'");
+  }
+  uint32_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return Status::Corruption("checksum is not 8 hex digits: '" +
+                                std::string(hex) + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace dire::io

@@ -1,0 +1,68 @@
+#ifndef DIRE_BASE_IO_H_
+#define DIRE_BASE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+// Durable file I/O primitives shared by the persistence layer (snapshots,
+// write-ahead log, checkpoint metadata).
+//
+// The central guarantee is AtomicWriteFile's all-or-nothing commit protocol:
+// readers observe either the complete previous contents of `path` or the
+// complete new contents, never a torn mixture — even across kill -9 or power
+// loss. The protocol is the classic temp file + fsync + rename + directory
+// fsync sequence; every step has a DIRE_FAILPOINT site so tests can simulate
+// a crash (short write, ENOSPC, fsync failure) at each point and verify that
+// the destination survives intact.
+//
+// Failpoint sites (see base/failpoints.h):
+//   io.atomic.open    temp file cannot be created (e.g. permissions, ENOSPC)
+//   io.atomic.write   short write: only a prefix of the data reaches the
+//                     temp file before the "crash"
+//   io.atomic.enospc  the write fails wholesale (disk full)
+//   io.atomic.fsync   data written but fsync fails; the temp file is not
+//                     renamed into place
+//   io.atomic.rename  rename itself fails
+namespace dire::io {
+
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
+// by iSCSI, ext4, and LevelDB/RocksDB file formats. `seed` chains partial
+// computations: Crc32c(a + b) == Crc32c(b, Crc32c(a)).
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+// Reads the whole file. kNotFound if it cannot be opened.
+Result<std::string> ReadFile(const std::string& path);
+
+// Atomically replaces `path` with `contents`: writes `path + ".tmp"`, fsyncs
+// it, renames it over `path`, and fsyncs the parent directory so the rename
+// itself is durable. On any failure the previous contents of `path` are
+// untouched (a stale .tmp file may remain; it is overwritten by the next
+// attempt and ignored by all readers).
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// Creates directory `path` (and missing parents). OK if it already exists.
+Status MakeDirs(const std::string& path);
+
+// Escaping for tab-separated persistence formats. Escapes backslash, tab,
+// newline, carriage return, and NUL as \\ \t \n \r \0 so that every value
+// string round-trips through the snapshot and WAL formats.
+std::string EscapeTsvField(std::string_view raw);
+
+// Inverse of EscapeTsvField. kCorruption on a dangling or unknown escape.
+Result<std::string> UnescapeTsvField(std::string_view escaped);
+
+// Renders a CRC as fixed-width lowercase hex ("00000000".."ffffffff").
+std::string CrcToHex(uint32_t crc);
+
+// Parses CrcToHex output; kCorruption on malformed input.
+Result<uint32_t> CrcFromHex(std::string_view hex);
+
+}  // namespace dire::io
+
+#endif  // DIRE_BASE_IO_H_

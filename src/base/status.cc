@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

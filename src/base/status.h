@@ -29,6 +29,10 @@ enum class StatusCode {
   kResourceExhausted,
   // A CancellationToken was cancelled by the caller.
   kCancelled,
+  // On-disk data failed a checksum or framing check (torn write, bit rot,
+  // truncation that is not a recoverable tail). Recovery never silently
+  // loads corrupt data; it either drops an uncommitted tail or reports this.
+  kCorruption,
 };
 
 // Returns a stable human-readable name, e.g. "ParseError".
@@ -63,6 +67,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,98 @@
+#include "eval/checkpoint.h"
+
+#include <utility>
+
+#include "base/io.h"
+#include "base/string_util.h"
+
+namespace dire::eval {
+
+uint32_t ProgramCrc(std::string_view program_text) {
+  return io::Crc32c(program_text);
+}
+
+Status DataDirCheckpointer::Checkpoint(int stratum_index, int rounds_done,
+                                       const DeltaMap* deltas) {
+  storage::SnapshotWriteOptions opts;
+  opts.meta[storage::kMetaStratum] = std::to_string(stratum_index);
+  opts.meta[storage::kMetaRounds] = std::to_string(rounds_done);
+  opts.meta[storage::kMetaProgramCrc] = io::CrcToHex(program_crc_);
+  if (deltas != nullptr) {
+    for (const auto& [predicate, rel] : *deltas) {
+      opts.extra_relations.emplace_back(
+          std::string(storage::kDeltaSectionPrefix) + predicate, rel.get());
+    }
+  }
+  return data_dir_->Checkpoint(opts);
+}
+
+Result<ResumePoint> BuildResumePoint(storage::DataDir* data_dir,
+                                     uint32_t program_crc) {
+  const storage::RecoveredCheckpoint& rec = data_dir->recovered();
+  ResumePoint resume;
+  if (!rec.has_meta) return resume;  // Plain data directory: start fresh.
+  if (rec.has_program_crc && rec.program_crc != program_crc) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint belongs to a different program (checkpoint crc %s, "
+        "program crc %s); refusing to resume",
+        io::CrcToHex(rec.program_crc).c_str(),
+        io::CrcToHex(program_crc).c_str()));
+  }
+  resume.stratum_index = rec.stratum;
+  resume.rounds_done = rec.rounds;
+  resume.have_deltas = !rec.deltas.empty() && rec.rounds > 0;
+  if (!resume.have_deltas) return resume;
+  storage::Database* db = data_dir->db();
+  for (const auto& [predicate, rows] : rec.deltas) {
+    const storage::Relation* full = db->Find(predicate);
+    // The checkpointing run serialized the full relation alongside its
+    // delta, so a missing or narrower relation means the directory was
+    // tampered with between sections — treat as corruption, not a crash.
+    if (full == nullptr) {
+      return Status::Corruption("checkpointed delta for '" + predicate +
+                                "' has no matching relation in the snapshot");
+    }
+    auto rel =
+        std::make_unique<storage::Relation>(predicate, full->arity());
+    for (const std::vector<std::string>& row : rows) {
+      if (row.size() != full->arity()) {
+        return Status::Corruption(StrFormat(
+            "checkpointed delta tuple for '%s' has %zu values, arity is %zu",
+            predicate.c_str(), row.size(), full->arity()));
+      }
+      storage::Tuple t;
+      t.reserve(row.size());
+      for (const std::string& v : row) t.push_back(db->symbols().Intern(v));
+      rel->Insert(t);
+    }
+    resume.deltas.emplace(predicate, std::move(rel));
+  }
+  return resume;
+}
+
+Result<RecoverResult> RecoverDatabase(const std::string& dir,
+                                      const ast::Program& program,
+                                      std::string_view program_text,
+                                      EvalOptions options) {
+  if (options.checkpointer != nullptr) {
+    return Status::InvalidArgument(
+        "RecoverDatabase supplies its own checkpointer; options.checkpointer "
+        "must be null");
+  }
+  DIRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::DataDir> data_dir,
+                        storage::DataDir::Open(dir));
+  const uint32_t crc = ProgramCrc(program_text);
+  DIRE_ASSIGN_OR_RETURN(ResumePoint resume,
+                        BuildResumePoint(data_dir.get(), crc));
+  DataDirCheckpointer checkpointer(data_dir.get(), crc);
+  options.checkpointer = &checkpointer;
+  Evaluator evaluator(data_dir->db(), options);
+  DIRE_ASSIGN_OR_RETURN(EvalStats stats,
+                        evaluator.Evaluate(program, &resume));
+  RecoverResult result;
+  result.data_dir = std::move(data_dir);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace dire::eval

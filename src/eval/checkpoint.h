@@ -1,0 +1,62 @@
+#ifndef DIRE_EVAL_CHECKPOINT_H_
+#define DIRE_EVAL_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/evaluator.h"
+#include "storage/persist.h"
+
+namespace dire::eval {
+
+// CRC32C of the program text, stored in every checkpoint so recovery can
+// refuse to resume an evaluation under a different program (whose strata
+// would not line up with the checkpointed indices).
+uint32_t ProgramCrc(std::string_view program_text);
+
+// Persists evaluation checkpoints to a storage::DataDir: the database plus
+// the in-flight stratum's delta frontier (as "$delta:" sections) and the
+// (stratum, rounds, program_crc) meta triple, all in one atomically replaced
+// snapshot, after which the WAL resets. The evaluator must be running on
+// data_dir->db().
+class DataDirCheckpointer : public Checkpointer {
+ public:
+  DataDirCheckpointer(storage::DataDir* data_dir, uint32_t program_crc)
+      : data_dir_(data_dir), program_crc_(program_crc) {}
+
+  Status Checkpoint(int stratum_index, int rounds_done,
+                    const DeltaMap* deltas) override;
+
+ private:
+  storage::DataDir* data_dir_;  // Not owned.
+  uint32_t program_crc_;
+};
+
+// Turns what DataDir::Open recovered into a ResumePoint for Evaluate():
+// verifies the checkpoint belongs to `program_crc`, and re-interns the
+// checkpointed delta rows into the recovered database's relations. A
+// directory without checkpoint metadata yields the default ResumePoint
+// (start from stratum 0 over the recovered facts).
+Result<ResumePoint> BuildResumePoint(storage::DataDir* data_dir,
+                                     uint32_t program_crc);
+
+struct RecoverResult {
+  std::unique_ptr<storage::DataDir> data_dir;
+  EvalStats stats;
+};
+
+// One-call crash recovery: opens `dir` (snapshot load + WAL replay), builds
+// the resume point for `program` (identified by `program_text`), re-arms a
+// DataDirCheckpointer with the same cadence, and continues evaluation to
+// completion. `options.checkpointer` must be null (recovery supplies it).
+Result<RecoverResult> RecoverDatabase(const std::string& dir,
+                                      const ast::Program& program,
+                                      std::string_view program_text,
+                                      EvalOptions options = {});
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_CHECKPOINT_H_

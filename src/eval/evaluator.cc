@@ -154,7 +154,23 @@ Status EvalOptions::Validate() const {
     return Status::InvalidArgument(
         "stop_on_fixpoint=false requires max_iterations > 0");
   }
+  if (checkpoint_every_rounds < 0) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint_every_rounds must be >= 0, got %d",
+                  checkpoint_every_rounds));
+  }
+  if (checkpoint_every_rounds > 0 && checkpointer == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_every_rounds requires a checkpointer");
+  }
   return Status::Ok();
+}
+
+Status Evaluator::MaybeCheckpoint(int stratum_index, int rounds_done,
+                                  const DeltaMap* deltas) {
+  if (options_.checkpointer == nullptr) return Status::Ok();
+  DIRE_FAILPOINT("eval.checkpoint");
+  return options_.checkpointer->Checkpoint(stratum_index, rounds_done, deltas);
 }
 
 Status Evaluator::GuardCheck(EvalStats* stats, bool* stop) {
@@ -190,7 +206,8 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
   return Status::Ok();
 }
 
-Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
+Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
+                                      const ResumePoint* resume) {
   DIRE_RETURN_IF_ERROR(options_.Validate());
   DIRE_RETURN_IF_ERROR(db_->LoadFacts(program));
 
@@ -210,8 +227,17 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
     return Status::InvalidArgument("program is not stratifiable: " +
                                    deps.StratificationViolation());
   }
+  const std::vector<std::vector<std::string>>& strata = deps.Strata();
   EvalStats total;
-  for (const std::vector<std::string>& stratum : deps.Strata()) {
+  bool exhausted_stop = false;
+  for (size_t si = 0; si < strata.size(); ++si) {
+    // A resumed run skips completed strata: their derivations are already in
+    // the (recovered) database. Stratum order is a pure function of the
+    // program, so indices line up with the checkpointing run.
+    if (resume != nullptr && static_cast<int>(si) < resume->stratum_index) {
+      continue;
+    }
+    const std::vector<std::string>& stratum = strata[si];
     std::vector<ast::Rule> stratum_rules;
     std::set<std::string> members(stratum.begin(), stratum.end());
     for (const ast::Rule& r : proper_rules) {
@@ -221,8 +247,19 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
     DIRE_FAILPOINT("eval.stratum");
     bool stop = false;
     DIRE_RETURN_IF_ERROR(GuardCheck(&total, &stop));
-    if (stop) break;  // Completed strata stand; later ones never start.
-    DIRE_ASSIGN_OR_RETURN(EvalStats s, EvaluateStratum(stratum_rules, stratum));
+    if (stop) {  // Completed strata stand; later ones never start.
+      exhausted_stop = true;
+      DIRE_RETURN_IF_ERROR(
+          MaybeCheckpoint(static_cast<int>(si), 0, /*deltas=*/nullptr));
+      break;
+    }
+    const ResumePoint* stratum_resume =
+        resume != nullptr && static_cast<int>(si) == resume->stratum_index
+            ? resume
+            : nullptr;
+    DIRE_ASSIGN_OR_RETURN(
+        EvalStats s, EvaluateStratum(stratum_rules, stratum,
+                                     static_cast<int>(si), stratum_resume));
     total.iterations += s.iterations;
     total.tuples_derived += s.tuples_derived;
     total.rule_firings += s.rule_firings;
@@ -230,8 +267,22 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program) {
     if (s.exhausted) {
       total.exhausted = true;
       total.exhausted_reason = s.exhausted_reason;
+      exhausted_stop = true;
+      // The in-flight stratum restarts from its merged state on resume (the
+      // guard may have tripped mid-round, where no delta frontier is
+      // consistent).
+      DIRE_RETURN_IF_ERROR(
+          MaybeCheckpoint(static_cast<int>(si), 0, /*deltas=*/nullptr));
       break;
     }
+    DIRE_RETURN_IF_ERROR(
+        MaybeCheckpoint(static_cast<int>(si) + 1, 0, /*deltas=*/nullptr));
+  }
+  if (!exhausted_stop) {
+    // Final checkpoint: everything is complete; a recovery of this state
+    // resumes past the last stratum and re-derives nothing.
+    DIRE_RETURN_IF_ERROR(MaybeCheckpoint(static_cast<int>(strata.size()), 0,
+                                         /*deltas=*/nullptr));
   }
   return total;
 }
@@ -271,7 +322,8 @@ Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
 
 Result<EvalStats> Evaluator::EvaluateStratum(
     const std::vector<ast::Rule>& rules,
-    const std::vector<std::string>& stratum) {
+    const std::vector<std::string>& stratum, int stratum_index,
+    const ResumePoint* resume) {
   // A stratum needs fixpoint iteration only if some rule reads a predicate
   // defined in the same stratum.
   std::set<std::string> members(stratum.begin(), stratum.end());
@@ -283,12 +335,13 @@ Result<EvalStats> Evaluator::EvaluateStratum(
   }
   if (!recursive) return EvaluateOnce(rules);
   if (options_.mode == EvalOptions::Mode::kNaive) {
-    return NaiveFixpoint(rules);
+    return NaiveFixpoint(rules, stratum_index);
   }
-  return SemiNaiveFixpoint(rules, stratum);
+  return SemiNaiveFixpoint(rules, stratum, stratum_index, resume);
 }
 
-Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules) {
+Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules,
+                                           int stratum_index) {
   std::vector<CompiledRule> plans;
   std::vector<storage::Relation*> heads;
   for (const ast::Rule& r : rules) {
@@ -331,13 +384,21 @@ Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules) 
                                         heads[i], /*delta=*/nullptr, &stats));
     }
     if (options_.stop_on_fixpoint && stats.tuples_derived == before) break;
+    // Naive evaluation has no delta frontier; a mid-stratum checkpoint
+    // restarts the stratum from the merged state on resume.
+    if (options_.checkpoint_every_rounds > 0 &&
+        stats.iterations % options_.checkpoint_every_rounds == 0) {
+      DIRE_RETURN_IF_ERROR(
+          MaybeCheckpoint(stratum_index, 0, /*deltas=*/nullptr));
+    }
   }
   return stats;
 }
 
 Result<EvalStats> Evaluator::SemiNaiveFixpoint(
     const std::vector<ast::Rule>& rules,
-    const std::vector<std::string>& stratum) {
+    const std::vector<std::string>& stratum, int stratum_index,
+    const ResumePoint* resume) {
   std::set<std::string> members(stratum.begin(), stratum.end());
 
   // Plain plans (all-full) run once to seed the deltas; differentiated
@@ -371,14 +432,39 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
   }
 
   // Per-predicate delta relations, double buffered.
-  std::map<std::string, std::unique_ptr<storage::Relation>> delta;
-  std::map<std::string, std::unique_ptr<storage::Relation>> next_delta;
+  DeltaMap delta;
+  DeltaMap next_delta;
   for (const std::string& p : stratum) {
     storage::Relation* full = db_->Find(p);
     if (full == nullptr) continue;  // Stratum member without rules or facts.
     delta[p] = std::make_unique<storage::Relation>(p, full->arity());
     next_delta[p] = std::make_unique<storage::Relation>(p, full->arity());
   }
+
+  // A delta-bearing checkpoint lets us continue exactly where the crashed
+  // run stopped: restore its frontier instead of re-seeding. The frontier's
+  // tuples are already merged into the full relations (the checkpoint ran
+  // after MergeStaging), so only the delta buffers need refilling.
+  const bool resuming_deltas = resume != nullptr && resume->have_deltas;
+  if (resuming_deltas) {
+    for (const auto& [p, rel] : resume->deltas) {
+      auto it = delta.find(p);
+      if (it == delta.end()) {
+        return Status::InvalidArgument(
+            "checkpointed delta for '" + p +
+            "' does not name a predicate of the resumed stratum");
+      }
+      if (rel->arity() != it->second->arity()) {
+        return Status::InvalidArgument(StrFormat(
+            "checkpointed delta for '%s' has arity %zu, stratum expects %zu",
+            p.c_str(), rel->arity(), it->second->arity()));
+      }
+      for (const storage::Tuple& t : rel->tuples()) it->second->Insert(t);
+    }
+  }
+  // Round counter continuous with the checkpointing run, so "every N rounds"
+  // stays on the same cadence across a crash.
+  int absolute_round = resume != nullptr ? resume->rounds_done : 0;
 
   auto resolve_full = [this](const CompiledAtom& atom) {
     return db_->Find(atom.predicate);
@@ -393,21 +479,30 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
 
   EvalStats stats;
 
-  // Seed round: evaluate every rule on the current database.
-  ++stats.iterations;
-  for (Variant& v : seed_plans) {
-    bool stop = false;
-    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
-    if (stop) return stats;
-    storage::Relation staging("$staging", v.plan.head_arity);
-    ++provenance_round_;
-    ExecuteRule(v.plan, resolve_full,
-                [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                &db_->symbols(), options_.guard);
-    ++stats.rule_firings;
-    DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate, v.head,
-                                      delta[v.plan.head_predicate].get(),
-                                      &stats));
+  // Seed round: evaluate every rule on the current database. A resume with a
+  // restored frontier skips it — the crashed run already seeded and merged.
+  if (!resuming_deltas) {
+    ++stats.iterations;
+    ++absolute_round;
+    for (Variant& v : seed_plans) {
+      bool stop = false;
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+      if (stop) return stats;
+      storage::Relation staging("$staging", v.plan.head_arity);
+      ++provenance_round_;
+      ExecuteRule(v.plan, resolve_full,
+                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
+                  &db_->symbols(), options_.guard);
+      ++stats.rule_firings;
+      DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate, v.head,
+                                        delta[v.plan.head_predicate].get(),
+                                        &stats));
+    }
+    if (options_.checkpoint_every_rounds > 0 &&
+        absolute_round % options_.checkpoint_every_rounds == 0) {
+      DIRE_RETURN_IF_ERROR(
+          MaybeCheckpoint(stratum_index, absolute_round, &delta));
+    }
   }
 
   while (true) {
@@ -425,6 +520,7 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
     DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
     if (stop) break;
     ++stats.iterations;
+    ++absolute_round;
     for (Variant& v : delta_plans) {
       DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
       if (stop) return stats;
@@ -442,6 +538,14 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
     for (auto& [p, rel] : delta) {
       rel->Clear();
       std::swap(delta[p], next_delta[p]);
+    }
+    // Clean round boundary: full relations hold every derivation through
+    // `absolute_round` and `delta` is exactly the frontier for the next one,
+    // so this pair is a consistent mid-stratum checkpoint.
+    if (options_.checkpoint_every_rounds > 0 &&
+        absolute_round % options_.checkpoint_every_rounds == 0) {
+      DIRE_RETURN_IF_ERROR(
+          MaybeCheckpoint(stratum_index, absolute_round, &delta));
     }
   }
   return stats;

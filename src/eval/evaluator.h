@@ -16,6 +16,41 @@
 
 namespace dire::eval {
 
+// Per-predicate semi-naive delta relations, as maintained by the fixpoint
+// loop and exposed to checkpointing.
+using DeltaMap = std::map<std::string, std::unique_ptr<storage::Relation>>;
+
+// Receives evaluation checkpoints (see EvalOptions::checkpointer). The
+// production implementation (eval/checkpoint.h) persists the database plus
+// the delta map to a storage::DataDir; tests substitute their own.
+//
+// `stratum_index` is the index into the program's stratification at which a
+// crashed run should resume: strata before it are complete and their derived
+// tuples are part of the database. `rounds_done` and `deltas` are set only
+// for checkpoints taken at a clean semi-naive round boundary; `deltas` then
+// holds the frontier needed to continue the in-flight stratum without
+// re-deriving it (null deltas mean the stratum restarts from its merged
+// state, which is always sound — Datalog is monotone and inserts are
+// idempotent).
+class Checkpointer {
+ public:
+  virtual ~Checkpointer() = default;
+  virtual Status Checkpoint(int stratum_index, int rounds_done,
+                            const DeltaMap* deltas) = 0;
+};
+
+// Where to pick up a checkpointed evaluation (see Checkpointer). Built by
+// RecoverDatabase from persisted checkpoint metadata.
+struct ResumePoint {
+  int stratum_index = 0;
+  int rounds_done = 0;
+  // When true, `deltas` holds the checkpointed frontier of stratum
+  // `stratum_index` and its semi-naive loop continues from round
+  // `rounds_done`; when false that stratum restarts from the merged state.
+  bool have_deltas = false;
+  DeltaMap deltas;
+};
+
 struct EvalOptions {
   enum class Mode {
     kNaive,      // Re-run every rule on the full relations each round.
@@ -57,9 +92,22 @@ struct EvalOptions {
   };
   OnExhaustion on_exhaustion = OnExhaustion::kError;
 
+  // When set, evaluation checkpoints through this interface: at every
+  // stratum boundary, on guard exhaustion/cancellation, at completion, and —
+  // when checkpoint_every_rounds > 0 — every N semi-naive rounds (with the
+  // delta frontier, so resumption continues mid-stratum). A checkpoint
+  // failure aborts evaluation: durability was requested and cannot be
+  // provided. Not owned.
+  Checkpointer* checkpointer = nullptr;
+
+  // Round period for mid-stratum checkpoints; 0 checkpoints only at stratum
+  // boundaries, exhaustion, and completion. Requires `checkpointer`.
+  int checkpoint_every_rounds = 0;
+
   // Rejects option combinations documented as invalid: a negative
-  // max_iterations, or stop_on_fixpoint == false with no iteration bound
-  // (which would run forever).
+  // max_iterations, stop_on_fixpoint == false with no iteration bound
+  // (which would run forever), or checkpoint_every_rounds without a
+  // checkpointer.
   Status Validate() const;
 };
 
@@ -92,7 +140,14 @@ class Evaluator {
   // Loads the program's facts into the database, then evaluates all rules to
   // fixpoint (or to the iteration bound). Derived tuples are inserted into
   // the database's relations.
-  Result<EvalStats> Evaluate(const ast::Program& program);
+  //
+  // With a non-null `resume`, evaluation continues a checkpointed run:
+  // strata before resume->stratum_index are skipped (their derivations are
+  // already in the database), and that stratum either continues from its
+  // checkpointed deltas or restarts from the merged state. The program must
+  // be the one the checkpoint was taken from.
+  Result<EvalStats> Evaluate(const ast::Program& program,
+                             const ResumePoint* resume = nullptr);
 
   // Runs each rule exactly once against the current database contents and
   // inserts the results — evaluation of a nonrecursive rule set (a union of
@@ -101,10 +156,19 @@ class Evaluator {
 
  private:
   Result<EvalStats> EvaluateStratum(const std::vector<ast::Rule>& rules,
-                                    const std::vector<std::string>& stratum);
-  Result<EvalStats> NaiveFixpoint(const std::vector<ast::Rule>& rules);
+                                    const std::vector<std::string>& stratum,
+                                    int stratum_index,
+                                    const ResumePoint* resume);
+  Result<EvalStats> NaiveFixpoint(const std::vector<ast::Rule>& rules,
+                                  int stratum_index);
   Result<EvalStats> SemiNaiveFixpoint(const std::vector<ast::Rule>& rules,
-                                      const std::vector<std::string>& stratum);
+                                      const std::vector<std::string>& stratum,
+                                      int stratum_index,
+                                      const ResumePoint* resume);
+
+  // Invokes the checkpointer when one is armed; see EvalOptions.
+  Status MaybeCheckpoint(int stratum_index, int rounds_done,
+                         const DeltaMap* deltas);
 
   // Consults the guard after charging it the database's current memory
   // footprint. On a trip: under OnExhaustion::kError returns the trip

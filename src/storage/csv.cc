@@ -12,6 +12,14 @@ Status LoadCsv(Database* db, const std::string& name, std::string_view text) {
   size_t line_no = 0;
   for (const std::string& raw_line : Split(text, '\n')) {
     ++line_no;
+    if (raw_line.find('\0') != std::string::npos) {
+      // NUL never appears in well-formed CSV text; it is the classic symptom
+      // of loading a binary or truncated-and-reused file.
+      return Status::ParseError(
+          StrFormat("%s line %zu: embedded NUL byte (binary data is not "
+                    "valid CSV)",
+                    name.c_str(), line_no));
+    }
     std::string_view line = StripWhitespace(raw_line);
     if (line.empty() || line.front() == '#') continue;
     std::vector<std::string> fields = Split(line, ',');
@@ -21,7 +29,13 @@ Status LoadCsv(Database* db, const std::string& name, std::string_view text) {
       t.push_back(db->symbols().Intern(StripWhitespace(f)));
     }
     if (rel == nullptr) {
-      DIRE_ASSIGN_OR_RETURN(rel, db->GetOrCreate(name, t.size()));
+      Result<Relation*> created = db->GetOrCreate(name, t.size());
+      if (!created.ok()) {
+        return Status::ParseError(StrFormat(
+            "%s line %zu: %s", name.c_str(), line_no,
+            created.status().message().c_str()));
+      }
+      rel = *created;
     }
     if (t.size() != rel->arity()) {
       return Status::ParseError(

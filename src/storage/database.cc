@@ -69,6 +69,10 @@ Status Database::AddRow(const std::string& name,
   return Status::Ok();
 }
 
+bool Database::Drop(const std::string& name) {
+  return relations_.erase(name) != 0;
+}
+
 std::vector<std::string> Database::RelationNames() const {
   std::vector<std::string> out;
   out.reserve(relations_.size());

@@ -43,6 +43,11 @@ class Database {
   Status AddRow(const std::string& name,
                 const std::vector<std::string>& values);
 
+  // Removes the relation named `name`; returns true if it existed. Used by
+  // recovery to strip checkpoint-internal sections ("$delta:...") after a
+  // snapshot load; evaluation itself never deletes.
+  bool Drop(const std::string& name);
+
   // Names of all relations, sorted.
   std::vector<std::string> RelationNames() const;
 

@@ -1,0 +1,127 @@
+#include "storage/persist.h"
+
+#include <optional>
+
+#include "base/io.h"
+#include "base/string_util.h"
+
+namespace dire::storage {
+
+namespace {
+
+// Parses a nonnegative integer meta value; nullopt on garbage.
+std::optional<int64_t> ParseMetaInt(const std::string& value) {
+  if (value.empty() || value.size() > 18) return std::nullopt;
+  int64_t out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
+                                               bool recover_tail) {
+  DIRE_RETURN_IF_ERROR(io::MakeDirs(dir));
+  std::unique_ptr<DataDir> self(new DataDir(dir));
+
+  // 1. Snapshot. Our own writer replaces it atomically, so a committed file
+  //    is the only state it leaves; `recover_tail` additionally accepts an
+  //    EOF-truncated file from a foreign writer.
+  if (io::FileExists(self->snapshot_path_)) {
+    SnapshotLoadOptions load_opts;
+    load_opts.recover_tail = recover_tail;
+    DIRE_ASSIGN_OR_RETURN(
+        SnapshotLoadStats stats,
+        LoadSnapshotFile(&self->db_, self->snapshot_path_, load_opts));
+
+    // Extract checkpoint metadata and delta sections out of the database:
+    // they describe evaluation progress, they are not relations.
+    RecoveredCheckpoint& rec = self->recovered_;
+    auto stratum = stats.meta.find(kMetaStratum);
+    auto rounds = stats.meta.find(kMetaRounds);
+    if (stratum != stats.meta.end()) {
+      std::optional<int64_t> s = ParseMetaInt(stratum->second);
+      if (!s) {
+        return Status::Corruption("snapshot meta '" +
+                                  std::string(kMetaStratum) +
+                                  "' is not a number: " + stratum->second);
+      }
+      rec.has_meta = true;
+      rec.stratum = static_cast<int>(*s);
+    }
+    if (rounds != stats.meta.end()) {
+      std::optional<int64_t> r = ParseMetaInt(rounds->second);
+      if (!r) {
+        return Status::Corruption("snapshot meta '" +
+                                  std::string(kMetaRounds) +
+                                  "' is not a number: " + rounds->second);
+      }
+      rec.rounds = static_cast<int>(*r);
+    }
+    auto crc = stats.meta.find(kMetaProgramCrc);
+    if (crc != stats.meta.end()) {
+      DIRE_ASSIGN_OR_RETURN(rec.program_crc, io::CrcFromHex(crc->second));
+      rec.has_program_crc = true;
+    }
+    for (const std::string& name : self->db_.RelationNames()) {
+      if (!StartsWith(name, kDeltaSectionPrefix)) continue;
+      std::string predicate = name.substr(sizeof(kDeltaSectionPrefix) - 1);
+      const Relation* rel = self->db_.Find(name);
+      std::vector<std::vector<std::string>> rows;
+      rows.reserve(rel->size());
+      for (const Tuple& t : rel->tuples()) {
+        std::vector<std::string> row;
+        row.reserve(t.size());
+        for (ValueId v : t) row.push_back(self->db_.symbols().Name(v));
+        rows.push_back(std::move(row));
+      }
+      rec.deltas.emplace(std::move(predicate), std::move(rows));
+      self->db_.Drop(name);
+    }
+    // Deltas are trusted only when the meta that locates them survived too.
+    if (!rec.has_meta) rec.deltas.clear();
+  }
+
+  // 2. WAL replay over the snapshot. Inserts are set-semantics, so records
+  //    already folded into the snapshot re-apply harmlessly.
+  DIRE_ASSIGN_OR_RETURN(
+      WalReplayStats replay,
+      ReplayWal(self->wal_path_, [&self](std::string_view payload) -> Status {
+        DIRE_ASSIGN_OR_RETURN(FactRecord record, DecodeFactRecord(payload));
+        return self->db_.AddRow(record.relation, record.values);
+      }));
+
+  // Any replayed record postdates the checkpointed snapshot (checkpointing
+  // resets the log), so the checkpoint's notion of evaluation progress is
+  // stale: the new facts' consequences were never derived. Restarting from
+  // stratum 0 over the merged state is sound and re-derives them.
+  if (replay.records > 0) self->recovered_ = RecoveredCheckpoint{};
+
+  // 3. Open for appending, dropping any torn tail first so new records
+  //    never land after garbage.
+  DIRE_ASSIGN_OR_RETURN(self->wal_, Wal::Open(self->wal_path_));
+  if (replay.dropped_torn_tail) {
+    DIRE_RETURN_IF_ERROR(self->wal_->TruncateTo(replay.valid_bytes));
+  }
+  return self;
+}
+
+Status DataDir::AppendFact(const std::string& relation,
+                           const std::vector<std::string>& values) {
+  // Durability order: the record must be on disk before the in-memory state
+  // reflects it, otherwise an acknowledged fact could vanish in a crash.
+  DIRE_RETURN_IF_ERROR(wal_->Append(EncodeFactRecord(relation, values)));
+  return db_.AddRow(relation, values);
+}
+
+Status DataDir::Checkpoint(const SnapshotWriteOptions& opts) {
+  DIRE_RETURN_IF_ERROR(SaveSnapshotFile(db_, snapshot_path_, opts));
+  // Only reached once the new snapshot is durable; a crash before this line
+  // leaves the old snapshot plus a WAL that replays over it.
+  return wal_->Reset();
+}
+
+}  // namespace dire::storage

@@ -1,0 +1,106 @@
+#ifndef DIRE_STORAGE_PERSIST_H_
+#define DIRE_STORAGE_PERSIST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace dire::storage {
+
+// Checkpoint state recovered from a snapshot's @meta section: where a
+// crashed evaluation stood when it last checkpointed. Empty/default when the
+// directory holds no checkpoint metadata (fresh directory or plain EDB
+// snapshot) — evaluation then starts from stratum 0 over whatever facts were
+// recovered, which is always sound (Datalog is monotone; any recovered
+// prefix only skips re-derivation work).
+struct RecoveredCheckpoint {
+  bool has_meta = false;
+  // Index of the stratum to (re)start; strata before it are complete and
+  // their derived relations are part of the recovered database.
+  int stratum = 0;
+  // Completed semi-naive rounds within that stratum (0 when the stratum
+  // should restart from its merged full state).
+  int rounds = 0;
+  // CRC32C of the program text the checkpoint belongs to; recovery refuses
+  // to resume under a different program.
+  bool has_program_crc = false;
+  uint32_t program_crc = 0;
+  // The checkpointed semi-naive delta relations of the current stratum,
+  // keyed by predicate, as value strings. Present only for checkpoints taken
+  // at a clean round boundary; without them the stratum restarts from the
+  // merged state (still correct, just re-derives one round's frontier).
+  std::map<std::string, std::vector<std::vector<std::string>>> deltas;
+};
+
+// A durable home for one database: `<dir>/snapshot.dire` (v2 checksummed
+// snapshot, atomically replaced) plus `<dir>/wal.log` (fact appends since
+// the snapshot). Opening replays log over snapshot; `Checkpoint` folds
+// everything back into a fresh snapshot and resets the log.
+//
+// Commit protocol and why it is crash-safe at every step:
+//   1. snapshot.dire is replaced atomically (temp + fsync + rename), so a
+//      crash leaves either the old or the new snapshot, never a torn one.
+//   2. wal.log is truncated only after the new snapshot is durable. A crash
+//      between (1) and (2) leaves WAL records that are already folded into
+//      the snapshot; replay re-applies them idempotently (set semantics).
+//   3. WAL appends are fsynced before being acknowledged; a crash mid-append
+//      leaves a torn tail that replay drops (it was never acknowledged).
+class DataDir {
+ public:
+  // Opens `dir` (creating it, an empty snapshot state, and the WAL when
+  // absent), loads the snapshot, replays the log, and truncates any torn
+  // WAL tail. `recover_tail` additionally tolerates an EOF-truncated
+  // snapshot (for snapshots produced by foreign, non-atomic writers); the
+  // default accepts only committed snapshots, which is the only thing our
+  // own writer can leave behind.
+  static Result<std::unique_ptr<DataDir>> Open(const std::string& dir,
+                                               bool recover_tail = true);
+
+  Database* db() { return &db_; }
+  const std::string& dir() const { return dir_; }
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  const RecoveredCheckpoint& recovered() const { return recovered_; }
+
+  // Durably inserts one fact: WAL append (fsync) first, then the in-memory
+  // insert. On a WAL error the database is not mutated.
+  Status AppendFact(const std::string& relation,
+                    const std::vector<std::string>& values);
+
+  // Atomically replaces the snapshot with the current database contents plus
+  // `opts` (checkpoint meta and delta sections), then resets the WAL. On
+  // failure the previous snapshot+WAL state is still recoverable.
+  Status Checkpoint(const SnapshotWriteOptions& opts = {});
+
+ private:
+  explicit DataDir(std::string dir)
+      : dir_(std::move(dir)),
+        snapshot_path_(dir_ + "/snapshot.dire"),
+        wal_path_(dir_ + "/wal.log") {}
+
+  std::string dir_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+  Database db_;
+  std::unique_ptr<Wal> wal_;
+  RecoveredCheckpoint recovered_;
+};
+
+// Name prefix of snapshot sections that hold checkpointed semi-naive deltas
+// rather than real relations ("$delta:" + predicate). '$' cannot appear in a
+// parsed predicate name, so these never collide with program relations.
+inline constexpr char kDeltaSectionPrefix[] = "$delta:";
+
+// @meta keys used by checkpoints.
+inline constexpr char kMetaStratum[] = "stratum";
+inline constexpr char kMetaRounds[] = "rounds";
+inline constexpr char kMetaProgramCrc[] = "program_crc";
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_PERSIST_H_

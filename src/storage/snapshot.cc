@@ -1,58 +1,305 @@
 #include "storage/snapshot.h"
 
-#include <fstream>
-#include <sstream>
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
 
+#include "base/io.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
 
 namespace {
-constexpr const char* kHeader = "# dire snapshot v1";
-}  // namespace
 
-Result<std::string> SaveSnapshot(const Database& db) {
-  std::string out = kHeader;
-  out += '\n';
-  for (const std::string& name : db.RelationNames()) {
-    const Relation* rel = db.Find(name);
-    out += StrFormat("@relation %s %zu\n", name.c_str(), rel->arity());
-    for (const Tuple& t : rel->tuples()) {
-      if (t.empty()) {
-        out += "()\n";  // Zero-arity tuple marker.
-        continue;
-      }
-      for (size_t i = 0; i < t.size(); ++i) {
-        const std::string& value = db.symbols().Name(t[i]);
-        if (value.find('\t') != std::string::npos ||
-            value.find('\n') != std::string::npos) {
-          return Status::InvalidArgument(
-              "value contains a tab or newline and cannot be snapshotted: " +
-              value);
-        }
-        if (i != 0) out += '\t';
-        out += value;
-      }
-      out += '\n';
+constexpr std::string_view kHeaderV1 = "# dire snapshot v1";
+constexpr std::string_view kHeaderV2 = "# dire snapshot v2";
+
+// Ceiling on a declared section arity. Real programs have single-digit
+// arities; anything near this limit in a snapshot is damage, and bounding it
+// keeps a corrupt directive from driving huge allocations.
+constexpr size_t kMaxArity = 4096;
+
+// Walks `text` line by line, tracking the byte offset and 1-based line
+// number. Distinguishes a complete line (terminated by '\n') from a partial
+// final line, which is how an EOF-truncated tail manifests.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : text_(text) {}
+
+  bool Next(std::string_view* line, bool* complete) {
+    if (pos_ >= text_.size()) return false;
+    ++line_no_;
+    size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) {
+      *line = text_.substr(pos_);
+      pos_ = text_.size();
+      *complete = false;
+    } else {
+      *line = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      *complete = true;
     }
+    return true;
   }
-  return out;
+
+  size_t pos() const { return pos_; }
+  size_t line_no() const { return line_no_; }
+  bool AtEof() const { return pos_ >= text_.size(); }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_no_ = 0;
+};
+
+// Parses a nonnegative integer field of a directive; nullopt on garbage.
+std::optional<size_t> ParseSize(std::string_view field) {
+  if (field.empty() || field.size() > 18) return std::nullopt;
+  size_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value;
 }
 
-Status SaveSnapshotFile(const Database& db, const std::string& path) {
-  DIRE_ASSIGN_OR_RETURN(std::string text, SaveSnapshot(db));
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open " + path + " for writing");
-  out << text;
+// One parsed-and-verified relation section, staged before insertion.
+struct Section {
+  std::string name;
+  size_t arity = 0;
+  std::vector<Tuple> tuples;  // Interned in the staging database.
+};
+
+Status ParseSectionBody(Database* staging, std::string_view body,
+                        size_t first_line_no, Section* section) {
+  size_t line_no = first_line_no;
+  LineCursor cur(body);
+  std::string_view line;
+  bool complete = false;
+  while (cur.Next(&line, &complete)) {
+    if (section->arity == 0) {
+      if (line != "()") {
+        return Status::Corruption(
+            StrFormat("line %zu: expected '()' for zero-arity tuple in "
+                      "relation '%s'",
+                      line_no, section->name.c_str()));
+      }
+      section->tuples.push_back({});
+      ++line_no;
+      continue;
+    }
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != section->arity) {
+      return Status::Corruption(
+          StrFormat("line %zu: relation '%s' expects %zu fields, found %zu",
+                    line_no, section->name.c_str(), section->arity,
+                    fields.size()));
+    }
+    Tuple t;
+    t.reserve(fields.size());
+    for (const std::string& f : fields) {
+      Result<std::string> raw = io::UnescapeTsvField(f);
+      if (!raw.ok()) {
+        return Status::Corruption(StrFormat(
+            "line %zu: relation '%s': %s", line_no, section->name.c_str(),
+            raw.status().message().c_str()));
+      }
+      t.push_back(staging->symbols().Intern(*raw));
+    }
+    section->tuples.push_back(std::move(t));
+    ++line_no;
+  }
   return Status::Ok();
 }
 
-Status LoadSnapshot(Database* db, std::string_view text) {
-  std::vector<std::string> lines = Split(text, '\n');
-  if (lines.empty() || StripWhitespace(lines[0]) != kHeader) {
-    return Status::ParseError("missing snapshot header '" +
-                              std::string(kHeader) + "'");
+// Inserts the verified sections into `staging`.
+Status CommitSections(Database* staging, std::vector<Section> sections,
+                      SnapshotLoadStats* stats) {
+  for (Section& section : sections) {
+    DIRE_ASSIGN_OR_RETURN(Relation * rel,
+                          staging->GetOrCreate(section.name, section.arity));
+    for (Tuple& t : section.tuples) {
+      if (rel->Insert(t)) ++stats->tuples;
+    }
+    ++stats->relations;
   }
+  return Status::Ok();
+}
+
+Result<SnapshotLoadStats> ParseV2(Database* staging, std::string_view text,
+                                  const SnapshotLoadOptions& opts) {
+  SnapshotLoadStats stats;
+  stats.version = 2;
+  LineCursor cur(text);
+  std::string_view line;
+  bool complete = false;
+  cur.Next(&line, &complete);  // Header, validated by the caller.
+
+  std::set<std::string> seen_names;
+  std::vector<Section> committed_sections;
+  // Set when the file ends before a valid commit record: the torn tail a
+  // crashed writer leaves. Anything else wrong is a hard error.
+  std::optional<std::string> torn;
+  bool committed = false;
+
+  while (!committed) {
+    size_t directive_start = cur.pos();
+    if (!cur.Next(&line, &complete)) {
+      torn = "file ends before the commit record";
+      break;
+    }
+    if (!complete) {
+      torn = StrFormat("partial final line %zu", cur.line_no());
+      break;
+    }
+    size_t directive_line = cur.line_no();
+
+    if (StartsWith(line, "@meta ")) {
+      std::string_view rest = line.substr(6);
+      size_t space = rest.find(' ');
+      if (space == 0 || space == std::string_view::npos) {
+        return Status::ParseError(
+            StrFormat("line %zu: malformed @meta directive", directive_line));
+      }
+      std::string key(rest.substr(0, space));
+      Result<std::string> value = io::UnescapeTsvField(rest.substr(space + 1));
+      if (!value.ok()) {
+        return Status::Corruption(StrFormat("line %zu: @meta %s: %s",
+                                            directive_line, key.c_str(),
+                                            value.status().message().c_str()));
+      }
+      if (!stats.meta.emplace(key, *value).second) {
+        return Status::ParseError(
+            StrFormat("line %zu: duplicate @meta key '%s'", directive_line,
+                      key.c_str()));
+      }
+      continue;
+    }
+
+    if (StartsWith(line, "@relation ")) {
+      std::vector<std::string> parts = Split(line, ' ');
+      if (parts.size() != 5) {
+        return Status::ParseError(StrFormat(
+            "line %zu: malformed @relation directive (expected "
+            "'@relation NAME ARITY COUNT CRC')",
+            directive_line));
+      }
+      Result<std::string> name = io::UnescapeTsvField(parts[1]);
+      if (!name.ok() || name->empty()) {
+        return Status::ParseError(StrFormat("line %zu: bad relation name '%s'",
+                                            directive_line, parts[1].c_str()));
+      }
+      std::optional<size_t> arity = ParseSize(parts[2]);
+      std::optional<size_t> count = ParseSize(parts[3]);
+      if (!arity || !count) {
+        return Status::ParseError(
+            StrFormat("line %zu: bad arity or tuple count in @relation '%s'",
+                      directive_line, name->c_str()));
+      }
+      if (*arity > kMaxArity) {
+        return Status::ParseError(StrFormat(
+            "line %zu: declared arity %zu of relation '%s' exceeds the "
+            "limit of %zu",
+            directive_line, *arity, name->c_str(), kMaxArity));
+      }
+      if (!seen_names.insert(*name).second) {
+        return Status::ParseError(
+            StrFormat("line %zu: duplicate @relation header for '%s'",
+                      directive_line, name->c_str()));
+      }
+      Result<uint32_t> want_crc = io::CrcFromHex(parts[4]);
+      if (!want_crc.ok()) {
+        return Status::Corruption(StrFormat(
+            "line %zu: @relation '%s': %s", directive_line, name->c_str(),
+            want_crc.status().message().c_str()));
+      }
+
+      // Stage the body: read exactly `count` lines, then verify the section
+      // checksum before parsing a single tuple out of it.
+      size_t body_start = cur.pos();
+      size_t body_first_line = cur.line_no() + 1;
+      bool body_torn = false;
+      for (size_t k = 0; k < *count; ++k) {
+        if (!cur.Next(&line, &complete)) {
+          torn = StrFormat(
+              "relation '%s' section truncated after %zu of %zu tuples",
+              name->c_str(), k, *count);
+          body_torn = true;
+          break;
+        }
+        if (!complete) {
+          torn = StrFormat("partial tuple line %zu in relation '%s'",
+                           cur.line_no(), name->c_str());
+          body_torn = true;
+          break;
+        }
+      }
+      if (body_torn) break;
+      std::string_view body =
+          text.substr(body_start, cur.pos() - body_start);
+      uint32_t got_crc = io::Crc32c(body);
+      if (got_crc != *want_crc) {
+        // A complete section whose bytes do not checksum is damage, not a
+        // torn tail; refuse it in every mode.
+        return Status::Corruption(StrFormat(
+            "line %zu: relation '%s' section checksum mismatch "
+            "(stored %s, computed %s)",
+            directive_line, name->c_str(), parts[4].c_str(),
+            io::CrcToHex(got_crc).c_str()));
+      }
+      Section section;
+      section.name = *name;
+      section.arity = *arity;
+      DIRE_RETURN_IF_ERROR(
+          ParseSectionBody(staging, body, body_first_line, &section));
+      committed_sections.push_back(std::move(section));
+      continue;
+    }
+
+    if (StartsWith(line, "@commit ")) {
+      Result<uint32_t> want_crc = io::CrcFromHex(line.substr(8));
+      if (!want_crc.ok()) {
+        return Status::Corruption(
+            StrFormat("line %zu: bad commit record: %s", directive_line,
+                      want_crc.status().message().c_str()));
+      }
+      uint32_t got_crc = io::Crc32c(text.substr(0, directive_start));
+      if (got_crc != *want_crc) {
+        return Status::Corruption(StrFormat(
+            "line %zu: commit checksum mismatch (stored %s, computed %s)",
+            directive_line, std::string(line.substr(8)).c_str(),
+            io::CrcToHex(got_crc).c_str()));
+      }
+      if (!cur.AtEof()) {
+        return Status::Corruption(StrFormat(
+            "line %zu: trailing garbage after the commit record",
+            directive_line + 1));
+      }
+      committed = true;
+      continue;
+    }
+
+    return Status::ParseError(
+        StrFormat("line %zu: unrecognized snapshot directive", directive_line));
+  }
+
+  if (!committed) {
+    if (!opts.recover_tail) {
+      return Status::Corruption("truncated snapshot: " + *torn);
+    }
+    stats.recovered_prefix = true;
+  }
+  DIRE_RETURN_IF_ERROR(
+      CommitSections(staging, std::move(committed_sections), &stats));
+  return stats;
+}
+
+Result<SnapshotLoadStats> ParseV1(Database* staging, std::string_view text) {
+  SnapshotLoadStats stats;
+  stats.version = 1;
+  std::vector<std::string> lines = Split(text, '\n');
+  std::set<std::string> seen_names;
   Relation* current = nullptr;
   for (size_t i = 1; i < lines.size(); ++i) {
     const std::string& line = lines[i];
@@ -63,14 +310,24 @@ Status LoadSnapshot(Database* db, std::string_view text) {
         return Status::ParseError(
             StrFormat("line %zu: malformed @relation directive", i + 1));
       }
-      int arity = std::atoi(parts[2].c_str());
-      if (arity < 0 || (arity == 0 && parts[2] != "0")) {
+      std::optional<size_t> arity = ParseSize(parts[2]);
+      if (!arity) {
         return Status::ParseError(
             StrFormat("line %zu: bad arity '%s'", i + 1, parts[2].c_str()));
       }
-      DIRE_ASSIGN_OR_RETURN(current, db->GetOrCreate(parts[1],
-                                                     static_cast<size_t>(
-                                                         arity)));
+      if (*arity > kMaxArity) {
+        return Status::ParseError(StrFormat(
+            "line %zu: declared arity %zu of relation '%s' exceeds the "
+            "limit of %zu",
+            i + 1, *arity, parts[1].c_str(), kMaxArity));
+      }
+      if (!seen_names.insert(parts[1]).second) {
+        return Status::ParseError(
+            StrFormat("line %zu: duplicate @relation header for '%s'", i + 1,
+                      parts[1].c_str()));
+      }
+      DIRE_ASSIGN_OR_RETURN(current, staging->GetOrCreate(parts[1], *arity));
+      ++stats.relations;
       continue;
     }
     if (current == nullptr) {
@@ -82,7 +339,7 @@ Status LoadSnapshot(Database* db, std::string_view text) {
         return Status::ParseError(
             StrFormat("line %zu: expected '()' for zero-arity tuple", i + 1));
       }
-      current->Insert({});
+      if (current->Insert({})) ++stats.tuples;
       continue;
     }
     std::vector<std::string> fields = Split(line, '\t');
@@ -93,18 +350,158 @@ Status LoadSnapshot(Database* db, std::string_view text) {
     }
     Tuple t;
     t.reserve(fields.size());
-    for (const std::string& f : fields) t.push_back(db->symbols().Intern(f));
-    current->Insert(t);
+    for (const std::string& f : fields) {
+      t.push_back(staging->symbols().Intern(f));
+    }
+    if (current->Insert(t)) ++stats.tuples;
+  }
+  return stats;
+}
+
+// Merges every relation of `staging` into `dst`, re-interning values. Arity
+// conflicts are detected before any mutation of `dst`.
+Status MergeStagingInto(Database* dst, const Database& staging) {
+  for (const std::string& name : staging.RelationNames()) {
+    const Relation* srel = staging.Find(name);
+    const Relation* existing = static_cast<const Database*>(dst)->Find(name);
+    if (existing != nullptr && existing->arity() != srel->arity()) {
+      return Status::InvalidArgument(StrFormat(
+          "relation '%s' exists with arity %zu, snapshot declares %zu",
+          name.c_str(), existing->arity(), srel->arity()));
+    }
+  }
+  for (const std::string& name : staging.RelationNames()) {
+    const Relation* srel = staging.Find(name);
+    DIRE_ASSIGN_OR_RETURN(Relation * drel,
+                          dst->GetOrCreate(name, srel->arity()));
+    for (const Tuple& t : srel->tuples()) {
+      Tuple mapped;
+      mapped.reserve(t.size());
+      for (ValueId v : t) {
+        mapped.push_back(dst->symbols().Intern(staging.symbols().Name(v)));
+      }
+      drel->Insert(mapped);
+    }
   }
   return Status::Ok();
 }
 
-Status LoadSnapshotFile(Database* db, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return LoadSnapshot(db, buffer.str());
+// True if `s` contains a character that would break a space-separated
+// directive line even after escaping.
+bool HasSpace(std::string_view s) {
+  return s.find(' ') != std::string_view::npos;
+}
+
+}  // namespace
+
+Result<std::string> SaveSnapshot(const Database& db,
+                                 const SnapshotWriteOptions& opts) {
+  // Collect (section name, relation) pairs in name order so equal databases
+  // serialize byte-identically.
+  std::vector<std::pair<std::string, const Relation*>> sections;
+  for (const std::string& name : db.RelationNames()) {
+    sections.emplace_back(name, db.Find(name));
+  }
+  for (const auto& [name, rel] : opts.extra_relations) {
+    sections.emplace_back(name, rel);
+  }
+  std::sort(sections.begin(), sections.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < sections.size(); ++i) {
+    if (sections[i].first == sections[i - 1].first) {
+      return Status::InvalidArgument("duplicate snapshot section name '" +
+                                     sections[i].first + "'");
+    }
+  }
+
+  std::string out(kHeaderV2);
+  out += '\n';
+  for (const auto& [key, value] : opts.meta) {
+    if (key.empty() || HasSpace(key) ||
+        key != io::EscapeTsvField(key)) {
+      return Status::InvalidArgument("meta key is empty or contains "
+                                     "space/control characters: '" +
+                                     key + "'");
+    }
+    out += "@meta ";
+    out += key;
+    out += ' ';
+    out += io::EscapeTsvField(value);
+    out += '\n';
+  }
+  for (const auto& [name, rel] : sections) {
+    if (name.empty() || HasSpace(name)) {
+      return Status::InvalidArgument(
+          "relation name is empty or contains a space and cannot be "
+          "snapshotted: '" +
+          name + "'");
+    }
+    std::vector<std::string> lines;
+    lines.reserve(rel->size());
+    for (const Tuple& t : rel->tuples()) {
+      if (t.empty()) {
+        lines.emplace_back("()");
+        continue;
+      }
+      std::string line;
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i != 0) line += '\t';
+        line += io::EscapeTsvField(db.symbols().Name(t[i]));
+      }
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string body;
+    for (const std::string& line : lines) {
+      body += line;
+      body += '\n';
+    }
+    out += StrFormat("@relation %s %zu %zu %s\n",
+                     io::EscapeTsvField(name).c_str(), rel->arity(),
+                     rel->size(), io::CrcToHex(io::Crc32c(body)).c_str());
+    out += body;
+  }
+  // The commit checksum covers every byte before the "@commit " line itself.
+  const uint32_t commit_crc = io::Crc32c(out);
+  out += "@commit ";
+  out += io::CrcToHex(commit_crc);
+  out += '\n';
+  return out;
+}
+
+Status SaveSnapshotFile(const Database& db, const std::string& path,
+                        const SnapshotWriteOptions& opts) {
+  DIRE_ASSIGN_OR_RETURN(std::string text, SaveSnapshot(db, opts));
+  return io::AtomicWriteFile(path, text);
+}
+
+Result<SnapshotLoadStats> LoadSnapshot(Database* db, std::string_view text,
+                                       const SnapshotLoadOptions& opts) {
+  size_t nl = text.find('\n');
+  std::string_view header =
+      StripWhitespace(nl == std::string_view::npos ? text : text.substr(0, nl));
+  Database staging;
+  Result<SnapshotLoadStats> stats = Status::ParseError("unreachable");
+  if (header == kHeaderV2) {
+    stats = ParseV2(&staging, text, opts);
+  } else if (header == kHeaderV1) {
+    stats = ParseV1(&staging, text);
+  } else {
+    return Status::ParseError(StrFormat(
+        "missing snapshot header ('%.*s' or '%.*s')",
+        static_cast<int>(kHeaderV2.size()), kHeaderV2.data(),
+        static_cast<int>(kHeaderV1.size()), kHeaderV1.data()));
+  }
+  if (!stats.ok()) return stats.status();
+  DIRE_RETURN_IF_ERROR(MergeStagingInto(db, staging));
+  return stats;
+}
+
+Result<SnapshotLoadStats> LoadSnapshotFile(Database* db,
+                                           const std::string& path,
+                                           const SnapshotLoadOptions& opts) {
+  DIRE_ASSIGN_OR_RETURN(std::string text, io::ReadFile(path));
+  return LoadSnapshot(db, text, opts);
 }
 
 }  // namespace dire::storage

@@ -1,38 +1,101 @@
 #ifndef DIRE_STORAGE_SNAPSHOT_H_
 #define DIRE_STORAGE_SNAPSHOT_H_
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "base/result.h"
 #include "storage/database.h"
 
 namespace dire::storage {
 
-// Whole-database snapshots in a line-oriented text format:
+// Whole-database snapshots in a checksummed, line-oriented text format:
 //
-//   # dire snapshot v1
-//   @relation e 2
+//   # dire snapshot v2
+//   @meta stratum 1
+//   @relation e 2 3 1c7e90b1
 //   a	b
 //   b	c
-//   @relation trendy 1
-//   bob
+//   c	has\ttab
+//   @relation flag 0 1 5752b053
+//   ()
+//   @commit 8f2d1ac4
 //
-// Fields are tab-separated (values therefore must not contain tabs or
-// newlines; Save rejects them). Relations appear in name order, tuples in
-// insertion order, so snapshots of equal databases are byte-identical.
+// Sections appear in relation-name order and tuples in sorted order, so
+// snapshots of equal databases are byte-identical no matter how the tuples
+// were derived or inserted. Every value is escaped (backslash, tab, newline,
+// CR, NUL), so all Value strings round-trip. The `@relation` directive is
+//   @relation <name> <arity> <tuple-count> <crc32c-of-section-body>
+// and the final `@commit` line carries a CRC32C over every preceding byte;
+// it is the commit record: a snapshot without a valid footer was never
+// completely written.
+//
+// Crash-consistency contract:
+//  * SaveSnapshotFile writes via io::AtomicWriteFile, so the previous
+//    snapshot survives any mid-write crash.
+//  * A load with `recover_tail` tolerates an EOF-truncated file (the torn
+//    tail a crashed non-atomic writer could leave): every fully verified
+//    section before the truncation is recovered and `recovered_prefix` is
+//    reported. Damage that is not a pure truncation — checksum mismatch on
+//    a complete section, bytes after the commit record, malformed
+//    directives — is never silently accepted: the load fails with a
+//    line-numbered kCorruption / kParseError and `db` is left untouched
+//    (loading stages into a scratch database and merges only on success).
+//  * The legacy v1 format ("# dire snapshot v1", unchecksummed, unescaped
+//    tab-separated values) is still read, with the same no-partial-mutation
+//    guarantee.
 
-// Serializes every relation of `db`.
-Result<std::string> SaveSnapshot(const Database& db);
+// Extra payload for checkpoint snapshots.
+struct SnapshotWriteOptions {
+  // Rendered as `@meta <key> <value>` lines (value escaped); covered by the
+  // commit checksum. Keys must be nonempty and space/control free.
+  std::map<std::string, std::string> meta;
+  // Additional relations serialized alongside the database's own (used for
+  // checkpointed semi-naive deltas, e.g. "$delta:t"). Tuples must be interned
+  // in `db.symbols()`. Not owned.
+  std::vector<std::pair<std::string, const Relation*>> extra_relations;
+};
 
-// Writes SaveSnapshot output to `path`.
-Status SaveSnapshotFile(const Database& db, const std::string& path);
+struct SnapshotLoadOptions {
+  // When true, an EOF-truncated tail is dropped and the committed prefix is
+  // loaded (recovery mode). When false, any incomplete snapshot is a
+  // kCorruption error.
+  bool recover_tail = false;
+};
 
-// Loads a snapshot produced by SaveSnapshot into `db` (which may already
-// hold data; tuples are inserted, arities must match).
-Status LoadSnapshot(Database* db, std::string_view text);
+struct SnapshotLoadStats {
+  // Format version of the file that was read (1 or 2).
+  int version = 0;
+  // True iff a torn tail was dropped in recovery mode.
+  bool recovered_prefix = false;
+  // Sections and tuples actually loaded.
+  size_t relations = 0;
+  size_t tuples = 0;
+  // The `@meta` key/value pairs (v2 only).
+  std::map<std::string, std::string> meta;
+};
 
-Status LoadSnapshotFile(Database* db, const std::string& path);
+// Serializes every relation of `db` (plus `opts.extra_relations`) in v2
+// format. Fails only on unsnapshotable relation names or meta keys (spaces /
+// control characters); all value strings are escapable.
+Result<std::string> SaveSnapshot(const Database& db,
+                                 const SnapshotWriteOptions& opts = {});
+
+// Writes SaveSnapshot output to `path` atomically (temp + fsync + rename).
+Status SaveSnapshotFile(const Database& db, const std::string& path,
+                        const SnapshotWriteOptions& opts = {});
+
+// Loads a v1 or v2 snapshot into `db`, which may already hold data: tuples
+// are merged in and arities must match. On any error `db` is unchanged.
+Result<SnapshotLoadStats> LoadSnapshot(Database* db, std::string_view text,
+                                       const SnapshotLoadOptions& opts = {});
+
+Result<SnapshotLoadStats> LoadSnapshotFile(Database* db,
+                                           const std::string& path,
+                                           const SnapshotLoadOptions& opts = {});
 
 }  // namespace dire::storage
 

@@ -1,0 +1,199 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/failpoints.h"
+#include "base/io.h"
+#include "base/string_util.h"
+
+namespace dire::storage {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc.
+// Ceiling on a single record. Far above any real fact, and bounds the
+// allocation a corrupt length field can demand during replay.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+void PutU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("cannot open WAL " + path);
+  return std::unique_ptr<Wal>(new Wal(path, fd));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(std::string_view payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument(
+        StrFormat("WAL record of %zu bytes exceeds the %u-byte limit",
+                  payload.size(), kMaxRecordBytes));
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32Le(static_cast<uint32_t>(payload.size()), &frame);
+  PutU32Le(io::Crc32c(payload), &frame);
+  frame.append(payload.data(), payload.size());
+
+#ifdef DIRE_FAILPOINTS_ENABLED
+  // Simulated crash mid-append: a prefix of the frame lands on disk. Replay
+  // must drop exactly this torn tail.
+  {
+    Status torn = failpoints::Check("wal.append.short");
+    if (!torn.ok()) {
+      WriteAll(fd_, frame.data(), frame.size() / 2);
+      return torn;
+    }
+  }
+#endif
+  DIRE_FAILPOINT("wal.append.enospc");
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    return Errno("WAL append to " + path_ + " failed");
+  }
+  DIRE_FAILPOINT("wal.sync");
+  if (::fsync(fd_) != 0) return Errno("WAL fsync of " + path_ + " failed");
+  return Status::Ok();
+}
+
+Status Wal::Reset() { return TruncateTo(0); }
+
+Status Wal::TruncateTo(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("WAL truncate of " + path_ + " failed");
+  }
+  if (::fsync(fd_) != 0) return Errno("WAL fsync of " + path_ + " failed");
+  return Status::Ok();
+}
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply) {
+  WalReplayStats stats;
+  if (!io::FileExists(path)) return stats;  // Absent log == empty log.
+  DIRE_ASSIGN_OR_RETURN(std::string data, io::ReadFile(path));
+
+  size_t pos = 0;
+  // Set when a record fails to verify; whether that is a recoverable torn
+  // tail or hard corruption depends on whether anything follows it.
+  std::string bad;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeaderBytes) {
+      bad = StrFormat("short frame header at offset %zu", pos);
+      break;
+    }
+    uint32_t length = GetU32Le(data.data() + pos);
+    uint32_t want_crc = GetU32Le(data.data() + pos + 4);
+    if (length > kMaxRecordBytes) {
+      bad = StrFormat("implausible record length %u at offset %zu", length,
+                      pos);
+      break;
+    }
+    if (data.size() - pos - kFrameHeaderBytes < length) {
+      bad = StrFormat("short payload at offset %zu (need %u bytes, have %zu)",
+                      pos, length, data.size() - pos - kFrameHeaderBytes);
+      break;
+    }
+    std::string_view payload(data.data() + pos + kFrameHeaderBytes, length);
+    if (io::Crc32c(payload) != want_crc) {
+      bad = StrFormat("record checksum mismatch at offset %zu", pos);
+      break;
+    }
+    DIRE_RETURN_IF_ERROR(apply(payload));
+    pos += kFrameHeaderBytes + length;
+    ++stats.records;
+    stats.valid_bytes = pos;
+  }
+
+  if (!bad.empty()) {
+    // A bad record is a droppable torn tail only if the damage plausibly
+    // came from a crashed append, i.e. nothing but the damaged bytes follow.
+    // "Followed by more bytes" can only be judged for a checksum failure or
+    // an implausible length, where the frame told us how far the record was
+    // supposed to extend; short frames/payloads reach EOF by definition.
+    bool reaches_eof = true;
+    if (data.size() - pos >= kFrameHeaderBytes) {
+      uint32_t length = GetU32Le(data.data() + pos);
+      if (length <= kMaxRecordBytes &&
+          data.size() - pos - kFrameHeaderBytes > length) {
+        reaches_eof = false;  // Intact bytes continue past the bad record.
+      }
+    }
+    if (!reaches_eof) {
+      return Status::Corruption("WAL " + path + ": " + bad +
+                                ", with further data after it");
+    }
+    stats.dropped_torn_tail = true;
+    stats.dropped_bytes = data.size() - stats.valid_bytes;
+  }
+  return stats;
+}
+
+std::string EncodeFactRecord(const std::string& relation,
+                             const std::vector<std::string>& values) {
+  std::string payload = "F\t";
+  payload += io::EscapeTsvField(relation);
+  for (const std::string& v : values) {
+    payload += '\t';
+    payload += io::EscapeTsvField(v);
+  }
+  return payload;
+}
+
+Result<FactRecord> DecodeFactRecord(std::string_view payload) {
+  std::vector<std::string> fields = Split(payload, '\t');
+  if (fields.size() < 2 || fields[0] != "F") {
+    return Status::Corruption("malformed WAL fact record");
+  }
+  FactRecord record;
+  DIRE_ASSIGN_OR_RETURN(record.relation, io::UnescapeTsvField(fields[1]));
+  if (record.relation.empty()) {
+    return Status::Corruption("WAL fact record names an empty relation");
+  }
+  record.values.reserve(fields.size() - 2);
+  for (size_t i = 2; i < fields.size(); ++i) {
+    DIRE_ASSIGN_OR_RETURN(std::string value, io::UnescapeTsvField(fields[i]));
+    record.values.push_back(std::move(value));
+  }
+  return record;
+}
+
+}  // namespace dire::storage

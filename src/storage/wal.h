@@ -1,0 +1,95 @@
+#ifndef DIRE_STORAGE_WAL_H_
+#define DIRE_STORAGE_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace dire::storage {
+
+// A per-database write-ahead log. EDB mutations between snapshots are
+// appended here (and fsynced) before they are acknowledged, so a crash loses
+// nothing that was confirmed durable; a checkpoint folds the log into the
+// snapshot and resets it.
+//
+// On-disk framing, one record after another:
+//
+//   [u32 payload length, little endian][u32 CRC32C of payload][payload]
+//
+// A crash can only damage the *tail* of an append-only file, so replay
+// accepts every record whose frame and checksum verify and stops at the
+// first bad one — but only if the damage extends to the end of the file
+// (short frame, short payload, or a checksum-failing final record). A bad
+// record *followed by further bytes* is mid-file damage and replay refuses
+// the log with kCorruption rather than silently dropping acknowledged
+// records.
+//
+// Replay is idempotent: payloads describe set-semantics fact insertions, so
+// records that were already folded into the snapshot re-apply harmlessly.
+//
+// Record payloads are text, tab-separated with io::EscapeTsvField fields:
+//   F<TAB>relation<TAB>value...   insert one fact
+class Wal {
+ public:
+  // Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one framed record and fsyncs. On failure the tail may hold a
+  // torn record; replay will drop it.
+  Status Append(std::string_view payload);
+
+  // Truncates the log to empty (after its contents were checkpointed).
+  Status Reset();
+
+  // Truncates the log to `size` bytes — used after a replay that found a
+  // torn tail, so later appends don't land after garbage.
+  Status TruncateTo(uint64_t size);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_;
+};
+
+struct WalReplayStats {
+  // Records whose frame and checksum verified and were applied.
+  size_t records = 0;
+  // Byte offset of the end of the last good record; the file is valid up to
+  // here.
+  uint64_t valid_bytes = 0;
+  // True if a torn tail (crash damage reaching EOF) was dropped.
+  bool dropped_torn_tail = false;
+  // Bytes dropped with the torn tail.
+  uint64_t dropped_bytes = 0;
+};
+
+// Replays every intact record of the log at `path` through `apply`, in
+// order. A missing file is an empty log (OK, zero records). See the class
+// comment for the torn-tail / corruption distinction. An `apply` error
+// aborts the replay and is returned as-is.
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply);
+
+// Helpers for the fact-insertion payload (used by DataDir and tests).
+std::string EncodeFactRecord(const std::string& relation,
+                             const std::vector<std::string>& values);
+struct FactRecord {
+  std::string relation;
+  std::vector<std::string> values;
+};
+Result<FactRecord> DecodeFactRecord(std::string_view payload);
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_WAL_H_

@@ -1,0 +1,296 @@
+#include "eval/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/failpoints.h"
+#include "base/io.h"
+#include "eval/evaluator.h"
+#include "storage/persist.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+// Transitive closure over a 8-node chain: the t stratum takes several
+// semi-naive rounds, so every-round checkpointing exercises mid-stratum
+// resumption.
+constexpr std::string_view kChainTc = R"(
+  e(a0, a1). e(a1, a2). e(a2, a3). e(a3, a4).
+  e(a4, a5). e(a5, a6). e(a6, a7).
+  t(X, Y) :- e(X, Y).
+  t(X, Y) :- t(X, Z), e(Z, Y).
+)";
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Runs `program` to completion in `dir` with durable checkpointing armed.
+Result<EvalStats> RunWithCheckpoints(const std::string& dir,
+                                     const ast::Program& program,
+                                     std::string_view program_text,
+                                     int every_rounds) {
+  DIRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::DataDir> data_dir,
+                        storage::DataDir::Open(dir));
+  DataDirCheckpointer checkpointer(data_dir.get(), ProgramCrc(program_text));
+  EvalOptions opts;
+  opts.checkpointer = &checkpointer;
+  opts.checkpoint_every_rounds = every_rounds;
+  Evaluator evaluator(data_dir->db(), opts);
+  return evaluator.Evaluate(program);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::DisableAll(); }
+};
+
+TEST_F(CheckpointTest, KillAtEveryFaultSiteThenRecoverMatchesCleanRun) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+
+  // Reference: an uninterrupted checkpointing run.
+  std::string ref_dir = FreshDir("ckpt_ref");
+  Result<EvalStats> ref_stats =
+      RunWithCheckpoints(ref_dir, program, kChainTc, 1);
+  ASSERT_TRUE(ref_stats.ok()) << ref_stats.status();
+  Result<std::string> ref_snapshot =
+      io::ReadFile(ref_dir + "/snapshot.dire");
+  ASSERT_TRUE(ref_snapshot.ok());
+
+  // Count how many checkpoints the clean run takes (fire_count = 0 counts
+  // hits without ever firing).
+  int checkpoints = 0;
+  {
+    std::string count_dir = FreshDir("ckpt_count");
+    failpoints::Config count_only;
+    count_only.fire_count = 0;
+    failpoints::Enable("eval.checkpoint", count_only);
+    ASSERT_TRUE(RunWithCheckpoints(count_dir, program, kChainTc, 1).ok());
+    checkpoints = failpoints::HitCount("eval.checkpoint");
+    failpoints::Disable("eval.checkpoint");
+  }
+  ASSERT_GT(checkpoints, 3) << "test program too small to be interesting";
+
+  // Kill the run at every checkpoint attempt and at every injected I/O
+  // fault inside the snapshot commit, then recover and finish. Every single
+  // cycle must converge to the byte-identical final snapshot.
+  const char* sites[] = {"eval.checkpoint",  "io.atomic.open",
+                         "io.atomic.write",  "io.atomic.enospc",
+                         "io.atomic.fsync",  "io.atomic.rename"};
+  int cycle = 0;
+  for (const char* site : sites) {
+    for (int skip = 0; skip < checkpoints; ++skip) {
+      std::string dir =
+          FreshDir("ckpt_cycle_" + std::to_string(cycle++));
+      {
+        failpoints::Config once;
+        once.skip = skip;
+        once.fire_count = 1;
+        failpoints::Scoped fp(site, once);
+        Result<EvalStats> crashed =
+            RunWithCheckpoints(dir, program, kChainTc, 1);
+        ASSERT_FALSE(crashed.ok())
+            << site << " skip " << skip << " did not fire";
+      }
+      Result<RecoverResult> recovered =
+          RecoverDatabase(dir, program, kChainTc);
+      ASSERT_TRUE(recovered.ok())
+          << site << " skip " << skip << ": " << recovered.status();
+      Result<std::string> snapshot = io::ReadFile(dir + "/snapshot.dire");
+      ASSERT_TRUE(snapshot.ok()) << site << " skip " << skip;
+      EXPECT_EQ(*snapshot, *ref_snapshot) << site << " skip " << skip;
+    }
+  }
+}
+
+TEST_F(CheckpointTest, MidStratumResumeSkipsCompletedRounds) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  std::string ref_dir = FreshDir("ckpt_mid_ref");
+  Result<EvalStats> ref_stats =
+      RunWithCheckpoints(ref_dir, program, kChainTc, 1);
+  ASSERT_TRUE(ref_stats.ok());
+
+  // Crash at the fourth checkpoint: three delta-bearing round checkpoints
+  // are on disk, so recovery must pick the stratum up mid-flight.
+  std::string dir = FreshDir("ckpt_mid");
+  {
+    failpoints::Config once;
+    once.skip = 3;
+    once.fire_count = 1;
+    failpoints::Scoped fp("eval.checkpoint", once);
+    ASSERT_FALSE(RunWithCheckpoints(dir, program, kChainTc, 1).ok());
+  }
+  Result<RecoverResult> recovered = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  // The resumed run derives strictly less than the whole fixpoint: the
+  // checkpointed rounds are not re-derived.
+  EXPECT_LT(recovered->stats.tuples_derived, ref_stats->tuples_derived);
+  EXPECT_GT(recovered->stats.tuples_derived, 0u);
+  EXPECT_EQ(*io::ReadFile(dir + "/snapshot.dire"),
+            *io::ReadFile(ref_dir + "/snapshot.dire"));
+}
+
+TEST_F(CheckpointTest, RecoveryIsIdempotent) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  std::string dir = FreshDir("ckpt_idem");
+  {
+    failpoints::Config once;
+    once.skip = 2;
+    once.fire_count = 1;
+    failpoints::Scoped fp("io.atomic.rename", once);
+    ASSERT_FALSE(RunWithCheckpoints(dir, program, kChainTc, 1).ok());
+  }
+  Result<RecoverResult> first = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(first.ok());
+  std::string after_first = *io::ReadFile(dir + "/snapshot.dire");
+  // A second recovery finds a completed checkpoint and re-derives nothing.
+  Result<RecoverResult> second = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.tuples_derived, 0u);
+  EXPECT_EQ(*io::ReadFile(dir + "/snapshot.dire"), after_first);
+}
+
+TEST_F(CheckpointTest, RecoveryRefusesDifferentProgram) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  std::string dir = FreshDir("ckpt_wrong_prog");
+  {
+    failpoints::Config once;
+    once.skip = 2;
+    once.fire_count = 1;
+    failpoints::Scoped fp("eval.checkpoint", once);
+    ASSERT_FALSE(RunWithCheckpoints(dir, program, kChainTc, 1).ok());
+  }
+  constexpr std::string_view kOther = R"(
+    e(a0, a1).
+    t(X, Y) :- e(X, Y).
+  )";
+  ast::Program other = dire::testing::ParseOrDie(kOther);
+  Result<RecoverResult> recovered = RecoverDatabase(dir, other, kOther);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("different program"),
+            std::string::npos)
+      << recovered.status();
+}
+
+TEST_F(CheckpointTest, GuardExhaustionCheckpointsThenRecoveryFinishes) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+
+  std::string dir = FreshDir("ckpt_exhausted");
+  {
+    Result<std::unique_ptr<storage::DataDir>> data_dir =
+        storage::DataDir::Open(dir);
+    ASSERT_TRUE(data_dir.ok());
+    DataDirCheckpointer checkpointer((*data_dir).get(), ProgramCrc(kChainTc));
+    GuardLimits limits;
+    limits.max_tuples = 10;  // Trips mid-closure (full closure is 28).
+    ExecutionGuard guard(limits);
+    EvalOptions opts;
+    opts.checkpointer = &checkpointer;
+    opts.guard = &guard;
+    opts.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+    Evaluator evaluator((*data_dir)->db(), opts);
+    Result<EvalStats> stats = evaluator.Evaluate(program);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_TRUE(stats->exhausted);
+  }
+
+  // The partial prefix was checkpointed on exhaustion; recovery (without the
+  // guard) completes the closure.
+  Result<RecoverResult> recovered = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const storage::Relation* t = recovered->data_dir->db()->Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 28u);  // 8-node chain closure: 7+6+...+1.
+}
+
+TEST_F(CheckpointTest, FreshDirectoryEvaluatesFromScratch) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  std::string dir = FreshDir("ckpt_fresh");
+  Result<RecoverResult> recovered = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->data_dir->db()->Find("t")->size(), 28u);
+}
+
+TEST_F(CheckpointTest, WalAppendsAfterCheckpointForceReevaluation) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  std::string dir = FreshDir("ckpt_wal_append");
+  ASSERT_TRUE(RunWithCheckpoints(dir, program, kChainTc, 1).ok());
+  {
+    Result<std::unique_ptr<storage::DataDir>> data_dir =
+        storage::DataDir::Open(dir);
+    ASSERT_TRUE(data_dir.ok());
+    ASSERT_TRUE((*data_dir)->AppendFact("e", {"a7", "a8"}).ok());
+  }
+  Result<RecoverResult> recovered = RecoverDatabase(dir, program, kChainTc);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  // 9-node chain closure.
+  EXPECT_EQ(recovered->data_dir->db()->Find("t")->size(), 36u);
+  EXPECT_GT(recovered->stats.tuples_derived, 0u);
+}
+
+// In-memory checkpointer observing the cadence contract.
+class RecordingCheckpointer : public Checkpointer {
+ public:
+  struct Call {
+    int stratum;
+    int rounds;
+    bool with_deltas;
+  };
+  std::vector<Call> calls;
+
+  Status Checkpoint(int stratum_index, int rounds_done,
+                    const DeltaMap* deltas) override {
+    calls.push_back({stratum_index, rounds_done, deltas != nullptr});
+    return Status::Ok();
+  }
+};
+
+TEST_F(CheckpointTest, CheckpointCadence) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  storage::Database db;
+  RecordingCheckpointer recording;
+  EvalOptions opts;
+  opts.checkpointer = &recording;
+  opts.checkpoint_every_rounds = 2;
+  Evaluator evaluator(&db, opts);
+  ASSERT_TRUE(evaluator.Evaluate(program).ok());
+
+  ASSERT_FALSE(recording.calls.empty());
+  // Mid-stratum checkpoints carry deltas at even round numbers; boundary
+  // and final checkpoints carry none.
+  bool saw_delta_checkpoint = false;
+  for (const RecordingCheckpointer::Call& c : recording.calls) {
+    if (c.with_deltas) {
+      saw_delta_checkpoint = true;
+      EXPECT_GT(c.rounds, 0);
+      EXPECT_EQ(c.rounds % 2, 0);
+    } else {
+      EXPECT_EQ(c.rounds, 0);
+    }
+  }
+  EXPECT_TRUE(saw_delta_checkpoint);
+  // The final call marks everything complete and stratum indices never
+  // decrease.
+  EXPECT_FALSE(recording.calls.back().with_deltas);
+  for (size_t i = 1; i < recording.calls.size(); ++i) {
+    EXPECT_GE(recording.calls[i].stratum, recording.calls[i - 1].stratum);
+  }
+}
+
+TEST_F(CheckpointTest, CheckpointEveryRoundsRequiresCheckpointer) {
+  ast::Program program = dire::testing::ParseOrDie(kChainTc);
+  storage::Database db;
+  EvalOptions opts;
+  opts.checkpoint_every_rounds = 2;  // No checkpointer.
+  Evaluator evaluator(&db, opts);
+  EXPECT_FALSE(evaluator.Evaluate(program).ok());
+}
+
+}  // namespace
+}  // namespace dire::eval

@@ -1,0 +1,123 @@
+#include "base/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/failpoints.h"
+
+namespace dire::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32c, KnownAnswers) {
+  // The CRC-32C check value from RFC 3720 / the Castagnoli literature.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // Incremental computation matches one-shot.
+  uint32_t partial = Crc32c("12345");
+  EXPECT_EQ(Crc32c("6789", partial), Crc32c("123456789"));
+}
+
+TEST(Crc32c, HexRoundTrip) {
+  EXPECT_EQ(CrcToHex(0xE3069283u), "e3069283");
+  EXPECT_EQ(CrcToHex(0u), "00000000");
+  Result<uint32_t> parsed = CrcFromHex("e3069283");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 0xE3069283u);
+  EXPECT_FALSE(CrcFromHex("e306928").ok());    // Too short.
+  EXPECT_FALSE(CrcFromHex("e30692831").ok());  // Too long.
+  EXPECT_FALSE(CrcFromHex("e306928Z").ok());   // Not hex.
+  EXPECT_FALSE(CrcFromHex("E3069283").ok());   // Uppercase not emitted.
+}
+
+TEST(TsvEscape, RoundTripsControlCharacters) {
+  const std::string cases[] = {
+      "",         "plain",       "has\ttab",        "has\nnewline",
+      "cr\rhere", "back\\slash", std::string("nul\0byte", 8),
+      "\\t not a tab",
+  };
+  for (const std::string& raw : cases) {
+    std::string escaped = EscapeTsvField(raw);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    Result<std::string> back = UnescapeTsvField(escaped);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, raw);
+  }
+}
+
+TEST(TsvEscape, RejectsMalformedEscapes) {
+  EXPECT_FALSE(UnescapeTsvField("dangling\\").ok());
+  EXPECT_FALSE(UnescapeTsvField("bad\\x").ok());
+}
+
+TEST(AtomicWrite, WritesAndReplaces) {
+  std::string path = TempPath("io_test_atomic.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  Result<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "first");
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  EXPECT_EQ(*ReadFile(path), "second");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, FailureAtEverySiteLeavesDestinationIntact) {
+  std::string path = TempPath("io_test_atomic_fp.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "intact").ok());
+  const char* sites[] = {"io.atomic.open", "io.atomic.write",
+                         "io.atomic.enospc", "io.atomic.fsync",
+                         "io.atomic.rename"};
+  const std::string replacement(4096, 'x');
+  for (const char* site : sites) {
+    failpoints::Scoped fp(site);
+    Status s = AtomicWriteFile(path, replacement);
+    EXPECT_FALSE(s.ok()) << site;
+    Result<std::string> read = ReadFile(path);
+    ASSERT_TRUE(read.ok()) << site;
+    EXPECT_EQ(*read, "intact") << site;
+  }
+  // Once the failpoints are gone the same write goes through.
+  ASSERT_TRUE(AtomicWriteFile(path, replacement).ok());
+  EXPECT_EQ(ReadFile(path)->size(), replacement.size());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(AtomicWrite, ShortWriteLeavesTornTempOnly) {
+  std::string path = TempPath("io_test_atomic_torn.txt");
+  std::remove(path.c_str());
+  failpoints::Scoped fp("io.atomic.write");
+  Status s = AtomicWriteFile(path, std::string(1000, 'y'));
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(FileExists(path));  // Never created the destination.
+  // The torn temp file holds a strict prefix (the simulated crash).
+  Result<std::string> torn = ReadFile(path + ".tmp");
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn->size(), 500u);
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(MakeDirs, CreatesNestedAndToleratesExisting) {
+  std::string base = TempPath("io_test_dirs");
+  std::string nested = base + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  ASSERT_TRUE(MakeDirs(nested).ok());  // Idempotent.
+  ASSERT_TRUE(AtomicWriteFile(nested + "/f", "x").ok());
+  EXPECT_TRUE(FileExists(nested + "/f"));
+  EXPECT_FALSE(MakeDirs("").ok());
+}
+
+TEST(ReadFile, MissingFileIsNotFound) {
+  Result<std::string> r = ReadFile(TempPath("io_test_missing_file"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dire::io

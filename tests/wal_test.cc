@@ -1,0 +1,204 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/failpoints.h"
+#include "base/io.h"
+
+namespace dire::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReplayAll(const std::string& path,
+                                   WalReplayStats* stats_out = nullptr) {
+  std::vector<std::string> payloads;
+  Result<WalReplayStats> stats =
+      ReplayWal(path, [&payloads](std::string_view p) {
+        payloads.emplace_back(p);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  if (stats.ok() && stats_out != nullptr) *stats_out = *stats;
+  return payloads;
+}
+
+TEST(Wal, AppendReplayRoundTrip) {
+  std::string path = TempPath("wal_test_roundtrip.log");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->Append("one").ok());
+    ASSERT_TRUE((*wal)->Append("two with spaces").ok());
+    ASSERT_TRUE((*wal)->Append("").ok());  // Empty payload is legal.
+  }
+  WalReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll(path, &stats);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "one");
+  EXPECT_EQ(payloads[1], "two with spaces");
+  EXPECT_EQ(payloads[2], "");
+  EXPECT_FALSE(stats.dropped_torn_tail);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, MissingFileIsEmptyLog) {
+  WalReplayStats stats;
+  std::vector<std::string> payloads =
+      ReplayAll(TempPath("wal_test_never_created.log"), &stats);
+  EXPECT_EQ(payloads.size(), 0u);
+  EXPECT_EQ(stats.valid_bytes, 0u);
+}
+
+TEST(Wal, TornTailIsDroppedAtEveryTruncationPoint) {
+  std::string path = TempPath("wal_test_torn.log");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first-record").ok());
+    ASSERT_TRUE((*wal)->Append("second-record").ok());
+  }
+  Result<std::string> full = io::ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  const size_t first_end = 8 + std::string("first-record").size();
+
+  for (size_t cut = full->size(); cut-- > 0;) {
+    ASSERT_TRUE(io::AtomicWriteFile(path, full->substr(0, cut)).ok());
+    WalReplayStats stats;
+    std::vector<std::string> payloads = ReplayAll(path, &stats);
+    if (cut >= full->size()) {
+      EXPECT_EQ(payloads.size(), 2u);
+    } else if (cut >= first_end) {
+      // Second record torn, first survives.
+      ASSERT_EQ(payloads.size(), 1u) << "cut at " << cut;
+      EXPECT_EQ(payloads[0], "first-record");
+      EXPECT_EQ(stats.dropped_torn_tail, cut != first_end);
+      EXPECT_EQ(stats.valid_bytes, first_end);
+    } else {
+      EXPECT_EQ(payloads.size(), 0u) << "cut at " << cut;
+      EXPECT_EQ(stats.valid_bytes, 0u);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wal, MidFileDamageIsCorruption) {
+  std::string path = TempPath("wal_test_midfile.log");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("aaaaaaaa").ok());
+    ASSERT_TRUE((*wal)->Append("bbbbbbbb").ok());
+  }
+  Result<std::string> full = io::ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  // Flip a payload byte of the FIRST record: the bad record is followed by
+  // further bytes, so this is not a torn tail.
+  std::string damaged = *full;
+  damaged[8] ^= 0x01;
+  ASSERT_TRUE(io::AtomicWriteFile(path, damaged).ok());
+  Result<WalReplayStats> stats =
+      ReplayWal(path, [](std::string_view) { return Status::Ok(); });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, ResetEmptiesAndTruncateToDropsTail) {
+  std::string path = TempPath("wal_test_reset.log");
+  std::remove(path.c_str());
+  Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("gone-after-reset").ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ(ReplayAll(path).size(), 0u);
+
+  ASSERT_TRUE((*wal)->Append("kept").ok());
+  uint64_t keep = io::ReadFile(path)->size();
+  ASSERT_TRUE((*wal)->Append("dropped").ok());
+  ASSERT_TRUE((*wal)->TruncateTo(keep).ok());
+  std::vector<std::string> payloads = ReplayAll(path);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "kept");
+  // Appends after the truncation land cleanly.
+  ASSERT_TRUE((*wal)->Append("after").ok());
+  EXPECT_EQ(ReplayAll(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, AppendFailpointsLeaveRecoverableLog) {
+  std::string path = TempPath("wal_test_fp.log");
+  std::remove(path.c_str());
+  Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("durable").ok());
+
+  {
+    failpoints::Scoped fp("wal.append.short");
+    EXPECT_FALSE((*wal)->Append("torn-record-payload").ok());
+  }
+  // The torn tail hides the failed append but not the durable record.
+  WalReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll(path, &stats);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "durable");
+  EXPECT_TRUE(stats.dropped_torn_tail);
+
+  {
+    failpoints::Scoped fp("wal.append.enospc");
+    EXPECT_FALSE((*wal)->Append("never-lands").ok());
+  }
+  {
+    failpoints::Scoped fp("wal.sync");
+    EXPECT_FALSE((*wal)->Append("sync-fails").ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wal, ReplayAbortsOnApplyError) {
+  std::string path = TempPath("wal_test_apply_err.log");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("a").ok());
+    ASSERT_TRUE((*wal)->Append("b").ok());
+  }
+  int applied = 0;
+  Result<WalReplayStats> stats =
+      ReplayWal(path, [&applied](std::string_view) {
+        ++applied;
+        return Status::InvalidArgument("boom");
+      });
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(applied, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, FactRecordRoundTrip) {
+  std::string payload =
+      EncodeFactRecord("edge", {"with\ttab", "plain", std::string("n\0l", 3)});
+  Result<FactRecord> record = DecodeFactRecord(payload);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_EQ(record->relation, "edge");
+  ASSERT_EQ(record->values.size(), 3u);
+  EXPECT_EQ(record->values[0], "with\ttab");
+  EXPECT_EQ(record->values[1], "plain");
+  EXPECT_EQ(record->values[2], std::string("n\0l", 3));
+
+  EXPECT_FALSE(DecodeFactRecord("X\tnot-a-fact").ok());
+  EXPECT_FALSE(DecodeFactRecord("").ok());
+}
+
+}  // namespace
+}  // namespace dire::storage

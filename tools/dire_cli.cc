@@ -29,6 +29,25 @@
 //   --on-exhaustion=MODE  error (default): exit with ResourceExhausted;
 //                         partial: report the sound prefix computed so far
 //
+// Durability (crash-safe persistence):
+//   --data-dir DIR        open DIR as a durable database (checksummed
+//                         snapshot + write-ahead log); later --eval runs
+//                         checkpoint into it and later --add appends go
+//                         through the WAL
+//   --checkpoint-every-rounds N
+//                         also checkpoint every N fixpoint rounds (with the
+//                         semi-naive delta frontier, so recovery resumes
+//                         mid-stratum); 0 (default) checkpoints only at
+//                         stratum boundaries and completion
+//   --add 'FACT'          durably append a ground fact, e.g. 'e(a, b)'
+//                         (requires --data-dir; fsynced before acknowledged)
+//
+// Recovery after a crash:
+//   dire_cli recover PROGRAM.dl --data-dir DIR [--dump PRED] ...
+//                         replay the WAL over the last committed snapshot,
+//                         then resume evaluation from the checkpointed
+//                         stratum and finish the fixpoint
+//
 // Example:
 //   dire_cli examples.dl --analyze buys --rewrite buys --eval --dump buys
 
@@ -37,6 +56,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -44,9 +64,11 @@
 
 #include "core/related_work.h"
 #include "dire.h"
+#include "eval/checkpoint.h"
 #include "eval/explain.h"
 #include "eval/magic.h"
 #include "eval/provenance.h"
+#include "storage/persist.h"
 
 namespace {
 
@@ -63,7 +85,11 @@ int Usage() {
                "       [--explain] [--eval] [--naive] [--query ATOM] "
                "[--why FACT] [--dump PRED] [--dot PRED FILE]\n"
                "       [--timeout-ms N] [--max-tuples N] [--max-memory-mb N] "
-               "[--on-exhaustion={error,partial}]\n");
+               "[--on-exhaustion={error,partial}]\n"
+               "       [--data-dir DIR] [--checkpoint-every-rounds N] "
+               "[--add FACT]\n"
+               "   or: dire_cli recover PROGRAM.dl --data-dir DIR "
+               "[--checkpoint-every-rounds N] [--naive] [--dump PRED]\n");
   return 2;
 }
 
@@ -193,10 +219,73 @@ int Repl(dire::ast::Program program) {
   return 0;
 }
 
+// `dire_cli recover PROGRAM.dl --data-dir DIR [...]`: replay the WAL over
+// the last committed snapshot, resume evaluation from the checkpointed
+// stratum, and finish the fixpoint.
+int RunRecover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string program_text = buffer.str();
+
+  dire::Result<dire::ast::Program> program =
+      dire::parser::ParseProgram(program_text);
+  if (!program.ok()) return Fail(program.status());
+
+  std::string data_dir;
+  dire::eval::EvalOptions options;
+  std::vector<std::string> dumps;
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--data-dir") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage();
+      data_dir = dir;
+    } else if (flag == "--checkpoint-every-rounds") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      options.checkpoint_every_rounds = static_cast<int>(v);
+    } else if (flag == "--naive") {
+      options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--dump") {
+      const char* pred = next();
+      if (pred == nullptr) return Usage();
+      dumps.push_back(pred);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "error: recover requires --data-dir\n");
+    return Usage();
+  }
+
+  dire::Result<dire::eval::RecoverResult> recovered =
+      dire::eval::RecoverDatabase(data_dir, *program, program_text, options);
+  if (!recovered.ok()) return Fail(recovered.status());
+  std::printf("recovered: %d iteration(s), %zu tuple(s) derived after "
+              "restart\n",
+              recovered->stats.iterations, recovered->stats.tuples_derived);
+  for (const std::string& pred : dumps) {
+    std::printf("%s", recovered->data_dir->db()->DumpRelation(pred).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "recover") == 0) return RunRecover(argc, argv);
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -205,12 +294,18 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+  const std::string program_text = buffer.str();
 
   dire::Result<dire::ast::Program> program =
-      dire::parser::ParseProgram(buffer.str());
+      dire::parser::ParseProgram(program_text);
   if (!program.ok()) return Fail(program.status());
 
-  dire::storage::Database db;
+  // With --data-dir, `db` points into the durable directory (snapshot + WAL
+  // recovered on open); otherwise it is a plain in-memory database.
+  dire::storage::Database local_db;
+  dire::storage::Database* db = &local_db;
+  std::unique_ptr<dire::storage::DataDir> data_dir;
+  std::unique_ptr<dire::eval::DataDirCheckpointer> checkpointer;
   dire::eval::ProvenanceTracker tracker;
   dire::eval::EvalOptions eval_options;
   eval_options.tracker = &tracker;
@@ -262,6 +357,46 @@ int main(int argc, char** argv) {
       *program = plan->optimized;
     } else if (flag == "--naive") {
       eval_options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--data-dir") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage();
+      if (data_dir != nullptr) {
+        std::fprintf(stderr, "error: --data-dir given twice\n");
+        return Usage();
+      }
+      dire::Result<std::unique_ptr<dire::storage::DataDir>> opened =
+          dire::storage::DataDir::Open(dir);
+      if (!opened.ok()) return Fail(opened.status());
+      data_dir = std::move(opened).value();
+      db = data_dir->db();
+      checkpointer = std::make_unique<dire::eval::DataDirCheckpointer>(
+          data_dir.get(), dire::eval::ProgramCrc(program_text));
+      eval_options.checkpointer = checkpointer.get();
+    } else if (flag == "--checkpoint-every-rounds") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      eval_options.checkpoint_every_rounds = static_cast<int>(v);
+    } else if (flag == "--add") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      if (data_dir == nullptr) {
+        std::fprintf(stderr, "error: --add requires --data-dir\n");
+        return Usage();
+      }
+      dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
+      if (!atom.ok()) return Fail(atom.status());
+      std::vector<std::string> values;
+      for (const dire::ast::Term& t : atom->args) {
+        if (!t.IsConstant()) {
+          return Fail(dire::Status::InvalidArgument(
+              "--add needs a ground fact, got variable '" + t.text() +
+              "' in " + atom->ToString()));
+        }
+        values.push_back(t.text());
+      }
+      dire::Status appended = data_dir->AppendFact(atom->predicate, values);
+      if (!appended.ok()) return Fail(appended);
+      std::printf("added %s (durable)\n", atom->ToString().c_str());
     } else if (flag == "--timeout-ms") {
       int64_t v = ParseCount(next());
       if (v < 0) return Usage();
@@ -336,7 +471,7 @@ int main(int argc, char** argv) {
       std::printf("%s", text->c_str());
     } else if (flag == "--eval") {
       arm_guard();
-      dire::eval::Evaluator evaluator(&db, eval_options);
+      dire::eval::Evaluator evaluator(db, eval_options);
       dire::Result<dire::eval::EvalStats> stats =
           evaluator.Evaluate(*program);
       if (!stats.ok()) return Fail(stats.status());
@@ -351,7 +486,7 @@ int main(int argc, char** argv) {
       if (!atom.ok()) return Fail(atom.status());
       arm_guard();
       dire::Result<dire::eval::QueryAnswer> ans =
-          dire::eval::AnswerQuery(&db, *program, *atom, eval_options);
+          dire::eval::AnswerQuery(db, *program, *atom, eval_options);
       if (!ans.ok()) return Fail(ans.status());
       report_exhaustion(ans->stats);
       std::printf("%zu answer(s) for %s:\n", ans->tuples.size(),
@@ -360,7 +495,7 @@ int main(int argc, char** argv) {
         std::string row;
         for (size_t k = 0; k < t.size(); ++k) {
           if (k != 0) row += ", ";
-          row += db.symbols().Name(t[k]);
+          row += db->symbols().Name(t[k]);
         }
         std::printf("  (%s)\n", row.c_str());
       }
@@ -373,14 +508,14 @@ int main(int argc, char** argv) {
       if (!evaluated) {
         std::fprintf(stderr, "note: --why before --eval; evaluating now\n");
         arm_guard();  // Fresh deadline for the implicit evaluation.
-        dire::eval::Evaluator evaluator(&db, eval_options);
+        dire::eval::Evaluator evaluator(db, eval_options);
         dire::Result<dire::eval::EvalStats> stats =
             evaluator.Evaluate(*program);
         if (!stats.ok()) return Fail(stats.status());
         evaluated = true;
       }
       dire::Result<dire::eval::Derivation> d =
-          dire::eval::Explain(&db, *program, tracker, *atom);
+          dire::eval::Explain(db, *program, tracker, *atom);
       if (!d.ok()) return Fail(d.status());
       std::printf("%s", d->ToString().c_str());
     } else if (flag == "--dump") {
@@ -390,7 +525,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "note: --dump before --eval/--query; relation "
                              "may be empty\n");
       }
-      std::printf("%s", db.DumpRelation(pred).c_str());
+      std::printf("%s", db->DumpRelation(pred).c_str());
     } else if (flag == "--dot") {
       const char* pred = next();
       const char* path = next();
