@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "base/rng.h"
 #include "eval/evaluator.h"
 #include "parser/parser.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_Fixpoint_Naive)->RangeMultiplier(2)->Range(32, 256)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("ablation");

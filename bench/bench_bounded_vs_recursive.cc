@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "base/rng.h"
 #include "core/rewrite.h"
 #include "eval/evaluator.h"
@@ -94,4 +96,4 @@ BENCHMARK(BM_Buys_PlanningCost);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("bounded_vs_recursive");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <string>
 
 #include "base/string_util.h"
@@ -96,4 +98,4 @@ BENCHMARK(BM_AnalyzeRecursion)->RangeMultiplier(4)->Range(2, 512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("detection");

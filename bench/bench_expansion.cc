@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/expansion.h"
 #include "core/rewrite.h"
 #include "cq/containment.h"
@@ -99,4 +101,4 @@ BENCHMARK(BM_BoundedRewrite_Example44)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("expansion");

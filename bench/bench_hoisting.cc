@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "base/rng.h"
 #include "base/string_util.h"
 #include "core/optimize.h"
@@ -179,4 +181,4 @@ BENCHMARK(BM_Hoisting_StringEval_Hoisted)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("hoisting");

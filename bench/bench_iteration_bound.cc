@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "base/rng.h"
 #include "core/rewrite.h"
 #include "eval/evaluator.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_TerminationByIterationBound)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("iteration_bound");

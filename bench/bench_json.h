@@ -1,0 +1,125 @@
+#ifndef DIRE_BENCH_BENCH_JSON_H_
+#define DIRE_BENCH_BENCH_JSON_H_
+
+// Shared driver for the bench_* binaries. DIRE_BENCH_MAIN("name") replaces
+// BENCHMARK_MAIN(): it runs Google Benchmark with the usual console output
+// and additionally writes BENCH_<name>.json into the working directory —
+// one record per benchmark run (full run name with its parameters,
+// iterations, wall/cpu nanoseconds per iteration, user counters) plus a
+// snapshot of the dire metrics registry — so CI and the repro scripts
+// consume results structurally instead of scraping stdout.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/io.h"
+#include "base/obs.h"
+#include "base/string_util.h"
+
+namespace dire::benchjson {
+
+// Console output as usual, but every per-iteration run is also kept for the
+// JSON file (aggregates like mean/stddev are console-only).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    int64_t iterations = 0;
+    double real_ns = 0;  // Per iteration.
+    double cpu_ns = 0;   // Per iteration.
+    bool error = false;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      Record r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<int64_t>(run.iterations);
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      r.real_ns = run.real_accumulated_time * 1e9 / iters;
+      r.cpu_ns = run.cpu_accumulated_time * 1e9 / iters;
+      r.error = run.error_occurred;
+      for (const auto& [cname, counter] : run.counters) {
+        r.counters.emplace_back(cname, static_cast<double>(counter.value));
+      }
+      records_.push_back(std::move(r));
+    }
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+inline std::string RenderJson(const char* bench_name,
+                              const std::vector<CollectingReporter::Record>&
+                                  records) {
+  std::string out = "{\n  \"bench\": \"";
+  out += obs::JsonEscape(bench_name);
+  out += "\",\n  \"runs\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const CollectingReporter::Record& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    out += obs::JsonEscape(r.name);
+    out += StrFormat(
+        "\", \"iterations\": %lld, \"real_ns\": %.1f, \"cpu_ns\": %.1f",
+        static_cast<long long>(r.iterations), r.real_ns, r.cpu_ns);
+    if (r.error) out += ", \"error\": true";
+    if (!r.counters.empty()) {
+      out += ", \"counters\": {";
+      for (size_t c = 0; c < r.counters.size(); ++c) {
+        if (c != 0) out += ", ";
+        out += '"';
+        out += obs::JsonEscape(r.counters[c].first);
+        out += StrFormat("\": %g", r.counters[c].second);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n  ],\n  \"metrics\": ";
+  out += obs::MetricsJson();
+  out += "\n}\n";
+  return out;
+}
+
+inline int RunAndEmit(const char* bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string path = StrFormat("BENCH_%s.json", bench_name);
+  std::string json = RenderJson(bench_name, reporter.records());
+  Status written = io::AtomicWriteFile(path, json);
+  if (written.ok()) {
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", path.c_str(),
+                 reporter.records().size());
+  } else {
+    std::fprintf(stderr, "error writing %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+  }
+  benchmark::Shutdown();
+  return written.ok() ? 0 : 1;
+}
+
+}  // namespace dire::benchjson
+
+// Drop-in replacement for BENCHMARK_MAIN(); `name` lands in the emitted
+// file name (BENCH_<name>.json) and its "bench" field.
+#define DIRE_BENCH_MAIN(name)                                      \
+  int main(int argc, char** argv) {                                \
+    return dire::benchjson::RunAndEmit(name, argc, argv);          \
+  }                                                                \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // DIRE_BENCH_BENCH_JSON_H_

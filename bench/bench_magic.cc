@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "base/rng.h"
 #include "base/string_util.h"
 #include "eval/magic.h"
@@ -105,4 +107,4 @@ BENCHMARK(BM_Query_TabledTopDown)->RangeMultiplier(2)->Range(1, 32)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("magic");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/strings_eval.h"
 #include "eval/evaluator.h"
 #include "parser/parser.h"
@@ -80,4 +82,4 @@ BENCHMARK(BM_Tc_SemiNaiveFixpoint)->RangeMultiplier(2)->Range(16, 128)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DIRE_BENCH_MAIN("seminaive_vs_strings");

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "base/obs.h"
+
 namespace dire::failpoints {
 namespace {
 
@@ -65,6 +67,19 @@ Status Check(const char* name) {
   const Config& c = state.config;
   bool fires = hit >= c.skip &&
                (c.fire_count < 0 || hit < c.skip + c.fire_count);
+  if (obs::kEnabled) {
+    // Per-site hit/fire counts, so tests can assert injection coverage
+    // through the metrics registry instead of the registry's own HitCount.
+    obs::GetCounter("dire_failpoint_hits_total",
+                    "Armed-failpoint site evaluations", {{"site", name}})
+        ->Add(1);
+    if (fires) {
+      obs::GetCounter("dire_failpoint_fires_total",
+                      "Failpoint evaluations that injected a failure",
+                      {{"site", name}})
+          ->Add(1);
+    }
+  }
   if (!fires) return Status::Ok();
   std::string message = c.message.empty()
                             ? "failpoint " + std::string(name) + " fired"

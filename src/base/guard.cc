@@ -1,5 +1,6 @@
 #include "base/guard.h"
 
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire {
@@ -27,9 +28,54 @@ int64_t ExecutionGuard::elapsed_ms() const {
 void ExecutionGuard::RecordTrip(Trip what) const {
   // First trip wins; later limits tripping do not overwrite the reason.
   int expected = static_cast<int>(Trip::kNone);
-  trip_kind_.compare_exchange_strong(expected, static_cast<int>(what),
-                                     std::memory_order_relaxed);
+  bool first = trip_kind_.compare_exchange_strong(
+      expected, static_cast<int>(what), std::memory_order_relaxed);
   tripped_.store(true, std::memory_order_release);
+  if (!first || !obs::kEnabled) return;
+  const char* kind = "none";
+  switch (what) {
+    case Trip::kDeadline:
+      kind = "deadline";
+      break;
+    case Trip::kTuples:
+      kind = "tuples";
+      break;
+    case Trip::kMemory:
+      kind = "memory";
+      break;
+    case Trip::kCancel:
+      kind = "cancel";
+      break;
+    case Trip::kNone:
+      break;
+  }
+  obs::GetCounter("dire_guard_trips_total",
+                  "Resource-guard trips by tripping limit", {{"kind", kind}})
+      ->Add(1);
+  // Headroom left in the limits that did NOT trip, at the moment of
+  // exhaustion — how close the run was to a different limit firing first.
+  if (limits_.timeout_ms != 0) {
+    int64_t left = limits_.timeout_ms - elapsed_ms();
+    obs::GetGauge("dire_guard_headroom_ms",
+                  "Deadline budget remaining at the last guard trip")
+        ->Set(left > 0 ? left : 0);
+  }
+  if (limits_.max_tuples != 0) {
+    uint64_t used = tuples_charged();
+    obs::GetGauge("dire_guard_headroom_tuples",
+                  "Tuple budget remaining at the last guard trip")
+        ->Set(used < limits_.max_tuples
+                  ? static_cast<int64_t>(limits_.max_tuples - used)
+                  : 0);
+  }
+  if (limits_.max_memory_bytes != 0) {
+    uint64_t used = memory_usage();
+    obs::GetGauge("dire_guard_headroom_bytes",
+                  "Memory budget remaining at the last guard trip")
+        ->Set(used < limits_.max_memory_bytes
+                  ? static_cast<int64_t>(limits_.max_memory_bytes - used)
+                  : 0);
+  }
 }
 
 Status ExecutionGuard::Check() const {

@@ -1,0 +1,125 @@
+#include "base/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "base/obs.h"
+#include "base/string_util.h"
+
+namespace dire::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::atomic<bool> g_json{false};
+
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::function<void(const std::string&)>& Sink() {
+  static std::function<void(const std::string&)>* s =
+      new std::function<void(const std::string&)>;
+  return *s;
+}
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string RenderHuman(Level level, const char* component,
+                        const std::string& message,
+                        const std::vector<Field>& fields) {
+  std::string out = StrFormat("[%s] %s: ", LevelName(level), component);
+  out += message;
+  for (const Field& f : fields) {
+    out += ' ';
+    out += f.first;
+    out += '=';
+    out += f.second;
+  }
+  return out;
+}
+
+std::string RenderJson(Level level, const char* component,
+                       const std::string& message,
+                       const std::vector<Field>& fields) {
+  std::string out = StrFormat(
+      "{\"ts_ms\":%lld,\"level\":\"%s\",\"component\":\"%s\",\"msg\":\"%s\"",
+      static_cast<long long>(WallMs()), LevelName(level),
+      obs::JsonEscape(component).c_str(), obs::JsonEscape(message).c_str());
+  for (const Field& f : fields) {
+    out += ",\"";
+    out += obs::JsonEscape(f.first);
+    out += "\":\"";
+    out += obs::JsonEscape(f.second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Result<Level> ParseLevel(const std::string& text) {
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn" || text == "warning") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off" || text == "none") return Level::kOff;
+  return Status::InvalidArgument(
+      "unknown log level '" + text + "' (want debug|info|warn|error|off)");
+}
+
+void SetLevel(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level GetLevel() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+bool Enabled(Level level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed) &&
+         level != Level::kOff;
+}
+
+void SetJsonOutput(bool json) {
+  g_json.store(json, std::memory_order_relaxed);
+}
+
+void SetSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
+}
+
+void Write(Level level, const char* component, const std::string& message,
+           const std::vector<Field>& fields) {
+  if (!Enabled(level)) return;
+  std::string line = g_json.load(std::memory_order_relaxed)
+                         ? RenderJson(level, component, message, fields)
+                         : RenderHuman(level, component, message, fields);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sink()) {
+    Sink()(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace dire::log

@@ -1,0 +1,80 @@
+#ifndef DIRE_BASE_LOG_H_
+#define DIRE_BASE_LOG_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+// Leveled structured logging for the library and the CLI. One line per
+// record, to stderr by default, in either human or JSON form:
+//
+//   log::Info("wal", "replayed write-ahead log",
+//             {{"records", "12"}, {"bytes", "4096"}});
+//   // human: [info] wal: replayed write-ahead log records=12 bytes=4096
+//   // json:  {"ts_ms":...,"level":"info","component":"wal",
+//   //         "msg":"replayed write-ahead log","records":"12",...}
+//
+// The default level is kWarn, so a library embedded in someone else's
+// process is silent in normal operation. The CLI maps --log-level /
+// --log-json onto SetLevel / SetJsonOutput. Thread-safe: records are
+// formatted outside the lock and emitted under it, so lines never
+// interleave.
+namespace dire::log {
+
+enum class Level {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Stable lower-case name ("debug", "info", "warn", "error", "off").
+const char* LevelName(Level level);
+
+// Parses a level name as accepted by --log-level.
+Result<Level> ParseLevel(const std::string& text);
+
+void SetLevel(Level level);
+Level GetLevel();
+
+// True iff a record at `level` would currently be emitted. Callers can use
+// this to skip expensive field construction.
+bool Enabled(Level level);
+
+// Switches between human-readable lines (default) and JSON lines.
+void SetJsonOutput(bool json);
+
+// Redirects records (already rendered, no trailing newline). Pass nullptr
+// to restore the default stderr sink. For tests and embedders.
+void SetSink(std::function<void(const std::string&)> sink);
+
+using Field = std::pair<std::string, std::string>;
+
+// Emits one record. `component` names the subsystem ("eval", "wal", ...).
+void Write(Level level, const char* component, const std::string& message,
+           const std::vector<Field>& fields = {});
+
+inline void Debug(const char* component, const std::string& message,
+                  const std::vector<Field>& fields = {}) {
+  Write(Level::kDebug, component, message, fields);
+}
+inline void Info(const char* component, const std::string& message,
+                 const std::vector<Field>& fields = {}) {
+  Write(Level::kInfo, component, message, fields);
+}
+inline void Warn(const char* component, const std::string& message,
+                 const std::vector<Field>& fields = {}) {
+  Write(Level::kWarn, component, message, fields);
+}
+inline void Error(const char* component, const std::string& message,
+                  const std::vector<Field>& fields = {}) {
+  Write(Level::kError, component, message, fields);
+}
+
+}  // namespace dire::log
+
+#endif  // DIRE_BASE_LOG_H_

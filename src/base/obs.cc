@@ -1,0 +1,506 @@
+#include "base/obs.h"
+
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/io.h"
+#include "base/string_util.h"
+
+namespace dire::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing (shared by both build modes: the math is part of the
+// public contract and unit-tested even when mutation is compiled out)
+
+int Histogram::BucketIndex(uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+#ifdef DIRE_OBS_ENABLED
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Series {
+  std::vector<Label> labels;
+  // Exactly one of these is non-null, matching the family's kind.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Family {
+  Kind kind = Kind::kCounter;
+  std::string help;
+  // Keyed by the serialized label set so each label combination is one
+  // stable series.
+  std::map<std::string, Series> series;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::map<std::string, Family>& Registry() {
+  static std::map<std::string, Family>* r = new std::map<std::string, Family>;
+  return *r;
+}
+
+std::string SerializeLabels(const std::vector<Label>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.first;
+    out += "=\"";
+    // Prometheus label value escaping: backslash, quote, newline.
+    for (char c : l.second) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Looks up / creates the series; on a kind mismatch returns a dummy so the
+// caller never gets a null (the dummy is not exported).
+Series* GetSeries(const std::string& name, Kind kind, const char* help,
+                  const std::vector<Label>& labels) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Family& family = Registry()[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help != nullptr ? help : "";
+  } else if (family.kind != kind) {
+    static std::map<Kind, Series>* dummies = [] {
+      auto* d = new std::map<Kind, Series>;
+      (*d)[Kind::kCounter].counter = std::make_unique<Counter>();
+      (*d)[Kind::kGauge].gauge = std::make_unique<Gauge>();
+      (*d)[Kind::kHistogram].histogram = std::make_unique<Histogram>();
+      return d;
+    }();
+    return &(*dummies)[kind];
+  }
+  if (family.help.empty() && help != nullptr) family.help = help;
+  Series& s = family.series[SerializeLabels(labels)];
+  if (s.counter == nullptr && s.gauge == nullptr && s.histogram == nullptr) {
+    s.labels = labels;
+    switch (kind) {
+      case Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: s.histogram = std::make_unique<Histogram>(); break;
+    }
+  }
+  return &s;
+}
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Splices an extra label (e.g. histogram `le`) into a serialized label set.
+std::string WithExtraLabel(const std::string& serialized,
+                           const std::string& key, const std::string& value) {
+  std::string extra = key + "=\"" + value + "\"";
+  if (serialized.empty()) return "{" + extra + "}";
+  std::string out = serialized;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  int64_t ts_us;
+  int64_t dur_us;
+  int tid;
+  int depth;
+  std::vector<std::pair<const char*, std::string>> args;
+};
+
+// Bounds trace memory: ~200k events is tens of MB of JSON, plenty for any
+// single evaluation; past it events are dropped and counted.
+constexpr size_t kMaxTraceEvents = 200000;
+
+std::atomic<bool> g_tracing{false};
+
+std::mutex& TraceMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<TraceEvent>& TraceBuffer() {
+  static std::vector<TraceEvent>* b = new std::vector<TraceEvent>;
+  return *b;
+}
+
+std::atomic<uint64_t> g_dropped_events{0};
+
+std::chrono::steady_clock::time_point& TraceEpoch() {
+  static std::chrono::steady_clock::time_point t =
+      std::chrono::steady_clock::now();
+  return t;
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+int ThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local int t_span_depth = 0;
+
+Counter* SpansRecordedCounter() {
+  static Counter* c = GetCounter("dire_obs_spans_total",
+                                 "Spans recorded into the trace buffer");
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry API
+
+Counter* GetCounter(const std::string& name, const char* help,
+                    const std::vector<Label>& labels) {
+  return GetSeries(name, Kind::kCounter, help, labels)->counter.get();
+}
+
+Gauge* GetGauge(const std::string& name, const char* help,
+                const std::vector<Label>& labels) {
+  return GetSeries(name, Kind::kGauge, help, labels)->gauge.get();
+}
+
+Histogram* GetHistogram(const std::string& name, const char* help,
+                        const std::vector<Label>& labels) {
+  return GetSeries(name, Kind::kHistogram, help, labels)->histogram.get();
+}
+
+std::string PrometheusText() {
+  std::string out;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const auto& [name, family] : Registry()) {
+    if (family.series.empty()) continue;
+    out += "# HELP " + name + ' ' +
+           (family.help.empty() ? name : family.help) + '\n';
+    out += "# TYPE " + name + ' ' + KindName(family.kind) + '\n';
+    for (const auto& [serialized, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + serialized + ' ' +
+                 std::to_string(series.counter->value()) + '\n';
+          break;
+        case Kind::kGauge:
+          out += name + serialized + ' ' +
+                 std::to_string(series.gauge->value()) + '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          uint64_t cumulative = 0;
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            uint64_t in_bucket = h.bucket_count(i);
+            cumulative += in_bucket;
+            // Keep the exposition compact: only boundaries that gained
+            // observations are emitted, plus +Inf below (cumulative counts
+            // stay correct — a skipped empty bucket changes no later count).
+            if (in_bucket == 0 || i >= 64) continue;
+            out += name + "_bucket" +
+                   WithExtraLabel(serialized, "le",
+                                  std::to_string(
+                                      Histogram::BucketUpperBound(i))) +
+                   ' ' + std::to_string(cumulative) + '\n';
+          }
+          out += name + "_bucket" + WithExtraLabel(serialized, "le", "+Inf") +
+                 ' ' + std::to_string(h.count()) + '\n';
+          out += name + "_sum" + serialized + ' ' + std::to_string(h.sum()) +
+                 '\n';
+          out += name + "_count" + serialized + ' ' +
+                 std::to_string(h.count()) + '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsJson() {
+  std::string counters, gauges, histograms;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const auto& [name, family] : Registry()) {
+    for (const auto& [serialized, series] : family.series) {
+      std::string key = "\"";
+      key += JsonEscape(name + serialized);
+      key += '"';
+      switch (family.kind) {
+        case Kind::kCounter:
+          if (!counters.empty()) counters += ',';
+          counters += key + ":" + std::to_string(series.counter->value());
+          break;
+        case Kind::kGauge:
+          if (!gauges.empty()) gauges += ',';
+          gauges += key + ":" + std::to_string(series.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::string buckets;
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            uint64_t n = h.bucket_count(i);
+            if (n == 0) continue;
+            if (!buckets.empty()) buckets += ',';
+            std::string le = i >= 64 ? "inf"
+                                     : std::to_string(
+                                           Histogram::BucketUpperBound(i));
+            buckets += "\"" + le + "\":" + std::to_string(n);
+          }
+          if (!histograms.empty()) histograms += ',';
+          histograms += key + ":{\"count\":" + std::to_string(h.count()) +
+                        ",\"sum\":" + std::to_string(h.sum()) +
+                        ",\"buckets\":{" + buckets + "}}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+void ResetAllMetricsForTest() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, family] : Registry()) {
+    for (auto& [serialized, series] : family.series) {
+      if (series.counter != nullptr) series.counter->ResetForTest();
+      if (series.gauge != nullptr) series.gauge->ResetForTest();
+      if (series.histogram != nullptr) series.histogram->ResetForTest();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+Span::Span(const char* name, const char* category) {
+  active_ = g_tracing.load(std::memory_order_relaxed);
+  if (!active_) return;
+  name_ = name;
+  category_ = category;
+  depth_ = t_span_depth++;
+  start_us_ = NowUs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  int64_t end_us = NowUs();
+  --t_span_depth;
+  TraceEvent event{name_,      category_, start_us_, end_us - start_us_,
+                   ThreadId(), depth_,    std::move(attrs_)};
+  {
+    std::lock_guard<std::mutex> lock(TraceMutex());
+    if (TraceBuffer().size() >= kMaxTraceEvents) {
+      g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceBuffer().push_back(std::move(event));
+  }
+  SpansRecordedCounter()->Add(1);
+}
+
+void Span::Attr(const char* key, int64_t value) {
+  if (!active_) return;
+  attrs_.emplace_back(key, std::to_string(value));
+}
+
+void Span::Attr(const char* key, uint64_t value) {
+  if (!active_) return;
+  attrs_.emplace_back(key, std::to_string(value));
+}
+
+void Span::Attr(const char* key, const std::string& value) {
+  if (!active_) return;
+  std::string rendered = "\"";
+  rendered += JsonEscape(value);
+  rendered += '"';
+  attrs_.emplace_back(key, std::move(rendered));
+}
+
+void Span::Attr(const char* key, const char* value) {
+  Attr(key, std::string(value));
+}
+
+void StartTracing() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  TraceBuffer().clear();
+  g_dropped_events.store(0, std::memory_order_relaxed);
+  TraceEpoch() = std::chrono::steady_clock::now();
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
+
+size_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  return TraceBuffer().size();
+}
+
+std::string ChromeTraceJson() {
+  std::string out = "{\"traceEvents\":[";
+  // Process metadata event; viewers use it for the track name.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"dire\"}}";
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  for (const TraceEvent& e : TraceBuffer()) {
+    out += StrFormat(
+        ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%d,\"ts\":%lld,\"dur\":%lld,\"args\":{\"depth\":%d",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(), e.tid,
+        static_cast<long long>(e.ts_us), static_cast<long long>(e.dur_us),
+        e.depth);
+    for (const auto& [key, rendered] : e.args) {
+      out += ",\"";
+      out += JsonEscape(key);
+      out += "\":";
+      out += rendered;
+    }
+    out += "}}";
+  }
+  uint64_t dropped = g_dropped_events.load(std::memory_order_relaxed);
+  if (dropped != 0) {
+    out += StrFormat(",\n{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":0,\"args\":{\"count\":%llu}}",
+                     static_cast<unsigned long long>(dropped));
+  }
+  out += "]}\n";
+  return out;
+}
+
+#else  // !DIRE_OBS_ENABLED
+
+// Instrumentation compiled out: lookups hand back process-lifetime dummies
+// (mutation is already a no-op in the header), tracing is inert, and the
+// exporters emit empty documents.
+
+namespace {
+
+template <typename T>
+T* Dummy() {
+  static T* t = new T;
+  return t;
+}
+
+}  // namespace
+
+Counter* GetCounter(const std::string&, const char*,
+                    const std::vector<Label>&) {
+  return Dummy<Counter>();
+}
+
+Gauge* GetGauge(const std::string&, const char*, const std::vector<Label>&) {
+  return Dummy<Gauge>();
+}
+
+Histogram* GetHistogram(const std::string&, const char*,
+                        const std::vector<Label>&) {
+  return Dummy<Histogram>();
+}
+
+std::string PrometheusText() { return ""; }
+
+std::string MetricsJson() {
+  return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+}
+
+void ResetAllMetricsForTest() {}
+
+Span::Span(const char*, const char*) {}
+Span::~Span() = default;
+void Span::Attr(const char*, int64_t) {}
+void Span::Attr(const char*, uint64_t) {}
+void Span::Attr(const char*, const std::string&) {}
+void Span::Attr(const char*, const char*) {}
+
+void StartTracing() {}
+void StopTracing() {}
+bool TracingActive() { return false; }
+size_t TraceEventCount() { return 0; }
+
+std::string ChromeTraceJson() { return "{\"traceEvents\":[]}\n"; }
+
+#endif  // DIRE_OBS_ENABLED
+
+Status WriteMetricsFile(const std::string& path) {
+  return io::AtomicWriteFile(path, PrometheusText());
+}
+
+Status WriteTraceFile(const std::string& path) {
+  return io::AtomicWriteFile(path, ChromeTraceJson());
+}
+
+}  // namespace dire::obs

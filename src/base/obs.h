@@ -1,0 +1,214 @@
+#ifndef DIRE_BASE_OBS_H_
+#define DIRE_BASE_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+// Engine-wide observability: structured spans, a metrics registry, and
+// exporters (Chrome trace_event JSON for chrome://tracing / Perfetto,
+// Prometheus text exposition, and a JSON registry dump for the bench
+// harness).
+//
+//   // Metrics: grab the series once (the pointer is stable for the process
+//   // lifetime), bump it on the hot path.
+//   static obs::Counter* tuples =
+//       obs::GetCounter("dire_eval_tuples_derived_total",
+//                       "New tuples inserted into IDB relations");
+//   tuples->Add(n);
+//
+//   // Spans: RAII around a unit of work; attributes become trace args.
+//   obs::Span span("eval.stratum", "eval");
+//   span.Attr("stratum", stratum_index);
+//
+// Everything is thread-safe. Spans are recorded only between StartTracing()
+// and StopTracing(); outside a trace a Span costs one relaxed atomic load.
+// Metric mutation is a relaxed atomic add.
+//
+// Metric names follow `dire_<area>_<name>`; counters end in `_total`.
+// Series may carry labels (e.g. {{"site", "eval.stratum"}}); a family is
+// the set of series sharing a name, and exporters group by family.
+//
+// The DIRE_OBS CMake option (default ON) compiles the subsystem in. With
+// -DDIRE_OBS=OFF every mutation below compiles to a no-op and the exporters
+// emit empty documents, so the hot path carries no instrumentation cost;
+// the API keeps the same shape so call sites need no #ifdefs.
+namespace dire::obs {
+
+#ifdef DIRE_OBS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if constexpr (kEnabled) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (kEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Histogram over uint64 values with log2 buckets. Bucket i holds values
+// whose bit width is i: bucket 0 is exactly {0}, bucket 1 is {1}, bucket 2
+// is {2,3}, bucket 3 is {4..7}, ..., bucket 64 is {2^63 .. 2^64-1}. The
+// exporter renders cumulative Prometheus `le` boundaries from
+// BucketUpperBound.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  static int BucketIndex(uint64_t v);
+  // Largest value belonging to bucket `i` (UINT64_MAX for the last bucket).
+  static uint64_t BucketUpperBound(int i);
+
+  void Observe(uint64_t v) {
+    if constexpr (kEnabled) {
+      buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+using Label = std::pair<std::string, std::string>;
+
+// Looks up (or registers) the series `name{labels}`. The returned pointer
+// is stable for the process lifetime; hot paths should call once and cache
+// it. `help` is kept from the first registration of the family. Requesting
+// an existing name as a different metric kind is an error (returns a
+// process-lifetime dummy series that exporters skip).
+Counter* GetCounter(const std::string& name, const char* help = nullptr,
+                    const std::vector<Label>& labels = {});
+Gauge* GetGauge(const std::string& name, const char* help = nullptr,
+                const std::vector<Label>& labels = {});
+Histogram* GetHistogram(const std::string& name, const char* help = nullptr,
+                        const std::vector<Label>& labels = {});
+
+// Prometheus text exposition (text/plain; version=0.0.4): `# HELP` and
+// `# TYPE` per family, then one line per series (histograms expose
+// cumulative `_bucket{le=...}`, `_sum`, `_count`).
+std::string PrometheusText();
+
+// The registry as a JSON object: {"counters": {...}, "gauges": {...},
+// "histograms": {"name": {"count": n, "sum": n, "buckets": {"le": n}}}}.
+// Used by the bench harness's BENCH_*.json output.
+std::string MetricsJson();
+
+// Writes PrometheusText() to `path` atomically.
+Status WriteMetricsFile(const std::string& path);
+
+// Zeroes every registered series (values only — pointers stay valid, so
+// cached series keep working). Test isolation; not for production.
+void ResetAllMetricsForTest();
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+// RAII span: records a Chrome "X" (complete) trace event covering its
+// lifetime, nested by thread. `name` and `category` must be string
+// literals (they are kept by pointer until export).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "dire");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach a key/value attribute (rendered into the event's "args").
+  void Attr(const char* key, int64_t value);
+  void Attr(const char* key, uint64_t value);  // size_t lands here on LP64
+  void Attr(const char* key, int value) {
+    Attr(key, static_cast<int64_t>(value));
+  }
+  void Attr(const char* key, const std::string& value);
+  void Attr(const char* key, const char* value);
+
+ private:
+#ifdef DIRE_OBS_ENABLED
+  bool active_ = false;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int64_t start_us_ = 0;
+  int depth_ = 0;
+  // Attribute values pre-rendered as JSON (numbers verbatim, strings
+  // escaped and quoted).
+  std::vector<std::pair<const char*, std::string>> attrs_;
+#endif
+};
+
+// Enables span recording (clearing any previous buffer) / disables it.
+// The buffer is bounded; events past the cap are counted as dropped.
+void StartTracing();
+void StopTracing();
+bool TracingActive();
+
+// Number of events recorded in the current buffer (post-Stop it persists
+// until the next StartTracing).
+size_t TraceEventCount();
+
+// The buffer as Chrome trace JSON: {"traceEvents": [...]}. Each event has
+// name/cat/ph="X"/pid/tid/ts/dur (+ args and a "depth" arg for nesting
+// assertions). Loadable in chrome://tracing and Perfetto.
+std::string ChromeTraceJson();
+
+// Writes ChromeTraceJson() to `path` atomically.
+Status WriteTraceFile(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Shared helper
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes added). Also used by the structured logger and bench harness.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace dire::obs
+
+#endif  // DIRE_BASE_OBS_H_

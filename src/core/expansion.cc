@@ -4,6 +4,7 @@
 #include <map>
 
 #include "ast/substitution.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::core {
@@ -107,6 +108,9 @@ std::vector<ast::Atom> ExpansionEnumerator::ApplyExit(
 }
 
 Result<std::vector<ExpansionString>> ExpansionEnumerator::NextLevel() {
+  obs::Span span("expansion.next_level", "core");
+  span.Attr("depth", depth_);
+  span.Attr("partials", partials_.size());
   if (options_.guard != nullptr) {
     DIRE_RETURN_IF_ERROR(options_.guard->Check());
   }
@@ -148,6 +152,13 @@ Result<std::vector<ExpansionString>> ExpansionEnumerator::NextLevel() {
   }
   partials_ = std::move(next);
   ++depth_;
+  span.Attr("strings", level.size());
+  obs::GetCounter("dire_expansion_levels_total",
+                  "Expansion levels materialized")
+      ->Add(1);
+  obs::GetCounter("dire_expansion_strings_total",
+                  "Expansion strings enumerated")
+      ->Add(level.size());
   return level;
 }
 

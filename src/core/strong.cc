@@ -1,5 +1,6 @@
 #include "core/strong.h"
 
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::core {
@@ -18,6 +19,11 @@ const char* VerdictName(Verdict v) {
 
 Result<StrongIndependenceResult> TestStrongIndependence(
     const ast::RecursiveDefinition& def, const ExecutionGuard* guard) {
+  obs::Span span("detect.strong", "core");
+  span.Attr("target", def.target);
+  obs::GetCounter("dire_detect_strong_tests_total",
+                  "Strong data-independence tests run")
+      ->Add(1);
   if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
   DIRE_ASSIGN_OR_RETURN(AvGraph graph, AvGraph::Build(def));
   if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "base/obs.h"
 #include "base/string_util.h"
 #include "core/chain.h"
 #include "core/graph_view.h"
@@ -146,6 +147,11 @@ int ExitIrredundanceCondition(const AvGraph& g, const GraphView& view,
 
 Result<WeakIndependenceResult> TestWeakIndependence(
     const ast::RecursiveDefinition& def, const ExecutionGuard* guard) {
+  obs::Span span("detect.weak", "core");
+  span.Attr("target", def.target);
+  obs::GetCounter("dire_detect_weak_tests_total",
+                  "Weak data-independence tests run")
+      ->Add(1);
   if (def.recursive_rules.empty()) {
     return Status::InvalidArgument("no recursive rule in definition");
   }

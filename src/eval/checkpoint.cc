@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "base/io.h"
+#include "base/log.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::eval {
@@ -74,6 +76,11 @@ Result<RecoverResult> RecoverDatabase(const std::string& dir,
                                       const ast::Program& program,
                                       std::string_view program_text,
                                       EvalOptions options) {
+  obs::Span span("checkpoint.recover", "persist");
+  span.Attr("dir", dir);
+  obs::GetCounter("dire_recoveries_total",
+                  "Checkpoint/restart recoveries attempted")
+      ->Add(1);
   if (options.checkpointer != nullptr) {
     return Status::InvalidArgument(
         "RecoverDatabase supplies its own checkpointer; options.checkpointer "
@@ -84,6 +91,15 @@ Result<RecoverResult> RecoverDatabase(const std::string& dir,
   const uint32_t crc = ProgramCrc(program_text);
   DIRE_ASSIGN_OR_RETURN(ResumePoint resume,
                         BuildResumePoint(data_dir.get(), crc));
+  span.Attr("resume_stratum", resume.stratum_index);
+  span.Attr("resume_rounds", resume.rounds_done);
+  if (log::Enabled(log::Level::kInfo) &&
+      (resume.stratum_index > 0 || resume.have_deltas)) {
+    log::Info("checkpoint", "resuming from checkpoint",
+              {{"stratum", std::to_string(resume.stratum_index)},
+               {"rounds", std::to_string(resume.rounds_done)},
+               {"have_deltas", resume.have_deltas ? "true" : "false"}});
+  }
   DataDirCheckpointer checkpointer(data_dir.get(), crc);
   options.checkpointer = &checkpointer;
   Evaluator evaluator(data_dir->db(), options);

@@ -1,9 +1,12 @@
 #include "eval/evaluator.h"
 
+#include <chrono>
 #include <set>
 
 #include "ast/dependency.h"
 #include "base/failpoints.h"
+#include "base/log.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 #include "eval/builtins.h"
 
@@ -137,6 +140,57 @@ class RuleExecutor {
   bool stopped_ = false;
 };
 
+// Metric series used by the evaluator, resolved once per process.
+struct EvalMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* strata;
+  obs::Counter* rounds;
+  obs::Counter* rule_firings;
+  obs::Counter* tuples_emitted;
+  obs::Counter* tuples_derived;
+  obs::Counter* tuples_deduped;
+  obs::Counter* exhaustions;
+  obs::Histogram* delta_tuples;
+  obs::Histogram* join_fanout;
+  obs::Gauge* db_bytes;
+};
+
+const EvalMetrics& Metrics() {
+  static const EvalMetrics* m = new EvalMetrics{
+      obs::GetCounter("dire_eval_evaluations_total",
+                      "Bottom-up evaluations started"),
+      obs::GetCounter("dire_eval_strata_total", "Strata evaluated"),
+      obs::GetCounter("dire_eval_rounds_total",
+                      "Fixpoint rounds executed (a nonrecursive stratum "
+                      "counts one)"),
+      obs::GetCounter("dire_eval_rule_firings_total",
+                      "Rule plan executions (per round, per delta variant)"),
+      obs::GetCounter("dire_eval_tuples_emitted_total",
+                      "Head tuples emitted by joins before deduplication"),
+      obs::GetCounter("dire_eval_tuples_derived_total",
+                      "New tuples inserted into IDB relations"),
+      obs::GetCounter("dire_eval_tuples_deduped_total",
+                      "Emitted tuples dropped as duplicates"),
+      obs::GetCounter("dire_eval_exhaustions_total",
+                      "Evaluations stopped early by a resource guard under "
+                      "on_exhaustion=partial"),
+      obs::GetHistogram("dire_eval_delta_tuples",
+                        "Semi-naive frontier size per round (new tuples per "
+                        "round for naive evaluation)"),
+      obs::GetHistogram("dire_eval_join_fanout",
+                        "Tuples emitted per rule firing"),
+      obs::GetGauge("dire_eval_db_approx_bytes",
+                    "Approximate relation memory after the last evaluation"),
+  };
+  return *m;
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
@@ -166,6 +220,15 @@ Status EvalOptions::Validate() const {
   return Status::Ok();
 }
 
+int Evaluator::RegisterRule(const ast::Rule& r) {
+  RuleStats rs;
+  rs.rule_index = static_cast<int>(stats_.rule_stats.size());
+  rs.rule = r.ToString();
+  rs.head_predicate = r.head.predicate;
+  stats_.rule_stats.push_back(std::move(rs));
+  return stats_.rule_stats.back().rule_index;
+}
+
 Status Evaluator::MaybeCheckpoint(int stratum_index, int rounds_done,
                                   const DeltaMap* deltas) {
   if (options_.checkpointer == nullptr) return Status::Ok();
@@ -173,23 +236,24 @@ Status Evaluator::MaybeCheckpoint(int stratum_index, int rounds_done,
   return options_.checkpointer->Checkpoint(stratum_index, rounds_done, deltas);
 }
 
-Status Evaluator::GuardCheck(EvalStats* stats, bool* stop) {
+Status Evaluator::GuardCheck(bool* stop) {
   if (options_.guard == nullptr) return Status::Ok();
   options_.guard->SetMemoryUsage(db_->ApproxBytes());
   Status s = options_.guard->Check();
   if (s.ok()) return s;
   if (options_.on_exhaustion == EvalOptions::OnExhaustion::kError) return s;
+  if (!stats_.exhausted) Metrics().exhaustions->Add(1);
   *stop = true;
-  stats->converged = false;
-  stats->exhausted = true;
-  stats->exhausted_reason = options_.guard->trip_reason();
+  stats_.converged = false;
+  stats_.exhausted = true;
+  stats_.exhausted_reason = options_.guard->trip_reason();
   return Status::Ok();
 }
 
 Status Evaluator::MergeStaging(const storage::Relation& staging,
                                const std::string& predicate,
                                storage::Relation* head,
-                               storage::Relation* delta, EvalStats* stats) {
+                               storage::Relation* delta, int rule_id) {
   const ExecutionGuard* guard = options_.guard;
   for (const storage::Tuple& t : staging.tuples()) {
     // Stop before exceeding the tuple budget: the budget trips exactly at
@@ -197,7 +261,10 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
     if (guard != nullptr && guard->TuplesExhausted()) break;
     DIRE_FAILPOINT("storage.relation_insert");
     if (head->Insert(t)) {
-      ++stats->tuples_derived;
+      ++stats_.tuples_derived;
+      if (rule_id >= 0) {
+        ++stats_.rule_stats[static_cast<size_t>(rule_id)].tuples_inserted;
+      }
       Note(predicate, t);
       if (delta != nullptr) delta->Insert(t);
       if (guard != nullptr) guard->AddTuples(1);
@@ -206,20 +273,66 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
   return Status::Ok();
 }
 
+Status Evaluator::FireRule(const CompiledRule& plan, int rule_id,
+                           const RelationResolver& resolve,
+                           storage::Relation* head,
+                           storage::Relation* delta) {
+  obs::Span span("eval.rule", "eval");
+  span.Attr("head", plan.head_predicate);
+  auto t0 = std::chrono::steady_clock::now();
+  storage::Relation staging("$staging", head->arity());
+  size_t emitted = 0;
+  ++provenance_round_;
+  ExecuteRule(plan, resolve,
+              [&staging, &emitted](const storage::Tuple& t) {
+                ++emitted;
+                staging.Insert(t);
+              },
+              &db_->symbols(), options_.guard);
+  ++stats_.rule_firings;
+  size_t before = stats_.tuples_derived;
+  Status merged = MergeStaging(staging, plan.head_predicate, head, delta,
+                               rule_id);
+  size_t inserted = stats_.tuples_derived - before;
+  int64_t ns = ElapsedNs(t0);
+  if (rule_id >= 0) {
+    RuleStats& rs = stats_.rule_stats[static_cast<size_t>(rule_id)];
+    ++rs.firings;
+    rs.tuples_emitted += emitted;
+    rs.exec_ns += ns;
+  }
+  const EvalMetrics& m = Metrics();
+  m.rule_firings->Add(1);
+  m.tuples_emitted->Add(emitted);
+  m.tuples_derived->Add(inserted);
+  m.tuples_deduped->Add(emitted - inserted);
+  m.join_fanout->Observe(emitted);
+  span.Attr("emitted", emitted);
+  span.Attr("inserted", inserted);
+  return merged;
+}
+
 Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
                                       const ResumePoint* resume) {
   DIRE_RETURN_IF_ERROR(options_.Validate());
+  // A reused evaluator starts from a clean slate: no iteration counts,
+  // rule/stratum breakdowns, or exhausted_reason may survive from a
+  // previous evaluation.
+  stats_ = EvalStats{};
+  obs::Span span("eval.evaluate", "eval");
+  Metrics().evaluations->Add(1);
+  auto t_eval = std::chrono::steady_clock::now();
   DIRE_RETURN_IF_ERROR(db_->LoadFacts(program));
 
-  // Make sure every head relation exists, so queries over empty results work.
-  std::vector<ast::Rule> proper_rules;
+  // Make sure every head relation exists, so queries over empty results
+  // work; register each proper rule for per-rule stats as we go.
+  std::vector<IndexedRule> proper_rules;
   for (const ast::Rule& r : program.rules) {
     if (r.IsFact()) continue;
-    DIRE_RETURN_IF_ERROR(
-        db_->GetOrCreate(r.head.predicate, r.head.arity()).ok()
-            ? Status::Ok()
-            : db_->GetOrCreate(r.head.predicate, r.head.arity()).status());
-    proper_rules.push_back(r);
+    Result<storage::Relation*> head =
+        db_->GetOrCreate(r.head.predicate, r.head.arity());
+    if (!head.ok()) return head.status();
+    proper_rules.push_back(IndexedRule{&r, RegisterRule(r)});
   }
 
   ast::DependencyGraph deps(program);
@@ -228,7 +341,8 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
                                    deps.StratificationViolation());
   }
   const std::vector<std::vector<std::string>>& strata = deps.Strata();
-  EvalStats total;
+  span.Attr("rules", proper_rules.size());
+  span.Attr("strata", strata.size());
   bool exhausted_stop = false;
   for (size_t si = 0; si < strata.size(); ++si) {
     // A resumed run skips completed strata: their derivations are already in
@@ -238,15 +352,24 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
       continue;
     }
     const std::vector<std::string>& stratum = strata[si];
-    std::vector<ast::Rule> stratum_rules;
     std::set<std::string> members(stratum.begin(), stratum.end());
-    for (const ast::Rule& r : proper_rules) {
-      if (members.count(r.head.predicate) != 0) stratum_rules.push_back(r);
+    std::vector<IndexedRule> stratum_rules;
+    bool recursive = false;
+    for (const IndexedRule& ir : proper_rules) {
+      if (members.count(ir.rule->head.predicate) == 0) continue;
+      stratum_rules.push_back(ir);
+      stats_.rule_stats[static_cast<size_t>(ir.id)].stratum =
+          static_cast<int>(si);
+      // A stratum needs fixpoint iteration only if some rule reads a
+      // predicate defined in the same stratum.
+      for (const ast::Atom& a : ir.rule->body) {
+        if (members.count(a.predicate) != 0) recursive = true;
+      }
     }
     if (stratum_rules.empty()) continue;
     DIRE_FAILPOINT("eval.stratum");
     bool stop = false;
-    DIRE_RETURN_IF_ERROR(GuardCheck(&total, &stop));
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
     if (stop) {  // Completed strata stand; later ones never start.
       exhausted_stop = true;
       DIRE_RETURN_IF_ERROR(
@@ -257,16 +380,10 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
         resume != nullptr && static_cast<int>(si) == resume->stratum_index
             ? resume
             : nullptr;
-    DIRE_ASSIGN_OR_RETURN(
-        EvalStats s, EvaluateStratum(stratum_rules, stratum,
-                                     static_cast<int>(si), stratum_resume));
-    total.iterations += s.iterations;
-    total.tuples_derived += s.tuples_derived;
-    total.rule_firings += s.rule_firings;
-    total.converged = total.converged && s.converged;
-    if (s.exhausted) {
-      total.exhausted = true;
-      total.exhausted_reason = s.exhausted_reason;
+    DIRE_RETURN_IF_ERROR(EvaluateStratum(stratum_rules, stratum,
+                                         static_cast<int>(si), recursive,
+                                         stratum_resume));
+    if (stats_.exhausted) {
       exhausted_stop = true;
       // The in-flight stratum restarts from its merged state on resume (the
       // guard may have tripped mid-round, where no delta frontier is
@@ -284,15 +401,41 @@ Result<EvalStats> Evaluator::Evaluate(const ast::Program& program,
     DIRE_RETURN_IF_ERROR(MaybeCheckpoint(static_cast<int>(strata.size()), 0,
                                          /*deltas=*/nullptr));
   }
-  return total;
+  Metrics().db_bytes->Set(static_cast<int64_t>(db_->ApproxBytes()));
+  span.Attr("iterations", int64_t{stats_.iterations});
+  span.Attr("tuples_derived", stats_.tuples_derived);
+  if (log::Enabled(log::Level::kDebug)) {
+    log::Debug("eval", "evaluation finished",
+               {{"iterations", std::to_string(stats_.iterations)},
+                {"tuples_derived", std::to_string(stats_.tuples_derived)},
+                {"rule_firings", std::to_string(stats_.rule_firings)},
+                {"wall_ms", std::to_string(ElapsedNs(t_eval) / 1000000)}});
+  }
+  return stats_;
 }
 
 Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
-  EvalStats stats;
-  stats.iterations = 1;
+  // Same clean-slate contract as Evaluate (see there).
+  stats_ = EvalStats{};
+  obs::Span span("eval.evaluate_once", "eval");
+  Metrics().evaluations->Add(1);
+  stats_.iterations = 1;
+  Metrics().rounds->Add(1);
+  std::vector<IndexedRule> indexed;
   for (const ast::Rule& r : rules) {
+    indexed.push_back(IndexedRule{&r, r.IsFact() ? -1 : RegisterRule(r)});
+    if (!r.IsFact()) stats_.rule_stats.back().stratum = 0;
+  }
+  DIRE_RETURN_IF_ERROR(RunRulesOnce(indexed));
+  span.Attr("tuples_derived", stats_.tuples_derived);
+  return stats_;
+}
+
+Status Evaluator::RunRulesOnce(const std::vector<IndexedRule>& rules) {
+  for (const IndexedRule& ir : rules) {
+    const ast::Rule& r = *ir.rule;
     bool stop = false;
-    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
     if (stop) break;
     if (r.IsFact()) {
       DIRE_RETURN_IF_ERROR(db_->AddFact(r.head));
@@ -308,97 +451,112 @@ Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
     auto resolve = [this](const CompiledAtom& atom) {
       return db_->Find(atom.predicate);
     };
-    storage::Relation staging("$staging", head->arity());
-    ++provenance_round_;  // Later rules may read this rule's output.
-    ExecuteRule(plan, resolve,
-                [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                &db_->symbols(), options_.guard);
-    ++stats.rule_firings;
-    DIRE_RETURN_IF_ERROR(MergeStaging(staging, plan.head_predicate, head,
-                                      /*delta=*/nullptr, &stats));
+    DIRE_RETURN_IF_ERROR(
+        FireRule(plan, ir.id, resolve, head, /*delta=*/nullptr));
   }
-  return stats;
+  return Status::Ok();
 }
 
-Result<EvalStats> Evaluator::EvaluateStratum(
-    const std::vector<ast::Rule>& rules,
-    const std::vector<std::string>& stratum, int stratum_index,
-    const ResumePoint* resume) {
-  // A stratum needs fixpoint iteration only if some rule reads a predicate
-  // defined in the same stratum.
-  std::set<std::string> members(stratum.begin(), stratum.end());
-  bool recursive = false;
-  for (const ast::Rule& r : rules) {
-    for (const ast::Atom& a : r.body) {
-      if (members.count(a.predicate) != 0) recursive = true;
-    }
+Status Evaluator::EvaluateStratum(const std::vector<IndexedRule>& rules,
+                                  const std::vector<std::string>& stratum,
+                                  int stratum_index, bool recursive,
+                                  const ResumePoint* resume) {
+  obs::Span span("eval.stratum", "eval");
+  span.Attr("stratum", stratum_index);
+  span.Attr("predicates", Join(stratum, ","));
+  span.Attr("recursive", recursive ? "true" : "false");
+  Metrics().strata->Add(1);
+  auto t0 = std::chrono::steady_clock::now();
+  size_t tuples_before = stats_.tuples_derived;
+  int rounds = 0;
+  Status result;
+  if (!recursive) {
+    ++stats_.iterations;
+    Metrics().rounds->Add(1);
+    rounds = 1;
+    result = RunRulesOnce(rules);
+  } else if (options_.mode == EvalOptions::Mode::kNaive) {
+    result = NaiveFixpoint(rules, stratum_index, &rounds);
+  } else {
+    result = SemiNaiveFixpoint(rules, stratum, stratum_index, resume,
+                               &rounds);
   }
-  if (!recursive) return EvaluateOnce(rules);
-  if (options_.mode == EvalOptions::Mode::kNaive) {
-    return NaiveFixpoint(rules, stratum_index);
-  }
-  return SemiNaiveFixpoint(rules, stratum, stratum_index, resume);
+  DIRE_RETURN_IF_ERROR(result);
+  StratumStats ss;
+  ss.index = stratum_index;
+  ss.predicates = stratum;
+  ss.recursive = recursive;
+  ss.rounds = rounds;
+  ss.tuples_inserted = stats_.tuples_derived - tuples_before;
+  ss.wall_ns = ElapsedNs(t0);
+  span.Attr("rounds", rounds);
+  span.Attr("tuples_inserted", ss.tuples_inserted);
+  stats_.stratum_stats.push_back(std::move(ss));
+  return Status::Ok();
 }
 
-Result<EvalStats> Evaluator::NaiveFixpoint(const std::vector<ast::Rule>& rules,
-                                           int stratum_index) {
-  std::vector<CompiledRule> plans;
-  std::vector<storage::Relation*> heads;
-  for (const ast::Rule& r : rules) {
+Status Evaluator::NaiveFixpoint(const std::vector<IndexedRule>& rules,
+                                int stratum_index, int* rounds) {
+  struct Variant {
+    CompiledRule plan;
+    storage::Relation* head;
+    int rule_id;
+  };
+  std::vector<Variant> plans;
+  for (const IndexedRule& ir : rules) {
     CompileOptions copts;
     copts.reorder = options_.reorder_atoms;
     DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
-                          CompileRule(r, &db_->symbols(), copts));
+                          CompileRule(*ir.rule, &db_->symbols(), copts));
     DIRE_ASSIGN_OR_RETURN(
         storage::Relation * head,
         db_->GetOrCreate(plan.head_predicate, plan.head_arity));
-    plans.push_back(std::move(plan));
-    heads.push_back(head);
+    plans.push_back(Variant{std::move(plan), head, ir.id});
   }
   auto resolve = [this](const CompiledAtom& atom) {
     return db_->Find(atom.predicate);
   };
 
-  EvalStats stats;
   while (true) {
-    if (options_.max_iterations > 0 &&
-        stats.iterations >= options_.max_iterations) {
-      stats.converged = !options_.stop_on_fixpoint ? true : false;
+    if (options_.max_iterations > 0 && *rounds >= options_.max_iterations) {
+      stats_.converged = !options_.stop_on_fixpoint;
       break;
     }
     bool stop = false;
-    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
     if (stop) break;
-    ++stats.iterations;
-    size_t before = stats.tuples_derived;
-    for (size_t i = 0; i < plans.size(); ++i) {
-      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
-      if (stop) return stats;
-      storage::Relation staging("$staging", heads[i]->arity());
-      ++provenance_round_;
-      ExecuteRule(plans[i], resolve,
-                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                  &db_->symbols(), options_.guard);
-      ++stats.rule_firings;
-      DIRE_RETURN_IF_ERROR(MergeStaging(staging, plans[i].head_predicate,
-                                        heads[i], /*delta=*/nullptr, &stats));
+    obs::Span round_span("eval.round", "eval");
+    round_span.Attr("stratum", stratum_index);
+    round_span.Attr("round", *rounds);
+    ++*rounds;
+    ++stats_.iterations;
+    Metrics().rounds->Add(1);
+    size_t before = stats_.tuples_derived;
+    for (const Variant& v : plans) {
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
+      if (stop) return Status::Ok();
+      DIRE_RETURN_IF_ERROR(
+          FireRule(v.plan, v.rule_id, resolve, v.head, /*delta=*/nullptr));
     }
-    if (options_.stop_on_fixpoint && stats.tuples_derived == before) break;
+    size_t gained = stats_.tuples_derived - before;
+    Metrics().delta_tuples->Observe(gained);
+    round_span.Attr("new_tuples", gained);
+    if (options_.stop_on_fixpoint && gained == 0) break;
     // Naive evaluation has no delta frontier; a mid-stratum checkpoint
     // restarts the stratum from the merged state on resume.
     if (options_.checkpoint_every_rounds > 0 &&
-        stats.iterations % options_.checkpoint_every_rounds == 0) {
+        *rounds % options_.checkpoint_every_rounds == 0) {
       DIRE_RETURN_IF_ERROR(
           MaybeCheckpoint(stratum_index, 0, /*deltas=*/nullptr));
     }
   }
-  return stats;
+  return Status::Ok();
 }
 
-Result<EvalStats> Evaluator::SemiNaiveFixpoint(
-    const std::vector<ast::Rule>& rules,
-    const std::vector<std::string>& stratum, int stratum_index,
-    const ResumePoint* resume) {
+Status Evaluator::SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
+                                    const std::vector<std::string>& stratum,
+                                    int stratum_index,
+                                    const ResumePoint* resume, int* rounds) {
   std::set<std::string> members(stratum.begin(), stratum.end());
 
   // Plain plans (all-full) run once to seed the deltas; differentiated
@@ -406,10 +564,12 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
   struct Variant {
     CompiledRule plan;
     storage::Relation* head;
+    int rule_id;
   };
   std::vector<Variant> seed_plans;
   std::vector<Variant> delta_plans;
-  for (const ast::Rule& r : rules) {
+  for (const IndexedRule& ir : rules) {
+    const ast::Rule& r = *ir.rule;
     CompileOptions copts;
     copts.reorder = options_.reorder_atoms;
     DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
@@ -417,7 +577,7 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
     DIRE_ASSIGN_OR_RETURN(
         storage::Relation * head,
         db_->GetOrCreate(plan.head_predicate, plan.head_arity));
-    seed_plans.push_back(Variant{std::move(plan), head});
+    seed_plans.push_back(Variant{std::move(plan), head, ir.id});
     for (size_t j = 0; j < r.body.size(); ++j) {
       if (r.body[j].negated || members.count(r.body[j].predicate) == 0) {
         continue;
@@ -427,7 +587,7 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
       dopts.delta_atom = static_cast<int>(j);
       DIRE_ASSIGN_OR_RETURN(CompiledRule dplan,
                             CompileRule(r, &db_->symbols(), dopts));
-      delta_plans.push_back(Variant{std::move(dplan), head});
+      delta_plans.push_back(Variant{std::move(dplan), head, ir.id});
     }
   }
 
@@ -477,26 +637,23 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
     return db_->Find(atom.predicate);
   };
 
-  EvalStats stats;
-
   // Seed round: evaluate every rule on the current database. A resume with a
   // restored frontier skips it — the crashed run already seeded and merged.
   if (!resuming_deltas) {
-    ++stats.iterations;
+    obs::Span round_span("eval.round", "eval");
+    round_span.Attr("stratum", stratum_index);
+    round_span.Attr("round", absolute_round);
+    round_span.Attr("seed", "true");
+    ++*rounds;
+    ++stats_.iterations;
+    Metrics().rounds->Add(1);
     ++absolute_round;
-    for (Variant& v : seed_plans) {
+    for (const Variant& v : seed_plans) {
       bool stop = false;
-      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
-      if (stop) return stats;
-      storage::Relation staging("$staging", v.plan.head_arity);
-      ++provenance_round_;
-      ExecuteRule(v.plan, resolve_full,
-                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                  &db_->symbols(), options_.guard);
-      ++stats.rule_firings;
-      DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate, v.head,
-                                        delta[v.plan.head_predicate].get(),
-                                        &stats));
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
+      if (stop) return Status::Ok();
+      DIRE_RETURN_IF_ERROR(FireRule(v.plan, v.rule_id, resolve_full, v.head,
+                                    delta[v.plan.head_predicate].get()));
     }
     if (options_.checkpoint_every_rounds > 0 &&
         absolute_round % options_.checkpoint_every_rounds == 0) {
@@ -511,34 +668,34 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
       for (const auto& [p, rel] : delta) any_delta |= !rel->empty();
       if (!any_delta) break;
     }
-    if (options_.max_iterations > 0 &&
-        stats.iterations >= options_.max_iterations) {
-      stats.converged = options_.stop_on_fixpoint ? false : true;
+    if (options_.max_iterations > 0 && *rounds >= options_.max_iterations) {
+      stats_.converged = !options_.stop_on_fixpoint;
       break;
     }
     bool stop = false;
-    DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
+    DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
     if (stop) break;
-    ++stats.iterations;
+    obs::Span round_span("eval.round", "eval");
+    round_span.Attr("stratum", stratum_index);
+    round_span.Attr("round", absolute_round);
+    ++*rounds;
+    ++stats_.iterations;
+    Metrics().rounds->Add(1);
     ++absolute_round;
-    for (Variant& v : delta_plans) {
-      DIRE_RETURN_IF_ERROR(GuardCheck(&stats, &stop));
-      if (stop) return stats;
-      storage::Relation staging("$staging", v.plan.head_arity);
-      ++provenance_round_;
-      ExecuteRule(v.plan, resolve_delta,
-                  [&staging](const storage::Tuple& t) { staging.Insert(t); },
-                  &db_->symbols(), options_.guard);
-      ++stats.rule_firings;
-      DIRE_RETURN_IF_ERROR(MergeStaging(staging, v.plan.head_predicate,
-                                        v.head,
-                                        next_delta[v.plan.head_predicate].get(),
-                                        &stats));
+    for (const Variant& v : delta_plans) {
+      DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
+      if (stop) return Status::Ok();
+      DIRE_RETURN_IF_ERROR(FireRule(v.plan, v.rule_id, resolve_delta, v.head,
+                                    next_delta[v.plan.head_predicate].get()));
     }
     for (auto& [p, rel] : delta) {
       rel->Clear();
       std::swap(delta[p], next_delta[p]);
     }
+    size_t frontier = 0;
+    for (const auto& [p, rel] : delta) frontier += rel->size();
+    Metrics().delta_tuples->Observe(frontier);
+    round_span.Attr("frontier", frontier);
     // Clean round boundary: full relations hold every derivation through
     // `absolute_round` and `delta` is exactly the frontier for the next one,
     // so this pair is a consistent mid-stratum checkpoint.
@@ -548,7 +705,7 @@ Result<EvalStats> Evaluator::SemiNaiveFixpoint(
           MaybeCheckpoint(stratum_index, absolute_round, &delta));
     }
   }
-  return stats;
+  return Status::Ok();
 }
 
 }  // namespace dire::eval

@@ -111,6 +111,38 @@ struct EvalOptions {
   Status Validate() const;
 };
 
+// Per-rule evaluation breakdown, accumulated over every firing of the
+// rule's plan variants (the plain plan plus each semi-naive delta variant).
+struct RuleStats {
+  // Index into EvalStats::rule_stats, stable for one evaluation.
+  int rule_index = -1;
+  // The rule's source text, e.g. "t(X, Y) :- e(X, Z), t(Z, Y).".
+  std::string rule;
+  std::string head_predicate;
+  // Index of the stratum the rule ran in; -1 if it never ran.
+  int stratum = -1;
+  // Plan executions (per round, per delta variant).
+  size_t firings = 0;
+  // Head tuples emitted by the join, before any deduplication.
+  size_t tuples_emitted = 0;
+  // New tuples this rule inserted into its head relation. Summed over all
+  // rules this equals EvalStats::tuples_derived.
+  size_t tuples_inserted = 0;
+  // Wall time spent executing this rule's joins and merging their output.
+  int64_t exec_ns = 0;
+};
+
+// Per-stratum breakdown, in evaluation order.
+struct StratumStats {
+  int index = -1;
+  std::vector<std::string> predicates;
+  bool recursive = false;
+  // Fixpoint rounds this stratum ran (1 for a nonrecursive stratum).
+  int rounds = 0;
+  size_t tuples_inserted = 0;
+  int64_t wall_ns = 0;
+};
+
 struct EvalStats {
   // Fixpoint rounds summed over all strata (a nonrecursive stratum counts 1).
   int iterations = 0;
@@ -127,7 +159,20 @@ struct EvalStats {
   // Which limit tripped ("deadline exceeded after ...", ...); empty
   // otherwise.
   std::string exhausted_reason;
+  // Where the time and tuples went: one entry per rule (in registration
+  // order) and per executed stratum. Rendered by eval::FormatEvalStats.
+  std::vector<RuleStats> rule_stats;
+  std::vector<StratumStats> stratum_stats;
 };
+
+// Executes one compiled rule (see ExecuteRule below). `resolve` maps a body
+// atom to the relation it reads (may return nullptr for a missing relation,
+// which yields no rows). Each derived head tuple is passed to `sink`
+// (duplicates possible); sinks typically stage into a deduplicating Relation
+// so that a high-multiplicity join cannot blow up memory.
+using RelationResolver =
+    std::function<storage::Relation*(const CompiledAtom&)>;
+using TupleSink = std::function<void(const storage::Tuple&)>;
 
 // Bottom-up Datalog evaluation over a Database. General positive programs
 // are supported: predicates are stratified into strongly connected
@@ -155,16 +200,35 @@ class Evaluator {
   Result<EvalStats> EvaluateOnce(const std::vector<ast::Rule>& rules);
 
  private:
-  Result<EvalStats> EvaluateStratum(const std::vector<ast::Rule>& rules,
-                                    const std::vector<std::string>& stratum,
-                                    int stratum_index,
-                                    const ResumePoint* resume);
-  Result<EvalStats> NaiveFixpoint(const std::vector<ast::Rule>& rules,
-                                  int stratum_index);
-  Result<EvalStats> SemiNaiveFixpoint(const std::vector<ast::Rule>& rules,
-                                      const std::vector<std::string>& stratum,
-                                      int stratum_index,
-                                      const ResumePoint* resume);
+  // A rule paired with its index into stats_.rule_stats.
+  struct IndexedRule {
+    const ast::Rule* rule;
+    int id;
+  };
+
+  // Appends a RuleStats entry for `r` and returns its index.
+  int RegisterRule(const ast::Rule& r);
+
+  Status EvaluateStratum(const std::vector<IndexedRule>& rules,
+                         const std::vector<std::string>& stratum,
+                         int stratum_index, bool recursive,
+                         const ResumePoint* resume);
+  Status NaiveFixpoint(const std::vector<IndexedRule>& rules,
+                       int stratum_index, int* rounds);
+  Status SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
+                           const std::vector<std::string>& stratum,
+                           int stratum_index, const ResumePoint* resume,
+                           int* rounds);
+  // Fires each rule exactly once against the current database (the body of
+  // a nonrecursive stratum and of the public EvaluateOnce).
+  Status RunRulesOnce(const std::vector<IndexedRule>& rules);
+
+  // Executes one compiled plan: stages the join's output, merges it into
+  // `head` (and `delta` when non-null), and accounts the firing to
+  // stats_.rule_stats[rule_id] plus the metrics registry.
+  Status FireRule(const CompiledRule& plan, int rule_id,
+                  const RelationResolver& resolve, storage::Relation* head,
+                  storage::Relation* delta);
 
   // Invokes the checkpointer when one is armed; see EvalOptions.
   Status MaybeCheckpoint(int stratum_index, int rounds_done,
@@ -172,16 +236,16 @@ class Evaluator {
 
   // Consults the guard after charging it the database's current memory
   // footprint. On a trip: under OnExhaustion::kError returns the trip
-  // status; under kPartial marks `stats` exhausted, sets *stop, and returns
+  // status; under kPartial marks stats_ exhausted, sets *stop, and returns
   // OK so the caller can wind down with a consistent partial result.
-  Status GuardCheck(EvalStats* stats, bool* stop);
+  Status GuardCheck(bool* stop);
 
   // Merges `staging` into `head` (and `delta` when non-null), charging the
   // guard per new tuple so the tuple budget trips exactly at its limit.
   // Fails only through the storage.relation_insert failpoint.
   Status MergeStaging(const storage::Relation& staging,
                       const std::string& predicate, storage::Relation* head,
-                      storage::Relation* delta, EvalStats* stats);
+                      storage::Relation* delta, int rule_id);
 
   // Records `tuple` for provenance when a tracker is attached.
   void Note(const std::string& predicate, const storage::Tuple& tuple) {
@@ -192,19 +256,18 @@ class Evaluator {
 
   storage::Database* db_;
   EvalOptions options_;
+  // Accumulates the evaluation in flight and is returned by value at the
+  // end. Reset at the start of every Evaluate/EvaluateOnce: a reused
+  // evaluator must never leak a previous run's counts or exhausted_reason
+  // into the next result (regression-tested).
+  EvalStats stats_;
   // Monotone pass counter shared by all strata, so premises always carry
-  // strictly smaller rounds than their conclusions.
+  // strictly smaller rounds than their conclusions. Deliberately NOT reset
+  // between evaluations: a shared ProvenanceTracker needs rounds to keep
+  // increasing across Evaluate calls on the same evaluator.
   int provenance_round_ = 0;
 };
 
-// Executes one compiled rule. `resolve` maps a body atom to the relation it
-// reads (may return nullptr for a missing relation, which yields no rows).
-// Each derived head tuple is passed to `sink` (duplicates possible); sinks
-// typically stage into a deduplicating Relation so that a high-multiplicity
-// join cannot blow up memory.
-using RelationResolver =
-    std::function<storage::Relation*(const CompiledAtom&)>;
-using TupleSink = std::function<void(const storage::Tuple&)>;
 // `symbols` is needed to evaluate comparison builtins (may be null for
 // rules that use none; a builtin atom then never matches).
 // When `guard` is set the join polls it periodically and stops emitting as

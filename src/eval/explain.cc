@@ -1,5 +1,6 @@
 #include "eval/explain.h"
 
+#include <algorithm>
 #include <map>
 
 #include "base/string_util.h"
@@ -65,6 +66,90 @@ std::string ExplainPlan(const CompiledRule& plan,
     out += ' ' + ArgName(plan, ref, symbols);
   }
   out += '\n';
+  return out;
+}
+
+namespace {
+
+std::string HumanDuration(int64_t ns) {
+  if (ns < 10'000) return StrFormat("%lldns", static_cast<long long>(ns));
+  if (ns < 10'000'000) {
+    return StrFormat("%.1fus", static_cast<double>(ns) / 1e3);
+  }
+  if (ns < 10'000'000'000) {
+    return StrFormat("%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return StrFormat("%.2fs", static_cast<double>(ns) / 1e9);
+}
+
+// Renders `rows` (first row = header) with each column right-aligned except
+// the first, which is left-aligned and sets the indent.
+std::string AlignTable(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        out += row[c];
+        out.append(widths[c] - row[c].size(), ' ');
+      } else {
+        out += "  ";
+        out.append(widths[c] - row[c].size(), ' ');
+        out += row[c];
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatEvalStats(const EvalStats& stats) {
+  if (stats.rule_stats.empty() && stats.stratum_stats.empty()) return "";
+  std::string out;
+  if (!stats.rule_stats.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(
+        {"rule", "stratum", "firings", "emitted", "inserted", "time"});
+    for (const RuleStats& rs : stats.rule_stats) {
+      rows.push_back({rs.rule,
+                      rs.stratum < 0 ? "-" : StrFormat("%d", rs.stratum),
+                      StrFormat("%zu", rs.firings),
+                      StrFormat("%zu", rs.tuples_emitted),
+                      StrFormat("%zu", rs.tuples_inserted),
+                      HumanDuration(rs.exec_ns)});
+    }
+    out += AlignTable(rows);
+  }
+  if (!stats.stratum_stats.empty()) {
+    if (!out.empty()) out += '\n';
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(
+        {"stratum", "predicates", "recursive", "rounds", "inserted", "time"});
+    for (const StratumStats& ss : stats.stratum_stats) {
+      rows.push_back({StrFormat("%d", ss.index), Join(ss.predicates, ","),
+                      ss.recursive ? "yes" : "no",
+                      StrFormat("%d", ss.rounds),
+                      StrFormat("%zu", ss.tuples_inserted),
+                      HumanDuration(ss.wall_ns)});
+    }
+    out += AlignTable(rows);
+  }
+  out += StrFormat(
+      "\ntotal: %zu tuples derived, %zu rule firings, %d rounds, %s\n",
+      stats.tuples_derived, stats.rule_firings, stats.iterations,
+      stats.converged ? "converged" : "not converged");
+  if (stats.exhausted) {
+    out += "exhausted: " + stats.exhausted_reason + '\n';
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
+#include "eval/evaluator.h"
 #include "eval/plan.h"
 #include "storage/value.h"
 
@@ -26,6 +27,20 @@ std::string ExplainPlan(const CompiledRule& plan,
 // Compiles every rule of `program` (plain full-relation plans, greedy
 // reordering as the evaluator would) and explains each.
 Result<std::string> ExplainProgram(const ast::Program& program);
+
+// Renders an evaluation's per-rule and per-stratum breakdowns as an aligned
+// human-readable table (the CLI's `--stats`):
+//
+//   rule                                    stratum  firings  emitted  inserted      time
+//   t(X, Y) :- e(X, Y).                           1        1        5         5     1.2us
+//   t(X, Y) :- e(X, Z), t(Z, Y).                  1        5       20        11    14.8us
+//   ...
+//   stratum  predicates  recursive  rounds  inserted      time
+//   ...
+//
+// Inserted counts sum to stats.tuples_derived. Returns "" when the stats
+// carry no rule breakdown (e.g. a facts-only program).
+std::string FormatEvalStats(const EvalStats& stats);
 
 }  // namespace dire::eval
 

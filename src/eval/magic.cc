@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::eval {
@@ -60,6 +61,10 @@ bool Matches(const ast::Atom& query, const storage::Tuple& tuple,
 Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
                                        const ast::Atom& query,
                                        const ExecutionGuard* guard) {
+  obs::Span span("magic.transform", "rewrite");
+  span.Attr("query", query.predicate);
+  obs::GetCounter("dire_magic_rewrites_total", "Magic-set transformations")
+      ->Add(1);
   std::set<std::string> idb;
   for (const ast::Rule& r : program.rules) {
     if (!r.IsFact()) idb.insert(r.head.predicate);
@@ -148,6 +153,8 @@ Result<MagicRewrite> MagicSetTransform(const ast::Program& program,
           ast::Atom(AdornedName(pred, ad), rule.head.args), new_body));
     }
   }
+  span.Attr("adornment", out.adornment);
+  span.Attr("rewritten_rules", out.program.rules.size());
   return out;
 }
 
@@ -155,6 +162,8 @@ Result<QueryAnswer> AnswerQuery(storage::Database* db,
                                 const ast::Program& program,
                                 const ast::Atom& query,
                                 const EvalOptions& options) {
+  obs::Span span("magic.answer_query", "eval");
+  span.Attr("query", query.predicate);
   std::set<std::string> idb;
   for (const ast::Rule& r : program.rules) {
     if (!r.IsFact()) idb.insert(r.head.predicate);

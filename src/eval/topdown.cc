@@ -1,5 +1,6 @@
 #include "eval/topdown.h"
 
+#include "base/obs.h"
 #include "eval/builtins.h"
 
 namespace dire::eval {
@@ -68,6 +69,10 @@ TabledTopDown::CallKey TabledTopDown::MakeKey(const ast::Atom& goal,
 }
 
 Result<QueryAnswer> TabledTopDown::Query(const ast::Atom& query) {
+  obs::Span span("topdown.query", "eval");
+  span.Attr("query", query.predicate);
+  obs::GetCounter("dire_topdown_queries_total", "Tabled top-down queries")
+      ->Add(1);
   for (const ast::Rule& r : program_.rules) {
     for (const ast::Atom& a : r.body) {
       if (a.negated) {
@@ -109,6 +114,12 @@ Result<QueryAnswer> TabledTopDown::Query(const ast::Atom& query) {
   stats_.tables = tables_.size();
   stats_.answers = 0;
   for (const auto& [key, answers] : tables_) stats_.answers += answers.size();
+  span.Attr("outer_passes", stats_.outer_passes);
+  span.Attr("tables", stats_.tables);
+  span.Attr("answers", stats_.answers);
+  obs::GetCounter("dire_topdown_answers_total",
+                  "Answers tabled by top-down queries")
+      ->Add(stats_.answers);
 
   for (const storage::Tuple& t : tables_[root]) {
     Bindings bindings;

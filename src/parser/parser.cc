@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "base/obs.h"
 #include "base/string_util.h"
 #include "parser/lexer.h"
 
@@ -152,9 +153,14 @@ class Parser {
 }  // namespace
 
 Result<ast::Program> ParseProgram(std::string_view text) {
+  obs::Span span("parser.program", "parse");
+  span.Attr("bytes", text.size());
+  obs::GetCounter("dire_parser_programs_total", "Programs parsed")->Add(1);
   DIRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens));
-  return parser.Program();
+  Result<ast::Program> program = parser.Program();
+  if (program.ok()) span.Attr("rules", program.value().rules.size());
+  return program;
 }
 
 Result<ast::Rule> ParseRule(std::string_view text) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/failpoints.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
@@ -48,7 +49,11 @@ Status Database::AddFact(const ast::Atom& atom) {
   DIRE_ASSIGN_OR_RETURN(Relation * rel,
                         GetOrCreate(atom.predicate, atom.arity()));
   DIRE_FAILPOINT("storage.relation_insert");
-  rel->Insert(t);
+  if (rel->Insert(t) && obs::kEnabled) {
+    static obs::Counter* facts = obs::GetCounter(
+        "dire_storage_facts_total", "Base facts loaded into EDB relations");
+    facts->Add(1);
+  }
   return Status::Ok();
 }
 

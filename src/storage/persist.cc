@@ -1,8 +1,10 @@
 #include "storage/persist.h"
 
+#include <chrono>
 #include <optional>
 
 #include "base/io.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
@@ -118,10 +120,25 @@ Status DataDir::AppendFact(const std::string& relation,
 }
 
 Status DataDir::Checkpoint(const SnapshotWriteOptions& opts) {
+  obs::Span span("persist.checkpoint", "persist");
+  auto t0 = std::chrono::steady_clock::now();
   DIRE_RETURN_IF_ERROR(SaveSnapshotFile(db_, snapshot_path_, opts));
   // Only reached once the new snapshot is durable; a crash before this line
   // leaves the old snapshot plus a WAL that replays over it.
-  return wal_->Reset();
+  Status reset = wal_->Reset();
+  if (reset.ok()) {
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    obs::GetCounter("dire_checkpoints_total", "Checkpoints taken")->Add(1);
+    obs::GetHistogram("dire_checkpoint_latency_us",
+                      "Checkpoint wall time (snapshot write + WAL reset), "
+                      "microseconds")
+        ->Observe(us);
+    span.Attr("latency_us", us);
+  }
+  return reset;
 }
 
 }  // namespace dire::storage

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "base/io.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
@@ -396,6 +397,7 @@ bool HasSpace(std::string_view s) {
 
 Result<std::string> SaveSnapshot(const Database& db,
                                  const SnapshotWriteOptions& opts) {
+  obs::Span span("snapshot.save", "persist");
   // Collect (section name, relation) pairs in name order so equal databases
   // serialize byte-identically.
   std::vector<std::pair<std::string, const Relation*>> sections;
@@ -466,6 +468,12 @@ Result<std::string> SaveSnapshot(const Database& db,
   out += "@commit ";
   out += io::CrcToHex(commit_crc);
   out += '\n';
+  span.Attr("sections", sections.size());
+  span.Attr("bytes", out.size());
+  obs::GetCounter("dire_snapshot_saves_total", "Snapshots rendered")->Add(1);
+  obs::GetCounter("dire_snapshot_bytes_total",
+                  "Bytes of rendered snapshot text")
+      ->Add(out.size());
   return out;
 }
 
@@ -477,6 +485,10 @@ Status SaveSnapshotFile(const Database& db, const std::string& path,
 
 Result<SnapshotLoadStats> LoadSnapshot(Database* db, std::string_view text,
                                        const SnapshotLoadOptions& opts) {
+  obs::Span span("snapshot.load", "persist");
+  span.Attr("bytes", text.size());
+  obs::GetCounter("dire_snapshot_loads_total", "Snapshot load attempts")
+      ->Add(1);
   size_t nl = text.find('\n');
   std::string_view header =
       StripWhitespace(nl == std::string_view::npos ? text : text.substr(0, nl));

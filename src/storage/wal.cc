@@ -8,6 +8,8 @@
 
 #include "base/failpoints.h"
 #include "base/io.h"
+#include "base/log.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::storage {
@@ -91,6 +93,16 @@ Status Wal::Append(std::string_view payload) {
   }
   DIRE_FAILPOINT("wal.sync");
   if (::fsync(fd_) != 0) return Errno("WAL fsync of " + path_ + " failed");
+  if (obs::kEnabled) {
+    // Series pointers resolved once: Append is the hot path of every
+    // durable fact insert.
+    static obs::Counter* appends = obs::GetCounter(
+        "dire_wal_appends_total", "WAL records appended and fsynced");
+    static obs::Counter* bytes = obs::GetCounter(
+        "dire_wal_bytes_total", "WAL bytes written (frame headers included)");
+    appends->Add(1);
+    bytes->Add(frame.size());
+  }
   return Status::Ok();
 }
 
@@ -107,6 +119,7 @@ Status Wal::TruncateTo(uint64_t size) {
 Result<WalReplayStats> ReplayWal(
     const std::string& path,
     const std::function<Status(std::string_view payload)>& apply) {
+  obs::Span span("wal.replay", "persist");
   WalReplayStats stats;
   if (!io::FileExists(path)) return stats;  // Absent log == empty log.
   DIRE_ASSIGN_OR_RETURN(std::string data, io::ReadFile(path));
@@ -163,7 +176,19 @@ Result<WalReplayStats> ReplayWal(
     }
     stats.dropped_torn_tail = true;
     stats.dropped_bytes = data.size() - stats.valid_bytes;
+    obs::GetCounter("dire_wal_torn_tails_total",
+                    "WAL replays that dropped a torn tail")
+        ->Add(1);
+    log::Warn("wal", "dropped torn tail during replay",
+              {{"path", path},
+               {"reason", bad},
+               {"dropped_bytes", std::to_string(stats.dropped_bytes)}});
   }
+  span.Attr("records", stats.records);
+  span.Attr("valid_bytes", stats.valid_bytes);
+  obs::GetCounter("dire_wal_replayed_records_total",
+                  "WAL records replayed on recovery")
+      ->Add(stats.records);
   return stats;
 }
 

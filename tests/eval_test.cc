@@ -187,6 +187,75 @@ TEST(Evaluator, SemiNaiveFewerFiringsThanNaiveDerivations) {
   EXPECT_LE(ss->iterations, sn->iterations + 1);
 }
 
+TEST(Evaluator, ReusedEvaluatorResetsStatsBetweenEvaluations) {
+  // Regression: a reused evaluator must not leak the previous run's
+  // exhausted/exhausted_reason (or any other stat) into the next result.
+  // First run: tuple budget trips under kPartial, so exhausted_reason is
+  // set. Second run: a facts-only program that never consults the guard —
+  // any leaked state would survive into its stats.
+  GuardLimits limits;
+  limits.max_tuples = 3;
+  ExecutionGuard guard(limits);
+  EvalOptions options;
+  options.guard = &guard;
+  options.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 5).ok());
+  Evaluator ev(&db, options);
+
+  Result<EvalStats> first =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->exhausted);
+  ASSERT_FALSE(first->exhausted_reason.empty());
+  ASSERT_FALSE(first->converged);
+
+  Result<EvalStats> second = ev.Evaluate(ParseOrDie("f(a). f(b)."));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->exhausted);
+  EXPECT_TRUE(second->exhausted_reason.empty());
+  EXPECT_TRUE(second->converged);
+  EXPECT_EQ(second->iterations, 0);
+  EXPECT_EQ(second->tuples_derived, 0u);
+  EXPECT_EQ(second->rule_firings, 0u);
+  EXPECT_TRUE(second->rule_stats.empty());
+  EXPECT_TRUE(second->stratum_stats.empty());
+}
+
+TEST(Evaluator, RuleStatsBreakDownDerivations) {
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 5).ok());
+  Evaluator ev(&db);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->rule_stats.size(), 2u);
+  size_t inserted = 0;
+  for (const RuleStats& rs : stats->rule_stats) {
+    EXPECT_EQ(rs.head_predicate, "t");
+    EXPECT_GE(rs.stratum, 0);
+    EXPECT_GT(rs.firings, 0u);
+    inserted += rs.tuples_inserted;
+  }
+  // Per-rule inserts partition the total.
+  EXPECT_EQ(inserted, stats->tuples_derived);
+  ASSERT_EQ(stats->stratum_stats.size(), 1u);
+  EXPECT_TRUE(stats->stratum_stats[0].recursive);
+  EXPECT_EQ(stats->stratum_stats[0].tuples_inserted, stats->tuples_derived);
+  EXPECT_EQ(stats->stratum_stats[0].rounds, stats->iterations);
+
+  // Re-running the same program derives nothing new and reports fresh
+  // per-rule counts (not accumulations over both runs).
+  Result<EvalStats> again =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->tuples_derived, 0u);
+  ASSERT_EQ(again->rule_stats.size(), 2u);
+  for (const RuleStats& rs : again->rule_stats) {
+    EXPECT_EQ(rs.tuples_inserted, 0u);
+  }
+}
+
 TEST(CompileRule, GreedyReorderPutsBoundAtomsFirst) {
   storage::SymbolTable symbols;
   Result<ast::Rule> rule =

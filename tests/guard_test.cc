@@ -14,6 +14,7 @@
 
 #include "base/failpoints.h"
 #include "base/guard.h"
+#include "base/obs.h"
 #include "core/rewrite.h"
 #include "core/strong.h"
 #include "core/weak.h"
@@ -423,6 +424,18 @@ TEST_F(GuardTest, IndependenceTestsHonourGuard) {
 // --- Failpoints ----------------------------------------------------------
 
 TEST_F(GuardTest, FailpointFiresDeterministicallyInItsWindow) {
+  // Assert the hit/fire accounting through the metrics registry
+  // (dire_failpoint_{hits,fires}_total{site=...}): per-site series are
+  // cumulative across the process, so compare against a baseline.
+  obs::Counter* hits =
+      obs::GetCounter("dire_failpoint_hits_total", nullptr,
+                      {{"site", "test.window"}});
+  obs::Counter* fires =
+      obs::GetCounter("dire_failpoint_fires_total", nullptr,
+                      {{"site", "test.window"}});
+  const uint64_t hits0 = hits->value();
+  const uint64_t fires0 = fires->value();
+
   failpoints::Config window;
   window.skip = 2;
   window.fire_count = 2;
@@ -432,10 +445,20 @@ TEST_F(GuardTest, FailpointFiresDeterministicallyInItsWindow) {
   EXPECT_FALSE(failpoints::Check("test.window").ok());  // hit 2: fires
   EXPECT_FALSE(failpoints::Check("test.window").ok());  // hit 3: fires
   EXPECT_TRUE(failpoints::Check("test.window").ok());   // hit 4: window over
-  EXPECT_EQ(failpoints::HitCount("test.window"), 5);
+  if (obs::kEnabled) {
+    EXPECT_EQ(hits->value() - hits0, 5u);
+    EXPECT_EQ(fires->value() - fires0, 2u);
+  } else {
+    EXPECT_EQ(failpoints::HitCount("test.window"), 5);
+  }
   failpoints::Disable("test.window");
   EXPECT_TRUE(failpoints::Check("test.window").ok());
+  // Disarming clears the registry's per-site state but not the cumulative
+  // metrics; a disarmed site's checks do not count as hits.
   EXPECT_EQ(failpoints::HitCount("test.window"), 0);
+  if (obs::kEnabled) {
+    EXPECT_EQ(hits->value() - hits0, 5u);
+  }
 }
 
 TEST_F(GuardTest, InsertFailpointSurfacesCleanErrorAndConsistentDatabase) {

@@ -1,0 +1,563 @@
+// Observability subsystem: metrics registry semantics, log2 histogram
+// bucket edges, concurrent counter increments, span nesting/ordering via
+// parse-back of the Chrome trace JSON, exporter well-formedness (a real
+// JSON parser, not substring checks), structured logging, and the no-op
+// contract under -DDIRE_OBS=OFF.
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/log.h"
+#include "base/obs.h"
+
+namespace dire {
+namespace {
+
+// --- Minimal JSON parser (tests only) ------------------------------------
+//
+// Parses the exporters' output back into a tree so the tests check real
+// structure: balanced braces, legal escapes, and field types. Strict enough
+// for well-formedness: throws std::runtime_error (caught by the ASSERT
+// wrappers) on any syntax error.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = Value();
+    SkipSpace();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing bytes");
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected eof");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' got '" +
+                               Peek() + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue Value() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't' || c == 'f') return Bool();
+    if (c == 'n') return Null();
+    return Number();
+  }
+
+  JsonValue Object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipSpace();
+      JsonValue key = String();
+      SkipSpace();
+      Expect(':');
+      v.object[key.string_value] = Value();
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue Array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(Value());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue String() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    Expect('"');
+    while (true) {
+      char c = Peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error("raw control character in string");
+      }
+      if (c != '\\') {
+        v.string_value += c;
+        continue;
+      }
+      char e = Peek();
+      ++pos_;
+      switch (e) {
+        case '"': v.string_value += '"'; break;
+        case '\\': v.string_value += '\\'; break;
+        case '/': v.string_value += '/'; break;
+        case 'b': v.string_value += '\b'; break;
+        case 'f': v.string_value += '\f'; break;
+        case 'n': v.string_value += '\n'; break;
+        case 'r': v.string_value += '\r'; break;
+        case 't': v.string_value += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw std::runtime_error("bad \\u digit");
+          }
+          // The exporters only \u-escape control characters; keep it simple.
+          v.string_value += static_cast<char>(code & 0x7f);
+          break;
+        }
+        default: throw std::runtime_error("illegal escape");
+      }
+    }
+  }
+
+  JsonValue Bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.bool_value = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.bool_value = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue Null() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw std::runtime_error("bad literal");
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue Number() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            (text_[pos_] >= '0' && text_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseJsonOrDie(const std::string& text) {
+  try {
+    return JsonParser(text).Parse();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "malformed JSON: " << e.what() << "\n" << text;
+    return JsonValue{};
+  }
+}
+
+// --- Histogram bucket edges ----------------------------------------------
+
+TEST(Histogram, BucketIndexEdges) {
+  using obs::Histogram;
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 63) - 1), 63);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  using obs::Histogram;
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Every value belongs to the bucket whose bound it does not exceed.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{5}, uint64_t{1024},
+                     UINT64_MAX - 1, UINT64_MAX}) {
+    int i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, ObserveZeroMaxAndOverflowBuckets) {
+  obs::Histogram h;
+  h.Observe(0);
+  h.Observe(UINT64_MAX);
+  h.Observe(uint64_t{1} << 63);  // Overflow bucket's lower edge.
+  if (!obs::kEnabled) {
+    EXPECT_EQ(h.count(), 0u);
+    return;
+  }
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(64), 2u);
+  // Sum wraps modulo 2^64; this documents the (accepted) wraparound.
+  EXPECT_EQ(h.sum(), UINT64_MAX + (uint64_t{1} << 63));
+}
+
+// --- Counters and registry -----------------------------------------------
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::Counter c;
+  c.Add();
+  c.Add(41);
+  obs::Gauge g;
+  g.Set(-7);
+  if (obs::kEnabled) {
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(g.value(), -7);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+  }
+}
+
+TEST(Metrics, RegistryReturnsStablePointers) {
+  obs::Counter* a = obs::GetCounter("dire_test_stable_total", "help");
+  obs::Counter* b = obs::GetCounter("dire_test_stable_total");
+  EXPECT_EQ(a, b);
+  obs::Counter* labeled = obs::GetCounter("dire_test_stable_total", nullptr,
+                                          {{"shard", "1"}});
+  if (obs::kEnabled) {
+    EXPECT_NE(a, labeled);  // Distinct series of the same family.
+  }
+}
+
+TEST(Metrics, KindMismatchYieldsInertDummy) {
+  obs::GetCounter("dire_test_kind_total", "a counter");
+  obs::Gauge* wrong = obs::GetGauge("dire_test_kind_total");
+  ASSERT_NE(wrong, nullptr);  // Never null — safe to use, goes nowhere.
+  wrong->Set(5);
+  obs::Counter* still = obs::GetCounter("dire_test_kind_total");
+  EXPECT_EQ(still->value(), 0u);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreExact) {
+  obs::Counter* c = obs::GetCounter("dire_test_concurrent_total");
+  const uint64_t before = c->value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (obs::kEnabled) {
+    EXPECT_EQ(c->value() - before,
+              static_cast<uint64_t>(kThreads) * kPerThread);
+  } else {
+    EXPECT_EQ(c->value(), 0u);
+  }
+}
+
+TEST(Metrics, PrometheusTextShape) {
+  obs::GetCounter("dire_test_prom_total", "counter help", {{"k", "v\"q"}})
+      ->Add(3);
+  obs::GetGauge("dire_test_prom_gauge", "gauge help")->Set(-5);
+  obs::Histogram* h = obs::GetHistogram("dire_test_prom_hist", "hist help");
+  h->Observe(0);
+  h->Observe(5);
+  std::string text = obs::PrometheusText();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(text.empty());
+    return;
+  }
+  EXPECT_NE(text.find("# HELP dire_test_prom_total counter help"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dire_test_prom_total counter"),
+            std::string::npos);
+  // Prometheus label escaping: the quote inside the value is backslashed.
+  EXPECT_NE(text.find("dire_test_prom_total{k=\"v\\\"q\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dire_test_prom_gauge -5"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("dire_test_prom_hist_bucket{le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dire_test_prom_hist_bucket{le=\"7\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dire_test_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dire_test_prom_hist_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("dire_test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST(Metrics, MetricsJsonParsesBack) {
+  obs::GetCounter("dire_test_json_total")->Add(7);
+  obs::GetHistogram("dire_test_json_hist")->Observe(9);
+  JsonValue root = ParseJsonOrDie(obs::MetricsJson());
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  if (!obs::kEnabled) return;  // Empty {} object is fine.
+  ASSERT_TRUE(root.has("counters"));
+  EXPECT_GE(root.at("counters").at("dire_test_json_total").number, 7.0);
+  const JsonValue& hist =
+      root.at("histograms").at("dire_test_json_hist");
+  EXPECT_GE(hist.at("count").number, 1.0);
+  EXPECT_GE(hist.at("sum").number, 9.0);
+}
+
+// --- Spans and trace export ----------------------------------------------
+
+TEST(Tracing, SpanNestingAndOrdering) {
+  obs::StartTracing();
+  {
+    obs::Span outer("test.outer", "test");
+    outer.Attr("level", 1);
+    {
+      obs::Span inner("test.inner", "test");
+      inner.Attr("level", 2);
+      inner.Attr("nasty", std::string("quote\" slash\\ newline\n tab\t"));
+    }
+    {
+      obs::Span second("test.second", "test");
+      second.Attr("answer", int64_t{42});
+    }
+  }
+  obs::StopTracing();
+
+  if (!obs::kEnabled) {
+    EXPECT_EQ(obs::TraceEventCount(), 0u);
+    JsonValue empty = ParseJsonOrDie(obs::ChromeTraceJson());
+    EXPECT_TRUE(empty.at("traceEvents").array.empty());
+    return;
+  }
+
+  ASSERT_EQ(obs::TraceEventCount(), 3u);
+  JsonValue root = ParseJsonOrDie(obs::ChromeTraceJson());
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  const JsonValue* second = nullptr;
+  size_t inner_pos = 0, outer_pos = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events[i];
+    if (e.at("ph").string_value != "X") continue;  // Skip metadata events.
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    const std::string& name = e.at("name").string_value;
+    if (name == "test.outer") { outer = &e; outer_pos = i; }
+    if (name == "test.inner") { inner = &e; inner_pos = i; }
+    if (name == "test.second") second = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(second, nullptr);
+
+  // "X" events are emitted at span destruction: inner closes before outer.
+  EXPECT_LT(inner_pos, outer_pos);
+
+  // Containment: the inner interval lies within the outer one, and the
+  // depth attribute reflects one extra level of nesting.
+  double o_ts = outer->at("ts").number, o_dur = outer->at("dur").number;
+  double i_ts = inner->at("ts").number, i_dur = inner->at("dur").number;
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_ts + i_dur, o_ts + o_dur);
+  EXPECT_EQ(inner->at("args").at("depth").number,
+            outer->at("args").at("depth").number + 1);
+  EXPECT_EQ(second->at("args").at("depth").number,
+            inner->at("args").at("depth").number);
+
+  // Attributes survived, including the string that needed escaping.
+  EXPECT_EQ(inner->at("args").at("nasty").string_value,
+            "quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(second->at("args").at("answer").number, 42.0);
+
+  // Sibling ordering within a thread: second starts after inner ends.
+  EXPECT_GE(second->at("ts").number, i_ts + i_dur);
+}
+
+TEST(Tracing, StartClearsPreviousBuffer) {
+  obs::StartTracing();
+  { obs::Span s("test.first", "test"); }
+  obs::StopTracing();
+  obs::StartTracing();
+  { obs::Span s("test.second_run", "test"); }
+  obs::StopTracing();
+  if (!obs::kEnabled) return;
+  EXPECT_EQ(obs::TraceEventCount(), 1u);
+  EXPECT_EQ(obs::ChromeTraceJson().find("test.first"), std::string::npos);
+}
+
+TEST(Tracing, SpansOutsideTracingAreNotRecorded) {
+  obs::StartTracing();
+  obs::StopTracing();
+  { obs::Span s("test.untraced", "test"); }
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST(Tracing, AttrAfterStopDoesNotCrash) {
+  obs::StartTracing();
+  auto span = std::make_unique<obs::Span>("test.straddle", "test");
+  obs::StopTracing();
+  span->Attr("late", 1);  // Span no longer records; must be safe.
+  span.reset();
+  JsonValue root = ParseJsonOrDie(obs::ChromeTraceJson());
+  (void)root;
+}
+
+// --- Structured logging ---------------------------------------------------
+
+class LogCapture {
+ public:
+  LogCapture() {
+    log::SetSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  ~LogCapture() {
+    log::SetSink(nullptr);
+    log::SetJsonOutput(false);
+    log::SetLevel(log::Level::kWarn);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kWarn);
+  log::Info("test", "filtered out");
+  log::Warn("test", "kept");
+  log::Error("test", "also kept");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("kept"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].find("[warn]"), std::string::npos);
+}
+
+TEST(Log, HumanFormatCarriesFields) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kDebug);
+  log::Debug("eval", "round done", {{"round", "3"}, {"tuples", "11"}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_NE(line.find("[debug] eval: round done"), std::string::npos);
+  EXPECT_NE(line.find("round=3"), std::string::npos);
+  EXPECT_NE(line.find("tuples=11"), std::string::npos);
+}
+
+TEST(Log, JsonFormatParsesBack) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kInfo);
+  log::SetJsonOutput(true);
+  log::Info("wal", "torn \"tail\"", {{"bytes", "12"}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  JsonValue root = ParseJsonOrDie(capture.lines()[0]);
+  EXPECT_EQ(root.at("level").string_value, "info");
+  EXPECT_EQ(root.at("component").string_value, "wal");
+  EXPECT_EQ(root.at("msg").string_value, "torn \"tail\"");
+  EXPECT_EQ(root.at("bytes").string_value, "12");
+  EXPECT_GT(root.at("ts_ms").number, 0.0);
+}
+
+TEST(Log, ParseLevelAcceptsAliases) {
+  EXPECT_TRUE(log::ParseLevel("debug").ok());
+  EXPECT_TRUE(log::ParseLevel("warning").ok());
+  EXPECT_TRUE(log::ParseLevel("none").ok());
+  ASSERT_TRUE(log::ParseLevel("off").ok());
+  EXPECT_EQ(*log::ParseLevel("off"), log::Level::kOff);
+  EXPECT_FALSE(log::ParseLevel("loud").ok());
+}
+
+// --- JsonEscape (shared by all exporters) ---------------------------------
+
+TEST(JsonEscape, EscapesEverythingRisky) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace dire

@@ -48,6 +48,15 @@
 //                         then resume evaluation from the checkpointed
 //                         stratum and finish the fixpoint
 //
+// Observability (recognized anywhere, both forms):
+//   --trace-out=FILE      write a Chrome trace_event JSON of the whole run
+//                         (open in Perfetto / chrome://tracing)
+//   --metrics-out=FILE    write the metrics registry as Prometheus text
+//   --stats               print the per-rule / per-stratum evaluation table
+//                         after each --eval / --query / recovery
+//   --log-level=LEVEL     debug|info|warn|error|off (default warn)
+//   --log-json            one-line-JSON structured logs on stderr
+//
 // Example:
 //   dire_cli examples.dl --analyze buys --rewrite buys --eval --dump buys
 
@@ -62,6 +71,8 @@
 #include <string>
 #include <vector>
 
+#include "base/log.h"
+#include "base/obs.h"
 #include "core/related_work.h"
 #include "dire.h"
 #include "eval/checkpoint.h"
@@ -71,6 +82,78 @@
 #include "storage/persist.h"
 
 namespace {
+
+// Observability flags, recognized anywhere on the command line (both the
+// normal and the `recover` forms) and stripped before action parsing:
+//   --trace-out=FILE    write a Chrome trace_event JSON of the run
+//   --metrics-out=FILE  write the metrics registry as Prometheus text
+//   --stats             print the per-rule / per-stratum table after each
+//                       --eval / --query / recovery
+//   --log-level=LEVEL   debug|info|warn|error|off (default warn)
+//   --log-json          structured one-line-JSON logs instead of human text
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool stats = false;
+
+  // Consumes recognized flags from argv; returns the remaining arguments
+  // (argv[0] included). Returns false on a malformed value.
+  bool Extract(int argc, char** argv, std::vector<char*>* rest) {
+    for (int i = 0; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out = arg.substr(strlen("--trace-out="));
+        if (trace_out.empty()) return false;
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_out = arg.substr(strlen("--metrics-out="));
+        if (metrics_out.empty()) return false;
+      } else if (arg == "--stats") {
+        stats = true;
+      } else if (arg.rfind("--log-level=", 0) == 0) {
+        dire::Result<dire::log::Level> level =
+            dire::log::ParseLevel(std::string(arg.substr(12)));
+        if (!level.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       level.status().ToString().c_str());
+          return false;
+        }
+        dire::log::SetLevel(*level);
+      } else if (arg == "--log-json") {
+        dire::log::SetJsonOutput(true);
+      } else {
+        rest->push_back(argv[i]);
+        continue;
+      }
+    }
+    if (!trace_out.empty()) dire::obs::StartTracing();
+    return true;
+  }
+
+  // Runs at every exit path of main: flushes the trace and metrics files
+  // requested on the command line.
+  ~ObsFlags() {
+    if (!trace_out.empty()) {
+      dire::obs::StopTracing();
+      dire::Status written = dire::obs::WriteTraceFile(trace_out);
+      if (written.ok()) {
+        std::fprintf(stderr, "wrote trace: %s (%zu events)\n",
+                     trace_out.c_str(), dire::obs::TraceEventCount());
+      } else {
+        std::fprintf(stderr, "error writing trace: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      dire::Status written = dire::obs::WriteMetricsFile(metrics_out);
+      if (written.ok()) {
+        std::fprintf(stderr, "wrote metrics: %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "error writing metrics: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+  }
+};
 
 int Fail(const dire::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -88,6 +171,8 @@ int Usage() {
                "[--on-exhaustion={error,partial}]\n"
                "       [--data-dir DIR] [--checkpoint-every-rounds N] "
                "[--add FACT]\n"
+               "       [--trace-out=FILE] [--metrics-out=FILE] [--stats] "
+               "[--log-level=LEVEL] [--log-json]\n"
                "   or: dire_cli recover PROGRAM.dl --data-dir DIR "
                "[--checkpoint-every-rounds N] [--naive] [--dump PRED]\n");
   return 2;
@@ -222,7 +307,7 @@ int Repl(dire::ast::Program program) {
 // `dire_cli recover PROGRAM.dl --data-dir DIR [...]`: replay the WAL over
 // the last committed snapshot, resume evaluation from the checkpointed
 // stratum, and finish the fixpoint.
-int RunRecover(int argc, char** argv) {
+int RunRecover(int argc, char** argv, bool want_stats) {
   if (argc < 3) return Usage();
   std::ifstream in(argv[2]);
   if (!in) {
@@ -275,6 +360,9 @@ int RunRecover(int argc, char** argv) {
   std::printf("recovered: %d iteration(s), %zu tuple(s) derived after "
               "restart\n",
               recovered->stats.iterations, recovered->stats.tuples_derived);
+  if (want_stats) {
+    std::printf("%s", dire::eval::FormatEvalStats(recovered->stats).c_str());
+  }
   for (const std::string& pred : dumps) {
     std::printf("%s", recovered->data_dir->db()->DumpRelation(pred).c_str());
   }
@@ -283,9 +371,18 @@ int RunRecover(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  // Strip observability flags first: tracing must be live before the
+  // program is even parsed, and the files flush on every exit path.
+  ObsFlags obs_flags;
+  std::vector<char*> args;
+  if (!obs_flags.Extract(raw_argc, raw_argv, &args)) return Usage();
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 2) return Usage();
-  if (std::strcmp(argv[1], "recover") == 0) return RunRecover(argc, argv);
+  if (std::strcmp(argv[1], "recover") == 0) {
+    return RunRecover(argc, argv, obs_flags.stats);
+  }
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -477,6 +574,9 @@ int main(int argc, char** argv) {
       if (!stats.ok()) return Fail(stats.status());
       std::printf("evaluated: %d iteration(s), %zu tuple(s) derived\n",
                   stats->iterations, stats->tuples_derived);
+      if (obs_flags.stats) {
+        std::printf("%s", dire::eval::FormatEvalStats(*stats).c_str());
+      }
       report_exhaustion(*stats);
       evaluated = true;
     } else if (flag == "--query") {
@@ -488,6 +588,9 @@ int main(int argc, char** argv) {
       dire::Result<dire::eval::QueryAnswer> ans =
           dire::eval::AnswerQuery(db, *program, *atom, eval_options);
       if (!ans.ok()) return Fail(ans.status());
+      if (obs_flags.stats) {
+        std::printf("%s", dire::eval::FormatEvalStats(ans->stats).c_str());
+      }
       report_exhaustion(ans->stats);
       std::printf("%zu answer(s) for %s:\n", ans->tuples.size(),
                   atom->ToString().c_str());
