@@ -1,0 +1,102 @@
+// Parallel evaluation scaling: the same semi-naive fixpoints at 1/2/4/8
+// worker threads, over the workloads whose driving scans are large enough
+// to chunk — transitive closure on dense random graphs, same-generation,
+// and a wide multi-join — at several EDB sizes. Since the parallel result
+// is byte-identical to the serial one, the only question this bench answers
+// is wall-clock: how much of the read phase the worker pool recovers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include "base/rng.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "storage/generators.h"
+
+namespace {
+
+constexpr const char* kTc = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+constexpr const char* kSameGeneration = R"(
+  sg(X, Y) :- flat(X, Y).
+  sg(X, Y) :- up(X, Z), sg(Z, W), down(W, Y).
+)";
+
+constexpr const char* kMultiJoin = R"(
+  p3(X, Y) :- e(X, A), e(A, B), e(B, Y).
+  r(X, Y) :- p3(X, Y).
+  r(X, Y) :- p3(X, Z), r(Z, Y).
+)";
+
+// Benchmark axes: state.range(0) = EDB scale, state.range(1) = threads.
+void RunScaling(benchmark::State& state, const char* program_text,
+                void (*load)(dire::storage::Database*, int)) {
+  dire::ast::Program program =
+      dire::parser::ParseProgram(program_text).value();
+  int scale = static_cast<int>(state.range(0));
+  dire::eval::EvalOptions opts;
+  opts.num_threads = static_cast<int>(state.range(1));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dire::storage::Database db;
+    load(&db, scale);
+    state.ResumeTiming();
+    dire::eval::Evaluator ev(&db, opts);
+    dire::Result<dire::eval::EvalStats> stats = ev.Evaluate(program);
+    if (!stats.ok()) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+    tuples = stats->tuples_derived;
+  }
+  state.counters["derived"] = static_cast<double>(tuples);
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+}
+
+void LoadTcEdb(dire::storage::Database* db, int n) {
+  // Dense enough that the closure is large and every delta round carries a
+  // chunkable frontier: m = 8n random edges over n nodes.
+  dire::Rng rng(42);
+  if (!dire::storage::MakeRandomGraph(db, "e", n, 8 * n, &rng).ok()) {
+    std::abort();
+  }
+}
+
+void LoadSgEdb(dire::storage::Database* db, int n) {
+  dire::Rng rng(7);
+  if (!dire::storage::MakeRandomGraph(db, "up", n, 4 * n, &rng).ok() ||
+      !dire::storage::MakeRandomGraph(db, "down", n, 4 * n, &rng).ok() ||
+      !dire::storage::MakeRandomGraph(db, "flat", n, 4 * n, &rng).ok()) {
+    std::abort();
+  }
+}
+
+void BM_Scaling_TransitiveClosure(benchmark::State& state) {
+  RunScaling(state, kTc, LoadTcEdb);
+}
+BENCHMARK(BM_Scaling_TransitiveClosure)
+    ->ArgsProduct({{100, 200, 400}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scaling_SameGeneration(benchmark::State& state) {
+  RunScaling(state, kSameGeneration, LoadSgEdb);
+}
+BENCHMARK(BM_Scaling_SameGeneration)
+    ->ArgsProduct({{100, 200}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scaling_MultiJoin(benchmark::State& state) {
+  RunScaling(state, kMultiJoin, LoadTcEdb);
+}
+BENCHMARK(BM_Scaling_MultiJoin)
+    ->ArgsProduct({{60, 120}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DIRE_BENCH_MAIN("scaling");

@@ -36,6 +36,15 @@ uint64_t HashVector(const std::vector<Int>& v, uint64_t seed = 0) {
   return HashSpan(v.data(), v.size(), seed);
 }
 
+// Hash functor over std::vector<Int> for unordered containers keyed on
+// tuples (e.g. composite join indexes, projection dedup sets).
+template <typename Int>
+struct VectorHash {
+  size_t operator()(const std::vector<Int>& v) const {
+    return static_cast<size_t>(HashVector(v));
+  }
+};
+
 }  // namespace dire
 
 #endif  // DIRE_BASE_HASH_H_

@@ -1,0 +1,83 @@
+#include "base/thread_pool.h"
+
+namespace dire {
+
+ThreadPool::ThreadPool(int parallelism) {
+  int extra = parallelism > 1 ? parallelism - 1 : 0;
+  threads_.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::DrainBatch(const std::function<void(size_t)>& fn,
+                            size_t num_tasks) {
+  while (true) {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks) return;
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [&] {
+        return shutdown_ || batch_seq_ != seen_seq;
+      });
+      if (shutdown_) return;
+      seen_seq = batch_seq_;
+      // A worker that slept through an entire batch (the caller and the
+      // other workers drained it and ParallelFor already returned) finds the
+      // batch cleared; there is nothing to join.
+      if (batch_fn_ == nullptr) continue;
+      fn = batch_fn_;
+      num_tasks = batch_size_;
+      ++outstanding_workers_;
+    }
+    DrainBatch(*fn, num_tasks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_workers_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_fn_ = &fn;
+    batch_size_ = num_tasks;
+    cursor_.store(0, std::memory_order_relaxed);
+    ++batch_seq_;
+  }
+  batch_ready_.notify_all();
+  // The caller is a worker too: it drains the same cursor, then waits for
+  // any pool threads still finishing their last claimed task.
+  DrainBatch(fn, num_tasks);
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [&] { return outstanding_workers_ == 0; });
+  batch_fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+}  // namespace dire

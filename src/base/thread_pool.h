@@ -1,0 +1,66 @@
+#ifndef DIRE_BASE_THREAD_POOL_H_
+#define DIRE_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dire {
+
+// A persistent pool of worker threads executing batches of indexed tasks.
+//
+// ParallelFor(n, fn) runs fn(0) .. fn(n-1) across the pool plus the calling
+// thread and returns when every task has finished. Tasks are claimed through
+// an atomic cursor, so a slow task never blocks the others from being picked
+// up (chunked work-stealing without per-task queues). The pool holds
+// `parallelism - 1` threads: the caller is always one of the workers, which
+// makes ParallelFor(n, fn) with parallelism 1 an ordinary serial loop with
+// no synchronization at all.
+//
+// The pool is intended for compute batches, not services: fn must not throw
+// (error reporting in this codebase flows through Status values the caller
+// aggregates after the barrier), and nested ParallelFor calls from inside a
+// task are not supported.
+class ThreadPool {
+ public:
+  // Spawns parallelism - 1 worker threads (so `parallelism` includes the
+  // caller of ParallelFor). parallelism < 1 is treated as 1.
+  explicit ThreadPool(int parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism, including the calling thread.
+  int parallelism() const { return static_cast<int>(threads_.size()) + 1; }
+
+  // Runs fn(i) for each i in [0, num_tasks) and blocks until all complete.
+  // fn may run on any pool thread or on the calling thread; indices are
+  // claimed in order but may finish in any order.
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs tasks of the current batch until the cursor is spent.
+  void DrainBatch(const std::function<void(size_t)>& fn, size_t num_tasks);
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  // Monotone batch sequence number; workers wake when it advances.
+  uint64_t batch_seq_ = 0;
+  const std::function<void(size_t)>* batch_fn_ = nullptr;
+  size_t batch_size_ = 0;
+  std::atomic<size_t> cursor_{0};
+  size_t outstanding_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dire
+
+#endif  // DIRE_BASE_THREAD_POOL_H_

@@ -1,10 +1,13 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
+#include <unordered_set>
 
 #include "ast/dependency.h"
 #include "base/failpoints.h"
+#include "base/hash.h"
 #include "base/log.h"
 #include "base/obs.h"
 #include "base/string_util.h"
@@ -13,14 +16,25 @@
 namespace dire::eval {
 namespace {
 
-// Recursive nested-loop join with index probes over the compiled atom order.
+// Projection-dedup set: keyed on the live projection of a scanned tuple
+// (see Descend), hot enough that the hash set beats an ordered tree.
+using SeenSet = std::unordered_set<storage::Tuple, VectorHash<storage::ValueId>>;
+
+// Sentinel for "no row-range restriction" (full execution of the plan).
+constexpr size_t kNoRange = static_cast<size_t>(-1);
+
+// Recursive nested-loop join with index probes over the compiled atom
+// order. Relations are frozen views: only their const surface is touched
+// (PrepareIndexes must have built every probed index beforehand), so
+// several executors may run concurrently over the same relations.
 class RuleExecutor {
  public:
   RuleExecutor(const CompiledRule& rule, const RelationResolver& resolve,
                const TupleSink& sink, const storage::SymbolTable* symbols,
-               const ExecutionGuard* guard)
+               const ExecutionGuard* guard, size_t begin_row = 0,
+               size_t end_row = kNoRange)
       : rule_(rule), resolve_(resolve), sink_(sink), symbols_(symbols),
-        guard_(guard) {
+        guard_(guard), begin_row_(begin_row), end_row_(end_row) {
     slots_.resize(static_cast<size_t>(rule.num_slots));
   }
 
@@ -50,7 +64,7 @@ class RuleExecutor {
       }
       return;
     }
-    storage::Relation* rel = resolve_(atom);
+    const storage::Relation* rel = resolve_(atom);
     if (atom.negated) {
       // All positions are bound: continue iff the tuple is absent.
       storage::Tuple key;
@@ -68,20 +82,47 @@ class RuleExecutor {
     // deduplicate on them so a high-multiplicity scan cannot multiply the
     // continuation (e.g. buys(X,Y) :- trendy(X), buys(Z,Y): each distinct Y
     // continues once, not once per Z).
-    std::set<storage::Tuple> seen_projections;
-    std::set<storage::Tuple>* seen =
+    SeenSet seen_projections;
+    SeenSet* seen =
         atom.live_bind_positions.size() != atom.bind_positions.size()
             ? &seen_projections
             : nullptr;
-    if (atom.probe_position >= 0) {
-      size_t pos = static_cast<size_t>(atom.probe_position);
-      const ArgRef& ref = atom.args[pos];
-      storage::ValueId key =
-          ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
-      for (uint32_t row : rel->Probe(pos, key)) {
+    if (atom_index == 0 && end_row_ != kNoRange) {
+      // One chunk of a parallel firing: drive the join from rows
+      // [begin_row_, end_row_) of the first atom's relation, skipping its
+      // probe (the checks in TryTuple still filter, and a probe's bucket
+      // yields matches in row order, so the chunks' concatenated output is
+      // exactly the unrestricted execution's).
+      size_t end = std::min(end_row_, rel->tuples().size());
+      for (size_t row = begin_row_; row < end; ++row) {
+        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+      }
+      return;
+    }
+    if (atom.probe_positions.size() > 1 &&
+        rel->HasCompositeIndex(atom.probe_positions)) {
+      // Multi-bound atom: probe the composite index over all bound
+      // positions, touching exactly the matching rows.
+      storage::Tuple key;
+      key.reserve(atom.probe_positions.size());
+      for (int pos : atom.probe_positions) {
+        key.push_back(ValueAt(atom, static_cast<size_t>(pos)));
+      }
+      for (uint32_t row : rel->ProbeCompositeFrozen(atom.probe_positions,
+                                                    key)) {
+        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+      }
+    } else if (atom.probe_positions.size() == 1 &&
+               rel->HasIndex(
+                   static_cast<size_t>(atom.probe_positions.front()))) {
+      size_t pos = static_cast<size_t>(atom.probe_positions.front());
+      for (uint32_t row : rel->ProbeFrozen(pos, ValueAt(atom, pos))) {
         TryTuple(atom, rel->tuples()[row], atom_index, seen);
       }
     } else {
+      // No prepared index (a caller skipped PrepareIndexes, or the probe
+      // set's index was dropped): fall back to the scan — TryTuple's checks
+      // filter to the same rows, in the same order.
       // Note: body relations are never mutated during a pass (derived tuples
       // flow through the sink into a staging relation), so iterating tuples() is safe.
       for (const storage::Tuple& t : rel->tuples()) {
@@ -91,7 +132,7 @@ class RuleExecutor {
   }
 
   void TryTuple(const CompiledAtom& atom, const storage::Tuple& t,
-                size_t atom_index, std::set<storage::Tuple>* seen) {
+                size_t atom_index, SeenSet* seen) {
     // Bind before checking: a check position may test a variable bound by an
     // earlier position of this same atom (repeated variables, e.g. e(X,X)).
     for (int pos : atom.bind_positions) {
@@ -134,6 +175,8 @@ class RuleExecutor {
   const TupleSink& sink_;
   const storage::SymbolTable* symbols_;
   const ExecutionGuard* guard_;
+  const size_t begin_row_;
+  const size_t end_row_;
   std::vector<storage::ValueId> slots_;
   storage::Tuple scratch_;
   uint32_t ops_ = 0;
@@ -150,8 +193,12 @@ struct EvalMetrics {
   obs::Counter* tuples_derived;
   obs::Counter* tuples_deduped;
   obs::Counter* exhaustions;
+  obs::Counter* parallel_firings;
+  obs::Counter* parallel_chunks;
   obs::Histogram* delta_tuples;
   obs::Histogram* join_fanout;
+  obs::Histogram* parallel_chunk_rows;
+  obs::Histogram* parallel_imbalance_pct;
   obs::Gauge* db_bytes;
 };
 
@@ -174,11 +221,20 @@ const EvalMetrics& Metrics() {
       obs::GetCounter("dire_eval_exhaustions_total",
                       "Evaluations stopped early by a resource guard under "
                       "on_exhaustion=partial"),
+      obs::GetCounter("dire_eval_parallel_firings_total",
+                      "Rule firings whose read phase ran on the worker pool"),
+      obs::GetCounter("dire_eval_parallel_chunks_total",
+                      "Driving-scan chunks executed by the worker pool"),
       obs::GetHistogram("dire_eval_delta_tuples",
                         "Semi-naive frontier size per round (new tuples per "
                         "round for naive evaluation)"),
       obs::GetHistogram("dire_eval_join_fanout",
                         "Tuples emitted per rule firing"),
+      obs::GetHistogram("dire_eval_parallel_chunk_rows",
+                        "Driving rows per chunk of a parallel firing"),
+      obs::GetHistogram("dire_eval_parallel_imbalance_pct",
+                        "Per parallel firing: how much longer the slowest "
+                        "chunk ran than the mean chunk, in percent"),
       obs::GetGauge("dire_eval_db_approx_bytes",
                     "Approximate relation memory after the last evaluation"),
   };
@@ -191,12 +247,44 @@ int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+// Chunking policy for parallel firings: split the driving scan into about
+// kChunksPerThread chunks per worker (slack for imbalance without barrier
+// overhead), but never below kMinChunkRows driving rows per chunk, and run
+// serially altogether when the scan is smaller than two minimum chunks.
+constexpr size_t kChunksPerThread = 4;
+constexpr size_t kMinChunkRows = 64;
+
 }  // namespace
+
+void PrepareIndexes(const CompiledRule& rule,
+                    const MutableRelationResolver& resolve) {
+  for (const CompiledAtom& atom : rule.body) {
+    if (atom.negated || atom.builtin || atom.probe_positions.empty()) {
+      continue;
+    }
+    storage::Relation* rel = resolve(atom);
+    if (rel == nullptr) continue;
+    if (atom.probe_positions.size() == 1) {
+      rel->EnsureIndex(static_cast<size_t>(atom.probe_positions.front()));
+    } else {
+      rel->EnsureCompositeIndex(atom.probe_positions);
+    }
+  }
+}
 
 void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
                  const TupleSink& sink, const storage::SymbolTable* symbols,
                  const ExecutionGuard* guard) {
   RuleExecutor(rule, resolve, sink, symbols, guard).Run();
+}
+
+void ExecuteRuleRange(const CompiledRule& rule,
+                      const RelationResolver& resolve, const TupleSink& sink,
+                      const storage::SymbolTable* symbols,
+                      const ExecutionGuard* guard, size_t begin_row,
+                      size_t end_row) {
+  RuleExecutor(rule, resolve, sink, symbols, guard, begin_row, end_row)
+      .Run();
 }
 
 Status EvalOptions::Validate() const {
@@ -216,6 +304,10 @@ Status EvalOptions::Validate() const {
   if (checkpoint_every_rounds > 0 && checkpointer == nullptr) {
     return Status::InvalidArgument(
         "checkpoint_every_rounds requires a checkpointer");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_threads must be >= 1, got %d", num_threads));
   }
   return Status::Ok();
 }
@@ -255,6 +347,7 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
                                storage::Relation* head,
                                storage::Relation* delta, int rule_id) {
   const ExecutionGuard* guard = options_.guard;
+  head->Reserve(staging.size());
   for (const storage::Tuple& t : staging.tuples()) {
     // Stop before exceeding the tuple budget: the budget trips exactly at
     // its limit, and everything inserted so far is a sound derivation.
@@ -273,26 +366,136 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
   return Status::Ok();
 }
 
+ThreadPool* Evaluator::Pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
+size_t Evaluator::PlanChunks(const CompiledRule& plan,
+                             const RelationResolver& resolve) const {
+  if (options_.num_threads <= 1 || plan.body.empty()) return 1;
+  const CompiledAtom& first = plan.body.front();
+  // Only a positive relational first atom gives a partitionable driving
+  // scan (negated atoms and builtins run bound, never first in practice).
+  if (first.negated || first.builtin) return 1;
+  const storage::Relation* driver = resolve(first);
+  if (driver == nullptr) return 1;
+  size_t rows = driver->size();
+  if (rows < 2 * kMinChunkRows) return 1;
+  size_t threads = static_cast<size_t>(options_.num_threads);
+  size_t target = threads * kChunksPerThread;
+  size_t chunk_rows =
+      std::max(kMinChunkRows, (rows + target - 1) / target);
+  return (rows + chunk_rows - 1) / chunk_rows;
+}
+
+Status Evaluator::FireRuleChunked(const CompiledRule& plan, int rule_id,
+                                  const RelationResolver& resolve,
+                                  storage::Relation* head,
+                                  storage::Relation* delta,
+                                  size_t num_chunks, size_t* emitted) {
+  const storage::Relation* driver = resolve(plan.body.front());
+  size_t rows = driver->size();
+  size_t chunk_rows = (rows + num_chunks - 1) / num_chunks;
+  struct Chunk {
+    std::unique_ptr<storage::Relation> staging;
+    size_t emitted = 0;
+    int64_t ns = 0;
+  };
+  std::vector<Chunk> chunks(num_chunks);
+  for (Chunk& c : chunks) {
+    c.staging =
+        std::make_unique<storage::Relation>("$staging", head->arity());
+  }
+  const storage::SymbolTable* symbols = &db_->symbols();
+  const ExecutionGuard* guard = options_.guard;
+
+  // Read phase: workers join disjoint row ranges of the driving scan over
+  // frozen relation views into per-chunk staging buffers. Nothing in the
+  // database mutates until every chunk is done.
+  Pool()->ParallelFor(num_chunks, [&](size_t ci) {
+    obs::Span chunk_span("eval.chunk", "eval");
+    chunk_span.Attr("chunk", static_cast<int64_t>(ci));
+    auto t0 = std::chrono::steady_clock::now();
+    Chunk& c = chunks[ci];
+    size_t begin = ci * chunk_rows;
+    size_t end = std::min(rows, begin + chunk_rows);
+    chunk_span.Attr("rows", static_cast<uint64_t>(end - begin));
+    ExecuteRuleRange(plan, resolve,
+                     [&c](const storage::Tuple& t) {
+                       ++c.emitted;
+                       c.staging->Insert(t);
+                     },
+                     symbols, guard, begin, end);
+    c.ns = ElapsedNs(t0);
+    chunk_span.Attr("emitted", c.emitted);
+  });
+
+  // Merge barrier: buffers merge in chunk index order (not completion
+  // order), so the accumulated relation receives tuples in exactly the
+  // order a serial execution would have inserted them — results are
+  // byte-identical to --threads=1, whatever the worker interleaving was.
+  const EvalMetrics& m = Metrics();
+  m.parallel_firings->Add(1);
+  m.parallel_chunks->Add(num_chunks);
+  *emitted = 0;
+  int64_t max_ns = 0;
+  int64_t total_ns = 0;
+  Status merged = Status::Ok();
+  for (Chunk& c : chunks) {
+    *emitted += c.emitted;
+    max_ns = std::max(max_ns, c.ns);
+    total_ns += c.ns;
+    m.parallel_chunk_rows->Observe(c.staging->size());
+    if (merged.ok()) {
+      merged = MergeStaging(*c.staging, plan.head_predicate, head, delta,
+                            rule_id);
+    }
+  }
+  int64_t mean_ns = total_ns / static_cast<int64_t>(num_chunks);
+  if (mean_ns > 0) {
+    m.parallel_imbalance_pct->Observe(
+        static_cast<uint64_t>((max_ns - mean_ns) * 100 / mean_ns));
+  }
+  return merged;
+}
+
 Status Evaluator::FireRule(const CompiledRule& plan, int rule_id,
-                           const RelationResolver& resolve,
+                           const MutableRelationResolver& resolve,
                            storage::Relation* head,
                            storage::Relation* delta) {
   obs::Span span("eval.rule", "eval");
   span.Attr("head", plan.head_predicate);
   auto t0 = std::chrono::steady_clock::now();
-  storage::Relation staging("$staging", head->arity());
+  // Freeze the read set: build every index the plan probes now, so
+  // execution — serial or parallel — never mutates a relation.
+  PrepareIndexes(plan, resolve);
+  RelationResolver frozen =
+      [&resolve](const CompiledAtom& atom) -> const storage::Relation* {
+    return resolve(atom);
+  };
   size_t emitted = 0;
   ++provenance_round_;
-  ExecuteRule(plan, resolve,
-              [&staging, &emitted](const storage::Tuple& t) {
-                ++emitted;
-                staging.Insert(t);
-              },
-              &db_->symbols(), options_.guard);
-  ++stats_.rule_firings;
   size_t before = stats_.tuples_derived;
-  Status merged = MergeStaging(staging, plan.head_predicate, head, delta,
-                               rule_id);
+  Status merged;
+  size_t num_chunks = PlanChunks(plan, frozen);
+  if (num_chunks > 1) {
+    merged = FireRuleChunked(plan, rule_id, frozen, head, delta, num_chunks,
+                             &emitted);
+  } else {
+    storage::Relation staging("$staging", head->arity());
+    ExecuteRule(plan, frozen,
+                [&staging, &emitted](const storage::Tuple& t) {
+                  ++emitted;
+                  staging.Insert(t);
+                },
+                &db_->symbols(), options_.guard);
+    merged = MergeStaging(staging, plan.head_predicate, head, delta,
+                          rule_id);
+  }
+  ++stats_.rule_firings;
   size_t inserted = stats_.tuples_derived - before;
   int64_t ns = ElapsedNs(t0);
   if (rule_id >= 0) {
@@ -309,6 +512,7 @@ Status Evaluator::FireRule(const CompiledRule& plan, int rule_id,
   m.join_fanout->Observe(emitted);
   span.Attr("emitted", emitted);
   span.Attr("inserted", inserted);
+  span.Attr("chunks", static_cast<uint64_t>(num_chunks));
   return merged;
 }
 

@@ -10,6 +10,7 @@
 #include "ast/ast.h"
 #include "base/guard.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "eval/plan.h"
 #include "eval/provenance.h"
 #include "storage/database.h"
@@ -70,6 +71,15 @@ struct EvalOptions {
 
   // Greedy join reordering (see CompileOptions::reorder).
   bool reorder_atoms = true;
+
+  // Worker threads for rule execution (1 = fully serial, the default). With
+  // N > 1 each sufficiently large rule firing partitions its driving scan
+  // (the semi-naive delta, or the first atom's relation) into chunks joined
+  // concurrently over frozen relation views, then merged at a barrier in
+  // chunk order — so results are byte-identical to a serial run, round for
+  // round. Checkpoints still happen only at round boundaries and are
+  // unchanged. Must be >= 1.
+  int num_threads = 1;
 
   // When set, every derived tuple's first-derivation round is recorded,
   // enabling Explain() provenance queries afterwards. Not owned.
@@ -165,13 +175,19 @@ struct EvalStats {
   std::vector<StratumStats> stratum_stats;
 };
 
-// Executes one compiled rule (see ExecuteRule below). `resolve` maps a body
-// atom to the relation it reads (may return nullptr for a missing relation,
-// which yields no rows). Each derived head tuple is passed to `sink`
-// (duplicates possible); sinks typically stage into a deduplicating Relation
-// so that a high-multiplicity join cannot blow up memory.
+// Maps a body atom to the relation it reads (may return nullptr for a
+// missing relation, which yields no rows). The executor's resolver returns
+// frozen (const) views: execution is a pure read phase, which is what makes
+// one firing safe to split across worker threads. The mutable variant is
+// used by the driver before execution, to pre-build the indexes the plan
+// probes (see PrepareIndexes).
 using RelationResolver =
+    std::function<const storage::Relation*(const CompiledAtom&)>;
+using MutableRelationResolver =
     std::function<storage::Relation*(const CompiledAtom&)>;
+// Receives each derived head tuple (duplicates possible); sinks typically
+// stage into a deduplicating Relation so that a high-multiplicity join
+// cannot blow up memory.
 using TupleSink = std::function<void(const storage::Tuple&)>;
 
 // Bottom-up Datalog evaluation over a Database. General positive programs
@@ -223,12 +239,33 @@ class Evaluator {
   // a nonrecursive stratum and of the public EvaluateOnce).
   Status RunRulesOnce(const std::vector<IndexedRule>& rules);
 
-  // Executes one compiled plan: stages the join's output, merges it into
-  // `head` (and `delta` when non-null), and accounts the firing to
+  // Executes one compiled plan: builds the indexes it probes, runs the join
+  // (across the worker pool when options_.num_threads > 1 and the driving
+  // scan is large enough), stages the output, merges it into `head` (and
+  // `delta` when non-null), and accounts the firing to
   // stats_.rule_stats[rule_id] plus the metrics registry.
   Status FireRule(const CompiledRule& plan, int rule_id,
-                  const RelationResolver& resolve, storage::Relation* head,
-                  storage::Relation* delta);
+                  const MutableRelationResolver& resolve,
+                  storage::Relation* head, storage::Relation* delta);
+
+  // How many chunks FireRule should split this firing into; 1 means run
+  // serially (parallelism disabled, no driving scan, or too few rows to be
+  // worth a barrier).
+  size_t PlanChunks(const CompiledRule& plan,
+                    const RelationResolver& resolve) const;
+
+  // The parallel read phase + serial merge barrier of one firing: the first
+  // atom's scan is split into `num_chunks` row ranges joined concurrently
+  // into per-chunk staging buffers, which are then merged in chunk order —
+  // byte-identical to the serial execution. Sets *emitted to the total
+  // pre-dedup head tuples.
+  Status FireRuleChunked(const CompiledRule& plan, int rule_id,
+                         const RelationResolver& resolve,
+                         storage::Relation* head, storage::Relation* delta,
+                         size_t num_chunks, size_t* emitted);
+
+  // The lazily created worker pool behind options_.num_threads.
+  ThreadPool* Pool();
 
   // Invokes the checkpointer when one is armed; see EvalOptions.
   Status MaybeCheckpoint(int stratum_index, int rounds_done,
@@ -266,7 +303,18 @@ class Evaluator {
   // between evaluations: a shared ProvenanceTracker needs rounds to keep
   // increasing across Evaluate calls on the same evaluator.
   int provenance_round_ = 0;
+  // Persistent worker pool for num_threads > 1; created on first parallel
+  // firing and reused across rounds, strata, and evaluations.
+  std::unique_ptr<ThreadPool> pool_;
 };
+
+// Builds every index `rule`'s executor will probe on the relations
+// `resolve` yields (see RequiredIndexes in plan.h). Call before
+// ExecuteRule / ExecuteRuleRange: execution itself treats relations as
+// frozen views and never builds an index (a missing index yields no rows,
+// it is never built mid-join).
+void PrepareIndexes(const CompiledRule& rule,
+                    const MutableRelationResolver& resolve);
 
 // `symbols` is needed to evaluate comparison builtins (may be null for
 // rules that use none; a builtin atom then never matches).
@@ -277,6 +325,18 @@ void ExecuteRule(const CompiledRule& rule, const RelationResolver& resolve,
                  const TupleSink& sink,
                  const storage::SymbolTable* symbols = nullptr,
                  const ExecutionGuard* guard = nullptr);
+
+// Range-restricted variant for parallel chunking: the first body atom scans
+// only rows [begin_row, end_row) of its relation (its probe, if any, is
+// bypassed — checks still filter, so results are exactly the full
+// execution's restricted to those driving rows). Later atoms execute
+// normally. Safe to call concurrently with other range executions of the
+// same plan, provided PrepareIndexes ran first and no relation mutates.
+void ExecuteRuleRange(const CompiledRule& rule,
+                      const RelationResolver& resolve, const TupleSink& sink,
+                      const storage::SymbolTable* symbols,
+                      const ExecutionGuard* guard, size_t begin_row,
+                      size_t end_row);
 
 }  // namespace dire::eval
 

@@ -32,11 +32,14 @@ std::string ExplainPlan(const CompiledRule& plan,
   int step = 1;
   for (const CompiledAtom& atom : plan.body) {
     std::string access;
-    if (atom.probe_position >= 0) {
-      const ArgRef& ref =
-          atom.args[static_cast<size_t>(atom.probe_position)];
-      access = StrFormat("probe #%d=%s", atom.probe_position + 1,
-                         ArgName(plan, ref, symbols).c_str());
+    if (!atom.probe_positions.empty()) {
+      // One "#pos=value" per probed column; several mean a composite index.
+      access = "probe";
+      for (int pos : atom.probe_positions) {
+        const ArgRef& ref = atom.args[static_cast<size_t>(pos)];
+        access += StrFormat(" #%d=%s", pos + 1,
+                            ArgName(plan, ref, symbols).c_str());
+      }
     } else {
       access = "scan ";
     }
@@ -48,7 +51,10 @@ std::string ExplainPlan(const CompiledRule& plan,
     }
     std::string checks;
     for (int pos : atom.check_positions) {
-      if (pos == atom.probe_position) continue;
+      if (std::find(atom.probe_positions.begin(), atom.probe_positions.end(),
+                    pos) != atom.probe_positions.end()) {
+        continue;
+      }
       checks += StrFormat(
           " #%d=%s", pos + 1,
           ArgName(plan, atom.args[static_cast<size_t>(pos)], symbols)

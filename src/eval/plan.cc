@@ -151,9 +151,11 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
       }
       ca.args.push_back(ref);
     }
-    // Probe on the first checkable position; repeats within this atom are
-    // only checkable against slots bound by this atom's own earlier
-    // positions, so restrict the probe to constants/earlier-atom variables.
+    // Probe on every position whose value is known before the atom runs;
+    // repeats within this atom are only checkable against slots bound by
+    // this atom's own earlier positions, so restrict the probe set to
+    // constants/earlier-atom variables. One bound position uses a
+    // single-column index, several use a composite index over all of them.
     // Negated atoms use a direct membership lookup instead of a probe;
     // builtins evaluate directly.
     if (!ca.negated && !ca.builtin) {
@@ -162,9 +164,11 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
         if (ref.is_const ||
             bound_so_far.count(atom.args[static_cast<size_t>(pos)].text()) !=
                 0) {
-          ca.probe_position = pos;
-          break;
+          ca.probe_positions.push_back(pos);
         }
+      }
+      if (!ca.probe_positions.empty()) {
+        ca.probe_position = ca.probe_positions.front();
       }
     }
     for (const std::string& v : bound_in_atom) bound_so_far.insert(v);
@@ -211,6 +215,20 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
       ref.slot = it->second;
     }
     out.head_args.push_back(ref);
+  }
+  return out;
+}
+
+std::vector<IndexRequirement> RequiredIndexes(const CompiledRule& rule) {
+  std::vector<IndexRequirement> out;
+  for (const CompiledAtom& atom : rule.body) {
+    if (atom.negated || atom.builtin || atom.probe_positions.empty()) {
+      continue;
+    }
+    IndexRequirement req{atom.predicate, atom.source, atom.probe_positions};
+    bool duplicate = false;
+    for (const IndexRequirement& have : out) duplicate |= have == req;
+    if (!duplicate) out.push_back(std::move(req));
   }
   return out;
 }

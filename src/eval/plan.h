@@ -26,13 +26,22 @@ struct ArgRef {
 // A body atom compiled against a fixed join order. `check_positions` are
 // argument positions whose value is already known when the atom executes
 // (constants, variables bound by earlier atoms, or repeats within this
-// atom); `bind_positions` bind fresh slots. If `probe_position` >= 0 the
-// executor uses a column hash index on that position instead of scanning.
+// atom); `bind_positions` bind fresh slots.
+//
+// `probe_positions` holds every position whose value is known *before* the
+// atom executes (constants and earlier-atom variables — repeats bound
+// within this atom are excluded), sorted ascending. The executor probes a
+// hash index on the full set: a single-column index when one position is
+// bound, a composite index over all of them otherwise, so a multi-bound
+// atom touches exactly its matching rows instead of over-scanning one
+// column's bucket. `probe_position` mirrors the first entry (or -1) for
+// explanation and diagnostics.
 struct CompiledAtom {
   std::string predicate;
   std::vector<ArgRef> args;
   std::vector<int> check_positions;
   std::vector<int> bind_positions;
+  std::vector<int> probe_positions;
   int probe_position = -1;
   AtomSource source = AtomSource::kFull;
   // The subset of bind_positions whose slot is read downstream (by a later
@@ -77,6 +86,26 @@ struct CompileOptions {
 Result<CompiledRule> CompileRule(const ast::Rule& rule,
                                  storage::SymbolTable* symbols,
                                  const CompileOptions& options = {});
+
+// A hash index a compiled plan probes while executing: the relation the
+// atom reads (by predicate and source) and the probed column set (size 1 =
+// single-column index, larger = composite index).
+struct IndexRequirement {
+  std::string predicate;
+  AtomSource source = AtomSource::kFull;
+  std::vector<int> positions;
+
+  bool operator==(const IndexRequirement& other) const {
+    return predicate == other.predicate && source == other.source &&
+           positions == other.positions;
+  }
+};
+
+// Every index `rule`'s executor will probe, deduplicated, in body order.
+// The evaluator pre-builds these on the relations a plan reads before
+// executing it, so execution itself never mutates a relation — which is
+// what makes a round's read phase safe to run on many threads at once.
+std::vector<IndexRequirement> RequiredIndexes(const CompiledRule& rule);
 
 }  // namespace dire::eval
 

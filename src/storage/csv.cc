@@ -1,5 +1,6 @@
 #include "storage/csv.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,10 @@ namespace dire::storage {
 
 Status LoadCsv(Database* db, const std::string& name, std::string_view text) {
   Relation* rel = nullptr;
+  // Line count bounds the row count (comments and blanks only overshoot),
+  // so one Reserve on the first data line covers the whole load.
+  size_t estimated_rows =
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
   size_t line_no = 0;
   for (const std::string& raw_line : Split(text, '\n')) {
     ++line_no;
@@ -36,6 +41,7 @@ Status LoadCsv(Database* db, const std::string& name, std::string_view text) {
             created.status().message().c_str()));
       }
       rel = *created;
+      rel->Reserve(estimated_rows);
     }
     if (t.size() != rel->arity()) {
       return Status::ParseError(

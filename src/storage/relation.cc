@@ -8,41 +8,73 @@ const std::vector<uint32_t> Relation::kEmptyRows;
 
 bool Relation::Insert(const Tuple& t) {
   assert(t.size() == arity_);
-  // Stage the candidate at the end of the row store so the hash set (which
-  // compares rows by index) can probe it, then undo if it was a duplicate.
+  // Transparent probe first: no row is staged unless the tuple is new, so
+  // the row store never holds a duplicate even transiently.
+  if (dedup_.find(t) != dedup_.end()) return false;
   tuples_.push_back(t);
   uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
-  auto [it, inserted] = dedup_.insert(row);
-  if (!inserted) {
-    tuples_.pop_back();
-    return false;
-  }
+  dedup_.insert(row);
   for (size_t col = 0; col < indexes_.size(); ++col) {
     if (indexes_[col].built) {
       indexes_[col].buckets[t[col]].push_back(row);
     }
   }
+  for (auto& [cols, index] : composite_indexes_) {
+    index.buckets[ProjectRow(t, cols)].push_back(row);
+  }
   return true;
+}
+
+void Relation::Reserve(size_t additional) {
+  size_t total = tuples_.size() + additional;
+  tuples_.reserve(total);
+  dedup_.reserve(total);
 }
 
 bool Relation::Contains(const Tuple& t) const {
   assert(t.size() == arity_);
-  // Stage-and-probe as in Insert, but restore the store unconditionally.
-  // Safe because find() does not keep references past the call.
-  auto* self = const_cast<Relation*>(this);
-  self->tuples_.push_back(t);
-  uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
-  bool found = dedup_.find(row) != dedup_.end();
-  self->tuples_.pop_back();
-  return found;
+  return dedup_.find(t) != dedup_.end();
 }
 
 const std::vector<uint32_t>& Relation::Probe(size_t col, ValueId value) {
   assert(col < arity_);
-  if (indexes_.size() < arity_) indexes_.resize(arity_);
-  if (!indexes_[col].built) BuildIndex(col);
+  EnsureIndex(col);
   auto it = indexes_[col].buckets.find(value);
   return it == indexes_[col].buckets.end() ? kEmptyRows : it->second;
+}
+
+const std::vector<uint32_t>& Relation::ProbeFrozen(size_t col,
+                                                   ValueId value) const {
+  assert(HasIndex(col));
+  if (col >= indexes_.size() || !indexes_[col].built) return kEmptyRows;
+  auto it = indexes_[col].buckets.find(value);
+  return it == indexes_[col].buckets.end() ? kEmptyRows : it->second;
+}
+
+const std::vector<uint32_t>& Relation::ProbeComposite(
+    const std::vector<int>& cols, const Tuple& key) {
+  CompositeIndex& index = BuildCompositeIndex(cols);
+  auto it = index.buckets.find(key);
+  return it == index.buckets.end() ? kEmptyRows : it->second;
+}
+
+const std::vector<uint32_t>& Relation::ProbeCompositeFrozen(
+    const std::vector<int>& cols, const Tuple& key) const {
+  auto found = composite_indexes_.find(cols);
+  assert(found != composite_indexes_.end());
+  if (found == composite_indexes_.end()) return kEmptyRows;
+  auto it = found->second.buckets.find(key);
+  return it == found->second.buckets.end() ? kEmptyRows : it->second;
+}
+
+void Relation::EnsureIndex(size_t col) {
+  assert(col < arity_);
+  if (indexes_.size() < arity_) indexes_.resize(arity_);
+  if (!indexes_[col].built) BuildIndex(col);
+}
+
+void Relation::EnsureCompositeIndex(const std::vector<int>& cols) {
+  BuildCompositeIndex(cols);
 }
 
 void Relation::BuildIndex(size_t col) {
@@ -52,6 +84,27 @@ void Relation::BuildIndex(size_t col) {
   for (uint32_t row = 0; row < tuples_.size(); ++row) {
     index.buckets[tuples_[row][col]].push_back(row);
   }
+}
+
+Relation::CompositeIndex& Relation::BuildCompositeIndex(
+    const std::vector<int>& cols) {
+  assert(cols.size() >= 2);
+  auto [it, inserted] = composite_indexes_.try_emplace(cols);
+  if (inserted) {
+    CompositeIndex& index = it->second;
+    index.buckets.reserve(tuples_.size());
+    for (uint32_t row = 0; row < tuples_.size(); ++row) {
+      index.buckets[ProjectRow(tuples_[row], cols)].push_back(row);
+    }
+  }
+  return it->second;
+}
+
+Tuple Relation::ProjectRow(const Tuple& row, const std::vector<int>& cols) {
+  Tuple key;
+  key.reserve(cols.size());
+  for (int col : cols) key.push_back(row[static_cast<size_t>(col)]);
+  return key;
 }
 
 size_t Relation::ApproxBytes() const {
@@ -68,6 +121,14 @@ size_t Relation::ApproxBytes() const {
     bytes += index.buckets.size() * kPerTupleOverhead +
              tuples_.size() * sizeof(uint32_t);
   }
+  for (const auto& [cols, index] : composite_indexes_) {
+    // Like a column index, plus each bucket's key tuple (cols values and a
+    // vector header).
+    bytes += index.buckets.size() *
+                 (kPerTupleOverhead + sizeof(Tuple) +
+                  cols.size() * sizeof(ValueId)) +
+             tuples_.size() * sizeof(uint32_t);
+  }
   return bytes;
 }
 
@@ -75,6 +136,7 @@ void Relation::Clear() {
   dedup_.clear();
   tuples_.clear();
   indexes_.clear();
+  composite_indexes_.clear();
 }
 
 std::string Relation::ToString(const SymbolTable& symbols) const {

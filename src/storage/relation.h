@@ -2,6 +2,7 @@
 #define DIRE_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,8 +14,18 @@
 namespace dire::storage {
 
 // A set of fixed-arity tuples with O(1) duplicate detection and lazily built
-// per-column hash indexes for join probes. Insert-only (evaluation never
-// deletes); Clear() resets everything.
+// hash indexes for join probes: per-column indexes plus composite indexes
+// over a set of columns (so a multi-bound probe hits exactly its matching
+// rows instead of over-scanning one column's bucket). Insert-only
+// (evaluation never deletes); Clear() resets everything.
+//
+// Thread-safety: none of the mutating members may race, but every const
+// member is safe to call concurrently with other const members. The
+// parallel evaluator relies on this split: it freezes a relation by
+// pre-building every index its plans probe (EnsureIndex /
+// EnsureCompositeIndex) before the parallel region, after which workers use
+// only the const surface (tuples(), ProbeFrozen, ProbeCompositeFrozen,
+// Contains).
 class Relation {
  public:
   Relation(std::string name, size_t arity)
@@ -33,27 +44,55 @@ class Relation {
   // Inserts `t`; returns true if it was new. Requires t.size() == arity().
   bool Insert(const Tuple& t);
 
+  // Pre-sizes the row store and the dedup set for `additional` further
+  // inserts, so bulk loads (snapshot sections, CSV files, staging merges)
+  // pay one rehash instead of a rehash storm.
+  void Reserve(size_t additional);
+
   bool Contains(const Tuple& t) const;
 
   // All tuples, in insertion order. Stable across Insert calls (indexes into
   // this vector are used as row ids).
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
-  // Row ids of tuples whose column `col` equals `value`. Builds the column
-  // index on first use; subsequent inserts maintain it.
+  // Row ids of tuples whose column `col` equals `value`, in increasing row
+  // order. Builds the column index on first use; subsequent inserts
+  // maintain it.
   const std::vector<uint32_t>& Probe(size_t col, ValueId value);
+
+  // Row ids of tuples matching `key[i]` at column `cols[i]` for every i, in
+  // increasing row order. `cols` must be sorted, unique, with at least two
+  // entries (use Probe for one). Builds the composite index on first use.
+  const std::vector<uint32_t>& ProbeComposite(const std::vector<int>& cols,
+                                              const Tuple& key);
+
+  // Builds the single-column / composite index now (no-ops when already
+  // built). The parallel evaluator calls these for every index its compiled
+  // plans probe before entering a parallel region.
+  void EnsureIndex(size_t col);
+  void EnsureCompositeIndex(const std::vector<int>& cols);
+
+  // Const probes for frozen (index-complete) relations: exactly Probe /
+  // ProbeComposite, but require the index to have been built (they return
+  // no rows — never a silent scan — if it was not; debug builds assert).
+  const std::vector<uint32_t>& ProbeFrozen(size_t col, ValueId value) const;
+  const std::vector<uint32_t>& ProbeCompositeFrozen(
+      const std::vector<int>& cols, const Tuple& key) const;
 
   // True if a hash index exists for `col`.
   bool HasIndex(size_t col) const {
-    return col < indexes_.size() && !indexes_[col].buckets.empty();
+    return col < indexes_.size() && indexes_[col].built;
+  }
+  bool HasCompositeIndex(const std::vector<int>& cols) const {
+    return composite_indexes_.find(cols) != composite_indexes_.end();
   }
 
   void Clear();
 
   // Approximate heap bytes held by this relation: row storage, the dedup
-  // set, and any built column indexes. Used by ExecutionGuard memory
-  // accounting; an estimate (allocator overhead is modeled with a flat
-  // per-node constant), not a measurement.
+  // set, and any built column or composite indexes. Used by ExecutionGuard
+  // memory accounting; an estimate (allocator overhead is modeled with a
+  // flat per-node constant), not a measurement.
   size_t ApproxBytes() const;
 
   // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
@@ -64,21 +103,41 @@ class Relation {
     bool built = false;
     std::unordered_map<ValueId, std::vector<uint32_t>> buckets;
   };
+  // Buckets keyed by the projection of a row onto the index's columns.
+  struct CompositeIndex {
+    std::unordered_map<Tuple, std::vector<uint32_t>, VectorHash<ValueId>>
+        buckets;
+  };
 
+  // Transparent hashing: the dedup set stores row ids but can be probed
+  // directly with a Tuple, so Contains never has to stage a candidate row.
   struct RowHash {
+    using is_transparent = void;
     const std::vector<Tuple>* rows;
     size_t operator()(uint32_t i) const {
       return static_cast<size_t>(HashVector((*rows)[i]));
     }
+    size_t operator()(const Tuple& t) const {
+      return static_cast<size_t>(HashVector(t));
+    }
   };
   struct RowEq {
+    using is_transparent = void;
     const std::vector<Tuple>* rows;
     bool operator()(uint32_t a, uint32_t b) const {
       return (*rows)[a] == (*rows)[b];
     }
+    bool operator()(const Tuple& t, uint32_t b) const {
+      return t == (*rows)[b];
+    }
+    bool operator()(uint32_t a, const Tuple& t) const {
+      return (*rows)[a] == t;
+    }
   };
 
   void BuildIndex(size_t col);
+  CompositeIndex& BuildCompositeIndex(const std::vector<int>& cols);
+  static Tuple ProjectRow(const Tuple& row, const std::vector<int>& cols);
 
   std::string name_;
   size_t arity_;
@@ -86,6 +145,9 @@ class Relation {
   std::unordered_set<uint32_t, RowHash, RowEq> dedup_{
       16, RowHash{&tuples_}, RowEq{&tuples_}};
   std::vector<ColumnIndex> indexes_;
+  // Keyed by the sorted column set; std::map keeps iterators and mapped
+  // references stable across insertion of further composite indexes.
+  std::map<std::vector<int>, CompositeIndex> composite_indexes_;
   static const std::vector<uint32_t> kEmptyRows;
 };
 

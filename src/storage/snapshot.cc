@@ -120,6 +120,7 @@ Status CommitSections(Database* staging, std::vector<Section> sections,
   for (Section& section : sections) {
     DIRE_ASSIGN_OR_RETURN(Relation * rel,
                           staging->GetOrCreate(section.name, section.arity));
+    rel->Reserve(section.tuples.size());
     for (Tuple& t : section.tuples) {
       if (rel->Insert(t)) ++stats->tuples;
     }
@@ -375,6 +376,7 @@ Status MergeStagingInto(Database* dst, const Database& staging) {
     const Relation* srel = staging.Find(name);
     DIRE_ASSIGN_OR_RETURN(Relation * drel,
                           dst->GetOrCreate(name, srel->arity()));
+    drel->Reserve(srel->size());
     for (const Tuple& t : srel->tuples()) {
       Tuple mapped;
       mapped.reserve(t.size());

@@ -1,0 +1,359 @@
+// Parallel evaluation: the worker pool itself, and the determinism contract
+// that --threads=N produces byte-identical results to --threads=1 — same
+// tuples, same insertion order, same snapshot bytes — on every program
+// shape, plus guard exhaustion and cancellation behaviour mid-parallel-run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "base/obs.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "eval/evaluator.h"
+#include "eval/plan.h"
+#include "storage/generators.h"
+#include "storage/snapshot.h"
+#include "tests/test_util.h"
+
+namespace dire::eval {
+namespace {
+
+using dire::testing::ParseOrDie;
+
+// ------------------------------------------------------------------------
+// ThreadPool
+// ------------------------------------------------------------------------
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.ParallelFor(batch + 1, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  long expect = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    expect += batch * (batch + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(997, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 997u);
+}
+
+// ------------------------------------------------------------------------
+// Determinism: parallel == serial, byte for byte
+// ------------------------------------------------------------------------
+
+EvalOptions Threaded(int n) {
+  EvalOptions o;
+  o.num_threads = n;
+  return o;
+}
+
+// Loads the same pseudo-random EDB into `db` for a given seed. Sizes are
+// chosen so the driving scans clear the parallel chunking threshold.
+void LoadEdb(storage::Database* db, uint64_t seed) {
+  Rng rng(seed);
+  ASSERT_TRUE(storage::MakeRandomGraph(db, "e", 40, 400, &rng).ok());
+  ASSERT_TRUE(storage::MakeRandomGraph(db, "up", 30, 200, &rng).ok());
+  ASSERT_TRUE(storage::MakeRandomGraph(db, "down", 30, 200, &rng).ok());
+  ASSERT_TRUE(storage::MakeRandomGraph(db, "flat", 30, 200, &rng).ok());
+}
+
+// The program shapes under test: single recursion, same-generation style
+// double recursion, a wide multi-join, projection pushdown (dead bindings),
+// and stratified negation over a recursive result.
+const char* const kPrograms[] = {
+    R"(
+      t(X, Y) :- e(X, Z), t(Z, Y).
+      t(X, Y) :- e(X, Y).
+    )",
+    R"(
+      sg(X, Y) :- flat(X, Y).
+      sg(X, Y) :- up(X, Z), sg(Z, W), down(W, Y).
+    )",
+    R"(
+      p3(X, Y) :- e(X, A), e(A, B), e(B, Y).
+      r(X, Y) :- p3(X, Y).
+      r(X, Y) :- p3(X, Z), r(Z, Y).
+    )",
+    R"(
+      hub(X) :- e(X, Y), e(Y, X).
+      reach(X, Y) :- e(X, Y), hub(X).
+      reach(X, Y) :- reach(X, Z), e(Z, Y).
+    )",
+    R"(
+      t(X, Y) :- e(X, Z), t(Z, Y).
+      t(X, Y) :- e(X, Y).
+      far(X, Y) :- t(X, Y), not e(X, Y).
+    )",
+    // Dead binding on the chunked driving scan (Y is never read), so the
+    // projection-dedup seen set runs per chunk and its cross-chunk
+    // re-emissions must still dedup to the serial order.
+    R"(
+      src(X) :- e(X, Y).
+      t2(X, Y) :- src(X), e(X, Y).
+    )",
+};
+
+// Every derived relation of `db`, serialized with insertion order intact
+// (snapshots sort, so they cannot see an order difference — this can).
+std::vector<std::vector<storage::Tuple>> InsertionOrders(
+    const storage::Database& db) {
+  std::vector<std::vector<storage::Tuple>> out;
+  for (const std::string& name : db.RelationNames()) {
+    out.push_back(db.Find(name)->tuples());
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, MatchesSerialByteForByteAcrossThreadCounts) {
+#ifdef DIRE_OBS_ENABLED
+  // Guard against the whole suite passing trivially because the parallel
+  // path never engaged: the chunk counter must move across these runs.
+  obs::Counter* chunks = obs::GetCounter("dire_eval_parallel_chunks_total");
+  uint64_t chunks_before = chunks->value();
+#endif
+  for (const char* program_text : kPrograms) {
+    ast::Program program = ParseOrDie(program_text);
+    for (uint64_t seed : {1u, 7u, 23u}) {
+      storage::Database reference;
+      LoadEdb(&reference, seed);
+      Evaluator serial(&reference, Threaded(1));
+      Result<EvalStats> ref_stats = serial.Evaluate(program);
+      ASSERT_TRUE(ref_stats.ok()) << ref_stats.status();
+      Result<std::string> ref_snapshot = storage::SaveSnapshot(reference);
+      ASSERT_TRUE(ref_snapshot.ok());
+      std::vector<std::vector<storage::Tuple>> ref_order =
+          InsertionOrders(reference);
+
+      for (int threads : {2, 4, 8}) {
+        storage::Database db;
+        LoadEdb(&db, seed);
+        Evaluator parallel(&db, Threaded(threads));
+        Result<EvalStats> stats = parallel.Evaluate(program);
+        ASSERT_TRUE(stats.ok()) << stats.status();
+        // Same derivation counts, round for round.
+        EXPECT_EQ(stats->tuples_derived, ref_stats->tuples_derived);
+        EXPECT_EQ(stats->iterations, ref_stats->iterations);
+        EXPECT_EQ(stats->rule_firings, ref_stats->rule_firings);
+        // Same tuples in the same insertion order.
+        EXPECT_EQ(InsertionOrders(db), ref_order)
+            << "threads=" << threads << " seed=" << seed << "\n"
+            << program_text;
+        // Same bytes on disk.
+        Result<std::string> snapshot = storage::SaveSnapshot(db);
+        ASSERT_TRUE(snapshot.ok());
+        EXPECT_EQ(*snapshot, *ref_snapshot)
+            << "threads=" << threads << " seed=" << seed;
+      }
+    }
+  }
+#ifdef DIRE_OBS_ENABLED
+  EXPECT_GT(chunks->value(), chunks_before)
+      << "no firing took the chunked path; the determinism comparisons "
+         "above were all trivially serial-vs-serial";
+#endif
+}
+
+TEST(ParallelDeterminism, SmallInputsStaySerialAndCorrect) {
+  // Below the chunking threshold the parallel evaluator must take the
+  // serial path and still produce the exact closure.
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeChain(&db, "e", 5).ok());
+  Evaluator ev(&db, Threaded(8));
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(db.Find("t")->size(), 10u);
+}
+
+TEST(ParallelDeterminism, NaiveModeAlsoMatchesSerial) {
+  ast::Program program = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database reference;
+  LoadEdb(&reference, 5);
+  EvalOptions serial_naive;
+  serial_naive.mode = EvalOptions::Mode::kNaive;
+  Evaluator s(&reference, serial_naive);
+  ASSERT_TRUE(s.Evaluate(program).ok());
+
+  storage::Database db;
+  LoadEdb(&db, 5);
+  EvalOptions parallel_naive = serial_naive;
+  parallel_naive.num_threads = 4;
+  Evaluator p(&db, parallel_naive);
+  ASSERT_TRUE(p.Evaluate(program).ok());
+  EXPECT_EQ(db.Find("t")->tuples(), reference.Find("t")->tuples());
+}
+
+// ------------------------------------------------------------------------
+// Guard exhaustion and cancellation mid-parallel-run
+// ------------------------------------------------------------------------
+
+TEST(ParallelGuard, TupleBudgetYieldsSoundPrefix) {
+  ast::Program program = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database reference;
+  LoadEdb(&reference, 11);
+  Evaluator full(&reference, Threaded(1));
+  ASSERT_TRUE(full.Evaluate(program).ok());
+  const storage::Relation* complete = reference.Find("t");
+  ASSERT_GT(complete->size(), 200u);
+
+  GuardLimits limits;
+  limits.max_tuples = 100;
+  ExecutionGuard guard(limits);
+  storage::Database db;
+  LoadEdb(&db, 11);
+  EvalOptions opts = Threaded(4);
+  opts.guard = &guard;
+  opts.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+  Evaluator ev(&db, opts);
+  Result<EvalStats> stats = ev.Evaluate(program);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->exhausted);
+  EXPECT_FALSE(stats->converged);
+  // The budget is exact and every derived tuple is a sound derivation.
+  const storage::Relation* partial = db.Find("t");
+  EXPECT_LE(partial->size(), 100u);
+  for (const storage::Tuple& t : partial->tuples()) {
+    EXPECT_TRUE(complete->Contains(t));
+  }
+}
+
+TEST(ParallelGuard, TupleBudgetErrorsUnderKError) {
+  GuardLimits limits;
+  limits.max_tuples = 10;
+  ExecutionGuard guard(limits);
+  storage::Database db;
+  LoadEdb(&db, 11);
+  EvalOptions opts = Threaded(4);
+  opts.guard = &guard;
+  Evaluator ev(&db, opts);
+  Result<EvalStats> stats =
+      ev.Evaluate(ParseOrDie(dire::testing::kTransitiveClosure));
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(ParallelGuard, CancellationMidRunLeavesSoundState) {
+  ast::Program program = ParseOrDie(dire::testing::kTransitiveClosure);
+  storage::Database reference;
+  ASSERT_TRUE(storage::MakeGrid(&reference, "e", 25, 25).ok());
+  Evaluator full(&reference, Threaded(1));
+  ASSERT_TRUE(full.Evaluate(program).ok());
+  const storage::Relation* complete = reference.Find("t");
+
+  CancellationToken token;
+  ExecutionGuard guard(GuardLimits{}, token);
+  storage::Database db;
+  ASSERT_TRUE(storage::MakeGrid(&db, "e", 25, 25).ok());
+  EvalOptions opts = Threaded(4);
+  opts.guard = &guard;
+  opts.on_exhaustion = EvalOptions::OnExhaustion::kPartial;
+  Evaluator ev(&db, opts);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  Result<EvalStats> stats = ev.Evaluate(program);
+  canceller.join();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // Whether the cancel landed mid-run or after completion, everything
+  // derived must be a subset of the true closure.
+  const storage::Relation* got = db.Find("t");
+  ASSERT_NE(got, nullptr);
+  for (const storage::Tuple& t : got->tuples()) {
+    EXPECT_TRUE(complete->Contains(t));
+  }
+  if (stats->exhausted) {
+    EXPECT_FALSE(stats->converged);
+    EXPECT_FALSE(stats->exhausted_reason.empty());
+  }
+}
+
+// ------------------------------------------------------------------------
+// Options and plan-level support
+// ------------------------------------------------------------------------
+
+TEST(ParallelOptions, RejectsNonPositiveThreadCount) {
+  storage::Database db;
+  EvalOptions opts;
+  opts.num_threads = 0;
+  Evaluator ev(&db, opts);
+  EXPECT_FALSE(ev.Evaluate(ParseOrDie("p(X) :- q(X).")).ok());
+  opts.num_threads = -3;
+  Evaluator ev2(&db, opts);
+  EXPECT_FALSE(ev2.Evaluate(ParseOrDie("p(X) :- q(X).")).ok());
+}
+
+TEST(RequiredIndexes, ReportsSingleColumnProbe) {
+  storage::SymbolTable symbols;
+  ast::Program p = ParseOrDie("t(X, Y) :- e(X, Z), t(Z, Y).");
+  Result<CompiledRule> plan = CompileRule(p.rules[0], &symbols, {});
+  ASSERT_TRUE(plan.ok());
+  std::vector<IndexRequirement> reqs = RequiredIndexes(*plan);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].predicate, "t");
+  EXPECT_EQ(reqs[0].positions, (std::vector<int>{0}));
+}
+
+TEST(RequiredIndexes, ReportsCompositeProbeAndDeduplicates) {
+  storage::SymbolTable symbols;
+  ast::Program p = ParseOrDie(
+      "r(X, Y) :- a(X, Y), b(X, Y), b(X, Y).");
+  Result<CompiledRule> plan = CompileRule(p.rules[0], &symbols, {});
+  ASSERT_TRUE(plan.ok());
+  std::vector<IndexRequirement> reqs = RequiredIndexes(*plan);
+  // Both b atoms probe the same composite index; requirement reported once.
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].predicate, "b");
+  EXPECT_EQ(reqs[0].positions, (std::vector<int>{0, 1}));
+}
+
+TEST(ParallelDeterminism, EvaluateOnceMatchesSerial) {
+  ast::Program p = ParseOrDie("p3(X, Y) :- e(X, A), e(A, B), e(B, Y).");
+  storage::Database reference;
+  LoadEdb(&reference, 3);
+  Evaluator s(&reference, Threaded(1));
+  ASSERT_TRUE(s.EvaluateOnce(p.rules).ok());
+
+  storage::Database db;
+  LoadEdb(&db, 3);
+  Evaluator par(&db, Threaded(4));
+  ASSERT_TRUE(par.EvaluateOnce(p.rules).ok());
+  EXPECT_EQ(db.Find("p3")->tuples(), reference.Find("p3")->tuples());
+}
+
+}  // namespace
+}  // namespace dire::eval

@@ -60,6 +60,72 @@ TEST(Relation, IndexMaintainedAcrossInserts) {
   EXPECT_FALSE(r.HasIndex(1));
 }
 
+TEST(Relation, CompositeProbeFindsExactMatches) {
+  Relation r("p", 3);
+  r.Insert({1, 2, 3});
+  r.Insert({1, 2, 4});
+  r.Insert({1, 5, 3});
+  r.Insert({2, 2, 3});
+  const std::vector<uint32_t>& rows = r.ProbeComposite({0, 1}, {1, 2});
+  ASSERT_EQ(rows.size(), 2u);
+  // Row order within a bucket is insertion order.
+  EXPECT_EQ(r.tuples()[rows[0]], (Tuple{1, 2, 3}));
+  EXPECT_EQ(r.tuples()[rows[1]], (Tuple{1, 2, 4}));
+  EXPECT_TRUE(r.ProbeComposite({0, 1}, {9, 9}).empty());
+  EXPECT_TRUE(r.HasCompositeIndex({0, 1}));
+  EXPECT_FALSE(r.HasCompositeIndex({0, 2}));
+}
+
+TEST(Relation, CompositeIndexMaintainedAcrossInserts) {
+  Relation r("p", 3);
+  r.Insert({1, 2, 3});
+  EXPECT_EQ(r.ProbeComposite({1, 2}, {2, 3}).size(), 1u);  // Builds it.
+  r.Insert({7, 2, 3});                                     // Must update it.
+  EXPECT_EQ(r.ProbeComposite({1, 2}, {2, 3}).size(), 2u);
+}
+
+TEST(Relation, FrozenProbesRequirePreparedIndexes) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  // Without preparation the frozen probes yield nothing (and never build).
+  EXPECT_FALSE(r.HasIndex(0));
+  EXPECT_FALSE(r.HasCompositeIndex({0, 1}));
+  r.EnsureIndex(0);
+  r.EnsureCompositeIndex({0, 1});
+  const Relation& frozen = r;
+  EXPECT_EQ(frozen.ProbeFrozen(0, 1).size(), 2u);
+  EXPECT_EQ(frozen.ProbeCompositeFrozen({0, 1}, {1, 3}).size(), 1u);
+  EXPECT_TRUE(frozen.ProbeCompositeFrozen({0, 1}, {1, 9}).empty());
+}
+
+TEST(Relation, ReserveKeepsContentsAndDedup) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  r.Reserve(1000);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({3, 4}));
+}
+
+TEST(Relation, ApproxBytesCountsCompositeIndexes) {
+  Relation r("p", 3);
+  for (ValueId i = 0; i < 100; ++i) r.Insert({i, i % 7, i % 3});
+  size_t before = r.ApproxBytes();
+  r.EnsureCompositeIndex({0, 1});
+  EXPECT_GT(r.ApproxBytes(), before);
+}
+
+TEST(Relation, ClearDropsCompositeIndexes) {
+  Relation r("p", 2);
+  r.Insert({1, 2});
+  r.EnsureCompositeIndex({0, 1});
+  r.Clear();
+  EXPECT_FALSE(r.HasCompositeIndex({0, 1}));
+  EXPECT_EQ(r.size(), 0u);
+}
+
 TEST(Relation, ClearResetsEverything) {
   Relation r("e", 1);
   r.Insert({7});

@@ -22,6 +22,12 @@
 //                         sets), `fact.`/`rule.` additions, `.analyze P`,
 //                         `.plan`, `.dump P`, `.why fact`, `.quit`
 //
+// Parallelism:
+//   --threads N           worker threads for rule execution (default 1).
+//                         Results are byte-identical to --threads=1: each
+//                         large firing partitions its driving scan over
+//                         frozen relation views and merges in chunk order
+//
 // Resource governance (applies to each later --eval / --query):
 //   --timeout-ms N        wall-clock budget per evaluation
 //   --max-tuples N        budget on derived tuples
@@ -167,14 +173,15 @@ int Usage() {
                "[--hoist PRED]\n"
                "       [--explain] [--eval] [--naive] [--query ATOM] "
                "[--why FACT] [--dump PRED] [--dot PRED FILE]\n"
-               "       [--timeout-ms N] [--max-tuples N] [--max-memory-mb N] "
-               "[--on-exhaustion={error,partial}]\n"
+               "       [--threads N] [--timeout-ms N] [--max-tuples N] "
+               "[--max-memory-mb N] [--on-exhaustion={error,partial}]\n"
                "       [--data-dir DIR] [--checkpoint-every-rounds N] "
                "[--add FACT]\n"
                "       [--trace-out=FILE] [--metrics-out=FILE] [--stats] "
                "[--log-level=LEVEL] [--log-json]\n"
                "   or: dire_cli recover PROGRAM.dl --data-dir DIR "
-               "[--checkpoint-every-rounds N] [--naive] [--dump PRED]\n");
+               "[--checkpoint-every-rounds N] [--naive] [--threads N] "
+               "[--dump PRED]\n");
   return 2;
 }
 
@@ -340,6 +347,14 @@ int RunRecover(int argc, char** argv, bool want_stats) {
       options.checkpoint_every_rounds = static_cast<int>(v);
     } else if (flag == "--naive") {
       options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--threads") {
+      int64_t v = ParseCount(next());
+      if (v < 1) return Usage();
+      options.num_threads = static_cast<int>(v);
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      int64_t v = ParseCount(flag.c_str() + strlen("--threads="));
+      if (v < 1) return Usage();
+      options.num_threads = static_cast<int>(v);
     } else if (flag == "--dump") {
       const char* pred = next();
       if (pred == nullptr) return Usage();
@@ -494,6 +509,14 @@ int main(int raw_argc, char** raw_argv) {
       dire::Status appended = data_dir->AppendFact(atom->predicate, values);
       if (!appended.ok()) return Fail(appended);
       std::printf("added %s (durable)\n", atom->ToString().c_str());
+    } else if (flag == "--threads") {
+      int64_t v = ParseCount(next());
+      if (v < 1) return Usage();
+      eval_options.num_threads = static_cast<int>(v);
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      int64_t v = ParseCount(flag.c_str() + strlen("--threads="));
+      if (v < 1) return Usage();
+      eval_options.num_threads = static_cast<int>(v);
     } else if (flag == "--timeout-ms") {
       int64_t v = ParseCount(next());
       if (v < 0) return Usage();
