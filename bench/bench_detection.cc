@@ -9,11 +9,15 @@
 
 #include <string>
 
+#include "base/rng.h"
 #include "base/string_util.h"
 #include "core/analysis.h"
 #include "core/av_graph.h"
 #include "core/chain.h"
+#include "eval/cost.h"
+#include "eval/plan.h"
 #include "parser/parser.h"
+#include "storage/generators.h"
 
 namespace {
 
@@ -82,6 +86,65 @@ void BM_DetectChain_Independent(benchmark::State& state) {
                /*expect_chain=*/false);
 }
 BENCHMARK(BM_DetectChain_Independent)->RangeMultiplier(4)->Range(2, 2048);
+
+// Plan-compile cost per planner mode: how much CompileRule pays to order a
+// k-atom chain body under the greedy bound-count proxy vs the cost model
+// (which consults per-relation statistics for every candidate atom). The
+// _Greedy/_Cost suffixes label the planner mode in BENCH_detection.json.
+void RunCompile(benchmark::State& state, dire::eval::PlannerMode planner) {
+  int atoms = static_cast<int>(state.range(0));
+  dire::Result<dire::ast::Program> program =
+      dire::parser::ParseProgram(ChainRule(atoms));
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  // Populate every predicate the rule reads so the cost model has real
+  // statistics to consult (sizes skewed so orders actually differ).
+  dire::storage::Database db;
+  dire::Rng rng(23);
+  for (int i = 0; i < atoms; ++i) {
+    std::string rel = dire::StrFormat("p%d", i);
+    if (!dire::storage::MakeRandomGraph(&db, rel, 50, 40 + 40 * (i % 5),
+                                        &rng)
+             .ok()) {
+      state.SkipWithError("EDB generation failed");
+      return;
+    }
+  }
+  if (!dire::storage::MakeChain(&db, "e", 50).ok() ||
+      !dire::storage::MakeChain(&db, "t", 50).ok()) {
+    state.SkipWithError("EDB generation failed");
+    return;
+  }
+  dire::eval::DatabaseStatsProvider stats(&db);
+  dire::eval::CompileOptions options;
+  options.planner = planner;
+  options.stats = &stats;
+  const dire::ast::Rule& rule = program->rules.front();
+  for (auto _ : state) {
+    dire::Result<dire::eval::CompiledRule> compiled =
+        dire::eval::CompileRule(rule, &db.symbols(), options);
+    if (!compiled.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    benchmark::DoNotOptimize(compiled->body.size());
+  }
+  state.SetItemsProcessed(state.iterations() * atoms);
+  state.counters["planner_cost"] =
+      planner == dire::eval::PlannerMode::kCost ? 1 : 0;
+}
+
+void BM_CompileRule_Greedy(benchmark::State& state) {
+  RunCompile(state, dire::eval::PlannerMode::kGreedy);
+}
+BENCHMARK(BM_CompileRule_Greedy)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_CompileRule_Cost(benchmark::State& state) {
+  RunCompile(state, dire::eval::PlannerMode::kCost);
+}
+BENCHMARK(BM_CompileRule_Cost)->RangeMultiplier(4)->Range(2, 128);
 
 // Full front-end cost (standardization + graph + detection + verdicts).
 void BM_AnalyzeRecursion(benchmark::State& state) {

@@ -1,0 +1,121 @@
+#include "eval/cost.h"
+
+#include <algorithm>
+#include <set>
+
+#include "eval/builtins.h"
+
+namespace dire::eval {
+
+bool DatabaseStatsProvider::Lookup(const std::string& predicate,
+                                   AtomSource source,
+                                   RelationEstimate* out) const {
+  const storage::Relation* rel = nullptr;
+  if (source == AtomSource::kDelta && delta_lookup_ != nullptr) {
+    rel = delta_lookup_(predicate);
+  } else {
+    rel = db_->Find(predicate);
+  }
+  if (rel == nullptr) return false;
+  out->rows = static_cast<double>(rel->size());
+  out->distinct.clear();
+  out->distinct.reserve(rel->arity());
+  for (size_t col = 0; col < rel->arity(); ++col) {
+    out->distinct.push_back(std::max<double>(
+        1.0, static_cast<double>(rel->DistinctEstimate(col))));
+  }
+  return true;
+}
+
+namespace {
+
+// Estimated rows of `atom`'s relation matching one binding of the
+// already-bound variables: rows times 1/distinct(c) per bound column
+// (constants, variables bound by earlier atoms, and repeats within this
+// atom). Returns {scan_rows, matches}.
+struct AtomEstimate {
+  double scan_rows = 0;
+  double matches = 0;
+};
+
+AtomEstimate EstimateAtom(const ast::Atom& atom,
+                          const std::set<std::string>& bound,
+                          const StatsProvider& stats, AtomSource source) {
+  AtomEstimate out;
+  RelationEstimate est;
+  if (!stats.Lookup(atom.predicate, source, &est)) {
+    // No relation: execution yields no rows; the cheapest possible atom.
+    return out;
+  }
+  out.scan_rows = est.rows;
+  double matches = est.rows;
+  std::set<std::string> bound_here;
+  for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+    const ast::Term& t = atom.args[pos];
+    bool is_bound = t.IsConstant() || bound.count(t.text()) != 0 ||
+                    bound_here.count(t.text()) != 0;
+    if (is_bound && pos < est.distinct.size()) {
+      matches /= est.distinct[pos];
+    }
+    if (t.IsVariable()) bound_here.insert(t.text());
+  }
+  out.matches = matches;
+  return out;
+}
+
+}  // namespace
+
+JoinOrder ChooseJoinOrder(const ast::Rule& rule, const StatsProvider& stats,
+                          int delta_atom) {
+  JoinOrder out;
+  auto is_filter = [](const ast::Atom& a) {
+    return a.negated || IsBuiltinPredicate(a.predicate);
+  };
+  std::vector<bool> used(rule.body.size(), false);
+  std::set<std::string> bound;
+  double frontier = 1.0;
+
+  auto take = [&](size_t i) {
+    AtomSource source = static_cast<int>(i) == delta_atom
+                            ? AtomSource::kDelta
+                            : AtomSource::kFull;
+    AtomEstimate est = EstimateAtom(rule.body[i], bound, stats, source);
+    frontier *= est.matches;
+    out.steps.push_back(OrderStep{i, est.scan_rows, frontier});
+    used[i] = true;
+    for (const ast::Term& t : rule.body[i].args) {
+      if (t.IsVariable()) bound.insert(t.text());
+    }
+  };
+
+  size_t num_positive = 0;
+  for (const ast::Atom& a : rule.body) num_positive += is_filter(a) ? 0 : 1;
+  // The delta atom leads unconditionally: semi-naive differentiation needs
+  // it to read the frontier, and the parallel executor partitions the
+  // driving scan at body[0].
+  if (delta_atom >= 0) take(static_cast<size_t>(delta_atom));
+
+  while (out.steps.size() < num_positive) {
+    int best = -1;
+    double best_matches = 0;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i] || is_filter(rule.body[i])) continue;
+      AtomSource source = static_cast<int>(i) == delta_atom
+                              ? AtomSource::kDelta
+                              : AtomSource::kFull;
+      double matches =
+          EstimateAtom(rule.body[i], bound, stats, source).matches;
+      // Strict < keeps the first (lowest body index) atom on a tie, so the
+      // chosen order is a deterministic function of the statistics.
+      if (best < 0 || matches < best_matches) {
+        best_matches = matches;
+        best = static_cast<int>(i);
+      }
+    }
+    take(static_cast<size_t>(best));
+  }
+  out.est_out_rows = frontier;
+  return out;
+}
+
+}  // namespace dire::eval

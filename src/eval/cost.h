@@ -1,0 +1,91 @@
+#ifndef DIRE_EVAL_COST_H_
+#define DIRE_EVAL_COST_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/plan.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace dire::eval {
+
+// Cardinality-based cost model behind PlannerMode::kCost. The planner
+// greedily orders a rule's positive body atoms by estimated match
+// cardinality, computed from two cheap live statistics per relation —
+// row count and per-column approximate distinct counts (see
+// storage::ColumnSketch) — with the textbook independence assumptions:
+// an equality constraint on column c keeps a 1/distinct(c) fraction of
+// the rows, and constraints on different columns are independent.
+
+// The statistics the cost model reads for one relation.
+struct RelationEstimate {
+  double rows = 0;
+  // Per-column approximate distinct counts, clamped to >= 1 when the
+  // relation is nonempty. Size equals the relation's arity.
+  std::vector<double> distinct;
+};
+
+// Supplies per-relation statistics to the planner. Lookup returns false
+// when the predicate has no relation yet (the planner then treats it as
+// empty, which is what a missing relation yields at execution time).
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+  virtual bool Lookup(const std::string& predicate, AtomSource source,
+                      RelationEstimate* out) const = 0;
+};
+
+// StatsProvider over a Database's live relations. kDelta lookups go
+// through `delta_lookup` when provided (the semi-naive evaluator passes
+// its per-predicate delta relations); otherwise they fall back to the
+// full relation.
+class DatabaseStatsProvider : public StatsProvider {
+ public:
+  using DeltaLookup =
+      std::function<const storage::Relation*(const std::string&)>;
+
+  explicit DatabaseStatsProvider(const storage::Database* db,
+                                 DeltaLookup delta_lookup = nullptr)
+      : db_(db), delta_lookup_(std::move(delta_lookup)) {}
+
+  bool Lookup(const std::string& predicate, AtomSource source,
+              RelationEstimate* out) const override;
+
+ private:
+  const storage::Database* db_;
+  DeltaLookup delta_lookup_;
+};
+
+// One step of a chosen join order, over the rule's positive atoms only.
+struct OrderStep {
+  // Index into the original rule body.
+  size_t body_index = 0;
+  // Estimated rows of the relation the atom reads.
+  double scan_rows = 0;
+  // Estimated cumulative join cardinality after this atom executes (the
+  // running frontier: product of per-atom match estimates so far).
+  double out_rows = 0;
+};
+
+struct JoinOrder {
+  std::vector<OrderStep> steps;
+  // Estimated head tuples emitted per firing, pre-dedup (the frontier
+  // after the last positive atom; negation and builtins only shrink it).
+  double est_out_rows = 0;
+};
+
+// Chooses the execution order of `rule`'s positive body atoms: the delta
+// atom (when >= 0) leads, then repeatedly the atom with the smallest
+// estimated match cardinality given the variables bound so far, ties
+// broken by the lower body index so plans are reproducible run to run.
+// Negated atoms and builtins are not ordered here (CompileRule appends
+// them after every positive atom).
+JoinOrder ChooseJoinOrder(const ast::Rule& rule, const StatsProvider& stats,
+                          int delta_atom);
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_COST_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <set>
 #include <unordered_set>
 
@@ -12,6 +13,7 @@
 #include "base/obs.h"
 #include "base/string_util.h"
 #include "eval/builtins.h"
+#include "eval/cost.h"
 
 namespace dire::eval {
 namespace {
@@ -32,9 +34,11 @@ class RuleExecutor {
   RuleExecutor(const CompiledRule& rule, const RelationResolver& resolve,
                const TupleSink& sink, const storage::SymbolTable* symbols,
                const ExecutionGuard* guard, size_t begin_row = 0,
-               size_t end_row = kNoRange)
+               size_t end_row = kNoRange,
+               std::vector<uint64_t>* counts = nullptr)
       : rule_(rule), resolve_(resolve), sink_(sink), symbols_(symbols),
-        guard_(guard), begin_row_(begin_row), end_row_(end_row) {
+        guard_(guard), begin_row_(begin_row), end_row_(end_row),
+        counts_(counts) {
     slots_.resize(static_cast<size_t>(rule.num_slots));
   }
 
@@ -60,6 +64,7 @@ class RuleExecutor {
       if (symbols_ != nullptr &&
           EvalBuiltin(atom.predicate, *symbols_, ValueAt(atom, 0),
                       ValueAt(atom, 1))) {
+        Count(atom_index);
         Descend(atom_index + 1);
       }
       return;
@@ -73,7 +78,10 @@ class RuleExecutor {
         key.push_back(ref.is_const ? ref.value
                                    : slots_[static_cast<size_t>(ref.slot)]);
       }
-      if (rel == nullptr || !rel->Contains(key)) Descend(atom_index + 1);
+      if (rel == nullptr || !rel->Contains(key)) {
+        Count(atom_index);
+        Descend(atom_index + 1);
+      }
       return;
     }
     if (rel == nullptr || rel->empty()) return;
@@ -145,6 +153,9 @@ class RuleExecutor {
           ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
       if (t[static_cast<size_t>(pos)] != want) return;
     }
+    // Count matches before projection dedup: est_rows models the join
+    // cardinality, and deduped continuations are still matches.
+    Count(atom_index);
     if (seen != nullptr) {
       storage::Tuple projection;
       projection.reserve(atom.live_bind_positions.size());
@@ -159,6 +170,10 @@ class RuleExecutor {
   storage::ValueId ValueAt(const CompiledAtom& atom, size_t pos) const {
     const ArgRef& ref = atom.args[pos];
     return ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)];
+  }
+
+  void Count(size_t atom_index) {
+    if (counts_ != nullptr) ++(*counts_)[atom_index];
   }
 
   void Emit() {
@@ -177,6 +192,7 @@ class RuleExecutor {
   const ExecutionGuard* guard_;
   const size_t begin_row_;
   const size_t end_row_;
+  std::vector<uint64_t>* counts_;
   std::vector<storage::ValueId> slots_;
   storage::Tuple scratch_;
   uint32_t ops_ = 0;
@@ -195,6 +211,10 @@ struct EvalMetrics {
   obs::Counter* exhaustions;
   obs::Counter* parallel_firings;
   obs::Counter* parallel_chunks;
+  obs::Counter* plan_replans;
+  obs::Counter* plan_cache_hits;
+  obs::Counter* plan_cache_misses;
+  obs::Histogram* est_error_log2;
   obs::Histogram* delta_tuples;
   obs::Histogram* join_fanout;
   obs::Histogram* parallel_chunk_rows;
@@ -225,6 +245,19 @@ const EvalMetrics& Metrics() {
                       "Rule firings whose read phase ran on the worker pool"),
       obs::GetCounter("dire_eval_parallel_chunks_total",
                       "Driving-scan chunks executed by the worker pool"),
+      obs::GetCounter("dire_plan_replans_total",
+                      "Delta-plan recompilations triggered by statistics "
+                      "drift past the replan threshold"),
+      obs::GetCounter("dire_plan_cache_hits_total",
+                      "Delta-plan compilations avoided by the "
+                      "(rule, delta-atom, stats-epoch) plan cache"),
+      obs::GetCounter("dire_plan_cache_misses_total",
+                      "Delta-plan compilations performed (first compiles "
+                      "plus replans)"),
+      obs::GetHistogram("dire_plan_est_error_log2",
+                        "Per rule firing with a cost-planned estimate: "
+                        "|log2((emitted+1)/(estimated+1))|, the planner's "
+                        "cardinality estimation error in doublings"),
       obs::GetHistogram("dire_eval_delta_tuples",
                         "Semi-naive frontier size per round (new tuples per "
                         "round for naive evaluation)"),
@@ -287,6 +320,18 @@ void ExecuteRuleRange(const CompiledRule& rule,
       .Run();
 }
 
+void CountAtomMatches(const CompiledRule& rule,
+                      const RelationResolver& resolve,
+                      const storage::SymbolTable* symbols,
+                      std::vector<uint64_t>* counts, uint64_t* emitted) {
+  counts->assign(rule.body.size(), 0);
+  uint64_t out = 0;
+  RuleExecutor(rule, resolve, [&out](const storage::Tuple&) { ++out; },
+               symbols, /*guard=*/nullptr, /*begin_row=*/0, kNoRange, counts)
+      .Run();
+  if (emitted != nullptr) *emitted = out;
+}
+
 Status EvalOptions::Validate() const {
   if (max_iterations < 0) {
     return Status::InvalidArgument(
@@ -308,6 +353,10 @@ Status EvalOptions::Validate() const {
   if (num_threads < 1) {
     return Status::InvalidArgument(
         StrFormat("num_threads must be >= 1, got %d", num_threads));
+  }
+  if (!(replan_threshold > 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("replan_threshold must be > 1, got %g", replan_threshold));
   }
   return Status::Ok();
 }
@@ -510,6 +559,12 @@ Status Evaluator::FireRule(const CompiledRule& plan, int rule_id,
   m.tuples_derived->Add(inserted);
   m.tuples_deduped->Add(emitted - inserted);
   m.join_fanout->Observe(emitted);
+  if (plan.est_out_rows >= 0) {
+    // Estimation error in doublings: 0 = spot on, k = off by 2^k either way.
+    double err = std::abs(std::log2((static_cast<double>(emitted) + 1.0) /
+                                    (plan.est_out_rows + 1.0)));
+    m.est_error_log2->Observe(static_cast<uint64_t>(err + 0.5));
+  }
   span.Attr("emitted", emitted);
   span.Attr("inserted", inserted);
   span.Attr("chunks", static_cast<uint64_t>(num_chunks));
@@ -636,6 +691,9 @@ Result<EvalStats> Evaluator::EvaluateOnce(const std::vector<ast::Rule>& rules) {
 }
 
 Status Evaluator::RunRulesOnce(const std::vector<IndexedRule>& rules) {
+  // Rules run once, so each compiles against the statistics of the moment
+  // (facts loaded so far, plus what earlier rules in this batch derived).
+  DatabaseStatsProvider stats_provider(db_);
   for (const IndexedRule& ir : rules) {
     const ast::Rule& r = *ir.rule;
     bool stop = false;
@@ -647,6 +705,8 @@ Status Evaluator::RunRulesOnce(const std::vector<IndexedRule>& rules) {
     }
     CompileOptions copts;
     copts.reorder = options_.reorder_atoms;
+    copts.planner = options_.planner;
+    copts.stats = &stats_provider;
     DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
                           CompileRule(r, &db_->symbols(), copts));
     DIRE_ASSIGN_OR_RETURN(storage::Relation * head,
@@ -706,10 +766,16 @@ Status Evaluator::NaiveFixpoint(const std::vector<IndexedRule>& rules,
     storage::Relation* head;
     int rule_id;
   };
+  // Naive evaluation compiles once against pre-fixpoint statistics and
+  // never replans — the re-planning machinery is semi-naive only, where
+  // delta plans recompile each epoch anyway.
+  DatabaseStatsProvider stats_provider(db_);
   std::vector<Variant> plans;
   for (const IndexedRule& ir : rules) {
     CompileOptions copts;
     copts.reorder = options_.reorder_atoms;
+    copts.planner = options_.planner;
+    copts.stats = &stats_provider;
     DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
                           CompileRule(*ir.rule, &db_->symbols(), copts));
     DIRE_ASSIGN_OR_RETURN(
@@ -763,38 +829,6 @@ Status Evaluator::SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
                                     const ResumePoint* resume, int* rounds) {
   std::set<std::string> members(stratum.begin(), stratum.end());
 
-  // Plain plans (all-full) run once to seed the deltas; differentiated
-  // variants (one stratum-IDB occurrence reads the delta) run each round.
-  struct Variant {
-    CompiledRule plan;
-    storage::Relation* head;
-    int rule_id;
-  };
-  std::vector<Variant> seed_plans;
-  std::vector<Variant> delta_plans;
-  for (const IndexedRule& ir : rules) {
-    const ast::Rule& r = *ir.rule;
-    CompileOptions copts;
-    copts.reorder = options_.reorder_atoms;
-    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
-                          CompileRule(r, &db_->symbols(), copts));
-    DIRE_ASSIGN_OR_RETURN(
-        storage::Relation * head,
-        db_->GetOrCreate(plan.head_predicate, plan.head_arity));
-    seed_plans.push_back(Variant{std::move(plan), head, ir.id});
-    for (size_t j = 0; j < r.body.size(); ++j) {
-      if (r.body[j].negated || members.count(r.body[j].predicate) == 0) {
-        continue;
-      }
-      CompileOptions dopts;
-      dopts.reorder = options_.reorder_atoms;
-      dopts.delta_atom = static_cast<int>(j);
-      DIRE_ASSIGN_OR_RETURN(CompiledRule dplan,
-                            CompileRule(r, &db_->symbols(), dopts));
-      delta_plans.push_back(Variant{std::move(dplan), head, ir.id});
-    }
-  }
-
   // Per-predicate delta relations, double buffered.
   DeltaMap delta;
   DeltaMap next_delta;
@@ -804,6 +838,126 @@ Status Evaluator::SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
     delta[p] = std::make_unique<storage::Relation>(p, full->arity());
     next_delta[p] = std::make_unique<storage::Relation>(p, full->arity());
   }
+
+  // Statistics for the cost planner: full atoms read the database, delta
+  // atoms the current frontier buffer of their predicate.
+  DatabaseStatsProvider stats_provider(
+      db_, [&delta](const std::string& p) -> const storage::Relation* {
+        auto it = delta.find(p);
+        return it == delta.end() ? nullptr : it->second.get();
+      });
+
+  // Plain plans (all-full) run once to seed the deltas; differentiated
+  // variants (one stratum-IDB occurrence reads the delta) run each round.
+  // Seed plans compile eagerly; delta variants compile lazily per stats
+  // epoch (see below), so their plans see the statistics of the rounds
+  // they actually run in.
+  struct Variant {
+    CompiledRule plan;
+    storage::Relation* head;
+    int rule_id;
+  };
+  struct DeltaVariant {
+    const ast::Rule* rule;
+    int rule_id;
+    int delta_atom;
+    storage::Relation* head;
+    CompiledRule plan;
+    // Stats epoch `plan` was compiled at; -1 = not yet compiled.
+    int planned_epoch = -1;
+  };
+  std::vector<Variant> seed_plans;
+  std::vector<DeltaVariant> delta_variants;
+  // Full-source relations whose size drift triggers re-planning (every
+  // positive relational predicate some rule body reads). Deltas are
+  // excluded: their size scales every candidate order's frontier equally,
+  // so drift there never changes the chosen order.
+  std::set<std::string> read_predicates;
+  for (const IndexedRule& ir : rules) {
+    const ast::Rule& r = *ir.rule;
+    CompileOptions copts;
+    copts.reorder = options_.reorder_atoms;
+    copts.planner = options_.planner;
+    copts.stats = &stats_provider;
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                          CompileRule(r, &db_->symbols(), copts));
+    DIRE_ASSIGN_OR_RETURN(
+        storage::Relation * head,
+        db_->GetOrCreate(plan.head_predicate, plan.head_arity));
+    seed_plans.push_back(Variant{std::move(plan), head, ir.id});
+    for (size_t j = 0; j < r.body.size(); ++j) {
+      const ast::Atom& a = r.body[j];
+      if (!a.negated && !IsBuiltinPredicate(a.predicate)) {
+        read_predicates.insert(a.predicate);
+      }
+      if (a.negated || members.count(a.predicate) == 0) continue;
+      DeltaVariant dv;
+      dv.rule = &r;
+      dv.rule_id = ir.id;
+      dv.delta_atom = static_cast<int>(j);
+      dv.head = head;
+      delta_variants.push_back(std::move(dv));
+    }
+  }
+
+  // Adaptive re-planning state. The epoch bumps when any read relation's
+  // size drifts past options_.replan_threshold versus the snapshot taken
+  // at the last bump; delta variants recompile on first use after a bump
+  // and are cache hits until the next one. Greedy plans ignore statistics,
+  // so under kGreedy the epoch stays 0 and every round after the first is
+  // a cache hit — the pre-statistics behavior.
+  int stats_epoch = 0;
+  std::map<std::string, size_t> planned_sizes;
+  auto relation_size = [this](const std::string& p) -> size_t {
+    const storage::Relation* r = db_->Find(p);
+    return r == nullptr ? 0 : r->size();
+  };
+  for (const std::string& p : read_predicates) {
+    planned_sizes[p] = relation_size(p);
+  }
+  auto maybe_bump_epoch = [&] {
+    if (options_.planner != PlannerMode::kCost) return;
+    bool drifted = false;
+    for (const std::string& p : read_predicates) {
+      size_t now = relation_size(p);
+      size_t then = planned_sizes[p];
+      size_t hi = std::max(now, then);
+      size_t lo = std::max<size_t>(std::min(now, then), 1);
+      // Relations this small cannot change a plan enough to matter.
+      if (hi < 16) continue;
+      if (static_cast<double>(hi) >
+          static_cast<double>(lo) * options_.replan_threshold) {
+        drifted = true;
+        break;
+      }
+    }
+    if (!drifted) return;
+    ++stats_epoch;
+    for (const std::string& p : read_predicates) {
+      planned_sizes[p] = relation_size(p);
+    }
+  };
+  auto ensure_planned = [&](DeltaVariant& v) -> Status {
+    if (v.planned_epoch == stats_epoch) {
+      ++stats_.plan_cache_hits;
+      Metrics().plan_cache_hits->Add(1);
+      return Status::Ok();
+    }
+    CompileOptions dopts;
+    dopts.reorder = options_.reorder_atoms;
+    dopts.planner = options_.planner;
+    dopts.stats = &stats_provider;
+    dopts.delta_atom = v.delta_atom;
+    DIRE_ASSIGN_OR_RETURN(v.plan,
+                          CompileRule(*v.rule, &db_->symbols(), dopts));
+    Metrics().plan_cache_misses->Add(1);
+    if (v.planned_epoch >= 0) {
+      ++stats_.replans;
+      Metrics().plan_replans->Add(1);
+    }
+    v.planned_epoch = stats_epoch;
+    return Status::Ok();
+  };
 
   // A delta-bearing checkpoint lets us continue exactly where the crashed
   // run stopped: restore its frontier instead of re-seeding. The frontier's
@@ -886,9 +1040,13 @@ Status Evaluator::SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
     ++stats_.iterations;
     Metrics().rounds->Add(1);
     ++absolute_round;
-    for (const Variant& v : delta_plans) {
+    // Round boundary: re-plan if the full relations drifted past the
+    // threshold since the plans' statistics were taken.
+    maybe_bump_epoch();
+    for (DeltaVariant& v : delta_variants) {
       DIRE_RETURN_IF_ERROR(GuardCheck(&stop));
       if (stop) return Status::Ok();
+      DIRE_RETURN_IF_ERROR(ensure_planned(v));
       DIRE_RETURN_IF_ERROR(FireRule(v.plan, v.rule_id, resolve_delta, v.head,
                                     next_delta[v.plan.head_predicate].get()));
     }

@@ -1,6 +1,7 @@
 #ifndef DIRE_EVAL_EVALUATOR_H_
 #define DIRE_EVAL_EVALUATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -69,8 +70,26 @@ struct EvalOptions {
   // iteration bounds" evaluation mode. Requires max_iterations > 0.
   bool stop_on_fixpoint = true;
 
-  // Greedy join reordering (see CompileOptions::reorder).
+  // Join reordering (see CompileOptions::reorder). When false rules run in
+  // their written atom order and `planner` is ignored.
   bool reorder_atoms = true;
+
+  // Join-order policy (see PlannerMode in eval/plan.h). kCost orders body
+  // atoms by estimated cardinality from live relation statistics (row
+  // counts plus per-column distinct sketches); kGreedy uses the
+  // statistics-free bound-count proxy. The derived fixpoint — and the
+  // bytes of a sorted snapshot of it — is identical either way; only join
+  // order, and thus evaluation time, changes.
+  PlannerMode planner = PlannerMode::kCost;
+
+  // Adaptive re-planning for semi-naive evaluation under kCost: when any
+  // full relation a recursive stratum's delta plans read grows or shrinks
+  // past this factor versus its size at planning time, the stratum's stats
+  // epoch bumps and cached delta plans recompile against fresh statistics.
+  // Must be > 1. Relations where both sizes are under 16 rows never
+  // trigger (tiny-relation noise). Steady-state rounds hit the
+  // (rule, delta-atom, epoch) plan cache and pay zero planning cost.
+  double replan_threshold = 4.0;
 
   // Worker threads for rule execution (1 = fully serial, the default). With
   // N > 1 each sufficiently large rule firing partitions its driving scan
@@ -169,6 +188,13 @@ struct EvalStats {
   // Which limit tripped ("deadline exceeded after ...", ...); empty
   // otherwise.
   std::string exhausted_reason;
+  // Delta-plan recompilations triggered by statistics drift (kCost
+  // semi-naive evaluation only; the first compile of a variant is not a
+  // replan).
+  size_t replans = 0;
+  // Delta-plan compilations avoided because the variant's cached plan was
+  // built at the current stats epoch.
+  size_t plan_cache_hits = 0;
   // Where the time and tuples went: one entry per rule (in registration
   // order) and per executed stratum. Rendered by eval::FormatEvalStats.
   std::vector<RuleStats> rule_stats;
@@ -337,6 +363,18 @@ void ExecuteRuleRange(const CompiledRule& rule,
                       const storage::SymbolTable* symbols,
                       const ExecutionGuard* guard, size_t begin_row,
                       size_t end_row);
+
+// Executes `rule` and reports, per body atom (in plan order), the number
+// of bindings that survived it — the observed cumulative join cardinality
+// ExplainPlan renders next to the planner's est_rows. `counts` is resized
+// to the body size and zeroed first. Head tuples are counted (pre-dedup)
+// into *emitted when non-null; nothing is inserted anywhere.
+// PrepareIndexes need not have run (the executor falls back to scans).
+void CountAtomMatches(const CompiledRule& rule,
+                      const RelationResolver& resolve,
+                      const storage::SymbolTable* symbols,
+                      std::vector<uint64_t>* counts,
+                      uint64_t* emitted = nullptr);
 
 }  // namespace dire::eval
 

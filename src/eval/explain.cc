@@ -1,9 +1,11 @@
 #include "eval/explain.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "base/string_util.h"
+#include "eval/cost.h"
 
 namespace dire::eval {
 namespace {
@@ -22,14 +24,27 @@ std::string ArgName(const CompiledRule& plan, const ArgRef& ref,
   return SlotName(plan, ref.slot);
 }
 
+// Cardinality estimates are real-valued (products of 1/distinct
+// selectivities); print exact integers plainly and everything else with
+// three significant digits.
+std::string FormatEstimate(double v) {
+  if (v >= 0 && v < 1e15 && v == std::floor(v)) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.3g", v);
+}
+
 }  // namespace
 
 std::string ExplainPlan(const CompiledRule& plan,
-                        const storage::SymbolTable& symbols) {
+                        const storage::SymbolTable& symbols,
+                        const std::vector<uint64_t>* actual_rows,
+                        const uint64_t* actual_emitted) {
   std::string out = StrFormat("plan for %s/%zu (%d slots):\n",
                               plan.head_predicate.c_str(), plan.head_arity,
                               plan.num_slots);
   int step = 1;
+  size_t atom_index = 0;
   for (const CompiledAtom& atom : plan.body) {
     std::string access;
     if (!atom.probe_positions.empty()) {
@@ -65,6 +80,23 @@ std::string ExplainPlan(const CompiledRule& plan,
     if (!checks.empty()) out += " check" + checks;
     if (!binds.empty()) out += " bind" + binds;
     if (atom.source == AtomSource::kDelta) out += "  [delta]";
+    if (atom.est_rows >= 0) {
+      out += "  est=" + FormatEstimate(atom.est_rows);
+    }
+    if (actual_rows != nullptr && atom_index < actual_rows->size()) {
+      out += StrFormat(" actual=%llu",
+                       static_cast<unsigned long long>(
+                           (*actual_rows)[atom_index]));
+    }
+    out += '\n';
+    ++atom_index;
+  }
+  if (plan.est_out_rows >= 0) {
+    out += "  est out: " + FormatEstimate(plan.est_out_rows);
+    if (actual_emitted != nullptr) {
+      out += StrFormat(" actual=%llu",
+                       static_cast<unsigned long long>(*actual_emitted));
+    }
     out += '\n';
   }
   out += "  head:";
@@ -168,6 +200,40 @@ Result<std::string> ExplainProgram(const ast::Program& program) {
     out += '\n';
     DIRE_ASSIGN_OR_RETURN(CompiledRule plan, CompileRule(rule, &symbols, {}));
     out += ExplainPlan(plan, symbols);
+  }
+  return out;
+}
+
+Result<std::string> ExplainProgram(const ast::Program& program,
+                                   storage::Database* db,
+                                   PlannerMode planner, bool with_actuals) {
+  DatabaseStatsProvider stats(db);
+  CompileOptions copts;
+  copts.planner = planner;
+  copts.stats = &stats;
+  std::string out;
+  for (const ast::Rule& rule : program.rules) {
+    if (rule.IsFact()) continue;
+    out += rule.ToString();
+    out += '\n';
+    DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                          CompileRule(rule, &db->symbols(), copts));
+    if (!with_actuals) {
+      out += ExplainPlan(plan, db->symbols());
+      continue;
+    }
+    auto resolve_mut = [db](const CompiledAtom& atom) {
+      return db->Find(atom.predicate);
+    };
+    PrepareIndexes(plan, resolve_mut);
+    RelationResolver resolve =
+        [db](const CompiledAtom& atom) -> const storage::Relation* {
+      return db->Find(atom.predicate);
+    };
+    std::vector<uint64_t> actual;
+    uint64_t emitted = 0;
+    CountAtomMatches(plan, resolve, &db->symbols(), &actual, &emitted);
+    out += ExplainPlan(plan, db->symbols(), &actual, &emitted);
   }
   return out;
 }

@@ -1,12 +1,15 @@
 #ifndef DIRE_EVAL_EXPLAIN_H_
 #define DIRE_EVAL_EXPLAIN_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ast/ast.h"
 #include "base/result.h"
 #include "eval/evaluator.h"
 #include "eval/plan.h"
+#include "storage/database.h"
 #include "storage/value.h"
 
 namespace dire::eval {
@@ -21,12 +24,33 @@ namespace dire::eval {
 //      1. scan  t            bind #1->Z #2->Y           [delta]
 //      2. probe e on #2=Z    bind #1->X
 //      head: t(X, Y)
+//
+// Cost-planned rules additionally carry per-atom cardinality estimates
+// (`est=N`, the planner's cumulative join cardinality after the atom) and
+// a plan-level `est out` line. When `actual_rows` is non-null (one entry
+// per body atom, as produced by CountAtomMatches) each atom also shows
+// the observed cardinality (`actual=N`); `actual_emitted` likewise
+// annotates the `est out` line.
 std::string ExplainPlan(const CompiledRule& plan,
-                        const storage::SymbolTable& symbols);
+                        const storage::SymbolTable& symbols,
+                        const std::vector<uint64_t>* actual_rows = nullptr,
+                        const uint64_t* actual_emitted = nullptr);
 
 // Compiles every rule of `program` (plain full-relation plans, greedy
-// reordering as the evaluator would) and explains each.
+// reordering as the evaluator would, no statistics) and explains each.
 Result<std::string> ExplainProgram(const ast::Program& program);
+
+// Statistics-aware variant: compiles each rule against `db`'s live
+// relation statistics under `planner` and explains the resulting plans.
+// With `with_actuals` each plan is additionally executed in counting mode
+// (nothing is inserted) so estimated and observed cardinalities print
+// side by side — run it after evaluation to audit the cost model. `db` is
+// mutated only through symbol interning and, under with_actuals, the
+// index builds the plans probe.
+Result<std::string> ExplainProgram(const ast::Program& program,
+                                   storage::Database* db,
+                                   PlannerMode planner,
+                                   bool with_actuals = false);
 
 // Renders an evaluation's per-rule and per-stratum breakdowns as an aligned
 // human-readable table (the CLI's `--stats`):

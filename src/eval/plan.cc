@@ -5,6 +5,7 @@
 
 #include "base/string_util.h"
 #include "eval/builtins.h"
+#include "eval/cost.h"
 
 namespace dire::eval {
 namespace {
@@ -69,24 +70,45 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
       if (t.IsVariable()) bound_vars.insert(t.text());
     }
   };
-  if (options.delta_atom >= 0) take(static_cast<size_t>(options.delta_atom));
-  if (!options.reorder) {
-    for (size_t i = 0; i < rule.body.size(); ++i) {
-      if (!used[i] && !is_filter(rule.body[i])) take(i);
+  // Per-body-index planner estimates, copied into the compiled atoms below
+  // (kCost with statistics only; -1 marks "no estimate").
+  std::vector<double> est_scan(rule.body.size(), -1);
+  std::vector<double> est_out(rule.body.size(), -1);
+  double est_out_rows = -1;
+  const bool cost_planner = options.reorder &&
+                            options.planner == PlannerMode::kCost &&
+                            options.stats != nullptr;
+  if (cost_planner) {
+    JoinOrder chosen =
+        ChooseJoinOrder(rule, *options.stats, options.delta_atom);
+    for (const OrderStep& step : chosen.steps) {
+      est_scan[step.body_index] = step.scan_rows;
+      est_out[step.body_index] = step.out_rows;
+      take(step.body_index);
     }
+    est_out_rows = chosen.est_out_rows;
   } else {
-    while (order.size() < num_positive) {
-      int best = -1;
-      int best_score = -1;
+    if (options.delta_atom >= 0) {
+      take(static_cast<size_t>(options.delta_atom));
+    }
+    if (!options.reorder) {
       for (size_t i = 0; i < rule.body.size(); ++i) {
-        if (used[i] || is_filter(rule.body[i])) continue;
-        int score = BoundCount(rule.body[i], bound_vars);
-        if (score > best_score) {
-          best_score = score;
-          best = static_cast<int>(i);
-        }
+        if (!used[i] && !is_filter(rule.body[i])) take(i);
       }
-      take(static_cast<size_t>(best));
+    } else {
+      while (order.size() < num_positive) {
+        int best = -1;
+        int best_score = -1;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (used[i] || is_filter(rule.body[i])) continue;
+          int score = BoundCount(rule.body[i], bound_vars);
+          if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(i);
+          }
+        }
+        take(static_cast<size_t>(best));
+      }
     }
   }
   for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -108,6 +130,7 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
   CompiledRule out;
   out.head_predicate = rule.head.predicate;
   out.head_arity = rule.head.arity();
+  out.est_out_rows = est_out_rows;
 
   std::map<std::string, int> slot_of;
   auto slot_for = [&](const std::string& var) {
@@ -126,6 +149,8 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
     ca.predicate = atom.predicate;
     ca.negated = atom.negated;
     ca.builtin = IsBuiltinPredicate(atom.predicate);
+    ca.est_scan_rows = est_scan[body_index];
+    ca.est_rows = est_out[body_index];
     if (options.delta_atom >= 0 &&
         body_index == static_cast<size_t>(options.delta_atom)) {
       ca.source = AtomSource::kDelta;

@@ -23,6 +23,23 @@ struct ArgRef {
   int slot = -1;               // When !is_const.
 };
 
+// How CompileRule chooses the join order over the positive body atoms.
+enum class PlannerMode {
+  // Order by number of already-bound argument positions (a selectivity
+  // proxy needing no statistics). The original planner; kept as a
+  // baseline and a differential-testing foil.
+  kGreedy,
+  // Order by estimated scan/probe cardinality from live relation
+  // statistics (row counts and per-column distinct sketches; see
+  // eval/cost.h). Falls back to kGreedy when CompileOptions::stats is
+  // null. Ties break on the lower body index, so plans are reproducible.
+  kCost,
+};
+
+// Supplies relation statistics to the cost-based planner (see eval/cost.h
+// for the interface and the Database-backed implementation).
+class StatsProvider;
+
 // A body atom compiled against a fixed join order. `check_positions` are
 // argument positions whose value is already known when the atom executes
 // (constants, variables bound by earlier atoms, or repeats within this
@@ -57,6 +74,13 @@ struct CompiledAtom {
   // Comparison builtin (see eval/builtins.h): evaluated directly, both
   // positions bound, ordered after the positive atoms like negation.
   bool builtin = false;
+  // Cost-based planner estimates (kCost with statistics only; -1 when the
+  // plan was chosen without estimates). `est_scan_rows` is the estimated
+  // size of the relation this atom reads; `est_rows` is the estimated
+  // cumulative join cardinality after this atom executes (the count
+  // CountAtomMatches reports as "actual"). Rendered by ExplainPlan.
+  double est_scan_rows = -1;
+  double est_rows = -1;
 };
 
 // A rule compiled for bottom-up execution: ordered body atoms plus the head
@@ -69,15 +93,28 @@ struct CompiledRule {
   int num_slots = 0;
   // Source variable name of each slot (for plan explanation).
   std::vector<std::string> slot_names;
+  // Estimated head tuples emitted per firing, pre-dedup (kCost with
+  // statistics only; -1 otherwise). The evaluator compares it against the
+  // observed emission count to feed the estimation-error histogram.
+  double est_out_rows = -1;
 };
 
 struct CompileOptions {
   // Greedily reorder body atoms so that each atom joins on already-bound
-  // variables where possible. When false the written order is kept.
+  // variables where possible. When false the written order is kept (and
+  // `planner` is ignored).
   bool reorder = true;
+  // Join-order policy (see PlannerMode). kCost needs `stats`; without it
+  // the compile silently uses the greedy proxy.
+  PlannerMode planner = PlannerMode::kGreedy;
+  // Statistics source for kCost. Not owned; must outlive the CompileRule
+  // call only (estimates are copied into the compiled plan).
+  const StatsProvider* stats = nullptr;
   // Index (into the *original* rule body) of the atom that must execute
   // first and read from the delta source, or -1. Used by semi-naive rule
-  // differentiation.
+  // differentiation. The delta atom leads the join order under every
+  // planner (the parallel executor partitions the driving scan at
+  // body[0]).
   int delta_atom = -1;
 };
 

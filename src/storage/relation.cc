@@ -14,6 +14,12 @@ bool Relation::Insert(const Tuple& t) {
   tuples_.push_back(t);
   uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
   dedup_.insert(row);
+  // Statistics ride the dedup check: only a genuinely new tuple reaches
+  // here, and every insertion path (bulk load, staging merge, WAL replay)
+  // funnels through Insert — so each tuple is counted exactly once.
+  for (size_t col = 0; col < arity_; ++col) {
+    sketches_[col].Add(t[col]);
+  }
   for (size_t col = 0; col < indexes_.size(); ++col) {
     if (indexes_[col].built) {
       indexes_[col].buckets[t[col]].push_back(row);
@@ -113,7 +119,8 @@ size_t Relation::ApproxBytes() const {
   constexpr size_t kPerTupleOverhead = 32;
   size_t per_tuple = sizeof(Tuple) + arity_ * sizeof(ValueId) +
                      sizeof(uint32_t) + kPerTupleOverhead;
-  size_t bytes = sizeof(Relation) + tuples_.size() * per_tuple;
+  size_t bytes = sizeof(Relation) + tuples_.size() * per_tuple +
+                 sketches_.size() * ColumnSketch::ApproxBytes();
   for (const ColumnIndex& index : indexes_) {
     if (!index.built) continue;
     // Each bucket holds row ids plus map-node overhead; each row appears in
@@ -137,6 +144,7 @@ void Relation::Clear() {
   tuples_.clear();
   indexes_.clear();
   composite_indexes_.clear();
+  for (ColumnSketch& sketch : sketches_) sketch.Clear();
 }
 
 std::string Relation::ToString(const SymbolTable& symbols) const {

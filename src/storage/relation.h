@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/hash.h"
+#include "storage/stats.h"
 #include "storage/value.h"
 
 namespace dire::storage {
@@ -29,7 +30,7 @@ namespace dire::storage {
 class Relation {
  public:
   Relation(std::string name, size_t arity)
-      : name_(std::move(name)), arity_(arity) {}
+      : name_(std::move(name)), arity_(arity), sketches_(arity) {}
 
   // Not copyable or movable: the duplicate-detection set holds pointers into
   // this object's tuple storage. Databases hold relations by unique_ptr.
@@ -89,10 +90,23 @@ class Relation {
 
   void Clear();
 
+  // Live statistics for the cost-based planner: approximate number of
+  // distinct values in column `col`, maintained incrementally on every
+  // insert (bulk loads and staging merges funnel through Insert, so the
+  // sketch absorbs each path exactly once; duplicates are idempotent).
+  // Equals a from-scratch recount of the same tuple set by construction.
+  size_t DistinctEstimate(size_t col) const {
+    return col < sketches_.size() ? sketches_[col].DistinctEstimate() : 0;
+  }
+  const ColumnSketch& ColumnStats(size_t col) const {
+    return sketches_[col];
+  }
+
   // Approximate heap bytes held by this relation: row storage, the dedup
-  // set, and any built column or composite indexes. Used by ExecutionGuard
-  // memory accounting; an estimate (allocator overhead is modeled with a
-  // flat per-node constant), not a measurement.
+  // set, per-column statistics sketches, and any built column or composite
+  // indexes. Used by ExecutionGuard memory accounting; an estimate
+  // (allocator overhead is modeled with a flat per-node constant), not a
+  // measurement.
   size_t ApproxBytes() const;
 
   // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
@@ -142,6 +156,8 @@ class Relation {
   std::string name_;
   size_t arity_;
   std::vector<Tuple> tuples_;
+  // Per-column distinct sketches, sized on construction (arity is fixed).
+  std::vector<ColumnSketch> sketches_;
   std::unordered_set<uint32_t, RowHash, RowEq> dedup_{
       16, RowHash{&tuples_}, RowEq{&tuples_}};
   std::vector<ColumnIndex> indexes_;

@@ -1,0 +1,24 @@
+#include "storage/stats.h"
+
+#include <cmath>
+
+namespace dire::storage {
+
+size_t ColumnSketch::DistinctEstimate() const {
+  if (set_bits_ == 0) return 0;
+  if (set_bits_ >= kBits) return kSaturatedEstimate;
+  // Linear counting: with m slots and e of them empty, the maximum-
+  // likelihood distinct count is m * ln(m / e).
+  double m = static_cast<double>(kBits);
+  double empty = static_cast<double>(kBits - set_bits_);
+  double estimate = m * std::log(m / empty);
+  // Never report fewer distinct values than occupied slots: each set bit
+  // proves at least one distinct value, and for small counts (where every
+  // value lands in its own slot) this makes the estimate exact.
+  if (estimate < static_cast<double>(set_bits_)) {
+    return set_bits_;
+  }
+  return static_cast<size_t>(estimate + 0.5);
+}
+
+}  // namespace dire::storage

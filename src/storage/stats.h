@@ -1,0 +1,82 @@
+#ifndef DIRE_STORAGE_STATS_H_
+#define DIRE_STORAGE_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/value.h"
+
+namespace dire::storage {
+
+// Approximate distinct-value counter for one relation column, used by the
+// cost-based join planner (eval/cost.h). Linear counting over a fixed
+// bitmap: Add hashes the value to one of kBits slots; the estimate is
+// -m*ln(empty/m), which is within a few percent while the bitmap is under
+// ~half full (kBits = 4096 covers the cardinalities the planner has to
+// rank — beyond saturation every column reads as "huge", which is all the
+// ordering needs).
+//
+// Properties the statistics-maintenance contract relies on:
+//  * Add is idempotent: re-adding a value never moves the estimate, so
+//    bulk merges that funnel duplicates through Relation::Insert cannot
+//    double count.
+//  * The bitmap is a pure function of the value *set* (order independent),
+//    so an incrementally maintained sketch is bit-identical to one rebuilt
+//    from scratch — and estimates survive any save/load path that replays
+//    inserts (snapshot load, WAL replay, CSV load).
+class ColumnSketch {
+ public:
+  static constexpr size_t kBits = 4096;
+
+  // Marks `v` present. O(1), idempotent.
+  void Add(ValueId v) {
+    size_t bit = static_cast<size_t>(Mix(v)) & (kBits - 1);
+    uint64_t& word = words_[bit >> 6];
+    uint64_t mask = uint64_t{1} << (bit & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++set_bits_;
+    }
+  }
+
+  // Linear-counting estimate of the number of distinct values added.
+  // Exact 0 for an empty sketch; capped at kSaturatedEstimate when every
+  // slot is occupied.
+  size_t DistinctEstimate() const;
+
+  // Estimate for a saturated sketch (all kBits slots hit).
+  static constexpr size_t kSaturatedEstimate = kBits * 16;
+
+  size_t set_bits() const { return set_bits_; }
+
+  void Clear() {
+    words_.fill(0);
+    set_bits_ = 0;
+  }
+
+  // Bit-level equality: two sketches that absorbed the same value set are
+  // equal regardless of insertion order or duplication.
+  bool operator==(const ColumnSketch& other) const {
+    return words_ == other.words_;
+  }
+
+  static constexpr size_t ApproxBytes() { return sizeof(ColumnSketch); }
+
+ private:
+  // SplitMix64 finalizer: decorrelates the dense ValueIds the symbol table
+  // hands out (0, 1, 2, ...) before slot selection.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::array<uint64_t, kBits / 64> words_{};
+  size_t set_bits_ = 0;
+};
+
+}  // namespace dire::storage
+
+#endif  // DIRE_STORAGE_STATS_H_

@@ -10,7 +10,11 @@
 //   --analyze PRED        print the full recursion analysis report
 //   --rewrite PRED        print the bounded nonrecursive rewrite (if any)
 //   --hoist PRED          print the §6 hoisted program (if applicable)
-//   --explain             print physical plans for every rule
+//   --explain             print physical plans for every rule; after an
+//                         --eval the plans are compiled against the live
+//                         relation statistics under the active planner and
+//                         annotated with estimated vs observed cardinality
+//                         per atom
 //   --eval                evaluate the program bottom-up (semi-naive)
 //   --naive               use naive instead of semi-naive evaluation
 //   --query 'ATOM'        answer a query with magic sets, e.g. 't(a, X)'
@@ -27,6 +31,18 @@
 //                         Results are byte-identical to --threads=1: each
 //                         large firing partitions its driving scan over
 //                         frozen relation views and merges in chunk order
+//
+// Join planning:
+//   --planner=MODE        cost (default): order each rule's joins by
+//                         estimated cardinality from live relation
+//                         statistics; greedy: the statistics-free
+//                         bound-count ordering. Derived results are
+//                         byte-identical either way — only join order,
+//                         and thus evaluation time, changes
+//   --replan-threshold=X  recompile a recursive stratum's delta plans when
+//                         a relation they read grows or shrinks by more
+//                         than this factor since planning (default 4,
+//                         must be > 1; cost planner only)
 //
 // Resource governance (applies to each later --eval / --query):
 //   --timeout-ms N        wall-clock budget per evaluation
@@ -173,7 +189,9 @@ int Usage() {
                "[--hoist PRED]\n"
                "       [--explain] [--eval] [--naive] [--query ATOM] "
                "[--why FACT] [--dump PRED] [--dot PRED FILE]\n"
-               "       [--threads N] [--timeout-ms N] [--max-tuples N] "
+               "       [--threads N] [--planner={greedy,cost}] "
+               "[--replan-threshold X]\n"
+               "       [--timeout-ms N] [--max-tuples N] "
                "[--max-memory-mb N] [--on-exhaustion={error,partial}]\n"
                "       [--data-dir DIR] [--checkpoint-every-rounds N] "
                "[--add FACT]\n"
@@ -191,6 +209,16 @@ int64_t ParseCount(const char* text) {
   char* end = nullptr;
   long long v = std::strtoll(text, &end, 10);
   if (*end != '\0' || v < 0) return -1;
+  return v;
+}
+
+// Parses a replan-threshold value; returns -1 on garbage (the evaluator
+// additionally rejects anything <= 1).
+double ParseThreshold(const char* text) {
+  if (text == nullptr || *text == '\0') return -1;
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (*end != '\0') return -1;
   return v;
 }
 
@@ -347,6 +375,10 @@ int RunRecover(int argc, char** argv, bool want_stats) {
       options.checkpoint_every_rounds = static_cast<int>(v);
     } else if (flag == "--naive") {
       options.mode = dire::eval::EvalOptions::Mode::kNaive;
+    } else if (flag == "--planner=greedy") {
+      options.planner = dire::eval::PlannerMode::kGreedy;
+    } else if (flag == "--planner=cost") {
+      options.planner = dire::eval::PlannerMode::kCost;
     } else if (flag == "--threads") {
       int64_t v = ParseCount(next());
       if (v < 1) return Usage();
@@ -517,6 +549,32 @@ int main(int raw_argc, char** raw_argv) {
       int64_t v = ParseCount(flag.c_str() + strlen("--threads="));
       if (v < 1) return Usage();
       eval_options.num_threads = static_cast<int>(v);
+    } else if (flag == "--planner=greedy") {
+      eval_options.planner = dire::eval::PlannerMode::kGreedy;
+    } else if (flag == "--planner=cost") {
+      eval_options.planner = dire::eval::PlannerMode::kCost;
+    } else if (flag == "--planner") {
+      const char* mode = next();
+      if (mode == nullptr) return Usage();
+      if (std::strcmp(mode, "greedy") == 0) {
+        eval_options.planner = dire::eval::PlannerMode::kGreedy;
+      } else if (std::strcmp(mode, "cost") == 0) {
+        eval_options.planner = dire::eval::PlannerMode::kCost;
+      } else {
+        std::fprintf(stderr, "error: --planner must be greedy or cost\n");
+        return Usage();
+      }
+    } else if (flag == "--replan-threshold" ||
+               flag.rfind("--replan-threshold=", 0) == 0) {
+      const char* value = flag == "--replan-threshold"
+                              ? next()
+                              : flag.c_str() + strlen("--replan-threshold=");
+      double v = ParseThreshold(value);
+      if (!(v > 1.0)) {
+        std::fprintf(stderr, "error: --replan-threshold must be > 1\n");
+        return Usage();
+      }
+      eval_options.replan_threshold = v;
     } else if (flag == "--timeout-ms") {
       int64_t v = ParseCount(next());
       if (v < 0) return Usage();
@@ -586,7 +644,14 @@ int main(int raw_argc, char** raw_argv) {
         std::printf("nothing hoisted: %s\n", h->note.c_str());
       }
     } else if (flag == "--explain") {
-      dire::Result<std::string> text = dire::eval::ExplainProgram(*program);
+      // After an evaluation the database carries real statistics: compile
+      // under the active planner and annotate with observed cardinalities.
+      // Beforehand, print the statistics-free plans.
+      dire::Result<std::string> text =
+          evaluated ? dire::eval::ExplainProgram(*program, db,
+                                                 eval_options.planner,
+                                                 /*with_actuals=*/true)
+                    : dire::eval::ExplainProgram(*program);
       if (!text.ok()) return Fail(text.status());
       std::printf("%s", text->c_str());
     } else if (flag == "--eval") {
