@@ -1,0 +1,28 @@
+#include "base/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace dire {
+
+std::optional<int64_t> Backoff::NextDelayUs() {
+  ++failures_;
+  if (failures_ >= std::max(policy_.max_attempts, 1)) return std::nullopt;
+  double delay = static_cast<double>(policy_.initial_delay_us) *
+                 std::pow(policy_.multiplier, failures_ - 1);
+  delay = std::min(delay, static_cast<double>(policy_.max_delay_us));
+  if (policy_.jitter > 0) {
+    delay *= 1.0 + policy_.jitter * (2.0 * rng_.UniformDouble() - 1.0);
+    delay = std::min(delay, static_cast<double>(policy_.max_delay_us));
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(std::llround(delay)));
+}
+
+void SleepForMicros(int64_t us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace dire

@@ -1,0 +1,57 @@
+#ifndef DIRE_BASE_BACKOFF_H_
+#define DIRE_BASE_BACKOFF_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "base/rng.h"
+
+namespace dire {
+
+// Bounded exponential backoff with jitter, for retrying transient failures
+// (EINTR/EAGAIN from fsync or rename, an overloaded downstream). The
+// schedule for the n-th retry is
+//
+//   delay_n = min(initial_delay * multiplier^n, max_delay) * U
+//
+// where U is uniform in [1 - jitter, 1 + jitter]; the jittered delay is
+// clamped back to max_delay. A policy bounds total attempts, so a permanent
+// failure surfaces after max_attempts - 1 retries instead of looping
+// forever.
+struct BackoffPolicy {
+  // Total attempts including the first; values < 1 behave as 1 (no retry).
+  int max_attempts = 4;
+  int64_t initial_delay_us = 200;
+  int64_t max_delay_us = 10000;
+  double multiplier = 2.0;
+  // Fraction of each delay randomized in both directions; 0 disables.
+  double jitter = 0.25;
+};
+
+// Tracks the retry schedule of one operation. Deterministic for a given
+// (policy, seed) pair, so tests can pin the exact delays.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  // Called after a failed attempt: the microseconds to sleep before the
+  // next attempt, or nullopt when the attempt budget is exhausted (the
+  // failure is then permanent from the caller's point of view).
+  std::optional<int64_t> NextDelayUs();
+
+  // Failed attempts recorded so far (NextDelayUs calls).
+  int failures() const { return failures_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int failures_ = 0;
+};
+
+// Sleeps the calling thread for `us` microseconds; no-op when us <= 0.
+void SleepForMicros(int64_t us);
+
+}  // namespace dire
+
+#endif  // DIRE_BASE_BACKOFF_H_

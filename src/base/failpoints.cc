@@ -1,5 +1,8 @@
 #include "base/failpoints.h"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <atomic>
 #include <map>
 #include <mutex>
@@ -81,6 +84,11 @@ Status Check(const char* name) {
     }
   }
   if (!fires) return Status::Ok();
+  if (c.crash) {
+    // A real SIGKILL: no cleanup handlers, no atexit, no unwinding — the
+    // process stops exactly here, like a power loss at this site.
+    ::kill(::getpid(), SIGKILL);
+  }
   std::string message = c.message.empty()
                             ? "failpoint " + std::string(name) + " fired"
                             : c.message;

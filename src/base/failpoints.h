@@ -35,6 +35,13 @@
 //   wal.append.short          a prefix of one WAL record lands, then "crash"
 //   wal.append.enospc         the WAL record write fails wholesale
 //   wal.sync                  WAL fsync fails after a complete append
+//   io.retry.fsync            per-attempt transient fsync failure inside the
+//                             bounded-backoff retry loop of AtomicWriteFile
+//   io.retry.rename           per-attempt transient rename failure, same loop
+//   wal.retry.sync            per-attempt transient WAL fsync failure
+//   server.request            before a server worker executes a request
+//   server.checkpoint         before the server folds the WAL into a
+//                             snapshot after a write burst
 namespace dire::failpoints {
 
 struct Config {
@@ -46,6 +53,11 @@ struct Config {
   StatusCode code = StatusCode::kInternal;
   // Injected message; empty means "failpoint <name> fired".
   std::string message;
+  // When true, a firing hit does not inject a Status: it SIGKILLs the
+  // process on the spot, exactly like a power loss at that site. Used by
+  // the chaos tests (`dire_cli serve --crash-at SITE[:SKIP]`) to crash a
+  // live server at a chosen moment in the commit protocol.
+  bool crash = false;
 };
 
 // Arms `name` with `config`, replacing any previous arming and resetting its

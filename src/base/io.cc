@@ -11,7 +11,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/backoff.h"
 #include "base/failpoints.h"
+#include "base/obs.h"
 #include "base/string_util.h"
 
 namespace dire::io {
@@ -139,15 +141,52 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   }
 
   DIRE_FAILPOINT("io.atomic.fsync");
-  if (::fsync(fd.get()) != 0) return Errno("fsync failed for " + tmp);
+  DIRE_RETURN_IF_ERROR(RetryTransientOp(
+      "io.retry.fsync", "fsync failed for " + tmp,
+      [&] { return ::fsync(fd.get()); }));
   if (!fd.CloseNow()) return Errno("close failed for " + tmp);
 
   DIRE_FAILPOINT("io.atomic.rename");
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Errno("rename " + tmp + " -> " + path + " failed");
-  }
+  DIRE_RETURN_IF_ERROR(RetryTransientOp(
+      "io.retry.rename", "rename " + tmp + " -> " + path + " failed",
+      [&] { return ::rename(tmp.c_str(), path.c_str()); }));
   SyncParentDir(path);
   return Status::Ok();
+}
+
+Status RetryTransientOp(const char* site, const std::string& what,
+                        const std::function<int()>& op) {
+  // Short delays: the callers hold durable-commit locks, so a transient
+  // glitch should cost milliseconds, and a permanent failure must surface
+  // before the caller's own deadline expires.
+  static const BackoffPolicy kPolicy{/*max_attempts=*/4,
+                                     /*initial_delay_us=*/200,
+                                     /*max_delay_us=*/5000,
+                                     /*multiplier=*/2.0,
+                                     /*jitter=*/0.25};
+  // Seeded per operation description so retry schedules are reproducible.
+  Backoff backoff(kPolicy, Crc32c(what));
+  while (true) {
+    Status failure;
+#ifdef DIRE_FAILPOINTS_ENABLED
+    failure = failpoints::Check(site);
+#else
+    (void)site;
+#endif
+    if (failure.ok()) {
+      if (op() == 0) return Status::Ok();
+      const int err = errno;
+      failure = Status::Internal(what + ": " + std::strerror(err));
+      if (err != EINTR && err != EAGAIN) return failure;  // Permanent.
+    }
+    std::optional<int64_t> delay = backoff.NextDelayUs();
+    if (!delay.has_value()) return failure;  // Attempt budget exhausted.
+    obs::GetCounter("dire_io_transient_retries_total",
+                    "Transient durable-I/O failures retried under backoff",
+                    {{"site", site}})
+        ->Add(1);
+    SleepForMicros(*delay);
+  }
 }
 
 Status MakeDirs(const std::string& path) {

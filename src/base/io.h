@@ -2,6 +2,7 @@
 #define DIRE_BASE_IO_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,12 @@
 //   io.atomic.fsync   data written but fsync fails; the temp file is not
 //                     renamed into place
 //   io.atomic.rename  rename itself fails
+//
+// The fsync and rename steps additionally retry *transient* failures
+// (EINTR/EAGAIN) under a bounded exponential backoff with jitter before
+// giving up; the per-attempt failpoint sites io.retry.fsync and
+// io.retry.rename inject such transient failures so tests can prove the
+// retries happen and are capped.
 namespace dire::io {
 
 // CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
@@ -48,6 +55,16 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
 // Creates directory `path` (and missing parents). OK if it already exists.
 Status MakeDirs(const std::string& path);
+
+// Runs `op` (a syscall-style callable returning 0 on success and setting
+// errno on failure) under the durable-I/O retry policy: transient errnos
+// (EINTR, EAGAIN) — and failures injected through the per-attempt failpoint
+// `site` — are retried with bounded exponential backoff and jitter; any
+// other errno, or an exhausted attempt budget, returns the failure. Retries
+// are counted by the dire_io_transient_retries_total metric. `what`
+// describes the operation for the error message.
+Status RetryTransientOp(const char* site, const std::string& what,
+                        const std::function<int()>& op);
 
 // Escaping for tab-separated persistence formats. Escapes backslash, tab,
 // newline, carriage return, and NUL as \\ \t \n \r \0 so that every value

@@ -1,0 +1,49 @@
+#include "base/signal.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dire::signals {
+
+namespace {
+
+// Lock-free atomics are async-signal-safe; the handler does nothing else.
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_requested{false};
+
+void Handler(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = Handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: blocking accept/poll must wake.
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A peer closing its socket mid-write must surface as a write error, not
+  // kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+bool ShutdownRequested() {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+int ShutdownSignal() { return g_signal.load(std::memory_order_relaxed); }
+
+void RequestShutdown() {
+  g_requested.store(true, std::memory_order_release);
+}
+
+void ResetForTest() {
+  g_requested.store(false, std::memory_order_release);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dire::signals

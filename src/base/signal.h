@@ -1,0 +1,34 @@
+#ifndef DIRE_BASE_SIGNAL_H_
+#define DIRE_BASE_SIGNAL_H_
+
+namespace dire::signals {
+
+// Process-wide graceful-shutdown flag, set by SIGTERM/SIGINT.
+//
+// A long-lived server cannot run cleanup from a signal handler (nothing
+// async-signal-safe can checkpoint a database), so the handler only records
+// the signal; the accept loop polls ShutdownRequested() and performs the
+// drain-then-checkpoint sequence on a normal thread. SIGKILL by design never
+// reaches the handler — crash recovery covers that path.
+
+// Installs handlers for SIGTERM and SIGINT that record the signal.
+// Idempotent; thread-safe.
+void InstallShutdownHandlers();
+
+// True once a shutdown signal was received or RequestShutdown() was called.
+bool ShutdownRequested();
+
+// The signal number that triggered shutdown (SIGTERM, SIGINT), or 0 when
+// shutdown was requested programmatically or not at all.
+int ShutdownSignal();
+
+// Programmatic equivalent of receiving a shutdown signal (used by tests and
+// by the server's own fatal-error path).
+void RequestShutdown();
+
+// Clears the flag (test isolation only; production never un-requests).
+void ResetForTest();
+
+}  // namespace dire::signals
+
+#endif  // DIRE_BASE_SIGNAL_H_

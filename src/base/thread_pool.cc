@@ -80,4 +80,72 @@ void ThreadPool::ParallelFor(size_t num_tasks,
   batch_size_ = 0;
 }
 
+WorkerPool::WorkerPool(int workers) {
+  int n = workers > 1 ? workers : 1;
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  Stop();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return false;
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+void WorkerPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    queue_.clear();
+    if (running_ == 0) idle_.notify_all();
+  }
+  task_ready_.notify_all();
+}
+
+size_t WorkerPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t WorkerPool::Running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped_ with nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0 && queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
 }  // namespace dire

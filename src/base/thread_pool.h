@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -58,6 +59,58 @@ class ThreadPool {
   std::atomic<size_t> cursor_{0};
   size_t outstanding_workers_ = 0;
   bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// A persistent pool of worker threads draining a task queue — the service
+// counterpart to ThreadPool's batch model, used by the server front end to
+// bound concurrent request execution. Unlike ThreadPool, the submitting
+// thread is NOT a worker: Submit enqueues and returns, and exactly
+// `workers` tasks ever run at once, which is what makes --max-inflight an
+// enforceable bound.
+//
+// The queue itself is unbounded here; callers bound it upstream (the
+// server's admission controller rejects before submitting). Tasks must not
+// throw. Stop() stops dispatch; Drain() waits for already-running and
+// already-queued tasks to finish.
+class WorkerPool {
+ public:
+  // Spawns `workers` threads (values < 1 behave as 1).
+  explicit WorkerPool(int workers);
+  // Implies Stop(): queued-but-unstarted tasks are discarded, running tasks
+  // are joined.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `task`. Returns false (task dropped) after Stop().
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every queued and running task has completed. New Submits
+  // during a Drain are allowed and also waited for.
+  void Drain();
+
+  // Rejects further Submits and discards tasks not yet started; running
+  // tasks complete. Idempotent.
+  void Stop();
+
+  // Tasks submitted but not yet started.
+  size_t QueueDepth() const;
+  // Tasks currently executing.
+  size_t Running() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stopped_ = false;
   std::vector<std::thread> threads_;
 };
 

@@ -197,6 +197,36 @@ Result<QueryAnswer> AnswerQuery(storage::Database* db,
   return out;
 }
 
+Result<SelectResult> SelectMatching(const storage::Database& db,
+                                    const ast::Atom& query,
+                                    const ExecutionGuard* guard) {
+  SelectResult out;
+  const storage::Relation* rel = db.Find(query.predicate);
+  if (rel == nullptr) return out;
+  if (rel->arity() != query.args.size()) {
+    return Status::InvalidArgument(
+        StrFormat("relation '%s' has arity %zu, query has %zu arguments",
+                  query.predicate.c_str(), rel->arity(), query.args.size()));
+  }
+  size_t row = 0;
+  for (const storage::Tuple& t : rel->tuples()) {
+    if (guard != nullptr &&
+        ((row++ & 0x3FF) == 0 || guard->TuplesExhausted())) {
+      // Deadline/cancellation once per batch; the tuple budget exactly.
+      if (!guard->Check().ok()) {
+        out.exhausted = true;
+        out.exhausted_reason = guard->trip_reason();
+        return out;
+      }
+    }
+    if (Matches(query, t, db.symbols())) {
+      out.tuples.push_back(t);
+      if (guard != nullptr) guard->AddTuples(1);
+    }
+  }
+  return out;
+}
+
 Result<QueryAnswer> AnswerQueryByFullEvaluation(storage::Database* db,
                                                 const ast::Program& program,
                                                 const ast::Atom& query,

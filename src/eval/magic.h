@@ -61,6 +61,29 @@ Result<QueryAnswer> AnswerQueryByFullEvaluation(
     storage::Database* db, const ast::Program& program,
     const ast::Atom& query, const EvalOptions& options = {});
 
+// A read-only selection over an already-materialized database. Unlike
+// AnswerQuery (which rewrites and evaluates, inserting magic relations into
+// the database), this never mutates anything, so concurrent selections over
+// a frozen database are safe — it is the server's QUERY path, where the
+// fixpoint is kept materialized and queries only read it.
+struct SelectResult {
+  std::vector<storage::Tuple> tuples;  // Matches, in relation order.
+  // True when `guard` tripped mid-scan; `tuples` is then a sound prefix of
+  // the full answer and `exhausted_reason` names the limit that tripped.
+  bool exhausted = false;
+  std::string exhausted_reason;
+};
+
+// Selects the tuples of `query.predicate` matching the query's constant /
+// repeated-variable pattern. A missing relation yields no rows; an arity
+// mismatch is an error. When `guard` is set, its deadline and cancellation
+// are polled periodically and every match is charged against its tuple
+// budget, so a selection can return a bounded partial prefix instead of
+// scanning without limit.
+Result<SelectResult> SelectMatching(const storage::Database& db,
+                                    const ast::Atom& query,
+                                    const ExecutionGuard* guard = nullptr);
+
 }  // namespace dire::eval
 
 #endif  // DIRE_EVAL_MAGIC_H_

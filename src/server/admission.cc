@@ -1,0 +1,104 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "base/obs.h"
+#include "eval/cost.h"
+
+namespace dire::server {
+
+namespace {
+
+obs::Counter* AcceptedCounter() {
+  static obs::Counter* c = obs::GetCounter(
+      "dire_server_accepted_total", "Requests admitted for execution");
+  return c;
+}
+
+obs::Counter* RejectedCounter(const char* reason) {
+  // Two stable series; resolved once each.
+  static obs::Counter* shed =
+      obs::GetCounter("dire_server_rejected_total",
+                      "Requests rejected at admission",
+                      {{"reason", "overloaded"}});
+  static obs::Counter* priced =
+      obs::GetCounter("dire_server_rejected_total",
+                      "Requests rejected at admission",
+                      {{"reason", "too_expensive"}});
+  return reason[0] == 'o' ? shed : priced;
+}
+
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* g =
+      obs::GetGauge("dire_server_inflight",
+                    "Requests currently admitted (executing or queued)");
+  return g;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+Admission AdmissionController::Admit(double cost) {
+  if (config_.max_query_cost > 0 && cost > config_.max_query_cost) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++too_expensive_;
+    RejectedCounter("too_expensive")->Add(1);
+    return Admission::kTooExpensive;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const int capacity =
+      std::max(config_.max_inflight, 1) + std::max(config_.max_queue, 0);
+  if (outstanding_ >= capacity) {
+    ++shed_;
+    RejectedCounter("overloaded")->Add(1);
+    return Admission::kShed;
+  }
+  ++outstanding_;
+  ++admitted_;
+  AcceptedCounter()->Add(1);
+  InflightGauge()->Set(outstanding_);
+  return Admission::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
+  InflightGauge()->Set(outstanding_);
+}
+
+int AdmissionController::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+uint64_t AdmissionController::too_expensive_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return too_expensive_;
+}
+
+double EstimateQueryCost(const storage::Database& db,
+                         const ast::Atom& query) {
+  // The QUERY path is a scan of the full relation (SelectMatching), so the
+  // honest price of admitting it is the relation's estimated row count —
+  // the same statistic the join planner reads.
+  eval::DatabaseStatsProvider stats(&db);
+  eval::RelationEstimate est;
+  if (!stats.Lookup(query.predicate, eval::AtomSource::kFull, &est)) {
+    return 0;
+  }
+  return est.rows;
+}
+
+}  // namespace dire::server

@@ -1,0 +1,78 @@
+#ifndef DIRE_SERVER_ADMISSION_H_
+#define DIRE_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "ast/ast.h"
+#include "storage/database.h"
+
+namespace dire::server {
+
+// Admission policy for one server: how much work may be outstanding (
+// executing plus queued) before new requests are shed, and how expensive a
+// single query may look before it is refused outright.
+struct AdmissionConfig {
+  // Requests executing concurrently (the worker pool's size).
+  int max_inflight = 4;
+  // Requests allowed to wait for a worker beyond the inflight ones.
+  int max_queue = 16;
+  // Backoff hint attached to OVERLOADED / NOTREADY responses.
+  int retry_after_ms = 50;
+  // Ceiling on a query's admission price (estimated rows scanned, from the
+  // cost model's live statistics); 0 = unpriced. Exceeding it is a
+  // permanent ERROR, not an OVERLOADED: the query will not get cheaper by
+  // retrying.
+  double max_query_cost = 0;
+};
+
+// What the controller decided for one request.
+enum class Admission {
+  kAdmitted,      // A slot was reserved; the caller must Release() it.
+  kShed,          // Outstanding work is at the cap; respond OVERLOADED.
+  kTooExpensive,  // The query's priced cost exceeds max_query_cost.
+};
+
+// Bounded admission with load shedding. Every request — read or write —
+// reserves one outstanding slot before it may queue for a worker, so the
+// total work the server holds is max_inflight + max_queue regardless of how
+// many connections are open; everything beyond that is rejected immediately
+// (shed, not delayed), which is what keeps latency bounded under overload.
+//
+// Thread-safe; Admit/Release are a mutex-held counter update.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  // Reserves a slot for a request whose admission price is `cost` (0 for
+  // unpriced requests: writes, stats, health are never refused on price).
+  Admission Admit(double cost);
+  // Returns a slot reserved by a successful Admit.
+  void Release();
+
+  int outstanding() const;
+  const AdmissionConfig& config() const { return config_; }
+
+  // Monotone decision counts (also exported as dire_server_* metrics).
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+  uint64_t too_expensive_total() const;
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  int outstanding_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t too_expensive_ = 0;
+};
+
+// Prices a query at admission using the cost model's statistics (row count
+// per relation; see eval/cost.h): the estimated number of rows the
+// selection will scan. A query against a missing relation prices at 0.
+double EstimateQueryCost(const storage::Database& db, const ast::Atom& query);
+
+}  // namespace dire::server
+
+#endif  // DIRE_SERVER_ADMISSION_H_

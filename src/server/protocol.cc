@@ -1,0 +1,113 @@
+#include "server/protocol.h"
+
+#include <optional>
+
+#include "base/string_util.h"
+#include "parser/parser.h"
+
+namespace dire::server {
+
+namespace {
+
+// Parses a nonnegative integer argument; nullopt on garbage or overflow.
+std::optional<int64_t> ParseNonNegative(std::string_view text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  int64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+Status RequireGround(const ast::Atom& atom, const char* verb) {
+  for (const ast::Term& t : atom.args) {
+    if (!t.IsConstant()) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " needs a ground fact, got variable '" +
+                                     t.text() + "' in " + atom.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::string_view trimmed = StripWhitespace(line);
+  if (trimmed.empty()) return Status::InvalidArgument("empty request");
+  size_t space = trimmed.find_first_of(" \t");
+  std::string verb(trimmed.substr(0, space));
+  std::string_view rest =
+      space == std::string_view::npos
+          ? std::string_view()
+          : StripWhitespace(trimmed.substr(space + 1));
+
+  Request req;
+  if (verb == "STATS" || verb == "HEALTH" || verb == "QUIT") {
+    if (!rest.empty()) {
+      return Status::InvalidArgument(verb + " takes no arguments");
+    }
+    req.kind = verb == "STATS"    ? Request::Kind::kStats
+               : verb == "HEALTH" ? Request::Kind::kHealth
+                                  : Request::Kind::kQuit;
+    return req;
+  }
+  if (verb == "SLEEP") {
+    std::optional<int64_t> ms = ParseNonNegative(rest);
+    if (!ms) {
+      return Status::InvalidArgument(
+          "SLEEP needs a nonnegative millisecond count");
+    }
+    req.kind = Request::Kind::kSleep;
+    req.sleep_ms = *ms;
+    return req;
+  }
+  if (verb == "QUERY" || verb == "ADD" || verb == "RETRACT") {
+    if (rest.empty()) {
+      return Status::InvalidArgument(verb + " needs an atom argument");
+    }
+    DIRE_ASSIGN_OR_RETURN(req.atom, parser::ParseAtom(rest));
+    if (verb == "QUERY") {
+      req.kind = Request::Kind::kQuery;
+    } else {
+      req.kind =
+          verb == "ADD" ? Request::Kind::kAdd : Request::Kind::kRetract;
+      DIRE_RETURN_IF_ERROR(RequireGround(req.atom, verb.c_str()));
+    }
+    return req;
+  }
+  return Status::InvalidArgument("unknown request verb '" + verb + "'");
+}
+
+std::string RenderTuple(const storage::Database& db,
+                        const std::string& predicate,
+                        const storage::Tuple& tuple) {
+  std::string out = predicate;
+  out += '(';
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += db.symbols().Name(tuple[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string OverloadedLine(int retry_after_ms) {
+  return "OVERLOADED retry-after-ms=" + std::to_string(retry_after_ms);
+}
+
+std::string NotReadyLine(int retry_after_ms) {
+  return "NOTREADY retry-after-ms=" + std::to_string(retry_after_ms);
+}
+
+std::string ErrorLine(const Status& status) {
+  // Responses are line-framed: fold any newlines in the diagnostic.
+  std::string message = status.ToString();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERROR " + message;
+}
+
+}  // namespace dire::server

@@ -1,0 +1,71 @@
+#ifndef DIRE_SERVER_PROTOCOL_H_
+#define DIRE_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "storage/database.h"
+
+// The `dire serve` wire protocol: line-framed text over TCP. Every request
+// is one '\n'-terminated line; every response is one status line, plus —
+// for QUERY and STATS — payload lines closed by a final "END" line, so a
+// client always knows where a response stops without length prefixes.
+//
+// Requests:
+//   QUERY <atom>      select tuples matching the atom's constant/variable
+//                     pattern against the materialized fixpoint, e.g.
+//                     "QUERY t(a, X)"
+//   ADD <fact>        durably append a ground fact (WAL fsync before the
+//                     acknowledgement) and re-derive its consequences
+//   RETRACT <fact>    durably retract a ground base fact and re-derive the
+//                     fixpoint from the remaining base facts
+//   STATS             server counters, one "key value" line each
+//   HEALTH            one-line readiness + liveness report
+//   SLEEP <ms>        hold a worker slot for <ms>, bounded by the request
+//                     deadline (load-testing aid: makes saturation and
+//                     timeout behavior deterministic to drive externally)
+//   QUIT              close this connection
+//
+// Response status lines:
+//   OK ...                         request succeeded ("OK <n>" for QUERY:
+//                                  n payload rows follow, then "END")
+//   PARTIAL <n> reason=<limit>     the request's resource guard tripped;
+//                                  the n rows that follow are a sound
+//                                  prefix of the full answer
+//   OVERLOADED retry-after-ms=<n>  admission control shed this request;
+//                                  retry after the hinted backoff
+//   NOTREADY retry-after-ms=<n>    recovery/startup has not finished
+//   ERROR <message>                malformed request or execution failure
+namespace dire::server {
+
+struct Request {
+  enum class Kind { kQuery, kAdd, kRetract, kStats, kHealth, kSleep, kQuit };
+  Kind kind = Kind::kHealth;
+  // The query pattern (kQuery) or ground fact (kAdd / kRetract).
+  ast::Atom atom;
+  // kSleep only: how long to hold the worker slot.
+  int64_t sleep_ms = 0;
+};
+
+// Parses one request line (without its trailing newline). ADD and RETRACT
+// additionally require the atom to be ground (constants only).
+Result<Request> ParseRequest(std::string_view line);
+
+// Renders one result tuple as "pred(a, b)" using the database's symbol
+// table. Rows of a QUERY response are rendered with this and sorted, so
+// equal answers are byte-identical across runs and restarts.
+std::string RenderTuple(const storage::Database& db,
+                        const std::string& predicate,
+                        const storage::Tuple& tuple);
+
+// Response-line builders (the '\n' is appended by the connection writer).
+std::string OverloadedLine(int retry_after_ms);
+std::string NotReadyLine(int retry_after_ms);
+std::string ErrorLine(const Status& status);
+
+}  // namespace dire::server
+
+#endif  // DIRE_SERVER_PROTOCOL_H_

@@ -1,0 +1,575 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <optional>
+
+#include "base/failpoints.h"
+#include "base/log.h"
+#include "base/obs.h"
+#include "base/signal.h"
+#include "base/string_util.h"
+#include "eval/magic.h"
+
+namespace dire::server {
+
+namespace {
+
+// Ceiling on one buffered request line; a client exceeding it is cut off
+// rather than growing the buffer without bound.
+constexpr size_t kMaxRequestBytes = 1 << 20;
+
+obs::Counter* TimedOutCounter() {
+  static obs::Counter* c =
+      obs::GetCounter("dire_server_timed_out_total",
+                      "Requests whose deadline guard tripped");
+  return c;
+}
+
+obs::Counter* PartialCounter() {
+  static obs::Counter* c = obs::GetCounter(
+      "dire_server_partial_total",
+      "Requests answered with a PARTIAL (guard-bounded) result");
+  return c;
+}
+
+obs::Counter* WritesCounter() {
+  static obs::Counter* c = obs::GetCounter(
+      "dire_server_writes_total", "Durable ADD/RETRACT commits");
+  return c;
+}
+
+obs::Counter* FoldsCounter() {
+  static obs::Counter* c =
+      obs::GetCounter("dire_server_checkpoints_total",
+                      "WAL folds into a fresh snapshot taken by the server");
+  return c;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+// Whether the ground tuple `values` is already present in `db`.
+bool RowPresent(const storage::Database& db, const std::string& predicate,
+                const std::vector<std::string>& values) {
+  const storage::Relation* rel = db.Find(predicate);
+  if (rel == nullptr || rel->arity() != values.size()) return false;
+  storage::Tuple t;
+  t.reserve(values.size());
+  for (const std::string& v : values) {
+    storage::ValueId id = db.symbols().Find(v);
+    if (id == storage::SymbolTable::kMissing) return false;
+    t.push_back(id);
+  }
+  return rel->Contains(t);
+}
+
+std::vector<std::string> GroundValues(const ast::Atom& atom) {
+  std::vector<std::string> values;
+  values.reserve(atom.args.size());
+  for (const ast::Term& t : atom.args) values.push_back(t.text());
+  return values;
+}
+
+const char* VerbName(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kQuery:
+      return "QUERY";
+    case Request::Kind::kAdd:
+      return "ADD";
+    case Request::Kind::kRetract:
+      return "RETRACT";
+    case Request::Kind::kStats:
+      return "STATS";
+    case Request::Kind::kHealth:
+      return "HEALTH";
+    case Request::Kind::kSleep:
+      return "SLEEP";
+    case Request::Kind::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, ast::Program program,
+               std::string program_text)
+    : config_(std::move(config)),
+      program_(std::move(program)),
+      program_text_(std::move(program_text)),
+      admission_(config_.admission),
+      pool_(std::make_unique<WorkerPool>(config_.admission.max_inflight)) {
+  for (const ast::Rule& r : program_.rules) {
+    if (!r.IsFact()) derived_.insert(r.head.predicate);
+  }
+}
+
+Result<std::unique_ptr<Server>> Server::Create(ServerConfig config,
+                                               ast::Program program,
+                                               std::string program_text) {
+  if (config.data_dir.empty()) {
+    return Status::InvalidArgument("serve requires a data directory");
+  }
+  std::unique_ptr<Server> self(new Server(
+      std::move(config), std::move(program), std::move(program_text)));
+
+  self->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (self->listen_fd_ < 0) {
+    return Status::Internal(std::string("cannot create listen socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(self->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<uint16_t>(self->config_.port));
+  if (::inet_pton(AF_INET, self->config_.host.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("not an IPv4 listen address: " +
+                                   self->config_.host);
+  }
+  if (::bind(self->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(StrFormat("cannot bind %s:%d: %s",
+                                      self->config_.host.c_str(),
+                                      self->config_.port,
+                                      std::strerror(errno)));
+  }
+  if (::listen(self->listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("cannot listen: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(self->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+    self->port_ = ntohs(bound.sin_port);
+  }
+  return self;
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+}
+
+Status Server::Recover() {
+  obs::Span span("server.recover", "server");
+  if (config_.recovery_delay_ms_for_test > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.recovery_delay_ms_for_test));
+  }
+  DIRE_ASSIGN_OR_RETURN(data_dir_,
+                        storage::DataDir::Open(config_.data_dir));
+  checkpointer_ = std::make_unique<eval::DataDirCheckpointer>(
+      data_dir_.get(), eval::ProgramCrc(program_text_));
+  const storage::RecoveredCheckpoint& rec = data_dir_->recovered();
+  if (rec.has_program_crc &&
+      rec.program_crc != eval::ProgramCrc(program_text_)) {
+    log::Warn("server", "data dir was checkpointed under a different "
+                        "program; re-deriving everything from base facts",
+              {{"dir", config_.data_dir}});
+  }
+  // Derived state is a pure function of the base facts: drop it and rebuild
+  // the fixpoint. This also repairs stale derivations a crash between a
+  // retraction's WAL commit and its re-derivation left behind, and ignores
+  // any checkpoint metadata from another program.
+  ClearDerivedRelations();
+  return FoldCheckpoint();
+}
+
+void Server::ClearDerivedRelations() {
+  for (const std::string& name : data_dir_->db()->RelationNames()) {
+    // '@' never appears in parsed predicate names; relations carrying it
+    // are magic-set artifacts from an earlier CLI session on this dir.
+    if (derived_.count(name) != 0 || name.find('@') != std::string::npos) {
+      data_dir_->db()->Drop(name);
+    }
+  }
+}
+
+eval::EvalOptions Server::BaseEvalOptions() const {
+  eval::EvalOptions options;
+  options.num_threads = config_.eval_threads;
+  return options;
+}
+
+Status Server::FoldCheckpoint() {
+  DIRE_FAILPOINT("server.checkpoint");
+  // Re-running the (already converged) evaluation with the checkpointer
+  // armed reuses the evaluator's completion-checkpoint path, so a
+  // server-folded snapshot is byte-identical to what a CLI `--eval` of the
+  // same database would write.
+  eval::EvalOptions options = BaseEvalOptions();
+  options.checkpointer = checkpointer_.get();
+  eval::Evaluator evaluator(data_dir_->db(), options);
+  Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
+  if (!stats.ok()) return stats.status();
+  writes_since_fold_ = 0;
+  folds_total_.fetch_add(1, std::memory_order_relaxed);
+  FoldsCounter()->Add(1);
+  return Status::Ok();
+}
+
+Status Server::Run() {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  Status recovered = Recover();
+  if (recovered.ok()) {
+    ready_.store(true, std::memory_order_release);
+    log::Info("server", "ready",
+              {{"port", std::to_string(port_)},
+               {"data_dir", config_.data_dir}});
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      shutdown_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      if (signals::ShutdownRequested()) break;
+    }
+  }
+  // Wind-down: stop accepting, let in-flight requests finish, then fold.
+  stopping_.store(true, std::memory_order_release);
+  ready_.store(false, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  pool_->Drain();
+  pool_->Stop();
+  Status final_fold = Status::Ok();
+  if (recovered.ok()) {
+    final_fold = FoldCheckpoint();
+    log::Info("server", "drained and checkpointed; exiting",
+              {{"writes", std::to_string(
+                    writes_total_.load(std::memory_order_relaxed))}});
+  }
+  data_dir_.reset();  // Releases the data-dir lock.
+  return recovered.ok() ? final_fold : recovered;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, 100);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        --active_connections_;
+      }
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (StripWhitespace(line).empty()) continue;
+      Result<Request> request = ParseRequest(line);
+      if (request.ok() && request->kind == Request::Kind::kQuit) {
+        ::close(fd);
+        return;
+      }
+      std::string response = request.ok() ? HandleRequest(*request)
+                                          : ErrorLine(request.status());
+      response += '\n';
+      if (!WriteAll(fd, response)) {
+        ::close(fd);
+        return;
+      }
+    }
+    if (buffer.size() > kMaxRequestBytes) {
+      WriteAll(fd, ErrorLine(Status::InvalidArgument(
+                       "request line exceeds 1 MiB")) +
+                       "\n");
+      break;
+    }
+    pollfd p{fd, POLLIN, 0};
+    int r = ::poll(&p, 1, 100);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error.
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+}
+
+std::string Server::HandleRequest(const Request& request) {
+  // HEALTH is the liveness probe: answered inline, never admitted, so it
+  // responds even when every worker slot and queue position is taken.
+  if (request.kind == Request::Kind::kHealth) return HandleHealth();
+  if (!ready_.load(std::memory_order_acquire)) {
+    return NotReadyLine(config_.admission.retry_after_ms);
+  }
+  if (request.kind == Request::Kind::kStats) return HandleStats();
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ErrorLine(Status::Internal("server is shutting down"));
+  }
+
+  double cost = 0;
+  if (request.kind == Request::Kind::kQuery) {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    cost = EstimateQueryCost(*data_dir_->db(), request.atom);
+  }
+  switch (admission_.Admit(cost)) {
+    case Admission::kShed:
+      return OverloadedLine(config_.admission.retry_after_ms);
+    case Admission::kTooExpensive:
+      return ErrorLine(Status::ResourceExhausted(StrFormat(
+          "query too expensive: estimated %.0f rows scanned, limit %.0f",
+          cost, config_.admission.max_query_cost)));
+    case Admission::kAdmitted:
+      break;
+  }
+
+  auto done = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> response = done->get_future();
+  bool submitted = pool_->Submit([this, request, done] {
+    done->set_value(ExecuteAdmitted(request));
+    admission_.Release();
+  });
+  if (!submitted) {
+    admission_.Release();
+    return ErrorLine(Status::Internal("server is shutting down"));
+  }
+  return response.get();
+}
+
+std::string Server::ExecuteAdmitted(const Request& request) {
+  obs::Span span("server.request", "server");
+  span.Attr("verb", VerbName(request.kind));
+#ifdef DIRE_FAILPOINTS_ENABLED
+  {
+    Status injected = failpoints::Check("server.request");
+    if (!injected.ok()) return ErrorLine(injected);
+  }
+#endif
+  std::optional<ExecutionGuard> guard;
+  if (config_.request_timeout_ms != 0 || config_.request_max_tuples != 0) {
+    guard.emplace(GuardLimits{config_.request_timeout_ms,
+                              config_.request_max_tuples, 0});
+  }
+  const ExecutionGuard* g = guard ? &*guard : nullptr;
+  switch (request.kind) {
+    case Request::Kind::kQuery:
+      return HandleQuery(request, g);
+    case Request::Kind::kAdd:
+    case Request::Kind::kRetract:
+      return HandleWrite(request, g);
+    case Request::Kind::kSleep:
+      return HandleSleep(request, g);
+    default:
+      return ErrorLine(Status::Internal("unadmittable request kind"));
+  }
+}
+
+void Server::CountTrip(const std::string& reason) {
+  if (StartsWith(reason, "deadline")) {
+    timed_out_total_.fetch_add(1, std::memory_order_relaxed);
+    TimedOutCounter()->Add(1);
+  }
+}
+
+std::string Server::HandleQuery(const Request& request,
+                                const ExecutionGuard* g) {
+  Result<eval::SelectResult> selected = [&] {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    return eval::SelectMatching(*data_dir_->db(), request.atom, g);
+  }();
+  if (!selected.ok()) return ErrorLine(selected.status());
+
+  std::vector<std::string> rows;
+  rows.reserve(selected->tuples.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    for (const storage::Tuple& t : selected->tuples) {
+      rows.push_back(
+          RenderTuple(*data_dir_->db(), request.atom.predicate, t));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+
+  if (selected->exhausted) {
+    CountTrip(selected->exhausted_reason);
+    if (!config_.partial_on_exhaustion) {
+      return ErrorLine(
+          Status::ResourceExhausted(selected->exhausted_reason));
+    }
+    partial_total_.fetch_add(1, std::memory_order_relaxed);
+    PartialCounter()->Add(1);
+  }
+  std::string response =
+      selected->exhausted
+          ? StrFormat("PARTIAL %zu reason=%s", rows.size(),
+                      selected->exhausted_reason.c_str())
+          : StrFormat("OK %zu", rows.size());
+  for (const std::string& row : rows) {
+    response += '\n';
+    response += row;
+  }
+  response += "\nEND";
+  return response;
+}
+
+std::string Server::HandleWrite(const Request& request,
+                                const ExecutionGuard* g) {
+  const bool is_add = request.kind == Request::Kind::kAdd;
+  const std::string& predicate = request.atom.predicate;
+  if (derived_.count(predicate) != 0) {
+    return ErrorLine(Status::InvalidArgument(
+        "predicate '" + predicate +
+        "' is derived by rules; ADD/RETRACT apply to base facts only"));
+  }
+  std::vector<std::string> values = GroundValues(request.atom);
+
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  bool changed = false;
+  if (is_add) {
+    changed = !RowPresent(*data_dir_->db(), predicate, values);
+    Status committed = data_dir_->AppendFact(predicate, values);
+    if (!committed.ok()) return ErrorLine(committed);
+  } else {
+    Status committed = data_dir_->RetractFact(predicate, values, &changed);
+    if (!committed.ok()) return ErrorLine(committed);
+  }
+  writes_total_.fetch_add(1, std::memory_order_relaxed);
+  WritesCounter()->Add(1);
+  ++writes_since_fold_;
+
+  // Re-derive consequences. The fact is already durably committed, so a
+  // guard trip here degrades the response to PARTIAL (the derived state is
+  // a sound prefix; a later write, fold, or restart completes it) instead
+  // of misreporting the commit as failed.
+  bool exhausted = false;
+  std::string reason;
+  if (changed) {
+    if (!is_add) ClearDerivedRelations();
+    eval::EvalOptions options = BaseEvalOptions();
+    options.guard = g;
+    options.on_exhaustion = eval::EvalOptions::OnExhaustion::kPartial;
+    eval::Evaluator evaluator(data_dir_->db(), options);
+    Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
+    if (!stats.ok()) return ErrorLine(stats.status());
+    exhausted = stats->exhausted;
+    reason = stats->exhausted_reason;
+  }
+
+  if (config_.checkpoint_every_writes > 0 &&
+      writes_since_fold_ >= config_.checkpoint_every_writes) {
+    Status folded = FoldCheckpoint();
+    if (!folded.ok()) {
+      // The WAL still holds every committed record; only the fold (a
+      // recovery-time optimization) failed. Keep serving.
+      log::Warn("server", "WAL fold failed; will retry at the next cadence",
+                {{"error", folded.ToString()}});
+    }
+  }
+
+  std::string tag = is_add ? (changed ? "added=1" : "added=0")
+                           : (changed ? "removed=1" : "removed=0");
+  if (exhausted) {
+    CountTrip(reason);
+    partial_total_.fetch_add(1, std::memory_order_relaxed);
+    PartialCounter()->Add(1);
+    return "PARTIAL " + tag + " reason=" + reason;
+  }
+  return "OK " + tag;
+}
+
+std::string Server::HandleSleep(const Request& request,
+                                const ExecutionGuard* g) {
+  int64_t slept = 0;
+  while (slept < request.sleep_ms) {
+    if (g != nullptr) {
+      Status checked = g->Check();
+      if (!checked.ok()) {
+        CountTrip(g->trip_reason());
+        return ErrorLine(checked);
+      }
+    }
+    int64_t step = std::min<int64_t>(10, request.sleep_ms - slept);
+    std::this_thread::sleep_for(std::chrono::milliseconds(step));
+    slept += step;
+  }
+  return "OK slept=" + std::to_string(slept);
+}
+
+std::string Server::HandleHealth() {
+  return StrFormat("OK ready=%d inflight=%d accepted=%llu rejected=%llu",
+                   ready_.load(std::memory_order_acquire) ? 1 : 0,
+                   admission_.outstanding(),
+                   static_cast<unsigned long long>(
+                       admission_.admitted_total()),
+                   static_cast<unsigned long long>(admission_.shed_total()));
+}
+
+std::string Server::HandleStats() {
+  size_t relations = 0;
+  size_t tuples = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    relations = data_dir_->db()->RelationNames().size();
+    tuples = data_dir_->db()->TotalTuples();
+  }
+  std::string out = "OK";
+  auto line = [&out](const char* key, uint64_t value) {
+    out += '\n';
+    out += key;
+    out += ' ';
+    out += std::to_string(value);
+  };
+  line("ready", ready_.load(std::memory_order_acquire) ? 1 : 0);
+  line("outstanding", static_cast<uint64_t>(admission_.outstanding()));
+  line("accepted_total", admission_.admitted_total());
+  line("rejected_total", admission_.shed_total());
+  line("too_expensive_total", admission_.too_expensive_total());
+  line("timed_out_total", timed_out_total_.load(std::memory_order_relaxed));
+  line("partial_total", partial_total_.load(std::memory_order_relaxed));
+  line("writes_total", writes_total_.load(std::memory_order_relaxed));
+  line("checkpoints_total", folds_total_.load(std::memory_order_relaxed));
+  line("relations", relations);
+  line("tuples", tuples);
+  out += "\nEND";
+  return out;
+}
+
+}  // namespace dire::server

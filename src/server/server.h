@@ -1,0 +1,186 @@
+#ifndef DIRE_SERVER_SERVER_H_
+#define DIRE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/thread_pool.h"
+#include "eval/checkpoint.h"
+#include "eval/evaluator.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "storage/persist.h"
+
+namespace dire::server {
+
+// Configuration of one `dire serve` process (see tools/dire_cli.cc for the
+// flags that populate it).
+struct ServerConfig {
+  // The durable home of the database; locked for the server's lifetime.
+  std::string data_dir;
+  // IPv4 listen address; "0.0.0.0" for all interfaces.
+  std::string host = "127.0.0.1";
+  // TCP port; 0 asks the kernel for a free one (see Server::port()).
+  int port = 0;
+
+  AdmissionConfig admission;
+
+  // Per-request ExecutionGuard budgets; 0 = unlimited.
+  int64_t request_timeout_ms = 0;
+  uint64_t request_max_tuples = 0;
+  // How a tripped guard surfaces on the QUERY path: false returns an ERROR
+  // line, true returns PARTIAL plus the sound prefix scanned so far. Write
+  // re-derivation always degrades to PARTIAL: by the time the guard can
+  // trip, the fact is already durably committed, so ERROR would misreport.
+  bool partial_on_exhaustion = false;
+
+  // Fold the WAL into a fresh snapshot after this many durable writes
+  // (plus once at shutdown); 0 folds only at shutdown. Between folds a
+  // crash replays the WAL tail, so this bounds recovery time, not safety.
+  int checkpoint_every_writes = 32;
+
+  // Worker threads inside each evaluation (EvalOptions::num_threads).
+  int eval_threads = 1;
+
+  // Test-only: stretches recovery by this many milliseconds so tests can
+  // deterministically observe the NOTREADY window. Never set in production.
+  int recovery_delay_ms_for_test = 0;
+};
+
+// A long-lived, overload-safe `dire serve` process:
+//
+//   - Create() binds and listens, so clients can connect immediately; until
+//     recovery finishes they get HEALTH `ready=0` and NOTREADY for
+//     everything else.
+//   - Run() recovers the database (snapshot load + WAL replay + re-derived
+//     fixpoint — derived relations are cleared and rebuilt from the base
+//     facts, which also repairs any stale derivations a crashed retraction
+//     left behind), marks the server ready, and serves until Shutdown().
+//   - Requests run on a bounded WorkerPool behind an AdmissionController:
+//     at most max_inflight execute concurrently, at most max_queue wait,
+//     everything beyond is shed with OVERLOADED instead of queueing without
+//     bound. Each admitted request runs under its own ExecutionGuard.
+//   - Reads (QUERY) hold the database's shared lock and scan the
+//     materialized fixpoint; writes (ADD / RETRACT) hold it exclusively,
+//     commit through the WAL (fsync before the acknowledgement), then
+//     re-derive consequences. Writes are accepted only for base (EDB)
+//     predicates: a predicate derived by rules cannot be written, which is
+//     what keeps "derived state is a pure function of the base facts" true
+//     and retraction sound.
+//   - Shutdown() (or SIGTERM via signals::InstallShutdownHandlers) drains
+//     admitted requests, folds the WAL into a final checkpoint, and
+//     releases the data-dir lock. SIGKILL at any moment instead leaves a
+//     state DataDir::Open recovers exactly (snapshot + WAL tail).
+class Server {
+ public:
+  // Parses nothing and touches no data: binds `config.host:config.port`
+  // and listens. Fails fast on an unusable address.
+  static Result<std::unique_ptr<Server>> Create(ServerConfig config,
+                                                ast::Program program,
+                                                std::string program_text);
+  ~Server();
+
+  // The full lifecycle, on the calling thread: recovery, serving, drain,
+  // final checkpoint. Returns when Shutdown() was called (from another
+  // thread or a signal watcher) or recovery failed.
+  Status Run();
+
+  // Asks Run() to wind down gracefully. Safe from any thread, idempotent.
+  void Shutdown();
+
+  // The bound TCP port — the ephemeral one the kernel chose when
+  // config.port was 0.
+  int port() const { return port_; }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  Server(ServerConfig config, ast::Program program, std::string program_text);
+
+  // Opens the data dir (lock + snapshot + WAL replay), clears derived
+  // relations, evaluates to fixpoint, and takes the initial checkpoint.
+  Status Recover();
+
+  // Accept loop (own thread): polls the listen socket, spawns one detached
+  // connection thread per client.
+  void AcceptLoop();
+  // One client connection: reads request lines, answers them in order.
+  void ServeConnection(int fd);
+
+  // Dispatch of one parsed request from a connection thread. HEALTH and
+  // STATS are answered inline (they must stay responsive under overload);
+  // everything else is priced, admitted, and executed on the worker pool.
+  std::string HandleRequest(const Request& request);
+  // Runs on a worker-pool thread, under admission.
+  std::string ExecuteAdmitted(const Request& request);
+
+  std::string HandleQuery(const Request& request, const ExecutionGuard* g);
+  std::string HandleWrite(const Request& request, const ExecutionGuard* g);
+  std::string HandleSleep(const Request& request, const ExecutionGuard* g);
+  std::string HandleStats();
+  std::string HandleHealth();
+
+  // Accounts a guard trip: deadline trips count toward timed_out_total.
+  void CountTrip(const std::string& reason);
+
+  // Durably folds the WAL into a fresh snapshot (caller holds db_mu_
+  // exclusively or is single-threaded at shutdown).
+  Status FoldCheckpoint();
+
+  // Drops every relation a rule head derives into. Base facts are not
+  // touched (writes to derived predicates are rejected at the protocol
+  // level, and program-file facts are re-loaded by the next Evaluate).
+  void ClearDerivedRelations();
+
+  // EvalOptions shared by every re-derivation.
+  eval::EvalOptions BaseEvalOptions() const;
+
+  const ServerConfig config_;
+  const ast::Program program_;
+  const std::string program_text_;
+  // Head predicates of non-fact rules: the derived (IDB) relations.
+  std::set<std::string> derived_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::unique_ptr<storage::DataDir> data_dir_;
+  std::unique_ptr<eval::DataDirCheckpointer> checkpointer_;
+  // Readers (QUERY, STATS) shared; writers (ADD, RETRACT, recovery,
+  // shutdown checkpoint) exclusive. Sits above DataDir's commit mutex.
+  std::shared_mutex db_mu_;
+
+  AdmissionController admission_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  std::thread accept_thread_;
+  // Detached connection threads still running; Run() waits for zero.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  int active_connections_ = 0;
+
+  // Server-side counters surfaced by STATS (kept independently of the obs
+  // registry so they work under -DDIRE_OBS=OFF too).
+  std::atomic<uint64_t> timed_out_total_{0};
+  std::atomic<uint64_t> partial_total_{0};
+  std::atomic<uint64_t> writes_total_{0};
+  std::atomic<uint64_t> folds_total_{0};
+  // Durable writes since the last WAL fold, gated by db_mu_.
+  int writes_since_fold_ = 0;
+};
+
+}  // namespace dire::server
+
+#endif  // DIRE_SERVER_SERVER_H_

@@ -74,6 +74,32 @@ Status Database::AddRow(const std::string& name,
   return Status::Ok();
 }
 
+Result<bool> Database::RemoveRow(const std::string& name,
+                                 const std::vector<std::string>& values) {
+  Relation* rel = Find(name);
+  if (rel == nullptr) return false;
+  if (rel->arity() != values.size()) {
+    return Status::InvalidArgument(
+        StrFormat("relation '%s' has arity %zu, retraction has %zu values",
+                  name.c_str(), rel->arity(), values.size()));
+  }
+  Tuple target;
+  target.reserve(values.size());
+  for (const std::string& v : values) {
+    ValueId id = symbols_.Find(v);
+    if (id == SymbolTable::kMissing) return false;  // Never interned.
+    target.push_back(id);
+  }
+  if (!rel->Contains(target)) return false;
+  auto rebuilt = std::make_unique<Relation>(name, rel->arity());
+  rebuilt->Reserve(rel->size() - 1);
+  for (const Tuple& t : rel->tuples()) {
+    if (t != target) rebuilt->Insert(t);
+  }
+  relations_[name] = std::move(rebuilt);
+  return true;
+}
+
 bool Database::Drop(const std::string& name) {
   return relations_.erase(name) != 0;
 }

@@ -43,6 +43,14 @@ class Database {
   Status AddRow(const std::string& name,
                 const std::vector<std::string>& values);
 
+  // Removes one tuple of constant spellings from relation `name`; returns
+  // true if it was present. The relation is rebuilt without the tuple, so
+  // its indexes, column sketches, and dedup set stay exact (sketches are
+  // add-only and cannot unlearn a value in place). O(relation size) — used
+  // by durable retraction, never by evaluation.
+  Result<bool> RemoveRow(const std::string& name,
+                         const std::vector<std::string>& values);
+
   // Removes the relation named `name`; returns true if it existed. Used by
   // recovery to strip checkpoint-internal sections ("$delta:...") after a
   // snapshot load; evaluation itself never deletes.

@@ -1,9 +1,16 @@
 #include "storage/persist.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <optional>
 
 #include "base/io.h"
+#include "base/log.h"
 #include "base/obs.h"
 #include "base/string_util.h"
 
@@ -22,12 +29,71 @@ std::optional<int64_t> ParseMetaInt(const std::string& value) {
   return out;
 }
 
+// True if `pid` names a process that exists right now (signal-0 probe;
+// EPERM means "exists but not ours", which still counts as alive).
+bool PidAlive(int64_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
 }  // namespace
+
+Status DataDir::AcquireLock() {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    int fd = ::open(lock_path_.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      std::string body = std::to_string(::getpid()) + "\n";
+      bool ok = ::write(fd, body.data(), body.size()) ==
+                static_cast<ssize_t>(body.size());
+      ok = (::fsync(fd) == 0) && ok;
+      ::close(fd);
+      if (!ok) {
+        ::unlink(lock_path_.c_str());
+        return Status::Internal("cannot stamp lock file " + lock_path_);
+      }
+      owns_lock_ = true;
+      return Status::Ok();
+    }
+    if (errno != EEXIST) {
+      return Status::Internal("cannot create lock file " + lock_path_ +
+                              ": " + std::strerror(errno));
+    }
+    // Somebody holds (or held) the lock. A live owner is fail-closed; a
+    // dead owner's lock is stale — a SIGKILLed server cannot clean up — and
+    // is broken so recovery can proceed. An unreadable/garbled lock file is
+    // treated as stale too: our own writer stamps it in one small write, so
+    // garbage can only be torn crash debris.
+    Result<std::string> body = io::ReadFile(lock_path_);
+    std::optional<int64_t> pid;
+    if (body.ok()) pid = ParseMetaInt(std::string(StripWhitespace(*body)));
+    if (pid && PidAlive(*pid)) {
+      return Status::InvalidArgument(
+          StrFormat("data dir %s is locked by running process %lld "
+                    "(lock file %s); stop that process, or delete the lock "
+                    "file if the PID is stale",
+                    dir_.c_str(), static_cast<long long>(*pid),
+                    lock_path_.c_str()));
+    }
+    log::Warn("persist", "breaking stale data-dir lock",
+              {{"lock", lock_path_},
+               {"owner_pid", pid ? std::to_string(*pid) : "unparsable"}});
+    ::unlink(lock_path_.c_str());
+    // Loop once more; a concurrent acquirer winning the O_EXCL race makes
+    // the retry fail with the live-owner diagnostic.
+  }
+  return Status::InvalidArgument("data dir " + dir_ +
+                                 " lock contended; try again");
+}
+
+DataDir::~DataDir() {
+  if (owns_lock_) ::unlink(lock_path_.c_str());
+}
 
 Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
                                                bool recover_tail) {
   DIRE_RETURN_IF_ERROR(io::MakeDirs(dir));
   std::unique_ptr<DataDir> self(new DataDir(dir));
+  DIRE_RETURN_IF_ERROR(self->AcquireLock());
 
   // 1. Snapshot. Our own writer replaces it atomically, so a committed file
   //    is the only state it leaves; `recover_tail` additionally accepts an
@@ -87,12 +153,18 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
     if (!rec.has_meta) rec.deltas.clear();
   }
 
-  // 2. WAL replay over the snapshot. Inserts are set-semantics, so records
-  //    already folded into the snapshot re-apply harmlessly.
+  // 2. WAL replay over the snapshot. Inserts are set-semantics and
+  //    retractions of absent facts are no-ops, so records already folded
+  //    into the snapshot re-apply harmlessly, in WAL order.
   DIRE_ASSIGN_OR_RETURN(
       WalReplayStats replay,
       ReplayWal(self->wal_path_, [&self](std::string_view payload) -> Status {
-        DIRE_ASSIGN_OR_RETURN(FactRecord record, DecodeFactRecord(payload));
+        DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+        if (record.op == WalRecord::Op::kRetract) {
+          Result<bool> removed =
+              self->db_.RemoveRow(record.relation, record.values);
+          return removed.ok() ? Status::Ok() : removed.status();
+        }
         return self->db_.AddRow(record.relation, record.values);
       }));
 
@@ -113,13 +185,27 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
 
 Status DataDir::AppendFact(const std::string& relation,
                            const std::vector<std::string>& values) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   // Durability order: the record must be on disk before the in-memory state
   // reflects it, otherwise an acknowledged fact could vanish in a crash.
   DIRE_RETURN_IF_ERROR(wal_->Append(EncodeFactRecord(relation, values)));
   return db_.AddRow(relation, values);
 }
 
+Status DataDir::RetractFact(const std::string& relation,
+                            const std::vector<std::string>& values,
+                            bool* removed) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  // Same order as AppendFact: a crash after the WAL record but before the
+  // in-memory removal replays the retraction on recovery.
+  DIRE_RETURN_IF_ERROR(wal_->Append(EncodeRetractRecord(relation, values)));
+  DIRE_ASSIGN_OR_RETURN(bool was_present, db_.RemoveRow(relation, values));
+  if (removed != nullptr) *removed = was_present;
+  return Status::Ok();
+}
+
 Status DataDir::Checkpoint(const SnapshotWriteOptions& opts) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   obs::Span span("persist.checkpoint", "persist");
   auto t0 = std::chrono::steady_clock::now();
   DIRE_RETURN_IF_ERROR(SaveSnapshotFile(db_, snapshot_path_, opts));

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,26 +52,43 @@ struct RecoveredCheckpoint {
 //      the snapshot; replay re-applies them idempotently (set semantics).
 //   3. WAL appends are fsynced before being acknowledged; a crash mid-append
 //      leaves a torn tail that replay drops (it was never acknowledged).
+//
+// Single-writer exclusion: Open acquires `<dir>/LOCK`, a file holding the
+// owner's PID, and the destructor releases it. A second Open while the
+// owner is alive fails with a clear diagnostic and touches nothing
+// (fail-closed); a lock left behind by a SIGKILLed process is detected by
+// PID liveness, logged, and broken — so `recover` after a crash, or run
+// twice, always either succeeds or explains itself.
 class DataDir {
  public:
   // Opens `dir` (creating it, an empty snapshot state, and the WAL when
-  // absent), loads the snapshot, replays the log, and truncates any torn
-  // WAL tail. `recover_tail` additionally tolerates an EOF-truncated
-  // snapshot (for snapshots produced by foreign, non-atomic writers); the
-  // default accepts only committed snapshots, which is the only thing our
-  // own writer can leave behind.
+  // absent), acquires the directory lock, loads the snapshot, replays the
+  // log, and truncates any torn WAL tail. `recover_tail` additionally
+  // tolerates an EOF-truncated snapshot (for snapshots produced by foreign,
+  // non-atomic writers); the default accepts only committed snapshots,
+  // which is the only thing our own writer can leave behind.
   static Result<std::unique_ptr<DataDir>> Open(const std::string& dir,
                                                bool recover_tail = true);
+  ~DataDir();
 
   Database* db() { return &db_; }
   const std::string& dir() const { return dir_; }
   const std::string& snapshot_path() const { return snapshot_path_; }
+  const std::string& lock_path() const { return lock_path_; }
   const RecoveredCheckpoint& recovered() const { return recovered_; }
 
   // Durably inserts one fact: WAL append (fsync) first, then the in-memory
-  // insert. On a WAL error the database is not mutated.
+  // insert. On a WAL error the database is not mutated. Thread-safe against
+  // concurrent Append/Retract/Checkpoint calls (one internal commit mutex);
+  // the caller must still serialize against readers of db().
   Status AppendFact(const std::string& relation,
                     const std::vector<std::string>& values);
+
+  // Durably retracts one base fact (WAL `R` record first, then the
+  // in-memory removal). Sets *removed to whether the fact was present.
+  // Same thread-safety contract as AppendFact.
+  Status RetractFact(const std::string& relation,
+                     const std::vector<std::string>& values, bool* removed);
 
   // Atomically replaces the snapshot with the current database contents plus
   // `opts` (checkpoint meta and delta sections), then resets the WAL. On
@@ -81,11 +99,21 @@ class DataDir {
   explicit DataDir(std::string dir)
       : dir_(std::move(dir)),
         snapshot_path_(dir_ + "/snapshot.dire"),
-        wal_path_(dir_ + "/wal.log") {}
+        wal_path_(dir_ + "/wal.log"),
+        lock_path_(dir_ + "/LOCK") {}
+
+  // Creates lock_path_ with O_EXCL, breaking a stale (dead-PID) lock.
+  Status AcquireLock();
 
   std::string dir_;
   std::string snapshot_path_;
   std::string wal_path_;
+  std::string lock_path_;
+  bool owns_lock_ = false;
+  // Serializes the durable commit protocol (WAL appends and snapshot/WAL
+  // swaps) across threads. Readers of db_ are NOT covered; the server
+  // layers a shared_mutex above this.
+  std::mutex commit_mu_;
   Database db_;
   std::unique_ptr<Wal> wal_;
   RecoveredCheckpoint recovered_;

@@ -92,7 +92,9 @@ Status Wal::Append(std::string_view payload) {
     return Errno("WAL append to " + path_ + " failed");
   }
   DIRE_FAILPOINT("wal.sync");
-  if (::fsync(fd_) != 0) return Errno("WAL fsync of " + path_ + " failed");
+  DIRE_RETURN_IF_ERROR(io::RetryTransientOp(
+      "wal.retry.sync", "WAL fsync of " + path_ + " failed",
+      [&] { return ::fsync(fd_); }));
   if (obs::kEnabled) {
     // Series pointers resolved once: Append is the hot path of every
     // durable fact insert.
@@ -192,9 +194,12 @@ Result<WalReplayStats> ReplayWal(
   return stats;
 }
 
-std::string EncodeFactRecord(const std::string& relation,
-                             const std::vector<std::string>& values) {
-  std::string payload = "F\t";
+namespace {
+
+std::string EncodeOpRecord(char op, const std::string& relation,
+                           const std::vector<std::string>& values) {
+  std::string payload(1, op);
+  payload += '\t';
   payload += io::EscapeTsvField(relation);
   for (const std::string& v : values) {
     payload += '\t';
@@ -203,15 +208,29 @@ std::string EncodeFactRecord(const std::string& relation,
   return payload;
 }
 
-Result<FactRecord> DecodeFactRecord(std::string_view payload) {
+}  // namespace
+
+std::string EncodeFactRecord(const std::string& relation,
+                             const std::vector<std::string>& values) {
+  return EncodeOpRecord('F', relation, values);
+}
+
+std::string EncodeRetractRecord(const std::string& relation,
+                                const std::vector<std::string>& values) {
+  return EncodeOpRecord('R', relation, values);
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   std::vector<std::string> fields = Split(payload, '\t');
-  if (fields.size() < 2 || fields[0] != "F") {
-    return Status::Corruption("malformed WAL fact record");
+  if (fields.size() < 2 || (fields[0] != "F" && fields[0] != "R")) {
+    return Status::Corruption("malformed WAL record");
   }
-  FactRecord record;
+  WalRecord record;
+  record.op =
+      fields[0] == "F" ? WalRecord::Op::kInsert : WalRecord::Op::kRetract;
   DIRE_ASSIGN_OR_RETURN(record.relation, io::UnescapeTsvField(fields[1]));
   if (record.relation.empty()) {
-    return Status::Corruption("WAL fact record names an empty relation");
+    return Status::Corruption("WAL record names an empty relation");
   }
   record.values.reserve(fields.size() - 2);
   for (size_t i = 2; i < fields.size(); ++i) {
@@ -219,6 +238,14 @@ Result<FactRecord> DecodeFactRecord(std::string_view payload) {
     record.values.push_back(std::move(value));
   }
   return record;
+}
+
+Result<FactRecord> DecodeFactRecord(std::string_view payload) {
+  if (!payload.empty() && payload[0] != 'F') {
+    return Status::Corruption("malformed WAL fact record");
+  }
+  DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+  return FactRecord{std::move(record.relation), std::move(record.values)};
 }
 
 }  // namespace dire::storage

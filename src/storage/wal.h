@@ -33,6 +33,7 @@ namespace dire::storage {
 //
 // Record payloads are text, tab-separated with io::EscapeTsvField fields:
 //   F<TAB>relation<TAB>value...   insert one fact
+//   R<TAB>relation<TAB>value...   retract one fact
 class Wal {
  public:
   // Opens (creating if needed) the log at `path` for appending.
@@ -84,10 +85,22 @@ Result<WalReplayStats> ReplayWal(
 // Helpers for the fact-insertion payload (used by DataDir and tests).
 std::string EncodeFactRecord(const std::string& relation,
                              const std::vector<std::string>& values);
+// Same framing with an R op: durably retract one base fact.
+std::string EncodeRetractRecord(const std::string& relation,
+                                const std::vector<std::string>& values);
 struct FactRecord {
   std::string relation;
   std::vector<std::string> values;
 };
+
+// Op-aware record view for replay: inserts and retractions in WAL order.
+struct WalRecord {
+  enum class Op { kInsert, kRetract };
+  Op op = Op::kInsert;
+  std::string relation;
+  std::vector<std::string> values;
+};
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
 Result<FactRecord> DecodeFactRecord(std::string_view payload);
 
 }  // namespace dire::storage

@@ -1,0 +1,186 @@
+#include "base/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/failpoints.h"
+#include "base/io.h"
+
+namespace dire {
+namespace {
+
+std::vector<int64_t> Delays(const BackoffPolicy& policy, uint64_t seed) {
+  Backoff backoff(policy, seed);
+  std::vector<int64_t> delays;
+  while (std::optional<int64_t> d = backoff.NextDelayUs()) {
+    delays.push_back(*d);
+  }
+  return delays;
+}
+
+TEST(Backoff, GrowsExponentiallyAndStopsAtAttemptBudget) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_delay_us = 200;
+  policy.max_delay_us = 1'000'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;  // Exact schedule.
+  std::vector<int64_t> delays = Delays(policy, /*seed=*/7);
+  // 4 attempts = the first try plus 3 retries, so exactly 3 delays.
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_EQ(delays[0], 200);
+  EXPECT_EQ(delays[1], 400);
+  EXPECT_EQ(delays[2], 800);
+}
+
+TEST(Backoff, DelayIsCappedAtMaxDelay) {
+  BackoffPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_delay_us = 100;
+  policy.max_delay_us = 500;
+  policy.multiplier = 10.0;
+  policy.jitter = 0.0;
+  std::vector<int64_t> delays = Delays(policy, /*seed=*/7);
+  ASSERT_EQ(delays.size(), 7u);
+  EXPECT_EQ(delays[0], 100);
+  for (size_t i = 1; i < delays.size(); ++i) {
+    EXPECT_EQ(delays[i], 500) << "retry " << i;
+  }
+}
+
+TEST(Backoff, JitterStaysInBandAndUnderCap) {
+  BackoffPolicy policy;
+  policy.max_attempts = 64;
+  policy.initial_delay_us = 1000;
+  policy.max_delay_us = 8000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  Backoff backoff(policy, /*seed=*/42);
+  int64_t base = policy.initial_delay_us;
+  bool saw_non_base = false;
+  while (std::optional<int64_t> d = backoff.NextDelayUs()) {
+    EXPECT_GE(*d, static_cast<int64_t>(base * (1.0 - policy.jitter)));
+    EXPECT_LE(*d, policy.max_delay_us);
+    if (*d != base) saw_non_base = true;
+    base = std::min<int64_t>(base * 2, policy.max_delay_us);
+  }
+  EXPECT_TRUE(saw_non_base);  // The jitter actually perturbs something.
+}
+
+TEST(Backoff, DeterministicForPolicyAndSeed) {
+  BackoffPolicy policy;  // Defaults, jitter on.
+  EXPECT_EQ(Delays(policy, 99), Delays(policy, 99));
+  EXPECT_NE(Delays(policy, 99), Delays(policy, 100));
+}
+
+TEST(Backoff, NoRetryPolicies) {
+  BackoffPolicy one;
+  one.max_attempts = 1;
+  EXPECT_EQ(Backoff(one).NextDelayUs(), std::nullopt);
+  BackoffPolicy zero;
+  zero.max_attempts = 0;  // Values < 1 behave as 1.
+  EXPECT_EQ(Backoff(zero).NextDelayUs(), std::nullopt);
+}
+
+TEST(Backoff, CountsFailures) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.failures(), 0);
+  ASSERT_TRUE(backoff.NextDelayUs().has_value());
+  ASSERT_TRUE(backoff.NextDelayUs().has_value());
+  EXPECT_FALSE(backoff.NextDelayUs().has_value());
+  EXPECT_EQ(backoff.failures(), 3);
+}
+
+// --- RetryTransientOp: the consumer of the policy in base/io. ---
+
+TEST(RetryTransientOp, RetriesTransientErrnoThenSucceeds) {
+  int calls = 0;
+  Status s = io::RetryTransientOp("io.retry.fsync", "test op", [&] {
+    if (++calls < 3) {
+      errno = EINTR;
+      return -1;
+    }
+    return 0;
+  });
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(calls, 3);  // Two transient failures were retried.
+}
+
+TEST(RetryTransientOp, PermanentErrnoFailsWithoutRetry) {
+  int calls = 0;
+  Status s = io::RetryTransientOp("io.retry.fsync", "test op", [&] {
+    ++calls;
+    errno = ENOSPC;
+    return -1;
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 1);  // ENOSPC is permanent: no second attempt.
+}
+
+TEST(RetryTransientOp, TransientFailureIsBoundedByAttemptBudget) {
+  int calls = 0;
+  Status s = io::RetryTransientOp("io.retry.fsync", "test op", [&] {
+    ++calls;
+    errno = EAGAIN;
+    return -1;
+  });
+  EXPECT_FALSE(s.ok());  // Surfaced instead of looping forever.
+  EXPECT_EQ(calls, 4);   // kPolicy.max_attempts in io.cc.
+}
+
+// The failpoint-driven proof for the durable-commit path: a transient
+// glitch at the fsync site is retried (and absorbed), a persistent one is
+// capped and surfaces as an error that leaves the destination intact.
+TEST(RetryTransientOp, AtomicWriteAbsorbsTransientFsyncGlitch) {
+  std::string path = ::testing::TempDir() + "/backoff_test_transient.txt";
+  ASSERT_TRUE(io::AtomicWriteFile(path, "before").ok());
+  {
+    // First two fsync attempts fail transiently, the third succeeds.
+    failpoints::Config glitch;
+    glitch.fire_count = 2;
+    failpoints::Scoped fp("io.retry.fsync", glitch);
+    ASSERT_TRUE(io::AtomicWriteFile(path, "after").ok());
+    EXPECT_EQ(failpoints::HitCount("io.retry.fsync"), 3);  // Retries ran.
+  }
+  EXPECT_EQ(*io::ReadFile(path), "after");
+  std::remove(path.c_str());
+}
+
+TEST(RetryTransientOp, AtomicWriteCapsPersistentFsyncFailure) {
+  std::string path = ::testing::TempDir() + "/backoff_test_persistent.txt";
+  ASSERT_TRUE(io::AtomicWriteFile(path, "intact").ok());
+  {
+    failpoints::Scoped fp("io.retry.fsync");  // Fires on every attempt.
+    Status s = io::AtomicWriteFile(path, "never lands");
+    EXPECT_FALSE(s.ok());
+    // Attempts were made, and exactly max_attempts of them: retries are
+    // bounded, not infinite.
+    EXPECT_EQ(failpoints::HitCount("io.retry.fsync"), 4);
+  }
+  EXPECT_EQ(*io::ReadFile(path), "intact");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(RetryTransientOp, RenameSiteIsRetriedToo) {
+  std::string path = ::testing::TempDir() + "/backoff_test_rename.txt";
+  {
+    failpoints::Config glitch;
+    glitch.fire_count = 1;
+    failpoints::Scoped fp("io.retry.rename", glitch);
+    ASSERT_TRUE(io::AtomicWriteFile(path, "renamed").ok());
+    EXPECT_EQ(failpoints::HitCount("io.retry.rename"), 2);
+  }
+  EXPECT_EQ(*io::ReadFile(path), "renamed");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dire

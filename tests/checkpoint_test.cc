@@ -149,6 +149,9 @@ TEST_F(CheckpointTest, RecoveryIsIdempotent) {
   Result<RecoverResult> first = RecoverDatabase(dir, program, kChainTc);
   ASSERT_TRUE(first.ok());
   std::string after_first = *io::ReadFile(dir + "/snapshot.dire");
+  // Release the single-writer LOCK: a data directory admits one live
+  // handle at a time, and recovery opens its own.
+  first->data_dir.reset();
   // A second recovery finds a completed checkpoint and re-derives nothing.
   Result<RecoverResult> second = RecoverDatabase(dir, program, kChainTc);
   ASSERT_TRUE(second.ok());

@@ -1,0 +1,128 @@
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "base/io.h"
+#include "storage/persist.h"
+
+namespace dire::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A PID that is certainly not alive: fork a child, let it exit, reap it.
+// (Immediate recycling of a just-reaped PID is not a realistic hazard for
+// the duration of one test.)
+pid_t DeadPid() {
+  pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return pid;
+}
+
+TEST(DataDirLock, SecondOpenFailsClosedWhileOwnerLives) {
+  std::string dir = FreshDir("persist_lock_live");
+  Result<std::unique_ptr<DataDir>> first = DataDir::Open(dir);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  Result<std::unique_ptr<DataDir>> second = DataDir::Open(dir);
+  ASSERT_FALSE(second.ok());
+  // The diagnostic names the owner and the remedy.
+  EXPECT_NE(second.status().message().find("is locked by running process"),
+            std::string::npos)
+      << second.status();
+  EXPECT_NE(second.status().message().find(std::to_string(::getpid())),
+            std::string::npos)
+      << second.status();
+  // Fail-closed: the owner's lock is untouched.
+  EXPECT_TRUE(io::FileExists((*first)->lock_path()));
+}
+
+TEST(DataDirLock, ReleasedOnCleanClose) {
+  std::string dir = FreshDir("persist_lock_release");
+  std::string lock_path;
+  {
+    Result<std::unique_ptr<DataDir>> d = DataDir::Open(dir);
+    ASSERT_TRUE(d.ok()) << d.status();
+    lock_path = (*d)->lock_path();
+    EXPECT_TRUE(io::FileExists(lock_path));
+  }
+  EXPECT_FALSE(io::FileExists(lock_path));
+  // And the directory opens again.
+  EXPECT_TRUE(DataDir::Open(dir).ok());
+}
+
+TEST(DataDirLock, StaleDeadPidLockIsBroken) {
+  std::string dir = FreshDir("persist_lock_stale");
+  ASSERT_TRUE(io::MakeDirs(dir).ok());
+  // Simulate a SIGKILLed previous owner: its LOCK file survives, its PID
+  // does not.
+  {
+    std::ofstream lock(dir + "/LOCK");
+    lock << DeadPid() << "\n";
+  }
+  Result<std::unique_ptr<DataDir>> d = DataDir::Open(dir);
+  ASSERT_TRUE(d.ok()) << d.status();  // Recovery succeeded, no manual step.
+  EXPECT_TRUE(io::FileExists((*d)->lock_path()));
+}
+
+TEST(DataDirLock, GarbledLockIsTreatedAsStale) {
+  std::string dir = FreshDir("persist_lock_garbled");
+  ASSERT_TRUE(io::MakeDirs(dir).ok());
+  {
+    std::ofstream lock(dir + "/LOCK");
+    lock << "not-a-pid";
+  }
+  EXPECT_TRUE(DataDir::Open(dir).ok());
+}
+
+TEST(DataDirRetract, RetractIsDurableAcrossReopen) {
+  std::string dir = FreshDir("persist_retract_durable");
+  {
+    Result<std::unique_ptr<DataDir>> d = DataDir::Open(dir);
+    ASSERT_TRUE(d.ok()) << d.status();
+    ASSERT_TRUE((*d)->AppendFact("e", {"a", "b"}).ok());
+    ASSERT_TRUE((*d)->AppendFact("e", {"b", "c"}).ok());
+    bool removed = false;
+    ASSERT_TRUE((*d)->RetractFact("e", {"a", "b"}, &removed).ok());
+    EXPECT_TRUE(removed);
+    // Retracting again reports absence without failing.
+    ASSERT_TRUE((*d)->RetractFact("e", {"a", "b"}, &removed).ok());
+    EXPECT_FALSE(removed);
+    // No checkpoint: durability must come from the WAL's R record alone.
+  }
+  Result<std::unique_ptr<DataDir>> reopened = DataDir::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->db()->DumpRelation("e"), "e(b,c)\n");
+}
+
+TEST(DataDirRetract, RetractAfterCheckpointReplaysOverSnapshot) {
+  std::string dir = FreshDir("persist_retract_snapshot");
+  {
+    Result<std::unique_ptr<DataDir>> d = DataDir::Open(dir);
+    ASSERT_TRUE(d.ok()) << d.status();
+    ASSERT_TRUE((*d)->AppendFact("e", {"a", "b"}).ok());
+    ASSERT_TRUE((*d)->Checkpoint().ok());  // Fact is in the snapshot now.
+    bool removed = false;
+    ASSERT_TRUE((*d)->RetractFact("e", {"a", "b"}, &removed).ok());
+    EXPECT_TRUE(removed);
+  }
+  Result<std::unique_ptr<DataDir>> reopened = DataDir::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  // The snapshot said present; the WAL's R record wins on replay.
+  EXPECT_EQ((*reopened)->db()->DumpRelation("e"), "");
+}
+
+}  // namespace
+}  // namespace dire::storage

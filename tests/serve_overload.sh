@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Deterministic overload end-to-end for `dire serve`:
+#
+#   Phase 1: saturate a --max-inflight=1 --max-queue=1 server with two SLEEP
+#   requests (one executing, one queued — observed via HEALTH, not timing),
+#   then assert further work is shed with OVERLOADED and that STATS'
+#   rejected_total matches the rejections the clients saw.
+#
+#   Phase 2: a server with a request deadline and a one-tuple budget answers
+#   an over-budget QUERY with a sound PARTIAL prefix and a too-slow request
+#   with a deadline ERROR, and counts both.
+#
+# Usage: serve_overload.sh /path/to/dire_cli
+set -u
+
+CLI="${1:?usage: serve_overload.sh /path/to/dire_cli}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/dire_serve_ovl.XXXXXX")"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+PROG="$WORK/tc.dl"
+cat > "$PROG" << 'EOF'
+t(X, Y) :- e(X, Z), t(Z, Y).
+t(X, Y) :- e(X, Y).
+EOF
+
+start_server() { # data_dir log [extra flags...]
+  local dir="$1" log="$2"
+  shift 2
+  rm -f "$WORK/port"
+  "$CLI" serve "$PROG" --data-dir "$dir" --port-file "$WORK/port" "$@" \
+      > "$log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 2000); do
+    [ -s "$WORK/port" ] && { PORT="$(cat "$WORK/port")"; break; }
+    kill -0 "$SERVER_PID" 2> /dev/null || fail "server died at startup: $(cat "$log")"
+    sleep 0.005
+  done
+  [ -n "$PORT" ] || fail "server never wrote its port file"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" 2> /dev/null
+  wait "$SERVER_PID" 2> /dev/null
+  SERVER_PID=""
+}
+
+request() { # line -> one response line
+  local line="$1" response
+  exec 3<> "/dev/tcp/127.0.0.1/$PORT" || return 1
+  printf '%s\n' "$line" >&3 || { exec 3>&-; return 1; }
+  IFS= read -r -t 15 response <&3 || { exec 3>&-; return 1; }
+  exec 3>&-
+  printf '%s\n' "$response"
+}
+
+# Full STATS body into a file.
+stats_into() { # file
+  exec 3<> "/dev/tcp/127.0.0.1/$PORT" || return 1
+  printf 'STATS\n' >&3
+  local line
+  : > "$1"
+  while IFS= read -r -t 15 line <&3; do
+    [ "$line" = "END" ] && break
+    printf '%s\n' "$line" >> "$1"
+  done
+  exec 3>&-
+}
+
+wait_ready() {
+  for _ in $(seq 1 2000); do
+    case "$(request HEALTH 2> /dev/null)" in "OK ready=1"*) return 0 ;; esac
+    kill -0 "$SERVER_PID" 2> /dev/null || return 1
+    sleep 0.005
+  done
+  return 1
+}
+
+# --- Phase 1: admission control sheds deterministically. ---------------------
+echo "--- phase 1: saturation and shedding"
+start_server "$WORK/shed" "$WORK/shed.log" \
+    --max-inflight 1 --max-queue 1 --retry-after-ms 40
+wait_ready || fail "shed server never became ready"
+
+# One SLEEP executes, one waits in the queue; their connections block until
+# the server answers, so run them in the background.
+(request "SLEEP 3000" > "$WORK/sleep1.out") &
+SLEEP1=$!
+(request "SLEEP 3000" > "$WORK/sleep2.out") &
+SLEEP2=$!
+
+# HEALTH is answered inline even at saturation; wait until both SLEEPs hold
+# their admission slots so the shed below is deterministic, not a race.
+saturated=0
+for _ in $(seq 1 2000); do
+  case "$(request HEALTH)" in
+    "OK ready=1 inflight=2"*) saturated=1; break ;;
+  esac
+  sleep 0.005
+done
+[ "$saturated" = 1 ] || fail "server never reached inflight=2"
+
+shed=0
+for _ in 1 2 3; do
+  response="$(request "QUERY t(a, X)")" || fail "shed request got no answer"
+  [ "$response" = "OVERLOADED retry-after-ms=40" ] \
+      || fail "expected OVERLOADED, got: $response"
+  shed=$((shed + 1))
+done
+
+stats_into "$WORK/shed.stats"
+grep -qx "rejected_total $shed" "$WORK/shed.stats" \
+    || fail "rejected_total does not match $shed observed rejections: $(cat "$WORK/shed.stats")"
+grep -qx "outstanding 2" "$WORK/shed.stats" \
+    || fail "expected 2 outstanding during saturation"
+
+wait "$SLEEP1" "$SLEEP2"
+grep -qx "OK slept=3000" "$WORK/sleep1.out" || fail "first SLEEP was disturbed"
+grep -qx "OK slept=3000" "$WORK/sleep2.out" || fail "queued SLEEP was disturbed"
+stop_server
+[ -e "$WORK/shed/LOCK" ] && fail "shed server leaked its LOCK"
+echo "    $shed requests shed; counters agree; sleeps finished untouched"
+
+# --- Phase 2: deadlines and tuple budgets degrade, gracefully. ---------------
+echo "--- phase 2: deadlines and partial results"
+start_server "$WORK/budget" "$WORK/budget.log" \
+    --request-timeout-ms 150 --request-max-tuples 1 --on-exhaustion=partial
+wait_ready || fail "budget server never became ready"
+
+first="$(request "ADD e(a, b)")"
+case "$first" in
+  "OK added=1" | "PARTIAL added=1"*) ;;
+  *) fail "unexpected first ADD response: $first" ;;
+esac
+second="$(request "ADD e(b, c)")"
+case "$second" in
+  "PARTIAL added=1 reason="*) ;;
+  *) fail "expected PARTIAL on over-budget re-derivation, got: $second" ;;
+esac
+
+# Two tuples under a one-tuple budget: a sound prefix, tagged PARTIAL.
+response="$(request "QUERY e(X, Y)")"
+case "$response" in
+  "PARTIAL 1 reason="*) ;;
+  *) fail "expected PARTIAL 1 on over-budget QUERY, got: $response" ;;
+esac
+
+# A request that cannot finish inside the deadline errors out and is counted.
+response="$(request "SLEEP 5000")"
+case "$response" in
+  "ERROR "*deadline*) ;;
+  *) fail "expected a deadline ERROR from SLEEP, got: $response" ;;
+esac
+
+stats_into "$WORK/budget.stats"
+grep -qx "timed_out_total 1" "$WORK/budget.stats" \
+    || fail "timed_out_total did not count the deadline trip"
+grep -Eqx "partial_total [1-9][0-9]*" "$WORK/budget.stats" \
+    || fail "partial_total did not count the degraded answers"
+stop_server
+[ -e "$WORK/budget/LOCK" ] && fail "budget server leaked its LOCK"
+echo "    deadline tripped and counted; partial prefix served and counted"
+
+echo "PASS: overload shed deterministically; degradation counted and bounded"

@@ -1,0 +1,425 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/obs.h"
+#include "server/protocol.h"
+#include "tests/test_util.h"
+
+namespace dire::server {
+namespace {
+
+constexpr std::string_view kTcProgram = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A blocking line-protocol client against 127.0.0.1:port.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& line) {
+    std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  // Reads one response line (without the newline).
+  std::string ReadLine() {
+    std::string line;
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return line;  // EOF mid-line: surface what we have.
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+  // One single-line request/response round trip.
+  std::string RoundTrip(const std::string& line) {
+    Send(line);
+    return ReadLine();
+  }
+
+  // A QUERY/STATS round trip: status line plus body lines up to END.
+  std::vector<std::string> RoundTripMulti(const std::string& line) {
+    Send(line);
+    std::vector<std::string> lines;
+    do {
+      lines.push_back(ReadLine());
+    } while (lines.back() != "END" && !lines.back().empty());
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+// Owns one in-process server: Run() on a background thread, torn down in
+// the destructor.
+class TestServer {
+ public:
+  explicit TestServer(ServerConfig config,
+                      std::string_view program_text = kTcProgram) {
+    config.host = "127.0.0.1";
+    config.port = 0;
+    Result<std::unique_ptr<Server>> created =
+        Server::Create(config, dire::testing::ParseOrDie(program_text),
+                       std::string(program_text));
+    EXPECT_TRUE(created.ok()) << created.status();
+    server_ = std::move(created).value();
+    runner_ = std::thread([this] { run_status_ = server_->Run(); });
+  }
+
+  ~TestServer() {
+    server_->Shutdown();
+    runner_.join();
+    EXPECT_TRUE(run_status_.ok()) << run_status_;
+  }
+
+  Server& server() { return *server_; }
+  int port() const { return server_->port(); }
+
+  void WaitReady() {
+    while (!server_->ready()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+  Status run_status_;
+};
+
+TEST(ServerProtocol, ParseRequestCoversVerbsAndRejectsGarbage) {
+  EXPECT_EQ(ParseRequest("STATS")->kind, Request::Kind::kStats);
+  EXPECT_EQ(ParseRequest("HEALTH")->kind, Request::Kind::kHealth);
+  EXPECT_EQ(ParseRequest("QUIT")->kind, Request::Kind::kQuit);
+  EXPECT_EQ(ParseRequest("SLEEP 25")->sleep_ms, 25);
+  EXPECT_EQ(ParseRequest("QUERY t(a, X)")->kind, Request::Kind::kQuery);
+  EXPECT_EQ(ParseRequest("ADD e(a, b)")->kind, Request::Kind::kAdd);
+  EXPECT_EQ(ParseRequest("RETRACT e(a, b)")->kind, Request::Kind::kRetract);
+
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("NOPE x").ok());
+  EXPECT_FALSE(ParseRequest("STATS now").ok());
+  EXPECT_FALSE(ParseRequest("SLEEP soon").ok());
+  EXPECT_FALSE(ParseRequest("QUERY ").ok());
+  EXPECT_FALSE(ParseRequest("ADD e(X, b)").ok());  // Writes must be ground.
+  EXPECT_FALSE(ParseRequest("RETRACT e(X, b)").ok());
+}
+
+TEST(ServerProtocol, StatusLines) {
+  EXPECT_EQ(OverloadedLine(50), "OVERLOADED retry-after-ms=50");
+  EXPECT_EQ(NotReadyLine(25), "NOTREADY retry-after-ms=25");
+  std::string error = ErrorLine(Status::InvalidArgument("multi\nline"));
+  EXPECT_EQ(error.find('\n'), std::string::npos);
+  EXPECT_EQ(error.rfind("ERROR ", 0), 0u);
+}
+
+TEST(Server, QueryAddRetractRoundTrip) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_roundtrip");
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "OK added=1");
+  EXPECT_EQ(client.RoundTrip("ADD e(b, c)"), "OK added=1");
+  EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "OK added=0");  // Idempotent.
+
+  std::vector<std::string> answer = client.RoundTripMulti("QUERY t(a, X)");
+  ASSERT_EQ(answer.size(), 4u);  // Status, two tuples, END.
+  EXPECT_EQ(answer[0], "OK 2");
+  EXPECT_EQ(answer[1], "t(a, b)");
+  EXPECT_EQ(answer[2], "t(a, c)");
+  EXPECT_EQ(answer[3], "END");
+
+  EXPECT_EQ(client.RoundTrip("RETRACT e(b, c)"), "OK removed=1");
+  EXPECT_EQ(client.RoundTrip("RETRACT e(b, c)"), "OK removed=0");
+  answer = client.RoundTripMulti("QUERY t(a, X)");
+  ASSERT_EQ(answer.size(), 3u);
+  EXPECT_EQ(answer[0], "OK 1");  // t(a, c) is gone with its support.
+  EXPECT_EQ(answer[1], "t(a, b)");
+
+  // Unknown relations answer empty rather than erroring.
+  answer = client.RoundTripMulti("QUERY nothing(X)");
+  EXPECT_EQ(answer[0], "OK 0");
+
+  EXPECT_EQ(client.RoundTrip("HEALTH").rfind("OK ready=1", 0), 0u);
+}
+
+TEST(Server, WritesToDerivedPredicatesAreRejected) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_derived");
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  std::string response = client.RoundTrip("ADD t(a, b)");
+  EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+  EXPECT_NE(response.find("derived by rules"), std::string::npos);
+  EXPECT_EQ(client.RoundTrip("RETRACT t(a, b)").rfind("ERROR ", 0), 0u);
+}
+
+TEST(Server, NotReadyWindowDuringRecovery) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_notready");
+  config.recovery_delay_ms_for_test = 500;
+  config.admission.retry_after_ms = 35;
+  TestServer ts(config);
+  // The listener is up before recovery finishes: probes answer, work is
+  // refused with a retry hint instead of blocking or failing opaquely.
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_FALSE(ts.server().ready());
+  EXPECT_EQ(client.RoundTrip("HEALTH").rfind("OK ready=0", 0), 0u);
+  EXPECT_EQ(client.RoundTrip("QUERY t(a, X)"), "NOTREADY retry-after-ms=35");
+  EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "NOTREADY retry-after-ms=35");
+
+  ts.WaitReady();
+  EXPECT_EQ(client.RoundTrip("HEALTH").rfind("OK ready=1", 0), 0u);
+  EXPECT_EQ(client.RoundTripMulti("QUERY t(a, X)")[0], "OK 0");
+}
+
+TEST(Server, OverloadShedsDeterministically) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_overload");
+  config.admission.max_inflight = 1;
+  config.admission.max_queue = 1;
+  config.admission.retry_after_ms = 40;
+  TestServer ts(config);
+  ts.WaitReady();
+
+  uint64_t rejected_before =
+      obs::GetCounter("dire_server_rejected_total", "",
+                      {{"reason", "overloaded"}})
+          ->value();
+
+  // Saturate: one SLEEP executing, one queued. SLEEP holds its admission
+  // slot exactly like a long query, without timing-dependent work.
+  Client executing(ts.port()), queued(ts.port());
+  ASSERT_TRUE(executing.connected());
+  ASSERT_TRUE(queued.connected());
+  executing.Send("SLEEP 2000");
+  queued.Send("SLEEP 2000");
+  // Admission outstanding is externally visible via HEALTH; wait until both
+  // sleeps hold their slots so the next request is deterministically shed.
+  Client prober(ts.port());
+  ASSERT_TRUE(prober.connected());
+  while (prober.RoundTrip("HEALTH").rfind("OK ready=1 inflight=2", 0) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Everything admitted is spoken for: shed, don't queue unboundedly.
+  int observed_overloaded = 0;
+  for (int i = 0; i < 3; ++i) {
+    Client shed_client(ts.port());
+    ASSERT_TRUE(shed_client.connected());
+    std::string response = shed_client.RoundTrip("QUERY t(a, X)");
+    EXPECT_EQ(response, "OVERLOADED retry-after-ms=40");
+    ++observed_overloaded;
+  }
+
+  // HEALTH and STATS stay responsive under full saturation, and the
+  // rejection counters agree with what clients observed.
+  std::vector<std::string> stats = prober.RoundTripMulti("STATS");
+  bool saw_rejected = false;
+  for (const std::string& line : stats) {
+    if (line.rfind("rejected_total ", 0) == 0) {
+      saw_rejected = true;
+      EXPECT_EQ(line, "rejected_total " + std::to_string(observed_overloaded));
+    }
+  }
+  EXPECT_TRUE(saw_rejected);
+  uint64_t rejected_after =
+      obs::GetCounter("dire_server_rejected_total", "",
+                      {{"reason", "overloaded"}})
+          ->value();
+  EXPECT_EQ(rejected_after - rejected_before,
+            static_cast<uint64_t>(observed_overloaded));
+
+  // The sleeps complete normally; their admission slots were never stolen.
+  EXPECT_EQ(executing.ReadLine(), "OK slept=2000");
+  EXPECT_EQ(queued.ReadLine(), "OK slept=2000");
+}
+
+TEST(Server, RequestDeadlineTripsToTimeout) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_deadline");
+  config.request_timeout_ms = 50;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  std::string response = client.RoundTrip("SLEEP 5000");
+  EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+  EXPECT_NE(response.find("deadline"), std::string::npos) << response;
+
+  std::vector<std::string> stats = client.RoundTripMulti("STATS");
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "timed_out_total 1"),
+            stats.end());
+}
+
+TEST(Server, TupleBudgetDegradesToPartial) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_partial");
+  config.request_max_tuples = 1;
+  config.partial_on_exhaustion = true;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  // The writes themselves degrade to PARTIAL once re-derivation produces
+  // more than the budget — the commit is durable either way.
+  std::string first = client.RoundTrip("ADD e(a, b)");
+  EXPECT_TRUE(first.rfind("OK added=1", 0) == 0 ||
+              first.rfind("PARTIAL added=1", 0) == 0)
+      << first;
+  std::string second = client.RoundTrip("ADD e(b, c)");
+  EXPECT_EQ(second.rfind("PARTIAL added=1 reason=", 0), 0u) << second;
+
+  // A two-tuple relation under a one-tuple budget: a sound prefix plus the
+  // PARTIAL marker, not an error and not silence.
+  std::vector<std::string> answer = client.RoundTripMulti("QUERY e(X, Y)");
+  ASSERT_EQ(answer.size(), 3u);
+  EXPECT_EQ(answer[0].rfind("PARTIAL 1 reason=", 0), 0u) << answer[0];
+  EXPECT_EQ(answer[1], "e(a, b)");
+  EXPECT_EQ(answer[2], "END");
+
+  std::vector<std::string> stats = client.RoundTripMulti("STATS");
+  bool saw_partial = false;
+  for (const std::string& line : stats) {
+    if (line.rfind("partial_total ", 0) == 0) {
+      saw_partial = true;
+      EXPECT_NE(line, "partial_total 0");
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST(Server, TupleBudgetErrorsWhenPartialNotRequested) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_exhaust_error");
+  config.request_max_tuples = 1;
+  config.partial_on_exhaustion = false;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+  client.RoundTrip("ADD e(a, b)");
+  client.RoundTrip("ADD e(b, c)");
+  std::string response = client.RoundTrip("QUERY e(X, Y)");
+  EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+}
+
+TEST(Server, ExpensiveQueriesAreRejectedPermanently) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_pricing");
+  config.admission.max_query_cost = 2;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  for (const char* fact :
+       {"ADD e(a, b)", "ADD e(b, c)", "ADD e(c, d)", "ADD e(d, f)"}) {
+    EXPECT_EQ(client.RoundTrip(fact).substr(0, 2), "OK");
+  }
+  // The full scan of e is now priced above the ceiling: a permanent ERROR
+  // (retrying won't make the query cheaper), not OVERLOADED.
+  std::string response = client.RoundTrip("QUERY e(X, Y)");
+  EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+  EXPECT_NE(response.find("query too expensive"), std::string::npos);
+
+  std::vector<std::string> stats = client.RoundTripMulti("STATS");
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "too_expensive_total 1"),
+            stats.end());
+}
+
+TEST(Server, StatePersistsAcrossServerGenerations) {
+  std::string dir = FreshDir("server_test_generations");
+  {
+    ServerConfig config;
+    config.data_dir = dir;
+    TestServer ts(config);
+    ts.WaitReady();
+    Client client(ts.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "OK added=1");
+    EXPECT_EQ(client.RoundTrip("ADD e(b, c)"), "OK added=1");
+  }  // Graceful shutdown: drains, folds the WAL, releases the lock.
+  {
+    ServerConfig config;
+    config.data_dir = dir;
+    TestServer ts(config);
+    ts.WaitReady();
+    Client client(ts.port());
+    ASSERT_TRUE(client.connected());
+    std::vector<std::string> answer = client.RoundTripMulti("QUERY t(a, X)");
+    ASSERT_EQ(answer.size(), 4u);
+    EXPECT_EQ(answer[0], "OK 2");  // Fixpoint rebuilt from recovered facts.
+    EXPECT_EQ(answer[1], "t(a, b)");
+    EXPECT_EQ(answer[2], "t(a, c)");
+  }
+}
+
+TEST(Server, QuitClosesOnlyThatConnection) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_quit");
+  TestServer ts(config);
+  ts.WaitReady();
+  Client quitter(ts.port());
+  ASSERT_TRUE(quitter.connected());
+  quitter.Send("QUIT");
+  EXPECT_EQ(quitter.ReadLine(), "");  // Server closed the connection.
+
+  Client survivor(ts.port());
+  ASSERT_TRUE(survivor.connected());
+  EXPECT_EQ(survivor.RoundTrip("HEALTH").rfind("OK ready=1", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dire::server

@@ -159,6 +159,28 @@ TEST(Database, AddFactRejectsVariables) {
   EXPECT_FALSE(db.AddFact(atom).ok());
 }
 
+TEST(Database, RemoveRowDeletesExactlyOneTuple) {
+  Database db;
+  ast::Program p = dire::testing::ParseOrDie("e(a, b). e(b, c).");
+  ASSERT_TRUE(db.LoadFacts(p).ok());
+
+  Result<bool> removed = db.RemoveRow("e", {"a", "b"});
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_TRUE(*removed);
+  EXPECT_EQ(db.DumpRelation("e"), "e(b,c)\n");
+  // The index answers consistently after the rebuild.
+  Relation* e = db.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->Probe(0, db.symbols().Intern("a")).empty());
+  EXPECT_EQ(e->Probe(0, db.symbols().Intern("b")).size(), 1u);
+
+  // Absent tuple, absent relation: false, not an error.
+  EXPECT_FALSE(*db.RemoveRow("e", {"a", "b"}));
+  EXPECT_FALSE(*db.RemoveRow("nope", {"x"}));
+  // Arity mismatch is caller error.
+  EXPECT_FALSE(db.RemoveRow("e", {"a"}).ok());
+}
+
 TEST(Csv, LoadAndDumpRoundTrip) {
   Database db;
   ASSERT_TRUE(LoadCsv(&db, "e", "a, b\n# comment\n\nb,c\n").ok());

@@ -200,5 +200,59 @@ TEST(Wal, FactRecordRoundTrip) {
   EXPECT_FALSE(DecodeFactRecord("").ok());
 }
 
+TEST(Wal, RetractRecordRoundTrip) {
+  std::string payload = EncodeRetractRecord("edge", {"a", "with\ttab"});
+  // The op-aware decoder sees the retraction.
+  Result<WalRecord> record = DecodeWalRecord(payload);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_EQ(record->op, WalRecord::Op::kRetract);
+  EXPECT_EQ(record->relation, "edge");
+  ASSERT_EQ(record->values.size(), 2u);
+  EXPECT_EQ(record->values[0], "a");
+  EXPECT_EQ(record->values[1], "with\ttab");
+  // The insert-only decoder refuses it rather than misapplying it.
+  EXPECT_FALSE(DecodeFactRecord(payload).ok());
+}
+
+TEST(Wal, WalRecordDecodesBothOps) {
+  Result<WalRecord> insert =
+      DecodeWalRecord(EncodeFactRecord("node", {"x"}));
+  ASSERT_TRUE(insert.ok()) << insert.status();
+  EXPECT_EQ(insert->op, WalRecord::Op::kInsert);
+  EXPECT_EQ(insert->relation, "node");
+
+  EXPECT_FALSE(DecodeWalRecord("Q\tunknown-op").ok());
+  EXPECT_FALSE(DecodeWalRecord("").ok());
+}
+
+TEST(Wal, TransientSyncGlitchIsRetriedUnderBackoff) {
+  std::string path = TempPath("wal_test_retry_sync.log");
+  std::remove(path.c_str());
+  Result<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  {
+    // Two transient fsync failures, then success: the append must not
+    // surface them to the committer.
+    failpoints::Config glitch;
+    glitch.fire_count = 2;
+    failpoints::Scoped fp("wal.retry.sync", glitch);
+    ASSERT_TRUE((*wal)->Append("survives-glitch").ok());
+    EXPECT_EQ(failpoints::HitCount("wal.retry.sync"), 3);
+  }
+  {
+    // A persistent failure is capped at the attempt budget and surfaces.
+    failpoints::Scoped fp("wal.retry.sync");
+    EXPECT_FALSE((*wal)->Append("never-durable").ok());
+    EXPECT_EQ(failpoints::HitCount("wal.retry.sync"), 4);
+  }
+  // The glitch-surviving record replays; the failed one is at worst a torn
+  // tail (it was written before the sync, so it may well be intact too —
+  // only its durability was never confirmed).
+  std::vector<std::string> payloads = ReplayAll(path);
+  ASSERT_GE(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "survives-glitch");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace dire::storage

@@ -70,6 +70,32 @@
 //                         then resume evaluation from the checkpointed
 //                         stratum and finish the fixpoint
 //
+// Serving (long-lived, overload-safe server; see src/server/server.h and
+// DESIGN.md "Serving & overload behavior"):
+//   dire_cli serve PROGRAM.dl --data-dir DIR [--listen HOST:PORT]
+//     --listen HOST:PORT        IPv4 listen address (default 127.0.0.1:0;
+//                               port 0 = kernel-assigned, printed on stdout)
+//     --port-file FILE          also write the bound port to FILE (tests)
+//     --max-inflight N          concurrent request executions (default 4)
+//     --max-queue N             admitted requests allowed to wait beyond the
+//                               inflight ones (default 16); anything beyond
+//                               is shed with OVERLOADED, not delayed
+//     --retry-after-ms N        backoff hint in OVERLOADED/NOTREADY lines
+//     --max-query-cost N        refuse queries priced above N estimated
+//                               rows scanned (0 = unpriced)
+//     --request-timeout-ms N    per-request deadline (ExecutionGuard)
+//     --request-max-tuples N    per-request tuple budget
+//     --on-exhaustion=partial   answer guard-tripped queries with PARTIAL +
+//                               the sound prefix instead of ERROR
+//     --checkpoint-every-writes N
+//                               fold the WAL into a fresh snapshot every N
+//                               durable writes (default 32; plus once at
+//                               SIGTERM shutdown)
+//     --threads N               worker threads inside each evaluation
+//     --crash-at SITE[:SKIP]    chaos testing: SIGKILL the process at the
+//                               named failpoint site's (SKIP+1)-th hit,
+//                               exactly like a power loss there
+//
 // Observability (recognized anywhere, both forms):
 //   --trace-out=FILE      write a Chrome trace_event JSON of the whole run
 //                         (open in Perfetto / chrome://tracing)
@@ -82,6 +108,8 @@
 // Example:
 //   dire_cli examples.dl --analyze buys --rewrite buys --eval --dump buys
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,14 +121,17 @@
 #include <string>
 #include <vector>
 
+#include "base/failpoints.h"
 #include "base/log.h"
 #include "base/obs.h"
+#include "base/signal.h"
 #include "core/related_work.h"
 #include "dire.h"
 #include "eval/checkpoint.h"
 #include "eval/explain.h"
 #include "eval/magic.h"
 #include "eval/provenance.h"
+#include "server/server.h"
 #include "storage/persist.h"
 
 namespace {
@@ -199,7 +230,15 @@ int Usage() {
                "[--log-level=LEVEL] [--log-json]\n"
                "   or: dire_cli recover PROGRAM.dl --data-dir DIR "
                "[--checkpoint-every-rounds N] [--naive] [--threads N] "
-               "[--dump PRED]\n");
+               "[--dump PRED]\n"
+               "   or: dire_cli serve PROGRAM.dl --data-dir DIR "
+               "[--listen HOST:PORT] [--port-file FILE]\n"
+               "       [--max-inflight N] [--max-queue N] "
+               "[--retry-after-ms N] [--max-query-cost N]\n"
+               "       [--request-timeout-ms N] [--request-max-tuples N] "
+               "[--on-exhaustion={error,partial}]\n"
+               "       [--checkpoint-every-writes N] [--threads N] "
+               "[--crash-at SITE[:SKIP]]\n");
   return 2;
 }
 
@@ -416,6 +455,137 @@ int RunRecover(int argc, char** argv, bool want_stats) {
   return 0;
 }
 
+// `dire_cli serve PROGRAM.dl --data-dir DIR [...]`: recover the durable
+// database, then serve the line-framed TCP protocol until SIGTERM/SIGINT.
+int RunServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string program_text = buffer.str();
+  dire::Result<dire::ast::Program> program =
+      dire::parser::ParseProgram(program_text);
+  if (!program.ok()) return Fail(program.status());
+
+  dire::server::ServerConfig config;
+  std::string port_file;
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--data-dir") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage();
+      config.data_dir = dir;
+    } else if (flag == "--listen") {
+      const char* addr = next();
+      if (addr == nullptr) return Usage();
+      std::string text = addr;
+      size_t colon = text.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --listen needs HOST:PORT\n");
+        return Usage();
+      }
+      int64_t port = ParseCount(text.c_str() + colon + 1);
+      if (port < 0 || port > 65535) return Usage();
+      config.host = text.substr(0, colon);
+      config.port = static_cast<int>(port);
+    } else if (flag == "--port-file") {
+      const char* path = next();
+      if (path == nullptr) return Usage();
+      port_file = path;
+    } else if (flag == "--max-inflight") {
+      int64_t v = ParseCount(next());
+      if (v < 1) return Usage();
+      config.admission.max_inflight = static_cast<int>(v);
+    } else if (flag == "--max-queue") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.admission.max_queue = static_cast<int>(v);
+    } else if (flag == "--retry-after-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.admission.retry_after_ms = static_cast<int>(v);
+    } else if (flag == "--max-query-cost") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.admission.max_query_cost = static_cast<double>(v);
+    } else if (flag == "--request-timeout-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.request_timeout_ms = v;
+    } else if (flag == "--request-max-tuples") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.request_max_tuples = static_cast<uint64_t>(v);
+    } else if (flag == "--on-exhaustion=error") {
+      config.partial_on_exhaustion = false;
+    } else if (flag == "--on-exhaustion=partial") {
+      config.partial_on_exhaustion = true;
+    } else if (flag == "--checkpoint-every-writes") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.checkpoint_every_writes = static_cast<int>(v);
+    } else if (flag == "--threads") {
+      int64_t v = ParseCount(next());
+      if (v < 1) return Usage();
+      config.eval_threads = static_cast<int>(v);
+    } else if (flag == "--crash-at") {
+      const char* site = next();
+      if (site == nullptr) return Usage();
+#ifdef DIRE_FAILPOINTS_ENABLED
+      std::string text = site;
+      dire::failpoints::Config fp;
+      fp.crash = true;
+      size_t colon = text.rfind(':');
+      if (colon != std::string::npos) {
+        int64_t skip = ParseCount(text.c_str() + colon + 1);
+        if (skip < 0) return Usage();
+        fp.skip = static_cast<int>(skip);
+        text.resize(colon);
+      }
+      dire::failpoints::Enable(text, fp);
+#else
+      std::fprintf(stderr,
+                   "error: --crash-at needs a -DDIRE_FAILPOINTS=ON build\n");
+      return 1;
+#endif
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (config.data_dir.empty()) {
+    std::fprintf(stderr, "error: serve requires --data-dir\n");
+    return Usage();
+  }
+
+  dire::signals::InstallShutdownHandlers();
+  dire::Result<std::unique_ptr<dire::server::Server>> server =
+      dire::server::Server::Create(std::move(config), std::move(*program),
+                                   program_text);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("dire serve: listening on port %d (pid %d)\n",
+              (*server)->port(), static_cast<int>(::getpid()));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    out << (*server)->port() << "\n";
+  }
+  dire::Status run = (*server)->Run();
+  if (!run.ok()) return Fail(run);
+  return 0;
+}
+
 }  // namespace
 
 int main(int raw_argc, char** raw_argv) {
@@ -429,6 +599,9 @@ int main(int raw_argc, char** raw_argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "recover") == 0) {
     return RunRecover(argc, argv, obs_flags.stats);
+  }
+  if (std::strcmp(argv[1], "serve") == 0) {
+    return RunServe(argc, argv);
   }
 
   std::ifstream in(argv[1]);
