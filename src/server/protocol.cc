@@ -31,6 +31,24 @@ Status RequireGround(const ast::Atom& atom, const char* verb) {
   return Status::Ok();
 }
 
+// Parses a "key=<u64>" token; nullopt unless the key matches and the value
+// is a clean decimal.
+std::optional<uint64_t> ParseKeyU64(std::string_view token,
+                                    std::string_view key) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return std::nullopt;
+  }
+  std::string_view digits = token.substr(key.size() + 1);
+  if (digits.empty() || digits.size() > 19) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<Request> ParseRequest(std::string_view line) {
@@ -61,6 +79,35 @@ Result<Request> ParseRequest(std::string_view line) {
     }
     req.kind = Request::Kind::kSleep;
     req.sleep_ms = *ms;
+    return req;
+  }
+  if (verb == "REPLICATE") {
+    std::vector<std::string> tokens = Split(rest, ' ');
+    std::optional<uint64_t> lsn;
+    std::optional<uint64_t> epoch;
+    if (tokens.size() == 2) {
+      lsn = ParseKeyU64(tokens[0], "lsn");
+      epoch = ParseKeyU64(tokens[1], "epoch");
+    }
+    if (!lsn || !epoch) {
+      return Status::InvalidArgument(
+          "REPLICATE needs 'lsn=<n> epoch=<n>' arguments");
+    }
+    req.kind = Request::Kind::kReplicate;
+    req.repl_lsn = *lsn;
+    req.repl_epoch = *epoch;
+    return req;
+  }
+  if (verb == "PROMOTE") {
+    req.kind = Request::Kind::kPromote;
+    if (!rest.empty()) {
+      std::optional<uint64_t> epoch = ParseKeyU64(rest, "epoch");
+      if (!epoch || *epoch == 0) {
+        return Status::InvalidArgument(
+            "PROMOTE takes an optional 'epoch=<n>' argument (n > 0)");
+      }
+      req.promote_epoch = *epoch;
+    }
     return req;
   }
   if (verb == "QUERY" || verb == "ADD" || verb == "RETRACT") {
@@ -99,6 +146,23 @@ std::string OverloadedLine(int retry_after_ms) {
 
 std::string NotReadyLine(int retry_after_ms) {
   return "NOTREADY retry-after-ms=" + std::to_string(retry_after_ms);
+}
+
+std::string ReadonlyLine(const std::string& leader) {
+  return "READONLY leader=" + (leader.empty() ? "unknown" : leader);
+}
+
+int JitteredRetryAfterMs(int base_ms, uint64_t seed, uint64_t sequence) {
+  if (base_ms <= 0) return base_ms;
+  // splitmix64: cheap, stateless, and well mixed even for tiny inputs.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (sequence + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  // Spread over [base/2, 3*base/2]; width is base_ms+1 so both ends land.
+  int64_t lo = base_ms - base_ms / 2;
+  int64_t width = static_cast<int64_t>(base_ms) + 1;
+  return static_cast<int>(lo + static_cast<int64_t>(z % width));
 }
 
 std::string ErrorLine(const Status& status) {

@@ -1,6 +1,7 @@
 #ifndef DIRE_SERVER_PROTOCOL_H_
 #define DIRE_SERVER_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,19 @@
 //                     deadline (load-testing aid: makes saturation and
 //                     timeout behavior deterministic to drive externally)
 //   QUIT              close this connection
+//   REPLICATE lsn=<L> epoch=<E>
+//                     turn this connection into a replication stream: the
+//                     server answers "STREAM epoch=<E> lsn=<L>" (resuming
+//                     after the follower's lsn) or "SNAPSHOT epoch=<E>
+//                     lsn=<L> bytes=<K>" followed by K raw snapshot bytes,
+//                     then ships "REC <epoch> <lsn> <crc32c-hex> <payload>"
+//                     lines as writes commit, with "PING epoch=<E> lsn=<L>"
+//                     heartbeats when idle; the follower sends "ACK lsn=<L>"
+//                     lines back after each durable apply
+//   PROMOTE [epoch=<N>]
+//                     promote this (follower) server to primary at epoch N
+//                     (default: its current epoch + 1); answers
+//                     "OK promoted epoch=<E> lsn=<L>"
 //
 // Response status lines:
 //   OK ...                         request succeeded ("OK <n>" for QUERY:
@@ -38,16 +52,39 @@
 //   OVERLOADED retry-after-ms=<n>  admission control shed this request;
 //                                  retry after the hinted backoff
 //   NOTREADY retry-after-ms=<n>    recovery/startup has not finished
+//   READONLY leader=<addr>         this server is a follower; writes must
+//                                  go to the primary at <addr>
 //   ERROR <message>                malformed request or execution failure
+//
+// The retry-after-ms hints of OVERLOADED and NOTREADY carry deterministic
+// per-response jitter (seeded, so tests can predict it): a thundering herd
+// of shed clients that all obey the hint would otherwise return in
+// lockstep and be shed again together.
 namespace dire::server {
 
 struct Request {
-  enum class Kind { kQuery, kAdd, kRetract, kStats, kHealth, kSleep, kQuit };
+  enum class Kind {
+    kQuery,
+    kAdd,
+    kRetract,
+    kStats,
+    kHealth,
+    kSleep,
+    kQuit,
+    kReplicate,
+    kPromote,
+  };
   Kind kind = Kind::kHealth;
   // The query pattern (kQuery) or ground fact (kAdd / kRetract).
   ast::Atom atom;
   // kSleep only: how long to hold the worker slot.
   int64_t sleep_ms = 0;
+  // kReplicate only: where the follower's durable state stands. epoch 0
+  // declares "my state is untrustworthy; send a snapshot".
+  uint64_t repl_lsn = 0;
+  uint64_t repl_epoch = 0;
+  // kPromote only: the epoch to promote into; 0 picks current epoch + 1.
+  uint64_t promote_epoch = 0;
 };
 
 // Parses one request line (without its trailing newline). ADD and RETRACT
@@ -64,7 +101,14 @@ std::string RenderTuple(const storage::Database& db,
 // Response-line builders (the '\n' is appended by the connection writer).
 std::string OverloadedLine(int retry_after_ms);
 std::string NotReadyLine(int retry_after_ms);
+std::string ReadonlyLine(const std::string& leader);
 std::string ErrorLine(const Status& status);
+
+// Deterministic retry-after jitter: maps (seed, sequence) to a value in
+// [base_ms/2, 3*base_ms/2] via a splitmix64 hash. Pure, so a test that
+// knows the server's seed and response ordinal can predict the hint
+// exactly, while distinct shed clients still spread out.
+int JitteredRetryAfterMs(int base_ms, uint64_t seed, uint64_t sequence);
 
 }  // namespace dire::server
 

@@ -1,0 +1,484 @@
+#include "server/replication.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include "base/io.h"
+#include "base/log.h"
+#include "base/string_util.h"
+
+namespace dire::server {
+
+namespace {
+
+// Ceiling on one buffered stream line: a REC line wrapping a maximal WAL
+// record (64 MiB) plus its header, with headroom.
+constexpr size_t kMaxStreamLineBytes = (64u << 20) + 4096;
+
+std::optional<uint64_t> ParseU64(std::string_view text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
+std::optional<uint64_t> ParseKeyU64(std::string_view token,
+                                    std::string_view key) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return std::nullopt;
+  }
+  return ParseU64(token.substr(key.size() + 1));
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatRecLine(uint64_t epoch, uint64_t lsn,
+                          std::string_view payload) {
+  std::string out = StrFormat("REC %llu %llu %s ",
+                              static_cast<unsigned long long>(epoch),
+                              static_cast<unsigned long long>(lsn),
+                              io::CrcToHex(io::Crc32c(payload)).c_str());
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<RecLine> ParseRecLine(std::string_view line) {
+  // REC <epoch> <lsn> <crc> <payload>; the payload is everything after the
+  // fourth space and may itself contain spaces (never newlines).
+  if (!StartsWith(line, "REC ")) {
+    return Status::Corruption("not a REC line");
+  }
+  std::string_view rest = line.substr(4);
+  size_t s1 = rest.find(' ');
+  if (s1 == std::string_view::npos) {
+    return Status::Corruption("malformed REC line");
+  }
+  size_t s2 = rest.find(' ', s1 + 1);
+  if (s2 == std::string_view::npos) {
+    return Status::Corruption("malformed REC line");
+  }
+  size_t s3 = rest.find(' ', s2 + 1);
+  if (s3 == std::string_view::npos) {
+    return Status::Corruption("malformed REC line");
+  }
+  std::optional<uint64_t> epoch = ParseU64(rest.substr(0, s1));
+  std::optional<uint64_t> lsn = ParseU64(rest.substr(s1 + 1, s2 - s1 - 1));
+  if (!epoch || !lsn) {
+    return Status::Corruption("REC line carries a non-numeric epoch/lsn");
+  }
+  DIRE_ASSIGN_OR_RETURN(uint32_t want_crc,
+                        io::CrcFromHex(rest.substr(s2 + 1, s3 - s2 - 1)));
+  std::string_view payload = rest.substr(s3 + 1);
+  if (io::Crc32c(payload) != want_crc) {
+    return Status::Corruption(
+        StrFormat("REC payload checksum mismatch at lsn %llu",
+                  static_cast<unsigned long long>(*lsn)));
+  }
+  RecLine rec;
+  rec.epoch = *epoch;
+  rec.lsn = *lsn;
+  rec.payload = std::string(payload);
+  return rec;
+}
+
+std::string FormatAckLine(uint64_t lsn) {
+  return "ACK lsn=" + std::to_string(lsn);
+}
+
+Result<uint64_t> ParseAckLine(std::string_view line) {
+  std::string_view trimmed = StripWhitespace(line);
+  if (!StartsWith(trimmed, "ACK ")) {
+    return Status::Corruption("not an ACK line");
+  }
+  std::optional<uint64_t> lsn = ParseKeyU64(trimmed.substr(4), "lsn");
+  if (!lsn) return Status::Corruption("malformed ACK line");
+  return *lsn;
+}
+
+std::string FormatPingLine(uint64_t epoch, uint64_t lsn) {
+  return StrFormat("PING epoch=%llu lsn=%llu",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(lsn));
+}
+
+Result<PingLine> ParsePingLine(std::string_view line) {
+  std::vector<std::string> tokens = Split(StripWhitespace(line), ' ');
+  if (tokens.size() != 3 || tokens[0] != "PING") {
+    return Status::Corruption("not a PING line");
+  }
+  std::optional<uint64_t> epoch = ParseKeyU64(tokens[1], "epoch");
+  std::optional<uint64_t> lsn = ParseKeyU64(tokens[2], "lsn");
+  if (!epoch || !lsn) return Status::Corruption("malformed PING line");
+  PingLine ping;
+  ping.epoch = *epoch;
+  ping.lsn = *lsn;
+  return ping;
+}
+
+std::string FormatStreamLine(uint64_t epoch, uint64_t lsn) {
+  return StrFormat("STREAM epoch=%llu lsn=%llu",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(lsn));
+}
+
+std::string FormatSnapshotLine(uint64_t epoch, uint64_t lsn,
+                               uint64_t bytes) {
+  return StrFormat("SNAPSHOT epoch=%llu lsn=%llu bytes=%llu",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(lsn),
+                   static_cast<unsigned long long>(bytes));
+}
+
+Result<StreamHeader> ParseStreamHeader(std::string_view line) {
+  std::vector<std::string> tokens = Split(StripWhitespace(line), ' ');
+  StreamHeader header;
+  if (tokens.size() == 3 && tokens[0] == "STREAM") {
+    std::optional<uint64_t> epoch = ParseKeyU64(tokens[1], "epoch");
+    std::optional<uint64_t> lsn = ParseKeyU64(tokens[2], "lsn");
+    if (!epoch || !lsn) {
+      return Status::Corruption("malformed STREAM header");
+    }
+    header.epoch = *epoch;
+    header.lsn = *lsn;
+    return header;
+  }
+  if (tokens.size() == 4 && tokens[0] == "SNAPSHOT") {
+    std::optional<uint64_t> epoch = ParseKeyU64(tokens[1], "epoch");
+    std::optional<uint64_t> lsn = ParseKeyU64(tokens[2], "lsn");
+    std::optional<uint64_t> bytes = ParseKeyU64(tokens[3], "bytes");
+    if (!epoch || !lsn || !bytes) {
+      return Status::Corruption("malformed SNAPSHOT header");
+    }
+    header.snapshot = true;
+    header.epoch = *epoch;
+    header.lsn = *lsn;
+    header.snapshot_bytes = *bytes;
+    return header;
+  }
+  return Status::Corruption("replication handshake got '" +
+                            std::string(StripWhitespace(line)) + "'");
+}
+
+Result<int> DialTcp(const std::string& target) {
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size()) {
+    return Status::InvalidArgument("replication target must be host:port, "
+                                   "got '" +
+                                   target + "'");
+  }
+  std::string host = target.substr(0, colon);
+  std::optional<uint64_t> port = ParseU64(target.substr(colon + 1));
+  if (!port || *port == 0 || *port > 65535) {
+    return Status::InvalidArgument("bad port in replication target '" +
+                                   target + "'");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(*port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 host: '" + host +
+                                   "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("cannot create socket: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed = Status::Internal("cannot connect to " + target + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  return fd;
+}
+
+Result<bool> LineReader::ReadLine(int timeout_ms, std::string* line) {
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (buffer_.size() > kMaxStreamLineBytes) {
+      return Status::Corruption("replication stream line exceeds the size "
+                                "limit");
+    }
+    pollfd p{fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("replication poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) return false;
+    char chunk[65536];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::Internal("replication peer closed the "
+                                        "connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("replication recv failed: ") +
+                              std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status LineReader::ReadBytes(size_t n, int timeout_ms,
+                             const std::function<bool()>& keep_waiting,
+                             std::string* out) {
+  out->clear();
+  if (buffer_.size() >= n) {
+    out->assign(buffer_, 0, n);
+    buffer_.erase(0, n);
+    return Status::Ok();
+  }
+  out->swap(buffer_);
+  while (out->size() < n) {
+    if (!keep_waiting()) {
+      return Status::Cancelled("replication transfer aborted");
+    }
+    pollfd p{fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("replication poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) continue;
+    char chunk[65536];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) {
+      return Status::Internal("replication peer closed mid-transfer");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("replication recv failed: ") +
+                              std::strerror(errno));
+    }
+    size_t want = n - out->size();
+    size_t take = std::min(static_cast<size_t>(got), want);
+    out->append(chunk, take);
+    if (static_cast<size_t>(got) > take) {
+      buffer_.append(chunk + take, static_cast<size_t>(got) - take);
+    }
+  }
+  return Status::Ok();
+}
+
+ReplicationHub::ReplicationHub(int heartbeat_ms)
+    : heartbeat_ms_(heartbeat_ms > 0 ? heartbeat_ms : 500) {}
+
+ReplicationHub::~ReplicationHub() { Stop(); }
+
+uint64_t ReplicationHub::Attach(std::vector<std::string> preload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  auto session = std::make_shared<Session>();
+  for (std::string& chunk : preload) {
+    session->outbox.push_back(std::move(chunk));
+  }
+  sessions_.emplace(id, std::move(session));
+  work_cv_.notify_all();
+  return id;
+}
+
+void ReplicationHub::Advance(uint64_t epoch, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  lsn_ = lsn;
+}
+
+void ReplicationHub::Publish(uint64_t epoch, uint64_t lsn,
+                             std::string_view payload) {
+  std::string line = FormatRecLine(epoch, lsn, payload);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  lsn_ = lsn;
+  for (auto& [id, session] : sessions_) {
+    if (session->dead) continue;
+    session->outbox.push_back(line);
+  }
+  shipped_total_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_all();
+}
+
+void ReplicationHub::RunSession(uint64_t id, int fd) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    session = it->second;
+    session->fd = fd;
+  }
+
+  // ACK reader: its own thread, so a slow outbox drain never stops acks
+  // from being observed (AwaitAcks depends on them).
+  std::thread ack_thread([this, session, fd] {
+    LineReader reader(fd);
+    std::string line;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ || session->dead) return;
+      }
+      Result<bool> got = reader.ReadLine(100, &line);
+      if (!got.ok()) break;  // Peer gone; the sender will notice too.
+      if (!*got) continue;
+      Result<uint64_t> acked = ParseAckLine(line);
+      if (!acked.ok()) break;  // A follower speaking garbage is dropped.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (*acked > session->acked) session->acked = *acked;
+      acks_total_.fetch_add(1, std::memory_order_relaxed);
+      ack_cv_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    session->dead = true;
+    work_cv_.notify_all();
+    ack_cv_.notify_all();
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_ && !session->dead) {
+      if (session->outbox.empty()) {
+        // Idle: heartbeat so the follower can detect a dead link and
+        // report lag against a live position.
+        uint64_t epoch = epoch_;
+        uint64_t lsn = lsn_;
+        bool idle =
+            !work_cv_.wait_for(lock, std::chrono::milliseconds(heartbeat_ms_),
+                               [&] {
+                                 return stopping_ || session->dead ||
+                                        !session->outbox.empty();
+                               });
+        if (idle) {
+          lock.unlock();
+          bool ok = WriteAll(fd, FormatPingLine(epoch, lsn) + "\n");
+          lock.lock();
+          if (!ok) session->dead = true;
+        }
+        continue;
+      }
+      std::string chunk = std::move(session->outbox.front());
+      session->outbox.pop_front();
+      lock.unlock();
+      bool ok = WriteAll(fd, chunk);
+      lock.lock();
+      if (!ok) session->dead = true;
+    }
+    session->dead = true;
+  }
+  // Unblock the ack reader (it may be mid-poll on a healthy socket).
+  ::shutdown(fd, SHUT_RDWR);
+  ack_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(id);
+    ack_cv_.notify_all();
+  }
+}
+
+bool ReplicationHub::AwaitAcks(uint64_t lsn, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> waiting;
+  for (auto& [id, session] : sessions_) {
+    if (!session->dead) waiting.push_back(session);
+  }
+  if (waiting.empty()) return true;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  bool clean = true;
+  for (;;) {
+    bool pending = false;
+    for (auto& session : waiting) {
+      if (session->dead) {
+        clean = false;  // Died while we waited; its ack never arrived.
+        continue;
+      }
+      if (session->acked < lsn) pending = true;
+    }
+    if (!pending || stopping_) return clean;
+    if (ack_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Laggards are disconnected rather than allowed to hold every write
+      // hostage; they resync when the follower reconnects.
+      for (auto& session : waiting) {
+        if (!session->dead && session->acked < lsn) {
+          session->dead = true;
+          if (session->fd >= 0) ::shutdown(session->fd, SHUT_RDWR);
+          log::Warn("replication",
+                    "follower missed the ack deadline; disconnecting",
+                    {{"acked", std::to_string(session->acked)},
+                     {"need", std::to_string(lsn)}});
+        }
+      }
+      work_cv_.notify_all();
+      return false;
+    }
+  }
+}
+
+void ReplicationHub::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  for (auto& [id, session] : sessions_) {
+    session->dead = true;
+    if (session->fd >= 0) ::shutdown(session->fd, SHUT_RDWR);
+  }
+  work_cv_.notify_all();
+  ack_cv_.notify_all();
+}
+
+int ReplicationHub::follower_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->dead) ++live;
+  }
+  return live;
+}
+
+uint64_t ReplicationHub::min_acked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min = 0;
+  bool any = false;
+  for (const auto& [id, session] : sessions_) {
+    if (session->dead) continue;
+    if (!any || session->acked < min) min = session->acked;
+    any = true;
+  }
+  return any ? min : 0;
+}
+
+}  // namespace dire::server

@@ -1,0 +1,176 @@
+#ifndef DIRE_SERVER_REPLICATION_H_
+#define DIRE_SERVER_REPLICATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+// WAL shipping between a primary and its followers, carried over the same
+// line protocol as client traffic (a follower's connection *becomes* a
+// replication stream after its REPLICATE handshake; see protocol.h).
+//
+// Stream lines, all '\n'-terminated:
+//   STREAM epoch=<E> lsn=<L>               resume: records after L follow
+//   SNAPSHOT epoch=<E> lsn=<L> bytes=<K>   full resync: K raw snapshot
+//                                          bytes follow the line, then
+//                                          records after L
+//   REC <epoch> <lsn> <crc32c-hex> <payload>
+//                                          one committed WAL record,
+//                                          payload byte-for-byte as it was
+//                                          framed on the primary (WAL
+//                                          payloads are TSV-escaped and
+//                                          newline-free). The CRC covers
+//                                          the payload, end-to-end: a
+//                                          record damaged in flight is
+//                                          detected before it can be
+//                                          applied.
+//   PING epoch=<E> lsn=<L>                 heartbeat while idle; carries
+//                                          the primary's position so the
+//                                          follower can report lag
+//   ACK lsn=<L>                            follower -> primary: everything
+//                                          through L is durably applied
+namespace dire::server {
+
+// "REC <epoch> <lsn> <crc32c-hex> <payload>" — parsing verifies the CRC.
+std::string FormatRecLine(uint64_t epoch, uint64_t lsn,
+                          std::string_view payload);
+struct RecLine {
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  std::string payload;
+};
+Result<RecLine> ParseRecLine(std::string_view line);
+
+std::string FormatAckLine(uint64_t lsn);
+Result<uint64_t> ParseAckLine(std::string_view line);
+
+std::string FormatPingLine(uint64_t epoch, uint64_t lsn);
+struct PingLine {
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+};
+Result<PingLine> ParsePingLine(std::string_view line);
+
+// The handshake response: STREAM (resume) or SNAPSHOT (full resync).
+struct StreamHeader {
+  bool snapshot = false;
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  uint64_t snapshot_bytes = 0;
+};
+std::string FormatStreamLine(uint64_t epoch, uint64_t lsn);
+std::string FormatSnapshotLine(uint64_t epoch, uint64_t lsn, uint64_t bytes);
+Result<StreamHeader> ParseStreamHeader(std::string_view line);
+
+// Connects to "host:port" (numeric IPv4). Returns the connected fd; the
+// caller owns it.
+Result<int> DialTcp(const std::string& target);
+
+// Buffered line/byte reader over a socket, with poll-based timeouts, used
+// by both ends of a replication stream.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // Waits up to `timeout_ms` for one complete line (stripped of '\n').
+  // Ok(true): *line produced. Ok(false): timed out with no complete line.
+  // Error: peer closed or socket failure.
+  Result<bool> ReadLine(int timeout_ms, std::string* line);
+
+  // Reads exactly `n` raw bytes (buffered data first), polling in
+  // `timeout_ms` slices; `keep_waiting` is consulted at each slice so a
+  // shutdown can abort a long transfer.
+  Status ReadBytes(size_t n, int timeout_ms,
+                   const std::function<bool()>& keep_waiting,
+                   std::string* out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+// The primary's fan-out hub: every committed write is published once and
+// drained to each attached follower by that follower's connection thread.
+//
+// Synchronization contract: Attach() and Publish() must be serialized by
+// the caller (the server holds its database lock exclusively for both), so
+// a session's preload plus its published records form a gapless stream.
+// Everything else is internally synchronized.
+class ReplicationHub {
+ public:
+  explicit ReplicationHub(int heartbeat_ms);
+  ~ReplicationHub();
+
+  // Registers a follower whose outbox starts with `preload` (handshake
+  // line, optional raw snapshot bytes, backlog REC lines — written
+  // verbatim, in order). Returns the session id for RunSession.
+  uint64_t Attach(std::vector<std::string> preload);
+
+  // Current stream position, carried by heartbeats; Publish advances it.
+  void Advance(uint64_t epoch, uint64_t lsn);
+
+  // Queues one committed record for every attached session.
+  void Publish(uint64_t epoch, uint64_t lsn, std::string_view payload);
+
+  // Runs session `id` on the calling (connection) thread: drains the
+  // outbox to `fd`, reads ACK lines back, emits heartbeats when idle.
+  // Returns when the peer disconnects, the session is killed as a laggard,
+  // or Stop() is called. Closes nothing: the caller owns fd.
+  void RunSession(uint64_t id, int fd);
+
+  // Blocks until every session attached right now has acked >= lsn, up to
+  // `timeout_ms`; sessions still behind at the deadline are killed (they
+  // re-handshake and resync when the follower reconnects). Returns false
+  // if any session was killed or died while waiting.
+  bool AwaitAcks(uint64_t lsn, int timeout_ms);
+
+  // Kills every session and makes current and future RunSession calls
+  // return immediately.
+  void Stop();
+
+  int follower_count() const;
+  // Smallest acked lsn across live sessions; 0 with no followers.
+  uint64_t min_acked() const;
+  uint64_t shipped_total() const {
+    return shipped_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t acks_total() const {
+    return acks_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    std::deque<std::string> outbox;
+    int fd = -1;
+    uint64_t acked = 0;
+    bool dead = false;
+  };
+
+  const int heartbeat_ms_;
+  mutable std::mutex mu_;
+  // Wakes session senders (new outbox data, kill, stop).
+  std::condition_variable work_cv_;
+  // Wakes AwaitAcks (ack progress, session death).
+  std::condition_variable ack_cv_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t lsn_ = 0;
+  std::atomic<uint64_t> shipped_total_{0};
+  std::atomic<uint64_t> acks_total_{0};
+};
+
+}  // namespace dire::server
+
+#endif  // DIRE_SERVER_REPLICATION_H_

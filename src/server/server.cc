@@ -105,6 +105,10 @@ const char* VerbName(Request::Kind kind) {
       return "SLEEP";
     case Request::Kind::kQuit:
       return "QUIT";
+    case Request::Kind::kReplicate:
+      return "REPLICATE";
+    case Request::Kind::kPromote:
+      return "PROMOTE";
   }
   return "?";
 }
@@ -121,6 +125,13 @@ Server::Server(ServerConfig config, ast::Program program,
   for (const ast::Rule& r : program_.rules) {
     if (!r.IsFact()) derived_.insert(r.head.predicate);
   }
+  if (!config_.replicate_from.empty()) role_ = Role::kFollower;
+}
+
+int Server::NextRetryAfterMs() {
+  return JitteredRetryAfterMs(
+      config_.admission.retry_after_ms, config_.retry_jitter_seed,
+      retry_seq_.fetch_add(1, std::memory_order_relaxed));
 }
 
 Result<std::unique_ptr<Server>> Server::Create(ServerConfig config,
@@ -186,6 +197,16 @@ Status Server::Recover() {
   }
   DIRE_ASSIGN_OR_RETURN(data_dir_,
                         storage::DataDir::Open(config_.data_dir));
+  if (config_.replicate_from.empty() && data_dir_->fenced()) {
+    // Fail closed: a fenced directory belonged to a deposed primary whose
+    // epoch has been superseded. Serving writes from it would split-brain.
+    return Status::InvalidArgument(StrFormat(
+        "data dir %s is fenced at epoch %llu (deposed by a failover); "
+        "restart with --replicate-from pointing at the current primary to "
+        "re-sync it",
+        config_.data_dir.c_str(),
+        static_cast<unsigned long long>(data_dir_->epoch())));
+  }
   checkpointer_ = std::make_unique<eval::DataDirCheckpointer>(
       data_dir_.get(), eval::ProgramCrc(program_text_));
   const storage::RecoveredCheckpoint& rec = data_dir_->recovered();
@@ -200,7 +221,12 @@ Status Server::Recover() {
   // retraction's WAL commit and its re-derivation left behind, and ignores
   // any checkpoint metadata from another program.
   ClearDerivedRelations();
-  return FoldCheckpoint();
+  DIRE_RETURN_IF_ERROR(FoldCheckpoint());
+  if (role_.load(std::memory_order_acquire) == Role::kPrimary) {
+    hub_ = std::make_unique<ReplicationHub>(config_.replication_heartbeat_ms);
+    hub_->Advance(data_dir_->epoch(), data_dir_->lsn());
+  }
+  return Status::Ok();
 }
 
 void Server::ClearDerivedRelations() {
@@ -240,10 +266,16 @@ Status Server::Run() {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   Status recovered = Recover();
   if (recovered.ok()) {
+    if (role_.load(std::memory_order_acquire) == Role::kFollower) {
+      follower_thread_ = std::thread([this] { FollowerLoop(); });
+    }
     ready_.store(true, std::memory_order_release);
     log::Info("server", "ready",
               {{"port", std::to_string(port_)},
-               {"data_dir", config_.data_dir}});
+               {"data_dir", config_.data_dir},
+               {"role", config_.replicate_from.empty()
+                            ? "primary"
+                            : "follower of " + config_.replicate_from}});
     std::unique_lock<std::mutex> lock(shutdown_mu_);
     while (!stopping_.load(std::memory_order_acquire)) {
       shutdown_cv_.wait_for(lock, std::chrono::milliseconds(100));
@@ -254,6 +286,14 @@ Status Server::Run() {
   stopping_.store(true, std::memory_order_release);
   ready_.store(false, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Kick the follower link and attached replication streams so their
+  // connection threads can drain.
+  {
+    int fd = repl_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (hub_) hub_->Stop();
+  if (follower_thread_.joinable()) follower_thread_.join();
   {
     std::unique_lock<std::mutex> lock(conn_mu_);
     conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
@@ -297,6 +337,7 @@ void Server::AcceptLoop() {
 void Server::ServeConnection(int fd) {
   std::string buffer;
   char chunk[4096];
+  int idle_ms = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     size_t newline;
     while ((newline = buffer.find('\n')) != std::string::npos) {
@@ -305,6 +346,13 @@ void Server::ServeConnection(int fd) {
       if (StripWhitespace(line).empty()) continue;
       Result<Request> request = ParseRequest(line);
       if (request.ok() && request->kind == Request::Kind::kQuit) {
+        ::close(fd);
+        return;
+      }
+      if (request.ok() && request->kind == Request::Kind::kReplicate) {
+        // The connection stops being request/response and becomes a
+        // record stream; it never returns to this loop.
+        HandleReplicate(fd, *request);
         ::close(fd);
         return;
       }
@@ -325,10 +373,21 @@ void Server::ServeConnection(int fd) {
     pollfd p{fd, POLLIN, 0};
     int r = ::poll(&p, 1, 100);
     if (r < 0 && errno != EINTR) break;
-    if (r <= 0) continue;
+    if (r <= 0) {
+      idle_ms += 100;
+      if (config_.idle_timeout_ms > 0 &&
+          idle_ms >= config_.idle_timeout_ms) {
+        // A half-open or abandoned client must not hold a connection (and
+        // its thread) forever.
+        idle_disconnects_total_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      continue;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;  // EOF or error.
     buffer.append(chunk, static_cast<size_t>(n));
+    idle_ms = 0;
   }
   ::close(fd);
 }
@@ -338,11 +397,27 @@ std::string Server::HandleRequest(const Request& request) {
   // responds even when every worker slot and queue position is taken.
   if (request.kind == Request::Kind::kHealth) return HandleHealth();
   if (!ready_.load(std::memory_order_acquire)) {
-    return NotReadyLine(config_.admission.retry_after_ms);
+    return NotReadyLine(NextRetryAfterMs());
   }
   if (request.kind == Request::Kind::kStats) return HandleStats();
   if (stopping_.load(std::memory_order_acquire)) {
     return ErrorLine(Status::Internal("server is shutting down"));
+  }
+  // Writes belong on the primary; a follower redirects rather than
+  // accepting state it would have to reconcile later.
+  if ((request.kind == Request::Kind::kAdd ||
+       request.kind == Request::Kind::kRetract) &&
+      role_.load(std::memory_order_acquire) != Role::kPrimary) {
+    readonly_rejected_total_.fetch_add(1, std::memory_order_relaxed);
+    return ReadonlyLine(config_.replicate_from);
+  }
+  // PROMOTE is a role change, not a request: answered inline so it cannot
+  // deadlock behind pooled writes it is about to start accepting.
+  if (request.kind == Request::Kind::kPromote) return HandlePromote(request);
+  if (request.kind == Request::Kind::kReplicate) {
+    return ErrorLine(
+        Status::InvalidArgument("REPLICATE must be the first request on a "
+                                "dedicated connection"));
   }
 
   double cost = 0;
@@ -352,7 +427,7 @@ std::string Server::HandleRequest(const Request& request) {
   }
   switch (admission_.Admit(cost)) {
     case Admission::kShed:
-      return OverloadedLine(config_.admission.retry_after_ms);
+      return OverloadedLine(NextRetryAfterMs());
     case Admission::kTooExpensive:
       return ErrorLine(Status::ResourceExhausted(StrFormat(
           "query too expensive: estimated %.0f rows scanned, limit %.0f",
@@ -463,14 +538,19 @@ std::string Server::HandleWrite(const Request& request,
 
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   bool changed = false;
+  storage::DataDir::AppendedRecord record;
   if (is_add) {
     changed = !RowPresent(*data_dir_->db(), predicate, values);
-    Status committed = data_dir_->AppendFact(predicate, values);
+    Status committed = data_dir_->AppendFact(predicate, values, &record);
     if (!committed.ok()) return ErrorLine(committed);
   } else {
-    Status committed = data_dir_->RetractFact(predicate, values, &changed);
+    Status committed =
+        data_dir_->RetractFact(predicate, values, &changed, &record);
     if (!committed.ok()) return ErrorLine(committed);
   }
+  // Published under the exclusive lock, so followers see records in commit
+  // order with no interleaving gaps.
+  if (hub_) hub_->Publish(record.epoch, record.lsn, record.payload);
   writes_total_.fetch_add(1, std::memory_order_relaxed);
   WritesCounter()->Add(1);
   ++writes_since_fold_;
@@ -504,6 +584,18 @@ std::string Server::HandleWrite(const Request& request,
     }
   }
 
+  // Ship-then-ack: with a positive ack timeout the response waits (outside
+  // the database lock, so reads and other writes proceed) until every
+  // attached follower has durably applied this record. A follower that
+  // cannot keep up is disconnected rather than holding writes hostage; the
+  // primary's own WAL fsync above remains the base durability guarantee.
+  lock.unlock();
+  if (hub_ && config_.replication_ack_timeout_ms > 0) {
+    if (!hub_->AwaitAcks(record.lsn, config_.replication_ack_timeout_ms)) {
+      repl_acks_missed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   std::string tag = is_add ? (changed ? "added=1" : "added=0")
                            : (changed ? "removed=1" : "removed=0");
   if (exhausted) {
@@ -533,13 +625,334 @@ std::string Server::HandleSleep(const Request& request,
   return "OK slept=" + std::to_string(slept);
 }
 
+void Server::HandleReplicate(int fd, const Request& request) {
+  if (!ready_.load(std::memory_order_acquire)) {
+    WriteAll(fd, NotReadyLine(NextRetryAfterMs()) + "\n");
+    return;
+  }
+  if (role_.load(std::memory_order_acquire) != Role::kPrimary || !hub_) {
+    WriteAll(fd, ErrorLine(Status::InvalidArgument(
+                     "REPLICATE targets a primary; this server is not "
+                     "one")) +
+                     "\n");
+    return;
+  }
+  uint64_t id;
+  uint64_t epoch;
+  uint64_t lsn;
+  bool resumed = false;
+  {
+    // The handshake decision and the hub registration happen under the
+    // same exclusive lock that serializes write publication, so the
+    // preload plus later published records form a gapless stream.
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    epoch = data_dir_->epoch();
+    lsn = data_dir_->lsn();
+    std::vector<std::string> preload;
+    if (request.repl_epoch == epoch && request.repl_lsn <= lsn) {
+      Result<std::vector<storage::DataDir::TailEntry>> tail =
+          data_dir_->TailSince(request.repl_lsn);
+      if (tail.ok()) {
+        preload.push_back(FormatStreamLine(epoch, request.repl_lsn) + "\n");
+        for (const storage::DataDir::TailEntry& entry : *tail) {
+          preload.push_back(
+              FormatRecLine(entry.epoch, entry.lsn, entry.payload) + "\n");
+        }
+        resumed = true;
+      }
+    }
+    if (!resumed) {
+      // Epoch mismatch (including the follower's "epoch 0, don't trust my
+      // state" sentinel) or a WAL that no longer covers the follower's
+      // position: ship the whole database.
+      Result<std::string> snapshot =
+          storage::SaveSnapshot(*data_dir_->db(), {});
+      if (!snapshot.ok()) {
+        lock.unlock();
+        WriteAll(fd, ErrorLine(snapshot.status()) + "\n");
+        return;
+      }
+      preload.push_back(
+          FormatSnapshotLine(epoch, lsn, snapshot->size()) + "\n");
+      preload.push_back(std::move(*snapshot));
+    }
+    id = hub_->Attach(std::move(preload));
+  }
+  log::Info("replication", "follower attached",
+            {{"mode", resumed ? "resume" : "snapshot"},
+             {"follower_lsn", std::to_string(request.repl_lsn)},
+             {"epoch", std::to_string(epoch)},
+             {"lsn", std::to_string(lsn)}});
+  hub_->RunSession(id, fd);
+  log::Info("replication", "follower detached", {});
+}
+
+void Server::FollowerLoop() {
+  bool force_resync = false;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Role role = role_.load(std::memory_order_acquire);
+    if (role == Role::kPrimary) return;
+    if (role == Role::kPromoting) {
+      // Hold position: if the promotion fails we go back to following; if
+      // it succeeds the next role load ends the thread.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    Result<int> dialed = DialTcp(config_.replicate_from);
+    if (dialed.ok()) {
+      repl_fd_.store(*dialed, std::memory_order_release);
+      FollowerSession(*dialed, &force_resync);
+      repl_connected_.store(false, std::memory_order_release);
+      repl_fd_.store(-1, std::memory_order_release);
+      ::close(*dialed);
+    }
+    // Pace reconnects (and dial failures) without blocking shutdown.
+    int waited = 0;
+    while (waited < config_.replication_heartbeat_ms &&
+           !stopping_.load(std::memory_order_acquire) &&
+           role_.load(std::memory_order_acquire) == Role::kFollower) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      waited += 20;
+    }
+  }
+}
+
+void Server::FollowerSession(int fd, bool* force_resync) {
+  uint64_t local_epoch = data_dir_->epoch();
+  uint64_t local_lsn = data_dir_->lsn();
+  if (*force_resync || data_dir_->fenced() || local_epoch == 0) {
+    // Epoch 0 tells the primary "do not trust my state": a fenced or
+    // half-resynced directory must not resume mid-stream.
+    local_epoch = 0;
+    local_lsn = 0;
+  }
+  if (!WriteAll(fd, StrFormat("REPLICATE lsn=%llu epoch=%llu\n",
+                              static_cast<unsigned long long>(local_lsn),
+                              static_cast<unsigned long long>(local_epoch)))) {
+    return;
+  }
+  LineReader reader(fd);
+  auto following = [this] {
+    return !stopping_.load(std::memory_order_acquire) &&
+           role_.load(std::memory_order_acquire) == Role::kFollower;
+  };
+  std::string line;
+  for (;;) {
+    if (!following()) return;
+    Result<bool> got = reader.ReadLine(100, &line);
+    if (!got.ok()) return;
+    if (*got) break;
+  }
+  Result<StreamHeader> header = ParseStreamHeader(line);
+  if (!header.ok()) {
+    // A NOTREADY / ERROR line from a primary that is still recovering (or
+    // is itself a follower); back off and retry.
+    log::Warn("replication", "handshake refused",
+              {{"response", line}});
+    return;
+  }
+  if (header->snapshot) {
+    std::string bytes;
+    Status read =
+        reader.ReadBytes(header->snapshot_bytes, 100, following, &bytes);
+    if (!read.ok()) {
+      log::Warn("replication", "snapshot transfer failed",
+                {{"error", read.ToString()}});
+      return;
+    }
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    Status installed =
+        data_dir_->InstallSnapshot(bytes, header->epoch, header->lsn);
+    if (!installed.ok()) {
+      log::Warn("replication", "snapshot install failed",
+                {{"error", installed.ToString()}});
+      *force_resync = true;
+      return;
+    }
+    ClearDerivedRelations();
+    Status folded = FoldCheckpoint();
+    if (!folded.ok()) {
+      log::Warn("replication", "post-resync fold failed; will retry at the "
+                               "next cadence",
+                {{"error", folded.ToString()}});
+    }
+    repl_resyncs_total_.fetch_add(1, std::memory_order_relaxed);
+    log::Info("replication", "resynced from snapshot",
+              {{"epoch", std::to_string(header->epoch)},
+               {"lsn", std::to_string(header->lsn)}});
+  }
+  *force_resync = false;
+  leader_lsn_.store(header->lsn, std::memory_order_relaxed);
+  repl_connected_.store(true, std::memory_order_release);
+  WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n");
+
+  std::vector<std::string> batch;
+  for (;;) {
+    if (!following()) return;
+    Result<bool> got = reader.ReadLine(100, &line);
+    if (!got.ok()) return;
+    if (!*got) continue;
+    if (StartsWith(line, "PING")) {
+      Result<PingLine> ping = ParsePingLine(line);
+      if (ping.ok()) {
+        leader_lsn_.store(ping->lsn, std::memory_order_relaxed);
+      }
+      // Heartbeat-ack our position so the primary sees a live link.
+      if (!WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n")) return;
+      continue;
+    }
+    // Batch whatever is already buffered: one evaluate round per drained
+    // burst instead of one per record.
+    batch.clear();
+    batch.push_back(line);
+    while (batch.size() < 256) {
+      Result<bool> more = reader.ReadLine(0, &line);
+      if (!more.ok() || !*more) break;
+      if (StartsWith(line, "PING")) continue;
+      batch.push_back(line);
+    }
+    Status applied = ApplyReplicatedBatch(batch);
+    if (!applied.ok()) {
+      // Gap, stale epoch, or damage: this stream cannot be trusted any
+      // further. Reconnect and ask for a snapshot.
+      log::Warn("replication", "record apply failed; forcing full resync",
+                {{"error", applied.ToString()}});
+      *force_resync = true;
+      return;
+    }
+    if (!WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n")) return;
+  }
+}
+
+Status Server::ApplyReplicatedBatch(const std::vector<std::string>& lines) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  bool mutated_any = false;
+  bool retracted = false;
+  for (const std::string& line : lines) {
+    DIRE_ASSIGN_OR_RETURN(RecLine rec, ParseRecLine(line));
+    DIRE_ASSIGN_OR_RETURN(storage::WalRecord record,
+                          storage::DecodeWalRecord(rec.payload));
+    if (record.stamped &&
+        (record.lsn != rec.lsn || record.epoch != rec.epoch)) {
+      return Status::Corruption(
+          "REC header disagrees with its payload stamp");
+    }
+    bool mutated = false;
+    DIRE_RETURN_IF_ERROR(
+        data_dir_->AppendReplicated(rec.payload, record, &mutated));
+    if (mutated) {
+      mutated_any = true;
+      if (record.op == storage::WalRecord::Op::kRetract) retracted = true;
+    }
+    repl_records_applied_total_.fetch_add(1, std::memory_order_relaxed);
+    leader_lsn_.store(
+        std::max(leader_lsn_.load(std::memory_order_relaxed), rec.lsn),
+        std::memory_order_relaxed);
+  }
+  writes_since_fold_ += static_cast<int>(lines.size());
+  if (mutated_any) {
+    // Same rule as HandleWrite: a retraction invalidates derived state, an
+    // insert only extends it.
+    if (retracted) ClearDerivedRelations();
+    eval::Evaluator evaluator(data_dir_->db(), BaseEvalOptions());
+    Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
+    if (!stats.ok()) return stats.status();
+  }
+  if (config_.checkpoint_every_writes > 0 &&
+      writes_since_fold_ >= config_.checkpoint_every_writes) {
+    Status folded = FoldCheckpoint();
+    if (!folded.ok()) {
+      log::Warn("replication", "WAL fold failed; will retry at the next "
+                               "cadence",
+                {{"error", folded.ToString()}});
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Server::HandlePromote(const Request& request) {
+  std::lock_guard<std::mutex> guard(promote_mu_);
+  if (role_.load(std::memory_order_acquire) == Role::kPrimary) {
+    // Promoting a primary is an idempotent report, not an error: the
+    // failover driver may retry after a lost response.
+    return StrFormat("OK promoted epoch=%llu lsn=%llu",
+                     static_cast<unsigned long long>(data_dir_->epoch()),
+                     static_cast<unsigned long long>(data_dir_->lsn()));
+  }
+  role_.store(Role::kPromoting, std::memory_order_release);
+  // Cut the stream first: no replicated record may land once the epoch
+  // starts moving.
+  {
+    int fd = repl_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::string response;
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    uint64_t target = request.promote_epoch != 0 ? request.promote_epoch
+                                                 : data_dir_->epoch() + 1;
+    Status promoted = data_dir_->Promote(target);
+    if (!promoted.ok()) {
+      // Nothing durable changed; resume following.
+      role_.store(Role::kFollower, std::memory_order_release);
+      return ErrorLine(promoted);
+    }
+    // The adopted base facts are authoritative now: rebuild the fixpoint
+    // and seal it into a checkpoint before the first write is accepted.
+    ClearDerivedRelations();
+    Status folded = FoldCheckpoint();
+    if (!folded.ok()) {
+      // The promotion itself is durable; folding is a recovery-time
+      // optimization. Keep going.
+      log::Warn("server", "post-promotion fold failed",
+                {{"error", folded.ToString()}});
+    }
+    hub_ =
+        std::make_unique<ReplicationHub>(config_.replication_heartbeat_ms);
+    hub_->Advance(data_dir_->epoch(), data_dir_->lsn());
+    response = StrFormat("OK promoted epoch=%llu lsn=%llu",
+                         static_cast<unsigned long long>(data_dir_->epoch()),
+                         static_cast<unsigned long long>(data_dir_->lsn()));
+    role_.store(Role::kPrimary, std::memory_order_release);
+  }
+  repl_connected_.store(false, std::memory_order_release);
+  log::Info("server", "promoted to primary",
+            {{"epoch", std::to_string(data_dir_->epoch())},
+             {"lsn", std::to_string(data_dir_->lsn())}});
+  return response;
+}
+
 std::string Server::HandleHealth() {
-  return StrFormat("OK ready=%d inflight=%d accepted=%llu rejected=%llu",
-                   ready_.load(std::memory_order_acquire) ? 1 : 0,
-                   admission_.outstanding(),
-                   static_cast<unsigned long long>(
-                       admission_.admitted_total()),
-                   static_cast<unsigned long long>(admission_.shed_total()));
+  std::string line =
+      StrFormat("OK ready=%d inflight=%d accepted=%llu rejected=%llu",
+                ready_.load(std::memory_order_acquire) ? 1 : 0,
+                admission_.outstanding(),
+                static_cast<unsigned long long>(admission_.admitted_total()),
+                static_cast<unsigned long long>(admission_.shed_total()));
+  if (!config_.replicate_from.empty()) {
+    // Replication fields are appended (never inserted) so clients that
+    // prefix-match the classic health line keep working.
+    Role role = role_.load(std::memory_order_acquire);
+    const char* role_name = role == Role::kPrimary     ? "primary"
+                            : role == Role::kPromoting ? "promoting"
+                                                       : "follower";
+    uint64_t epoch = 0;
+    uint64_t lsn = 0;
+    if (ready_.load(std::memory_order_acquire) && data_dir_ != nullptr) {
+      epoch = data_dir_->epoch();
+      lsn = data_dir_->lsn();
+    }
+    uint64_t leader = leader_lsn_.load(std::memory_order_relaxed);
+    uint64_t lag = leader > lsn ? leader - lsn : 0;
+    line += StrFormat(
+        " role=%s epoch=%llu lsn=%llu leader=%s lag=%llu connected=%d",
+        role_name, static_cast<unsigned long long>(epoch),
+        static_cast<unsigned long long>(lsn),
+        config_.replicate_from.c_str(),
+        static_cast<unsigned long long>(lag),
+        repl_connected_.load(std::memory_order_acquire) ? 1 : 0);
+  }
+  return line;
 }
 
 std::string Server::HandleStats() {
@@ -568,6 +981,38 @@ std::string Server::HandleStats() {
   line("checkpoints_total", folds_total_.load(std::memory_order_relaxed));
   line("relations", relations);
   line("tuples", tuples);
+  // Replication and connection-hygiene counters (appended after the
+  // classic keys so existing STATS consumers are untouched).
+  Role role = role_.load(std::memory_order_acquire);
+  ReplicationHub* hub = role == Role::kPrimary ? hub_.get() : nullptr;
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  if (data_dir_ != nullptr) {
+    epoch = data_dir_->epoch();
+    lsn = data_dir_->lsn();
+  }
+  uint64_t leader = leader_lsn_.load(std::memory_order_relaxed);
+  line("primary", role == Role::kPrimary ? 1 : 0);
+  line("epoch", epoch);
+  line("lsn", lsn);
+  line("followers", hub != nullptr ? static_cast<uint64_t>(
+                                         hub->follower_count())
+                                   : 0);
+  line("repl_shipped_total", hub != nullptr ? hub->shipped_total() : 0);
+  line("repl_min_acked", hub != nullptr ? hub->min_acked() : 0);
+  line("repl_applied_total",
+       repl_records_applied_total_.load(std::memory_order_relaxed));
+  line("repl_resyncs_total",
+       repl_resyncs_total_.load(std::memory_order_relaxed));
+  line("repl_acks_missed_total",
+       repl_acks_missed_total_.load(std::memory_order_relaxed));
+  line("repl_lag", leader > lsn ? leader - lsn : 0);
+  line("repl_connected",
+       repl_connected_.load(std::memory_order_acquire) ? 1 : 0);
+  line("readonly_rejected_total",
+       readonly_rejected_total_.load(std::memory_order_relaxed));
+  line("idle_disconnects_total",
+       idle_disconnects_total_.load(std::memory_order_relaxed));
   out += "\nEND";
   return out;
 }

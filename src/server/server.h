@@ -17,6 +17,7 @@
 #include "eval/evaluator.h"
 #include "server/admission.h"
 #include "server/protocol.h"
+#include "server/replication.h"
 #include "storage/persist.h"
 
 namespace dire::server {
@@ -50,6 +51,29 @@ struct ServerConfig {
   // Worker threads inside each evaluation (EvalOptions::num_threads).
   int eval_threads = 1;
 
+  // Replication. When `replicate_from` is set ("host:port" of the
+  // primary), this server starts as a read-only follower of that primary:
+  // it streams committed WAL records, applies them, answers QUERY / STATS
+  // / HEALTH, rejects writes with READONLY, and can be turned into the
+  // primary with PROMOTE.
+  std::string replicate_from;
+  // Primary side: how long a write waits for every follower's durable ACK
+  // before the laggard is disconnected and the write acknowledged anyway
+  // (the primary's own WAL fsync is the base durability guarantee).
+  // 0 ships records asynchronously — the write never waits.
+  int replication_ack_timeout_ms = 2000;
+  // Heartbeat cadence of an idle replication stream, and the follower's
+  // reconnect pacing.
+  int replication_heartbeat_ms = 500;
+
+  // Seed of the deterministic retry-after jitter on OVERLOADED / NOTREADY
+  // hints (see JitteredRetryAfterMs).
+  uint64_t retry_jitter_seed = 1;
+
+  // Close client connections that stay idle (no bytes, no pending
+  // request) for this long; 0 = never. Replication streams are exempt.
+  int idle_timeout_ms = 0;
+
   // Test-only: stretches recovery by this many milliseconds so tests can
   // deterministically observe the NOTREADY window. Never set in production.
   int recovery_delay_ms_for_test = 0;
@@ -79,6 +103,12 @@ struct ServerConfig {
 //     admitted requests, folds the WAL into a final checkpoint, and
 //     releases the data-dir lock. SIGKILL at any moment instead leaves a
 //     state DataDir::Open recovers exactly (snapshot + WAL tail).
+//   - Replication (see replication.h and DESIGN.md): a primary ships every
+//     committed WAL record to attached followers before acknowledging the
+//     write; a follower (config.replicate_from) applies the stream,
+//     answers reads, rejects writes with READONLY, and takes over on
+//     PROMOTE — which durably fences the old epoch so a deposed primary
+//     that restarts fails closed instead of split-braining.
 class Server {
  public:
   // Parses nothing and touches no data: binds `config.host:config.port`
@@ -101,11 +131,18 @@ class Server {
   int port() const { return port_; }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
+  // This server's place in a replication pair. A follower becomes
+  // kPromoting for the duration of a PROMOTE and kPrimary on success;
+  // there is no transition back to follower within one process lifetime.
+  enum class Role { kPrimary, kFollower, kPromoting };
+
  private:
   Server(ServerConfig config, ast::Program program, std::string program_text);
 
   // Opens the data dir (lock + snapshot + WAL replay), clears derived
   // relations, evaluates to fixpoint, and takes the initial checkpoint.
+  // Refuses to start as primary on a fenced directory (a deposed primary
+  // fails closed).
   Status Recover();
 
   // Accept loop (own thread): polls the listen socket, spawns one detached
@@ -113,6 +150,31 @@ class Server {
   void AcceptLoop();
   // One client connection: reads request lines, answers them in order.
   void ServeConnection(int fd);
+
+  // Turns a client connection into a replication stream (primary side):
+  // decides resume vs snapshot under the exclusive database lock, then
+  // drains records to the follower until it disconnects.
+  void HandleReplicate(int fd, const Request& request);
+
+  // Follower side, own thread: dial the primary, handshake, apply records
+  // and evaluate their consequences, ACK, reconnect on failure. Exits once
+  // promoted (or at shutdown).
+  void FollowerLoop();
+  // One connected stretch of FollowerLoop; returns to reconnect.
+  // `force_resync` requests a snapshot handshake regardless of local
+  // state (set after a stream divergence).
+  void FollowerSession(int fd, bool* force_resync);
+  // Applies one drained batch of replicated records under the exclusive
+  // database lock, re-derives, folds at the checkpoint cadence. Returns
+  // the response status; on error the stream must resync.
+  Status ApplyReplicatedBatch(const std::vector<std::string>& lines);
+
+  // PROMOTE: fence off the follower link, bump the epoch durably, rebuild
+  // the fixpoint, start accepting writes.
+  std::string HandlePromote(const Request& request);
+
+  // The jittered retry hint for the next OVERLOADED / NOTREADY response.
+  int NextRetryAfterMs();
 
   // Dispatch of one parsed request from a connection thread. HEALTH and
   // STATS are answered inline (they must stay responsive under overload);
@@ -154,8 +216,23 @@ class Server {
   std::unique_ptr<storage::DataDir> data_dir_;
   std::unique_ptr<eval::DataDirCheckpointer> checkpointer_;
   // Readers (QUERY, STATS) shared; writers (ADD, RETRACT, recovery,
-  // shutdown checkpoint) exclusive. Sits above DataDir's commit mutex.
+  // shutdown checkpoint, replicated batches) exclusive. Sits above
+  // DataDir's commit mutex.
   std::shared_mutex db_mu_;
+
+  std::atomic<Role> role_{Role::kPrimary};
+  // Primary side: fan-out of committed records to attached followers.
+  // Created in Recover (primary) or HandlePromote; guarded by being set
+  // before ready_ / read on request threads afterwards.
+  std::unique_ptr<ReplicationHub> hub_;
+  // Follower side.
+  std::thread follower_thread_;
+  std::atomic<int> repl_fd_{-1};
+  std::atomic<bool> repl_connected_{false};
+  // The primary's position from the last REC/PING, for lag reporting.
+  std::atomic<uint64_t> leader_lsn_{0};
+  // Serializes PROMOTE handling.
+  std::mutex promote_mu_;
 
   AdmissionController admission_;
   std::unique_ptr<WorkerPool> pool_;
@@ -177,6 +254,13 @@ class Server {
   std::atomic<uint64_t> partial_total_{0};
   std::atomic<uint64_t> writes_total_{0};
   std::atomic<uint64_t> folds_total_{0};
+  std::atomic<uint64_t> readonly_rejected_total_{0};
+  std::atomic<uint64_t> idle_disconnects_total_{0};
+  std::atomic<uint64_t> repl_records_applied_total_{0};
+  std::atomic<uint64_t> repl_resyncs_total_{0};
+  std::atomic<uint64_t> repl_acks_missed_total_{0};
+  // Ordinal of the next jittered retry-after hint.
+  std::atomic<uint64_t> retry_seq_{0};
   // Durable writes since the last WAL fold, gated by db_mu_.
   int writes_since_fold_ = 0;
 };

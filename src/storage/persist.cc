@@ -36,7 +36,64 @@ bool PidAlive(int64_t pid) {
   return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
+// Parses a decimal uint64; nullopt on garbage or overflow risk.
+std::optional<uint64_t> ParseU64(std::string_view text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string FormatReplState(const ReplState& state) {
+  return StrFormat("epoch %llu\nlsn %llu\nfenced %d\n",
+                   static_cast<unsigned long long>(state.epoch),
+                   static_cast<unsigned long long>(state.lsn),
+                   state.fenced ? 1 : 0);
+}
+
+Result<ReplState> ParseReplState(std::string_view body) {
+  // Written in one AtomicWriteFile, so anything unparsable is tampering or
+  // disk damage, not a crash artifact: fail closed.
+  ReplState state;
+  bool have_epoch = false;
+  bool have_lsn = false;
+  for (const std::string& line : Split(body, '\n')) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    size_t space = trimmed.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::Corruption("malformed replstate line: " + line);
+    }
+    std::string_view key = trimmed.substr(0, space);
+    std::optional<uint64_t> value = ParseU64(trimmed.substr(space + 1));
+    if (!value) {
+      return Status::Corruption("non-numeric replstate value: " + line);
+    }
+    if (key == "epoch") {
+      state.epoch = *value;
+      have_epoch = true;
+    } else if (key == "lsn") {
+      state.lsn = *value;
+      have_lsn = true;
+    } else if (key == "fenced") {
+      if (*value > 1) {
+        return Status::Corruption("replstate fenced flag must be 0 or 1");
+      }
+      state.fenced = *value == 1;
+    } else {
+      return Status::Corruption("unknown replstate key: " + line);
+    }
+  }
+  if (!have_epoch || !have_lsn) {
+    return Status::Corruption("replstate is missing epoch or lsn");
+  }
+  return state;
+}
 
 Status DataDir::AcquireLock() {
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -62,10 +119,22 @@ Status DataDir::AcquireLock() {
     // dead owner's lock is stale — a SIGKILLed server cannot clean up — and
     // is broken so recovery can proceed. An unreadable/garbled lock file is
     // treated as stale too: our own writer stamps it in one small write, so
-    // garbage can only be torn crash debris.
+    // garbage can only be torn crash debris. Line 1 is the owner's PID;
+    // line 2 (when present) the epoch the owner last stamped, remembered so
+    // recovery can cross-check it against the directory's durable epoch.
     Result<std::string> body = io::ReadFile(lock_path_);
     std::optional<int64_t> pid;
-    if (body.ok()) pid = ParseMetaInt(std::string(StripWhitespace(*body)));
+    if (body.ok()) {
+      std::vector<std::string> lines = Split(*body, '\n');
+      if (!lines.empty()) {
+        pid = ParseMetaInt(std::string(StripWhitespace(lines[0])));
+      }
+      if (lines.size() > 1) {
+        std::optional<uint64_t> epoch =
+            ParseU64(StripWhitespace(lines[1]));
+        if (epoch) stale_lock_epoch_ = *epoch;
+      }
+    }
     if (pid && PidAlive(*pid)) {
       return Status::InvalidArgument(
           StrFormat("data dir %s is locked by running process %lld "
@@ -153,13 +222,39 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
     if (!rec.has_meta) rec.deltas.clear();
   }
 
-  // 2. WAL replay over the snapshot. Inserts are set-semantics and
+  // 2. Replication base: the durable (epoch, lsn, fenced) identity as of
+  //    the last checkpoint or control record. WAL records stamped after it
+  //    advance the recovered values below.
+  uint64_t epoch = 1;
+  uint64_t lsn = 0;
+  bool fenced = false;
+  if (io::FileExists(self->replstate_path_)) {
+    DIRE_ASSIGN_OR_RETURN(std::string body,
+                          io::ReadFile(self->replstate_path_));
+    DIRE_ASSIGN_OR_RETURN(ReplState state, ParseReplState(body));
+    epoch = state.epoch;
+    lsn = state.lsn;
+    fenced = state.fenced;
+  }
+
+  // 3. WAL replay over the snapshot. Inserts are set-semantics and
   //    retractions of absent facts are no-ops, so records already folded
-  //    into the snapshot re-apply harmlessly, in WAL order.
+  //    into the snapshot re-apply harmlessly, in WAL order. Stamps advance
+  //    the replication identity past the replstate base; epoch control
+  //    records carry fence/promotion state in-band.
   DIRE_ASSIGN_OR_RETURN(
       WalReplayStats replay,
-      ReplayWal(self->wal_path_, [&self](std::string_view payload) -> Status {
+      ReplayWal(self->wal_path_,
+                [&](std::string_view payload) -> Status {
         DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+        if (record.stamped) {
+          lsn = std::max(lsn, record.lsn);
+          epoch = std::max(epoch, record.epoch);
+        }
+        if (record.op == WalRecord::Op::kEpoch) {
+          fenced = record.fenced;
+          return Status::Ok();
+        }
         if (record.op == WalRecord::Op::kRetract) {
           Result<bool> removed =
               self->db_.RemoveRow(record.relation, record.values);
@@ -168,40 +263,341 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
         return self->db_.AddRow(record.relation, record.values);
       }));
 
+  // A stale lock stamped with a later epoch than anything durable means a
+  // fence crashed between restamping the lock and committing the control
+  // record. Fail closed: honor the fence.
+  if (self->stale_lock_epoch_ > epoch) {
+    log::Warn("persist", "stale lock carries a later epoch; honoring it as "
+                         "a fence",
+              {{"dir", dir},
+               {"lock_epoch", std::to_string(self->stale_lock_epoch_)},
+               {"recovered_epoch", std::to_string(epoch)}});
+    epoch = self->stale_lock_epoch_;
+    fenced = true;
+  }
+  self->epoch_.store(epoch, std::memory_order_release);
+  self->lsn_.store(lsn, std::memory_order_release);
+  self->fenced_.store(fenced, std::memory_order_release);
+
   // Any replayed record postdates the checkpointed snapshot (checkpointing
   // resets the log), so the checkpoint's notion of evaluation progress is
   // stale: the new facts' consequences were never derived. Restarting from
   // stratum 0 over the merged state is sound and re-derives them.
   if (replay.records > 0) self->recovered_ = RecoveredCheckpoint{};
 
-  // 3. Open for appending, dropping any torn tail first so new records
-  //    never land after garbage.
+  // 4. Open for appending, dropping any torn tail first so new records
+  //    never land after garbage, and advertise the recovered epoch in the
+  //    lock file.
   DIRE_ASSIGN_OR_RETURN(self->wal_, Wal::Open(self->wal_path_));
   if (replay.dropped_torn_tail) {
     DIRE_RETURN_IF_ERROR(self->wal_->TruncateTo(replay.valid_bytes));
   }
+  DIRE_RETURN_IF_ERROR(self->StampLockLocked());
   return self;
 }
 
+Status DataDir::CheckWritable(const std::string& relation,
+                              size_t arity) const {
+  if (relation.empty()) {
+    return Status::InvalidArgument("fact names an empty relation");
+  }
+  const Relation* rel = db_.Find(relation);
+  if (rel != nullptr && rel->arity() != arity) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s has arity %zu, got %zu values",
+                  relation.c_str(), rel->arity(), arity));
+  }
+  return Status::Ok();
+}
+
+Status DataDir::WriteReplStateLocked() {
+  ReplState state;
+  state.epoch = epoch_.load(std::memory_order_relaxed);
+  state.lsn = lsn_.load(std::memory_order_relaxed);
+  state.fenced = fenced_.load(std::memory_order_relaxed);
+  return io::AtomicWriteFile(replstate_path_, FormatReplState(state));
+}
+
+Status DataDir::StampLockLocked() {
+  std::string body = StrFormat(
+      "%lld\n%llu\n", static_cast<long long>(::getpid()),
+      static_cast<unsigned long long>(epoch_.load(std::memory_order_relaxed)));
+  int fd = ::open(lock_path_.c_str(), O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot restamp lock file " + lock_path_ + ": " +
+                            std::strerror(errno));
+  }
+  bool ok = ::write(fd, body.data(), body.size()) ==
+            static_cast<ssize_t>(body.size());
+  ok = (::fsync(fd) == 0) && ok;
+  ::close(fd);
+  if (!ok) return Status::Internal("cannot restamp lock file " + lock_path_);
+  return Status::Ok();
+}
+
+Status DataDir::ControlRecordLocked(uint64_t new_epoch, bool fenced) {
+  // The WAL record is the commit point; the lock is restamped FIRST so that
+  // a crash between the two leaves a lock epoch ahead of the durable state,
+  // which recovery fail-closes into a fence (never an un-fence).
+  if (fenced) {
+    uint64_t saved = epoch_.exchange(new_epoch, std::memory_order_release);
+    Status stamped = StampLockLocked();
+    if (!stamped.ok()) {
+      epoch_.store(saved, std::memory_order_release);
+      return stamped;
+    }
+    epoch_.store(saved, std::memory_order_release);
+  }
+  uint64_t next = lsn_.load(std::memory_order_relaxed) + 1;
+  DIRE_RETURN_IF_ERROR(wal_->Append(EncodeEpochRecord(new_epoch, next,
+                                                      fenced)));
+  epoch_.store(new_epoch, std::memory_order_release);
+  lsn_.store(next, std::memory_order_release);
+  fenced_.store(fenced, std::memory_order_release);
+  DIRE_RETURN_IF_ERROR(WriteReplStateLocked());
+  return StampLockLocked();
+}
+
 Status DataDir::AppendFact(const std::string& relation,
-                           const std::vector<std::string>& values) {
+                           const std::vector<std::string>& values,
+                           AppendedRecord* appended) {
   std::lock_guard<std::mutex> lock(commit_mu_);
+  if (fenced_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("data dir " + dir_ +
+                                   " is fenced (deposed by a failover); "
+                                   "writes refused");
+  }
+  // Validated against the live schema BEFORE the WAL write, so a mismatched
+  // append can never leave a poison record that breaks every later replay.
+  DIRE_RETURN_IF_ERROR(CheckWritable(relation, values.size()));
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  uint64_t next = lsn_.load(std::memory_order_relaxed) + 1;
+  std::string payload = EncodeStampedFactRecord(epoch, next, relation, values);
   // Durability order: the record must be on disk before the in-memory state
   // reflects it, otherwise an acknowledged fact could vanish in a crash.
-  DIRE_RETURN_IF_ERROR(wal_->Append(EncodeFactRecord(relation, values)));
-  return db_.AddRow(relation, values);
+  DIRE_RETURN_IF_ERROR(wal_->Append(payload));
+  lsn_.store(next, std::memory_order_release);
+  DIRE_RETURN_IF_ERROR(db_.AddRow(relation, values));
+  if (appended != nullptr) {
+    appended->epoch = epoch;
+    appended->lsn = next;
+    appended->payload = std::move(payload);
+  }
+  return Status::Ok();
 }
 
 Status DataDir::RetractFact(const std::string& relation,
                             const std::vector<std::string>& values,
-                            bool* removed) {
+                            bool* removed, AppendedRecord* appended) {
   std::lock_guard<std::mutex> lock(commit_mu_);
+  if (fenced_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("data dir " + dir_ +
+                                   " is fenced (deposed by a failover); "
+                                   "writes refused");
+  }
+  DIRE_RETURN_IF_ERROR(CheckWritable(relation, values.size()));
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  uint64_t next = lsn_.load(std::memory_order_relaxed) + 1;
+  std::string payload =
+      EncodeStampedRetractRecord(epoch, next, relation, values);
   // Same order as AppendFact: a crash after the WAL record but before the
   // in-memory removal replays the retraction on recovery.
-  DIRE_RETURN_IF_ERROR(wal_->Append(EncodeRetractRecord(relation, values)));
+  DIRE_RETURN_IF_ERROR(wal_->Append(payload));
+  lsn_.store(next, std::memory_order_release);
   DIRE_ASSIGN_OR_RETURN(bool was_present, db_.RemoveRow(relation, values));
   if (removed != nullptr) *removed = was_present;
+  if (appended != nullptr) {
+    appended->epoch = epoch;
+    appended->lsn = next;
+    appended->payload = std::move(payload);
+  }
   return Status::Ok();
+}
+
+Status DataDir::AppendReplicated(std::string_view payload,
+                                 const WalRecord& record, bool* mutated) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (mutated != nullptr) *mutated = false;
+  if (!record.stamped) {
+    return Status::Corruption(
+        "replicated record carries no (epoch, lsn) stamp");
+  }
+  uint64_t have = lsn_.load(std::memory_order_relaxed);
+  if (record.lsn != have + 1) {
+    return Status::Corruption(
+        StrFormat("replication stream gap: have lsn %llu, record is %llu",
+                  static_cast<unsigned long long>(have),
+                  static_cast<unsigned long long>(record.lsn)));
+  }
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (record.epoch < epoch) {
+    return Status::Corruption(
+        StrFormat("replicated record from stale epoch %llu (directory is at "
+                  "%llu)",
+                  static_cast<unsigned long long>(record.epoch),
+                  static_cast<unsigned long long>(epoch)));
+  }
+  if (record.op != WalRecord::Op::kEpoch) {
+    DIRE_RETURN_IF_ERROR(CheckWritable(record.relation,
+                                       record.values.size()));
+  }
+  // The payload is appended verbatim, so the follower's WAL is a byte-level
+  // suffix copy of the primary's and re-ships identically downstream.
+  DIRE_RETURN_IF_ERROR(wal_->Append(payload));
+  lsn_.store(record.lsn, std::memory_order_release);
+  bool epoch_changed = record.epoch > epoch;
+  if (epoch_changed) epoch_.store(record.epoch, std::memory_order_release);
+  switch (record.op) {
+    case WalRecord::Op::kEpoch:
+      fenced_.store(record.fenced, std::memory_order_release);
+      epoch_changed = true;
+      break;
+    case WalRecord::Op::kInsert:
+      DIRE_RETURN_IF_ERROR(db_.AddRow(record.relation, record.values));
+      if (mutated != nullptr) *mutated = true;
+      break;
+    case WalRecord::Op::kRetract: {
+      DIRE_ASSIGN_OR_RETURN(bool was_present,
+                            db_.RemoveRow(record.relation, record.values));
+      if (mutated != nullptr) *mutated = was_present;
+      break;
+    }
+  }
+  if (epoch_changed) {
+    DIRE_RETURN_IF_ERROR(WriteReplStateLocked());
+    DIRE_RETURN_IF_ERROR(StampLockLocked());
+  }
+  return Status::Ok();
+}
+
+Status DataDir::Promote(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (fenced_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument(
+        "data dir " + dir_ +
+        " is fenced; it must re-sync from the current primary before it can "
+        "be promoted");
+  }
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    return Status::InvalidArgument(
+        "data dir " + dir_ +
+        " is mid-resync (epoch 0); its state cannot be trusted for "
+        "promotion");
+  }
+  if (new_epoch <= epoch) {
+    return Status::InvalidArgument(
+        StrFormat("promotion epoch %llu must exceed the current epoch %llu",
+                  static_cast<unsigned long long>(new_epoch),
+                  static_cast<unsigned long long>(epoch)));
+  }
+  DIRE_RETURN_IF_ERROR(ControlRecordLocked(new_epoch, /*fenced=*/false));
+  log::Info("persist", "promoted to primary",
+            {{"dir", dir_},
+             {"epoch", std::to_string(new_epoch)},
+             {"lsn", std::to_string(lsn_.load(std::memory_order_relaxed))}});
+  return Status::Ok();
+}
+
+Status DataDir::Fence(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (fenced_.load(std::memory_order_relaxed) && epoch >= new_epoch) {
+    return Status::Ok();  // Already sealed at least this tightly.
+  }
+  if (new_epoch < epoch) {
+    return Status::InvalidArgument(
+        StrFormat("cannot fence at epoch %llu below the current epoch %llu",
+                  static_cast<unsigned long long>(new_epoch),
+                  static_cast<unsigned long long>(epoch)));
+  }
+  DIRE_RETURN_IF_ERROR(ControlRecordLocked(new_epoch, /*fenced=*/true));
+  log::Warn("persist", "directory fenced",
+            {{"dir", dir_}, {"epoch", std::to_string(new_epoch)}});
+  return Status::Ok();
+}
+
+Result<std::vector<DataDir::TailEntry>> DataDir::TailSince(
+    uint64_t after_lsn) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  uint64_t lsn = lsn_.load(std::memory_order_relaxed);
+  if (after_lsn > lsn) {
+    return Status::NotFound(
+        StrFormat("follower lsn %llu is ahead of this directory (lsn %llu)",
+                  static_cast<unsigned long long>(after_lsn),
+                  static_cast<unsigned long long>(lsn)));
+  }
+  std::vector<TailEntry> entries;
+  bool unstamped = false;
+  Result<WalReplayStats> replayed =
+      ReplayWal(wal_path_, [&](std::string_view payload) -> Status {
+        DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+        if (!record.stamped) {
+          unstamped = true;
+          return Status::Ok();
+        }
+        entries.push_back(
+            TailEntry{record.epoch, record.lsn, std::string(payload)});
+        return Status::Ok();
+      });
+  if (!replayed.ok()) return replayed.status();
+  if (unstamped) {
+    return Status::NotFound(
+        "WAL holds unstamped pre-replication records; snapshot transfer "
+        "required");
+  }
+  // The live WAL covers (base, lsn], where base is where the last checkpoint
+  // folded records away. A follower below base needs a snapshot.
+  uint64_t base = entries.empty() ? lsn : entries.front().lsn - 1;
+  if (after_lsn < base) {
+    return Status::NotFound(
+        StrFormat("WAL no longer covers lsn %llu (oldest live record is "
+                  "%llu)",
+                  static_cast<unsigned long long>(after_lsn),
+                  static_cast<unsigned long long>(base + 1)));
+  }
+  std::vector<TailEntry> out;
+  for (TailEntry& entry : entries) {
+    if (entry.lsn > after_lsn) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status DataDir::InstallSnapshot(std::string_view snapshot_bytes,
+                                uint64_t epoch, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  // Validate the transfer into scratch space first: a corrupt image must not
+  // destroy the (possibly still useful) local state.
+  {
+    Database scratch;
+    Result<SnapshotLoadStats> probe =
+        LoadSnapshot(&scratch, snapshot_bytes, SnapshotLoadOptions{});
+    if (!probe.ok()) return probe.status();
+  }
+  // Install order is crash-safe by construction:
+  //   1. Sentinel replstate (epoch 0): a crash anywhere past this point
+  //      leaves a directory that declares its own state untrustworthy, so
+  //      the next handshake forces another full resync.
+  epoch_.store(0, std::memory_order_release);
+  lsn_.store(0, std::memory_order_release);
+  fenced_.store(false, std::memory_order_release);
+  DIRE_RETURN_IF_ERROR(WriteReplStateLocked());
+  //   2. The old WAL describes the discarded history.
+  DIRE_RETURN_IF_ERROR(wal_->Reset());
+  //   3. The image itself, atomically.
+  DIRE_RETURN_IF_ERROR(io::AtomicWriteFile(snapshot_path_,
+                                           snapshot_bytes));
+  for (const std::string& name : db_.RelationNames()) db_.Drop(name);
+  Result<SnapshotLoadStats> loaded =
+      LoadSnapshot(&db_, snapshot_bytes, SnapshotLoadOptions{});
+  if (!loaded.ok()) return loaded.status();
+  recovered_ = RecoveredCheckpoint{};
+  //   4. Adopt the primary's identity; only now does the directory vouch
+  //      for itself again.
+  epoch_.store(epoch, std::memory_order_release);
+  lsn_.store(lsn, std::memory_order_release);
+  DIRE_RETURN_IF_ERROR(WriteReplStateLocked());
+  return StampLockLocked();
 }
 
 Status DataDir::Checkpoint(const SnapshotWriteOptions& opts) {
@@ -209,6 +605,10 @@ Status DataDir::Checkpoint(const SnapshotWriteOptions& opts) {
   obs::Span span("persist.checkpoint", "persist");
   auto t0 = std::chrono::steady_clock::now();
   DIRE_RETURN_IF_ERROR(SaveSnapshotFile(db_, snapshot_path_, opts));
+  // Replication identity must be durable before the WAL (whose stamps carry
+  // it) is reset; written unconditionally so the failpoint hit counts of a
+  // checkpoint stay deterministic.
+  DIRE_RETURN_IF_ERROR(WriteReplStateLocked());
   // Only reached once the new snapshot is durable; a crash before this line
   // leaves the old snapshot plus a WAL that replays over it.
   Status reset = wal_->Reset();

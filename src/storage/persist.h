@@ -1,10 +1,12 @@
 #ifndef DIRE_STORAGE_PERSIST_H_
 #define DIRE_STORAGE_PERSIST_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.h"
@@ -54,11 +56,22 @@ struct RecoveredCheckpoint {
 //      leaves a torn tail that replay drops (it was never acknowledged).
 //
 // Single-writer exclusion: Open acquires `<dir>/LOCK`, a file holding the
-// owner's PID, and the destructor releases it. A second Open while the
-// owner is alive fails with a clear diagnostic and touches nothing
-// (fail-closed); a lock left behind by a SIGKILLed process is detected by
-// PID liveness, logged, and broken — so `recover` after a crash, or run
-// twice, always either succeeds or explains itself.
+// owner's PID (line 1) and the directory's replication epoch (line 2), and
+// the destructor releases it. A second Open while the owner is alive fails
+// with a clear diagnostic and touches nothing (fail-closed); a lock left
+// behind by a SIGKILLed process is detected by PID liveness, logged, and
+// broken — so `recover` after a crash, or run twice, always either succeeds
+// or explains itself. A stale lock whose epoch exceeds the directory's
+// durable epoch marks the directory fenced (a torn fence is fail-closed).
+//
+// Replication identity: every directory carries a monotone (epoch, lsn)
+// pair. `epoch` is the failover generation (bumped by Promote, sealed by
+// Fence); `lsn` numbers every WAL record ever appended here. The durable
+// base lives in `<dir>/replstate` (atomically replaced; deliberately NOT in
+// the snapshot, so snapshots stay a pure function of the data and remain
+// byte-identical across primaries and replicas); WAL records carry their
+// own stamps, so recovery takes max(replstate, stamps) and no crash window
+// can regress the lsn.
 class DataDir {
  public:
   // Opens `dir` (creating it, an empty snapshot state, and the WAL when
@@ -75,24 +88,87 @@ class DataDir {
   const std::string& dir() const { return dir_; }
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& lock_path() const { return lock_path_; }
+  const std::string& replstate_path() const { return replstate_path_; }
   const RecoveredCheckpoint& recovered() const { return recovered_; }
+
+  // Replication identity, readable without the commit mutex (writers update
+  // under it). epoch() == 0 marks a directory mid-resync: its local state
+  // must not be trusted for resumable streaming.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t lsn() const { return lsn_.load(std::memory_order_acquire); }
+  bool fenced() const { return fenced_.load(std::memory_order_acquire); }
+
+  // The durable record a local write produced, for shipping to followers.
+  struct AppendedRecord {
+    uint64_t epoch = 0;
+    uint64_t lsn = 0;
+    std::string payload;
+  };
 
   // Durably inserts one fact: WAL append (fsync) first, then the in-memory
   // insert. On a WAL error the database is not mutated. Thread-safe against
   // concurrent Append/Retract/Checkpoint calls (one internal commit mutex);
-  // the caller must still serialize against readers of db().
+  // the caller must still serialize against readers of db(). Refused on a
+  // fenced directory (a deposed primary must not take writes).
   Status AppendFact(const std::string& relation,
-                    const std::vector<std::string>& values);
+                    const std::vector<std::string>& values,
+                    AppendedRecord* appended = nullptr);
 
   // Durably retracts one base fact (WAL `R` record first, then the
   // in-memory removal). Sets *removed to whether the fact was present.
   // Same thread-safety contract as AppendFact.
   Status RetractFact(const std::string& relation,
-                     const std::vector<std::string>& values, bool* removed);
+                     const std::vector<std::string>& values, bool* removed,
+                     AppendedRecord* appended = nullptr);
+
+  // Follower side: appends an already-stamped record received from the
+  // primary (payload verbatim, `record` its decoding) and applies it.
+  // Enforces stream contiguity (record.lsn == lsn()+1) and rejects records
+  // from an epoch older than the directory's — a gap or stale record means
+  // the stream diverged and the caller must full-resync. *mutated reports
+  // whether the database may have changed (false for no-op retractions and
+  // epoch control records).
+  Status AppendReplicated(std::string_view payload, const WalRecord& record,
+                          bool* mutated);
+
+  // Bumps the directory into `new_epoch` as the new primary: appends a
+  // durable `promoted` control record, persists replstate, restamps LOCK.
+  // Refused if new_epoch <= epoch() or the directory is fenced (a fenced
+  // replica's state may have diverged; it must re-sync first).
+  Status Promote(uint64_t new_epoch);
+
+  // Seals the directory at `new_epoch`: after this, a primary-mode open
+  // fails closed and writes are refused, so a deposed primary that wakes up
+  // cannot split-brain. Idempotent for an already-fenced directory at the
+  // same or lower epoch.
+  Status Fence(uint64_t new_epoch);
+
+  // Primary side: the stamped records with lsn > after_lsn still present in
+  // the live WAL, for resuming a follower without a snapshot transfer.
+  // Fails (NotFound) when the WAL no longer covers after_lsn — records were
+  // folded by a checkpoint, or predate stamping — in which case the caller
+  // falls back to shipping a full snapshot.
+  struct TailEntry {
+    uint64_t epoch = 0;
+    uint64_t lsn = 0;
+    std::string payload;
+  };
+  Result<std::vector<TailEntry>> TailSince(uint64_t after_lsn);
+
+  // Follower side, full resync: replaces the database and snapshot with
+  // `snapshot_bytes` (a SaveSnapshot image from the primary), resets the
+  // WAL, and adopts (epoch, lsn). Crash-safe: a sentinel replstate (epoch
+  // 0) is committed first, so a crash mid-install forces the next handshake
+  // into another full resync instead of trusting half-installed state.
+  // Clears a fence (the adopted state is the new primary's, not the
+  // diverged local history).
+  Status InstallSnapshot(std::string_view snapshot_bytes, uint64_t epoch,
+                         uint64_t lsn);
 
   // Atomically replaces the snapshot with the current database contents plus
-  // `opts` (checkpoint meta and delta sections), then resets the WAL. On
-  // failure the previous snapshot+WAL state is still recoverable.
+  // `opts` (checkpoint meta and delta sections), persists replstate, then
+  // resets the WAL. On failure the previous snapshot+WAL state is still
+  // recoverable.
   Status Checkpoint(const SnapshotWriteOptions& opts = {});
 
  private:
@@ -100,16 +176,33 @@ class DataDir {
       : dir_(std::move(dir)),
         snapshot_path_(dir_ + "/snapshot.dire"),
         wal_path_(dir_ + "/wal.log"),
-        lock_path_(dir_ + "/LOCK") {}
+        lock_path_(dir_ + "/LOCK"),
+        replstate_path_(dir_ + "/replstate") {}
 
   // Creates lock_path_ with O_EXCL, breaking a stale (dead-PID) lock.
   Status AcquireLock();
+  // Checks a relation/arity pair against the live schema BEFORE the WAL
+  // write, so a mismatched append can never leave a poison record that
+  // breaks every later replay.
+  Status CheckWritable(const std::string& relation, size_t arity) const;
+  // Persists (epoch, lsn, fenced) to replstate_path_; caller holds
+  // commit_mu_.
+  Status WriteReplStateLocked();
+  // Rewrites the owned LOCK file as "<pid>\n<epoch>\n".
+  Status StampLockLocked();
+  // Appends an epoch control record and persists it everywhere (WAL,
+  // replstate, LOCK); caller holds commit_mu_.
+  Status ControlRecordLocked(uint64_t new_epoch, bool fenced);
 
   std::string dir_;
   std::string snapshot_path_;
   std::string wal_path_;
   std::string lock_path_;
+  std::string replstate_path_;
   bool owns_lock_ = false;
+  // Epoch found in a stale lock we broke during AcquireLock; cross-checked
+  // against the recovered epoch to detect a torn fence.
+  uint64_t stale_lock_epoch_ = 0;
   // Serializes the durable commit protocol (WAL appends and snapshot/WAL
   // swaps) across threads. Readers of db_ are NOT covered; the server
   // layers a shared_mutex above this.
@@ -117,7 +210,21 @@ class DataDir {
   Database db_;
   std::unique_ptr<Wal> wal_;
   RecoveredCheckpoint recovered_;
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> lsn_{0};
+  std::atomic<bool> fenced_{false};
 };
+
+// The durable replication base of a data directory (see DataDir): what the
+// directory's (epoch, lsn, fenced) identity was at the last checkpoint or
+// control-record append. Exposed for the offline `verify` scrub.
+struct ReplState {
+  uint64_t epoch = 1;
+  uint64_t lsn = 0;
+  bool fenced = false;
+};
+Result<ReplState> ParseReplState(std::string_view body);
+std::string FormatReplState(const ReplState& state);
 
 // Name prefix of snapshot sections that hold checkpointed semi-naive deltas
 // rather than real relations ("$delta:" + predicate). '$' cannot appear in a
@@ -128,6 +235,9 @@ inline constexpr char kDeltaSectionPrefix[] = "$delta:";
 inline constexpr char kMetaStratum[] = "stratum";
 inline constexpr char kMetaRounds[] = "rounds";
 inline constexpr char kMetaProgramCrc[] = "program_crc";
+
+// Basename of the replication-state file inside a data directory.
+inline constexpr char kReplStateFile[] = "replstate";
 
 }  // namespace dire::storage
 

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include "base/failpoints.h"
 #include "base/io.h"
@@ -208,6 +209,22 @@ std::string EncodeOpRecord(char op, const std::string& relation,
   return payload;
 }
 
+std::string StampPrefix(uint64_t epoch, uint64_t lsn) {
+  return StrFormat("S\t%llu\t%llu\t", static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(lsn));
+}
+
+// Parses a decimal uint64 stamp field; nullopt on garbage or overflow risk.
+std::optional<uint64_t> ParseStamp(const std::string& text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string EncodeFactRecord(const std::string& relation,
@@ -220,20 +237,71 @@ std::string EncodeRetractRecord(const std::string& relation,
   return EncodeOpRecord('R', relation, values);
 }
 
+std::string EncodeStampedFactRecord(uint64_t epoch, uint64_t lsn,
+                                    const std::string& relation,
+                                    const std::vector<std::string>& values) {
+  return StampPrefix(epoch, lsn) + EncodeOpRecord('F', relation, values);
+}
+
+std::string EncodeStampedRetractRecord(
+    uint64_t epoch, uint64_t lsn, const std::string& relation,
+    const std::vector<std::string>& values) {
+  return StampPrefix(epoch, lsn) + EncodeOpRecord('R', relation, values);
+}
+
+std::string EncodeEpochRecord(uint64_t epoch, uint64_t lsn, bool fenced) {
+  return StampPrefix(epoch, lsn) + "E\t" + (fenced ? "fenced" : "promoted");
+}
+
 Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   std::vector<std::string> fields = Split(payload, '\t');
-  if (fields.size() < 2 || (fields[0] != "F" && fields[0] != "R")) {
+  WalRecord record;
+  size_t op_at = 0;
+  if (!fields.empty() && fields[0] == "S") {
+    if (fields.size() < 4) {
+      return Status::Corruption("malformed stamped WAL record");
+    }
+    std::optional<uint64_t> epoch = ParseStamp(fields[1]);
+    std::optional<uint64_t> lsn = ParseStamp(fields[2]);
+    if (!epoch || !lsn) {
+      return Status::Corruption(
+          "WAL record carries a non-numeric epoch/lsn stamp");
+    }
+    record.stamped = true;
+    record.epoch = *epoch;
+    record.lsn = *lsn;
+    op_at = 3;
+  }
+  if (fields.size() <= op_at) {
     return Status::Corruption("malformed WAL record");
   }
-  WalRecord record;
-  record.op =
-      fields[0] == "F" ? WalRecord::Op::kInsert : WalRecord::Op::kRetract;
-  DIRE_ASSIGN_OR_RETURN(record.relation, io::UnescapeTsvField(fields[1]));
+  const std::string& op = fields[op_at];
+  if (op == "E") {
+    // Epoch control records only exist stamped: without an (epoch, lsn)
+    // identity a fence/promotion marker is meaningless.
+    if (!record.stamped || fields.size() != op_at + 2) {
+      return Status::Corruption("malformed WAL epoch control record");
+    }
+    record.op = WalRecord::Op::kEpoch;
+    if (fields[op_at + 1] == "fenced") {
+      record.fenced = true;
+    } else if (fields[op_at + 1] != "promoted") {
+      return Status::Corruption("unknown WAL epoch control marker '" +
+                                fields[op_at + 1] + "'");
+    }
+    return record;
+  }
+  if ((op != "F" && op != "R") || fields.size() < op_at + 2) {
+    return Status::Corruption("malformed WAL record");
+  }
+  record.op = op == "F" ? WalRecord::Op::kInsert : WalRecord::Op::kRetract;
+  DIRE_ASSIGN_OR_RETURN(record.relation,
+                        io::UnescapeTsvField(fields[op_at + 1]));
   if (record.relation.empty()) {
     return Status::Corruption("WAL record names an empty relation");
   }
-  record.values.reserve(fields.size() - 2);
-  for (size_t i = 2; i < fields.size(); ++i) {
+  record.values.reserve(fields.size() - op_at - 2);
+  for (size_t i = op_at + 2; i < fields.size(); ++i) {
     DIRE_ASSIGN_OR_RETURN(std::string value, io::UnescapeTsvField(fields[i]));
     record.values.push_back(std::move(value));
   }
@@ -241,10 +309,10 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
 }
 
 Result<FactRecord> DecodeFactRecord(std::string_view payload) {
-  if (!payload.empty() && payload[0] != 'F') {
+  DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+  if (record.op != WalRecord::Op::kInsert) {
     return Status::Corruption("malformed WAL fact record");
   }
-  DIRE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
   return FactRecord{std::move(record.relation), std::move(record.values)};
 }
 

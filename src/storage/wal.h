@@ -31,9 +31,24 @@ namespace dire::storage {
 // Replay is idempotent: payloads describe set-semantics fact insertions, so
 // records that were already folded into the snapshot re-apply harmlessly.
 //
-// Record payloads are text, tab-separated with io::EscapeTsvField fields:
-//   F<TAB>relation<TAB>value...   insert one fact
-//   R<TAB>relation<TAB>value...   retract one fact
+// Record payloads are text, tab-separated with io::EscapeTsvField fields
+// (escaping makes payloads newline-free, which is what lets the replication
+// layer ship them verbatim over the line protocol):
+//   F<TAB>relation<TAB>value...   insert one fact (legacy, unstamped)
+//   R<TAB>relation<TAB>value...   retract one fact (legacy, unstamped)
+//   S<TAB>epoch<TAB>lsn<TAB>F|R<TAB>relation<TAB>value...
+//                                 a stamped insert/retract: `epoch` is the
+//                                 primary's failover generation and `lsn`
+//                                 the per-directory log sequence number,
+//                                 both decimal
+//   S<TAB>epoch<TAB>lsn<TAB>E<TAB>promoted|fenced
+//                                 an epoch control record: the directory
+//                                 entered `epoch` by being promoted to
+//                                 primary, or was fenced (sealed against
+//                                 ever serving as primary at an older
+//                                 epoch) by a failover
+// Legacy records still decode (epoch/lsn report 0, `stamped` false), so
+// data directories written before replication existed replay unchanged.
 class Wal {
  public:
   // Opens (creating if needed) the log at `path` for appending.
@@ -88,17 +103,36 @@ std::string EncodeFactRecord(const std::string& relation,
 // Same framing with an R op: durably retract one base fact.
 std::string EncodeRetractRecord(const std::string& relation,
                                 const std::vector<std::string>& values);
+// Stamped variants carrying the replication (epoch, lsn) identity.
+std::string EncodeStampedFactRecord(uint64_t epoch, uint64_t lsn,
+                                    const std::string& relation,
+                                    const std::vector<std::string>& values);
+std::string EncodeStampedRetractRecord(
+    uint64_t epoch, uint64_t lsn, const std::string& relation,
+    const std::vector<std::string>& values);
+// An epoch control record: `fenced` seals the directory against serving as
+// primary; otherwise it records a promotion into `epoch`.
+std::string EncodeEpochRecord(uint64_t epoch, uint64_t lsn, bool fenced);
+
 struct FactRecord {
   std::string relation;
   std::vector<std::string> values;
 };
 
-// Op-aware record view for replay: inserts and retractions in WAL order.
+// Op-aware record view for replay: inserts, retractions, and epoch control
+// records in WAL order.
 struct WalRecord {
-  enum class Op { kInsert, kRetract };
+  enum class Op { kInsert, kRetract, kEpoch };
   Op op = Op::kInsert;
   std::string relation;
   std::vector<std::string> values;
+  // Replication stamp; 0/0 with `stamped` false on legacy records.
+  bool stamped = false;
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  // Op::kEpoch only: the record seals (fences) the directory rather than
+  // promoting it.
+  bool fenced = false;
 };
 Result<WalRecord> DecodeWalRecord(std::string_view payload);
 Result<FactRecord> DecodeFactRecord(std::string_view payload);

@@ -1,0 +1,230 @@
+#!/usr/bin/env bash
+# Failover chaos end-to-end for WAL-shipped replication: a primary under
+# client traffic streams every committed record to a live follower; SIGKILL
+# the primary at failpoint-chosen moments inside the durable-commit protocol,
+# promote the follower (fencing the deposed directory), and verify
+#
+#   1. every ADD the primary acknowledged is present on the new primary
+#      (synchronous shipping: ack implies the follower durably applied it),
+#   2. the promoted database converges to a snapshot byte-identical to a
+#      serial replay of the same base facts into a fresh directory,
+#   3. the deposed primary fails closed: a restart on the fenced directory
+#      refuses to serve instead of split-braining, and
+#   4. the offline verify scrub passes on every directory it should (and
+#      the crashed one only with --allow-torn-tail).
+#
+# Usage: replication_failover.sh /path/to/dire_cli
+set -u
+
+CLI="${1:?usage: replication_failover.sh /path/to/dire_cli}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/dire_repl_failover.XXXXXX")"
+PRIMARY_PID=""
+FOLLOWER_PID=""
+
+cleanup() {
+  [ -n "$PRIMARY_PID" ] && kill -9 "$PRIMARY_PID" 2> /dev/null
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+PROG="$WORK/tc.dl"
+cat > "$PROG" << 'EOF'
+t(X, Y) :- e(X, Z), t(Z, Y).
+t(X, Y) :- e(X, Y).
+EOF
+
+# Failpoints fire only in -DDIRE_FAILPOINTS=ON builds (the default); skip
+# cleanly when compiled out (same probe as serve_chaos.sh).
+if "$CLI" serve "$PROG" --data-dir "$WORK/probe" --crash-at probe.site \
+    --chaos-probe-unknown-flag 2>&1 | grep -q "DIRE_FAILPOINTS=ON"; then
+  echo "SKIP: failpoints are compiled out; failover chaos needs them"
+  exit 0
+fi
+rm -rf "$WORK/probe"
+
+# Starts a server in the background and sets LAST_PID. Must run in this
+# shell (not a command substitution) so the script can later `wait` the pid —
+# fencing a SIGKILLed primary requires its zombie to be reaped first.
+start_server() { # data_dir log port_file [extra flags...]
+  local dir="$1" log="$2" port_file="$3"
+  shift 3
+  rm -f "$port_file"
+  "$CLI" serve "$PROG" --data-dir "$dir" --port-file "$port_file" \
+      --checkpoint-every-writes 3 "$@" > "$log" 2>&1 &
+  LAST_PID=$!
+}
+
+wait_port() { # pid port_file log -> prints port
+  local pid="$1" port_file="$2" log="$3"
+  for _ in $(seq 1 2000); do
+    if [ -s "$port_file" ]; then
+      cat "$port_file"
+      return 0
+    fi
+    kill -0 "$pid" 2> /dev/null || fail "server died at startup: $(cat "$log")"
+    sleep 0.005
+  done
+  fail "server never wrote its port file: $(cat "$log")"
+}
+
+request() { # port line
+  local port="$1" line="$2" response
+  exec 3<> "/dev/tcp/127.0.0.1/$port" || return 1
+  printf '%s\n' "$line" >&3 || { exec 3>&-; return 1; }
+  IFS= read -r -t 10 response <&3 || { exec 3>&-; return 1; }
+  exec 3>&-
+  printf '%s\n' "$response"
+}
+
+wait_health() { # port pattern
+  local port="$1" pattern="$2"
+  for _ in $(seq 1 2000); do
+    case "$(request "$port" HEALTH 2> /dev/null)" in
+      $pattern) return 0 ;;
+    esac
+    sleep 0.005
+  done
+  return 1
+}
+
+query_tuples() { # port atom
+  local port="$1"
+  exec 3<> "/dev/tcp/127.0.0.1/$port" || return 1
+  printf 'QUERY %s\n' "$2" >&3 || { exec 3>&-; return 1; }
+  local line first=1
+  while IFS= read -r -t 10 line <&3; do
+    [ "$line" = "END" ] && break
+    if [ "$first" = 1 ]; then
+      first=0
+      case "$line" in OK* | PARTIAL*) continue ;; *) exec 3>&-; return 1 ;; esac
+    fi
+    printf '%s\n' "$line"
+  done
+  exec 3>&-
+}
+
+round=0
+# Kill sites inside the primary's commit protocol. Skip counts step over the
+# startup recovery fold (two checkpoints, each replacing snapshot AND
+# replstate: four io.atomic.* hits, one server.checkpoint; WAL appends only
+# start with traffic). wal.append.short kills mid-append — an unacknowledged
+# torn record the failover must shrug off.
+for crash in "wal.sync:2" "io.atomic.fsync:4" "io.atomic.rename:4" \
+    "server.checkpoint:1" "wal.append.short:3"; do
+  round=$((round + 1))
+  PRIM="$WORK/round$round.primary"
+  FOLL="$WORK/round$round.follower"
+  echo "--- round $round: SIGKILL primary at $crash"
+
+  start_server "$PRIM" "$WORK/r$round.prim.log" "$WORK/prim.port" \
+      --crash-at "$crash"
+  PRIMARY_PID="$LAST_PID"
+  PPORT="$(wait_port "$PRIMARY_PID" "$WORK/prim.port" "$WORK/r$round.prim.log")"
+  start_server "$FOLL" "$WORK/r$round.foll.log" "$WORK/foll.port" \
+      --replicate-from "127.0.0.1:$PPORT"
+  FOLLOWER_PID="$LAST_PID"
+  FPORT="$(wait_port "$FOLLOWER_PID" "$WORK/foll.port" "$WORK/r$round.foll.log")"
+
+  wait_health "$PPORT" "OK ready=1*" || fail "round $round: primary not ready"
+  wait_health "$FPORT" "OK ready=1*connected=1*" \
+      || fail "round $round: follower never connected: $(cat "$WORK/r$round.foll.log")"
+
+  # Traffic until the armed failpoint kills the primary. Every acknowledged
+  # fact is recorded; with synchronous shipping the ack also means the
+  # follower applied it durably.
+  : > "$WORK/acked"
+  for i in 0 1 2 3 4 5 6 7; do
+    fact="e(n$i, n$((i + 1)))"
+    response="$(request "$PPORT" "ADD $fact")" || break
+    case "$response" in
+      "OK added="* | "PARTIAL added="*) echo "$fact" >> "$WORK/acked" ;;
+      *) fail "round $round: unexpected ADD response: $response" ;;
+    esac
+  done
+
+  for _ in $(seq 1 2000); do
+    kill -0 "$PRIMARY_PID" 2> /dev/null || break
+    sleep 0.005
+  done
+  kill -0 "$PRIMARY_PID" 2> /dev/null \
+      && fail "round $round: primary survived traffic armed with $crash"
+  wait "$PRIMARY_PID" 2> /dev/null  # Reap: the fence needs the pid gone.
+  PRIMARY_PID=""
+  [ -s "$WORK/acked" ] || fail "round $round: no ADD was acknowledged"
+  echo "    acked $(wc -l < "$WORK/acked") facts before the kill"
+
+  # The crashed directory: everything but a torn WAL tail must verify.
+  "$CLI" verify --data-dir "$PRIM" --allow-torn-tail > /dev/null \
+      || fail "round $round: crashed primary dir has damage beyond a torn tail"
+
+  # Promote the follower and fence the deposed directory in one step.
+  "$CLI" promote "127.0.0.1:$FPORT" --fence-dir "$PRIM" \
+      > "$WORK/r$round.promote.log" 2>&1 \
+      || fail "round $round: promote failed: $(cat "$WORK/r$round.promote.log")"
+  grep -q "^OK promoted epoch=" "$WORK/r$round.promote.log" \
+      || fail "round $round: promote answered oddly: $(cat "$WORK/r$round.promote.log")"
+  grep -q "^fenced " "$WORK/r$round.promote.log" \
+      || fail "round $round: promote did not fence the deposed dir"
+
+  # 1. Acked survival: every acknowledged fact answers on the new primary.
+  query_tuples "$FPORT" "e(X, Y)" | tr -d ' ' | sort > "$WORK/recovered"
+  while IFS= read -r fact; do
+    grep -qxF "$(printf '%s' "$fact" | tr -d ' ')" "$WORK/recovered" \
+        || fail "round $round: acked fact $fact lost across the failover"
+  done < "$WORK/acked"
+  # Re-adding an acked fact must be a no-op: it is already there.
+  first_acked="$(head -n 1 "$WORK/acked")"
+  [ "$(request "$FPORT" "ADD $first_acked")" = "OK added=0" ] \
+      || fail "round $round: new primary did not already hold $first_acked"
+
+  # The new primary accepts fresh writes and reports its role.
+  [ "$(request "$FPORT" "ADD e(extra$round, n0)")" = "OK added=1" ] \
+      || fail "round $round: promoted follower refused a write"
+  case "$(request "$FPORT" HEALTH)" in
+    *"role=primary"*) ;;
+    *) fail "round $round: promoted follower does not report role=primary" ;;
+  esac
+
+  # 3. The deposed primary fails closed: restart refuses the fenced dir.
+  if timeout 30 "$CLI" serve "$PROG" --data-dir "$PRIM" \
+      > "$WORK/r$round.deposed.log" 2>&1; then
+    fail "round $round: deposed primary restarted despite the fence"
+  fi
+  grep -q "fenced" "$WORK/r$round.deposed.log" \
+      || fail "round $round: deposed restart failed for the wrong reason: $(cat "$WORK/r$round.deposed.log")"
+
+  # Graceful shutdown of the new primary, then strict offline verify: a
+  # clean stop leaves nothing torn anywhere — including the fenced dir,
+  # whose tail was truncated and sealed by the fence.
+  query_tuples "$FPORT" "e(X, Y)" | tr -d ' ' | sort > "$WORK/final_facts"
+  kill -TERM "$FOLLOWER_PID"
+  wait "$FOLLOWER_PID" 2> /dev/null
+  FOLLOWER_PID=""
+  "$CLI" verify --data-dir "$FOLL" > /dev/null \
+      || fail "round $round: strict verify failed on the promoted dir"
+  "$CLI" verify --data-dir "$PRIM" > /dev/null \
+      || fail "round $round: strict verify failed on the fenced dir"
+
+  # 2. Determinism: the promoted snapshot is byte-identical to a serial
+  # replay of the same base facts into a fresh directory.
+  "$CLI" "$PROG" --data-dir "$FOLL" --eval > /dev/null \
+      || fail "round $round: post-failover eval failed"
+  REF="$WORK/ref$round"
+  add_flags=()
+  while IFS= read -r tuple; do
+    add_flags+=(--add "$tuple")
+  done < "$WORK/final_facts"
+  "$CLI" "$PROG" --data-dir "$REF" "${add_flags[@]}" --eval > /dev/null \
+      || fail "round $round: reference replay failed"
+  cmp "$FOLL/snapshot.dire" "$REF/snapshot.dire" \
+      || fail "round $round: promoted snapshot differs from serial replay"
+  echo "    promoted snapshot byte-identical to serial replay"
+done
+
+echo "PASS: $round failover rounds (acked facts survived promotion; deposed primaries fenced; snapshots byte-identical)"

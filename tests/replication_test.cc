@@ -1,0 +1,605 @@
+// Replication: wire framing, deterministic retry jitter, the durable
+// (epoch, lsn) identity of a data directory, fencing semantics, and an
+// in-process primary/follower pair exercising the full WAL-shipping and
+// failover flow (the SIGKILL chaos variant lives in
+// tests/replication_failover.sh).
+
+#include "server/replication.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/persist.h"
+#include "storage/wal.h"
+#include "tests/test_util.h"
+
+namespace dire::server {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic retry jitter.
+// ---------------------------------------------------------------------------
+
+TEST(Jitter, DeterministicWithinBoundsAndSpread) {
+  std::set<int> seen;
+  for (uint64_t seq = 0; seq < 200; ++seq) {
+    int hint = JitteredRetryAfterMs(40, /*seed=*/1, seq);
+    EXPECT_GE(hint, 20);  // [base/2, 3*base/2]
+    EXPECT_LE(hint, 60);
+    EXPECT_EQ(hint, JitteredRetryAfterMs(40, 1, seq));  // Reproducible.
+    seen.insert(hint);
+  }
+  // Jitter that never varies is not jitter: the 200 ordinals must cover a
+  // real spread of the 41-value window.
+  EXPECT_GT(seen.size(), 20u);
+  // Different seeds give different schedules.
+  bool differs = false;
+  for (uint64_t seq = 0; seq < 32 && !differs; ++seq) {
+    differs = JitteredRetryAfterMs(40, 1, seq) !=
+              JitteredRetryAfterMs(40, 2, seq);
+  }
+  EXPECT_TRUE(differs);
+  // Degenerate bases pass through untouched.
+  EXPECT_EQ(JitteredRetryAfterMs(0, 1, 7), 0);
+  EXPECT_EQ(JitteredRetryAfterMs(-5, 1, 7), -5);
+}
+
+// ---------------------------------------------------------------------------
+// Stream line framing.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationWire, RecLineRoundTripsAndChecksums) {
+  std::string payload = storage::EncodeStampedFactRecord(3, 17, "e", {"a", "b"});
+  std::string line = FormatRecLine(3, 17, payload);
+  Result<RecLine> parsed = ParseRecLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->epoch, 3u);
+  EXPECT_EQ(parsed->lsn, 17u);
+  EXPECT_EQ(parsed->payload, payload);
+
+  // Any damaged byte fails the CRC; damage cannot reach the database.
+  for (size_t i = 0; i < line.size(); ++i) {
+    std::string bad = line;
+    bad[i] = bad[i] == 'x' ? 'y' : 'x';
+    if (bad == line) continue;
+    EXPECT_FALSE(ParseRecLine(bad).ok()) << "flip at " << i;
+  }
+  EXPECT_FALSE(ParseRecLine("REC 1 2").ok());
+  EXPECT_FALSE(ParseRecLine("REC 1 2 nothex payload").ok());
+  EXPECT_FALSE(ParseRecLine("").ok());
+}
+
+TEST(ReplicationWire, AckPingAndHeaderLines) {
+  Result<uint64_t> ack = ParseAckLine(FormatAckLine(41));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(*ack, 41u);
+  EXPECT_FALSE(ParseAckLine("ACK").ok());
+  EXPECT_FALSE(ParseAckLine("ACK lsn=x").ok());
+
+  Result<PingLine> ping = ParsePingLine(FormatPingLine(2, 9));
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->epoch, 2u);
+  EXPECT_EQ(ping->lsn, 9u);
+
+  Result<StreamHeader> stream = ParseStreamHeader(FormatStreamLine(4, 100));
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->snapshot);
+  EXPECT_EQ(stream->epoch, 4u);
+  EXPECT_EQ(stream->lsn, 100u);
+
+  Result<StreamHeader> snap =
+      ParseStreamHeader(FormatSnapshotLine(4, 100, 12345));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap->snapshot);
+  EXPECT_EQ(snap->snapshot_bytes, 12345u);
+
+  EXPECT_FALSE(ParseStreamHeader("GARBAGE epoch=1 lsn=2").ok());
+  EXPECT_FALSE(ParseStreamHeader("SNAPSHOT epoch=1 lsn=2").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stamped WAL records.
+// ---------------------------------------------------------------------------
+
+TEST(StampedWal, RecordsRoundTripAndLegacyStillDecodes) {
+  Result<storage::WalRecord> fact = storage::DecodeWalRecord(
+      storage::EncodeStampedFactRecord(2, 7, "e", {"a", "tab\tvalue"}));
+  ASSERT_TRUE(fact.ok()) << fact.status();
+  EXPECT_EQ(fact->op, storage::WalRecord::Op::kInsert);
+  EXPECT_TRUE(fact->stamped);
+  EXPECT_EQ(fact->epoch, 2u);
+  EXPECT_EQ(fact->lsn, 7u);
+  EXPECT_EQ(fact->relation, "e");
+  ASSERT_EQ(fact->values.size(), 2u);
+  EXPECT_EQ(fact->values[1], "tab\tvalue");
+
+  Result<storage::WalRecord> retract = storage::DecodeWalRecord(
+      storage::EncodeStampedRetractRecord(2, 8, "e", {"a", "b"}));
+  ASSERT_TRUE(retract.ok());
+  EXPECT_EQ(retract->op, storage::WalRecord::Op::kRetract);
+
+  Result<storage::WalRecord> promoted =
+      storage::DecodeWalRecord(storage::EncodeEpochRecord(3, 9, false));
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->op, storage::WalRecord::Op::kEpoch);
+  EXPECT_FALSE(promoted->fenced);
+  Result<storage::WalRecord> fenced =
+      storage::DecodeWalRecord(storage::EncodeEpochRecord(3, 9, true));
+  ASSERT_TRUE(fenced.ok());
+  EXPECT_TRUE(fenced->fenced);
+
+  // Pre-replication records decode unstamped; old directories replay as-is.
+  Result<storage::WalRecord> legacy =
+      storage::DecodeWalRecord(storage::EncodeFactRecord("e", {"a", "b"}));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_FALSE(legacy->stamped);
+  EXPECT_EQ(legacy->epoch, 0u);
+
+  EXPECT_FALSE(storage::DecodeWalRecord("S\tnotanumber\t1\tF\te\ta").ok());
+  EXPECT_FALSE(storage::DecodeWalRecord("S\t1\t2\tE\tmystery").ok());
+}
+
+TEST(ReplState, FormatParsesBackAndRejectsGarbage) {
+  storage::ReplState state;
+  state.epoch = 5;
+  state.lsn = 99;
+  state.fenced = true;
+  Result<storage::ReplState> parsed =
+      storage::ParseReplState(storage::FormatReplState(state));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->epoch, 5u);
+  EXPECT_EQ(parsed->lsn, 99u);
+  EXPECT_TRUE(parsed->fenced);
+  EXPECT_FALSE(storage::ParseReplState("").ok());
+  EXPECT_FALSE(storage::ParseReplState("epoch x\nlsn 1\n").ok());
+  EXPECT_FALSE(storage::ParseReplState("lsn 1\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// DataDir identity, fencing, tail, snapshot install.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicatedDataDir, WritesStampContiguousLsnsAndRecover) {
+  std::string dir = FreshDir("repl_dd_stamps");
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    storage::DataDir& dd = **opened;
+    EXPECT_EQ(dd.epoch(), 1u);
+    EXPECT_EQ(dd.lsn(), 0u);
+    storage::DataDir::AppendedRecord rec;
+    ASSERT_TRUE(dd.AppendFact("e", {"a", "b"}, &rec).ok());
+    EXPECT_EQ(rec.epoch, 1u);
+    EXPECT_EQ(rec.lsn, 1u);
+    bool removed = false;
+    ASSERT_TRUE(dd.RetractFact("e", {"a", "b"}, &removed, &rec).ok());
+    EXPECT_TRUE(removed);
+    EXPECT_EQ(rec.lsn, 2u);
+  }
+  // Identity survives reopen — from the WAL stamps alone (pre-checkpoint)
+  // and from replstate after a checkpoint folds the WAL away.
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ((*opened)->epoch(), 1u);
+    EXPECT_EQ((*opened)->lsn(), 2u);
+    ASSERT_TRUE((*opened)->Checkpoint().ok());
+  }
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ((*opened)->lsn(), 2u);
+  }
+}
+
+TEST(ReplicatedDataDir, PromoteBumpsEpochDurablyAndFenceSeals) {
+  std::string dir = FreshDir("repl_dd_promote");
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    storage::DataDir& dd = **opened;
+    ASSERT_TRUE(dd.AppendFact("e", {"a", "b"}).ok());
+    EXPECT_FALSE(dd.Promote(1).ok());  // Must strictly advance.
+    ASSERT_TRUE(dd.Promote(2).ok());
+    EXPECT_EQ(dd.epoch(), 2u);
+    EXPECT_EQ(dd.lsn(), 2u);  // The control record consumed an lsn.
+  }
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    storage::DataDir& dd = **opened;
+    EXPECT_EQ(dd.epoch(), 2u);
+    EXPECT_FALSE(dd.fenced());
+
+    ASSERT_TRUE(dd.Fence(3).ok());
+    EXPECT_TRUE(dd.fenced());
+    // Sealed: writes refused, promotion refused, fence idempotent.
+    Status write = dd.AppendFact("e", {"c", "d"});
+    EXPECT_FALSE(write.ok());
+    EXPECT_NE(write.ToString().find("fenced"), std::string::npos);
+    EXPECT_FALSE(dd.Promote(4).ok());
+    EXPECT_TRUE(dd.Fence(3).ok());
+    // A lower-epoch fence is an idempotent no-op; the seal never regresses.
+    EXPECT_TRUE(dd.Fence(2).ok());
+    EXPECT_EQ(dd.epoch(), 3u);
+  }
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_TRUE((*opened)->fenced());  // The seal is durable.
+  }
+}
+
+TEST(ReplicatedDataDir, TornFenceRecoversAsFenced) {
+  // A crash between stamping LOCK with the new epoch and appending the
+  // fence record must fail closed: simulate it with a stale (dead-pid)
+  // LOCK carrying a higher epoch than anything durable.
+  std::string dir = FreshDir("repl_dd_tornfence");
+  {
+    auto opened = storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE((*opened)->AppendFact("e", {"a", "b"}).ok());
+  }
+  {
+    std::ofstream lock(dir + "/LOCK");
+    lock << 999999999 << "\n" << 7 << "\n";  // Dead pid, epoch from the future.
+  }
+  auto opened = storage::DataDir::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_TRUE((*opened)->fenced());
+}
+
+TEST(ReplicatedDataDir, TailSinceResumesOrRefusesHonestly) {
+  std::string dir = FreshDir("repl_dd_tail");
+  auto opened = storage::DataDir::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  storage::DataDir& dd = **opened;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dd.AppendFact("e", {"a", std::to_string(i)}).ok());
+  }
+  Result<std::vector<storage::DataDir::TailEntry>> tail = dd.TailSince(2);
+  ASSERT_TRUE(tail.ok()) << tail.status();
+  ASSERT_EQ(tail->size(), 2u);
+  EXPECT_EQ((*tail)[0].lsn, 3u);
+  EXPECT_EQ((*tail)[1].lsn, 4u);
+  // Everything already shipped: an empty, successful tail.
+  Result<std::vector<storage::DataDir::TailEntry>> upToDate = dd.TailSince(4);
+  ASSERT_TRUE(upToDate.ok());
+  EXPECT_TRUE(upToDate->empty());
+  // A follower claiming to be ahead of the primary is refused.
+  EXPECT_FALSE(dd.TailSince(5).ok());
+  // After a checkpoint the WAL no longer covers old positions; the caller
+  // must fall back to a snapshot rather than silently skip records.
+  ASSERT_TRUE(dd.Checkpoint().ok());
+  EXPECT_FALSE(dd.TailSince(2).ok());
+  ASSERT_TRUE(dd.AppendFact("e", {"b", "x"}).ok());
+  Result<std::vector<storage::DataDir::TailEntry>> fresh = dd.TailSince(4);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_EQ(fresh->size(), 1u);
+  EXPECT_EQ((*fresh)[0].lsn, 5u);
+}
+
+TEST(ReplicatedDataDir, AppendReplicatedEnforcesContiguityAndEpoch) {
+  std::string dir = FreshDir("repl_dd_applied");
+  auto opened = storage::DataDir::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  storage::DataDir& dd = **opened;
+
+  auto apply = [&](const std::string& payload) -> Status {
+    Result<storage::WalRecord> rec = storage::DecodeWalRecord(payload);
+    if (!rec.ok()) return rec.status();
+    bool mutated = false;
+    return dd.AppendReplicated(payload, *rec, &mutated);
+  };
+
+  ASSERT_TRUE(
+      apply(storage::EncodeStampedFactRecord(1, 1, "e", {"a", "b"})).ok());
+  // A gap means records were lost: refuse, forcing a resync.
+  Status gap = apply(storage::EncodeStampedFactRecord(1, 3, "e", {"c", "d"}));
+  EXPECT_FALSE(gap.ok());
+  EXPECT_NE(gap.ToString().find("gap"), std::string::npos);
+  // Unstamped payloads cannot carry a position: refused.
+  EXPECT_FALSE(apply(storage::EncodeFactRecord("e", {"c", "d"})).ok());
+  // Records from a dethroned epoch are refused.
+  ASSERT_TRUE(apply(storage::EncodeEpochRecord(3, 2, false)).ok());
+  EXPECT_FALSE(
+      apply(storage::EncodeStampedFactRecord(2, 3, "e", {"c", "d"})).ok());
+  // The stream resumes in the new epoch.
+  ASSERT_TRUE(
+      apply(storage::EncodeStampedFactRecord(3, 3, "e", {"c", "d"})).ok());
+  EXPECT_EQ(dd.epoch(), 3u);
+  EXPECT_EQ(dd.lsn(), 3u);
+  // A fencing control record seals the directory.
+  ASSERT_TRUE(apply(storage::EncodeEpochRecord(4, 4, true)).ok());
+  EXPECT_TRUE(dd.fenced());
+}
+
+TEST(ReplicatedDataDir, InstallSnapshotAdoptsForeignState) {
+  // Build a source database and snapshot it.
+  std::string src_dir = FreshDir("repl_dd_snap_src");
+  auto src = storage::DataDir::Open(src_dir);
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE((*src)->AppendFact("e", {"a", "b"}).ok());
+  ASSERT_TRUE((*src)->AppendFact("e", {"b", "c"}).ok());
+  Result<std::string> image = storage::SaveSnapshot(*(*src)->db());
+  ASSERT_TRUE(image.ok());
+
+  std::string dst_dir = FreshDir("repl_dd_snap_dst");
+  {
+    auto dst = storage::DataDir::Open(dst_dir);
+    ASSERT_TRUE(dst.ok());
+    ASSERT_TRUE((*dst)->AppendFact("old", {"x"}).ok());
+    ASSERT_TRUE((*dst)->Fence(9).ok());  // Even a fenced dir can resync.
+    ASSERT_TRUE((*dst)->InstallSnapshot(*image, 10, 2).ok());
+    EXPECT_EQ((*dst)->epoch(), 10u);
+    EXPECT_EQ((*dst)->lsn(), 2u);
+    EXPECT_FALSE((*dst)->fenced());
+    storage::Relation* e = (*dst)->db()->Find("e");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->size(), 2u);
+    EXPECT_EQ((*dst)->db()->Find("old"), nullptr);  // Dropped, not merged.
+    // Garbage bytes never replace a working database.
+    Status bad = (*dst)->InstallSnapshot("not a snapshot", 11, 3);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ((*dst)->epoch(), 10u);
+    ASSERT_NE((*dst)->db()->Find("e"), nullptr);
+  }
+  auto reopened = storage::DataDir::Open(dst_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->epoch(), 10u);
+  EXPECT_EQ((*reopened)->lsn(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// In-process primary/follower pair, full flow over real sockets.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kTcProgram = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+class TestServer {
+ public:
+  explicit TestServer(ServerConfig config) {
+    config.host = "127.0.0.1";
+    config.port = 0;
+    Result<std::unique_ptr<Server>> created = Server::Create(
+        config, dire::testing::ParseOrDie(kTcProgram), std::string(kTcProgram));
+    EXPECT_TRUE(created.ok()) << created.status();
+    server_ = std::move(created).value();
+    runner_ = std::thread([this] { run_status_ = server_->Run(); });
+  }
+  ~TestServer() {
+    if (server_) Stop();
+  }
+  void Stop() {
+    server_->Shutdown();
+    if (runner_.joinable()) runner_.join();
+    EXPECT_TRUE(run_status_.ok()) << run_status_;
+    server_.reset();
+  }
+  Server& server() { return *server_; }
+  int port() const { return server_->port(); }
+  void WaitReady() {
+    while (!server_->ready()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+  Status run_status_;
+};
+
+// Minimal blocking line client (same protocol as server_test.cc).
+class Client {
+ public:
+  explicit Client(int port) {
+    Result<int> fd = DialTcp("127.0.0.1:" + std::to_string(port));
+    if (fd.ok()) fd_ = *fd;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  std::string RoundTrip(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::write(fd_, framed.data() + sent, framed.size() - sent);
+      if (n <= 0) return "";
+      sent += static_cast<size_t>(n);
+    }
+    return ReadLine();
+  }
+
+  std::vector<std::string> RoundTripMulti(const std::string& line) {
+    std::vector<std::string> lines;
+    lines.push_back(RoundTrip(line));
+    while (lines.back() != "END" && !lines.back().empty()) {
+      lines.push_back(ReadLine());
+    }
+    return lines;
+  }
+
+  std::string ReadLine() {
+    std::string line;
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return line;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// Polls the follower until its replication link reports connected.
+void WaitConnected(int follower_port) {
+  Client probe(follower_port);
+  ASSERT_TRUE(probe.connected());
+  for (int i = 0; i < 3000; ++i) {
+    std::string health = probe.RoundTrip("HEALTH");
+    if (health.find("connected=1") != std::string::npos) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "follower never connected to its primary";
+}
+
+TEST(Replication, FollowerMirrorsPrimaryAndFailsOver) {
+  ServerConfig primary_config;
+  primary_config.data_dir = FreshDir("repl_e2e_primary");
+  TestServer primary(primary_config);
+  primary.WaitReady();
+
+  ServerConfig follower_config;
+  follower_config.data_dir = FreshDir("repl_e2e_follower");
+  follower_config.replicate_from =
+      "127.0.0.1:" + std::to_string(primary.port());
+  TestServer follower(follower_config);
+  follower.WaitReady();
+  WaitConnected(follower.port());
+
+  Client to_primary(primary.port());
+  Client to_follower(follower.port());
+  ASSERT_TRUE(to_primary.connected());
+  ASSERT_TRUE(to_follower.connected());
+
+  // A synchronous write: by the time the primary answers OK, the follower
+  // has durably applied the record — so an immediate follower read sees
+  // both the base fact and its derived consequences.
+  EXPECT_EQ(to_primary.RoundTrip("ADD e(a, b)"), "OK added=1");
+  EXPECT_EQ(to_primary.RoundTrip("ADD e(b, c)"), "OK added=1");
+  std::vector<std::string> answer = to_follower.RoundTripMulti("QUERY t(a, X)");
+  ASSERT_EQ(answer.size(), 4u) << answer[0];
+  EXPECT_EQ(answer[0], "OK 2");
+  EXPECT_EQ(answer[1], "t(a, b)");
+  EXPECT_EQ(answer[2], "t(a, c)");
+
+  // Retractions replicate too.
+  EXPECT_EQ(to_primary.RoundTrip("RETRACT e(b, c)"), "OK removed=1");
+  EXPECT_EQ(to_follower.RoundTripMulti("QUERY t(a, X)")[0], "OK 1");
+
+  // The follower is read-only and says who leads.
+  std::string readonly = to_follower.RoundTrip("ADD e(x, y)");
+  EXPECT_EQ(readonly, ReadonlyLine(follower_config.replicate_from));
+
+  // Replication observability: role and lag on HEALTH, counters on STATS.
+  std::string health = to_follower.RoundTrip("HEALTH");
+  EXPECT_NE(health.find("role=follower"), std::string::npos) << health;
+  EXPECT_NE(health.find("lag=0"), std::string::npos) << health;
+  std::vector<std::string> stats = to_follower.RoundTripMulti("STATS");
+  bool saw_applied = false;
+  for (const std::string& line : stats) {
+    if (line == "repl_applied_total 3") saw_applied = true;
+  }
+  EXPECT_TRUE(saw_applied);
+
+  // Failover: promote the follower; it fences the old epoch durably and
+  // starts accepting writes.
+  std::string promoted = to_follower.RoundTrip("PROMOTE");
+  EXPECT_EQ(promoted.rfind("OK promoted epoch=2", 0), 0u) << promoted;
+  // Idempotent for a retrying failover driver.
+  EXPECT_EQ(to_follower.RoundTrip("PROMOTE"), promoted);
+  EXPECT_EQ(to_follower.RoundTrip("ADD e(b, d)"), "OK added=1");
+  EXPECT_EQ(to_follower.RoundTripMulti("QUERY t(a, X)")[0], "OK 2");
+
+  // The deposed primary's directory, once fenced, refuses to serve.
+  follower.Stop();
+  primary.Stop();
+  {
+    auto old_dir = storage::DataDir::Open(primary_config.data_dir);
+    ASSERT_TRUE(old_dir.ok());
+    ASSERT_TRUE((*old_dir)->Fence(2).ok());
+  }
+  ServerConfig deposed;
+  deposed.data_dir = primary_config.data_dir;
+  deposed.host = "127.0.0.1";
+  deposed.port = 0;
+  Result<std::unique_ptr<Server>> restarted = Server::Create(
+      deposed, dire::testing::ParseOrDie(kTcProgram), std::string(kTcProgram));
+  ASSERT_TRUE(restarted.ok());
+  Status run = (*restarted)->Run();
+  EXPECT_FALSE(run.ok());
+  EXPECT_NE(run.ToString().find("fenced"), std::string::npos) << run;
+}
+
+TEST(Replication, FollowerCatchesUpAfterRestart) {
+  ServerConfig primary_config;
+  primary_config.data_dir = FreshDir("repl_catchup_primary");
+  // Large fold cadence keeps the WAL tail intact, so the restarted
+  // follower resumes over STREAM rather than a snapshot.
+  primary_config.checkpoint_every_writes = 1000;
+  TestServer primary(primary_config);
+  primary.WaitReady();
+  Client to_primary(primary.port());
+  ASSERT_TRUE(to_primary.connected());
+  EXPECT_EQ(to_primary.RoundTrip("ADD e(a, b)"), "OK added=1");
+
+  std::string follower_dir = FreshDir("repl_catchup_follower");
+  ServerConfig follower_config;
+  follower_config.data_dir = follower_dir;
+  follower_config.replicate_from =
+      "127.0.0.1:" + std::to_string(primary.port());
+  {
+    // First generation: bootstraps over a full snapshot transfer.
+    TestServer follower(follower_config);
+    follower.WaitReady();
+    WaitConnected(follower.port());
+    Client c(follower.port());
+    EXPECT_EQ(c.RoundTripMulti("QUERY e(X, Y)")[0], "OK 1");
+  }  // Graceful stop.
+
+  // The primary moves on while the follower is down.
+  EXPECT_EQ(to_primary.RoundTrip("ADD e(b, c)"), "OK added=1");
+  EXPECT_EQ(to_primary.RoundTrip("ADD e(c, d)"), "OK added=1");
+
+  {
+    // Second generation: resumes from its own durable position and
+    // replays only the missed tail.
+    TestServer follower(follower_config);
+    follower.WaitReady();
+    WaitConnected(follower.port());
+    Client c(follower.port());
+    ASSERT_TRUE(c.connected());
+    EXPECT_EQ(c.RoundTripMulti("QUERY e(X, Y)")[0], "OK 3");
+    EXPECT_EQ(c.RoundTripMulti("QUERY t(a, X)")[0], "OK 3");
+    std::vector<std::string> stats = c.RoundTripMulti("STATS");
+    for (const std::string& line : stats) {
+      // A STREAM resume, not a snapshot install.
+      if (line.rfind("repl_resyncs_total ", 0) == 0) {
+        EXPECT_EQ(line, "repl_resyncs_total 0");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dire::server

@@ -102,10 +102,11 @@ query_tuples() { # atom
 }
 
 round=0
-# Skip counts step over the hits of the startup recovery fold (the snapshot
-# is written at the stratum boundary and again at completion, so one fold =
-# two io.atomic.* hits) so the crash lands mid-traffic, not mid-startup.
-for crash in "wal.sync:2" "io.atomic.fsync:2" "io.atomic.rename:2" \
+# Skip counts step over the hits of the startup recovery fold so the crash
+# lands mid-traffic, not mid-startup. The fold checkpoints at the stratum
+# boundary and again at completion, and each checkpoint atomically replaces
+# the snapshot AND the replstate file — so one fold = four io.atomic.* hits.
+for crash in "wal.sync:2" "io.atomic.fsync:4" "io.atomic.rename:4" \
     "server.checkpoint:1"; do
   round=$((round + 1))
   DIR="$WORK/round$round"
@@ -139,6 +140,11 @@ for crash in "wal.sync:2" "io.atomic.fsync:2" "io.atomic.rename:2" \
   SERVER_PID=""
   [ -s "$WORK/acked" ] || fail "round $round: no ADD was acknowledged"
   echo "    acked $(wc -l < "$WORK/acked") facts before the kill"
+
+  # Offline scrub of the crashed directory: a SIGKILL may legitimately tear
+  # the WAL tail, but every other checksum must still verify.
+  "$CLI" verify --data-dir "$DIR" --allow-torn-tail > /dev/null \
+      || fail "round $round: offline verify found damage beyond a torn tail"
 
   # Restart over the stale LOCK left by the SIGKILL. Recovery must succeed
   # without manual intervention and serve the acknowledged facts.
@@ -174,6 +180,12 @@ for crash in "wal.sync:2" "io.atomic.fsync:2" "io.atomic.rename:2" \
   cmp "$DIR/snapshot.dire" "$REF/snapshot.dire" \
       || fail "round $round: recovered snapshot differs from serial replay"
   echo "    recovered snapshot byte-identical to serial replay"
+
+  # After a graceful shutdown nothing may be torn: strict verify, both dirs.
+  "$CLI" verify --data-dir "$DIR" > /dev/null \
+      || fail "round $round: strict verify failed after graceful shutdown"
+  "$CLI" verify --data-dir "$REF" > /dev/null \
+      || fail "round $round: strict verify failed on the reference replay"
 done
 
 echo "PASS: $round chaos rounds (acked facts survived; snapshots byte-identical)"

@@ -114,8 +114,19 @@ done
 shed=0
 for _ in 1 2 3; do
   response="$(request "QUERY t(a, X)")" || fail "shed request got no answer"
-  [ "$response" = "OVERLOADED retry-after-ms=40" ] \
-      || fail "expected OVERLOADED, got: $response"
+  # The hint is deterministically jittered around the configured base (40):
+  # any value in [base/2, 3*base/2] is legitimate, an exact repeat is not
+  # guaranteed (that is the point of the jitter).
+  case "$response" in
+    "OVERLOADED retry-after-ms="*) ;;
+    *) fail "expected OVERLOADED, got: $response" ;;
+  esac
+  hint="${response#OVERLOADED retry-after-ms=}"
+  case "$hint" in
+    '' | *[!0-9]*) fail "malformed retry hint: $response" ;;
+  esac
+  [ "$hint" -ge 20 ] && [ "$hint" -le 60 ] \
+      || fail "retry hint $hint outside the jitter window [20, 60]"
   shed=$((shed + 1))
 done
 

@@ -48,11 +48,17 @@ class Client {
     if (fd_ >= 0) ::close(fd_);
   }
   bool connected() const { return connected_; }
+  int fd() const { return fd_; }
 
   void Send(const std::string& line) {
     std::string framed = line + "\n";
-    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
-              static_cast<ssize_t>(framed.size()));
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;  // Peer closed mid-send (e.g. oversized-line test).
+      sent += static_cast<size_t>(n);
+    }
   }
 
   // Reads one response line (without the newline).
@@ -214,8 +220,14 @@ TEST(Server, NotReadyWindowDuringRecovery) {
   ASSERT_TRUE(client.connected());
   ASSERT_FALSE(ts.server().ready());
   EXPECT_EQ(client.RoundTrip("HEALTH").rfind("OK ready=0", 0), 0u);
-  EXPECT_EQ(client.RoundTrip("QUERY t(a, X)"), "NOTREADY retry-after-ms=35");
-  EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "NOTREADY retry-after-ms=35");
+  // Retry hints are jittered deterministically (seed 1, one ordinal per
+  // hint), so the exact values are reproducible.
+  EXPECT_EQ(client.RoundTrip("QUERY t(a, X)"),
+            "NOTREADY retry-after-ms=" +
+                std::to_string(JitteredRetryAfterMs(35, 1, 0)));
+  EXPECT_EQ(client.RoundTrip("ADD e(a, b)"),
+            "NOTREADY retry-after-ms=" +
+                std::to_string(JitteredRetryAfterMs(35, 1, 1)));
 
   ts.WaitReady();
   EXPECT_EQ(client.RoundTrip("HEALTH").rfind("OK ready=1", 0), 0u);
@@ -257,7 +269,10 @@ TEST(Server, OverloadShedsDeterministically) {
     Client shed_client(ts.port());
     ASSERT_TRUE(shed_client.connected());
     std::string response = shed_client.RoundTrip("QUERY t(a, X)");
-    EXPECT_EQ(response, "OVERLOADED retry-after-ms=40");
+    EXPECT_EQ(response,
+              "OVERLOADED retry-after-ms=" +
+                  std::to_string(JitteredRetryAfterMs(
+                      40, 1, static_cast<uint64_t>(observed_overloaded))));
     ++observed_overloaded;
   }
 
@@ -404,6 +419,132 @@ TEST(Server, StatePersistsAcrossServerGenerations) {
     EXPECT_EQ(answer[1], "t(a, b)");
     EXPECT_EQ(answer[2], "t(a, c)");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening: hostile or broken clients must never crash the server,
+// leak an admission slot, or corrupt its counters.
+// ---------------------------------------------------------------------------
+
+TEST(Server, BinaryJunkAndGarbageCommandsAnswerErrors) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_junk");
+  TestServer ts(config);
+  ts.WaitReady();
+
+  Client junk(ts.port());
+  ASSERT_TRUE(junk.connected());
+  // Binary garbage, control characters, an embedded NUL: each line is
+  // answered with an ERROR, never a crash or a hang.
+  junk.Send(std::string("\x01\x02\xff\xfe\x00 garbage", 18));
+  EXPECT_EQ(junk.ReadLine().rfind("ERROR ", 0), 0u);
+  junk.Send("ADD");
+  EXPECT_EQ(junk.ReadLine().rfind("ERROR ", 0), 0u);
+  junk.Send("QUERY");
+  EXPECT_EQ(junk.ReadLine().rfind("ERROR ", 0), 0u);
+  junk.Send("QUERY t(a, X) trailing tokens everywhere");
+  EXPECT_EQ(junk.ReadLine().rfind("ERROR ", 0), 0u);
+  junk.Send("ADD e(unclosed");
+  EXPECT_EQ(junk.ReadLine().rfind("ERROR ", 0), 0u);
+  // The connection survives the abuse and still answers real requests.
+  EXPECT_EQ(junk.RoundTrip("ADD e(a, b)"), "OK added=1");
+
+  // The server as a whole is unharmed. (Admission slots release just after
+  // the response is written, so poll briefly for inflight to settle.)
+  Client checker(ts.port());
+  ASSERT_TRUE(checker.connected());
+  while (checker.RoundTrip("HEALTH").rfind("OK ready=1 inflight=0", 0) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Server, OversizedAndUnterminatedLinesAreBounded) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_oversize");
+  TestServer ts(config);
+  ts.WaitReady();
+
+  // An unterminated line larger than the 1 MiB request bound: the server
+  // answers one ERROR and closes, rather than buffering without limit.
+  Client flooder(ts.port());
+  ASSERT_TRUE(flooder.connected());
+  std::string flood(2 * 1024 * 1024, 'a');
+  flooder.Send(flood);  // Send appends '\n', but the bound trips first.
+  std::string response = flooder.ReadLine();
+  EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+  EXPECT_NE(response.find("1 MiB"), std::string::npos) << response;
+  EXPECT_EQ(flooder.ReadLine(), "");  // Closed.
+
+  // Mid-request disconnects (partial line, then EOF) are shrugged off.
+  for (int i = 0; i < 3; ++i) {
+    Client aborter(ts.port());
+    ASSERT_TRUE(aborter.connected());
+    ASSERT_EQ(::send(aborter.fd(), "QUE", 3, 0), 3);
+  }  // Destructor closes mid-request.
+
+  // No slot leaked, no counter corrupted, writes still work. (Admission
+  // slots release just after the response is written; poll to settle.)
+  Client checker(ts.port());
+  ASSERT_TRUE(checker.connected());
+  EXPECT_EQ(checker.RoundTrip("ADD e(a, b)"), "OK added=1");
+  while (checker.RoundTrip("HEALTH").rfind("OK ready=1 inflight=0", 0) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Server, MismatchedArityWriteIsRejectedBeforeTheWal) {
+  std::string dir = FreshDir("server_test_arity");
+  {
+    ServerConfig config;
+    config.data_dir = dir;
+    TestServer ts(config);
+    ts.WaitReady();
+    Client client(ts.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("ADD e(a, b)"), "OK added=1");
+    // Same relation, wrong arity: refused before anything is appended, so
+    // no poison record can break every later replay.
+    std::string response = client.RoundTrip("ADD e(a, b, c)");
+    EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
+    EXPECT_NE(response.find("arity"), std::string::npos) << response;
+    EXPECT_EQ(client.RoundTrip("RETRACT e(x)").rfind("ERROR ", 0), 0u);
+  }
+  {
+    // The directory recovers cleanly: the rejected writes left no trace.
+    ServerConfig config;
+    config.data_dir = dir;
+    TestServer ts(config);
+    ts.WaitReady();
+    Client client(ts.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTripMulti("QUERY e(X, Y)")[0], "OK 1");
+  }
+}
+
+TEST(Server, IdleConnectionsAreReaped) {
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_idle");
+  config.idle_timeout_ms = 200;
+  TestServer ts(config);
+  ts.WaitReady();
+
+  Client idler(ts.port());
+  ASSERT_TRUE(idler.connected());
+  EXPECT_EQ(idler.RoundTrip("HEALTH").rfind("OK ready=1", 0), 0u);
+  // Say nothing; the server hangs up on us.
+  EXPECT_EQ(idler.ReadLine(), "");
+
+  Client checker(ts.port());
+  ASSERT_TRUE(checker.connected());
+  std::vector<std::string> stats = checker.RoundTripMulti("STATS");
+  bool saw = false;
+  for (const std::string& line : stats) {
+    if (line.rfind("idle_disconnects_total ", 0) == 0) {
+      saw = true;
+      EXPECT_NE(line, "idle_disconnects_total 0");
+    }
+  }
+  EXPECT_TRUE(saw);
 }
 
 TEST(Server, QuitClosesOnlyThatConnection) {

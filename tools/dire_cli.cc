@@ -95,6 +95,41 @@
 //     --crash-at SITE[:SKIP]    chaos testing: SIGKILL the process at the
 //                               named failpoint site's (SKIP+1)-th hit,
 //                               exactly like a power loss there
+//     --idle-timeout-ms N       close client connections idle this long
+//                               (0 = never; replication streams exempt)
+//     --retry-jitter-seed N     seed of the deterministic jitter applied to
+//                               OVERLOADED/NOTREADY retry-after hints
+//     --replicate-from HOST:PORT
+//                               start as a read-only hot standby of the
+//                               primary at HOST:PORT: stream its committed
+//                               WAL, answer QUERY/STATS/HEALTH, reject
+//                               writes with READONLY, take over on PROMOTE
+//     --replication-ack-timeout-ms N
+//                               primary: wait this long for every
+//                               follower's durable ACK before a write is
+//                               acknowledged (laggards are disconnected);
+//                               0 ships asynchronously
+//     --replication-heartbeat-ms N
+//                               idle-stream heartbeat / reconnect cadence
+//
+// Replication operations (see DESIGN.md "Replication & failover"):
+//   dire_cli promote HOST:PORT [--epoch N] [--fence-dir DIR]
+//                         ask the follower at HOST:PORT to take over as
+//                         primary (epoch auto-bumps unless --epoch given);
+//                         with --fence-dir, durably fence the old primary's
+//                         data directory at the new epoch so it fails
+//                         closed if it ever restarts
+//
+// Offline integrity scrub:
+//   dire_cli verify --data-dir DIR [--allow-torn-tail]
+//                         verify every checksum in DIR without opening it
+//                         for writing: the snapshot's section and commit
+//                         CRCs, every WAL frame CRC and record payload, and
+//                         the replstate file. A torn tail (crash damage
+//                         reaching EOF — what a power loss legitimately
+//                         leaves) fails the scrub unless --allow-torn-tail;
+//                         mid-file damage always fails. Exit 0 only when
+//                         everything verifies.
 //
 // Observability (recognized anywhere, both forms):
 //   --trace-out=FILE      write a Chrome trace_event JSON of the whole run
@@ -122,6 +157,7 @@
 #include <vector>
 
 #include "base/failpoints.h"
+#include "base/io.h"
 #include "base/log.h"
 #include "base/obs.h"
 #include "base/signal.h"
@@ -131,8 +167,11 @@
 #include "eval/explain.h"
 #include "eval/magic.h"
 #include "eval/provenance.h"
+#include "server/replication.h"
 #include "server/server.h"
 #include "storage/persist.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace {
 
@@ -238,7 +277,14 @@ int Usage() {
                "       [--request-timeout-ms N] [--request-max-tuples N] "
                "[--on-exhaustion={error,partial}]\n"
                "       [--checkpoint-every-writes N] [--threads N] "
-               "[--crash-at SITE[:SKIP]]\n");
+               "[--crash-at SITE[:SKIP]]\n"
+               "       [--idle-timeout-ms N] [--retry-jitter-seed N] "
+               "[--replicate-from HOST:PORT]\n"
+               "       [--replication-ack-timeout-ms N] "
+               "[--replication-heartbeat-ms N]\n"
+               "   or: dire_cli promote HOST:PORT [--epoch N] "
+               "[--fence-dir DIR]\n"
+               "   or: dire_cli verify --data-dir DIR [--allow-torn-tail]\n");
   return 2;
 }
 
@@ -535,6 +581,30 @@ int RunServe(int argc, char** argv) {
       int64_t v = ParseCount(next());
       if (v < 1) return Usage();
       config.eval_threads = static_cast<int>(v);
+    } else if (flag == "--idle-timeout-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.idle_timeout_ms = static_cast<int>(v);
+    } else if (flag == "--retry-jitter-seed") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.retry_jitter_seed = static_cast<uint64_t>(v);
+    } else if (flag == "--replicate-from") {
+      const char* target = next();
+      if (target == nullptr) return Usage();
+      if (std::strchr(target, ':') == nullptr) {
+        std::fprintf(stderr, "error: --replicate-from needs HOST:PORT\n");
+        return Usage();
+      }
+      config.replicate_from = target;
+    } else if (flag == "--replication-ack-timeout-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.replication_ack_timeout_ms = static_cast<int>(v);
+    } else if (flag == "--replication-heartbeat-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 1) return Usage();
+      config.replication_heartbeat_ms = static_cast<int>(v);
     } else if (flag == "--crash-at") {
       const char* site = next();
       if (site == nullptr) return Usage();
@@ -586,6 +656,234 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+// `dire_cli verify --data-dir DIR [--allow-torn-tail]`: offline integrity
+// scrub. Reads the files directly (no lock, no mutation) and verifies every
+// checksum: the snapshot's section and commit CRCs, every WAL frame CRC plus
+// the decodability and lsn ordering of each record payload, and the
+// replstate file. Distinguishes a torn tail (crash damage reaching EOF —
+// what a power loss legitimately leaves in the WAL, tolerated only under
+// --allow-torn-tail) from mid-file damage (always fatal). Exit 0 only when
+// everything verifies.
+int RunVerify(int argc, char** argv) {
+  std::string data_dir;
+  bool allow_torn_tail = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--data-dir") {
+      if (i + 1 >= argc) return Usage();
+      data_dir = argv[++i];
+    } else if (flag == "--allow-torn-tail") {
+      allow_torn_tail = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "error: verify requires --data-dir\n");
+    return Usage();
+  }
+
+  bool damaged = false;
+  auto damage = [&](const char* file, const std::string& detail) {
+    std::printf("%s: DAMAGED — %s\n", file, detail.c_str());
+    damaged = true;
+  };
+
+  // Snapshot. Strict load first; on failure retry in recovery mode purely to
+  // classify the damage. Our own writer replaces snapshots atomically, so
+  // even a "torn tail" here is real damage — a crash can never leave one.
+  const std::string snapshot_path = data_dir + "/snapshot.dire";
+  if (::access(snapshot_path.c_str(), F_OK) != 0) {
+    std::printf("snapshot.dire: absent (fresh directory)\n");
+  } else {
+    dire::storage::Database scratch;
+    dire::Result<dire::storage::SnapshotLoadStats> strict =
+        dire::storage::LoadSnapshotFile(&scratch, snapshot_path);
+    if (strict.ok()) {
+      std::printf("snapshot.dire: ok (v%d, %zu relation(s), %zu tuple(s))\n",
+                  strict->version, strict->relations, strict->tuples);
+    } else {
+      dire::storage::Database lax_scratch;
+      dire::storage::SnapshotLoadOptions lax;
+      lax.recover_tail = true;
+      bool truncated =
+          dire::storage::LoadSnapshotFile(&lax_scratch, snapshot_path, lax)
+              .ok();
+      damage("snapshot.dire",
+             std::string(truncated ? "EOF truncation (snapshots are written "
+                                     "atomically; a crash cannot cause this)"
+                                   : "mid-file damage") +
+                 ": " + strict.status().ToString());
+    }
+  }
+
+  // WAL. ReplayWal verifies every frame (length + CRC32C) and classifies
+  // damage: torn tail → Ok with dropped_torn_tail, mid-file → kCorruption.
+  // On top of that, every payload must decode as a WAL record and stamped
+  // records must advance the lsn.
+  const std::string wal_path = data_dir + "/wal.log";
+  uint64_t last_lsn = 0;
+  size_t bad_payloads = 0;
+  std::string first_bad;
+  auto check_payload = [&](std::string_view payload) -> dire::Status {
+    dire::Result<dire::storage::WalRecord> rec =
+        dire::storage::DecodeWalRecord(payload);
+    if (!rec.ok()) {
+      if (bad_payloads++ == 0) first_bad = rec.status().ToString();
+      return dire::Status::Ok();  // keep scanning; later frames still verify
+    }
+    if (rec->stamped) {
+      if (last_lsn != 0 && rec->lsn <= last_lsn && bad_payloads++ == 0) {
+        first_bad = "stamped lsn " + std::to_string(rec->lsn) +
+                    " does not advance past " + std::to_string(last_lsn);
+      }
+      last_lsn = rec->lsn;
+    }
+    return dire::Status::Ok();
+  };
+  dire::Result<dire::storage::WalReplayStats> replay =
+      dire::storage::ReplayWal(wal_path, check_payload);
+  if (!replay.ok()) {
+    damage("wal.log", "mid-file damage: " + replay.status().ToString());
+  } else if (bad_payloads > 0) {
+    damage("wal.log", std::to_string(bad_payloads) +
+                          " bad record payload(s); first: " + first_bad);
+  } else if (replay->dropped_torn_tail) {
+    if (allow_torn_tail) {
+      std::printf(
+          "wal.log: torn tail (%llu byte(s) after %zu good record(s)) — "
+          "allowed by --allow-torn-tail\n",
+          static_cast<unsigned long long>(replay->dropped_bytes),
+          replay->records);
+    } else {
+      damage("wal.log",
+             "torn tail: " +
+                 std::to_string(replay->dropped_bytes) + " byte(s) after " +
+                 std::to_string(replay->records) +
+                 " good record(s) (run with --allow-torn-tail to accept "
+                 "crash damage)");
+    }
+  } else {
+    std::printf("wal.log: ok (%zu record(s), %llu byte(s))\n",
+                replay->records,
+                static_cast<unsigned long long>(replay->valid_bytes));
+  }
+
+  // Replication state.
+  const std::string repl_path =
+      data_dir + "/" + dire::storage::kReplStateFile;
+  if (::access(repl_path.c_str(), F_OK) != 0) {
+    std::printf("replstate: absent (pre-replication directory)\n");
+  } else {
+    dire::Result<std::string> body = dire::io::ReadFile(repl_path);
+    if (!body.ok()) {
+      damage("replstate", body.status().ToString());
+    } else {
+      dire::Result<dire::storage::ReplState> state =
+          dire::storage::ParseReplState(*body);
+      if (!state.ok()) {
+        damage("replstate", state.status().ToString());
+      } else {
+        std::printf("replstate: ok (epoch %llu, lsn %llu, fenced %d)\n",
+                    static_cast<unsigned long long>(state->epoch),
+                    static_cast<unsigned long long>(state->lsn),
+                    state->fenced ? 1 : 0);
+      }
+    }
+  }
+
+  if (damaged) {
+    std::printf("verify: FAILED (%s)\n", data_dir.c_str());
+    return 1;
+  }
+  std::printf("verify: clean (%s)\n", data_dir.c_str());
+  return 0;
+}
+
+// `dire_cli promote HOST:PORT [--epoch N] [--fence-dir DIR]`: ask the
+// follower at HOST:PORT to take over as primary, then (optionally) durably
+// fence the deposed primary's data directory at the promoted epoch so a
+// restart there fails closed. Fencing requires the old primary's process to
+// be gone (its directory lock is broken only for a dead pid).
+int RunPromote(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string target = argv[2];
+  if (target.find(':') == std::string::npos) {
+    std::fprintf(stderr, "error: promote needs HOST:PORT\n");
+    return Usage();
+  }
+  uint64_t epoch = 0;
+  std::string fence_dir;
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--epoch") {
+      if (i + 1 >= argc) return Usage();
+      int64_t v = ParseCount(argv[++i]);
+      if (v < 1) return Usage();
+      epoch = static_cast<uint64_t>(v);
+    } else if (flag == "--fence-dir") {
+      if (i + 1 >= argc) return Usage();
+      fence_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  dire::Result<int> fd = dire::server::DialTcp(target);
+  if (!fd.ok()) return Fail(fd.status());
+  std::string request =
+      epoch == 0 ? std::string("PROMOTE\n")
+                 : "PROMOTE epoch=" + std::to_string(epoch) + "\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::write(*fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(*fd);
+      std::fprintf(stderr, "error: cannot send PROMOTE to %s\n",
+                   target.c_str());
+      return 1;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Promotion re-derives the whole fixpoint before answering; be patient.
+  dire::server::LineReader reader(*fd);
+  std::string line;
+  dire::Result<bool> got = reader.ReadLine(/*timeout_ms=*/120000, &line);
+  ::close(*fd);
+  if (!got.ok()) return Fail(got.status());
+  if (!*got) {
+    std::fprintf(stderr, "error: promote timed out waiting for %s\n",
+                 target.c_str());
+    return 1;
+  }
+  std::printf("%s\n", line.c_str());
+  const std::string prefix = "OK promoted epoch=";
+  if (line.rfind(prefix, 0) != 0) {
+    std::fprintf(stderr, "error: promote refused\n");
+    return 1;
+  }
+  char* end = nullptr;
+  uint64_t promoted_epoch =
+      std::strtoull(line.c_str() + prefix.size(), &end, 10);
+  if (promoted_epoch == 0) {
+    std::fprintf(stderr, "error: malformed promote response\n");
+    return 1;
+  }
+
+  if (!fence_dir.empty()) {
+    dire::Result<std::unique_ptr<dire::storage::DataDir>> dir =
+        dire::storage::DataDir::Open(fence_dir);
+    if (!dir.ok()) return Fail(dir.status());
+    dire::Status fenced = (*dir)->Fence(promoted_epoch);
+    if (!fenced.ok()) return Fail(fenced);
+    std::printf("fenced %s at epoch %llu\n", fence_dir.c_str(),
+                static_cast<unsigned long long>(promoted_epoch));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int raw_argc, char** raw_argv) {
@@ -602,6 +900,12 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (std::strcmp(argv[1], "serve") == 0) {
     return RunServe(argc, argv);
+  }
+  if (std::strcmp(argv[1], "verify") == 0) {
+    return RunVerify(argc, argv);
+  }
+  if (std::strcmp(argv[1], "promote") == 0) {
+    return RunPromote(argc, argv);
   }
 
   std::ifstream in(argv[1]);
