@@ -12,11 +12,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_json.h"
 
@@ -106,16 +109,41 @@ class ServerHarness {
   std::string buffer_;
 };
 
+// Nearest-rank percentile over observed per-request latencies. Mean
+// round-trip time hides tail stalls (a WAL fsync hiccup, a lock convoy);
+// the percentiles land in BENCH_server.json next to the mean.
+void ReportLatencyPercentiles(benchmark::State& state,
+                              std::vector<int64_t>* latencies_us) {
+  if (latencies_us->empty()) return;
+  std::sort(latencies_us->begin(), latencies_us->end());
+  auto percentile = [&](double q) {
+    size_t n = latencies_us->size();
+    size_t index = static_cast<size_t>(q * static_cast<double>(n));
+    if (index >= n) index = n - 1;
+    return static_cast<double>((*latencies_us)[index]);
+  };
+  state.counters["p50_us"] = percentile(0.50);
+  state.counters["p95_us"] = percentile(0.95);
+  state.counters["p99_us"] = percentile(0.99);
+}
+
 // Point query over the materialized fixpoint: admission + guard + shared
 // lock + scan + socket, per request.
 void BM_ServeQueryRoundTrip(benchmark::State& state) {
   ServerHarness harness(static_cast<int>(state.range(0)));
   size_t ok = 0;
+  std::vector<int64_t> latencies_us;
   for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
     std::string status = harness.RoundTrip("QUERY t(n0, X)");
+    latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
     if (status.rfind("OK", 0) == 0) ++ok;
   }
   state.counters["ok"] = static_cast<double>(ok);
+  ReportLatencyPercentiles(state, &latencies_us);
 }
 BENCHMARK(BM_ServeQueryRoundTrip)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
@@ -126,11 +154,18 @@ BENCHMARK(BM_ServeQueryRoundTrip)->Arg(16)->Arg(64)->Arg(256)
 void BM_ServeDurableWriteRoundTrip(benchmark::State& state) {
   ServerHarness harness(/*chain_nodes=*/2);
   size_t ok = 0;
+  std::vector<int64_t> latencies_us;
   for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
     std::string status = harness.RoundTrip("ADD e(n0, n1)");
+    latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
     if (status.rfind("OK", 0) == 0) ++ok;
   }
   state.counters["ok"] = static_cast<double>(ok);
+  ReportLatencyPercentiles(state, &latencies_us);
 }
 BENCHMARK(BM_ServeDurableWriteRoundTrip)->Unit(benchmark::kMicrosecond);
 

@@ -74,6 +74,13 @@ class ExecutionGuard {
   const GuardLimits& limits() const { return limits_; }
   const CancellationToken& token() const { return token_; }
 
+  // Opaque correlation tag carried alongside the budgets (the serving layer
+  // stores its per-request ID here) so a guard trip deep inside an
+  // evaluation can be attributed to the request that owns it in logs and
+  // traces. Set once before the guard is shared; no budget effect.
+  void set_tag(uint64_t tag) { tag_ = tag; }
+  uint64_t tag() const { return tag_; }
+
   // Charges `n` newly derived tuples. Trips the guard exactly when the
   // running count crosses max_tuples.
   void AddTuples(uint64_t n = 1) const;
@@ -118,6 +125,7 @@ class ExecutionGuard {
 
   GuardLimits limits_;
   CancellationToken token_;
+  uint64_t tag_ = 0;
   std::chrono::steady_clock::time_point start_;
   mutable std::atomic<uint64_t> tuples_{0};
   mutable std::atomic<uint64_t> memory_{0};

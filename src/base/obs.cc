@@ -89,6 +89,21 @@ std::map<std::string, Family>& Registry() {
   return *r;
 }
 
+// Prometheus HELP text escaping: backslash and newline are the only two
+// escapes the exposition format defines for HELP lines.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string SerializeLabels(const std::vector<Label>& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -247,7 +262,7 @@ std::string PrometheusText() {
   for (const auto& [name, family] : Registry()) {
     if (family.series.empty()) continue;
     out += "# HELP " + name + ' ' +
-           (family.help.empty() ? name : family.help) + '\n';
+           EscapeHelp(family.help.empty() ? name : family.help) + '\n';
     out += "# TYPE " + name + ' ' + KindName(family.kind) + '\n';
     for (const auto& [serialized, series] : family.series) {
       switch (family.kind) {

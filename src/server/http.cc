@@ -1,0 +1,258 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "base/string_util.h"
+
+namespace dire::server {
+
+namespace {
+
+// Ceiling on one request's header block; a client exceeding it is cut off.
+constexpr size_t kMaxHeaderBytes = 16 * 1024;
+// A client gets this long to deliver its request before the connection
+// thread gives up (slow-loris protection; the handler itself is fast).
+constexpr int kReadTimeoutMs = 5000;
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Create(
+    const std::string& host, int port, HttpHandler handler) {
+  std::unique_ptr<HttpServer> self(new HttpServer(std::move(handler)));
+  self->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (self->listen_fd_ < 0) {
+    return Status::Internal(std::string("cannot create http socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(self->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 listen address: " + host);
+  }
+  if (::bind(self->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(StrFormat("cannot bind http %s:%d: %s",
+                                      host.c_str(), port,
+                                      std::strerror(errno)));
+  }
+  if (::listen(self->listen_fd_, 64) != 0) {
+    return Status::Internal(std::string("cannot listen (http): ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(self->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+    self->port_ = ntohs(bound.sin_port);
+  }
+  self->accept_thread_ = std::thread([s = self.get()] { s->AcceptLoop(); });
+  return self;
+}
+
+HttpServer::~HttpServer() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, 100);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      ServeConnection(fd);
+      {
+        // Notify while still holding conn_mu_: Stop()'s waiter may destroy
+        // this HttpServer the moment it observes zero connections, so the
+        // notify must complete before the waiter can re-acquire the mutex
+        // and see the decrement.
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        --active_connections_;
+        conn_cv_.notify_all();
+      }
+    }).detach();
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  int waited_ms = 0;
+  // Read until the end of the header block; the endpoints take no bodies.
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.find("\n\n") == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes || waited_ms >= kReadTimeoutMs ||
+        stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    pollfd p{fd, POLLIN, 0};
+    int r = ::poll(&p, 1, 100);
+    if (r < 0 && errno != EINTR) {
+      ::close(fd);
+      return;
+    }
+    if (r <= 0) {
+      waited_ms += 100;
+      continue;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  size_t eol = buffer.find_first_of("\r\n");
+  std::string request_line = buffer.substr(0, eol);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  HttpResponse response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    HttpRequest request;
+    request.method = request_line.substr(0, sp1);
+    request.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    size_t query = request.path.find('?');
+    if (query != std::string::npos) request.path.resize(query);
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else {
+      response = handler_(request);
+    }
+  }
+
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  WriteAll(fd, out);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRing
+
+void TimeSeriesRing::RecordRequest(uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++current_.requests;
+  ++current_.lat_buckets[obs::Histogram::BucketIndex(latency_us)];
+}
+
+void TimeSeriesRing::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++current_.shed;
+}
+
+void TimeSeriesRing::Tick(int64_t queue_depth, int64_t repl_lag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.queue_depth = queue_depth;
+  current_.repl_lag = repl_lag;
+  ring_[next_] = current_;
+  next_ = (next_ + 1) % kSlots;
+  size_ = std::min(size_ + 1, kSlots);
+  current_ = Slot{};
+}
+
+uint64_t TimeSeriesRing::SlotQuantile(const Slot& slot, double q) {
+  if (slot.requests == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(q * slot.requests);
+  if (target < 1) target = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    cumulative += slot.lat_buckets[i];
+    if (cumulative >= target) return obs::Histogram::BucketUpperBound(i);
+  }
+  return obs::Histogram::BucketUpperBound(obs::Histogram::kNumBuckets - 1);
+}
+
+std::string TimeSeriesRing::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string qps, p50, p99, depth, shed, lag;
+  for (int i = 0; i < size_; ++i) {
+    // Oldest sealed slot first.
+    const Slot& slot = ring_[(next_ + kSlots - size_ + i) % kSlots];
+    if (i != 0) {
+      for (std::string* column : {&qps, &p50, &p99, &depth, &shed, &lag}) {
+        *column += ',';
+      }
+    }
+    qps += std::to_string(slot.requests);
+    p50 += std::to_string(SlotQuantile(slot, 0.50));
+    p99 += std::to_string(SlotQuantile(slot, 0.99));
+    depth += std::to_string(slot.queue_depth);
+    shed += std::to_string(slot.shed);
+    lag += std::to_string(slot.repl_lag);
+  }
+  return StrFormat(
+      "{\"resolution_s\":1,\"samples\":%d,\"qps\":[%s],\"p50_us\":[%s],"
+      "\"p99_us\":[%s],\"queue_depth\":[%s],\"shed\":[%s],\"repl_lag\":[%s]}",
+      size_, qps.c_str(), p50.c_str(), p99.c_str(), depth.c_str(),
+      shed.c_str(), lag.c_str());
+}
+
+}  // namespace dire::server

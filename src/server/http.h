@@ -1,0 +1,121 @@
+#ifndef DIRE_SERVER_HTTP_H_
+#define DIRE_SERVER_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "base/obs.h"
+#include "base/result.h"
+
+// The serving observability surface: a minimal embedded HTTP/1.1 listener
+// (GET only, one request per connection) plus the rolling time-series ring
+// it serves from /statusz. The listener runs its own acceptor thread and is
+// entirely off the admission path, so /metrics and /healthz answer even
+// while every worker slot is held and every queue position is taken — the
+// whole point of a scrape endpoint on an overload-safe server.
+namespace dire::server {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // Request target with any "?query" stripped.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// One-request-per-connection HTTP/1.1 server. Create() binds and starts the
+// acceptor thread immediately; Stop() (idempotent, also run by the
+// destructor) stops accepting and waits for in-flight connection threads.
+// The handler runs on a per-connection thread and must be thread-safe; it
+// is never invoked after Stop() returns.
+class HttpServer {
+ public:
+  static Result<std::unique_ptr<HttpServer>> Create(const std::string& host,
+                                                    int port,
+                                                    HttpHandler handler);
+  ~HttpServer();
+
+  // The bound TCP port (the kernel-chosen one when created with port 0).
+  int port() const { return port_; }
+
+  void Stop();
+
+ private:
+  explicit HttpServer(HttpHandler handler);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  int active_connections_ = 0;
+  bool stopped_ = false;
+};
+
+// Rolling in-memory time series behind /statusz: ~5 minutes of per-second
+// slots. Request threads record latencies and sheds into the open slot; a
+// 1 Hz sampler thread seals it with Tick(), attaching the instantaneous
+// gauges (queue depth, replication lag). ToJson() renders the sealed slots
+// oldest-first as parallel arrays. Latency percentiles use the same log2
+// bucketing as obs::Histogram, so p50/p99 are bucket upper bounds, not
+// exact order statistics. Self-contained (no registry) so /statusz keeps
+// working under -DDIRE_OBS=OFF.
+class TimeSeriesRing {
+ public:
+  static constexpr int kSlots = 300;  // 5 minutes at 1 s resolution.
+
+  // Any thread: accounts one completed request with its total server-side
+  // latency (queue wait + execution).
+  void RecordRequest(uint64_t latency_us);
+  // Any thread: accounts one request shed at admission.
+  void RecordShed();
+
+  // Seals the open slot with the sampled gauges and opens the next one.
+  // Called once per second by the owner's sampler thread.
+  void Tick(int64_t queue_depth, int64_t repl_lag);
+
+  // {"resolution_s":1,"samples":N,"qps":[...],"p50_us":[...],
+  //  "p99_us":[...],"queue_depth":[...],"shed":[...],"repl_lag":[...]}
+  // Arrays are oldest..newest over the sealed slots.
+  std::string ToJson() const;
+
+ private:
+  struct Slot {
+    uint32_t requests = 0;
+    uint32_t shed = 0;
+    uint32_t lat_buckets[obs::Histogram::kNumBuckets] = {};
+    int64_t queue_depth = 0;
+    int64_t repl_lag = 0;
+  };
+
+  // Smallest bucket upper bound covering quantile `q` of the slot's
+  // latencies; 0 when the slot saw no requests.
+  static uint64_t SlotQuantile(const Slot& slot, double q);
+
+  mutable std::mutex mu_;
+  Slot current_;
+  Slot ring_[kSlots];
+  int size_ = 0;   // Sealed slots, up to kSlots.
+  int next_ = 0;   // Ring position the next sealed slot lands in.
+};
+
+}  // namespace dire::server
+
+#endif  // DIRE_SERVER_HTTP_H_

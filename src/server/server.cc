@@ -18,6 +18,8 @@
 #include "base/obs.h"
 #include "base/signal.h"
 #include "base/string_util.h"
+#include "base/version.h"
+#include "eval/explain.h"
 #include "eval/magic.h"
 
 namespace dire::server {
@@ -53,6 +55,63 @@ obs::Counter* FoldsCounter() {
       obs::GetCounter("dire_server_checkpoints_total",
                       "WAL folds into a fresh snapshot taken by the server");
   return c;
+}
+
+obs::Counter* SlowQueriesCounter() {
+  static obs::Counter* c =
+      obs::GetCounter("dire_server_slow_queries_total",
+                      "Requests whose execution exceeded --slow-query-ms");
+  return c;
+}
+
+obs::Gauge* ReplLagGauge() {
+  static obs::Gauge* g = obs::GetGauge(
+      "dire_server_repl_lag",
+      "Follower: LSN distance behind the primary, updated on every "
+      "heartbeat and applied record");
+  return g;
+}
+
+obs::Gauge* ReplConnectedGauge() {
+  static obs::Gauge* g = obs::GetGauge(
+      "dire_server_repl_connected",
+      "Follower: 1 while the replication stream is attached");
+  return g;
+}
+
+// Per-verb latency histograms (queue wait and execution separately), in
+// microseconds. The registry lookup is a mutex-guarded map find — fine off
+// the per-tuple hot path; requests already take the admission mutex.
+obs::Histogram* QueueWaitHistogram(const std::string& verb) {
+  return obs::GetHistogram("dire_server_request_queue_us",
+                           "Admission-to-worker-pickup wait per request",
+                           {{"verb", verb}});
+}
+
+obs::Histogram* ExecHistogram(const std::string& verb) {
+  return obs::GetHistogram("dire_server_request_exec_us",
+                           "Worker execution time per request",
+                           {{"verb", verb}});
+}
+
+int64_t NowWallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// A quoted, escaped JSON string literal.
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  out += obs::JsonEscape(s);
+  out += '"';
+  return out;
 }
 
 bool WriteAll(int fd, std::string_view data) {
@@ -177,11 +236,43 @@ Result<std::unique_ptr<Server>> Server::Create(ServerConfig config,
                     &len) == 0) {
     self->port_ = ntohs(bound.sin_port);
   }
+  if (!self->config_.access_log.empty()) {
+    if (self->config_.access_log == "-") {
+      self->access_log_file_ = stderr;
+    } else {
+      self->access_log_file_ =
+          std::fopen(self->config_.access_log.c_str(), "a");
+      if (self->access_log_file_ == nullptr) {
+        return Status::InvalidArgument("cannot open access log " +
+                                       self->config_.access_log);
+      }
+      self->access_log_owned_ = true;
+    }
+  }
+  if (self->config_.http_port >= 0) {
+    // Bound here, before any recovery work, so /metrics and /healthz
+    // answer from the first moment of the NOTREADY window.
+    DIRE_ASSIGN_OR_RETURN(
+        self->http_,
+        HttpServer::Create(self->config_.host, self->config_.http_port,
+                           [s = self.get()](const HttpRequest& request) {
+                             return s->HandleHttp(request);
+                           }));
+  }
+  obs::GetGauge("dire_build_info",
+                "Build metadata as labels; the value is always 1",
+                {{"version", dire::kVersion}})
+      ->Set(1);
   return self;
 }
 
 Server::~Server() {
+  // Handler threads capture `this`: make sure none run past destruction.
+  if (http_ != nullptr) http_->Stop();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (access_log_owned_ && access_log_file_ != nullptr) {
+    std::fclose(access_log_file_);
+  }
 }
 
 void Server::Shutdown() {
@@ -264,6 +355,7 @@ Status Server::FoldCheckpoint() {
 
 Status Server::Run() {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  sampler_thread_ = std::thread([this] { SamplerLoop(); });
   Status recovered = Recover();
   if (recovered.ok()) {
     if (role_.load(std::memory_order_acquire) == Role::kFollower) {
@@ -300,6 +392,10 @@ Status Server::Run() {
   }
   pool_->Drain();
   pool_->Stop();
+  // The HTTP handlers and the sampler read data_dir_; both must be quiet
+  // before the final fold releases it.
+  if (http_ != nullptr) http_->Stop();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
   Status final_fold = Status::Ok();
   if (recovered.ok()) {
     final_fold = FoldCheckpoint();
@@ -326,10 +422,14 @@ void Server::AcceptLoop() {
     std::thread([this, fd] {
       ServeConnection(fd);
       {
+        // Notify while still holding conn_mu_: the wind-down waiter may
+        // destroy this Server the moment it observes zero connections, so
+        // the notify must complete before the waiter can re-acquire the
+        // mutex and see the decrement.
         std::lock_guard<std::mutex> lock(conn_mu_);
         --active_connections_;
+        conn_cv_.notify_all();
       }
-      conn_cv_.notify_all();
     }).detach();
   }
 }
@@ -396,12 +496,31 @@ std::string Server::HandleRequest(const Request& request) {
   // HEALTH is the liveness probe: answered inline, never admitted, so it
   // responds even when every worker slot and queue position is taken.
   if (request.kind == Request::Kind::kHealth) return HandleHealth();
+  // The verbs the access log and /tracez track: everything that enters the
+  // admission path (or bounces off it). HEALTH/STATS probes and the
+  // connection-level verbs stay out.
+  const bool tracked = request.kind == Request::Kind::kQuery ||
+                       request.kind == Request::Kind::kAdd ||
+                       request.kind == Request::Kind::kRetract ||
+                       request.kind == Request::Kind::kSleep;
+  RequestRecord rec;
+  if (tracked) {
+    rec.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    rec.verb = VerbName(request.kind);
+    if (request.kind != Request::Kind::kSleep) {
+      rec.relation = request.atom.predicate;
+    }
+  }
+  auto finish = [&](std::string response) {
+    if (tracked) FinishRequest(std::move(rec), response);
+    return response;
+  };
   if (!ready_.load(std::memory_order_acquire)) {
-    return NotReadyLine(NextRetryAfterMs());
+    return finish(NotReadyLine(NextRetryAfterMs()));
   }
   if (request.kind == Request::Kind::kStats) return HandleStats();
   if (stopping_.load(std::memory_order_acquire)) {
-    return ErrorLine(Status::Internal("server is shutting down"));
+    return finish(ErrorLine(Status::Internal("server is shutting down")));
   }
   // Writes belong on the primary; a follower redirects rather than
   // accepting state it would have to reconcile later.
@@ -409,7 +528,7 @@ std::string Server::HandleRequest(const Request& request) {
        request.kind == Request::Kind::kRetract) &&
       role_.load(std::memory_order_acquire) != Role::kPrimary) {
     readonly_rejected_total_.fetch_add(1, std::memory_order_relaxed);
-    return ReadonlyLine(config_.replicate_from);
+    return finish(ReadonlyLine(config_.replicate_from));
   }
   // PROMOTE is a role change, not a request: answered inline so it cannot
   // deadlock behind pooled writes it is about to start accepting.
@@ -425,23 +544,37 @@ std::string Server::HandleRequest(const Request& request) {
     std::shared_lock<std::shared_mutex> lock(db_mu_);
     cost = EstimateQueryCost(*data_dir_->db(), request.atom);
   }
+  rec.cost_est = cost;
   switch (admission_.Admit(cost)) {
     case Admission::kShed:
-      return OverloadedLine(NextRetryAfterMs());
+      ring_.RecordShed();
+      return finish(OverloadedLine(NextRetryAfterMs()));
     case Admission::kTooExpensive:
-      return ErrorLine(Status::ResourceExhausted(StrFormat(
+      return finish(ErrorLine(Status::ResourceExhausted(StrFormat(
           "query too expensive: estimated %.0f rows scanned, limit %.0f",
-          cost, config_.admission.max_query_cost)));
+          cost, config_.admission.max_query_cost))));
     case Admission::kAdmitted:
       break;
   }
+  rec.admitted = true;
 
+  auto admitted_at = std::chrono::steady_clock::now();
   auto done = std::make_shared<std::promise<std::string>>();
   std::future<std::string> response = done->get_future();
-  bool submitted = pool_->Submit([this, request, done] {
-    done->set_value(ExecuteAdmitted(request));
-    admission_.Release();
-  });
+  bool submitted =
+      pool_->Submit([this, request, done, rec, admitted_at]() mutable {
+        auto exec_start = std::chrono::steady_clock::now();
+        rec.queue_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           exec_start - admitted_at)
+                           .count();
+        std::string answer = ExecuteAdmitted(request, &rec);
+        rec.exec_us = ElapsedUs(exec_start);
+        // Unblock the connection thread first: accounting (and a possible
+        // slow-query plan capture) must not delay the response.
+        done->set_value(answer);
+        FinishRequest(std::move(rec), answer);
+        admission_.Release();
+      });
   if (!submitted) {
     admission_.Release();
     return ErrorLine(Status::Internal("server is shutting down"));
@@ -449,9 +582,11 @@ std::string Server::HandleRequest(const Request& request) {
   return response.get();
 }
 
-std::string Server::ExecuteAdmitted(const Request& request) {
+std::string Server::ExecuteAdmitted(const Request& request,
+                                    RequestRecord* rec) {
   obs::Span span("server.request", "server");
   span.Attr("verb", VerbName(request.kind));
+  span.Attr("request_id", static_cast<int64_t>(rec->id));
 #ifdef DIRE_FAILPOINTS_ENABLED
   {
     Status injected = failpoints::Check("server.request");
@@ -462,16 +597,19 @@ std::string Server::ExecuteAdmitted(const Request& request) {
   if (config_.request_timeout_ms != 0 || config_.request_max_tuples != 0) {
     guard.emplace(GuardLimits{config_.request_timeout_ms,
                               config_.request_max_tuples, 0});
+    // The tag rides along so a trip deep inside the evaluator can be tied
+    // back to this request in logs and /tracez.
+    guard->set_tag(rec->id);
   }
   const ExecutionGuard* g = guard ? &*guard : nullptr;
   switch (request.kind) {
     case Request::Kind::kQuery:
-      return HandleQuery(request, g);
+      return HandleQuery(request, g, rec);
     case Request::Kind::kAdd:
     case Request::Kind::kRetract:
-      return HandleWrite(request, g);
+      return HandleWrite(request, g, rec);
     case Request::Kind::kSleep:
-      return HandleSleep(request, g);
+      return HandleSleep(request, g, rec);
     default:
       return ErrorLine(Status::Internal("unadmittable request kind"));
   }
@@ -485,7 +623,8 @@ void Server::CountTrip(const std::string& reason) {
 }
 
 std::string Server::HandleQuery(const Request& request,
-                                const ExecutionGuard* g) {
+                                const ExecutionGuard* g,
+                                RequestRecord* rec) {
   Result<eval::SelectResult> selected = [&] {
     std::shared_lock<std::shared_mutex> lock(db_mu_);
     return eval::SelectMatching(*data_dir_->db(), request.atom, g);
@@ -502,8 +641,10 @@ std::string Server::HandleQuery(const Request& request,
     }
   }
   std::sort(rows.begin(), rows.end());
+  rec->tuples = rows.size();
 
   if (selected->exhausted) {
+    rec->guard = selected->exhausted_reason;
     CountTrip(selected->exhausted_reason);
     if (!config_.partial_on_exhaustion) {
       return ErrorLine(
@@ -526,7 +667,8 @@ std::string Server::HandleQuery(const Request& request,
 }
 
 std::string Server::HandleWrite(const Request& request,
-                                const ExecutionGuard* g) {
+                                const ExecutionGuard* g,
+                                RequestRecord* rec) {
   const bool is_add = request.kind == Request::Kind::kAdd;
   const std::string& predicate = request.atom.predicate;
   if (derived_.count(predicate) != 0) {
@@ -598,7 +740,9 @@ std::string Server::HandleWrite(const Request& request,
 
   std::string tag = is_add ? (changed ? "added=1" : "added=0")
                            : (changed ? "removed=1" : "removed=0");
+  rec->tuples = changed ? 1 : 0;
   if (exhausted) {
+    rec->guard = reason;
     CountTrip(reason);
     partial_total_.fetch_add(1, std::memory_order_relaxed);
     PartialCounter()->Add(1);
@@ -608,12 +752,14 @@ std::string Server::HandleWrite(const Request& request,
 }
 
 std::string Server::HandleSleep(const Request& request,
-                                const ExecutionGuard* g) {
+                                const ExecutionGuard* g,
+                                RequestRecord* rec) {
   int64_t slept = 0;
   while (slept < request.sleep_ms) {
     if (g != nullptr) {
       Status checked = g->Check();
       if (!checked.ok()) {
+        rec->guard = g->trip_reason();
         CountTrip(g->trip_reason());
         return ErrorLine(checked);
       }
@@ -703,6 +849,7 @@ void Server::FollowerLoop() {
       repl_fd_.store(*dialed, std::memory_order_release);
       FollowerSession(*dialed, &force_resync);
       repl_connected_.store(false, std::memory_order_release);
+      ReplConnectedGauge()->Set(0);
       repl_fd_.store(-1, std::memory_order_release);
       ::close(*dialed);
     }
@@ -784,6 +931,8 @@ void Server::FollowerSession(int fd, bool* force_resync) {
   *force_resync = false;
   leader_lsn_.store(header->lsn, std::memory_order_relaxed);
   repl_connected_.store(true, std::memory_order_release);
+  ReplConnectedGauge()->Set(1);
+  ReplLagGauge()->Set(CurrentReplLag());
   WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n");
 
   std::vector<std::string> batch;
@@ -796,6 +945,10 @@ void Server::FollowerSession(int fd, bool* force_resync) {
       Result<PingLine> ping = ParsePingLine(line);
       if (ping.ok()) {
         leader_lsn_.store(ping->lsn, std::memory_order_relaxed);
+        // The lag gauge moves on every heartbeat, not only when records
+        // apply: an idle follower of a busy primary shows its true lag
+        // instead of a stale zero.
+        ReplLagGauge()->Set(CurrentReplLag());
       }
       // Heartbeat-ack our position so the primary sees a live link.
       if (!WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n")) return;
@@ -811,6 +964,7 @@ void Server::FollowerSession(int fd, bool* force_resync) {
       if (StartsWith(line, "PING")) continue;
       batch.push_back(line);
     }
+    ReplLagGauge()->Set(CurrentReplLag());
     Status applied = ApplyReplicatedBatch(batch);
     if (!applied.ok()) {
       // Gap, stale epoch, or damage: this stream cannot be trusted any
@@ -820,6 +974,7 @@ void Server::FollowerSession(int fd, bool* force_resync) {
       *force_resync = true;
       return;
     }
+    ReplLagGauge()->Set(CurrentReplLag());
     if (!WriteAll(fd, FormatAckLine(data_dir_->lsn()) + "\n")) return;
   }
 }
@@ -916,6 +1071,8 @@ std::string Server::HandlePromote(const Request& request) {
     role_.store(Role::kPrimary, std::memory_order_release);
   }
   repl_connected_.store(false, std::memory_order_release);
+  ReplConnectedGauge()->Set(0);
+  ReplLagGauge()->Set(0);
   log::Info("server", "promoted to primary",
             {{"epoch", std::to_string(data_dir_->epoch())},
              {"lsn", std::to_string(data_dir_->lsn())}});
@@ -952,6 +1109,10 @@ std::string Server::HandleHealth() {
         static_cast<unsigned long long>(lag),
         repl_connected_.load(std::memory_order_acquire) ? 1 : 0);
   }
+  // Appended last for the same prefix-match reason as the replication
+  // fields above.
+  line += StrFormat(" version=%s uptime_s=%lld", dire::kVersion,
+                    static_cast<long long>(UptimeSeconds()));
   return line;
 }
 
@@ -1013,8 +1174,265 @@ std::string Server::HandleStats() {
        readonly_rejected_total_.load(std::memory_order_relaxed));
   line("idle_disconnects_total",
        idle_disconnects_total_.load(std::memory_order_relaxed));
+  line("slow_queries_total",
+       slow_queries_total_.load(std::memory_order_relaxed));
+  line("uptime_s", static_cast<uint64_t>(UptimeSeconds()));
+  out += "\nversion ";
+  out += dire::kVersion;
   out += "\nEND";
   return out;
+}
+
+namespace {
+// /tracez depth: enough to reconstruct a recent burst, small enough that
+// the copy under recent_mu_ stays trivial.
+constexpr size_t kRecentRequests = 128;
+
+std::string RecordJson(const RequestRecord& rec, const char* type) {
+  return StrFormat(
+      "{\"type\":\"%s\",\"ts_ms\":%lld,\"request_id\":%llu,"
+      "\"verb\":%s,\"relation\":%s,\"status\":%s,\"guard\":%s,"
+      "\"admitted\":%s,\"queue_us\":%lld,\"exec_us\":%lld,"
+      "\"tuples\":%llu,\"cost_est\":%.0f",
+      type, static_cast<long long>(rec.ts_ms),
+      static_cast<unsigned long long>(rec.id), JsonStr(rec.verb).c_str(),
+      JsonStr(rec.relation).c_str(), JsonStr(rec.status).c_str(),
+      JsonStr(rec.guard).c_str(), rec.admitted ? "true" : "false",
+      static_cast<long long>(rec.queue_us),
+      static_cast<long long>(rec.exec_us),
+      static_cast<unsigned long long>(rec.tuples), rec.cost_est);
+}
+}  // namespace
+
+void Server::FinishRequest(RequestRecord rec, const std::string& response) {
+  rec.status = response.substr(0, response.find_first_of(" \n"));
+  rec.ts_ms = NowWallMs();
+  if (rec.admitted) {
+    QueueWaitHistogram(rec.verb)->Observe(
+        static_cast<uint64_t>(rec.queue_us));
+    ExecHistogram(rec.verb)->Observe(static_cast<uint64_t>(rec.exec_us));
+    ring_.RecordRequest(static_cast<uint64_t>(rec.queue_us + rec.exec_us));
+  }
+  WriteAccessLogLine(RecordJson(rec, "request") + "}");
+  const bool slow = config_.slow_query_ms > 0 && rec.admitted &&
+                    rec.exec_us >= config_.slow_query_ms * 1000;
+  {
+    std::lock_guard<std::mutex> lock(recent_mu_);
+    recent_requests_.push_back(rec);
+    if (recent_requests_.size() > kRecentRequests) {
+      recent_requests_.pop_front();
+    }
+  }
+  if (slow) LogSlowQuery(rec);
+}
+
+void Server::WriteAccessLogLine(const std::string& line) {
+  if (access_log_file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(access_log_mu_);
+  std::fwrite(line.data(), 1, line.size(), access_log_file_);
+  std::fputc('\n', access_log_file_);
+  // One flush per request keeps the log tailable and crash-complete; the
+  // access log is off the hot path by the time this runs (the response has
+  // already been sent).
+  std::fflush(access_log_file_);
+}
+
+void Server::LogSlowQuery(const RequestRecord& rec) {
+  slow_queries_total_.fetch_add(1, std::memory_order_relaxed);
+  SlowQueriesCounter()->Add(1);
+  std::string plan;
+  if (rec.verb != "SLEEP") {
+    // Re-plan with the live statistics and count actual per-atom
+    // cardinalities, so the log shows the join order the optimizer would
+    // pick *now* next to what the data really does. ExplainProgram interns
+    // symbols and builds the indexes it probes, hence the exclusive lock.
+    // This runs after the response was sent but inside the request's
+    // admission slot, so a storm of slow queries self-limits.
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    Result<std::string> explained =
+        eval::ExplainProgram(program_, data_dir_->db(),
+                             eval::PlannerMode::kCost, /*with_actuals=*/true);
+    if (explained.ok()) {
+      plan = "join order (est vs actual):\n";
+      plan += *explained;
+    } else {
+      plan = "explain failed: " + explained.status().ToString();
+    }
+  }
+  log::Warn("server", "slow query",
+            {{"request_id", std::to_string(rec.id)},
+             {"verb", rec.verb},
+             {"relation", rec.relation},
+             {"exec_us", std::to_string(rec.exec_us)},
+             {"threshold_ms", std::to_string(config_.slow_query_ms)},
+             {"plan", plan}});
+  WriteAccessLogLine(RecordJson(rec, "slow_query") +
+                     StrFormat(",\"threshold_ms\":%lld,\"plan\":%s}",
+                               static_cast<long long>(config_.slow_query_ms),
+                               JsonStr(plan).c_str()));
+}
+
+HttpResponse Server::HandleHttp(const HttpRequest& request) {
+  HttpResponse resp;
+  if (request.path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::PrometheusText();  // "" under -DDIRE_OBS=OFF: valid.
+    return resp;
+  }
+  if (request.path == "/healthz") {
+    resp.content_type = "application/json";
+    resp.body = HealthzJson();
+    // Readiness maps to the status code so load balancers need no JSON
+    // parser; liveness is the fact that anything answered at all.
+    if (!ready_.load(std::memory_order_acquire)) resp.status = 503;
+    return resp;
+  }
+  if (request.path == "/statusz") {
+    resp.content_type = "application/json";
+    resp.body = StatuszJson();
+    return resp;
+  }
+  if (request.path == "/tracez") {
+    resp.content_type = "application/json";
+    resp.body = TracezJson();
+    return resp;
+  }
+  resp.status = 404;
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.body = "not found; try /metrics /healthz /statusz /tracez\n";
+  return resp;
+}
+
+std::string Server::HealthzJson() {
+  bool ready = ready_.load(std::memory_order_acquire);
+  Role role = role_.load(std::memory_order_acquire);
+  const char* role_name = role == Role::kPrimary     ? "primary"
+                          : role == Role::kPromoting ? "promoting"
+                                                     : "follower";
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  if (ready && data_dir_ != nullptr) {
+    epoch = data_dir_->epoch();
+    lsn = data_dir_->lsn();
+  }
+  uint64_t leader = leader_lsn_.load(std::memory_order_relaxed);
+  uint64_t lag = leader > lsn ? leader - lsn : 0;
+  return StrFormat(
+      "{\"ready\":%s,\"live\":true,\"role\":\"%s\",\"epoch\":%llu,"
+      "\"lsn\":%llu,\"leader\":%s,\"lag\":%llu,\"connected\":%s,"
+      "\"inflight\":%d,\"accepted_total\":%llu,\"rejected_total\":%llu,"
+      "\"version\":\"%s\",\"uptime_s\":%lld}",
+      ready ? "true" : "false", role_name,
+      static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(lsn),
+      JsonStr(config_.replicate_from).c_str(),
+      static_cast<unsigned long long>(lag),
+      repl_connected_.load(std::memory_order_acquire) ? "true" : "false",
+      admission_.outstanding(),
+      static_cast<unsigned long long>(admission_.admitted_total()),
+      static_cast<unsigned long long>(admission_.shed_total()), dire::kVersion,
+      static_cast<long long>(UptimeSeconds()));
+}
+
+std::string Server::StatuszJson() {
+  bool ready = ready_.load(std::memory_order_acquire);
+  // Relation counts want the shared lock; /statusz must stay responsive
+  // while a long write holds it exclusively, so try once and report -1
+  // ("unavailable right now") rather than blocking the HTTP thread.
+  int64_t relations = -1;
+  int64_t tuples = -1;
+  if (ready && db_mu_.try_lock_shared()) {
+    relations = static_cast<int64_t>(
+        data_dir_->db()->RelationNames().size());
+    tuples = static_cast<int64_t>(data_dir_->db()->TotalTuples());
+    db_mu_.unlock_shared();
+  }
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+  if (ready && data_dir_ != nullptr) {
+    epoch = data_dir_->epoch();
+    lsn = data_dir_->lsn();
+  }
+  std::string out = StrFormat(
+      "{\"version\":\"%s\",\"uptime_s\":%lld,\"ready\":%s,"
+      "\"role\":\"%s\",\"port\":%d,\"http_port\":%d,",
+      dire::kVersion, static_cast<long long>(UptimeSeconds()),
+      ready ? "true" : "false",
+      role_.load(std::memory_order_acquire) == Role::kPrimary ? "primary"
+                                                              : "follower",
+      port_, http_port());
+  out += StrFormat(
+      "\"gauges\":{\"outstanding\":%d,\"accepted_total\":%llu,"
+      "\"rejected_total\":%llu,\"too_expensive_total\":%llu,"
+      "\"timed_out_total\":%llu,\"partial_total\":%llu,"
+      "\"writes_total\":%llu,\"checkpoints_total\":%llu,"
+      "\"slow_queries_total\":%llu,\"relations\":%lld,\"tuples\":%lld,"
+      "\"epoch\":%llu,\"lsn\":%llu,\"repl_lag\":%lld,"
+      "\"repl_connected\":%s},",
+      admission_.outstanding(),
+      static_cast<unsigned long long>(admission_.admitted_total()),
+      static_cast<unsigned long long>(admission_.shed_total()),
+      static_cast<unsigned long long>(admission_.too_expensive_total()),
+      static_cast<unsigned long long>(
+          timed_out_total_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          partial_total_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          writes_total_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          folds_total_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          slow_queries_total_.load(std::memory_order_relaxed)),
+      static_cast<long long>(relations), static_cast<long long>(tuples),
+      static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(lsn),
+      static_cast<long long>(CurrentReplLag()),
+      repl_connected_.load(std::memory_order_acquire) ? "true" : "false");
+  out += "\"series\":";
+  out += ring_.ToJson();
+  out += '}';
+  return out;
+}
+
+std::string Server::TracezJson() {
+  std::string out = "{\"spans\":[";
+  std::lock_guard<std::mutex> lock(recent_mu_);
+  bool first = true;
+  // Newest first: the request being debugged is almost always the latest.
+  for (auto it = recent_requests_.rbegin(); it != recent_requests_.rend();
+       ++it) {
+    if (!first) out += ',';
+    first = false;
+    out += RecordJson(*it, "request") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Server::SamplerLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // 1 s cadence, polled in 100 ms steps so shutdown never waits a slot.
+    for (int i = 0; i < 10; ++i) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ring_.Tick(admission_.outstanding(), CurrentReplLag());
+  }
+}
+
+int64_t Server::CurrentReplLag() const {
+  if (!ready_.load(std::memory_order_acquire) || data_dir_ == nullptr) {
+    return 0;
+  }
+  uint64_t leader = leader_lsn_.load(std::memory_order_relaxed);
+  uint64_t lsn = data_dir_->lsn();
+  return leader > lsn ? static_cast<int64_t>(leader - lsn) : 0;
+}
+
+int64_t Server::UptimeSeconds() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
 }
 
 }  // namespace dire::server

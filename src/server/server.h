@@ -2,7 +2,10 @@
 #define DIRE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -16,6 +19,7 @@
 #include "eval/checkpoint.h"
 #include "eval/evaluator.h"
 #include "server/admission.h"
+#include "server/http.h"
 #include "server/protocol.h"
 #include "server/replication.h"
 #include "storage/persist.h"
@@ -74,9 +78,48 @@ struct ServerConfig {
   // request) for this long; 0 = never. Replication streams are exempt.
   int idle_timeout_ms = 0;
 
+  // Embedded HTTP observability listener (see server/http.h): /metrics,
+  // /healthz, /statusz, /tracez, bound on `host`. It has its own acceptor
+  // thread off the admission path, so it answers even while every worker
+  // slot is held (and during the NOTREADY recovery window). -1 disables;
+  // 0 asks the kernel for a free port (see Server::http_port()).
+  int http_port = -1;
+
+  // Structured JSON access log: one line per served request (see
+  // DESIGN.md §9 for the schema). Empty disables; "-" writes to stderr.
+  // HEALTH / STATS probes are deliberately not logged — monitoring chatter
+  // would drown the requests the log exists to explain.
+  std::string access_log;
+
+  // Requests whose execution time exceeds this many milliseconds
+  // additionally log the program's join orders with estimated vs actual
+  // cardinalities (the PR 5 ExplainProgram path), so a live cost-model
+  // misestimate is diagnosable from logs alone. 0 disables. The capture
+  // re-executes the plans in counting mode under the exclusive database
+  // lock, after the response has been sent but while the request still
+  // holds its admission slot — slow and rare by construction.
+  int64_t slow_query_ms = 0;
+
   // Test-only: stretches recovery by this many milliseconds so tests can
   // deterministically observe the NOTREADY window. Never set in production.
   int recovery_delay_ms_for_test = 0;
+};
+
+// Everything observable about one served request: the unit of the access
+// log, the /tracez ring, the per-verb latency histograms, and slow-query
+// capture. Assigned its ID when the request enters the admission path.
+struct RequestRecord {
+  uint64_t id = 0;
+  std::string verb;      // "QUERY", "ADD", ...
+  std::string relation;  // Target predicate; empty for SLEEP.
+  double cost_est = 0;   // Admission cost estimate (QUERY only).
+  bool admitted = false;
+  int64_t queue_us = 0;  // Admission to worker pickup.
+  int64_t exec_us = 0;   // Worker execution time.
+  uint64_t tuples = 0;   // Tuples returned (QUERY) or applied (writes).
+  std::string status;    // First token of the response line ("OK", ...).
+  std::string guard;     // Guard trip reason; empty when nothing tripped.
+  int64_t ts_ms = 0;     // Wall-clock completion time.
 };
 
 // A long-lived, overload-safe `dire serve` process:
@@ -129,6 +172,8 @@ class Server {
   // The bound TCP port — the ephemeral one the kernel chose when
   // config.port was 0.
   int port() const { return port_; }
+  // The observability HTTP port; -1 when config.http_port disabled it.
+  int http_port() const { return http_ != nullptr ? http_->port() : -1; }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
   // This server's place in a replication pair. A follower becomes
@@ -181,13 +226,37 @@ class Server {
   // everything else is priced, admitted, and executed on the worker pool.
   std::string HandleRequest(const Request& request);
   // Runs on a worker-pool thread, under admission.
-  std::string ExecuteAdmitted(const Request& request);
+  std::string ExecuteAdmitted(const Request& request, RequestRecord* rec);
 
-  std::string HandleQuery(const Request& request, const ExecutionGuard* g);
-  std::string HandleWrite(const Request& request, const ExecutionGuard* g);
-  std::string HandleSleep(const Request& request, const ExecutionGuard* g);
+  std::string HandleQuery(const Request& request, const ExecutionGuard* g,
+                          RequestRecord* rec);
+  std::string HandleWrite(const Request& request, const ExecutionGuard* g,
+                          RequestRecord* rec);
+  std::string HandleSleep(const Request& request, const ExecutionGuard* g,
+                          RequestRecord* rec);
   std::string HandleStats();
   std::string HandleHealth();
+
+  // Terminal accounting for one tracked request: stamps status/time,
+  // observes the per-verb latency histograms and the /statusz ring, writes
+  // the access-log line, files the record into the /tracez ring, and —
+  // past the slow-query threshold — captures the live plans.
+  void FinishRequest(RequestRecord rec, const std::string& response);
+  void WriteAccessLogLine(const std::string& line);
+  void LogSlowQuery(const RequestRecord& rec);
+
+  // The observability HTTP endpoints (served on http_ threads).
+  HttpResponse HandleHttp(const HttpRequest& request);
+  std::string HealthzJson();
+  std::string StatuszJson();
+  std::string TracezJson();
+
+  // Seals one /statusz ring slot per second until shutdown.
+  void SamplerLoop();
+  // Follower's LSN distance behind the primary right now (0 off-replica
+  // or before recovery).
+  int64_t CurrentReplLag() const;
+  int64_t UptimeSeconds() const;
 
   // Accounts a guard trip: deadline trips count toward timed_out_total.
   void CountTrip(const std::string& reason);
@@ -263,6 +332,26 @@ class Server {
   std::atomic<uint64_t> retry_seq_{0};
   // Durable writes since the last WAL fold, gated by db_mu_.
   int writes_since_fold_ = 0;
+
+  // --- Serving observability (PR 8) ---------------------------------------
+  // The embedded HTTP listener; created in Create() so scrapes are answered
+  // from the first moment of the NOTREADY window, stopped in Run()'s
+  // wind-down before data_dir_ is released.
+  std::unique_ptr<HttpServer> http_;
+  // /statusz rolling time series, sealed at 1 Hz by sampler_thread_.
+  TimeSeriesRing ring_;
+  std::thread sampler_thread_;
+  // Access log sink; nullptr when disabled, stderr for "-".
+  std::FILE* access_log_file_ = nullptr;
+  bool access_log_owned_ = false;
+  std::mutex access_log_mu_;
+  // /tracez: the most recent completed request records, newest at back.
+  std::mutex recent_mu_;
+  std::deque<RequestRecord> recent_requests_;
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> slow_queries_total_{0};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace dire::server

@@ -16,6 +16,7 @@
 
 #include "base/log.h"
 #include "base/obs.h"
+#include "tests/prom_validator.h"
 
 namespace dire {
 namespace {
@@ -367,6 +368,97 @@ TEST(Metrics, PrometheusTextShape) {
             std::string::npos);
   EXPECT_NE(text.find("dire_test_prom_hist_sum 5"), std::string::npos);
   EXPECT_NE(text.find("dire_test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExpositionValidatesStrictly) {
+  // A label value exercising all three legal escapes (quote, backslash,
+  // newline) and a help text with backslash + newline: the validator must
+  // accept the exposition and unescape the value back to these bytes.
+  const std::string nasty = "we\"ird\\rel\nation";
+  obs::GetCounter("dire_test_strict_total",
+                  "help with \\ backslash\nand newline", {{"rel", nasty}})
+      ->Add(2);
+  obs::Histogram* h =
+      obs::GetHistogram("dire_test_strict_hist", "labeled histogram",
+                        {{"verb", "QUERY"}});
+  h->Observe(1);
+  h->Observe(100);
+  h->Observe(12345);
+  std::string text = obs::PrometheusText();
+  test::PromExposition parsed;
+  std::string error = test::ValidatePrometheusText(text, &parsed);
+  EXPECT_EQ(error, "");
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(text.empty());
+    return;
+  }
+  bool found = false;
+  for (const test::PromSample& sample : parsed.samples) {
+    if (sample.name != "dire_test_strict_total") continue;
+    found = true;
+    EXPECT_EQ(sample.labels.at("rel"), nasty);
+    EXPECT_GE(sample.value, 2.0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(parsed.types.at("dire_test_strict_hist"), "histogram");
+  EXPECT_EQ(parsed.types.at("dire_test_strict_total"), "counter");
+}
+
+TEST(Metrics, ExpositionValidatorCatchesViolations) {
+  using test::ValidatePrometheusText;
+  EXPECT_EQ(ValidatePrometheusText(""), "");  // OBS OFF emits this.
+  EXPECT_EQ(ValidatePrometheusText("dire_x{a=\"b\"} 1\n"), "");
+  // Duplicate # TYPE for one family.
+  EXPECT_NE(ValidatePrometheusText("# TYPE dire_x counter\n"
+                                   "# TYPE dire_x counter\n"
+                                   "dire_x 1\n"),
+            "");
+  // # TYPE must precede the family's samples.
+  EXPECT_NE(ValidatePrometheusText("dire_x 1\n# TYPE dire_x counter\n"), "");
+  // Only \\ \" \n are legal label-value escapes.
+  EXPECT_NE(ValidatePrometheusText("dire_x{a=\"b\\t\"} 1\n"), "");
+  // Duplicate series.
+  EXPECT_NE(ValidatePrometheusText("dire_x 1\ndire_x 1\n"), "");
+  // Missing trailing newline.
+  EXPECT_NE(ValidatePrometheusText("dire_x 1"), "");
+  // Bad metric name.
+  EXPECT_NE(ValidatePrometheusText("9dire 1\n"), "");
+
+  const std::string good_hist =
+      "# TYPE dire_h histogram\n"
+      "dire_h_bucket{le=\"1\"} 2\n"
+      "dire_h_bucket{le=\"8\"} 5\n"
+      "dire_h_bucket{le=\"+Inf\"} 6\n"
+      "dire_h_sum 40\n"
+      "dire_h_count 6\n";
+  EXPECT_EQ(ValidatePrometheusText(good_hist), "");
+  // Cumulative bucket counts may not decrease.
+  EXPECT_NE(ValidatePrometheusText("# TYPE dire_h histogram\n"
+                                   "dire_h_bucket{le=\"1\"} 5\n"
+                                   "dire_h_bucket{le=\"8\"} 3\n"
+                                   "dire_h_bucket{le=\"+Inf\"} 5\n"
+                                   "dire_h_sum 9\n"
+                                   "dire_h_count 5\n"),
+            "");
+  // le bounds must strictly increase.
+  EXPECT_NE(ValidatePrometheusText("# TYPE dire_h histogram\n"
+                                   "dire_h_bucket{le=\"8\"} 2\n"
+                                   "dire_h_bucket{le=\"1\"} 2\n"
+                                   "dire_h_bucket{le=\"+Inf\"} 2\n"
+                                   "dire_h_sum 9\n"
+                                   "dire_h_count 2\n"),
+            "");
+  // The +Inf bucket is mandatory and must equal _count.
+  EXPECT_NE(ValidatePrometheusText("# TYPE dire_h histogram\n"
+                                   "dire_h_bucket{le=\"1\"} 2\n"
+                                   "dire_h_sum 2\n"
+                                   "dire_h_count 2\n"),
+            "");
+  EXPECT_NE(ValidatePrometheusText("# TYPE dire_h histogram\n"
+                                   "dire_h_bucket{le=\"+Inf\"} 3\n"
+                                   "dire_h_sum 2\n"
+                                   "dire_h_count 2\n"),
+            "");
 }
 
 TEST(Metrics, MetricsJsonParsesBack) {

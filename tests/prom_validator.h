@@ -1,0 +1,324 @@
+#ifndef DIRE_TESTS_PROM_VALIDATOR_H_
+#define DIRE_TESTS_PROM_VALIDATOR_H_
+
+// Strict parse-back validator for the Prometheus text exposition format
+// (text/plain; version=0.0.4), shared by obs_test.cc (registry output) and
+// server_test.cc (live GET /metrics). Checks the things a scraper trips
+// over that substring assertions never catch:
+//
+//   - line grammar: `# HELP`, `# TYPE`, and sample lines only;
+//   - metric and label names match the spec's character classes;
+//   - label values use only the three legal escapes (\\ , \" , \n);
+//   - at most one `# TYPE` per family, and it precedes the samples;
+//   - no duplicate series (same name + same label set);
+//   - sample values parse as numbers (+Inf/-Inf/NaN allowed);
+//   - histograms: per label set, `le` bucket bounds strictly increase,
+//     cumulative counts never decrease, the `+Inf` bucket exists and
+//     equals `_count`, and `_sum`/`_count` are present.
+//
+// ValidatePrometheusText returns "" when the text is valid, otherwise a
+// one-line description of the first violation. An empty exposition is
+// valid (the -DDIRE_OBS=OFF exporters emit empty documents).
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dire::test {
+
+struct PromSample {
+  std::string name;                          // e.g. "dire_foo_bucket"
+  std::map<std::string, std::string> labels;  // unescaped values
+  double value = 0;
+};
+
+struct PromExposition {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::vector<PromSample> samples;
+};
+
+namespace prom_internal {
+
+inline bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+inline bool ValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+inline bool ValidSampleValue(const std::string& text) {
+  if (text.empty()) return false;
+  if (text == "+Inf" || text == "-Inf" || text == "Inf" || text == "NaN") {
+    return true;
+  }
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+// The family a sample belongs to: histogram series drop their
+// _bucket/_sum/_count suffix so they attach to the `# TYPE name histogram`
+// declaration.
+inline std::string FamilyOf(const PromExposition& exposition,
+                            const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    std::string base = sample_name;
+    size_t len = std::string(suffix).size();
+    if (base.size() > len && base.compare(base.size() - len, len, suffix) == 0) {
+      base.resize(base.size() - len);
+      auto it = exposition.types.find(base);
+      if (it != exposition.types.end() && it->second == "histogram") {
+        return base;
+      }
+    }
+  }
+  return sample_name;
+}
+
+// Renders a label set (minus `le`) into a stable grouping key.
+inline std::string GroupKey(const PromSample& sample) {
+  std::string key;
+  for (const auto& [name, value] : sample.labels) {
+    if (name == "le") continue;
+    key += name;
+    key += '\x1f';
+    key += value;
+    key += '\x1e';
+  }
+  return key;
+}
+
+}  // namespace prom_internal
+
+// Parses and validates `text`. Returns "" when valid; on success and when
+// `out` is non-null, fills it with the parsed samples and family types.
+inline std::string ValidatePrometheusText(const std::string& text,
+                                          PromExposition* out = nullptr) {
+  using namespace prom_internal;
+  PromExposition exposition;
+  // Families that already emitted a sample; a `# TYPE` after that is a
+  // spec violation.
+  std::set<std::string> sampled_families;
+  std::set<std::string> seen_series;
+
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      return "line " + std::to_string(line_no) + ": missing trailing newline";
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    auto fail = [&](const std::string& what) {
+      return "line " + std::to_string(line_no) + ": " + what + ": " + line;
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) == 0) {
+        std::string rest = line.substr(7);
+        size_t space = rest.find(' ');
+        std::string name =
+            space == std::string::npos ? rest : rest.substr(0, space);
+        if (!ValidMetricName(name)) return fail("bad HELP metric name");
+        // Help text: anything except a raw backslash that is not \\ or \n.
+        std::string help =
+            space == std::string::npos ? "" : rest.substr(space + 1);
+        for (size_t i = 0; i < help.size(); ++i) {
+          if (help[i] != '\\') continue;
+          if (i + 1 >= help.size() ||
+              (help[i + 1] != '\\' && help[i + 1] != 'n')) {
+            return fail("bad escape in HELP text");
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string rest = line.substr(7);
+        size_t space = rest.find(' ');
+        if (space == std::string::npos) return fail("TYPE needs a kind");
+        std::string name = rest.substr(0, space);
+        std::string kind = rest.substr(space + 1);
+        if (!ValidMetricName(name)) return fail("bad TYPE metric name");
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return fail("unknown TYPE kind");
+        }
+        if (exposition.types.count(name) != 0) return fail("duplicate TYPE");
+        if (sampled_families.count(name) != 0) {
+          return fail("TYPE after samples of the family");
+        }
+        exposition.types[name] = kind;
+        continue;
+      }
+      continue;  // Other comments are legal and ignored.
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    PromSample sample;
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("no value");
+    sample.name = line.substr(0, name_end);
+    if (!ValidMetricName(sample.name)) return fail("bad metric name");
+    size_t cursor = name_end;
+    if (line[cursor] == '{') {
+      ++cursor;
+      while (cursor < line.size() && line[cursor] != '}') {
+        size_t eq = line.find('=', cursor);
+        if (eq == std::string::npos) return fail("label without '='");
+        std::string label_name = line.substr(cursor, eq - cursor);
+        if (!ValidLabelName(label_name)) return fail("bad label name");
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          return fail("label value not quoted");
+        }
+        std::string value;
+        size_t i = eq + 2;
+        bool closed = false;
+        for (; i < line.size(); ++i) {
+          char c = line[i];
+          if (c == '\\') {
+            if (i + 1 >= line.size()) return fail("dangling backslash");
+            char esc = line[i + 1];
+            if (esc == '\\') {
+              value += '\\';
+            } else if (esc == '"') {
+              value += '"';
+            } else if (esc == 'n') {
+              value += '\n';
+            } else {
+              return fail("illegal escape in label value");
+            }
+            ++i;
+            continue;
+          }
+          if (c == '"') {
+            closed = true;
+            break;
+          }
+          value += c;
+        }
+        if (!closed) return fail("unterminated label value");
+        if (sample.labels.count(label_name) != 0) {
+          return fail("duplicate label name");
+        }
+        sample.labels[label_name] = value;
+        cursor = i + 1;
+        if (cursor < line.size() && line[cursor] == ',') ++cursor;
+      }
+      if (cursor >= line.size() || line[cursor] != '}') {
+        return fail("unterminated label set");
+      }
+      ++cursor;
+    }
+    if (cursor >= line.size() || line[cursor] != ' ') {
+      return fail("no space before value");
+    }
+    ++cursor;
+    std::string value_text = line.substr(cursor);
+    size_t space = value_text.find(' ');
+    if (space != std::string::npos) value_text.resize(space);  // timestamp ok
+    if (!ValidSampleValue(value_text)) return fail("bad sample value");
+    if (value_text == "+Inf" || value_text == "Inf") {
+      sample.value = HUGE_VAL;
+    } else if (value_text == "-Inf") {
+      sample.value = -HUGE_VAL;
+    } else if (value_text == "NaN") {
+      sample.value = NAN;
+    } else {
+      sample.value = std::strtod(value_text.c_str(), nullptr);
+    }
+
+    std::string series_key = sample.name + '\x1d' + GroupKey(sample);
+    auto le = sample.labels.find("le");
+    if (le != sample.labels.end()) series_key += "\x1dle=" + le->second;
+    if (!seen_series.insert(series_key).second) {
+      return fail("duplicate series");
+    }
+    sampled_families.insert(FamilyOf(exposition, sample.name));
+    exposition.samples.push_back(std::move(sample));
+  }
+
+  // Histogram shape checks, per (family, label-set-minus-le).
+  for (const auto& [family, kind] : exposition.types) {
+    if (kind != "histogram") continue;
+    struct Group {
+      std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+      bool has_sum = false;
+      bool has_count = false;
+      double count = 0;
+    };
+    std::map<std::string, Group> groups;
+    for (const PromSample& sample : exposition.samples) {
+      std::string key = GroupKey(sample);
+      if (sample.name == family + "_bucket") {
+        auto le = sample.labels.find("le");
+        if (le == sample.labels.end()) {
+          return "histogram " + family + " has a _bucket without le";
+        }
+        double bound = le->second == "+Inf"
+                           ? HUGE_VAL
+                           : std::strtod(le->second.c_str(), nullptr);
+        groups[key].buckets.emplace_back(bound, sample.value);
+      } else if (sample.name == family + "_sum") {
+        groups[key].has_sum = true;
+      } else if (sample.name == family + "_count") {
+        groups[key].has_count = true;
+        groups[key].count = sample.value;
+      }
+    }
+    if (groups.empty()) {
+      return "histogram " + family + " declared but has no samples";
+    }
+    for (const auto& [key, group] : groups) {
+      if (!group.has_sum) return "histogram " + family + " missing _sum";
+      if (!group.has_count) return "histogram " + family + " missing _count";
+      if (group.buckets.empty()) {
+        return "histogram " + family + " has no buckets";
+      }
+      for (size_t i = 0; i < group.buckets.size(); ++i) {
+        if (i > 0) {
+          if (!(group.buckets[i].first > group.buckets[i - 1].first)) {
+            return "histogram " + family + " le bounds not increasing";
+          }
+          if (group.buckets[i].second < group.buckets[i - 1].second) {
+            return "histogram " + family + " cumulative counts decrease";
+          }
+        }
+      }
+      const auto& last = group.buckets.back();
+      if (!std::isinf(last.first)) {
+        return "histogram " + family + " missing +Inf bucket";
+      }
+      if (last.second != group.count) {
+        return "histogram " + family + " +Inf bucket != _count";
+      }
+    }
+  }
+
+  if (out != nullptr) *out = std::move(exposition);
+  return "";
+}
+
+}  // namespace dire::test
+
+#endif  // DIRE_TESTS_PROM_VALIDATOR_H_

@@ -111,6 +111,18 @@
 //                               0 ships asynchronously
 //     --replication-heartbeat-ms N
 //                               idle-stream heartbeat / reconnect cadence
+//     --http-port N             also serve observability HTTP on this port
+//                               (GET /metrics /healthz /statusz /tracez;
+//                               0 = kernel-assigned; own acceptor thread off
+//                               the admission path, so it answers even
+//                               while the server is saturated or NOTREADY)
+//     --http-port-file FILE     also write the bound HTTP port to FILE
+//     --access-log PATH         structured JSON access log, one line per
+//                               request ("-" = stderr); HEALTH/STATS
+//                               probes are not logged
+//     --slow-query-ms N         requests executing longer than N ms log
+//                               their join orders with estimated vs actual
+//                               cardinalities (0 = off)
 //
 // Replication operations (see DESIGN.md "Replication & failover"):
 //   dire_cli promote HOST:PORT [--epoch N] [--fence-dir DIR]
@@ -282,6 +294,8 @@ int Usage() {
                "[--replicate-from HOST:PORT]\n"
                "       [--replication-ack-timeout-ms N] "
                "[--replication-heartbeat-ms N]\n"
+               "       [--http-port N] [--http-port-file FILE] "
+               "[--access-log PATH] [--slow-query-ms N]\n"
                "   or: dire_cli promote HOST:PORT [--epoch N] "
                "[--fence-dir DIR]\n"
                "   or: dire_cli verify --data-dir DIR [--allow-torn-tail]\n");
@@ -519,6 +533,7 @@ int RunServe(int argc, char** argv) {
 
   dire::server::ServerConfig config;
   std::string port_file;
+  std::string http_port_file;
   for (int i = 3; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -545,6 +560,22 @@ int RunServe(int argc, char** argv) {
       const char* path = next();
       if (path == nullptr) return Usage();
       port_file = path;
+    } else if (flag == "--http-port") {
+      int64_t v = ParseCount(next());
+      if (v < 0 || v > 65535) return Usage();
+      config.http_port = static_cast<int>(v);
+    } else if (flag == "--http-port-file") {
+      const char* path = next();
+      if (path == nullptr) return Usage();
+      http_port_file = path;
+    } else if (flag == "--access-log") {
+      const char* path = next();
+      if (path == nullptr) return Usage();
+      config.access_log = path;
+    } else if (flag == "--slow-query-ms") {
+      int64_t v = ParseCount(next());
+      if (v < 0) return Usage();
+      config.slow_query_ms = v;
     } else if (flag == "--max-inflight") {
       int64_t v = ParseCount(next());
       if (v < 1) return Usage();
@@ -650,6 +681,15 @@ int RunServe(int argc, char** argv) {
       return 1;
     }
     out << (*server)->port() << "\n";
+  }
+  if (!http_port_file.empty()) {
+    std::ofstream out(http_port_file);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   http_port_file.c_str());
+      return 1;
+    }
+    out << (*server)->http_port() << "\n";
   }
   dire::Status run = (*server)->Run();
   if (!run.ok()) return Fail(run);
