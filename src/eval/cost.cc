@@ -1,6 +1,7 @@
 #include "eval/cost.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "eval/builtins.h"
@@ -116,6 +117,23 @@ JoinOrder ChooseJoinOrder(const ast::Rule& rule, const StatsProvider& stats,
   }
   out.est_out_rows = frontier;
   return out;
+}
+
+bool PreferSortedProbe(double rows, double est_probes) {
+  if (rows < 0 || est_probes < 0) return false;
+  // Unit = one hash-probe's worth of work. Building a hash index allocates
+  // a map node and bucket vector per distinct value (heavy per row);
+  // building a sorted run is one comparison sort over row ids. Probing
+  // hash is O(1); probing sorted runs is a binary search.
+  constexpr double kHashBuildPerRow = 6.0;
+  constexpr double kHashProbe = 1.5;
+  constexpr double kSortBuildPerRowLog = 1.0;
+  constexpr double kSortedProbePerLog = 0.5;
+  double log_rows = std::log2(rows + 2.0);
+  double hash_cost = kHashBuildPerRow * rows + kHashProbe * est_probes;
+  double sorted_cost = kSortBuildPerRowLog * rows * log_rows +
+                       kSortedProbePerLog * log_rows * est_probes;
+  return sorted_cost < hash_cost;
 }
 
 }  // namespace dire::eval

@@ -86,6 +86,16 @@ struct JoinOrder {
 JoinOrder ChooseJoinOrder(const ast::Rule& rule, const StatsProvider& stats,
                           int delta_atom);
 
+// Index-kind choice for a single-column probe: true when the sorted-run
+// index is estimated cheaper than the hash index for a relation of `rows`
+// rows probed about `est_probes` times per firing. Hash pays a heavy
+// per-row build (bucket-map nodes) but O(1) probes; sorted runs build by
+// sorting row ids and pay O(log rows) per probe — so sorted wins for
+// small relations or few probes, and the high-probe-count inner loops of
+// recursive strata stay on hash. Deterministic (pure function of the two
+// estimates), so plans are reproducible run to run.
+bool PreferSortedProbe(double rows, double est_probes);
+
 }  // namespace dire::eval
 
 #endif  // DIRE_EVAL_COST_H_

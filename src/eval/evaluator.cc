@@ -20,7 +20,10 @@ namespace {
 
 // Projection-dedup set: keyed on the live projection of a scanned tuple
 // (see Descend), hot enough that the hash set beats an ordered tree.
-using SeenSet = std::unordered_set<storage::Tuple, VectorHash<storage::ValueId>>;
+// Transparent hashing: membership is checked against a reused scratch
+// buffer, so only first-seen projections materialize a Tuple.
+using SeenSet = std::unordered_set<storage::Tuple, storage::TupleViewHash,
+                                   storage::TupleViewEq>;
 
 // Sentinel for "no row-range restriction" (full execution of the plan).
 constexpr size_t kNoRange = static_cast<size_t>(-1);
@@ -40,6 +43,11 @@ class RuleExecutor {
         guard_(guard), begin_row_(begin_row), end_row_(end_row),
         counts_(counts) {
     slots_.resize(static_cast<size_t>(rule.num_slots));
+    // Per-depth sorted-probe result buffers: a probe at depth d iterates
+    // its buffer while deeper atoms run their own probes, so the buffers
+    // cannot be shared across depths (they are reused across iterations at
+    // the same depth, so steady-state probes allocate nothing).
+    sorted_rows_.resize(rule.body.size());
   }
 
   void Run() { Descend(0); }
@@ -71,14 +79,15 @@ class RuleExecutor {
     }
     const storage::Relation* rel = resolve_(atom);
     if (atom.negated) {
-      // All positions are bound: continue iff the tuple is absent.
-      storage::Tuple key;
-      key.reserve(atom.args.size());
+      // All positions are bound: continue iff the tuple is absent. The key
+      // scratch is done with before the recursion continues, so one shared
+      // buffer serves every depth (and the check allocates nothing).
+      key_scratch_.clear();
       for (const ArgRef& ref : atom.args) {
-        key.push_back(ref.is_const ? ref.value
-                                   : slots_[static_cast<size_t>(ref.slot)]);
+        key_scratch_.push_back(
+            ref.is_const ? ref.value : slots_[static_cast<size_t>(ref.slot)]);
       }
-      if (rel == nullptr || !rel->Contains(key)) {
+      if (rel == nullptr || !rel->Contains(key_scratch_)) {
         Count(atom_index);
         Descend(atom_index + 1);
       }
@@ -101,45 +110,60 @@ class RuleExecutor {
       // probe (the checks in TryTuple still filter, and a probe's bucket
       // yields matches in row order, so the chunks' concatenated output is
       // exactly the unrestricted execution's).
-      size_t end = std::min(end_row_, rel->tuples().size());
+      size_t end = std::min(end_row_, rel->size());
       for (size_t row = begin_row_; row < end; ++row) {
-        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+        TryTuple(atom, rel->row(row), atom_index, seen);
       }
       return;
     }
+    const size_t single_pos =
+        atom.probe_positions.size() == 1
+            ? static_cast<size_t>(atom.probe_positions.front())
+            : 0;
     if (atom.probe_positions.size() > 1 &&
         rel->HasCompositeIndex(atom.probe_positions)) {
       // Multi-bound atom: probe the composite index over all bound
-      // positions, touching exactly the matching rows.
-      storage::Tuple key;
-      key.reserve(atom.probe_positions.size());
+      // positions, touching exactly the matching rows. The key scratch is
+      // only read during the transparent bucket lookup, so the shared
+      // buffer is safe (and the probe allocates nothing).
+      key_scratch_.clear();
       for (int pos : atom.probe_positions) {
-        key.push_back(ValueAt(atom, static_cast<size_t>(pos)));
+        key_scratch_.push_back(ValueAt(atom, static_cast<size_t>(pos)));
       }
       for (uint32_t row : rel->ProbeCompositeFrozen(atom.probe_positions,
-                                                    key)) {
-        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+                                                    key_scratch_)) {
+        TryTuple(atom, rel->row(row), atom_index, seen);
       }
-    } else if (atom.probe_positions.size() == 1 &&
-               rel->HasIndex(
-                   static_cast<size_t>(atom.probe_positions.front()))) {
-      size_t pos = static_cast<size_t>(atom.probe_positions.front());
-      for (uint32_t row : rel->ProbeFrozen(pos, ValueAt(atom, pos))) {
-        TryTuple(atom, rel->tuples()[row], atom_index, seen);
+    } else if (atom.probe_positions.size() == 1 && atom.sorted_probe &&
+               rel->HasSortedIndex(single_pos)) {
+      // Planner chose the sorted-run index for this probe. Matches come
+      // back in ascending row order — exactly the hash bucket's order — so
+      // the choice cannot change results.
+      std::vector<uint32_t>& rows = sorted_rows_[atom_index];
+      rows.clear();
+      rel->ProbeSortedFrozen(single_pos, ValueAt(atom, single_pos), &rows);
+      for (uint32_t row : rows) {
+        TryTuple(atom, rel->row(row), atom_index, seen);
+      }
+    } else if (atom.probe_positions.size() == 1 && rel->HasIndex(single_pos)) {
+      for (uint32_t row : rel->ProbeFrozen(single_pos,
+                                           ValueAt(atom, single_pos))) {
+        TryTuple(atom, rel->row(row), atom_index, seen);
       }
     } else {
       // No prepared index (a caller skipped PrepareIndexes, or the probe
       // set's index was dropped): fall back to the scan — TryTuple's checks
       // filter to the same rows, in the same order.
       // Note: body relations are never mutated during a pass (derived tuples
-      // flow through the sink into a staging relation), so iterating tuples() is safe.
-      for (const storage::Tuple& t : rel->tuples()) {
+      // flow through the sink into a staging relation), so iterating rows()
+      // is safe.
+      for (storage::RowRef t : rel->rows()) {
         TryTuple(atom, t, atom_index, seen);
       }
     }
   }
 
-  void TryTuple(const CompiledAtom& atom, const storage::Tuple& t,
+  void TryTuple(const CompiledAtom& atom, storage::RowRef t,
                 size_t atom_index, SeenSet* seen) {
     // Bind before checking: a check position may test a variable bound by an
     // earlier position of this same atom (repeated variables, e.g. e(X,X)).
@@ -157,12 +181,16 @@ class RuleExecutor {
     // cardinality, and deduped continuations are still matches.
     Count(atom_index);
     if (seen != nullptr) {
-      storage::Tuple projection;
-      projection.reserve(atom.live_bind_positions.size());
+      // Transparent membership test on the scratch projection: a repeat
+      // costs a hash and compare, only a first-seen projection copies into
+      // an owning Tuple. The scratch is finished with before the recursion
+      // continues, so the shared buffer is safe.
+      proj_scratch_.clear();
       for (int pos : atom.live_bind_positions) {
-        projection.push_back(t[static_cast<size_t>(pos)]);
+        proj_scratch_.push_back(t[static_cast<size_t>(pos)]);
       }
-      if (!seen->insert(std::move(projection)).second) return;
+      if (seen->find(storage::RowRef(proj_scratch_)) != seen->end()) return;
+      seen->emplace(proj_scratch_.begin(), proj_scratch_.end());
     }
     Descend(atom_index + 1);
   }
@@ -182,7 +210,9 @@ class RuleExecutor {
       scratch_.push_back(ref.is_const ? ref.value
                                       : slots_[static_cast<size_t>(ref.slot)]);
     }
-    sink_(scratch_);
+    // Hash once at emission; every downstream dedup check (head fast path,
+    // staging insert) reuses it through the *Hashed entry points.
+    sink_(scratch_, storage::Relation::HashRow(scratch_));
   }
 
   const CompiledRule& rule_;
@@ -195,6 +225,11 @@ class RuleExecutor {
   std::vector<uint64_t>* counts_;
   std::vector<storage::ValueId> slots_;
   storage::Tuple scratch_;
+  // Reused scratch buffers; see the comments at their uses for why sharing
+  // across recursion depths is safe (or, for sorted_rows_, why it is not).
+  storage::Tuple key_scratch_;
+  storage::Tuple proj_scratch_;
+  std::vector<std::vector<uint32_t>> sorted_rows_;
   uint32_t ops_ = 0;
   bool stopped_ = false;
 };
@@ -298,7 +333,12 @@ void PrepareIndexes(const CompiledRule& rule,
     storage::Relation* rel = resolve(atom);
     if (rel == nullptr) continue;
     if (atom.probe_positions.size() == 1) {
-      rel->EnsureIndex(static_cast<size_t>(atom.probe_positions.front()));
+      size_t pos = static_cast<size_t>(atom.probe_positions.front());
+      if (atom.sorted_probe) {
+        rel->EnsureSortedIndex(pos);
+      } else {
+        rel->EnsureIndex(pos);
+      }
     } else {
       rel->EnsureCompositeIndex(atom.probe_positions);
     }
@@ -326,8 +366,9 @@ void CountAtomMatches(const CompiledRule& rule,
                       std::vector<uint64_t>* counts, uint64_t* emitted) {
   counts->assign(rule.body.size(), 0);
   uint64_t out = 0;
-  RuleExecutor(rule, resolve, [&out](const storage::Tuple&) { ++out; },
-               symbols, /*guard=*/nullptr, /*begin_row=*/0, kNoRange, counts)
+  RuleExecutor(rule, resolve,
+               [&out](storage::RowRef, uint64_t) { ++out; }, symbols,
+               /*guard=*/nullptr, /*begin_row=*/0, kNoRange, counts)
       .Run();
   if (emitted != nullptr) *emitted = out;
 }
@@ -397,18 +438,20 @@ Status Evaluator::MergeStaging(const storage::Relation& staging,
                                storage::Relation* delta, int rule_id) {
   const ExecutionGuard* guard = options_.guard;
   head->Reserve(staging.size());
-  for (const storage::Tuple& t : staging.tuples()) {
+  for (storage::RowRef t : staging.rows()) {
     // Stop before exceeding the tuple budget: the budget trips exactly at
     // its limit, and everything inserted so far is a sound derivation.
     if (guard != nullptr && guard->TuplesExhausted()) break;
     DIRE_FAILPOINT("storage.relation_insert");
-    if (head->Insert(t)) {
+    // One hash serves both inserts (head and delta key rows by content).
+    uint64_t hash = storage::Relation::HashRow(t);
+    if (head->InsertHashed(t, hash)) {
       ++stats_.tuples_derived;
       if (rule_id >= 0) {
         ++stats_.rule_stats[static_cast<size_t>(rule_id)].tuples_inserted;
       }
       Note(predicate, t);
-      if (delta != nullptr) delta->Insert(t);
+      if (delta != nullptr) delta->InsertHashed(t, hash);
       if (guard != nullptr) guard->AddTuples(1);
     }
   }
@@ -463,7 +506,11 @@ Status Evaluator::FireRuleChunked(const CompiledRule& plan, int rule_id,
 
   // Read phase: workers join disjoint row ranges of the driving scan over
   // frozen relation views into per-chunk staging buffers. Nothing in the
-  // database mutates until every chunk is done.
+  // database mutates until every chunk is done — which is also what makes
+  // the head-first duplicate check below safe: `head` is const for the
+  // whole phase, so a candidate it already contains can be dropped without
+  // staging it at all (it could never survive the merge anyway).
+  const storage::Relation* head_c = head;
   Pool()->ParallelFor(num_chunks, [&](size_t ci) {
     obs::Span chunk_span("eval.chunk", "eval");
     chunk_span.Attr("chunk", static_cast<int64_t>(ci));
@@ -473,9 +520,10 @@ Status Evaluator::FireRuleChunked(const CompiledRule& plan, int rule_id,
     size_t end = std::min(rows, begin + chunk_rows);
     chunk_span.Attr("rows", static_cast<uint64_t>(end - begin));
     ExecuteRuleRange(plan, resolve,
-                     [&c](const storage::Tuple& t) {
+                     [&c, head_c](storage::RowRef t, uint64_t h) {
                        ++c.emitted;
-                       c.staging->Insert(t);
+                       if (head_c->ContainsHashed(t, h)) return;
+                       c.staging->InsertHashed(t, h);
                      },
                      symbols, guard, begin, end);
     c.ns = ElapsedNs(t0);
@@ -535,16 +583,24 @@ Status Evaluator::FireRule(const CompiledRule& plan, int rule_id,
                              &emitted);
   } else {
     storage::Relation staging("$staging", head->arity());
+    // Head-first fast path: `head` is a frozen view for the whole read
+    // phase, so a candidate it already contains — the 20:1 duplicate
+    // stream of a converging fixpoint — is rejected right here, with the
+    // emission-time hash and zero allocations, instead of being staged and
+    // discarded at the merge.
+    const storage::Relation* head_c = head;
     ExecuteRule(plan, frozen,
-                [&staging, &emitted](const storage::Tuple& t) {
+                [&staging, &emitted, head_c](storage::RowRef t, uint64_t h) {
                   ++emitted;
-                  staging.Insert(t);
+                  if (head_c->ContainsHashed(t, h)) return;
+                  staging.InsertHashed(t, h);
                 },
                 &db_->symbols(), options_.guard);
     merged = MergeStaging(staging, plan.head_predicate, head, delta,
                           rule_id);
   }
   ++stats_.rule_firings;
+  stats_.tuples_emitted += emitted;
   size_t inserted = stats_.tuples_derived - before;
   int64_t ns = ElapsedNs(t0);
   if (rule_id >= 0) {
@@ -977,7 +1033,7 @@ Status Evaluator::SemiNaiveFixpoint(const std::vector<IndexedRule>& rules,
             "checkpointed delta for '%s' has arity %zu, stratum expects %zu",
             p.c_str(), rel->arity(), it->second->arity()));
       }
-      for (const storage::Tuple& t : rel->tuples()) it->second->Insert(t);
+      for (storage::RowRef t : rel->rows()) it->second->Insert(t);
     }
   }
   // Round counter continuous with the checkpointing run, so "every N rounds"

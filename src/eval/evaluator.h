@@ -177,6 +177,9 @@ struct EvalStats {
   int iterations = 0;
   // New tuples inserted into IDB relations.
   size_t tuples_derived = 0;
+  // Head tuples emitted by joins before any deduplication; emitted minus
+  // derived is the duplicate (wasted) work the engine rejected.
+  size_t tuples_emitted = 0;
   // Rule-variant executions.
   size_t rule_firings = 0;
   // False if a stratum hit max_iterations before reaching a fixpoint, or if
@@ -211,10 +214,14 @@ using RelationResolver =
     std::function<const storage::Relation*(const CompiledAtom&)>;
 using MutableRelationResolver =
     std::function<storage::Relation*(const CompiledAtom&)>;
-// Receives each derived head tuple (duplicates possible); sinks typically
-// stage into a deduplicating Relation so that a high-multiplicity join
-// cannot blow up memory.
-using TupleSink = std::function<void(const storage::Tuple&)>;
+// Receives each derived head tuple (duplicates possible) together with its
+// content hash (storage::Relation::HashRow, computed once at emission).
+// Sinks typically reject candidates already in the head relation and stage
+// the rest into a deduplicating Relation — both via the *Hashed fast paths,
+// so a duplicate candidate costs zero allocations — so that a
+// high-multiplicity join cannot blow up memory. The row view is valid only
+// for the duration of the call.
+using TupleSink = std::function<void(storage::RowRef, uint64_t hash)>;
 
 // Bottom-up Datalog evaluation over a Database. General positive programs
 // are supported: predicates are stratified into strongly connected
@@ -310,10 +317,13 @@ class Evaluator {
                       const std::string& predicate, storage::Relation* head,
                       storage::Relation* delta, int rule_id);
 
-  // Records `tuple` for provenance when a tracker is attached.
-  void Note(const std::string& predicate, const storage::Tuple& tuple) {
+  // Records `tuple` for provenance when a tracker is attached (the tuple
+  // materializes only in that case — never on the default path).
+  void Note(const std::string& predicate, storage::RowRef tuple) {
     if (options_.tracker != nullptr) {
-      options_.tracker->Record(predicate, tuple, provenance_round_);
+      options_.tracker->Record(
+          predicate, storage::Tuple(tuple.begin(), tuple.end()),
+          provenance_round_);
     }
   }
 

@@ -80,6 +80,7 @@ std::string ExplainPlan(const CompiledRule& plan,
     if (!checks.empty()) out += " check" + checks;
     if (!binds.empty()) out += " bind" + binds;
     if (atom.source == AtomSource::kDelta) out += "  [delta]";
+    if (atom.sorted_probe) out += "  idx=sorted";
     if (atom.est_rows >= 0) {
       out += "  est=" + FormatEstimate(atom.est_rows);
     }

@@ -40,7 +40,7 @@ ast::Atom MagicAtom(const ast::Atom& atom, const std::string& ad) {
 
 // True if `tuple` matches the constant / repeated-variable pattern of
 // `query` (variables of the query are bindings to read off).
-bool Matches(const ast::Atom& query, const storage::Tuple& tuple,
+bool Matches(const ast::Atom& query, storage::RowRef tuple,
              const storage::SymbolTable& symbols) {
   std::map<std::string, storage::ValueId> binding;
   for (size_t i = 0; i < query.args.size(); ++i) {
@@ -174,8 +174,10 @@ Result<QueryAnswer> AnswerQuery(storage::Database* db,
     QueryAnswer out;
     storage::Relation* rel = db->Find(query.predicate);
     if (rel != nullptr) {
-      for (const storage::Tuple& t : rel->tuples()) {
-        if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+      for (storage::RowRef t : rel->rows()) {
+        if (Matches(query, t, db->symbols())) {
+          out.tuples.emplace_back(t.begin(), t.end());
+        }
       }
     }
     return out;
@@ -190,8 +192,10 @@ Result<QueryAnswer> AnswerQuery(storage::Database* db,
   out.stats = stats;
   storage::Relation* rel = db->Find(rewrite.answer_predicate);
   if (rel != nullptr) {
-    for (const storage::Tuple& t : rel->tuples()) {
-      if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+    for (storage::RowRef t : rel->rows()) {
+      if (Matches(query, t, db->symbols())) {
+        out.tuples.emplace_back(t.begin(), t.end());
+      }
     }
   }
   return out;
@@ -209,7 +213,7 @@ Result<SelectResult> SelectMatching(const storage::Database& db,
                   query.predicate.c_str(), rel->arity(), query.args.size()));
   }
   size_t row = 0;
-  for (const storage::Tuple& t : rel->tuples()) {
+  for (storage::RowRef t : rel->rows()) {
     if (guard != nullptr &&
         ((row++ & 0x3FF) == 0 || guard->TuplesExhausted())) {
       // Deadline/cancellation once per batch; the tuple budget exactly.
@@ -220,7 +224,7 @@ Result<SelectResult> SelectMatching(const storage::Database& db,
       }
     }
     if (Matches(query, t, db.symbols())) {
-      out.tuples.push_back(t);
+      out.tuples.emplace_back(t.begin(), t.end());
       if (guard != nullptr) guard->AddTuples(1);
     }
   }
@@ -237,8 +241,10 @@ Result<QueryAnswer> AnswerQueryByFullEvaluation(storage::Database* db,
   out.stats = stats;
   storage::Relation* rel = db->Find(query.predicate);
   if (rel != nullptr) {
-    for (const storage::Tuple& t : rel->tuples()) {
-      if (Matches(query, t, db->symbols())) out.tuples.push_back(t);
+    for (storage::RowRef t : rel->rows()) {
+      if (Matches(query, t, db->symbols())) {
+        out.tuples.emplace_back(t.begin(), t.end());
+      }
     }
   }
   return out;

@@ -143,6 +143,9 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
   };
 
   std::set<std::string> bound_so_far;
+  // Estimated probes an atom receives per firing = the cumulative frontier
+  // after the previous atom (1 for the first: one unconditional scan).
+  double est_probes = 1.0;
   for (size_t body_index : order) {
     const ast::Atom& atom = rule.body[body_index];
     CompiledAtom ca;
@@ -195,7 +198,16 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
       if (!ca.probe_positions.empty()) {
         ca.probe_position = ca.probe_positions.front();
       }
+      // Index-kind choice (kCost with statistics only — without estimates
+      // the probe stays on the hash index, the statistics-free default).
+      // Result-identical either way; see CompiledAtom::sorted_probe.
+      if (cost_planner && ca.probe_positions.size() == 1 &&
+          ca.est_scan_rows >= 0 && est_probes >= 0 &&
+          PreferSortedProbe(ca.est_scan_rows, est_probes)) {
+        ca.sorted_probe = true;
+      }
     }
+    est_probes = est_out[body_index];
     for (const std::string& v : bound_in_atom) bound_so_far.insert(v);
     out.body.push_back(std::move(ca));
   }
@@ -250,7 +262,8 @@ std::vector<IndexRequirement> RequiredIndexes(const CompiledRule& rule) {
     if (atom.negated || atom.builtin || atom.probe_positions.empty()) {
       continue;
     }
-    IndexRequirement req{atom.predicate, atom.source, atom.probe_positions};
+    IndexRequirement req{atom.predicate, atom.source, atom.probe_positions,
+                         atom.sorted_probe};
     bool duplicate = false;
     for (const IndexRequirement& have : out) duplicate |= have == req;
     if (!duplicate) out.push_back(std::move(req));

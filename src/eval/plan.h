@@ -81,6 +81,13 @@ struct CompiledAtom {
   // CountAtomMatches reports as "actual"). Rendered by ExplainPlan.
   double est_scan_rows = -1;
   double est_rows = -1;
+  // Single-column probes only: probe the sorted-run index instead of the
+  // hash index (see PreferSortedProbe in eval/cost.h — chosen when the
+  // estimated probe count is too small to amortize a hash-index build).
+  // Both index kinds return matching rows in the same ascending-row order,
+  // so the choice never changes results, only cost. Rendered by
+  // ExplainPlan as "idx=sorted".
+  bool sorted_probe = false;
 };
 
 // A rule compiled for bottom-up execution: ordered body atoms plus the head
@@ -124,17 +131,19 @@ Result<CompiledRule> CompileRule(const ast::Rule& rule,
                                  storage::SymbolTable* symbols,
                                  const CompileOptions& options = {});
 
-// A hash index a compiled plan probes while executing: the relation the
-// atom reads (by predicate and source) and the probed column set (size 1 =
-// single-column index, larger = composite index).
+// An index a compiled plan probes while executing: the relation the atom
+// reads (by predicate and source) and the probed column set (size 1 =
+// single-column index, larger = composite index). `sorted` marks a
+// single-column sorted-run index instead of a hash index.
 struct IndexRequirement {
   std::string predicate;
   AtomSource source = AtomSource::kFull;
   std::vector<int> positions;
+  bool sorted = false;
 
   bool operator==(const IndexRequirement& other) const {
     return predicate == other.predicate && source == other.source &&
-           positions == other.positions;
+           positions == other.positions && sorted == other.sorted;
   }
 };
 

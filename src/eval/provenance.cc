@@ -59,7 +59,7 @@ class BodySearch {
     }
     storage::Relation* rel = db_->Find(atom.predicate);
     if (rel == nullptr) return false;
-    for (const storage::Tuple& t : rel->tuples()) {
+    for (storage::RowRef t : rel->rows()) {
       if (tracker_.RoundOf(atom.predicate, t) >= fact_round_) continue;
       std::vector<std::string> trail;
       if (TryBind(atom, t, &trail)) {
@@ -104,7 +104,7 @@ class BodySearch {
     return !rel->Contains(key);
   }
 
-  bool TryBind(const ast::Atom& atom, const storage::Tuple& t,
+  bool TryBind(const ast::Atom& atom, storage::RowRef t,
                std::vector<std::string>* trail) {
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const ast::Term& term = atom.args[i];

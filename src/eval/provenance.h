@@ -25,9 +25,9 @@ class ProvenanceTracker {
     rounds_[predicate].emplace(tuple, round);
   }
 
-  // Round of first derivation; 0 for unknown tuples (EDB facts).
-  int RoundOf(const std::string& predicate,
-              const storage::Tuple& tuple) const {
+  // Round of first derivation; 0 for unknown tuples (EDB facts). Accepts a
+  // borrowed row view (transparent lookup — no key materialization).
+  int RoundOf(const std::string& predicate, storage::RowRef tuple) const {
     auto it = rounds_.find(predicate);
     if (it == rounds_.end()) return 0;
     auto jt = it->second.find(tuple);
@@ -37,13 +37,10 @@ class ProvenanceTracker {
   void Clear() { rounds_.clear(); }
 
  private:
-  struct TupleHasher {
-    size_t operator()(const storage::Tuple& t) const {
-      return static_cast<size_t>(HashVector(t));
-    }
-  };
   std::unordered_map<std::string,
-                     std::unordered_map<storage::Tuple, int, TupleHasher>>
+                     std::unordered_map<storage::Tuple, int,
+                                        storage::TupleViewHash,
+                                        storage::TupleViewEq>>
       rounds_;
 };
 

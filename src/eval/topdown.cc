@@ -9,7 +9,7 @@ namespace {
 // Binds the variables of `atom` against `tuple`; false on mismatch with the
 // existing bindings or the atom's constants/repeats. Newly bound variables
 // are recorded in `trail`.
-bool BindAtom(const ast::Atom& atom, const storage::Tuple& tuple,
+bool BindAtom(const ast::Atom& atom, storage::RowRef tuple,
               storage::SymbolTable* symbols,
               std::map<std::string, storage::ValueId>* bindings,
               std::vector<std::string>* trail) {
@@ -91,11 +91,11 @@ Result<QueryAnswer> TabledTopDown::Query(const ast::Atom& query) {
     // EDB query: plain selection.
     storage::Relation* rel = db_->Find(query.predicate);
     if (rel == nullptr) return out;
-    for (const storage::Tuple& t : rel->tuples()) {
+    for (storage::RowRef t : rel->rows()) {
       Bindings bindings;
       std::vector<std::string> trail;
       if (BindAtom(query, t, &db_->symbols(), &bindings, &trail)) {
-        out.tuples.push_back(t);
+        out.tuples.emplace_back(t.begin(), t.end());
       }
     }
     return out;
@@ -244,7 +244,7 @@ Status TabledTopDown::SolveBody(const CallKey& key, const ast::Rule& rule,
 
   storage::Relation* rel = db_->Find(goal.predicate);
   if (rel == nullptr) return Status::Ok();
-  for (const storage::Tuple& t : rel->tuples()) {
+  for (storage::RowRef t : rel->rows()) {
     std::vector<std::string> trail;
     if (BindAtom(goal, t, &db_->symbols(), bindings, &trail)) {
       DIRE_RETURN_IF_ERROR(SolveBody(key, rule, index + 1, bindings));

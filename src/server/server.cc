@@ -79,6 +79,14 @@ obs::Gauge* ReplConnectedGauge() {
   return g;
 }
 
+obs::Gauge* ArenaBytesGauge() {
+  static obs::Gauge* g = obs::GetGauge(
+      "dire_storage_arena_bytes",
+      "Bytes reserved by tuple arenas and dedup tables across all "
+      "relations (capacity, not live size)");
+  return g;
+}
+
 // Per-verb latency histograms (queue wait and execution separately), in
 // microseconds. The registry lookup is a mutex-guarded map find — fine off
 // the per-tuple hot path; requests already take the admission mutex.
@@ -350,6 +358,8 @@ Status Server::FoldCheckpoint() {
   writes_since_fold_ = 0;
   folds_total_.fetch_add(1, std::memory_order_relaxed);
   FoldsCounter()->Add(1);
+  ArenaBytesGauge()->Set(
+      static_cast<int64_t>(data_dir_->db()->ArenaBytes()));
   return Status::Ok();
 }
 
@@ -361,6 +371,8 @@ Status Server::Run() {
     if (role_.load(std::memory_order_acquire) == Role::kFollower) {
       follower_thread_ = std::thread([this] { FollowerLoop(); });
     }
+    ArenaBytesGauge()->Set(
+        static_cast<int64_t>(data_dir_->db()->ArenaBytes()));
     ready_.store(true, std::memory_order_release);
     log::Info("server", "ready",
               {{"port", std::to_string(port_)},
@@ -725,6 +737,10 @@ std::string Server::HandleWrite(const Request& request,
                 {{"error", folded.ToString()}});
     }
   }
+
+  // Still under the exclusive lock: the arena footprint is stable here.
+  ArenaBytesGauge()->Set(
+      static_cast<int64_t>(data_dir_->db()->ArenaBytes()));
 
   // Ship-then-ack: with a positive ack timeout the response waits (outside
   // the database lock, so reads and other writes proceed) until every
@@ -1341,10 +1357,31 @@ std::string Server::StatuszJson() {
   // ("unavailable right now") rather than blocking the HTTP thread.
   int64_t relations = -1;
   int64_t tuples = -1;
+  int64_t arena_bytes = -1;
+  // Per-relation arena footprint: name, reserved bytes, used fraction of
+  // the reservation. Collected under the same opportunistic lock.
+  std::string arena_json = "[]";
   if (ready && db_mu_.try_lock_shared()) {
-    relations = static_cast<int64_t>(
-        data_dir_->db()->RelationNames().size());
-    tuples = static_cast<int64_t>(data_dir_->db()->TotalTuples());
+    const storage::Database* db = data_dir_->db();
+    relations = static_cast<int64_t>(db->RelationNames().size());
+    tuples = static_cast<int64_t>(db->TotalTuples());
+    arena_bytes = static_cast<int64_t>(db->ArenaBytes());
+    arena_json = "[";
+    bool first = true;
+    for (const std::string& name : db->RelationNames()) {
+      const storage::Relation* rel = db->Find(name);
+      if (rel == nullptr) continue;
+      if (!first) arena_json += ',';
+      first = false;
+      arena_json += StrFormat(
+          "{\"name\":%s,\"rows\":%llu,\"bytes\":%llu,"
+          "\"utilization\":%.3f}",
+          JsonStr(name).c_str(),
+          static_cast<unsigned long long>(rel->size()),
+          static_cast<unsigned long long>(rel->ArenaBytes()),
+          rel->ArenaUtilization());
+    }
+    arena_json += ']';
     db_mu_.unlock_shared();
   }
   uint64_t epoch = 0;
@@ -1367,6 +1404,7 @@ std::string Server::StatuszJson() {
       "\"timed_out_total\":%llu,\"partial_total\":%llu,"
       "\"writes_total\":%llu,\"checkpoints_total\":%llu,"
       "\"slow_queries_total\":%llu,\"relations\":%lld,\"tuples\":%lld,"
+      "\"arena_bytes\":%lld,"
       "\"epoch\":%llu,\"lsn\":%llu,\"repl_lag\":%lld,"
       "\"repl_connected\":%s},",
       admission_.outstanding(),
@@ -1384,10 +1422,14 @@ std::string Server::StatuszJson() {
       static_cast<unsigned long long>(
           slow_queries_total_.load(std::memory_order_relaxed)),
       static_cast<long long>(relations), static_cast<long long>(tuples),
+      static_cast<long long>(arena_bytes),
       static_cast<unsigned long long>(epoch),
       static_cast<unsigned long long>(lsn),
       static_cast<long long>(CurrentReplLag()),
       repl_connected_.load(std::memory_order_acquire) ? "true" : "false");
+  out += "\"arena\":";
+  out += arena_json;
+  out += ',';
   out += "\"series\":";
   out += ring_.ToJson();
   out += '}';

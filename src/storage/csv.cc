@@ -66,7 +66,7 @@ Result<std::string> DumpCsv(const Database& db, const std::string& name) {
   const Relation* rel = db.Find(name);
   if (rel == nullptr) return Status::NotFound("no relation " + name);
   std::string out;
-  for (const Tuple& t : rel->tuples()) {
+  for (RowRef t : rel->rows()) {
     for (size_t i = 0; i < t.size(); ++i) {
       if (i != 0) out += ',';
       out += db.symbols().Name(t[i]);

@@ -93,8 +93,8 @@ Result<bool> Database::RemoveRow(const std::string& name,
   if (!rel->Contains(target)) return false;
   auto rebuilt = std::make_unique<Relation>(name, rel->arity());
   rebuilt->Reserve(rel->size() - 1);
-  for (const Tuple& t : rel->tuples()) {
-    if (t != target) rebuilt->Insert(t);
+  for (RowRef t : rel->rows()) {
+    if (!RowEquals(t, target)) rebuilt->Insert(t);
   }
   relations_[name] = std::move(rebuilt);
   return true;
@@ -123,12 +123,18 @@ size_t Database::ApproxBytes() const {
   return bytes;
 }
 
+size_t Database::ArenaBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, rel] : relations_) bytes += rel->ArenaBytes();
+  return bytes;
+}
+
 std::string Database::DumpRelation(const std::string& name) const {
   const Relation* rel = Find(name);
   if (rel == nullptr) return "";
   std::vector<std::string> lines;
   lines.reserve(rel->size());
-  for (const Tuple& t : rel->tuples()) {
+  for (RowRef t : rel->rows()) {
     std::string line = name;
     line += '(';
     for (size_t i = 0; i < t.size(); ++i) {

@@ -65,6 +65,10 @@ class Database {
   // Approximate heap bytes across all relations (see Relation::ApproxBytes).
   size_t ApproxBytes() const;
 
+  // Bytes reserved by tuple arenas and dedup tables across all relations
+  // (see Relation::ArenaBytes). Exported as dire_storage_arena_bytes.
+  size_t ArenaBytes() const;
+
   // Renders `rel`'s tuples as sorted "name(a,b)" lines (deterministic, for
   // tests and golden output).
   std::string DumpRelation(const std::string& name) const;

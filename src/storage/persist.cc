@@ -209,7 +209,7 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
       const Relation* rel = self->db_.Find(name);
       std::vector<std::vector<std::string>> rows;
       rows.reserve(rel->size());
-      for (const Tuple& t : rel->tuples()) {
+      for (RowRef t : rel->rows()) {
         std::vector<std::string> row;
         row.reserve(t.size());
         for (ValueId v : t) row.push_back(self->db_.symbols().Name(v));

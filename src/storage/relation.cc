@@ -1,45 +1,126 @@
 #include "storage/relation.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dire::storage {
 
 const std::vector<uint32_t> Relation::kEmptyRows;
 
-bool Relation::Insert(const Tuple& t) {
+namespace {
+
+// Exponential (galloping) search: first index in sorted [lo, hi) whose
+// projected value is >= target, starting with 1, 2, 4, ... steps from
+// `lo` before binary-searching the bracketed window. O(log distance)
+// instead of O(log size) when matches cluster — the merge-join advances
+// each cursor by the distance to the next match, not the run length.
+template <typename Less>
+size_t GallopLowerBound(const std::vector<uint32_t>& run, size_t lo,
+                        size_t hi, ValueId target, const Less& value_less) {
+  size_t step = 1;
+  size_t prev = lo;
+  size_t probe = lo;
+  while (probe < hi && value_less(run[probe], target)) {
+    prev = probe + 1;
+    probe += step;
+    step *= 2;
+  }
+  size_t end = std::min(probe, hi);
+  // Invariant: everything before `prev` is < target, run[end] (if in
+  // range) is >= target.
+  auto it = std::lower_bound(run.begin() + static_cast<ptrdiff_t>(prev),
+                             run.begin() + static_cast<ptrdiff_t>(end),
+                             target,
+                             [&](uint32_t r, ValueId v) {
+                               return value_less(r, v);
+                             });
+  return static_cast<size_t>(it - run.begin());
+}
+
+}  // namespace
+
+bool Relation::InsertHashed(RowRef t, uint64_t hash) {
   assert(t.size() == arity_);
-  // Transparent probe first: no row is staged unless the tuple is new, so
-  // the row store never holds a duplicate even transiently.
-  if (dedup_.find(t) != dedup_.end()) return false;
-  tuples_.push_back(t);
-  uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
-  dedup_.insert(row);
+  assert(hash == HashRow(t));
+  // Probe first: nothing is staged unless the tuple is new, so the arena
+  // never holds a duplicate even transiently and a duplicate candidate
+  // costs zero allocations.
+  size_t idx;
+  if (FindSlot(t, hash, &idx)) return false;
+
+  uint32_t row_id = static_cast<uint32_t>(num_rows_);
+  if (arena_.size() + arity_ > arena_.capacity()) {
+    ++alloc_events_;
+    arena_.reserve(std::max<size_t>(arena_.capacity() * 2,
+                                    arena_.size() + std::max<size_t>(arity_, 1)));
+  }
+  arena_.insert(arena_.end(), t.begin(), t.end());
+  ++num_rows_;
+  slots_[idx] = Slot{hash, row_id};
+  ++used_slots_;
+  if (used_slots_ * 8 >= slots_.size() * 7) GrowTable();
+
   // Statistics ride the dedup check: only a genuinely new tuple reaches
   // here, and every insertion path (bulk load, staging merge, WAL replay)
-  // funnels through Insert — so each tuple is counted exactly once.
+  // funnels through InsertHashed — so each tuple is counted exactly once.
   for (size_t col = 0; col < arity_; ++col) {
     sketches_[col].Add(t[col]);
   }
   for (size_t col = 0; col < indexes_.size(); ++col) {
     if (indexes_[col].built) {
-      indexes_[col].buckets[t[col]].push_back(row);
+      indexes_[col].buckets[t[col]].push_back(row_id);
     }
   }
   for (auto& [cols, index] : composite_indexes_) {
-    index.buckets[ProjectRow(t, cols)].push_back(row);
+    index.buckets[ProjectRow(t, cols)].push_back(row_id);
   }
+  // Sorted indexes absorb new rows lazily: the next EnsureSortedIndex call
+  // sorts everything past covered_rows into a fresh run.
   return true;
 }
 
-void Relation::Reserve(size_t additional) {
-  size_t total = tuples_.size() + additional;
-  tuples_.reserve(total);
-  dedup_.reserve(total);
+void Relation::GrowTable() {
+  ++alloc_events_;
+  std::vector<Slot> grown(slots_.size() * 2, Slot{0, kEmptySlot});
+  size_t mask = grown.size() - 1;
+  for (const Slot& s : slots_) {
+    if (s.row == kEmptySlot) continue;
+    size_t i = static_cast<size_t>(s.hash) & mask;
+    while (grown[i].row != kEmptySlot) i = (i + 1) & mask;
+    grown[i] = s;
+  }
+  slots_ = std::move(grown);
 }
 
-bool Relation::Contains(const Tuple& t) const {
-  assert(t.size() == arity_);
-  return dedup_.find(t) != dedup_.end();
+void Relation::Reserve(size_t additional) {
+  size_t total_rows = num_rows_ + additional;
+  if (total_rows * arity_ > arena_.capacity()) {
+    ++alloc_events_;
+    arena_.reserve(total_rows * arity_);
+  }
+  // Size the table so `total_rows` occupied slots stay under the 7/8 load
+  // cap without another rehash.
+  size_t want = kInitialSlots;
+  while (total_rows * 8 >= want * 7) want *= 2;
+  if (want > slots_.size()) {
+    std::vector<Slot> grown(want, Slot{0, kEmptySlot});
+    std::swap(slots_, grown);
+    ++alloc_events_;
+    size_t mask = slots_.size() - 1;
+    for (const Slot& s : grown) {
+      if (s.row == kEmptySlot) continue;
+      size_t i = static_cast<size_t>(s.hash) & mask;
+      while (slots_[i].row != kEmptySlot) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+}
+
+std::vector<Tuple> Relation::CopyTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(num_rows_);
+  for (RowRef r : rows()) out.emplace_back(r.begin(), r.end());
+  return out;
 }
 
 const std::vector<uint32_t>& Relation::Probe(size_t col, ValueId value) {
@@ -58,14 +139,14 @@ const std::vector<uint32_t>& Relation::ProbeFrozen(size_t col,
 }
 
 const std::vector<uint32_t>& Relation::ProbeComposite(
-    const std::vector<int>& cols, const Tuple& key) {
+    const std::vector<int>& cols, RowRef key) {
   CompositeIndex& index = BuildCompositeIndex(cols);
   auto it = index.buckets.find(key);
   return it == index.buckets.end() ? kEmptyRows : it->second;
 }
 
 const std::vector<uint32_t>& Relation::ProbeCompositeFrozen(
-    const std::vector<int>& cols, const Tuple& key) const {
+    const std::vector<int>& cols, RowRef key) const {
   auto found = composite_indexes_.find(cols);
   assert(found != composite_indexes_.end());
   if (found == composite_indexes_.end()) return kEmptyRows;
@@ -86,9 +167,9 @@ void Relation::EnsureCompositeIndex(const std::vector<int>& cols) {
 void Relation::BuildIndex(size_t col) {
   ColumnIndex& index = indexes_[col];
   index.built = true;
-  index.buckets.reserve(tuples_.size());
-  for (uint32_t row = 0; row < tuples_.size(); ++row) {
-    index.buckets[tuples_[row][col]].push_back(row);
+  index.buckets.reserve(num_rows_);
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    index.buckets[row(r)[col]].push_back(r);
   }
 }
 
@@ -98,58 +179,194 @@ Relation::CompositeIndex& Relation::BuildCompositeIndex(
   auto [it, inserted] = composite_indexes_.try_emplace(cols);
   if (inserted) {
     CompositeIndex& index = it->second;
-    index.buckets.reserve(tuples_.size());
-    for (uint32_t row = 0; row < tuples_.size(); ++row) {
-      index.buckets[ProjectRow(tuples_[row], cols)].push_back(row);
+    index.buckets.reserve(num_rows_);
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      index.buckets[ProjectRow(row(r), cols)].push_back(r);
     }
   }
   return it->second;
 }
 
-Tuple Relation::ProjectRow(const Tuple& row, const std::vector<int>& cols) {
+Tuple Relation::ProjectRow(RowRef row, const std::vector<int>& cols) {
   Tuple key;
   key.reserve(cols.size());
   for (int col : cols) key.push_back(row[static_cast<size_t>(col)]);
   return key;
 }
 
+void Relation::EnsureSortedIndex(size_t col) {
+  assert(col < arity_);
+  if (sorted_indexes_.size() < arity_) sorted_indexes_.resize(arity_);
+  SortedIndex& index = sorted_indexes_[col];
+  index.built = true;
+  if (index.covered_rows == num_rows_) return;
+  // The rows appended since the last freeze become one new run — per
+  // semi-naive round that is the delta's worth of rows, not the relation.
+  std::vector<uint32_t> run(num_rows_ - index.covered_rows);
+  for (size_t i = 0; i < run.size(); ++i) {
+    run[i] = static_cast<uint32_t>(index.covered_rows + i);
+  }
+  std::sort(run.begin(), run.end(), [&](uint32_t a, uint32_t b) {
+    ValueId va = row(a)[col];
+    ValueId vb = row(b)[col];
+    return va != vb ? va < vb : a < b;
+  });
+  index.runs.push_back(std::move(run));
+  index.covered_rows = num_rows_;
+  if (index.runs.size() > kMaxSortedRuns) MergeSortedRuns(col, &index);
+}
+
+void Relation::MergeSortedRuns(size_t col, SortedIndex* index) {
+  // Periodic full merge: concatenate and re-sort into a single run. The
+  // sort key (value, row) makes the result independent of the previous run
+  // structure, and restores the single-run invariant MergeJoinSorted wants.
+  std::vector<uint32_t> merged;
+  size_t total = 0;
+  for (const std::vector<uint32_t>& run : index->runs) total += run.size();
+  merged.reserve(total);
+  for (const std::vector<uint32_t>& run : index->runs) {
+    merged.insert(merged.end(), run.begin(), run.end());
+  }
+  std::sort(merged.begin(), merged.end(), [&](uint32_t a, uint32_t b) {
+    ValueId va = row(a)[col];
+    ValueId vb = row(b)[col];
+    return va != vb ? va < vb : a < b;
+  });
+  index->runs.clear();
+  index->runs.push_back(std::move(merged));
+}
+
+void Relation::CompactSortedIndex(size_t col) {
+  EnsureSortedIndex(col);
+  SortedIndex& index = sorted_indexes_[col];
+  if (index.runs.size() > 1) MergeSortedRuns(col, &index);
+}
+
+void Relation::ProbeSortedFrozen(size_t col, ValueId value,
+                                 std::vector<uint32_t>* out) const {
+  assert(HasSortedIndex(col));
+  if (!HasSortedIndex(col)) return;
+  const SortedIndex& index = sorted_indexes_[col];
+  auto value_less = [&](uint32_t r, ValueId v) { return row(r)[col] < v; };
+  for (const std::vector<uint32_t>& run : index.runs) {
+    // Equality window via two galloping lower bounds; ties are sorted by
+    // row id, and runs cover increasing row ranges, so appending run by
+    // run yields globally ascending row ids.
+    size_t lo = GallopLowerBound(run, 0, run.size(), value, value_less);
+    size_t hi = lo;
+    while (hi < run.size() && row(run[hi])[col] == value) ++hi;
+    out->insert(out->end(), run.begin() + static_cast<ptrdiff_t>(lo),
+                run.begin() + static_cast<ptrdiff_t>(hi));
+  }
+}
+
+void Relation::ProbeSortedRange(size_t col, ValueId lo_value, ValueId hi_value,
+                                std::vector<uint32_t>* out) const {
+  assert(HasSortedIndex(col));
+  if (!HasSortedIndex(col) || lo_value > hi_value) return;
+  const SortedIndex& index = sorted_indexes_[col];
+  auto value_less = [&](uint32_t r, ValueId v) { return row(r)[col] < v; };
+  for (const std::vector<uint32_t>& run : index.runs) {
+    size_t lo = GallopLowerBound(run, 0, run.size(), lo_value, value_less);
+    size_t hi = lo;
+    while (hi < run.size() && row(run[hi])[col] <= hi_value) ++hi;
+    out->insert(out->end(), run.begin() + static_cast<ptrdiff_t>(lo),
+                run.begin() + static_cast<ptrdiff_t>(hi));
+  }
+}
+
+void MergeJoinSorted(const Relation& a, size_t col_a, const Relation& b,
+                     size_t col_b,
+                     const std::function<void(uint32_t, uint32_t)>& yield) {
+  assert(a.HasSortedIndex(col_a) && a.SortedRunCount(col_a) <= 1);
+  assert(b.HasSortedIndex(col_b) && b.SortedRunCount(col_b) <= 1);
+  if (!a.HasSortedIndex(col_a) || !b.HasSortedIndex(col_b) ||
+      a.SortedRunCount(col_a) > 1 || b.SortedRunCount(col_b) > 1) {
+    return;
+  }
+  // Materialize the single runs through the public probe surface: a full
+  // range probe returns the run in (value, row) order.
+  std::vector<uint32_t> run_a;
+  std::vector<uint32_t> run_b;
+  if (!a.empty()) a.ProbeSortedRange(col_a, 0, UINT32_MAX, &run_a);
+  if (!b.empty()) b.ProbeSortedRange(col_b, 0, UINT32_MAX, &run_b);
+  auto less_a = [&](uint32_t r, ValueId v) { return a.row(r)[col_a] < v; };
+  auto less_b = [&](uint32_t r, ValueId v) { return b.row(r)[col_b] < v; };
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < run_a.size() && ib < run_b.size()) {
+    ValueId va = a.row(run_a[ia])[col_a];
+    ValueId vb = b.row(run_b[ib])[col_b];
+    if (va < vb) {
+      // Gallop a's cursor forward to the first value >= vb.
+      ia = GallopLowerBound(run_a, ia + 1, run_a.size(), vb, less_a);
+    } else if (vb < va) {
+      ib = GallopLowerBound(run_b, ib + 1, run_b.size(), va, less_b);
+    } else {
+      size_t ea = ia;
+      while (ea < run_a.size() && a.row(run_a[ea])[col_a] == va) ++ea;
+      size_t eb = ib;
+      while (eb < run_b.size() && b.row(run_b[eb])[col_b] == va) ++eb;
+      for (size_t x = ia; x < ea; ++x) {
+        for (size_t y = ib; y < eb; ++y) {
+          yield(run_a[x], run_b[y]);
+        }
+      }
+      ia = ea;
+      ib = eb;
+    }
+  }
+}
+
 size_t Relation::ApproxBytes() const {
-  // Per-tuple: the inline vector header + arity values, one dedup-set slot,
-  // and a flat constant for allocator/node overhead.
-  constexpr size_t kPerTupleOverhead = 32;
-  size_t per_tuple = sizeof(Tuple) + arity_ * sizeof(ValueId) +
-                     sizeof(uint32_t) + kPerTupleOverhead;
-  size_t bytes = sizeof(Relation) + tuples_.size() * per_tuple +
+  // Fixed costs per row: its arena cells and one dedup slot (amortized at
+  // the 7/8 load cap). kPerBucketOverhead models hash-map node/allocator
+  // overhead per bucket of the lazy indexes.
+  constexpr size_t kPerBucketOverhead = 32;
+  size_t bytes = sizeof(Relation) + arena_.capacity() * sizeof(ValueId) +
+                 slots_.capacity() * sizeof(Slot) +
                  sketches_.size() * ColumnSketch::ApproxBytes();
   for (const ColumnIndex& index : indexes_) {
     if (!index.built) continue;
     // Each bucket holds row ids plus map-node overhead; each row appears in
     // exactly one bucket per built column.
-    bytes += index.buckets.size() * kPerTupleOverhead +
-             tuples_.size() * sizeof(uint32_t);
+    bytes += index.buckets.size() * kPerBucketOverhead +
+             num_rows_ * sizeof(uint32_t);
   }
   for (const auto& [cols, index] : composite_indexes_) {
     // Like a column index, plus each bucket's key tuple (cols values and a
     // vector header).
     bytes += index.buckets.size() *
-                 (kPerTupleOverhead + sizeof(Tuple) +
+                 (kPerBucketOverhead + sizeof(Tuple) +
                   cols.size() * sizeof(ValueId)) +
-             tuples_.size() * sizeof(uint32_t);
+             num_rows_ * sizeof(uint32_t);
+  }
+  for (const SortedIndex& index : sorted_indexes_) {
+    if (!index.built) continue;
+    // Flat row-id runs: 4 bytes per covered row plus a vector header each.
+    bytes += index.covered_rows * sizeof(uint32_t) +
+             index.runs.size() * sizeof(std::vector<uint32_t>);
   }
   return bytes;
 }
 
 void Relation::Clear() {
-  dedup_.clear();
-  tuples_.clear();
+  arena_.clear();
+  arena_.shrink_to_fit();
+  num_rows_ = 0;
+  slots_.assign(kInitialSlots, Slot{0, kEmptySlot});
+  slots_.shrink_to_fit();
+  used_slots_ = 0;
+  alloc_events_ = 0;
   indexes_.clear();
+  sorted_indexes_.clear();
   composite_indexes_.clear();
   for (ColumnSketch& sketch : sketches_) sketch.Clear();
 }
 
 std::string Relation::ToString(const SymbolTable& symbols) const {
   std::string out;
-  for (const Tuple& t : tuples_) {
+  for (RowRef t : rows()) {
     out += name_;
     out += '(';
     for (size_t i = 0; i < t.size(); ++i) {

@@ -2,10 +2,11 @@
 #define DIRE_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "base/hash.h"
@@ -14,50 +15,128 @@
 
 namespace dire::storage {
 
-// A set of fixed-arity tuples with O(1) duplicate detection and lazily built
-// hash indexes for join probes: per-column indexes plus composite indexes
-// over a set of columns (so a multi-bound probe hits exactly its matching
-// rows instead of over-scanning one column's bucket). Insert-only
-// (evaluation never deletes); Clear() resets everything.
+// A set of fixed-arity tuples with O(1) duplicate detection and lazily
+// built join indexes.
+//
+// Storage layout: one flat arena of ValueIds holding rows back to back —
+// row i occupies arena[i*arity .. i*arity+arity). Rows are identified by
+// their insertion-order index (row ids are stable and dense), accessed as
+// non-owning spans (RowRef), and never individually heap-allocated: an
+// insert appends `arity` values to the arena and one (hash, row) slot to
+// an open-addressing dedup table. Duplicate candidates are rejected with
+// zero allocations — hash, table probe, arena compare — which is what the
+// evaluator's 20:1 emitted-to-inserted workloads spend their time on.
+// Hashes are computed once per candidate: callers that already hashed a
+// row pass it through InsertHashed/ContainsHashed (the hash-first dedup
+// fast path).
+//
+// Join probes come in two index flavors, chosen per probe by the cost
+// planner:
+//  * hash indexes (per column, plus composite over a column set): O(1)
+//    equality probes, buckets list row ids in insertion order;
+//  * sorted-run indexes (per column): row ids sorted by (value, row) in
+//    LSM-style runs — rows appended since the last freeze form a new run,
+//    runs merge once there are more than kMaxSortedRuns — supporting
+//    equality probes, value-range probes, and galloping merge-joins over
+//    flat memory instead of per-distinct-value bucket vectors.
+// Both return matching row ids in ascending row order, so results are
+// identical (byte for byte) whichever index a plan picked.
+//
+// Insert-only (evaluation never deletes); Clear() resets everything.
 //
 // Thread-safety: none of the mutating members may race, but every const
 // member is safe to call concurrently with other const members. The
 // parallel evaluator relies on this split: it freezes a relation by
 // pre-building every index its plans probe (EnsureIndex /
-// EnsureCompositeIndex) before the parallel region, after which workers use
-// only the const surface (tuples(), ProbeFrozen, ProbeCompositeFrozen,
-// Contains).
+// EnsureCompositeIndex / EnsureSortedIndex) before the parallel region,
+// after which workers use only the const surface (row(), ProbeFrozen,
+// ProbeCompositeFrozen, ProbeSortedFrozen, Contains).
 class Relation {
  public:
   Relation(std::string name, size_t arity)
-      : name_(std::move(name)), arity_(arity), sketches_(arity) {}
+      : name_(std::move(name)),
+        arity_(arity),
+        sketches_(arity),
+        slots_(kInitialSlots, Slot{0, kEmptySlot}) {}
 
-  // Not copyable or movable: the duplicate-detection set holds pointers into
-  // this object's tuple storage. Databases hold relations by unique_ptr.
+  // Not copyable or movable: the dedup table indexes into this object's
+  // arena. Databases hold relations by unique_ptr.
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  // The canonical row hash; InsertHashed/ContainsHashed require exactly
+  // this function over the row's values.
+  static uint64_t HashRow(RowRef t) { return HashSpan(t.data(), t.size()); }
 
   // Inserts `t`; returns true if it was new. Requires t.size() == arity().
-  bool Insert(const Tuple& t);
+  bool Insert(RowRef t) { return InsertHashed(t, HashRow(t)); }
+  bool Insert(std::initializer_list<ValueId> t) {
+    return Insert(RowRef(t.begin(), t.size()));
+  }
+  // Hash-first insert: `hash` must equal HashRow(t). Lets a caller that
+  // already hashed the candidate (to reject it against another relation)
+  // reuse the work.
+  bool InsertHashed(RowRef t, uint64_t hash);
 
-  // Pre-sizes the row store and the dedup set for `additional` further
+  bool Contains(RowRef t) const { return ContainsHashed(t, HashRow(t)); }
+  bool Contains(std::initializer_list<ValueId> t) const {
+    return Contains(RowRef(t.begin(), t.size()));
+  }
+  bool ContainsHashed(RowRef t, uint64_t hash) const {
+    size_t idx;
+    return FindSlot(t, hash, &idx);
+  }
+
+  // Pre-sizes the arena and the dedup table for `additional` further
   // inserts, so bulk loads (snapshot sections, CSV files, staging merges)
-  // pay one rehash instead of a rehash storm.
+  // pay one growth instead of a doubling cascade.
   void Reserve(size_t additional);
 
-  bool Contains(const Tuple& t) const;
+  // Row `i` (insertion order), as a span into the arena. Valid until the
+  // next mutating call.
+  RowRef row(size_t i) const {
+    return RowRef(arena_.data() + i * arity_, arity_);
+  }
 
-  // All tuples, in insertion order. Stable across Insert calls (indexes into
-  // this vector are used as row ids).
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  // Iterable view over all rows in insertion order:
+  //   for (RowRef r : rel.rows()) ...
+  // Spans are invalidated by any mutating call, like row().
+  class RowsView {
+   public:
+    class iterator {
+     public:
+      iterator(const Relation* rel, size_t i) : rel_(rel), i_(i) {}
+      RowRef operator*() const { return rel_->row(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const Relation* rel_;
+      size_t i_;
+    };
+    explicit RowsView(const Relation* rel) : rel_(rel) {}
+    iterator begin() const { return iterator(rel_, 0); }
+    iterator end() const { return iterator(rel_, rel_->size()); }
+
+   private:
+    const Relation* rel_;
+  };
+  RowsView rows() const { return RowsView(this); }
+
+  // Materializes every row as an owning Tuple (tests, relation rebuilds —
+  // never a hot path).
+  std::vector<Tuple> CopyTuples() const;
 
   // Row ids of tuples whose column `col` equals `value`, in increasing row
-  // order. Builds the column index on first use; subsequent inserts
+  // order. Builds the column hash index on first use; subsequent inserts
   // maintain it.
   const std::vector<uint32_t>& Probe(size_t col, ValueId value);
 
@@ -65,11 +144,15 @@ class Relation {
   // increasing row order. `cols` must be sorted, unique, with at least two
   // entries (use Probe for one). Builds the composite index on first use.
   const std::vector<uint32_t>& ProbeComposite(const std::vector<int>& cols,
-                                              const Tuple& key);
+                                              RowRef key);
+  const std::vector<uint32_t>& ProbeComposite(
+      const std::vector<int>& cols, std::initializer_list<ValueId> key) {
+    return ProbeComposite(cols, RowRef(key.begin(), key.size()));
+  }
 
-  // Builds the single-column / composite index now (no-ops when already
-  // built). The parallel evaluator calls these for every index its compiled
-  // plans probe before entering a parallel region.
+  // Builds the single-column / composite hash index now (no-ops when
+  // already built). The evaluator calls these for every hash index its
+  // compiled plans probe before entering a (possibly parallel) read phase.
   void EnsureIndex(size_t col);
   void EnsureCompositeIndex(const std::vector<int>& cols);
 
@@ -78,7 +161,11 @@ class Relation {
   // no rows — never a silent scan — if it was not; debug builds assert).
   const std::vector<uint32_t>& ProbeFrozen(size_t col, ValueId value) const;
   const std::vector<uint32_t>& ProbeCompositeFrozen(
-      const std::vector<int>& cols, const Tuple& key) const;
+      const std::vector<int>& cols, RowRef key) const;
+  const std::vector<uint32_t>& ProbeCompositeFrozen(
+      const std::vector<int>& cols, std::initializer_list<ValueId> key) const {
+    return ProbeCompositeFrozen(cols, RowRef(key.begin(), key.size()));
+  }
 
   // True if a hash index exists for `col`.
   bool HasIndex(size_t col) const {
@@ -87,6 +174,48 @@ class Relation {
   bool HasCompositeIndex(const std::vector<int>& cols) const {
     return composite_indexes_.find(cols) != composite_indexes_.end();
   }
+
+  // --- Sorted-run index ------------------------------------------------
+  // Row ids ordered by (value at `col`, row id), kept as runs: each
+  // EnsureSortedIndex call sorts the rows inserted since the last call
+  // into a fresh run (cheap per fixpoint round — only the delta's worth of
+  // rows), and merges all runs into one once there are more than
+  // kMaxSortedRuns. Runs cover strictly increasing row ranges, so
+  // concatenating per-run matches yields ascending row ids — the same
+  // order a hash-index probe produces.
+
+  // Brings the sorted index for `col` up to date with every inserted row
+  // (builds it on first use). Mutating; call before freezing.
+  void EnsureSortedIndex(size_t col);
+
+  // True when a sorted index for `col` exists AND covers every row; the
+  // frozen probes below require it.
+  bool HasSortedIndex(size_t col) const {
+    return col < sorted_indexes_.size() && sorted_indexes_[col].built &&
+           sorted_indexes_[col].covered_rows == num_rows_;
+  }
+
+  // Appends the row ids whose column `col` equals `value`, ascending, to
+  // *out (which the caller clears and reuses — the probe itself allocates
+  // only when out's capacity grows). Requires HasSortedIndex(col); returns
+  // nothing otherwise (never a silent scan; debug builds assert).
+  void ProbeSortedFrozen(size_t col, ValueId value,
+                         std::vector<uint32_t>* out) const;
+
+  // Range probe: row ids with lo <= value(col) <= hi. Ordered by (value,
+  // row) within each run — ascending by row id only per distinct value.
+  void ProbeSortedRange(size_t col, ValueId lo, ValueId hi,
+                        std::vector<uint32_t>* out) const;
+
+  // Number of runs currently backing `col`'s sorted index (0 when unbuilt).
+  size_t SortedRunCount(size_t col) const {
+    return col < sorted_indexes_.size() ? sorted_indexes_[col].runs.size()
+                                        : 0;
+  }
+
+  // Merges `col`'s sorted index down to a single run covering every row
+  // (building it first if needed). MergeJoinSorted requires this.
+  void CompactSortedIndex(size_t col);
 
   void Clear();
 
@@ -102,70 +231,130 @@ class Relation {
     return sketches_[col];
   }
 
-  // Approximate heap bytes held by this relation: row storage, the dedup
-  // set, per-column statistics sketches, and any built column or composite
+  // Approximate heap bytes held by this relation: the arena, the dedup
+  // table, per-column statistics sketches, and any built hash or sorted
   // indexes. Used by ExecutionGuard memory accounting; an estimate
   // (allocator overhead is modeled with a flat per-node constant), not a
   // measurement.
   size_t ApproxBytes() const;
 
+  // Bytes reserved by the tuple arena and dedup table (capacity, not
+  // size), and the used fraction of that reservation. Exposed as the
+  // dire_storage_arena_bytes gauge and per-relation /statusz utilization.
+  size_t ArenaBytes() const {
+    return arena_.capacity() * sizeof(ValueId) +
+           slots_.capacity() * sizeof(Slot);
+  }
+  double ArenaUtilization() const {
+    size_t cap = ArenaBytes();
+    if (cap == 0) return 1.0;
+    return static_cast<double>(arena_.size() * sizeof(ValueId) +
+                               used_slots_ * sizeof(Slot)) /
+           static_cast<double>(cap);
+  }
+
+  // Number of heap-growth events (arena regrowth, dedup-table rehash,
+  // dedup-table regrowth) since construction or the last Clear. The join
+  // inner loop's no-allocation contract is asserted against this counter:
+  // a candidate stream that only hits duplicates must not move it.
+  uint64_t alloc_events() const { return alloc_events_; }
+
   // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
   std::string ToString(const SymbolTable& symbols) const;
 
  private:
+  // Open-addressing dedup slot. `hash` is the full 64-bit row hash (checked
+  // before touching the arena, and reused verbatim on rehash); row ==
+  // kEmptySlot marks a free slot.
+  struct Slot {
+    uint64_t hash;
+    uint32_t row;
+  };
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+  static constexpr size_t kInitialSlots = 16;
+  static constexpr size_t kMaxSortedRuns = 8;
+
   struct ColumnIndex {
     bool built = false;
     std::unordered_map<ValueId, std::vector<uint32_t>> buckets;
   };
   // Buckets keyed by the projection of a row onto the index's columns.
+  // Transparent hashing: probes look up a borrowed key span without
+  // materializing a Tuple.
   struct CompositeIndex {
-    std::unordered_map<Tuple, std::vector<uint32_t>, VectorHash<ValueId>>
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleViewHash,
+                       TupleViewEq>
         buckets;
   };
+  struct SortedIndex {
+    bool built = false;
+    // Each run: row ids sorted by (value at col, row id). Runs cover
+    // strictly increasing row ranges: runs[k] holds exactly the rows
+    // appended between the k-th and (k+1)-th EnsureSortedIndex calls
+    // (collapsing to one run after a merge).
+    std::vector<std::vector<uint32_t>> runs;
+    // Rows [0, covered_rows) are distributed over the runs.
+    size_t covered_rows = 0;
+  };
 
-  // Transparent hashing: the dedup set stores row ids but can be probed
-  // directly with a Tuple, so Contains never has to stage a candidate row.
-  struct RowHash {
-    using is_transparent = void;
-    const std::vector<Tuple>* rows;
-    size_t operator()(uint32_t i) const {
-      return static_cast<size_t>(HashVector((*rows)[i]));
+  // Linear probe for `t` (with hash `hash`) in the dedup table. Returns
+  // true and the slot index when present; false and the insertion slot
+  // when absent.
+  bool FindSlot(RowRef t, uint64_t hash, size_t* idx) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.row == kEmptySlot) {
+        *idx = i;
+        return false;
+      }
+      if (s.hash == hash && RowEquals(row(s.row), t)) {
+        *idx = i;
+        return true;
+      }
+      i = (i + 1) & mask;
     }
-    size_t operator()(const Tuple& t) const {
-      return static_cast<size_t>(HashVector(t));
-    }
-  };
-  struct RowEq {
-    using is_transparent = void;
-    const std::vector<Tuple>* rows;
-    bool operator()(uint32_t a, uint32_t b) const {
-      return (*rows)[a] == (*rows)[b];
-    }
-    bool operator()(const Tuple& t, uint32_t b) const {
-      return t == (*rows)[b];
-    }
-    bool operator()(uint32_t a, const Tuple& t) const {
-      return (*rows)[a] == t;
-    }
-  };
+  }
+
+  // Doubles the dedup table and re-places every occupied slot by its
+  // stored hash (rows are never re-hashed).
+  void GrowTable();
 
   void BuildIndex(size_t col);
   CompositeIndex& BuildCompositeIndex(const std::vector<int>& cols);
-  static Tuple ProjectRow(const Tuple& row, const std::vector<int>& cols);
+  static Tuple ProjectRow(RowRef row, const std::vector<int>& cols);
+  void MergeSortedRuns(size_t col, SortedIndex* index);
 
   std::string name_;
   size_t arity_;
-  std::vector<Tuple> tuples_;
+  // Row store: rows back to back, row i at [i*arity_, (i+1)*arity_).
+  std::vector<ValueId> arena_;
+  size_t num_rows_ = 0;
   // Per-column distinct sketches, sized on construction (arity is fixed).
   std::vector<ColumnSketch> sketches_;
-  std::unordered_set<uint32_t, RowHash, RowEq> dedup_{
-      16, RowHash{&tuples_}, RowEq{&tuples_}};
+  std::vector<Slot> slots_;  // Power-of-two sized; see FindSlot.
+  size_t used_slots_ = 0;
+  uint64_t alloc_events_ = 0;
   std::vector<ColumnIndex> indexes_;
+  std::vector<SortedIndex> sorted_indexes_;
   // Keyed by the sorted column set; std::map keeps iterators and mapped
   // references stable across insertion of further composite indexes.
   std::map<std::vector<int>, CompositeIndex> composite_indexes_;
   static const std::vector<uint32_t> kEmptyRows;
 };
+
+// Galloping merge-join over two compacted sorted-run indexes: invokes
+// `yield(row_a, row_b)` for every pair with a.row(row_a)[col_a] ==
+// b.row(row_b)[col_b], in ascending (value, row_a, row_b) order. Advances
+// through the larger side by exponential (galloping) search, so a small
+// relation joined against a huge one costs O(small * log(huge)) instead of
+// a full merge scan. Requires CompactSortedIndex(col) on both sides (a
+// single run covering every row); yields nothing otherwise (debug builds
+// assert).
+void MergeJoinSorted(const Relation& a, size_t col_a, const Relation& b,
+                     size_t col_b,
+                     const std::function<void(uint32_t, uint32_t)>& yield);
 
 }  // namespace dire::storage
 

@@ -377,8 +377,9 @@ Status MergeStagingInto(Database* dst, const Database& staging) {
     DIRE_ASSIGN_OR_RETURN(Relation * drel,
                           dst->GetOrCreate(name, srel->arity()));
     drel->Reserve(srel->size());
-    for (const Tuple& t : srel->tuples()) {
-      Tuple mapped;
+    Tuple mapped;
+    for (RowRef t : srel->rows()) {
+      mapped.clear();
       mapped.reserve(t.size());
       for (ValueId v : t) {
         mapped.push_back(dst->symbols().Intern(staging.symbols().Name(v)));
@@ -442,7 +443,7 @@ Result<std::string> SaveSnapshot(const Database& db,
     }
     std::vector<std::string> lines;
     lines.reserve(rel->size());
-    for (const Tuple& t : rel->tuples()) {
+    for (RowRef t : rel->rows()) {
       if (t.empty()) {
         lines.emplace_back("()");
         continue;

@@ -1,17 +1,60 @@
 #ifndef DIRE_STORAGE_VALUE_H_
 #define DIRE_STORAGE_VALUE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "base/hash.h"
 
 namespace dire::storage {
 
 // Interned constant identifier. Tuples store ValueIds, never strings, so
 // joins and hashing are integer operations.
 using ValueId = uint32_t;
+
+// A database tuple: a fixed-arity vector of interned values. Owning form,
+// used where a tuple outlives the storage it came from (query answers,
+// provenance records, test fixtures).
+using Tuple = std::vector<ValueId>;
+
+// Non-owning view of one stored row (or any contiguous tuple). The arena
+// row store hands these out; a Tuple converts implicitly, so call sites
+// that still materialize are source-compatible with span-based ones.
+using RowRef = std::span<const ValueId>;
+
+inline bool RowEquals(RowRef a, RowRef b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin());
+}
+
+// Transparent hash/equality over tuples, so unordered containers keyed by
+// Tuple can be probed with a RowRef without materializing a key — the
+// probe-side allocation the old per-lookup `Tuple key` paid.
+struct TupleViewHash {
+  using is_transparent = void;
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(HashSpan(t.data(), t.size()));
+  }
+  size_t operator()(RowRef r) const {
+    return static_cast<size_t>(HashSpan(r.data(), r.size()));
+  }
+};
+struct TupleViewEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(RowRef a, const Tuple& b) const {
+    return RowEquals(a, RowRef(b));
+  }
+  bool operator()(const Tuple& a, RowRef b) const {
+    return RowEquals(RowRef(a), b);
+  }
+  bool operator()(RowRef a, RowRef b) const { return RowEquals(a, b); }
+};
 
 // Bidirectional string <-> ValueId interning table. One per Database.
 class SymbolTable {
@@ -20,9 +63,11 @@ class SymbolTable {
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
-  // Returns the id for `text`, interning it on first use.
+  // Returns the id for `text`, interning it on first use. Lookups are
+  // heterogeneous (transparent string_view hashing): only an intern miss
+  // materializes a std::string.
   ValueId Intern(std::string_view text) {
-    auto it = ids_.find(std::string(text));
+    auto it = ids_.find(text);
     if (it != ids_.end()) return it->second;
     ValueId id = static_cast<ValueId>(names_.size());
     names_.emplace_back(text);
@@ -30,10 +75,11 @@ class SymbolTable {
     return id;
   }
 
-  // Returns the id for `text` if already interned, or kMissing.
+  // Returns the id for `text` if already interned, or kMissing. Never
+  // allocates.
   static constexpr ValueId kMissing = UINT32_MAX;
   ValueId Find(std::string_view text) const {
-    auto it = ids_.find(std::string(text));
+    auto it = ids_.find(text);
     return it == ids_.end() ? kMissing : it->second;
   }
 
@@ -43,12 +89,15 @@ class SymbolTable {
   size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, ValueId> ids_;
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, ValueId, StringHash, std::equal_to<>> ids_;
   std::vector<std::string> names_;
 };
-
-// A database tuple: a fixed-arity vector of interned values.
-using Tuple = std::vector<ValueId>;
 
 }  // namespace dire::storage
 

@@ -1,0 +1,340 @@
+// Property tests for the columnar arena behind storage::Relation
+// (storage/relation.h): after any interleaving of Insert / Reserve /
+// Clear, row ids must stay dense insertion-order indexes, the dedup table
+// must agree with a reference set, duplicate-only candidate streams must
+// not allocate (alloc_events), and the hash-index and sorted-run probe
+// paths must return identical row ids — byte-for-byte interchangeable, as
+// the per-probe planner choice requires. The frozen const surface (row(),
+// ContainsHashed, ProbeFrozen, ProbeSortedFrozen) is also exercised from
+// several threads at once so the TSan build checks the freeze contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "storage/relation.h"
+#include "storage/value.h"
+
+namespace dire::storage {
+namespace {
+
+Tuple RandomTuple(Rng* rng, size_t arity, uint64_t domain) {
+  Tuple t;
+  t.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    t.push_back(static_cast<ValueId>(rng->Uniform(domain)));
+  }
+  return t;
+}
+
+// Reference model: insertion-ordered distinct tuples plus a membership set.
+struct Model {
+  std::vector<Tuple> rows;
+  std::set<Tuple> seen;
+
+  bool Insert(const Tuple& t) {
+    if (!seen.insert(t).second) return false;
+    rows.push_back(t);
+    return true;
+  }
+  void Clear() {
+    rows.clear();
+    seen.clear();
+  }
+};
+
+void ExpectMatchesModel(const Relation& rel, const Model& model) {
+  ASSERT_EQ(rel.size(), model.rows.size());
+  for (size_t i = 0; i < model.rows.size(); ++i) {
+    EXPECT_TRUE(RowEquals(rel.row(i), model.rows[i])) << "row " << i;
+  }
+  size_t i = 0;
+  for (RowRef r : rel.rows()) {
+    ASSERT_LT(i, model.rows.size());
+    EXPECT_TRUE(RowEquals(r, model.rows[i])) << "rows() row " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, model.rows.size());
+}
+
+// Any interleaving of Insert / Reserve / Clear must leave the relation
+// equal to the reference model: same distinct rows, in insertion order,
+// with Insert's return value reporting newness exactly.
+TEST(ArenaProperty, RandomInterleavingsMatchModel) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    size_t arity = 1 + rng.Uniform(4);
+    Relation rel("r", arity);
+    Model model;
+    size_t last_bytes = rel.ApproxBytes();
+    for (int step = 0; step < 600; ++step) {
+      uint64_t op = rng.Uniform(100);
+      if (op < 88) {
+        Tuple t = RandomTuple(&rng, arity, /*domain=*/12);
+        bool fresh = model.Insert(t);
+        EXPECT_EQ(rel.Insert(t), fresh);
+      } else if (op < 94) {
+        rel.Reserve(rng.Uniform(64));
+      } else if (op < 97) {
+        // Duplicate-only burst: membership checks and re-inserts of rows
+        // already present must not grow anything.
+        if (!model.rows.empty()) {
+          uint64_t before = rel.alloc_events();
+          for (int k = 0; k < 10; ++k) {
+            const Tuple& t =
+                model.rows[rng.Uniform(model.rows.size())];
+            EXPECT_TRUE(rel.Contains(t));
+            EXPECT_FALSE(rel.Insert(t));
+          }
+          EXPECT_EQ(rel.alloc_events(), before);
+        }
+      } else {
+        rel.Clear();
+        model.Clear();
+        last_bytes = 0;
+      }
+      // Capacity never shrinks between clears.
+      EXPECT_GE(rel.ApproxBytes(), last_bytes);
+      last_bytes = rel.ApproxBytes();
+    }
+    ExpectMatchesModel(rel, model);
+    EXPECT_LE(rel.ArenaUtilization(), 1.0);
+    if (!rel.empty()) {
+      EXPECT_GT(rel.ArenaUtilization(), 0.0);
+    }
+  }
+}
+
+// HashRow is the canonical hash: the *Hashed entry points must agree with
+// their hashing counterparts on every call.
+TEST(ArenaProperty, HashedEntryPointsAgree) {
+  Rng rng(7);
+  Relation rel("r", 3);
+  for (int step = 0; step < 500; ++step) {
+    Tuple t = RandomTuple(&rng, 3, /*domain=*/9);
+    uint64_t h = Relation::HashRow(t);
+    bool contained = rel.Contains(t);
+    EXPECT_EQ(rel.ContainsHashed(t, h), contained);
+    EXPECT_EQ(rel.InsertHashed(t, h), !contained);
+    EXPECT_TRUE(rel.Contains(t));
+  }
+}
+
+// A duplicate-only candidate stream — the semi-naive head-dedup hot path —
+// must be rejected with zero heap growth, however large the relation.
+TEST(ArenaProperty, DuplicateStreamDoesNotAllocate) {
+  Rng rng(11);
+  Relation rel("r", 2);
+  std::vector<Tuple> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    Tuple t = RandomTuple(&rng, 2, /*domain=*/200);
+    if (rel.Insert(t)) inserted.push_back(t);
+  }
+  ASSERT_FALSE(inserted.empty());
+  uint64_t before = rel.alloc_events();
+  for (int round = 0; round < 20; ++round) {
+    for (const Tuple& t : inserted) {
+      uint64_t h = Relation::HashRow(t);
+      EXPECT_TRUE(rel.ContainsHashed(t, h));
+      EXPECT_FALSE(rel.InsertHashed(t, h));
+    }
+  }
+  EXPECT_EQ(rel.alloc_events(), before);
+}
+
+// Reserve pre-pays growth: inserts within the reservation must not trigger
+// further growth events.
+TEST(ArenaProperty, ReservePrePaysGrowth) {
+  Rng rng(13);
+  Relation rel("r", 2);
+  rel.Reserve(4096);
+  uint64_t after_reserve = rel.alloc_events();
+  std::set<Tuple> seen;
+  while (seen.size() < 3000) {
+    Tuple t = RandomTuple(&rng, 2, /*domain=*/1000);
+    if (seen.insert(t).second) {
+      EXPECT_TRUE(rel.Insert(t));
+    }
+  }
+  EXPECT_EQ(rel.alloc_events(), after_reserve);
+}
+
+// The hash index and the sorted-run index are interchangeable: for every
+// probed value they return the same row ids in the same (ascending) order.
+// Runs are created by interleaving inserts with EnsureSortedIndex, the way
+// fixpoint rounds do.
+TEST(ArenaProperty, SortedProbeMatchesHashProbe) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    size_t arity = 1 + rng.Uniform(3);
+    Relation rel("r", arity);
+    uint64_t domain = 1 + rng.Uniform(30);
+    int batches = 1 + static_cast<int>(rng.Uniform(12));
+    for (int b = 0; b < batches; ++b) {
+      int n = static_cast<int>(rng.Uniform(80));
+      for (int i = 0; i < n; ++i) {
+        rel.Insert(RandomTuple(&rng, arity, domain));
+      }
+      for (size_t col = 0; col < arity; ++col) rel.EnsureSortedIndex(col);
+    }
+    for (size_t col = 0; col < arity; ++col) {
+      rel.EnsureIndex(col);
+      ASSERT_TRUE(rel.HasSortedIndex(col));
+      std::vector<uint32_t> sorted_rows;
+      for (ValueId v = 0; v < domain; ++v) {
+        const std::vector<uint32_t>& hash_rows = rel.ProbeFrozen(col, v);
+        sorted_rows.clear();
+        rel.ProbeSortedFrozen(col, v, &sorted_rows);
+        EXPECT_EQ(sorted_rows, hash_rows)
+            << "seed=" << seed << " col=" << col << " value=" << v;
+      }
+    }
+  }
+}
+
+// Range probes return exactly the brute-force row set, and runs collapse
+// to at most kMaxSortedRuns (compaction to exactly one).
+TEST(ArenaProperty, SortedRangeAndCompaction) {
+  Rng rng(17);
+  Relation rel("r", 2);
+  // More Ensure calls than the run cap, to force at least one merge.
+  for (int b = 0; b < 20; ++b) {
+    for (int i = 0; i < 25; ++i) {
+      rel.Insert(RandomTuple(&rng, 2, /*domain=*/40));
+    }
+    rel.EnsureSortedIndex(0);
+    EXPECT_LE(rel.SortedRunCount(0), 9u);  // kMaxSortedRuns + the new run.
+  }
+  auto brute = [&rel](ValueId lo, ValueId hi) {
+    std::set<uint32_t> out;
+    for (uint32_t i = 0; i < rel.size(); ++i) {
+      ValueId v = rel.row(i)[0];
+      if (lo <= v && v <= hi) out.insert(i);
+    }
+    return out;
+  };
+  std::vector<uint32_t> got;
+  for (int trial = 0; trial < 50; ++trial) {
+    ValueId lo = static_cast<ValueId>(rng.Uniform(40));
+    ValueId hi = lo + static_cast<ValueId>(rng.Uniform(10));
+    got.clear();
+    rel.ProbeSortedRange(0, lo, hi, &got);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size()) << "duplicate row ids";
+    EXPECT_EQ(got_set, brute(lo, hi)) << "lo=" << lo << " hi=" << hi;
+  }
+  rel.CompactSortedIndex(0);
+  EXPECT_EQ(rel.SortedRunCount(0), 1u);
+  got.clear();
+  rel.ProbeSortedRange(0, 0, 39, &got);
+  EXPECT_EQ(got.size(), rel.size());
+}
+
+// MergeJoinSorted equals the nested-loop join, pair for pair.
+TEST(ArenaProperty, MergeJoinMatchesNestedLoop) {
+  for (uint64_t seed = 200; seed < 206; ++seed) {
+    Rng rng(seed);
+    Relation a("a", 2);
+    Relation b("b", 2);
+    uint64_t domain = 1 + rng.Uniform(25);
+    int na = static_cast<int>(rng.Uniform(200));
+    int nb = static_cast<int>(rng.Uniform(200));
+    for (int i = 0; i < na; ++i) {
+      a.Insert(RandomTuple(&rng, 2, domain));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.Insert(RandomTuple(&rng, 2, domain));
+    }
+    a.CompactSortedIndex(1);
+    b.CompactSortedIndex(0);
+    std::set<std::pair<uint32_t, uint32_t>> expected;
+    for (uint32_t i = 0; i < a.size(); ++i) {
+      for (uint32_t j = 0; j < b.size(); ++j) {
+        if (a.row(i)[1] == b.row(j)[0]) expected.emplace(i, j);
+      }
+    }
+    std::set<std::pair<uint32_t, uint32_t>> got;
+    MergeJoinSorted(a, 1, b, 0, [&got](uint32_t ra, uint32_t rb) {
+      EXPECT_TRUE(got.emplace(ra, rb).second) << "pair yielded twice";
+    });
+    EXPECT_EQ(got, expected) << "seed=" << seed;
+  }
+}
+
+// Frozen-view thread safety: after EnsureIndex / EnsureSortedIndex, the
+// const surface must be callable from many threads at once. Run under the
+// TSan build, this is the regression test for the freeze contract the
+// parallel evaluator relies on.
+TEST(ArenaProperty, FrozenConstSurfaceIsThreadSafe) {
+  Rng rng(23);
+  Relation rel("r", 2);
+  for (int i = 0; i < 2000; ++i) {
+    rel.Insert(RandomTuple(&rng, 2, /*domain=*/64));
+  }
+  rel.EnsureIndex(0);
+  rel.EnsureIndex(1);
+  rel.EnsureSortedIndex(0);
+  rel.EnsureSortedIndex(1);
+  ASSERT_TRUE(rel.HasSortedIndex(0));
+  const Relation& frozen = rel;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&frozen, t] {
+      Rng local(static_cast<uint64_t>(t) + 31);
+      std::vector<uint32_t> scratch;
+      size_t checksum = 0;
+      for (int step = 0; step < 4000; ++step) {
+        ValueId v = static_cast<ValueId>(local.Uniform(64));
+        size_t col = local.Uniform(2);
+        checksum += frozen.ProbeFrozen(col, v).size();
+        scratch.clear();
+        frozen.ProbeSortedFrozen(col, v, &scratch);
+        checksum += scratch.size();
+        RowRef row = frozen.row(local.Uniform(frozen.size()));
+        Tuple copy(row.begin(), row.end());
+        checksum += frozen.Contains(copy) ? 1 : 0;
+      }
+      EXPECT_GT(checksum, 0u);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+}
+
+// ToString (the snapshot text form) is a pure function of the inserted
+// tuple sequence: rebuilding through a different Reserve/duplicate
+// interleaving yields byte-identical output.
+TEST(ArenaProperty, ToStringIndependentOfGrowthPath) {
+  Rng rng(29);
+  SymbolTable symbols;
+  for (int i = 0; i < 50; ++i) {
+    // Built without `const char* + temporary` concatenation, which GCC
+    // 12's -Wrestrict misfires on under -O2.
+    std::string sym("v");
+    sym += std::to_string(i);
+    symbols.Intern(sym);
+  }
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 400; ++i) {
+    tuples.push_back(RandomTuple(&rng, 3, /*domain=*/50));
+  }
+  Relation plain("r", 3);
+  for (const Tuple& t : tuples) plain.Insert(t);
+
+  Relation reserved("r", 3);
+  reserved.Reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    reserved.Insert(t);
+    reserved.Insert(t);  // Immediate duplicate; must be invisible.
+  }
+  EXPECT_EQ(plain.ToString(symbols), reserved.ToString(symbols));
+  EXPECT_EQ(plain.CopyTuples(), reserved.CopyTuples());
+}
+
+}  // namespace
+}  // namespace dire::storage

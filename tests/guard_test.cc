@@ -56,7 +56,8 @@ std::set<storage::Tuple> FullClosureTuples(const ast::Program& program) {
   EXPECT_TRUE(ev.Evaluate(program).ok());
   const storage::Relation* t = db.Find("t");
   EXPECT_NE(t, nullptr);
-  return std::set<storage::Tuple>(t->tuples().begin(), t->tuples().end());
+  std::vector<storage::Tuple> tuples = t->CopyTuples();
+  return std::set<storage::Tuple>(tuples.begin(), tuples.end());
 }
 
 class GuardTest : public ::testing::Test {
@@ -199,8 +200,8 @@ TEST_F(GuardTest, ExpiredDeadlineMidStratumLeavesDatabaseConsistent) {
   EXPECT_EQ(e->size(), 40u);
   const storage::Relation* t = db.Find("t");
   if (t != nullptr) {
-    for (const storage::Tuple& tuple : t->tuples()) {
-      EXPECT_EQ(closure.count(tuple), 1u);
+    for (storage::RowRef tuple : t->rows()) {
+      EXPECT_EQ(closure.count(storage::Tuple(tuple.begin(), tuple.end())), 1u);
     }
   }
 }
@@ -231,8 +232,8 @@ TEST_F(GuardTest, TupleBudgetTripsExactlyAtTheLimit) {
   const storage::Relation* t = db.Find("t");
   ASSERT_NE(t, nullptr);
   EXPECT_EQ(t->size(), 10u);
-  for (const storage::Tuple& tuple : t->tuples()) {
-    EXPECT_EQ(closure.count(tuple), 1u);  // Sound prefix.
+  for (storage::RowRef tuple : t->rows()) {
+    EXPECT_EQ(closure.count(storage::Tuple(tuple.begin(), tuple.end())), 1u);  // Sound prefix.
   }
 }
 
@@ -485,8 +486,8 @@ TEST_F(GuardTest, InsertFailpointSurfacesCleanErrorAndConsistentDatabase) {
   const storage::Relation* t = db.Find("t");
   ASSERT_NE(t, nullptr);
   EXPECT_EQ(t->size(), 5u);  // Exactly the inserts that passed the window.
-  for (const storage::Tuple& tuple : t->tuples()) {
-    EXPECT_EQ(closure.count(tuple), 1u);
+  for (storage::RowRef tuple : t->rows()) {
+    EXPECT_EQ(closure.count(storage::Tuple(tuple.begin(), tuple.end())), 1u);
   }
 }
 

@@ -134,7 +134,7 @@ std::vector<std::vector<storage::Tuple>> InsertionOrders(
     const storage::Database& db) {
   std::vector<std::vector<storage::Tuple>> out;
   for (const std::string& name : db.RelationNames()) {
-    out.push_back(db.Find(name)->tuples());
+    out.push_back(db.Find(name)->CopyTuples());
   }
   return out;
 }
@@ -215,7 +215,7 @@ TEST(ParallelDeterminism, NaiveModeAlsoMatchesSerial) {
   parallel_naive.num_threads = 4;
   Evaluator p(&db, parallel_naive);
   ASSERT_TRUE(p.Evaluate(program).ok());
-  EXPECT_EQ(db.Find("t")->tuples(), reference.Find("t")->tuples());
+  EXPECT_EQ(db.Find("t")->CopyTuples(), reference.Find("t")->CopyTuples());
 }
 
 // ------------------------------------------------------------------------
@@ -247,7 +247,7 @@ TEST(ParallelGuard, TupleBudgetYieldsSoundPrefix) {
   // The budget is exact and every derived tuple is a sound derivation.
   const storage::Relation* partial = db.Find("t");
   EXPECT_LE(partial->size(), 100u);
-  for (const storage::Tuple& t : partial->tuples()) {
+  for (storage::RowRef t : partial->rows()) {
     EXPECT_TRUE(complete->Contains(t));
   }
 }
@@ -293,7 +293,7 @@ TEST(ParallelGuard, CancellationMidRunLeavesSoundState) {
   // derived must be a subset of the true closure.
   const storage::Relation* got = db.Find("t");
   ASSERT_NE(got, nullptr);
-  for (const storage::Tuple& t : got->tuples()) {
+  for (storage::RowRef t : got->rows()) {
     EXPECT_TRUE(complete->Contains(t));
   }
   if (stats->exhausted) {
@@ -352,7 +352,7 @@ TEST(ParallelDeterminism, EvaluateOnceMatchesSerial) {
   LoadEdb(&db, 3);
   Evaluator par(&db, Threaded(4));
   ASSERT_TRUE(par.EvaluateOnce(p.rules).ok());
-  EXPECT_EQ(db.Find("p3")->tuples(), reference.Find("p3")->tuples());
+  EXPECT_EQ(db.Find("p3")->CopyTuples(), reference.Find("p3")->CopyTuples());
 }
 
 }  // namespace

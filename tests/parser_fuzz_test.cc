@@ -105,7 +105,7 @@ TEST_P(ParserFuzz, ParsedProgramsSurviveFaultyEvaluation) {
     for (const std::string& name : db.RelationNames()) {
       const storage::Relation* rel = db.Find(name);
       ASSERT_NE(rel, nullptr);
-      for (const storage::Tuple& t : rel->tuples()) {
+      for (storage::RowRef t : rel->rows()) {
         EXPECT_EQ(t.size(), rel->arity());
       }
     }

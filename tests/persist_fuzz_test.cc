@@ -84,7 +84,7 @@ void CheckSnapshotLoad(const std::string& text, bool recover_tail) {
   for (const std::string& name : db.RelationNames()) {
     const Relation* rel = db.Find(name);
     ASSERT_NE(rel, nullptr);
-    for (const Tuple& t : rel->tuples()) {
+    for (RowRef t : rel->rows()) {
       EXPECT_EQ(t.size(), rel->arity());
     }
   }

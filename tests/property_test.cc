@@ -317,7 +317,7 @@ TEST_P(ContainmentSoundness, MappingImpliesContainment) {
     const storage::Relation* rel2 = db.Find("q2");
     ASSERT_NE(rel1, nullptr);
     ASSERT_NE(rel2, nullptr);
-    for (const storage::Tuple& t : rel2->tuples()) {
+    for (storage::RowRef t : rel2->rows()) {
       EXPECT_TRUE(rel1->Contains(t))
           << q1.ToString() << " should contain " << q2.ToString();
     }

@@ -174,7 +174,7 @@ TEST(Provenance, EveryDerivedTupleIsExplainable) {
   ASSERT_TRUE(ev.Evaluate(p).ok());
   const storage::Relation* t = db.Find("t");
   ASSERT_NE(t, nullptr);
-  for (const storage::Tuple& tuple : t->tuples()) {
+  for (storage::RowRef tuple : t->rows()) {
     ast::Atom fact("t", {ast::Term::Const(db.symbols().Name(tuple[0])),
                          ast::Term::Const(db.symbols().Name(tuple[1]))});
     Result<Derivation> d = Explain(&db, p, tracker, fact);

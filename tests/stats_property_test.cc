@@ -40,7 +40,7 @@ std::string Sym(const char* prefix, uint64_t n) {
 // set, so any divergence means some path counted twice or not at all).
 void ExpectStatsMatchRecount(const Relation& rel) {
   Relation fresh(rel.name(), rel.arity());
-  for (const Tuple& t : rel.tuples()) fresh.Insert(t);
+  for (RowRef t : rel.rows()) fresh.Insert(t);
   ASSERT_EQ(rel.size(), fresh.size());
   for (size_t col = 0; col < rel.arity(); ++col) {
     EXPECT_TRUE(rel.ColumnStats(col) == fresh.ColumnStats(col))
@@ -93,7 +93,7 @@ TEST(StatsProperty, IncrementalMatchesRecountAfterRandomOps) {
             staging.Insert(t);
           }
           rel.Reserve(staging.size());
-          for (const Tuple& t : staging.tuples()) rel.Insert(t);
+          for (RowRef t : staging.rows()) rel.Insert(t);
           break;
         }
       }

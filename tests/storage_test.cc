@@ -45,8 +45,8 @@ TEST(Relation, ProbeFindsMatchingRows) {
   r.Insert({2, 3});
   const std::vector<uint32_t>& rows = r.Probe(0, 1);
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(r.tuples()[rows[0]][0], 1u);
-  EXPECT_EQ(r.tuples()[rows[1]][0], 1u);
+  EXPECT_EQ(r.row(rows[0])[0], 1u);
+  EXPECT_EQ(r.row(rows[1])[0], 1u);
   EXPECT_TRUE(r.Probe(1, 99).empty());
 }
 
@@ -69,8 +69,8 @@ TEST(Relation, CompositeProbeFindsExactMatches) {
   const std::vector<uint32_t>& rows = r.ProbeComposite({0, 1}, {1, 2});
   ASSERT_EQ(rows.size(), 2u);
   // Row order within a bucket is insertion order.
-  EXPECT_EQ(r.tuples()[rows[0]], (Tuple{1, 2, 3}));
-  EXPECT_EQ(r.tuples()[rows[1]], (Tuple{1, 2, 4}));
+  EXPECT_TRUE(RowEquals(r.row(rows[0]), Tuple{1, 2, 3}));
+  EXPECT_TRUE(RowEquals(r.row(rows[1]), Tuple{1, 2, 4}));
   EXPECT_TRUE(r.ProbeComposite({0, 1}, {9, 9}).empty());
   EXPECT_TRUE(r.HasCompositeIndex({0, 1}));
   EXPECT_FALSE(r.HasCompositeIndex({0, 2}));
@@ -221,7 +221,7 @@ TEST(Generators, RandomGraphExactEdgeCount) {
   ASSERT_TRUE(MakeRandomGraph(&db, "e", 20, 50, &rng).ok());
   EXPECT_EQ(db.Find("e")->size(), 50u);
   // No self loops.
-  for (const Tuple& t : db.Find("e")->tuples()) EXPECT_NE(t[0], t[1]);
+  for (RowRef t : db.Find("e")->rows()) EXPECT_NE(t[0], t[1]);
 }
 
 TEST(Generators, RandomGraphRejectsImpossible) {
