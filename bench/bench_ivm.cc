@@ -1,0 +1,230 @@
+// Incremental view maintenance vs full re-derivation on one-tuple writes.
+// The maintained runs time exactly what the server's write fast path does:
+// the base fact is already applied, and Maintainer::ApplyDelta derives only
+// the write's consequences (DRed for the recursive strata, counting for the
+// non-recursive ones). The Reeval runs time the classic path they replace —
+// re-deriving the whole fixpoint from the post-write base facts. The
+// interesting number is the ratio at a fixed scale, which CI gates at 20x
+// on TransitiveClosure/400.
+//
+// Every maintained run also checks equivalence once, outside the timed
+// loop: the maintained database must serialize to the same snapshot bytes
+// as a from-scratch evaluation of the same base facts (snapshots are
+// canonical, so byte equality is tuple-set equality). The `identical`
+// counter records the outcome and CI asserts it is 1.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "eval/evaluator.h"
+#include "eval/maintain.h"
+#include "parser/parser.h"
+#include "storage/generators.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+constexpr const char* kTc = R"(
+  t(X, Y) :- e(X, Z), t(Z, Y).
+  t(X, Y) :- e(X, Y).
+)";
+
+// The skewed workload mixes stratum kinds: `out` is non-recursive
+// (counting maintenance), `r` recursive (DRed). The delta toggles a tiny()
+// membership, which fans out through both.
+constexpr const char* kSkewedReach = R"(
+  out(X, Y) :- big(X, Z), big(Z, Y), tiny(X).
+  r(X, Y) :- out(X, Y).
+  r(X, Y) :- out(X, Z), r(Z, Y).
+)";
+
+void LoadTcEdb(dire::storage::Database* db, int n) {
+  dire::Rng rng(42);
+  if (!dire::storage::MakeRandomGraph(db, "e", n, 8 * n, &rng).ok()) {
+    std::abort();
+  }
+}
+
+void LoadSkewedEdb(dire::storage::Database* db, int n) {
+  dire::Rng rng(19);
+  if (!dire::storage::MakeRandomGraph(db, "big", n, 16 * n, &rng).ok()) {
+    std::abort();
+  }
+  dire::Result<dire::storage::Relation*> tiny = db->GetOrCreate("tiny", 1);
+  if (!tiny.ok()) std::abort();
+  for (int i = 0; i < 4; ++i) {
+    (*tiny)->Insert(
+        {db->symbols().Intern(dire::StrFormat("n%d", i * (n / 4)))});
+  }
+}
+
+// Serializes a from-scratch evaluation of (load EDB + the extra tuple).
+std::string ScratchSnapshot(const dire::ast::Program& program,
+                            void (*load)(dire::storage::Database*, int),
+                            int scale, const std::string& rel,
+                            const std::vector<std::string>& tuple) {
+  dire::storage::Database db;
+  load(&db, scale);
+  if (!db.AddRow(rel, tuple).ok()) std::abort();
+  dire::eval::Evaluator ev(&db, dire::eval::EvalOptions{});
+  if (!ev.Evaluate(program).ok()) std::abort();
+  dire::Result<std::string> snap = dire::storage::SaveSnapshot(db);
+  if (!snap.ok()) std::abort();
+  return *snap;
+}
+
+// One maintained write per timed iteration; the opposite write restores the
+// baseline under PauseTiming, so every iteration maintains the same delta.
+void RunMaintained(benchmark::State& state, const char* program_text,
+                   void (*load)(dire::storage::Database*, int),
+                   const char* rel, std::vector<std::string> tuple,
+                   bool time_insert) {
+  dire::ast::Program program =
+      dire::parser::ParseProgram(program_text).value();
+  int scale = static_cast<int>(state.range(0));
+  dire::storage::Database db;
+  load(&db, scale);
+  dire::eval::Evaluator ev(&db, dire::eval::EvalOptions{});
+  if (!ev.Evaluate(program).ok()) {
+    state.SkipWithError("evaluation failed");
+    return;
+  }
+  dire::eval::Maintainer m(&db, program);
+  if (!m.init_status().ok()) {
+    state.SkipWithError("maintainer init failed");
+    return;
+  }
+  const std::vector<dire::eval::FactDelta> ins{{rel, tuple}};
+  const std::vector<dire::eval::FactDelta> del{{rel, tuple}};
+  auto add = [&]() -> bool {
+    return db.AddRow(rel, tuple).ok() && m.ApplyDelta(ins, {}).ok();
+  };
+  auto remove = [&]() -> bool {
+    dire::Result<bool> removed = db.RemoveRow(rel, tuple);
+    return removed.ok() && *removed && m.ApplyDelta({}, del).ok();
+  };
+  // Derivation counts prime lazily on the first delta that touches a
+  // counting stratum; the server pays that once per process, not per
+  // write, so warm it outside the timed loop.
+  if (!add() || !remove()) {
+    state.SkipWithError("maintenance warm-up failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (time_insert) {
+      if (!add()) {
+        state.SkipWithError("maintained insert failed");
+        return;
+      }
+      state.PauseTiming();
+      if (!remove()) std::abort();
+      state.ResumeTiming();
+    } else {
+      state.PauseTiming();
+      if (!add()) std::abort();
+      state.ResumeTiming();
+      if (!remove()) {
+        state.SkipWithError("maintained delete failed");
+        return;
+      }
+    }
+  }
+  // Equivalence check, once: maintain the insert, then byte-compare
+  // against a from-scratch evaluation over the same base facts.
+  if (!add()) std::abort();
+  dire::Result<std::string> maintained = dire::storage::SaveSnapshot(db);
+  if (!maintained.ok()) std::abort();
+  std::string expected = ScratchSnapshot(program, load, scale, rel, tuple);
+  state.counters["identical"] = (*maintained == expected) ? 1 : 0;
+  if (!remove()) std::abort();
+}
+
+// The classic path: the whole fixpoint re-derived from the post-write base
+// facts (what ADD/RETRACT cost before maintenance, and what recovery cost
+// without a usable checkpoint).
+void RunReeval(benchmark::State& state, const char* program_text,
+               void (*load)(dire::storage::Database*, int), const char* rel,
+               std::vector<std::string> tuple) {
+  dire::ast::Program program =
+      dire::parser::ParseProgram(program_text).value();
+  int scale = static_cast<int>(state.range(0));
+  size_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dire::storage::Database db;
+    load(&db, scale);
+    if (!db.AddRow(rel, tuple).ok()) std::abort();
+    state.ResumeTiming();
+    dire::eval::Evaluator ev(&db, dire::eval::EvalOptions{});
+    dire::Result<dire::eval::EvalStats> stats = ev.Evaluate(program);
+    if (!stats.ok()) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+    derived = stats->tuples_derived;
+  }
+  state.counters["derived"] = static_cast<double>(derived);
+}
+
+// The delta for TC is a fresh source node: one edge x0 -> n0 whose
+// consequences are the whole forward closure of n0 (hundreds of tuples at
+// scale 400) — a small write with real derived work, not a no-op.
+const std::vector<std::string> kTcDelta = {"x0", "n0"};
+
+void BM_Ivm_TcMaintainAdd(benchmark::State& state) {
+  RunMaintained(state, kTc, LoadTcEdb, "e", kTcDelta, /*time_insert=*/true);
+}
+BENCHMARK(BM_Ivm_TcMaintainAdd)
+    ->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ivm_TcMaintainRetract(benchmark::State& state) {
+  RunMaintained(state, kTc, LoadTcEdb, "e", kTcDelta, /*time_insert=*/false);
+}
+BENCHMARK(BM_Ivm_TcMaintainRetract)
+    ->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ivm_TcReeval(benchmark::State& state) {
+  RunReeval(state, kTc, LoadTcEdb, "e", kTcDelta);
+}
+BENCHMARK(BM_Ivm_TcReeval)
+    ->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// The skewed delta adds a new tiny() source, activating out(n1, *) and its
+// r-closure through both a counting and a DRed stratum.
+const std::vector<std::string> kSkewedDelta = {"n1"};
+
+void BM_Ivm_SkewedMaintainAdd(benchmark::State& state) {
+  RunMaintained(state, kSkewedReach, LoadSkewedEdb, "tiny", kSkewedDelta,
+                /*time_insert=*/true);
+}
+BENCHMARK(BM_Ivm_SkewedMaintainAdd)
+    ->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ivm_SkewedMaintainRetract(benchmark::State& state) {
+  RunMaintained(state, kSkewedReach, LoadSkewedEdb, "tiny", kSkewedDelta,
+                /*time_insert=*/false);
+}
+BENCHMARK(BM_Ivm_SkewedMaintainRetract)
+    ->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ivm_SkewedReeval(benchmark::State& state) {
+  RunReeval(state, kSkewedReach, LoadSkewedEdb, "tiny", kSkewedDelta);
+}
+BENCHMARK(BM_Ivm_SkewedReeval)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DIRE_BENCH_MAIN("ivm");

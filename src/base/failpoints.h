@@ -42,6 +42,13 @@
 //   server.request            before a server worker executes a request
 //   server.checkpoint         before the server folds the WAL into a
 //                             snapshot after a write burst
+//   ivm.apply                 at the start of Maintainer::ApplyDelta
+//   ivm.counting_merge        before a counting stratum's accumulated
+//                             count deltas are applied to the relation
+//   ivm.dred_delete           before DRed physically removes the
+//                             overestimated deletions
+//   ivm.dred_rederive         before DRed's rederivation phase runs
+//   ivm.insert_merge          before DRed's insert phase merges new tuples
 namespace dire::failpoints {
 
 struct Config {

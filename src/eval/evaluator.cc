@@ -116,6 +116,24 @@ class RuleExecutor {
       }
       return;
     }
+    if (atom.bind_positions.empty()) {
+      // Fully bound atom: every position is a constant or an
+      // already-bound variable, so at most one row can match — a
+      // membership probe on the dedup table. No index is built or read
+      // (PrepareIndexes skips these atoms); this keeps e.g. DRed's
+      // rederivation checks from paying a relation-sized composite index
+      // build for what is a point lookup. `seen` is necessarily null here
+      // (no bindings, so live == bound == none).
+      key_scratch_.clear();
+      for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+        key_scratch_.push_back(ValueAt(atom, pos));
+      }
+      if (rel->Contains(key_scratch_)) {
+        Count(atom_index);
+        Descend(atom_index + 1);
+      }
+      return;
+    }
     const size_t single_pos =
         atom.probe_positions.size() == 1
             ? static_cast<size_t>(atom.probe_positions.front())
@@ -328,6 +346,11 @@ void PrepareIndexes(const CompiledRule& rule,
                     const MutableRelationResolver& resolve) {
   for (const CompiledAtom& atom : rule.body) {
     if (atom.negated || atom.builtin || atom.probe_positions.empty()) {
+      continue;
+    }
+    if (atom.bind_positions.empty()) {
+      // Fully bound: the executor answers it with a dedup-table membership
+      // probe, never an index (see Descend).
       continue;
     }
     storage::Relation* rel = resolve(atom);

@@ -1,0 +1,1027 @@
+#include "eval/maintain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/failpoints.h"
+#include "base/obs.h"
+#include "eval/builtins.h"
+#include "eval/cost.h"
+#include "eval/evaluator.h"
+
+namespace dire::eval {
+namespace {
+
+// Scratch relation name prefixes. '$' cannot appear in a parsed predicate,
+// so these names never collide with program relations (the same reservation
+// the checkpoint's "$delta:" sections rely on). Per base or derived
+// predicate p, one ApplyDelta call may materialize:
+//
+//   $ivm:i:p   tuples that net-appeared in p (input for base, output for
+//              derived — later strata read these as their input deltas)
+//   $ivm:d:p   tuples that net-disappeared from p
+//   $ivm:a:p   counting accumulator: candidate head tuples with the signed
+//              derivation-count delta each collected
+//   $ivm:x:p   rows of p whose derivation count reached zero (to remove)
+//   $ivm:o:p   DRed delete overestimate
+//   $ivm:r:p   DRed tuples rescued by rederivation
+//   $ivm:n:p   DRed tuples inserted by the insert phase
+//   $ivm:c:p   DRed rederivation candidates of the current round
+//   $ivm:s:p   per-round staging (kept out of relations a running plan reads)
+//   $ivm:f:p   semi-naive frontier read by the current round
+//   $ivm:g:p   semi-naive frontier written by the current round
+constexpr char kInsPrefix[] = "$ivm:i:";
+constexpr char kDelPrefix[] = "$ivm:d:";
+constexpr char kAccPrefix[] = "$ivm:a:";
+constexpr char kDeadPrefix[] = "$ivm:x:";
+constexpr char kOverPrefix[] = "$ivm:o:";
+constexpr char kRescPrefix[] = "$ivm:r:";
+constexpr char kNewPrefix[] = "$ivm:n:";
+constexpr char kCandPrefix[] = "$ivm:c:";
+constexpr char kStagePrefix[] = "$ivm:s:";
+constexpr char kFrontPrefix[] = "$ivm:f:";
+constexpr char kNextPrefix[] = "$ivm:g:";
+constexpr char kPrimePrefix[] = "$ivm:p:";
+
+// One way a body atom can be read by a rewritten variant: an atom (possibly
+// renamed onto a scratch relation) and the sign its matches contribute.
+struct Choice {
+  ast::Atom atom;
+  int sign = 1;
+};
+using ChoiceList = std::vector<Choice>;
+
+ast::Atom Renamed(const ast::Atom& a, const char* prefix) {
+  ast::Atom out = a;
+  out.predicate = std::string(prefix) + a.predicate;
+  out.negated = false;
+  return out;
+}
+
+bool NonEmpty(const storage::Relation* r) {
+  return r != nullptr && !r->empty();
+}
+
+// The OLD state of a changed atom, exactly, as signed inclusion-exclusion
+// over the NEW physical relation and the delta scans:
+//   positive q:  [old q]  = [q] + [q in D] - [q in I]
+//   negated  q:  [old !q] = [!q] + [q in I] - [q in D]
+// (a tuple is in old q iff it is in new q and not just inserted, or it was
+// just deleted; dually for the complement).
+ChoiceList OldExactChoices(const ast::Atom& a, const storage::Relation* ins,
+                           const storage::Relation* del) {
+  ChoiceList out;
+  out.push_back({a, 1});
+  if (!a.negated) {
+    if (NonEmpty(del)) out.push_back({Renamed(a, kDelPrefix), 1});
+    if (NonEmpty(ins)) out.push_back({Renamed(a, kInsPrefix), -1});
+  } else {
+    if (NonEmpty(ins)) out.push_back({Renamed(a, kInsPrefix), 1});
+    if (NonEmpty(del)) out.push_back({Renamed(a, kDelPrefix), -1});
+  }
+  return out;
+}
+
+// An unsigned SUPERSET of the old state — enough for DRed's delete
+// overestimate, which only needs to reach every derivation that might have
+// existed: old q is contained in q union D; old !q in !q union I.
+ChoiceList OldSupersetChoices(const ast::Atom& a, const storage::Relation* ins,
+                              const storage::Relation* del) {
+  ChoiceList out;
+  out.push_back({a, 1});
+  if (!a.negated) {
+    if (NonEmpty(del)) out.push_back({Renamed(a, kDelPrefix), 1});
+  } else {
+    if (NonEmpty(ins)) out.push_back({Renamed(a, kInsPrefix), 1});
+  }
+  return out;
+}
+
+// Expands the per-position choice lists into their cartesian product of
+// rule variants. An empty choice list means a required delta relation is
+// empty and the whole product vanishes.
+template <typename VariantT>
+void ExpandChoices(const ast::Atom& head, const std::vector<ChoiceList>& choices,
+                   int delta_idx, std::vector<VariantT>* out) {
+  for (const ChoiceList& c : choices) {
+    if (c.empty()) return;
+  }
+  std::vector<size_t> pick(choices.size(), 0);
+  while (true) {
+    VariantT v;
+    v.rule.head = head;
+    v.sign = 1;
+    v.delta_idx = delta_idx;
+    for (size_t j = 0; j < choices.size(); ++j) {
+      const Choice& ch = choices[j][pick[j]];
+      v.rule.body.push_back(ch.atom);
+      v.sign *= ch.sign;
+    }
+    out->push_back(std::move(v));
+    size_t j = 0;
+    for (; j < choices.size(); ++j) {
+      if (++pick[j] < choices[j].size()) break;
+      pick[j] = 0;
+    }
+    if (j == choices.size()) break;
+  }
+}
+
+// StatsProvider for variant planning: "$ivm:" names resolve to the scratch
+// relations, everything else to the live database — the same resolution the
+// executor uses, so the planner prices exactly what will run.
+class ScratchStats : public StatsProvider {
+ public:
+  ScratchStats(
+      const storage::Database* db,
+      const std::map<std::string, std::unique_ptr<storage::Relation>>* scratch)
+      : db_(db), scratch_(scratch) {}
+
+  bool Lookup(const std::string& predicate, AtomSource /*source*/,
+              RelationEstimate* out) const override {
+    const storage::Relation* rel = nullptr;
+    auto it = scratch_->find(predicate);
+    if (it != scratch_->end()) {
+      rel = it->second.get();
+    } else {
+      rel = db_->Find(predicate);
+    }
+    if (rel == nullptr) return false;
+    out->rows = static_cast<double>(rel->size());
+    out->distinct.resize(rel->arity());
+    for (size_t c = 0; c < rel->arity(); ++c) {
+      out->distinct[c] =
+          std::max(1.0, static_cast<double>(rel->DistinctEstimate(c)));
+    }
+    return true;
+  }
+
+ private:
+  const storage::Database* db_;
+  const std::map<std::string, std::unique_ptr<storage::Relation>>* scratch_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Variant builders
+
+// Counting delta: the telescoped difference of the rule's body product,
+//   sum over i of  old(a_1..a_{i-1}) x delta(a_i) x new(a_{i+1}..a_n)
+// where delta of a positive atom is +I -D and of a negated atom +D -I.
+// Positions are kept in original body order, so CompileOptions::delta_atom
+// can lead the join from the (small) delta scan.
+std::vector<Maintainer::Variant> Maintainer::CountingVariants(
+    const ast::Rule& r, const ChangeMap& changed) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  for (size_t i = 0; i < n; ++i) {
+    const ast::Atom& a = r.body[i];
+    if (IsBuiltinPredicate(a.predicate)) continue;
+    auto it = changed.find(a.predicate);
+    if (it == changed.end()) continue;
+    const Change& ch = it->second;
+    ChoiceList delta;
+    if (!a.negated) {
+      if (NonEmpty(ch.ins)) delta.push_back({Renamed(a, kInsPrefix), 1});
+      if (NonEmpty(ch.del)) delta.push_back({Renamed(a, kDelPrefix), -1});
+    } else {
+      if (NonEmpty(ch.del)) delta.push_back({Renamed(a, kDelPrefix), 1});
+      if (NonEmpty(ch.ins)) delta.push_back({Renamed(a, kInsPrefix), -1});
+    }
+    if (delta.empty()) continue;
+    std::vector<ChoiceList> choices(n);
+    choices[i] = std::move(delta);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const ast::Atom& b = r.body[j];
+      const Change* cj = nullptr;
+      if (!IsBuiltinPredicate(b.predicate)) {
+        auto jt = changed.find(b.predicate);
+        if (jt != changed.end()) cj = &jt->second;
+      }
+      if (j < i && cj != nullptr) {
+        choices[j] = OldExactChoices(b, cj->ins, cj->del);
+      } else {
+        choices[j] = {{b, 1}};
+      }
+    }
+    ExpandChoices(r.head, choices, static_cast<int>(i), &out);
+  }
+  return out;
+}
+
+// The rule's body product over the OLD state of every changed atom — used
+// to (re)prime derivation counts lazily, after base relations have already
+// moved on to the new state.
+std::vector<Maintainer::Variant> Maintainer::OldStateVariants(
+    const ast::Rule& r, const ChangeMap& changed) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  std::vector<ChoiceList> choices(n);
+  for (size_t j = 0; j < n; ++j) {
+    const ast::Atom& b = r.body[j];
+    const Change* cj = nullptr;
+    if (!IsBuiltinPredicate(b.predicate)) {
+      auto jt = changed.find(b.predicate);
+      if (jt != changed.end()) cj = &jt->second;
+    }
+    if (cj != nullptr) {
+      choices[j] = OldExactChoices(b, cj->ins, cj->del);
+    } else {
+      choices[j] = {{b, 1}};
+    }
+  }
+  ExpandChoices(r.head, choices, -1, &out);
+  return out;
+}
+
+// DRed phase 1 seeds: derivations that consumed a tuple the delta removed
+// from a non-stratum body position — a deleted tuple of a positive atom, or
+// an inserted tuple of a negated one. Other changed non-stratum positions
+// read the old-state superset; in-stratum positions read the physical
+// relation, whose removal is deferred to phase 2 precisely so it still
+// holds the old stratum content here.
+std::vector<Maintainer::Variant> Maintainer::DeleteSeedVariants(
+    const ast::Rule& r, const ChangeMap& changed,
+    const std::set<std::string>& members) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  for (size_t i = 0; i < n; ++i) {
+    const ast::Atom& a = r.body[i];
+    if (IsBuiltinPredicate(a.predicate) || members.count(a.predicate) != 0) {
+      continue;
+    }
+    auto it = changed.find(a.predicate);
+    if (it == changed.end()) continue;
+    ChoiceList seed;
+    if (!a.negated) {
+      if (NonEmpty(it->second.del)) seed.push_back({Renamed(a, kDelPrefix), 1});
+    } else {
+      if (NonEmpty(it->second.ins)) seed.push_back({Renamed(a, kInsPrefix), 1});
+    }
+    if (seed.empty()) continue;
+    std::vector<ChoiceList> choices(n);
+    choices[i] = std::move(seed);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const ast::Atom& b = r.body[j];
+      const Change* cj = nullptr;
+      if (!IsBuiltinPredicate(b.predicate) && members.count(b.predicate) == 0) {
+        auto jt = changed.find(b.predicate);
+        if (jt != changed.end()) cj = &jt->second;
+      }
+      if (cj != nullptr) {
+        choices[j] = OldSupersetChoices(b, cj->ins, cj->del);
+      } else {
+        choices[j] = {{b, 1}};
+      }
+    }
+    ExpandChoices(r.head, choices, static_cast<int>(i), &out);
+  }
+  return out;
+}
+
+// DRed phase 1 propagation: derivations consuming an already-overdeleted
+// in-stratum tuple (the frontier), other positions as in the seeds.
+std::vector<Maintainer::Variant> Maintainer::OverPropagateVariants(
+    const ast::Rule& r, const ChangeMap& changed,
+    const std::set<std::string>& members) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  for (size_t i = 0; i < n; ++i) {
+    const ast::Atom& a = r.body[i];
+    if (a.negated || IsBuiltinPredicate(a.predicate) ||
+        members.count(a.predicate) == 0) {
+      continue;
+    }
+    std::vector<ChoiceList> choices(n);
+    choices[i] = {{Renamed(a, kFrontPrefix), 1}};
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const ast::Atom& b = r.body[j];
+      const Change* cj = nullptr;
+      if (!IsBuiltinPredicate(b.predicate) && members.count(b.predicate) == 0) {
+        auto jt = changed.find(b.predicate);
+        if (jt != changed.end()) cj = &jt->second;
+      }
+      if (cj != nullptr) {
+        choices[j] = OldSupersetChoices(b, cj->ins, cj->del);
+      } else {
+        choices[j] = {{b, 1}};
+      }
+    }
+    ExpandChoices(r.head, choices, static_cast<int>(i), &out);
+  }
+  return out;
+}
+
+// DRed phase 4 seeds: derivations enabled by a tuple the delta added to a
+// non-stratum position — an inserted tuple of a positive atom, or a deleted
+// tuple of a negated one. Every other position reads the NEW state (base
+// relations and lower strata are already new; in-stratum relations hold the
+// post-delete, post-rederive certain set, which the propagation rounds
+// extend). Insertions are monotone, so new-state reads are exact here.
+std::vector<Maintainer::Variant> Maintainer::InsertSeedVariants(
+    const ast::Rule& r, const ChangeMap& changed,
+    const std::set<std::string>& members) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  for (size_t i = 0; i < n; ++i) {
+    const ast::Atom& a = r.body[i];
+    if (IsBuiltinPredicate(a.predicate) || members.count(a.predicate) != 0) {
+      continue;
+    }
+    auto it = changed.find(a.predicate);
+    if (it == changed.end()) continue;
+    ChoiceList seed;
+    if (!a.negated) {
+      if (NonEmpty(it->second.ins)) seed.push_back({Renamed(a, kInsPrefix), 1});
+    } else {
+      if (NonEmpty(it->second.del)) seed.push_back({Renamed(a, kDelPrefix), 1});
+    }
+    if (seed.empty()) continue;
+    std::vector<ChoiceList> choices(n);
+    choices[i] = std::move(seed);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) choices[j] = {{r.body[j], 1}};
+    }
+    ExpandChoices(r.head, choices, static_cast<int>(i), &out);
+  }
+  return out;
+}
+
+// DRed phase 4 propagation: plain semi-naive differentiation on the
+// in-stratum positions, frontier-driven.
+std::vector<Maintainer::Variant> Maintainer::InsertPropagateVariants(
+    const ast::Rule& r, const std::set<std::string>& members) {
+  std::vector<Variant> out;
+  const size_t n = r.body.size();
+  for (size_t i = 0; i < n; ++i) {
+    const ast::Atom& a = r.body[i];
+    if (a.negated || IsBuiltinPredicate(a.predicate) ||
+        members.count(a.predicate) == 0) {
+      continue;
+    }
+    std::vector<ChoiceList> choices(n);
+    choices[i] = {{Renamed(a, kFrontPrefix), 1}};
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) choices[j] = {{r.body[j], 1}};
+    }
+    ExpandChoices(r.head, choices, static_cast<int>(i), &out);
+  }
+  return out;
+}
+
+// DRed phase 3: candidate-driven rederivation. Prepending the candidate
+// scan restricts the rule to the overdeleted tuples still in question, and
+// the unchanged body then checks derivability from the current (certain)
+// state. Safe because the original rule was safe: head variables are all
+// bound by the candidate atom.
+Maintainer::Variant Maintainer::RederiveVariant(const ast::Rule& r) {
+  Variant v;
+  v.rule.head = r.head;
+  ast::Atom cand;
+  cand.predicate = std::string(kCandPrefix) + r.head.predicate;
+  cand.args = r.head.args;
+  v.rule.body.push_back(std::move(cand));
+  for (const ast::Atom& b : r.body) v.rule.body.push_back(b);
+  v.delta_idx = 0;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Maintainer
+
+Maintainer::Maintainer(storage::Database* db, const ast::Program& program)
+    : Maintainer(db, program, Options()) {}
+
+Maintainer::Maintainer(storage::Database* db, const ast::Program& program,
+                       Options options)
+    : db_(db),
+      program_(program),
+      options_(options),
+      init_status_(Status::Ok()) {
+  ast::DependencyGraph graph(program_);
+  if (!graph.IsStratified()) {
+    init_status_ = Status::InvalidArgument(
+        "program cannot be maintained incrementally: " +
+        graph.StratificationViolation());
+    return;
+  }
+  for (const ast::Rule& r : program_.rules) {
+    arity_[r.head.predicate] = r.head.arity();
+    for (const ast::Atom& a : r.body) {
+      if (!IsBuiltinPredicate(a.predicate)) arity_[a.predicate] = a.arity();
+    }
+    if (!r.IsFact()) derived_.insert(r.head.predicate);
+  }
+  // Program facts hold a derivation unconditionally: for derived
+  // predicates, counting gives them a +1 floor and DRed never overdeletes
+  // them; for base predicates, deleting one is refused (a full evaluation
+  // would re-load it from the program, so maintenance deleting its
+  // consequences would diverge from the re-derived fixpoint).
+  for (const ast::Rule& r : program_.rules) {
+    if (!r.IsFact()) continue;
+    auto& rel = fact_rels_[r.head.predicate];
+    if (rel == nullptr) {
+      rel = std::make_unique<storage::Relation>(
+          "$ivm:fact:" + r.head.predicate, r.head.arity());
+    }
+    storage::Tuple t;
+    t.reserve(r.head.args.size());
+    for (const ast::Term& term : r.head.args) {
+      if (term.IsVariable()) {
+        init_status_ =
+            Status::InvalidArgument("fact contains a variable: " +
+                                    r.head.ToString());
+        return;
+      }
+      t.push_back(db_->symbols().Intern(term.text()));
+    }
+    rel->Insert(t);
+  }
+  for (const std::vector<std::string>& scc : graph.Strata()) {
+    Stratum s;
+    s.members.insert(scc.begin(), scc.end());
+    for (const ast::Rule& r : program_.rules) {
+      if (!r.IsFact() && s.members.count(r.head.predicate) != 0) {
+        s.rules.push_back(&r);
+      }
+    }
+    s.recursive = s.members.size() > 1;
+    if (!s.recursive) {
+      for (const ast::Rule* r : s.rules) {
+        if (r->BodyUses(r->head.predicate)) {
+          s.recursive = true;
+          break;
+        }
+      }
+    }
+    strata_.push_back(std::move(s));
+  }
+}
+
+void Maintainer::Reset() {
+  dirty_ = false;
+  counted_.clear();
+  scratch_.clear();
+}
+
+Result<MaintainStats> Maintainer::ApplyDelta(
+    const std::vector<FactDelta>& inserts,
+    const std::vector<FactDelta>& deletes, const ExecutionGuard* guard) {
+  obs::Span span("ivm.apply", "eval");
+  span.Attr("inserts", static_cast<uint64_t>(inserts.size()));
+  span.Attr("deletes", static_cast<uint64_t>(deletes.size()));
+  Result<MaintainStats> result = ApplyDeltaImpl(inserts, deletes, guard);
+  if (obs::kEnabled) {
+    static obs::Counter* applied = obs::GetCounter(
+        "dire_ivm_applied_total",
+        "Delta batches applied by incremental view maintenance");
+    static obs::Counter* failed = obs::GetCounter(
+        "dire_ivm_failed_total",
+        "Maintenance batches that aborted, leaving the maintainer dirty");
+    static obs::Counter* ins = obs::GetCounter(
+        "dire_ivm_tuples_inserted_total",
+        "Net derived tuples inserted by maintenance");
+    static obs::Counter* del = obs::GetCounter(
+        "dire_ivm_tuples_deleted_total",
+        "Net derived tuples deleted by maintenance");
+    static obs::Counter* over = obs::GetCounter(
+        "dire_ivm_overdeleted_total",
+        "Tuples provisionally deleted by DRed overestimates");
+    static obs::Counter* resc = obs::GetCounter(
+        "dire_ivm_rederived_total",
+        "Overdeleted tuples rescued by rederivation");
+    static obs::Counter* variants = obs::GetCounter(
+        "dire_ivm_variants_total",
+        "Rewritten rule variants executed by maintenance");
+    if (result.ok()) {
+      const MaintainStats& st = result.value();
+      applied->Add(1);
+      ins->Add(st.tuples_inserted);
+      del->Add(st.tuples_deleted);
+      over->Add(st.overdeleted);
+      resc->Add(st.tuples_rederived);
+      variants->Add(st.variants_executed);
+      span.Attr("strata_touched", st.strata_touched);
+      span.Attr("rounds", static_cast<uint64_t>(st.rounds));
+    } else {
+      failed->Add(1);
+      span.Attr("error", result.status().message());
+    }
+  }
+  return result;
+}
+
+Result<MaintainStats> Maintainer::ApplyDeltaImpl(
+    const std::vector<FactDelta>& inserts,
+    const std::vector<FactDelta>& deletes, const ExecutionGuard* guard) {
+  DIRE_RETURN_IF_ERROR(init_status_);
+  if (dirty_) {
+    return Status::InvalidArgument(
+        "maintainer is dirty after a failed ApplyDelta; rebuild the derived "
+        "state and Reset()");
+  }
+  DIRE_FAILPOINT("ivm.apply");
+  scratch_.clear();
+  ChangeMap changed;
+  DIRE_RETURN_IF_ERROR(IngestBaseDeltas(inserts, /*insert=*/true, &changed));
+  DIRE_RETURN_IF_ERROR(IngestBaseDeltas(deletes, /*insert=*/false, &changed));
+  MaintainStats st;
+  if (changed.empty()) return st;
+  // Sentinel: any early return below leaves the maintainer dirty, because
+  // the derived state may be mid-maintenance (see the class contract).
+  dirty_ = true;
+  for (size_t i = 0; i < strata_.size(); ++i) {
+    const Stratum& s = strata_[i];
+    if (s.rules.empty()) continue;
+    bool touched = false;
+    for (const ast::Rule* r : s.rules) {
+      for (const ast::Atom& a : r->body) {
+        if (IsBuiltinPredicate(a.predicate)) continue;
+        auto it = changed.find(a.predicate);
+        if (it != changed.end() &&
+            (NonEmpty(it->second.ins) || NonEmpty(it->second.del))) {
+          touched = true;
+          break;
+        }
+      }
+      if (touched) break;
+    }
+    if (!touched) continue;
+    ++st.strata_touched;
+    if (s.recursive) {
+      DIRE_RETURN_IF_ERROR(DredStratum(s, &changed, guard, &st));
+    } else {
+      DIRE_RETURN_IF_ERROR(
+          CountingStratum(static_cast<int>(i), s, &changed, guard, &st));
+    }
+  }
+  dirty_ = false;
+  // Scratch (including the net-change relations) only means anything within
+  // this one ApplyDelta; free it eagerly.
+  scratch_.clear();
+  return st;
+}
+
+Status Maintainer::IngestBaseDeltas(const std::vector<FactDelta>& deltas,
+                                    bool insert, ChangeMap* changed) {
+  for (const FactDelta& d : deltas) {
+    if (IsBuiltinPredicate(d.predicate)) {
+      return Status::InvalidArgument("delta targets builtin predicate '" +
+                                     d.predicate + "'");
+    }
+    if (derived_.count(d.predicate) != 0) {
+      return Status::InvalidArgument(
+          "delta targets derived predicate '" + d.predicate +
+          "'; maintenance accepts base-fact changes only");
+    }
+    storage::Relation* rel = db_->Find(d.predicate);
+    if (rel == nullptr || rel->arity() != d.values.size()) {
+      return Status::InvalidArgument(
+          "delta for '" + d.predicate +
+          "' does not match a base relation of that arity");
+    }
+    storage::Tuple t;
+    t.reserve(d.values.size());
+    for (const std::string& v : d.values) {
+      t.push_back(db_->symbols().Intern(v));
+    }
+    const bool present = rel->Contains(t);
+    if (insert && !present) {
+      return Status::InvalidArgument(
+          "insert delta for '" + d.predicate +
+          "' names a tuple absent from the base relation; apply the base "
+          "change before maintaining");
+    }
+    if (!insert && present) {
+      return Status::InvalidArgument(
+          "delete delta for '" + d.predicate +
+          "' names a tuple still present in the base relation; apply the "
+          "base change before maintaining");
+    }
+    if (!insert) {
+      auto fit = fact_rels_.find(d.predicate);
+      if (fit != fact_rels_.end() && fit->second->Contains(t)) {
+        // A full evaluation re-loads program facts, so the re-derived
+        // fixpoint keeps this tuple's consequences; deleting them here
+        // would diverge from it.
+        return Status::InvalidArgument(
+            "delete delta for '" + d.predicate +
+            "' names a program fact; only runtime-added facts can be "
+            "maintained away");
+      }
+    }
+    storage::Relation* sc = EnsureScratch(
+        (insert ? kInsPrefix : kDelPrefix) + d.predicate, d.values.size());
+    sc->Insert(t);
+    Change& ch = (*changed)[d.predicate];
+    if (insert) {
+      ch.ins = sc;
+    } else {
+      ch.del = sc;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Maintainer::EnsureStratumCounts(int index, const Stratum& s,
+                                       const ChangeMap& changed,
+                                       const ExecutionGuard* guard,
+                                       MaintainStats* st) {
+  const std::string& head = *s.members.begin();
+  DIRE_ASSIGN_OR_RETURN(storage::Relation * h,
+                        db_->GetOrCreate(head, arity_.at(head)));
+  h->EnableCounts();
+  for (size_t r = 0; r < h->size(); ++r) h->SetCount(r, 0);
+  // The old-state variants are signed inclusion-exclusion over the NEW base
+  // relations, so an individual variant can derive tuples outside the old
+  // fixpoint (e.g. the plain-body variant sees just-inserted base tuples).
+  // Those cancel in the net sum; only net counts are meaningful. Accumulate
+  // per tuple first, then validate against the relation.
+  storage::Relation* acc = FreshScratch(kPrimePrefix + head, arity_.at(head));
+  acc->EnableCounts();
+  for (const ast::Rule* rule : s.rules) {
+    for (const Variant& v : OldStateVariants(*rule, changed)) {
+      Sink sink = [acc, sign = v.sign](storage::RowRef t, uint64_t hash) {
+        uint32_t row;
+        if (acc->InsertHashed(t, hash)) {
+          row = static_cast<uint32_t>(acc->size() - 1);
+        } else {
+          row = acc->FindRowHashed(t, hash);
+        }
+        acc->AdjustCount(row, sign);
+      };
+      DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/true, guard, sink,
+                                      st));
+    }
+  }
+  for (size_t r = 0; r < acc->size(); ++r) {
+    const int64_t c = acc->CountAt(r);
+    if (c == 0) continue;
+    const uint32_t row = h->FindRow(acc->row(r));
+    if (row == storage::Relation::kNoRow || c < 0) {
+      return Status::Internal(
+          "old-state derivation of '" + head +
+          "' disagrees with the database; the derived state was not at "
+          "fixpoint");
+    }
+    h->SetCount(row, h->CountAt(row) + c);
+  }
+  auto fit = fact_rels_.find(head);
+  if (fit != fact_rels_.end()) {
+    for (storage::RowRef t : fit->second->rows()) {
+      uint32_t row = h->FindRow(t);
+      if (row == storage::Relation::kNoRow) {
+        return Status::Internal("base fact of '" + head +
+                                "' is missing from its relation");
+      }
+      h->AdjustCount(row, 1);
+    }
+  }
+  counted_.insert(index);
+  ++st->count_inits;
+  return Status::Ok();
+}
+
+Status Maintainer::CountingStratum(int index, const Stratum& s,
+                                   ChangeMap* changed,
+                                   const ExecutionGuard* guard,
+                                   MaintainStats* st) {
+  const std::string& head = *s.members.begin();
+  const size_t ar = arity_.at(head);
+  if (counted_.count(index) == 0) {
+    DIRE_RETURN_IF_ERROR(EnsureStratumCounts(index, s, *changed, guard, st));
+  }
+  storage::Relation* h = db_->Find(head);  // Exists after count init.
+  // Accumulate the signed derivation-count delta per candidate head tuple.
+  storage::Relation* acc = FreshScratch(kAccPrefix + head, ar);
+  acc->EnableCounts();
+  for (const ast::Rule* rule : s.rules) {
+    for (const Variant& v : CountingVariants(*rule, *changed)) {
+      Sink sink = [acc, sign = v.sign](storage::RowRef t, uint64_t hash) {
+        uint32_t row;
+        if (acc->InsertHashed(t, hash)) {
+          row = static_cast<uint32_t>(acc->size() - 1);
+        } else {
+          row = acc->FindRowHashed(t, hash);
+        }
+        acc->AdjustCount(row, sign);
+      };
+      DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/true, guard, sink,
+                                      st));
+    }
+  }
+  DIRE_FAILPOINT("ivm.counting_merge");
+  storage::Relation* net_i = nullptr;
+  storage::Relation* net_d = nullptr;
+  storage::Relation* dead = nullptr;
+  for (size_t r = 0; r < acc->size(); ++r) {
+    const int64_t c = acc->CountAt(r);
+    if (c == 0) continue;
+    storage::RowRef t = acc->row(r);
+    const uint32_t row = h->FindRow(t);
+    if (row == storage::Relation::kNoRow) {
+      if (c < 0) {
+        return Status::Internal("derivation count of an absent '" + head +
+                                "' tuple went negative");
+      }
+      h->Insert(t);
+      h->SetCount(h->size() - 1, c);
+      if (net_i == nullptr) net_i = FreshScratch(kInsPrefix + head, ar);
+      net_i->Insert(t);
+      ++st->tuples_inserted;
+      if (guard != nullptr) guard->AddTuples(1);
+    } else {
+      const int64_t now = h->CountAt(row) + c;
+      if (now < 0) {
+        return Status::Internal("derivation count of a '" + head +
+                                "' tuple went negative");
+      }
+      if (now == 0) {
+        if (dead == nullptr) dead = FreshScratch(kDeadPrefix + head, ar);
+        if (net_d == nullptr) net_d = FreshScratch(kDelPrefix + head, ar);
+        dead->Insert(t);
+        net_d->Insert(t);
+        ++st->tuples_deleted;
+      } else {
+        h->SetCount(row, now);
+      }
+    }
+  }
+  if (dead != nullptr) db_->RemoveMatching(head, *dead);
+  if (net_i != nullptr || net_d != nullptr) {
+    (*changed)[head] = Change{net_i, net_d};
+  }
+  ++st->counting_passes;
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
+  return Status::Ok();
+}
+
+Status Maintainer::DredStratum(const Stratum& s, ChangeMap* changed,
+                               const ExecutionGuard* guard,
+                               MaintainStats* st) {
+  const int cap = options_.max_rounds;
+  auto check_rounds = [&]() -> Status {
+    if (cap > 0 && st->rounds > static_cast<size_t>(cap)) {
+      return Status::ResourceExhausted(
+          "incremental maintenance exceeded its fixpoint round cap");
+    }
+    return Status::Ok();
+  };
+  for (const std::string& p : s.members) {
+    const size_t ar = arity_.at(p);
+    DIRE_ASSIGN_OR_RETURN(storage::Relation * rel, db_->GetOrCreate(p, ar));
+    (void)rel;
+    FreshScratch(kOverPrefix + p, ar);
+    FreshScratch(kRescPrefix + p, ar);
+    FreshScratch(kNewPrefix + p, ar);
+    FreshScratch(kFrontPrefix + p, ar);
+    FreshScratch(kNextPrefix + p, ar);
+  }
+
+  // Phase 1: overestimate the deleted set. The sink keeps only tuples that
+  // exist (every phys relation still holds the old stratum content — the
+  // physical removal is deferred to phase 2) and are not protected program
+  // facts, and feeds first sightings into the next frontier.
+  auto over_sink = [this](const std::string& headp) -> Sink {
+    storage::Relation* over = FindScratch(kOverPrefix + headp);
+    storage::Relation* next = FindScratch(kNextPrefix + headp);
+    const storage::Relation* facts = nullptr;
+    auto fit = fact_rels_.find(headp);
+    if (fit != fact_rels_.end()) facts = fit->second.get();
+    const storage::Relation* phys = db_->Find(headp);
+    return [over, next, facts, phys](storage::RowRef t, uint64_t hash) {
+      if (phys == nullptr || !phys->ContainsHashed(t, hash)) return;
+      if (facts != nullptr && facts->ContainsHashed(t, hash)) return;
+      if (over->InsertHashed(t, hash)) next->InsertHashed(t, hash);
+    };
+  };
+  for (const ast::Rule* rule : s.rules) {
+    for (const Variant& v : DeleteSeedVariants(*rule, *changed, s.members)) {
+      DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/false, guard,
+                                      over_sink(rule->head.predicate), st));
+    }
+  }
+  while (true) {
+    bool any = false;
+    for (const std::string& p : s.members) {
+      scratch_[kFrontPrefix + p] = std::move(scratch_[kNextPrefix + p]);
+      FreshScratch(kNextPrefix + p, arity_.at(p));
+      if (!FindScratch(kFrontPrefix + p)->empty()) any = true;
+    }
+    if (!any) break;
+    ++st->rounds;
+    DIRE_RETURN_IF_ERROR(check_rounds());
+    for (const ast::Rule* rule : s.rules) {
+      for (const Variant& v :
+           OverPropagateVariants(*rule, *changed, s.members)) {
+        DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/false, guard,
+                                        over_sink(rule->head.predicate), st));
+      }
+    }
+  }
+  size_t overdeleted = 0;
+  for (const std::string& p : s.members) {
+    overdeleted += FindScratch(kOverPrefix + p)->size();
+  }
+  st->overdeleted += overdeleted;
+
+  if (overdeleted > 0) {
+    // Phase 2: physically remove the overestimate (in-place compaction;
+    // relation pointers stay valid, but row ids shift).
+    DIRE_FAILPOINT("ivm.dred_delete");
+    for (const std::string& p : s.members) {
+      storage::Relation* over = FindScratch(kOverPrefix + p);
+      if (!over->empty()) db_->RemoveMatching(p, *over);
+    }
+
+      // Phase 3: rederive. Each round asks, for every overdeleted tuple not
+    // yet rescued, whether some rule still derives it from the current
+    // certain state; rescues merge in after the round's plans finish (a
+    // sink must never grow a relation the running plan reads).
+    DIRE_FAILPOINT("ivm.dred_rederive");
+    while (true) {
+      bool any_cand = false;
+      for (const std::string& p : s.members) {
+        const size_t ar = arity_.at(p);
+        storage::Relation* cand = FreshScratch(kCandPrefix + p, ar);
+        const storage::Relation* over = FindScratch(kOverPrefix + p);
+        const storage::Relation* resc = FindScratch(kRescPrefix + p);
+        for (storage::RowRef t : over->rows()) {
+          if (!resc->Contains(t)) cand->Insert(t);
+        }
+        if (!cand->empty()) any_cand = true;
+        FreshScratch(kStagePrefix + p, ar);
+      }
+      if (!any_cand) break;
+      for (const ast::Rule* rule : s.rules) {
+        const std::string& hp = rule->head.predicate;
+        if (FindScratch(kCandPrefix + hp)->empty()) continue;
+        storage::Relation* resc = FindScratch(kRescPrefix + hp);
+        storage::Relation* stage = FindScratch(kStagePrefix + hp);
+        Sink sink = [resc, stage](storage::RowRef t, uint64_t hash) {
+          if (resc->InsertHashed(t, hash)) stage->InsertHashed(t, hash);
+        };
+        DIRE_RETURN_IF_ERROR(RunVariant(RederiveVariant(*rule),
+                                        /*multiplicity=*/false, guard, sink,
+                                        st));
+      }
+      size_t rescued_now = 0;
+      for (const std::string& p : s.members) {
+        storage::Relation* stage = FindScratch(kStagePrefix + p);
+        if (stage->empty()) continue;
+        storage::Relation* rel = db_->Find(p);
+        for (storage::RowRef t : stage->rows()) rel->Insert(t);
+        rescued_now += stage->size();
+      }
+      st->tuples_rederived += rescued_now;
+      if (rescued_now == 0) break;
+      ++st->rounds;
+      DIRE_RETURN_IF_ERROR(check_rounds());
+    }
+  }
+
+  // Phase 4: insert new derivations, semi-naive over the stratum, seeded
+  // from the non-stratum deltas. The sink stages tuples absent from the
+  // head; the merge step after each round feeds phys, the accumulated new
+  // set, and the next frontier.
+  DIRE_FAILPOINT("ivm.insert_merge");
+  for (const std::string& p : s.members) {
+    FreshScratch(kStagePrefix + p, arity_.at(p));
+  }
+  auto ins_sink = [this](const std::string& headp) -> Sink {
+    const storage::Relation* phys = db_->Find(headp);
+    storage::Relation* stage = FindScratch(kStagePrefix + headp);
+    return [phys, stage](storage::RowRef t, uint64_t hash) {
+      if (phys != nullptr && phys->ContainsHashed(t, hash)) return;
+      stage->InsertHashed(t, hash);
+    };
+  };
+  for (const ast::Rule* rule : s.rules) {
+    for (const Variant& v : InsertSeedVariants(*rule, *changed, s.members)) {
+      DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/false, guard,
+                                      ins_sink(rule->head.predicate), st));
+    }
+  }
+  while (true) {
+    bool any = false;
+    for (const std::string& p : s.members) {
+      const size_t ar = arity_.at(p);
+      storage::Relation* stage = FindScratch(kStagePrefix + p);
+      storage::Relation* front = FreshScratch(kFrontPrefix + p, ar);
+      if (!stage->empty()) {
+        storage::Relation* rel = db_->Find(p);
+        storage::Relation* fresh = FindScratch(kNewPrefix + p);
+        for (storage::RowRef t : stage->rows()) {
+          if (rel->Insert(t)) {
+            fresh->Insert(t);
+            front->Insert(t);
+            if (guard != nullptr) guard->AddTuples(1);
+          }
+        }
+      }
+      FreshScratch(kStagePrefix + p, ar);
+      if (!front->empty()) any = true;
+    }
+    if (!any) break;
+    ++st->rounds;
+    DIRE_RETURN_IF_ERROR(check_rounds());
+    for (const ast::Rule* rule : s.rules) {
+      for (const Variant& v : InsertPropagateVariants(*rule, s.members)) {
+        DIRE_RETURN_IF_ERROR(RunVariant(v, /*multiplicity=*/false, guard,
+                                        ins_sink(rule->head.predicate), st));
+      }
+    }
+  }
+
+  // Net effects for higher strata: deleted = overdeleted, not rescued, not
+  // re-inserted; inserted = newly inserted and not just a reincarnation of
+  // a provisionally deleted tuple.
+  for (const std::string& p : s.members) {
+    const size_t ar = arity_.at(p);
+    const storage::Relation* over = FindScratch(kOverPrefix + p);
+    const storage::Relation* resc = FindScratch(kRescPrefix + p);
+    const storage::Relation* fresh = FindScratch(kNewPrefix + p);
+    storage::Relation* net_d = nullptr;
+    storage::Relation* net_i = nullptr;
+    for (storage::RowRef t : over->rows()) {
+      if (resc->Contains(t) || fresh->Contains(t)) continue;
+      if (net_d == nullptr) net_d = FreshScratch(kDelPrefix + p, ar);
+      net_d->Insert(t);
+      ++st->tuples_deleted;
+    }
+    for (storage::RowRef t : fresh->rows()) {
+      if (over->Contains(t) && !resc->Contains(t)) continue;
+      if (net_i == nullptr) net_i = FreshScratch(kInsPrefix + p, ar);
+      net_i->Insert(t);
+      ++st->tuples_inserted;
+    }
+    if (net_d != nullptr || net_i != nullptr) {
+      (*changed)[p] = Change{net_i, net_d};
+    }
+  }
+  ++st->dred_passes;
+  if (guard != nullptr) DIRE_RETURN_IF_ERROR(guard->Check());
+  return Status::Ok();
+}
+
+Status Maintainer::RunVariant(const Variant& v, bool multiplicity,
+                              const ExecutionGuard* guard, const Sink& sink,
+                              MaintainStats* st) {
+  CompileOptions copts;
+  copts.reorder = true;
+  copts.planner = options_.planner;
+  ScratchStats stats(db_, &scratch_);
+  copts.stats = &stats;
+  copts.delta_atom = v.delta_idx;
+  DIRE_ASSIGN_OR_RETURN(CompiledRule plan,
+                        CompileRule(v.rule, &db_->symbols(), copts));
+  if (multiplicity) {
+    // Defeat projection-pushdown dedup: counting needs every satisfying
+    // body binding, not one per distinct live projection.
+    for (CompiledAtom& a : plan.body) a.live_bind_positions = a.bind_positions;
+  }
+  MutableRelationResolver mresolve =
+      [this](const CompiledAtom& atom) -> storage::Relation* {
+    storage::Relation* sc = FindScratch(atom.predicate);
+    return sc != nullptr ? sc : db_->Find(atom.predicate);
+  };
+  PrepareIndexes(plan, mresolve);
+  RelationResolver resolve =
+      [this](const CompiledAtom& atom) -> const storage::Relation* {
+    storage::Relation* sc = FindScratch(atom.predicate);
+    return sc != nullptr ? sc : db_->Find(atom.predicate);
+  };
+  ExecuteRule(plan, resolve, sink, &db_->symbols(), guard);
+  ++st->variants_executed;
+  if (guard != nullptr && guard->Tripped()) return guard->Check();
+  return Status::Ok();
+}
+
+storage::Relation* Maintainer::EnsureScratch(const std::string& name,
+                                             size_t arity, bool counts) {
+  auto& slot = scratch_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<storage::Relation>(name, arity);
+  }
+  if (counts) slot->EnableCounts();
+  return slot.get();
+}
+
+storage::Relation* Maintainer::FreshScratch(const std::string& name,
+                                            size_t arity) {
+  auto rel = std::make_unique<storage::Relation>(name, arity);
+  storage::Relation* ptr = rel.get();
+  scratch_[name] = std::move(rel);
+  return ptr;
+}
+
+storage::Relation* Maintainer::FindScratch(const std::string& name) const {
+  auto it = scratch_.find(name);
+  return it == scratch_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dire::eval

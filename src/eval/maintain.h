@@ -1,0 +1,214 @@
+#ifndef DIRE_EVAL_MAINTAIN_H_
+#define DIRE_EVAL_MAINTAIN_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "ast/dependency.h"
+#include "base/guard.h"
+#include "base/result.h"
+#include "eval/plan.h"
+#include "storage/database.h"
+
+namespace dire::eval {
+
+// One base-fact mutation, by constant spelling — the shared currency of the
+// WAL, the server write protocol, and the CLI.
+struct FactDelta {
+  std::string predicate;
+  std::vector<std::string> values;
+};
+
+// What one ApplyDelta call did, for logs, STATS fields, and benchmarks.
+struct MaintainStats {
+  // Strata whose derived state the delta actually reached.
+  int strata_touched = 0;
+  // Counting passes (non-recursive strata) and DRed passes (recursive).
+  int counting_passes = 0;
+  int dred_passes = 0;
+  // Lazy derivation-count initializations performed by this call.
+  int count_inits = 0;
+  // Rewritten rule variants compiled and executed.
+  size_t variants_executed = 0;
+  // Semi-naive rounds across all DRed fixpoints (overestimate + insert).
+  size_t rounds = 0;
+  // Net derived-tuple changes applied to the database.
+  size_t tuples_inserted = 0;
+  size_t tuples_deleted = 0;
+  // DRed bookkeeping: tuples provisionally deleted by the overestimate
+  // phase, and the subset the rederivation phase rescued.
+  size_t overdeleted = 0;
+  size_t tuples_rederived = 0;
+};
+
+// Incremental view maintenance over a database at fixpoint: counting-based
+// maintenance (Gupta–Mumick–Subrahmanian) for non-recursive strata and
+// DRed (delete-and-rederive) for recursive ones, built from the same
+// compiled rule plans, cost planner, and executor the evaluator uses.
+// Rewritten rule variants read per-predicate delta relations under
+// reserved "$ivm:" names ('$' cannot appear in a parsed predicate, the
+// same trick the checkpoint's "$delta:" sections use).
+//
+// Contract: the database must be at the fixpoint of the program over the
+// OLD base facts in its derived relations, while its base (EDB) relations
+// already hold the NEW state — exactly what a durable write leaves behind
+// (storage::DataDir applies the base mutation, derived consequences
+// pending). ApplyDelta then edits the derived relations in place to the
+// new fixpoint. Derivation counts live only in memory
+// (storage::Relation::EnableCounts) and never serialize, so snapshots of a
+// maintained database stay byte-identical to a from-scratch re-evaluation.
+//
+// Failure contract: if ApplyDelta returns a non-OK status after it started
+// mutating (guard trip, inconsistent counts, internal error), the
+// maintainer marks itself dirty and refuses further deltas; the derived
+// state may then be mid-maintenance and the caller must rebuild it (drop
+// derived relations + full re-evaluation) and call Reset(). The server
+// does exactly that as its fallback path.
+//
+// Not thread-safe; the caller serializes ApplyDelta against every reader
+// and writer of the database (the server holds its exclusive db lock).
+class Maintainer {
+ public:
+  struct Options {
+    // Join-order policy for the rewritten variants (see PlannerMode).
+    PlannerMode planner = PlannerMode::kCost;
+    // Safety cap on fixpoint rounds within one DRed phase; 0 = unlimited
+    // (maintenance terminates regardless — the domain is finite — but a
+    // cap turns a surprise blowup into a clean dirty-fallback).
+    int max_rounds = 0;
+  };
+
+  // `program` is copied. `db` is not owned and must outlive the maintainer.
+  Maintainer(storage::Database* db, const ast::Program& program);
+  Maintainer(storage::Database* db, const ast::Program& program,
+             Options options);
+
+  // Ok iff the program can be maintained incrementally (it stratifies).
+  // When not ok, ApplyDelta always fails with this status.
+  const Status& init_status() const { return init_status_; }
+
+  // True when ApplyDelta can be used right now.
+  bool usable() const { return init_status_.ok() && !dirty_; }
+  bool dirty() const { return dirty_; }
+
+  // Forgets all incremental state: the dirty flag and which strata have
+  // initialized derivation counts (they re-prime lazily on the next
+  // ApplyDelta). Call after externally rebuilding the derived state.
+  void Reset();
+
+  // Applies one batch of base-fact changes to the derived relations.
+  // `inserts` are tuples that were absent before and are present in the
+  // EDB now; `deletes` were present before and are absent now (both are
+  // validated against the database and rejected otherwise — pass net
+  // effects, not raw operation logs). Deltas may only target base
+  // predicates; rule heads are refused. When `guard` is set, variant
+  // executions poll it; a trip aborts maintenance with the trip status
+  // (and the dirty flag, per the failure contract above).
+  Result<MaintainStats> ApplyDelta(const std::vector<FactDelta>& inserts,
+                                   const std::vector<FactDelta>& deletes,
+                                   const ExecutionGuard* guard = nullptr);
+
+  // Predicates derived by rules (deltas on them are refused).
+  const std::set<std::string>& derived() const { return derived_; }
+
+  // Number of strata of the program (the stratum index a completed
+  // checkpoint records; see eval/checkpoint.h).
+  int num_strata() const { return static_cast<int>(strata_.size()); }
+
+ private:
+  struct Stratum {
+    std::set<std::string> members;
+    bool recursive = false;
+    std::vector<const ast::Rule*> rules;  // Rules whose head is a member.
+  };
+  // Per-predicate delta relations visible to higher strata: tuples that
+  // net-appeared / net-disappeared (either may be null when empty).
+  struct Change {
+    storage::Relation* ins = nullptr;
+    storage::Relation* del = nullptr;
+  };
+  using ChangeMap = std::map<std::string, Change>;
+  // One rewritten rule: body atoms renamed onto "$ivm:" delta relations,
+  // with the signed multiplicity its results contribute and the body index
+  // that must lead the join (-1 for none).
+  struct Variant {
+    ast::Rule rule;
+    int sign = 1;
+    int delta_idx = -1;
+  };
+  using Sink = std::function<void(storage::RowRef, uint64_t)>;
+
+  Result<MaintainStats> ApplyDeltaImpl(const std::vector<FactDelta>& inserts,
+                                       const std::vector<FactDelta>& deletes,
+                                       const ExecutionGuard* guard);
+  // Validates and interns one side of the delta batch into "$ivm:i:" /
+  // "$ivm:d:" scratch relations.
+  Status IngestBaseDeltas(const std::vector<FactDelta>& deltas, bool insert,
+                          ChangeMap* changed);
+  Status CountingStratum(int index, const Stratum& s, ChangeMap* changed,
+                         const ExecutionGuard* guard, MaintainStats* st);
+  // Lazily (re)computes per-tuple derivation counts for the stratum's head
+  // by running old-state rule variants with multiplicity.
+  Status EnsureStratumCounts(int index, const Stratum& s,
+                             const ChangeMap& changed,
+                             const ExecutionGuard* guard, MaintainStats* st);
+  Status DredStratum(const Stratum& s, ChangeMap* changed,
+                     const ExecutionGuard* guard, MaintainStats* st);
+
+  // Compiles and executes one variant. With `multiplicity`, per-atom
+  // projection dedup is disabled so the sink sees every satisfying body
+  // binding (derivation counting needs multiplicities, not sets).
+  Status RunVariant(const Variant& v, bool multiplicity,
+                    const ExecutionGuard* guard, const Sink& sink,
+                    MaintainStats* st);
+
+  // Scratch relation registry; names shadow database relations inside
+  // variant execution.
+  storage::Relation* EnsureScratch(const std::string& name, size_t arity,
+                                   bool counts = false);
+  // Replaces any existing scratch relation of that name with an empty one.
+  storage::Relation* FreshScratch(const std::string& name, size_t arity);
+  storage::Relation* FindScratch(const std::string& name) const;
+
+  // Variant builders (pure; see maintain.cc for the algebra each encodes).
+  static std::vector<Variant> OldStateVariants(const ast::Rule& r,
+                                               const ChangeMap& changed);
+  static std::vector<Variant> CountingVariants(const ast::Rule& r,
+                                               const ChangeMap& changed);
+  static std::vector<Variant> DeleteSeedVariants(
+      const ast::Rule& r, const ChangeMap& changed,
+      const std::set<std::string>& members);
+  static std::vector<Variant> OverPropagateVariants(
+      const ast::Rule& r, const ChangeMap& changed,
+      const std::set<std::string>& members);
+  static std::vector<Variant> InsertSeedVariants(
+      const ast::Rule& r, const ChangeMap& changed,
+      const std::set<std::string>& members);
+  static std::vector<Variant> InsertPropagateVariants(
+      const ast::Rule& r, const std::set<std::string>& members);
+  static Variant RederiveVariant(const ast::Rule& r);
+
+  storage::Database* db_;  // Not owned.
+  ast::Program program_;
+  Options options_;
+  Status init_status_;
+  bool dirty_ = false;
+  std::vector<Stratum> strata_;
+  std::set<std::string> derived_;
+  // Arity of every predicate mentioned by the program.
+  std::map<std::string, size_t> arity_;
+  // Base-fact tuples of predicates that also have rules: these tuples hold
+  // a permanent derivation and are never deleted by maintenance.
+  std::map<std::string, std::unique_ptr<storage::Relation>> fact_rels_;
+  // Strata whose derivation counts are initialized (counting strata only).
+  std::set<int> counted_;
+  std::map<std::string, std::unique_ptr<storage::Relation>> scratch_;
+};
+
+}  // namespace dire::eval
+
+#endif  // DIRE_EVAL_MAINTAIN_H_

@@ -57,6 +57,20 @@ obs::Counter* FoldsCounter() {
   return c;
 }
 
+obs::Counter* IvmAppliedCounter() {
+  static obs::Counter* c = obs::GetCounter(
+      "dire_server_ivm_applied_total",
+      "Writes whose consequences were maintained incrementally");
+  return c;
+}
+
+obs::Counter* IvmFallbacksCounter() {
+  static obs::Counter* c = obs::GetCounter(
+      "dire_server_ivm_fallbacks_total",
+      "Writes that fell back from maintenance to a full re-derivation");
+  return c;
+}
+
 obs::Counter* SlowQueriesCounter() {
   static obs::Counter* c =
       obs::GetCounter("dire_server_slow_queries_total",
@@ -315,17 +329,106 @@ Status Server::Recover() {
                         "program; re-deriving everything from base facts",
               {{"dir", config_.data_dir}});
   }
-  // Derived state is a pure function of the base facts: drop it and rebuild
-  // the fixpoint. This also repairs stale derivations a crash between a
-  // retraction's WAL commit and its re-derivation left behind, and ignores
-  // any checkpoint metadata from another program.
-  ClearDerivedRelations();
-  DIRE_RETURN_IF_ERROR(FoldCheckpoint());
+  maintainer_ = std::make_unique<eval::Maintainer>(data_dir_->db(),
+                                                   program_);
+  if (!maintainer_->init_status().ok()) {
+    log::Warn("server", "incremental maintenance unavailable; every write "
+                        "will re-derive",
+              {{"reason", maintainer_->init_status().ToString()}});
+  }
+  if (config_.maintain && TryMaintainedRecovery()) {
+    recovered_maintained_ = true;
+    log::Info("server", "recovered by incremental maintenance",
+              {{"wal_records",
+                std::to_string(data_dir_->wal_tail().size())}});
+  } else {
+    // Derived state is a pure function of the base facts: drop it and
+    // rebuild the fixpoint. This also repairs stale derivations a crash
+    // between a retraction's WAL commit and its re-derivation left behind,
+    // and ignores any checkpoint metadata from another program.
+    ClearDerivedRelations();
+    DIRE_RETURN_IF_ERROR(FoldCheckpoint());
+  }
   if (role_.load(std::memory_order_acquire) == Role::kPrimary) {
     hub_ = std::make_unique<ReplicationHub>(config_.replication_heartbeat_ms);
     hub_->Advance(data_dir_->epoch(), data_dir_->lsn());
   }
   return Status::Ok();
+}
+
+bool Server::TryMaintainedRecovery() {
+  if (maintainer_ == nullptr || !maintainer_->usable()) return false;
+  // The snapshot must carry a COMPLETED checkpoint of exactly this program:
+  // its derived relations are then the fixpoint over the snapshot's base
+  // facts, and the replayed WAL tail is the delta to the current base
+  // facts. (recovered() is cleared once any record replays, which is why
+  // the pre-replay view is consulted; see DataDir::checkpoint_at_snapshot.)
+  const storage::RecoveredCheckpoint& snap = data_dir_->checkpoint_at_snapshot();
+  if (!snap.has_meta || !snap.has_program_crc ||
+      snap.program_crc != eval::ProgramCrc(program_text_)) {
+    return false;
+  }
+  if (snap.stratum != maintainer_->num_strata() || snap.rounds != 0) {
+    // Mid-evaluation checkpoint: the derived relations are a partial
+    // fixpoint, which maintenance cannot start from.
+    return false;
+  }
+  for (const std::string& name : data_dir_->db()->RelationNames()) {
+    // Magic-set artifacts from an earlier CLI session would survive a
+    // maintained recovery (nothing clears them on this path) and leak into
+    // future snapshots; let the classic path drop them.
+    if (name.find('@') != std::string::npos) return false;
+  }
+  // Net effect of the WAL tail per tuple: effective operations on one
+  // tuple strictly alternate insert/retract, so an even count cancels out
+  // and an odd count nets to the direction of the last operation.
+  std::map<std::pair<std::string, std::vector<std::string>>,
+           std::pair<size_t, bool>>
+      net;
+  for (const storage::DataDir::WalTailOp& op : data_dir_->wal_tail()) {
+    if (!op.effective) continue;
+    auto& entry = net[{op.relation, op.values}];
+    ++entry.first;
+    entry.second = op.insert;
+  }
+  std::vector<eval::FactDelta> inserts;
+  std::vector<eval::FactDelta> deletes;
+  for (auto& [key, entry] : net) {
+    if (entry.first % 2 == 0) continue;
+    (entry.second ? inserts : deletes)
+        .push_back(eval::FactDelta{key.first, key.second});
+  }
+  if (!inserts.empty() || !deletes.empty()) {
+    Result<eval::MaintainStats> applied =
+        maintainer_->ApplyDelta(inserts, deletes);
+    if (!applied.ok()) {
+      log::Warn("server", "maintained recovery failed; re-deriving from "
+                          "base facts",
+                {{"error", applied.status().ToString()}});
+      ivm_fallbacks_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // Caller clears derived state and re-derives.
+    }
+    ivm_applied_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Seal the maintained fixpoint into a fresh completion checkpoint so the
+  // directory looks exactly like a re-derived recovery left it (snapshots
+  // are a pure function of the tuple set; derivation counts never
+  // serialize).
+  Status sealed = checkpointer_->Checkpoint(maintainer_->num_strata(), 0,
+                                            nullptr);
+  if (!sealed.ok()) {
+    // The fixpoint itself is correct; only the fold failed. Checkpointing
+    // retries at the write cadence, same as any failed fold.
+    log::Warn("server", "post-recovery checkpoint failed; will retry at "
+                        "the next cadence",
+              {{"error", sealed.ToString()}});
+  } else {
+    writes_since_fold_ = 0;
+    folds_total_.fetch_add(1, std::memory_order_relaxed);
+    FoldsCounter()->Add(1);
+  }
+  derived_complete_ = true;
+  return true;
 }
 
 void Server::ClearDerivedRelations() {
@@ -336,6 +439,10 @@ void Server::ClearDerivedRelations() {
       data_dir_->db()->Drop(name);
     }
   }
+  // The maintainer's derivation counts lived inside the dropped relations;
+  // they re-prime lazily once a full evaluation converges again.
+  if (maintainer_ != nullptr) maintainer_->Reset();
+  derived_complete_ = false;
 }
 
 eval::EvalOptions Server::BaseEvalOptions() const {
@@ -355,6 +462,11 @@ Status Server::FoldCheckpoint() {
   eval::Evaluator evaluator(data_dir_->db(), options);
   Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
   if (!stats.ok()) return stats.status();
+  // An unguarded full evaluation always converges, so whatever partial
+  // state a tripped write left behind is complete again (and maintenance
+  // may resume). Over an already-complete fixpoint it inserts nothing and
+  // leaves the maintainer's derivation counts valid.
+  derived_complete_ = true;
   writes_since_fold_ = 0;
   folds_total_.fetch_add(1, std::memory_order_relaxed);
   FoldsCounter()->Add(1);
@@ -709,22 +821,52 @@ std::string Server::HandleWrite(const Request& request,
   WritesCounter()->Add(1);
   ++writes_since_fold_;
 
-  // Re-derive consequences. The fact is already durably committed, so a
-  // guard trip here degrades the response to PARTIAL (the derived state is
-  // a sound prefix; a later write, fold, or restart completes it) instead
-  // of misreporting the commit as failed.
+  // Derive the write's consequences. The fast path maintains the fixpoint
+  // in place (only the delta's consequences are computed and charged
+  // against the request budget, so the acknowledgement stays exact); it
+  // requires the derived state to be a complete fixpoint and falls back to
+  // the classic full re-derivation otherwise. The fact is already durably
+  // committed either way, so a guard trip degrades the response to PARTIAL
+  // (the derived state is a sound prefix; a later write, fold, or restart
+  // completes it) instead of misreporting the commit as failed.
   bool exhausted = false;
   std::string reason;
   if (changed) {
-    if (!is_add) ClearDerivedRelations();
-    eval::EvalOptions options = BaseEvalOptions();
-    options.guard = g;
-    options.on_exhaustion = eval::EvalOptions::OnExhaustion::kPartial;
-    eval::Evaluator evaluator(data_dir_->db(), options);
-    Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
-    if (!stats.ok()) return ErrorLine(stats.status());
-    exhausted = stats->exhausted;
-    reason = stats->exhausted_reason;
+    bool maintained = false;
+    if (config_.maintain && derived_complete_ && maintainer_ != nullptr &&
+        maintainer_->usable()) {
+      std::vector<eval::FactDelta> ins;
+      std::vector<eval::FactDelta> del;
+      (is_add ? ins : del).push_back(eval::FactDelta{predicate, values});
+      Result<eval::MaintainStats> ms = maintainer_->ApplyDelta(ins, del, g);
+      if (ms.ok()) {
+        maintained = true;
+        ivm_applied_total_.fetch_add(1, std::memory_order_relaxed);
+        IvmAppliedCounter()->Add(1);
+      } else {
+        // The derived state may be mid-maintenance: rebuild it from the
+        // base facts below. ClearDerivedRelations also resets the
+        // maintainer, whose counts re-prime lazily after the rebuild.
+        ivm_fallbacks_total_.fetch_add(1, std::memory_order_relaxed);
+        IvmFallbacksCounter()->Add(1);
+        log::Warn("server", "incremental maintenance failed; re-deriving "
+                            "from base facts",
+                  {{"error", ms.status().ToString()}});
+        ClearDerivedRelations();
+      }
+    }
+    if (!maintained) {
+      if (!is_add) ClearDerivedRelations();
+      eval::EvalOptions options = BaseEvalOptions();
+      options.guard = g;
+      options.on_exhaustion = eval::EvalOptions::OnExhaustion::kPartial;
+      eval::Evaluator evaluator(data_dir_->db(), options);
+      Result<eval::EvalStats> stats = evaluator.Evaluate(program_);
+      if (!stats.ok()) return ErrorLine(stats.status());
+      exhausted = stats->exhausted;
+      reason = stats->exhausted_reason;
+      derived_complete_ = !exhausted;
+    }
   }
 
   if (config_.checkpoint_every_writes > 0 &&
@@ -1127,7 +1269,8 @@ std::string Server::HandleHealth() {
   }
   // Appended last for the same prefix-match reason as the replication
   // fields above.
-  line += StrFormat(" version=%s uptime_s=%lld", dire::kVersion,
+  line += StrFormat(" maintain=%d version=%s uptime_s=%lld",
+                    config_.maintain ? 1 : 0, dire::kVersion,
                     static_cast<long long>(UptimeSeconds()));
   return line;
 }
@@ -1156,6 +1299,12 @@ std::string Server::HandleStats() {
   line("partial_total", partial_total_.load(std::memory_order_relaxed));
   line("writes_total", writes_total_.load(std::memory_order_relaxed));
   line("checkpoints_total", folds_total_.load(std::memory_order_relaxed));
+  line("maintain", config_.maintain ? 1 : 0);
+  line("ivm_applied_total",
+       ivm_applied_total_.load(std::memory_order_relaxed));
+  line("ivm_fallbacks_total",
+       ivm_fallbacks_total_.load(std::memory_order_relaxed));
+  line("recovered_maintained", recovered_maintained_ ? 1 : 0);
   line("relations", relations);
   line("tuples", tuples);
   // Replication and connection-hygiene counters (appended after the

@@ -18,6 +18,7 @@
 #include "base/thread_pool.h"
 #include "eval/checkpoint.h"
 #include "eval/evaluator.h"
+#include "eval/maintain.h"
 #include "server/admission.h"
 #include "server/http.h"
 #include "server/protocol.h"
@@ -46,6 +47,19 @@ struct ServerConfig {
   // re-derivation always degrades to PARTIAL: by the time the guard can
   // trip, the fact is already durably committed, so ERROR would misreport.
   bool partial_on_exhaustion = false;
+
+  // Maintain the derived fixpoint incrementally on writes (counting for
+  // non-recursive strata, delete-and-rederive for recursive ones; see
+  // eval/maintain.h) instead of re-deriving everything from the base
+  // facts. Only the write's own consequences are derived and charged
+  // against the request budget, so small writes get exact (non-PARTIAL)
+  // acknowledgements. When maintenance cannot apply (unstratifiable
+  // program, mid-maintenance failure, derived state not at fixpoint) the
+  // server transparently falls back to the full re-derivation path.
+  // Recovery also maintains: when the snapshot carries a completed
+  // checkpoint of this program, the WAL tail's net effect is applied to
+  // the checkpointed fixpoint instead of re-deriving from scratch.
+  bool maintain = true;
 
   // Fold the WAL into a fresh snapshot after this many durable writes
   // (plus once at shutdown); 0 folds only at shutdown. Between folds a
@@ -184,11 +198,20 @@ class Server {
  private:
   Server(ServerConfig config, ast::Program program, std::string program_text);
 
-  // Opens the data dir (lock + snapshot + WAL replay), clears derived
-  // relations, evaluates to fixpoint, and takes the initial checkpoint.
-  // Refuses to start as primary on a fenced directory (a deposed primary
-  // fails closed).
+  // Opens the data dir (lock + snapshot + WAL replay), rebuilds the
+  // derived fixpoint, and takes the initial checkpoint. With maintenance
+  // enabled and a matching completed checkpoint in the snapshot, the
+  // rebuild applies the WAL tail's net effect to the checkpointed
+  // fixpoint (TryMaintainedRecovery); otherwise derived relations are
+  // cleared and re-derived from the base facts. Refuses to start as
+  // primary on a fenced directory (a deposed primary fails closed).
   Status Recover();
+
+  // The maintenance-based recovery fast path. Returns true when the
+  // derived state has been brought to the fixpoint and checkpointed;
+  // false means the caller must fall back to clear + full re-derivation
+  // (never an error: recovery by re-derivation is always possible).
+  bool TryMaintainedRecovery();
 
   // Accept loop (own thread): polls the listen socket, spawns one detached
   // connection thread per client.
@@ -268,6 +291,9 @@ class Server {
   // Drops every relation a rule head derives into. Base facts are not
   // touched (writes to derived predicates are rejected at the protocol
   // level, and program-file facts are re-loaded by the next Evaluate).
+  // Also resets the maintainer (its derivation counts lived inside the
+  // dropped relations) and marks the derived state incomplete until the
+  // next full evaluation converges.
   void ClearDerivedRelations();
 
   // EvalOptions shared by every re-derivation.
@@ -284,6 +310,18 @@ class Server {
 
   std::unique_ptr<storage::DataDir> data_dir_;
   std::unique_ptr<eval::DataDirCheckpointer> checkpointer_;
+  // Incremental view maintenance over data_dir_->db() (created in Recover,
+  // used only under the exclusive db_mu_). Null until recovery.
+  std::unique_ptr<eval::Maintainer> maintainer_;
+  // Whether the derived relations currently hold the complete fixpoint
+  // (maintenance requires it; a guard-tripped PARTIAL re-derivation clears
+  // it until a full evaluation converges). Guarded by db_mu_.
+  bool derived_complete_ = false;
+  // Whether startup recovery maintained the WAL tail onto a checkpointed
+  // fixpoint instead of re-deriving from the base facts (surfaced as the
+  // `recovered_maintained` STATS line; chaos tests assert on it). Set once
+  // in Recover, read-only afterwards.
+  bool recovered_maintained_ = false;
   // Readers (QUERY, STATS) shared; writers (ADD, RETRACT, recovery,
   // shutdown checkpoint, replicated batches) exclusive. Sits above
   // DataDir's commit mutex.
@@ -323,6 +361,8 @@ class Server {
   std::atomic<uint64_t> partial_total_{0};
   std::atomic<uint64_t> writes_total_{0};
   std::atomic<uint64_t> folds_total_{0};
+  std::atomic<uint64_t> ivm_applied_total_{0};
+  std::atomic<uint64_t> ivm_fallbacks_total_{0};
   std::atomic<uint64_t> readonly_rejected_total_{0};
   std::atomic<uint64_t> idle_disconnects_total_{0};
   std::atomic<uint64_t> repl_records_applied_total_{0};

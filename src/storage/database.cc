@@ -90,14 +90,14 @@ Result<bool> Database::RemoveRow(const std::string& name,
     if (id == SymbolTable::kMissing) return false;  // Never interned.
     target.push_back(id);
   }
-  if (!rel->Contains(target)) return false;
-  auto rebuilt = std::make_unique<Relation>(name, rel->arity());
-  rebuilt->Reserve(rel->size() - 1);
-  for (RowRef t : rel->rows()) {
-    if (!RowEquals(t, target)) rebuilt->Insert(t);
-  }
-  relations_[name] = std::move(rebuilt);
-  return true;
+  return rel->EraseRow(target);
+}
+
+size_t Database::RemoveMatching(const std::string& name,
+                                const Relation& drop) {
+  Relation* rel = Find(name);
+  if (rel == nullptr || drop.empty()) return 0;
+  return rel->EraseMatching(drop);
 }
 
 bool Database::Drop(const std::string& name) {

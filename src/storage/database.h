@@ -44,12 +44,21 @@ class Database {
                 const std::vector<std::string>& values);
 
   // Removes one tuple of constant spellings from relation `name`; returns
-  // true if it was present. The relation is rebuilt without the tuple, so
-  // its indexes, column sketches, and dedup set stay exact (sketches are
-  // add-only and cannot unlearn a value in place). O(relation size) — used
-  // by durable retraction, never by evaluation.
+  // true if it was present. In-place compaction (Relation::EraseRow):
+  // surviving rows keep their order, built indexes and the dedup set are
+  // patched rather than dropped, and column sketches become upper bounds
+  // (they are add-only and cannot unlearn a value). Used by durable
+  // retraction and incremental maintenance, never by evaluation.
   Result<bool> RemoveRow(const std::string& name,
                          const std::vector<std::string>& values);
+
+  // Removes from relation `name` every row present in `drop` (matched by
+  // tuple value; `drop` must have the same arity). Surviving rows keep
+  // their derivation counts when counting is enabled. Same in-place
+  // compaction as RemoveRow, one pass for the whole batch — a one-tuple
+  // maintenance delta must not pay a relation-sized index rebuild on the
+  // next probe. Returns the number of rows removed.
+  size_t RemoveMatching(const std::string& name, const Relation& drop);
 
   // Removes the relation named `name`; returns true if it existed. Used by
   // recovery to strip checkpoint-internal sections ("$delta:...") after a

@@ -221,6 +221,10 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
     // Deltas are trusted only when the meta that locates them survived too.
     if (!rec.has_meta) rec.deltas.clear();
   }
+  // Keep the pre-replay view: WAL replay below invalidates recovered_, but
+  // maintenance-based recovery still wants to know where the snapshot's
+  // checkpoint stood (see checkpoint_at_snapshot()).
+  self->checkpoint_at_snapshot_ = self->recovered_;
 
   // 2. Replication base: the durable (epoch, lsn, fenced) identity as of
   //    the last checkpoint or control record. WAL records stamped after it
@@ -255,11 +259,38 @@ Result<std::unique_ptr<DataDir>> DataDir::Open(const std::string& dir,
           fenced = record.fenced;
           return Status::Ok();
         }
+        // Was the tuple present before this record applied? Decides the
+        // record's effectiveness for wal_tail() (the journal holds
+        // ineffective records: appends are journaled before the set-semantic
+        // insert, retractions before the presence check).
+        auto present_now = [&]() -> bool {
+          const Relation* rel = self->db_.Find(record.relation);
+          if (rel == nullptr || rel->arity() != record.values.size()) {
+            return false;
+          }
+          Tuple t;
+          t.reserve(record.values.size());
+          for (const std::string& v : record.values) {
+            ValueId id = self->db_.symbols().Find(v);
+            if (id == SymbolTable::kMissing) return false;
+            t.push_back(id);
+          }
+          return rel->Contains(t);
+        };
+        WalTailOp op;
+        op.insert = record.op != WalRecord::Op::kRetract;
+        op.relation = record.relation;
+        op.values = record.values;
         if (record.op == WalRecord::Op::kRetract) {
           Result<bool> removed =
               self->db_.RemoveRow(record.relation, record.values);
-          return removed.ok() ? Status::Ok() : removed.status();
+          if (!removed.ok()) return removed.status();
+          op.effective = removed.value();
+          self->wal_tail_.push_back(std::move(op));
+          return Status::Ok();
         }
+        op.effective = !present_now();
+        self->wal_tail_.push_back(std::move(op));
         return self->db_.AddRow(record.relation, record.values);
       }));
 

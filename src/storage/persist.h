@@ -91,6 +91,32 @@ class DataDir {
   const std::string& replstate_path() const { return replstate_path_; }
   const RecoveredCheckpoint& recovered() const { return recovered_; }
 
+  // One data record replayed from the WAL during Open, with whether it
+  // actually changed the database (AppendFact/RetractFact journal
+  // unconditionally, so the log may hold inserts of already-present tuples
+  // and retractions of absent ones; `effective` is computed against the
+  // database state at replay time). Epoch control records are not listed.
+  struct WalTailOp {
+    bool insert = false;
+    bool effective = false;
+    std::string relation;
+    std::vector<std::string> values;
+  };
+
+  // The data records replayed over the snapshot, in WAL order. Bounded by
+  // the checkpoint cadence (checkpointing resets the log).
+  const std::vector<WalTailOp>& wal_tail() const { return wal_tail_; }
+
+  // The checkpoint state as the snapshot recorded it, BEFORE WAL replay.
+  // recovered() is cleared whenever any record replays (the checkpoint's
+  // notion of evaluation progress is stale for the merged state); recovery
+  // by incremental maintenance instead starts from this checkpointed
+  // fixpoint and applies the net effect of wal_tail() to the derived
+  // relations, which is why the pre-replay copy is kept.
+  const RecoveredCheckpoint& checkpoint_at_snapshot() const {
+    return checkpoint_at_snapshot_;
+  }
+
   // Replication identity, readable without the commit mutex (writers update
   // under it). epoch() == 0 marks a directory mid-resync: its local state
   // must not be trusted for resumable streaming.
@@ -210,6 +236,8 @@ class DataDir {
   Database db_;
   std::unique_ptr<Wal> wal_;
   RecoveredCheckpoint recovered_;
+  RecoveredCheckpoint checkpoint_at_snapshot_;
+  std::vector<WalTailOp> wal_tail_;
   std::atomic<uint64_t> epoch_{1};
   std::atomic<uint64_t> lsn_{0};
   std::atomic<bool> fenced_{false};

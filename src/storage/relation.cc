@@ -56,6 +56,7 @@ bool Relation::InsertHashed(RowRef t, uint64_t hash) {
   }
   arena_.insert(arena_.end(), t.begin(), t.end());
   ++num_rows_;
+  if (counts_enabled_) counts_.push_back(0);
   slots_[idx] = Slot{hash, row_id};
   ++used_slots_;
   if (used_slots_ * 8 >= slots_.size() * 7) GrowTable();
@@ -79,6 +80,138 @@ bool Relation::InsertHashed(RowRef t, uint64_t hash) {
   return true;
 }
 
+bool Relation::EraseRow(RowRef t) {
+  assert(t.size() == arity_);
+  uint32_t r = FindRow(t);
+  if (r == kNoRow) return false;
+  EraseRows({r});
+  return true;
+}
+
+size_t Relation::EraseMatching(const Relation& drop) {
+  std::vector<uint32_t> dropped;
+  for (RowRef t : drop.rows()) {
+    uint32_t r = FindRow(t);
+    if (r != kNoRow) dropped.push_back(r);
+  }
+  if (dropped.empty()) return 0;
+  // drop iterates in its own insertion order; compaction wants ours.
+  std::sort(dropped.begin(), dropped.end());
+  EraseRows(dropped);
+  return dropped.size();
+}
+
+void Relation::EraseRows(const std::vector<uint32_t>& dropped) {
+  assert(!dropped.empty());
+  // Survivor remap: new id = old id minus the dropped rows before it.
+  // kEmptySlot (an impossible row id) marks a dropped row.
+  std::vector<uint32_t> remap(num_rows_);
+  {
+    size_t d = 0;
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (d < dropped.size() && dropped[d] == r) {
+        remap[r] = kEmptySlot;
+        ++d;
+      } else {
+        remap[r] = r - static_cast<uint32_t>(d);
+      }
+    }
+    assert(d == dropped.size());
+  }
+  // Dedup table, before the arena moves (the probes below hash row data).
+  // Two steps, both in place: delete each dropped row's slot with backward
+  // shifting, so linear-probe chains stay intact, then remap the surviving
+  // slots' row ids in one sequential pass. (Re-placing the whole table
+  // into a fresh allocation costs a cache-hostile random write per row —
+  // measurably the bulk of a one-tuple retraction at scale.)
+  {
+    const size_t mask = slots_.size() - 1;
+    for (uint32_t r : dropped) {
+      size_t i;
+      bool found = FindSlot(row(r), HashRow(row(r)), &i);
+      assert(found);
+      (void)found;
+      // Backward-shift deletion: close the hole at `i` by pulling forward
+      // the next cluster entry that is allowed to live at or before `i`
+      // (its home position is cyclically outside (i, j]), repeating from
+      // the moved entry's old position until the cluster ends.
+      size_t j = i;
+      while (true) {
+        slots_[i].row = kEmptySlot;
+        while (true) {
+          j = (j + 1) & mask;
+          if (slots_[j].row == kEmptySlot) goto next_dropped;
+          size_t home = static_cast<size_t>(slots_[j].hash) & mask;
+          if (((j - home) & mask) >= ((j - i) & mask)) break;
+        }
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    next_dropped:;
+    }
+    for (Slot& s : slots_) {
+      if (s.row != kEmptySlot) s.row = remap[s.row];
+    }
+    used_slots_ -= dropped.size();
+  }
+  // Arena and counts: shift survivors down, preserving their order.
+  {
+    size_t w = 0;
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (remap[r] == kEmptySlot) continue;
+      if (w != r) {
+        std::copy_n(arena_.begin() + static_cast<ptrdiff_t>(r * arity_),
+                    arity_,
+                    arena_.begin() + static_cast<ptrdiff_t>(w * arity_));
+        if (counts_enabled_) counts_[w] = counts_[r];
+      }
+      ++w;
+    }
+    num_rows_ = w;
+    arena_.resize(w * arity_);
+    if (counts_enabled_) counts_.resize(w);
+  }
+  // Built indexes: filter and remap each bucket / run in place. The remap
+  // is monotone on survivors, so ascending-row buckets stay ascending and
+  // (value, row) runs stay sorted; emptied buckets just probe to nothing.
+  for (ColumnIndex& index : indexes_) {
+    if (!index.built) continue;
+    for (auto& [value, rows] : index.buckets) {
+      size_t w = 0;
+      for (uint32_t r : rows) {
+        if (remap[r] != kEmptySlot) rows[w++] = remap[r];
+      }
+      rows.resize(w);
+    }
+  }
+  for (auto& [cols, index] : composite_indexes_) {
+    for (auto& [key, rows] : index.buckets) {
+      size_t w = 0;
+      for (uint32_t r : rows) {
+        if (remap[r] != kEmptySlot) rows[w++] = remap[r];
+      }
+      rows.resize(w);
+    }
+  }
+  for (SortedIndex& index : sorted_indexes_) {
+    if (!index.built) continue;
+    size_t covered_dropped = 0;
+    for (std::vector<uint32_t>& run : index.runs) {
+      size_t w = 0;
+      for (uint32_t r : run) {
+        if (remap[r] != kEmptySlot) run[w++] = remap[r];
+      }
+      covered_dropped += run.size() - w;
+      run.resize(w);
+    }
+    // Rows in [0, covered_rows) were distributed over the runs, so the
+    // dropped-but-covered count is exactly what the runs lost.
+    index.covered_rows -= covered_dropped;
+  }
+  // Sketches are insert-only approximations; erased values stay absorbed
+  // (DistinctEstimate becomes an upper bound -- see the header comment).
+}
+
 void Relation::GrowTable() {
   ++alloc_events_;
   std::vector<Slot> grown(slots_.size() * 2, Slot{0, kEmptySlot});
@@ -98,6 +231,7 @@ void Relation::Reserve(size_t additional) {
     ++alloc_events_;
     arena_.reserve(total_rows * arity_);
   }
+  if (counts_enabled_) counts_.reserve(total_rows);
   // Size the table so `total_rows` occupied slots stay under the 7/8 load
   // cap without another rehash.
   size_t want = kInitialSlots;
@@ -325,6 +459,7 @@ size_t Relation::ApproxBytes() const {
   constexpr size_t kPerBucketOverhead = 32;
   size_t bytes = sizeof(Relation) + arena_.capacity() * sizeof(ValueId) +
                  slots_.capacity() * sizeof(Slot) +
+                 counts_.capacity() * sizeof(int64_t) +
                  sketches_.size() * ColumnSketch::ApproxBytes();
   for (const ColumnIndex& index : indexes_) {
     if (!index.built) continue;
@@ -354,6 +489,8 @@ void Relation::Clear() {
   arena_.clear();
   arena_.shrink_to_fit();
   num_rows_ = 0;
+  counts_.clear();
+  counts_.shrink_to_fit();
   slots_.assign(kInitialSlots, Slot{0, kEmptySlot});
   slots_.shrink_to_fit();
   used_slots_ = 0;

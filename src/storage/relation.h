@@ -42,7 +42,12 @@ namespace dire::storage {
 // Both return matching row ids in ascending row order, so results are
 // identical (byte for byte) whichever index a plan picked.
 //
-// Insert-only (evaluation never deletes); Clear() resets everything.
+// Evaluation never deletes, but incremental maintenance does: EraseRow /
+// EraseMatching compact the arena in place (surviving rows keep their
+// relative order, so iteration matches a from-scratch rebuild) and patch
+// the dedup table and every built index instead of dropping them — a
+// one-tuple retraction must not cost a relation-sized index rebuild on the
+// next probe. Clear() resets everything.
 //
 // Thread-safety: none of the mutating members may race, but every const
 // member is safe to call concurrently with other const members. The
@@ -91,6 +96,15 @@ class Relation {
     size_t idx;
     return FindSlot(t, hash, &idx);
   }
+
+  // Removes `t` if present; returns whether a row was erased. In-place:
+  // later rows shift down by one id, built indexes are patched, and
+  // surviving rows keep their relative (insertion) order.
+  bool EraseRow(RowRef t);
+
+  // Removes every row present in `drop`; returns how many were erased.
+  // One compaction pass regardless of how many rows match.
+  size_t EraseMatching(const Relation& drop);
 
   // Pre-sizes the arena and the dedup table for `additional` further
   // inserts, so bulk loads (snapshot sections, CSV files, staging merges)
@@ -223,7 +237,9 @@ class Relation {
   // distinct values in column `col`, maintained incrementally on every
   // insert (bulk loads and staging merges funnel through Insert, so the
   // sketch absorbs each path exactly once; duplicates are idempotent).
-  // Equals a from-scratch recount of the same tuple set by construction.
+  // Equals a from-scratch recount for insert-only relations; erased rows
+  // are not forgotten, so after deletions it is an upper bound — fine for
+  // the planner, which only needs relative magnitudes.
   size_t DistinctEstimate(size_t col) const {
     return col < sketches_.size() ? sketches_[col].DistinctEstimate() : 0;
   }
@@ -258,6 +274,45 @@ class Relation {
   // inner loop's no-allocation contract is asserted against this counter:
   // a candidate stream that only hits duplicates must not move it.
   uint64_t alloc_events() const { return alloc_events_; }
+
+  // --- Derivation counts -----------------------------------------------
+  // Opt-in per-row multiplicity storage for incremental view maintenance:
+  // count[row] = number of distinct rule-body derivations of the tuple in
+  // row `row`. Counting maintenance adjusts these as signed deltas flow
+  // through a stratum and deletes a tuple exactly when its count reaches
+  // zero (DESIGN.md §13). Counts are in-memory bookkeeping only: they are
+  // never serialized, so snapshots remain a pure function of the tuple
+  // set, and they are recomputed lazily after recovery. New rows start at
+  // count 0; the maintainer adds derivations explicitly.
+
+  // Allocates the per-row count vector (all zero). Idempotent: a second
+  // call keeps existing counts. Survives Clear() as an empty vector.
+  void EnableCounts() {
+    if (!counts_enabled_) {
+      counts_enabled_ = true;
+      counts_.assign(num_rows_, 0);
+    }
+  }
+  bool counts_enabled() const { return counts_enabled_; }
+  int64_t CountAt(size_t row) const {
+    return counts_enabled_ && row < counts_.size() ? counts_[row] : 0;
+  }
+  void AdjustCount(size_t row, int64_t delta) {
+    if (counts_enabled_ && row < counts_.size()) counts_[row] += delta;
+  }
+  void SetCount(size_t row, int64_t value) {
+    if (counts_enabled_ && row < counts_.size()) counts_[row] = value;
+  }
+
+  // Row id holding tuple `t`, or kNoRow when absent. Lets the maintainer
+  // adjust the count of an existing tuple without a second hash.
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+  uint32_t FindRow(RowRef t) const { return FindRowHashed(t, HashRow(t)); }
+  uint32_t FindRowHashed(RowRef t, uint64_t hash) const {
+    size_t idx;
+    if (!FindSlot(t, hash, &idx)) return kNoRow;
+    return slots_[idx].row;
+  }
 
   // Multi-line dump "name(a,b)" per row, using `symbols` to render values.
   std::string ToString(const SymbolTable& symbols) const;
@@ -322,6 +377,11 @@ class Relation {
   void GrowTable();
 
   void BuildIndex(size_t col);
+  // Compacts away `dropped` (sorted, unique row ids): shifts the arena and
+  // counts, re-places the dedup table from stored hashes, and remaps every
+  // built index's row ids. The remap is monotone on survivors, so all
+  // index orderings (ascending buckets, (value, row) runs) are preserved.
+  void EraseRows(const std::vector<uint32_t>& dropped);
   CompositeIndex& BuildCompositeIndex(const std::vector<int>& cols);
   static Tuple ProjectRow(RowRef row, const std::vector<int>& cols);
   void MergeSortedRuns(size_t col, SortedIndex* index);
@@ -336,6 +396,9 @@ class Relation {
   std::vector<Slot> slots_;  // Power-of-two sized; see FindSlot.
   size_t used_slots_ = 0;
   uint64_t alloc_events_ = 0;
+  // Per-row derivation counts, parallel to rows; empty unless EnableCounts.
+  bool counts_enabled_ = false;
+  std::vector<int64_t> counts_;
   std::vector<ColumnIndex> indexes_;
   std::vector<SortedIndex> sorted_indexes_;
   // Keyed by the sorted column set; std::map keeps iterators and mapped

@@ -1,0 +1,352 @@
+// Property tests for incremental view maintenance (eval/maintain.h). The
+// invariant under test: a maintained database — derived tuples AND their
+// in-memory derivation counts — is a pure function of the base-fact set,
+// never of the path that produced it. Concretely:
+//
+//   * counts are order-independent: any two delta interleavings that reach
+//     the same base facts leave bit-identical per-tuple counts;
+//   * incremental counting matches a from-scratch recount exactly (the
+//     recount is a fresh Maintainer priming its counts over a fresh
+//     evaluation of the same base facts);
+//   * maintained state survives snapshot and WAL-replay round trips:
+//     counts never serialize (snapshots stay byte-identical to a
+//     from-scratch evaluation), and maintenance keeps working after a
+//     reload, re-priming lazily — including the recovery shape the server
+//     uses, where the WAL tail's net effect is applied on top of a
+//     checkpointed fixpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "dire.h"
+#include "eval/checkpoint.h"
+#include "eval/maintain.h"
+#include "storage/persist.h"
+#include "storage/snapshot.h"
+#include "tests/test_util.h"
+
+namespace dire {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A two-rule non-recursive program where one tuple typically has several
+// derivations (direct edge plus every length-2 path), so counting — not
+// mere set membership — is what keeps deletions sound.
+constexpr char kCountingProgram[] =
+    "t(X, Y) :- e(X, Y).\n"
+    "t(X, Y) :- e(X, Z), e(Z, Y).\n";
+
+// A recursive program on the same EDB, for the DRed side.
+constexpr char kRecursiveProgram[] =
+    "r(X, Y) :- e(X, Y).\n"
+    "r(X, Y) :- e(X, Z), r(Z, Y).\n";
+
+std::string Sym(const char* prefix, uint64_t n) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  return out;
+}
+
+using BaseSet = std::set<std::vector<std::string>>;
+
+struct Delta {
+  bool insert = false;
+  std::vector<std::string> values;
+};
+
+// Derivation counts of `rel` keyed by spelled-out tuple, independent of
+// row order and symbol-id assignment.
+std::map<std::vector<std::string>, int64_t> CountMap(
+    const storage::Database& db, const std::string& rel) {
+  std::map<std::vector<std::string>, int64_t> out;
+  const storage::Relation* r = db.Find(rel);
+  if (r == nullptr) return out;
+  size_t i = 0;
+  for (storage::RowRef t : r->rows()) {
+    std::vector<std::string> spelled;
+    for (storage::ValueId id : t) spelled.push_back(db.symbols().Name(id));
+    out[spelled] = r->CountAt(i);
+    ++i;
+  }
+  return out;
+}
+
+// Applies `deltas` one at a time through a Maintainer over `program_text`,
+// starting from `initial`. Returns the database; asserts every step.
+struct MaintainedRun {
+  storage::Database db;
+  std::unique_ptr<eval::Maintainer> maintainer;
+  BaseSet base;
+};
+
+void RunMaintained(const std::string& program_text, const BaseSet& initial,
+                   const std::vector<Delta>& deltas, MaintainedRun* run) {
+  Result<ast::Program> program = parser::ParseProgram(program_text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_TRUE(run->db.GetOrCreate("e", 2).ok());
+  for (const std::vector<std::string>& t : initial) {
+    ASSERT_TRUE(run->db.AddRow("e", t).ok());
+    run->base.insert(t);
+  }
+  eval::Evaluator ev(&run->db, eval::EvalOptions{});
+  ASSERT_TRUE(ev.Evaluate(*program).ok());
+  run->maintainer = std::make_unique<eval::Maintainer>(&run->db, *program);
+  ASSERT_TRUE(run->maintainer->init_status().ok())
+      << run->maintainer->init_status();
+  for (const Delta& d : deltas) {
+    std::vector<eval::FactDelta> ins;
+    std::vector<eval::FactDelta> del;
+    if (d.insert) {
+      if (!run->base.insert(d.values).second) continue;
+      ASSERT_TRUE(run->db.AddRow("e", d.values).ok());
+      ins.push_back(eval::FactDelta{"e", d.values});
+    } else {
+      if (run->base.erase(d.values) == 0) continue;
+      Result<bool> removed = run->db.RemoveRow("e", d.values);
+      ASSERT_TRUE(removed.ok() && *removed);
+      del.push_back(eval::FactDelta{"e", d.values});
+    }
+    Result<eval::MaintainStats> applied =
+        run->maintainer->ApplyDelta(ins, del);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+  }
+}
+
+// The from-scratch recount: fresh evaluation of `base`, then a fresh
+// Maintainer forced to prime its counts by a net-zero insert/delete pair
+// of a sentinel tuple (counts are primed lazily on first use).
+void Recount(const std::string& program_text, const BaseSet& base,
+             const std::string& derived,
+             std::map<std::vector<std::string>, int64_t>* counts,
+             std::string* snapshot) {
+  MaintainedRun fresh;
+  std::vector<Delta> prime = {{true, {"prime-a", "prime-b"}},
+                              {false, {"prime-a", "prime-b"}}};
+  ASSERT_NO_FATAL_FAILURE(
+      RunMaintained(program_text, base, prime, &fresh));
+  *counts = CountMap(fresh.db, derived);
+  Result<std::string> snap = storage::SaveSnapshot(fresh.db);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  *snapshot = *snap;
+}
+
+std::vector<std::string> RandomEdge(Rng* rng, size_t domain) {
+  return {Sym("n", rng->Uniform(domain)), Sym("n", rng->Uniform(domain))};
+}
+
+TEST(IvmProperty, CountsAreOrderIndependentAndMatchRecount) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t domain = 3 + rng.Uniform(5);
+    BaseSet initial;
+    size_t seed_edges = 4 + rng.Uniform(10);
+    for (size_t i = 0; i < seed_edges; ++i) {
+      initial.insert(RandomEdge(&rng, domain));
+    }
+    std::vector<Delta> deltas;
+    size_t num_deltas = 4 + rng.Uniform(10);
+    for (size_t i = 0; i < num_deltas; ++i) {
+      deltas.push_back(Delta{rng.Chance(0.5), RandomEdge(&rng, domain)});
+    }
+    // A second interleaving: the same deltas in reverse with a cancelling
+    // insert/delete pair spliced in. (Reversal changes which applications
+    // are no-ops, so the two runs may take entirely different paths; they
+    // must still land on base sets built from the same spellings.)
+    std::vector<Delta> reversed(deltas.rbegin(), deltas.rend());
+    reversed.push_back(Delta{true, {"zz", "zz"}});
+    reversed.push_back(Delta{false, {"zz", "zz"}});
+
+    MaintainedRun a;
+    ASSERT_NO_FATAL_FAILURE(
+        RunMaintained(kCountingProgram, initial, deltas, &a));
+    MaintainedRun b;
+    ASSERT_NO_FATAL_FAILURE(
+        RunMaintained(kCountingProgram, initial, reversed, &b));
+
+    if (a.base == b.base) {
+      EXPECT_EQ(CountMap(a.db, "t"), CountMap(b.db, "t"))
+          << "trial " << trial
+          << ": counts depend on the delta interleaving";
+    }
+    // Either way, each run must match its own from-scratch recount.
+    for (MaintainedRun* run : {&a, &b}) {
+      std::map<std::vector<std::string>, int64_t> recount;
+      std::string expected_snapshot;
+      ASSERT_NO_FATAL_FAILURE(Recount(kCountingProgram, run->base, "t",
+                                      &recount, &expected_snapshot));
+      EXPECT_EQ(CountMap(run->db, "t"), recount)
+          << "trial " << trial
+          << ": incremental counts diverged from a recount";
+      Result<std::string> snap = storage::SaveSnapshot(run->db);
+      ASSERT_TRUE(snap.ok());
+      EXPECT_EQ(*snap, expected_snapshot)
+          << "trial " << trial << ": snapshot bytes diverged";
+    }
+  }
+}
+
+TEST(IvmProperty, MaintainedStateSurvivesSnapshotRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t domain = 3 + rng.Uniform(4);
+    BaseSet initial;
+    for (size_t i = 0; i < 6 + rng.Uniform(6); ++i) {
+      initial.insert(RandomEdge(&rng, domain));
+    }
+    std::vector<Delta> first;
+    for (size_t i = 0; i < 5; ++i) {
+      first.push_back(Delta{rng.Chance(0.5), RandomEdge(&rng, domain)});
+    }
+    MaintainedRun before;
+    ASSERT_NO_FATAL_FAILURE(
+        RunMaintained(kRecursiveProgram, initial, first, &before));
+
+    // Counts are in-memory only: the snapshot must load with counting
+    // disabled everywhere, and its bytes must equal a from-scratch
+    // evaluation of the same base facts.
+    Result<std::string> saved = storage::SaveSnapshot(before.db);
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    storage::Database reloaded;
+    ASSERT_TRUE(storage::LoadSnapshot(&reloaded, *saved).ok());
+    for (const std::string& name : reloaded.RelationNames()) {
+      EXPECT_FALSE(reloaded.Find(name)->counts_enabled())
+          << name << ": derivation counts leaked into the snapshot";
+    }
+
+    // Maintenance continues on the reloaded database (fresh maintainer,
+    // counts re-prime lazily) and still tracks the from-scratch state.
+    Result<ast::Program> program = parser::ParseProgram(kRecursiveProgram);
+    ASSERT_TRUE(program.ok());
+    eval::Maintainer maintainer(&reloaded, *program);
+    ASSERT_TRUE(maintainer.init_status().ok());
+    BaseSet base = before.base;
+    for (size_t i = 0; i < 5; ++i) {
+      Delta d{rng.Chance(0.5), RandomEdge(&rng, domain)};
+      std::vector<eval::FactDelta> ins;
+      std::vector<eval::FactDelta> del;
+      if (d.insert) {
+        if (!base.insert(d.values).second) continue;
+        ASSERT_TRUE(reloaded.AddRow("e", d.values).ok());
+        ins.push_back(eval::FactDelta{"e", d.values});
+      } else {
+        if (base.erase(d.values) == 0) continue;
+        Result<bool> removed = reloaded.RemoveRow("e", d.values);
+        ASSERT_TRUE(removed.ok() && *removed);
+        del.push_back(eval::FactDelta{"e", d.values});
+      }
+      Result<eval::MaintainStats> applied = maintainer.ApplyDelta(ins, del);
+      ASSERT_TRUE(applied.ok()) << applied.status();
+    }
+    std::map<std::vector<std::string>, int64_t> recount;
+    std::string expected_snapshot;
+    ASSERT_NO_FATAL_FAILURE(Recount(kRecursiveProgram, base, "r", &recount,
+                                    &expected_snapshot));
+    Result<std::string> final_snap = storage::SaveSnapshot(reloaded);
+    ASSERT_TRUE(final_snap.ok());
+    EXPECT_EQ(*final_snap, expected_snapshot)
+        << "trial " << trial
+        << ": maintained state diverged after a snapshot round trip";
+  }
+}
+
+// The recovery shape the server uses: evaluate, checkpoint at completion,
+// take more durable writes (including ineffective ones), crash-reopen,
+// then maintain the WAL tail's net effect on top of the checkpointed
+// fixpoint instead of re-deriving. The result must be byte-identical to a
+// from-scratch evaluation of the final base facts.
+TEST(IvmProperty, MaintainedRecoveryAcrossWalReplay) {
+  std::string dir = FreshDir("ivm_wal_replay");
+  std::string program_text = kCountingProgram;
+  Result<ast::Program> program = parser::ParseProgram(program_text);
+  ASSERT_TRUE(program.ok());
+  BaseSet base;
+  {
+    Result<std::unique_ptr<storage::DataDir>> opened =
+        storage::DataDir::Open(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    storage::DataDir* dd = opened->get();
+    for (const char* edge : {"a b", "b c", "c d", "a c"}) {
+      std::string from(edge, 1);
+      std::string to(edge + 2, 1);
+      ASSERT_TRUE(dd->AppendFact("e", {from, to}).ok());
+      base.insert({from, to});
+    }
+    eval::Evaluator ev(dd->db(), eval::EvalOptions{});
+    ASSERT_TRUE(ev.Evaluate(*program).ok());
+    eval::Maintainer maintainer(dd->db(), *program);
+    ASSERT_TRUE(maintainer.init_status().ok());
+    eval::DataDirCheckpointer checkpointer(dd,
+                                           eval::ProgramCrc(program_text));
+    ASSERT_TRUE(
+        checkpointer.Checkpoint(maintainer.num_strata(), 0, nullptr).ok());
+
+    // Post-checkpoint WAL tail: one effective insert, one effective
+    // retract, one ineffective insert (already present), one ineffective
+    // retract (absent) — the replay must tell them apart.
+    ASSERT_TRUE(dd->AppendFact("e", {"d", "e"}).ok());
+    base.insert({"d", "e"});
+    bool removed = false;
+    ASSERT_TRUE(dd->RetractFact("e", {"a", "c"}, &removed).ok());
+    ASSERT_TRUE(removed);
+    base.erase({"a", "c"});
+    ASSERT_TRUE(dd->AppendFact("e", {"a", "b"}).ok());  // Already present.
+    ASSERT_TRUE(dd->RetractFact("e", {"x", "y"}, &removed).ok());
+    ASSERT_FALSE(removed);  // Was never there.
+  }
+
+  Result<std::unique_ptr<storage::DataDir>> reopened =
+      storage::DataDir::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  storage::DataDir* dd = reopened->get();
+  const storage::RecoveredCheckpoint& snap = dd->checkpoint_at_snapshot();
+  ASSERT_TRUE(snap.has_meta);
+  ASSERT_TRUE(snap.has_program_crc);
+  EXPECT_EQ(snap.program_crc, eval::ProgramCrc(program_text));
+  EXPECT_EQ(snap.rounds, 0);
+  ASSERT_EQ(dd->wal_tail().size(), 4u);
+  EXPECT_TRUE(dd->wal_tail()[0].effective);   // +e(d, e)
+  EXPECT_TRUE(dd->wal_tail()[1].effective);   // -e(a, c)
+  EXPECT_FALSE(dd->wal_tail()[2].effective);  // +e(a, b): duplicate
+  EXPECT_FALSE(dd->wal_tail()[3].effective);  // -e(x, y): absent
+
+  eval::Maintainer maintainer(dd->db(), *program);
+  ASSERT_TRUE(maintainer.init_status().ok());
+  EXPECT_EQ(snap.stratum, maintainer.num_strata())
+      << "checkpoint is not a completion checkpoint";
+  std::vector<eval::FactDelta> inserts;
+  std::vector<eval::FactDelta> deletes;
+  for (const storage::DataDir::WalTailOp& op : dd->wal_tail()) {
+    if (!op.effective) continue;
+    (op.insert ? inserts : deletes)
+        .push_back(eval::FactDelta{op.relation, op.values});
+  }
+  Result<eval::MaintainStats> applied =
+      maintainer.ApplyDelta(inserts, deletes);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+
+  std::map<std::vector<std::string>, int64_t> recount;
+  std::string expected_snapshot;
+  ASSERT_NO_FATAL_FAILURE(
+      Recount(program_text, base, "t", &recount, &expected_snapshot));
+  EXPECT_EQ(CountMap(*dd->db(), "t"), recount);
+  Result<std::string> recovered_snap = storage::SaveSnapshot(*dd->db());
+  ASSERT_TRUE(recovered_snap.ok());
+  EXPECT_EQ(*recovered_snap, expected_snapshot)
+      << "maintained recovery diverged from a from-scratch re-evaluation";
+}
+
+}  // namespace
+}  // namespace dire

@@ -378,6 +378,76 @@ TEST(Server, TupleBudgetErrorsWhenPartialNotRequested) {
   EXPECT_EQ(response.rfind("ERROR ", 0), 0u) << response;
 }
 
+TEST(Server, RetractDegradesToPartialWithoutMaintenance) {
+  // Regression for the pre-maintenance write path (--no-maintain): a
+  // retraction drops every derived relation and re-derives from the base
+  // facts, charging the WHOLE fixpoint — not just the retraction's own
+  // consequences — against the request budget. On a chain a-b-c-d-f the
+  // post-retract fixpoint alone holds 6 tuples, so a 5-tuple budget
+  // degrades the acknowledgement to PARTIAL even though the commit is
+  // durable and exact.
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_retract_no_maintain");
+  config.request_max_tuples = 5;
+  config.partial_on_exhaustion = true;
+  config.maintain = false;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  for (const char* fact :
+       {"ADD e(a, b)", "ADD e(b, c)", "ADD e(c, d)", "ADD e(d, f)"}) {
+    client.RoundTrip(fact);
+  }
+  std::string response = client.RoundTrip("RETRACT e(d, f)");
+  EXPECT_EQ(response.rfind("PARTIAL removed=1 reason=", 0), 0u) << response;
+
+  std::vector<std::string> stats = client.RoundTripMulti("STATS");
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "maintain 0"), stats.end());
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "ivm_applied_total 0"),
+            stats.end());
+}
+
+TEST(Server, MaintainedRetractStaysExactUnderTupleBudget) {
+  // The same scenario with maintenance on (the default): only the write's
+  // own consequences are derived and charged, so the retraction — which
+  // deletes four unreachable t-tuples and inserts nothing — stays well
+  // under the 5-tuple budget and acknowledges exactly.
+  ServerConfig config;
+  config.data_dir = FreshDir("server_test_retract_maintained");
+  config.request_max_tuples = 5;
+  config.partial_on_exhaustion = true;
+  TestServer ts(config);
+  ts.WaitReady();
+  Client client(ts.port());
+  ASSERT_TRUE(client.connected());
+
+  for (const char* fact :
+       {"ADD e(a, b)", "ADD e(b, c)", "ADD e(c, d)", "ADD e(d, f)"}) {
+    EXPECT_EQ(client.RoundTrip(fact), "OK added=1");
+  }
+  EXPECT_EQ(client.RoundTrip("RETRACT e(d, f)"), "OK removed=1");
+
+  // The maintained fixpoint is the chain a-b-c-d: a reaches b, c, d and —
+  // after the retraction — no longer f. (The full six-tuple fixpoint would
+  // trip the 5-tuple read budget, so query the bound prefix.)
+  std::vector<std::string> answer = client.RoundTripMulti("QUERY t(a, Y)");
+  ASSERT_EQ(answer.size(), 5u);
+  EXPECT_EQ(answer[0], "OK 3");
+  EXPECT_EQ(answer.back(), "END");
+  for (const std::string& row : answer) {
+    EXPECT_EQ(row.find("f"), std::string::npos) << row;
+  }
+
+  std::vector<std::string> stats = client.RoundTripMulti("STATS");
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "maintain 1"), stats.end());
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "ivm_applied_total 5"),
+            stats.end());
+  EXPECT_NE(std::find(stats.begin(), stats.end(), "ivm_fallbacks_total 0"),
+            stats.end());
+}
+
 TEST(Server, ExpensiveQueriesAreRejectedPermanently) {
   ServerConfig config;
   config.data_dir = FreshDir("server_test_pricing");

@@ -136,6 +136,96 @@ TEST(Relation, ClearResetsEverything) {
   EXPECT_TRUE(r.Insert({7}));
 }
 
+TEST(Relation, EraseRowCompactsInPlace) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  r.Insert({3, 4});
+  r.Insert({5, 6});
+  EXPECT_FALSE(r.EraseRow(Tuple{9, 9}));
+  EXPECT_TRUE(r.EraseRow(Tuple{3, 4}));
+  EXPECT_EQ(r.size(), 2u);
+  // Survivors keep their relative (insertion) order under new dense ids.
+  EXPECT_TRUE(RowEquals(r.row(0), Tuple{1, 2}));
+  EXPECT_TRUE(RowEquals(r.row(1), Tuple{5, 6}));
+  EXPECT_FALSE(r.Contains({3, 4}));
+  EXPECT_TRUE(r.Insert({3, 4}));  // Dedup forgot it; re-insert is new.
+  EXPECT_FALSE(r.Insert({5, 6}));
+}
+
+TEST(Relation, ErasePatchesBuiltIndexes) {
+  Relation r("e", 2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  r.Insert({2, 3});
+  r.Insert({1, 4});
+  r.EnsureIndex(0);
+  r.EnsureCompositeIndex({0, 1});
+  r.EnsureSortedIndex(1);
+  ASSERT_TRUE(r.EraseRow(Tuple{1, 3}));
+  // Hash index: remaining (1, *) rows, ascending, without a rebuild.
+  EXPECT_TRUE(r.HasIndex(0));
+  const std::vector<uint32_t>& rows = r.ProbeFrozen(0, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(RowEquals(r.row(rows[0]), Tuple{1, 2}));
+  EXPECT_TRUE(RowEquals(r.row(rows[1]), Tuple{1, 4}));
+  // Composite index: the erased key probes to nothing.
+  EXPECT_TRUE(r.ProbeCompositeFrozen({0, 1}, {1, 3}).empty());
+  EXPECT_EQ(r.ProbeCompositeFrozen({0, 1}, {2, 3}).size(), 1u);
+  // Sorted index still covers every row.
+  EXPECT_TRUE(r.HasSortedIndex(1));
+  std::vector<uint32_t> sorted;
+  r.ProbeSortedFrozen(1, 3, &sorted);
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_TRUE(RowEquals(r.row(sorted[0]), Tuple{2, 3}));
+  // And the patched indexes absorb later inserts like any built index.
+  r.Insert({1, 9});
+  EXPECT_EQ(r.ProbeFrozen(0, 1).size(), 3u);
+}
+
+TEST(Relation, EraseMatchingKeepsCountsAligned) {
+  Relation r("t", 1);
+  r.EnableCounts();
+  for (ValueId v = 0; v < 6; ++v) {
+    r.Insert({v});
+    r.SetCount(v, static_cast<int64_t>(v) * 10);
+  }
+  Relation drop("drop", 1);
+  drop.Insert({1});
+  drop.Insert({4});
+  drop.Insert({9});  // Absent: must not count.
+  EXPECT_EQ(r.EraseMatching(drop), 2u);
+  ASSERT_EQ(r.size(), 4u);
+  const ValueId expect[] = {0, 2, 3, 5};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(RowEquals(r.row(i), Tuple{expect[i]}));
+    EXPECT_EQ(r.CountAt(i), static_cast<int64_t>(expect[i]) * 10);
+  }
+}
+
+TEST(Relation, EraseManyKeepsDedupTableConsistent) {
+  // Enough rows that the dedup table has real collision clusters, so the
+  // backward-shift deletion's chain repair is actually exercised.
+  Relation r("e", 2);
+  for (ValueId v = 0; v < 2000; ++v) r.Insert({v, v % 13});
+  r.EnsureIndex(1);
+  Relation drop("drop", 2);
+  for (ValueId v = 0; v < 2000; v += 3) drop.Insert({v, v % 13});
+  EXPECT_EQ(r.EraseMatching(drop), drop.size());
+  EXPECT_EQ(r.size(), 2000u - drop.size());
+  size_t live = 0;
+  for (ValueId v = 0; v < 2000; ++v) {
+    const bool dropped = v % 3 == 0;
+    EXPECT_NE(r.Contains({v, v % 13}), dropped) << v;
+    if (!dropped) ++live;
+  }
+  size_t indexed = 0;
+  for (ValueId k = 0; k < 13; ++k) indexed += r.ProbeFrozen(1, k).size();
+  EXPECT_EQ(indexed, live);
+  // Erased tuples are insertable again; survivors still deduplicate.
+  EXPECT_TRUE(r.Insert({0, 0}));
+  EXPECT_FALSE(r.Insert({1, 1}));
+}
+
 TEST(Database, GetOrCreateChecksArity) {
   Database db;
   ASSERT_TRUE(db.GetOrCreate("e", 2).ok());
@@ -168,7 +258,7 @@ TEST(Database, RemoveRowDeletesExactlyOneTuple) {
   ASSERT_TRUE(removed.ok()) << removed.status();
   EXPECT_TRUE(*removed);
   EXPECT_EQ(db.DumpRelation("e"), "e(b,c)\n");
-  // The index answers consistently after the rebuild.
+  // The index answers consistently after the in-place erase.
   Relation* e = db.Find("e");
   ASSERT_NE(e, nullptr);
   EXPECT_TRUE(e->Probe(0, db.symbols().Intern("a")).empty());

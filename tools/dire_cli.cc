@@ -63,6 +63,12 @@
 //                         stratum boundaries and completion
 //   --add 'FACT'          durably append a ground fact, e.g. 'e(a, b)'
 //                         (requires --data-dir; fsynced before acknowledged)
+//   --retract 'FACT'      durably retract a ground base fact
+//   --maintain            later --add/--retract also update the derived
+//                         relations incrementally (counting + DRed) instead
+//                         of leaving them stale until the next --eval;
+//                         requires the database to be at the program's
+//                         fixpoint first
 //
 // Recovery after a crash:
 //   dire_cli recover PROGRAM.dl --data-dir DIR [--dump PRED] ...
@@ -91,6 +97,12 @@
 //                               fold the WAL into a fresh snapshot every N
 //                               durable writes (default 32; plus once at
 //                               SIGTERM shutdown)
+//     --no-maintain             disable incremental view maintenance: every
+//                               write re-derives consequences from the base
+//                               facts (retractions drop and rebuild all
+//                               derived relations, so their full derived
+//                               size counts against --request-max-tuples);
+//                               --maintain (default) restores it
 //     --threads N               worker threads inside each evaluation
 //     --crash-at SITE[:SKIP]    chaos testing: SIGKILL the process at the
 //                               named failpoint site's (SKIP+1)-th hit,
@@ -178,6 +190,7 @@
 #include "eval/checkpoint.h"
 #include "eval/explain.h"
 #include "eval/magic.h"
+#include "eval/maintain.h"
 #include "eval/provenance.h"
 #include "server/replication.h"
 #include "server/server.h"
@@ -276,7 +289,7 @@ int Usage() {
                "       [--timeout-ms N] [--max-tuples N] "
                "[--max-memory-mb N] [--on-exhaustion={error,partial}]\n"
                "       [--data-dir DIR] [--checkpoint-every-rounds N] "
-               "[--add FACT]\n"
+               "[--add FACT] [--retract FACT] [--maintain]\n"
                "       [--trace-out=FILE] [--metrics-out=FILE] [--stats] "
                "[--log-level=LEVEL] [--log-json]\n"
                "   or: dire_cli recover PROGRAM.dl --data-dir DIR "
@@ -288,8 +301,8 @@ int Usage() {
                "[--retry-after-ms N] [--max-query-cost N]\n"
                "       [--request-timeout-ms N] [--request-max-tuples N] "
                "[--on-exhaustion={error,partial}]\n"
-               "       [--checkpoint-every-writes N] [--threads N] "
-               "[--crash-at SITE[:SKIP]]\n"
+               "       [--checkpoint-every-writes N] [--no-maintain] "
+               "[--threads N] [--crash-at SITE[:SKIP]]\n"
                "       [--idle-timeout-ms N] [--retry-jitter-seed N] "
                "[--replicate-from HOST:PORT]\n"
                "       [--replication-ack-timeout-ms N] "
@@ -608,6 +621,10 @@ int RunServe(int argc, char** argv) {
       int64_t v = ParseCount(next());
       if (v < 0) return Usage();
       config.checkpoint_every_writes = static_cast<int>(v);
+    } else if (flag == "--maintain") {
+      config.maintain = true;
+    } else if (flag == "--no-maintain") {
+      config.maintain = false;
     } else if (flag == "--threads") {
       int64_t v = ParseCount(next());
       if (v < 1) return Usage();
@@ -999,6 +1016,50 @@ int main(int raw_argc, char** raw_argv) {
     return dire::ast::MakeDefinition(*program, pred);
   };
 
+  // --maintain: later --add/--retract also bring the derived relations to
+  // the new fixpoint incrementally (counting + DRed; see eval/maintain.h)
+  // instead of leaving them stale until the next --eval. Requires the
+  // derived state to already be at the program's fixpoint (a prior --eval
+  // in this invocation, or a data dir whose last evaluation completed).
+  bool maintain = false;
+  std::unique_ptr<dire::eval::Maintainer> maintainer;
+  auto row_present = [&](const std::string& pred,
+                         const std::vector<std::string>& values) {
+    const dire::storage::Relation* rel = db->Find(pred);
+    if (rel == nullptr || rel->arity() != values.size()) return false;
+    dire::storage::Tuple t;
+    t.reserve(values.size());
+    for (const std::string& v : values) {
+      uint32_t id = db->symbols().Find(v);
+      if (id == dire::storage::SymbolTable::kMissing) return false;
+      t.push_back(id);
+    }
+    return rel->Contains(t);
+  };
+  auto maintain_delta = [&](const std::string& pred,
+                            const std::vector<std::string>& values,
+                            bool insert) -> dire::Status {
+    if (maintainer == nullptr) {
+      maintainer =
+          std::make_unique<dire::eval::Maintainer>(db, *program);
+    }
+    if (!maintainer->init_status().ok()) return maintainer->init_status();
+    if (!maintainer->usable()) {
+      return dire::Status::InvalidArgument(
+          "a previous maintenance failed; re-run --eval to rebuild the "
+          "fixpoint");
+    }
+    std::vector<dire::eval::FactDelta> ins;
+    std::vector<dire::eval::FactDelta> del;
+    (insert ? ins : del).push_back(dire::eval::FactDelta{pred, values});
+    dire::Result<dire::eval::MaintainStats> st =
+        maintainer->ApplyDelta(ins, del);
+    if (!st.ok()) return st.status();
+    std::printf("maintained: +%zu -%zu derived tuple(s)\n",
+                st->tuples_inserted, st->tuples_deleted);
+    return dire::Status::Ok();
+  };
+
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -1055,9 +1116,44 @@ int main(int raw_argc, char** raw_argv) {
         }
         values.push_back(t.text());
       }
+      const bool was_present = row_present(atom->predicate, values);
       dire::Status appended = data_dir->AppendFact(atom->predicate, values);
       if (!appended.ok()) return Fail(appended);
       std::printf("added %s (durable)\n", atom->ToString().c_str());
+      if (maintain && !was_present) {
+        dire::Status m = maintain_delta(atom->predicate, values, true);
+        if (!m.ok()) return Fail(m);
+      }
+    } else if (flag == "--retract") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      if (data_dir == nullptr) {
+        std::fprintf(stderr, "error: --retract requires --data-dir\n");
+        return Usage();
+      }
+      dire::Result<dire::ast::Atom> atom = dire::parser::ParseAtom(text);
+      if (!atom.ok()) return Fail(atom.status());
+      std::vector<std::string> values;
+      for (const dire::ast::Term& t : atom->args) {
+        if (!t.IsConstant()) {
+          return Fail(dire::Status::InvalidArgument(
+              "--retract needs a ground fact, got variable '" + t.text() +
+              "' in " + atom->ToString()));
+        }
+        values.push_back(t.text());
+      }
+      bool removed = false;
+      dire::Status retracted =
+          data_dir->RetractFact(atom->predicate, values, &removed);
+      if (!retracted.ok()) return Fail(retracted);
+      std::printf("retracted %s (%s)\n", atom->ToString().c_str(),
+                  removed ? "durable" : "was absent");
+      if (maintain && removed) {
+        dire::Status m = maintain_delta(atom->predicate, values, false);
+        if (!m.ok()) return Fail(m);
+      }
+    } else if (flag == "--maintain") {
+      maintain = true;
     } else if (flag == "--threads") {
       int64_t v = ParseCount(next());
       if (v < 1) return Usage();
@@ -1184,6 +1280,10 @@ int main(int raw_argc, char** raw_argv) {
       }
       report_exhaustion(*stats);
       evaluated = true;
+      // A full evaluation re-established the fixpoint; any maintenance
+      // state (dirty flag, derivation counts keyed to dropped rows) is
+      // stale and re-primes lazily on the next maintained write.
+      if (maintainer != nullptr) maintainer->Reset();
     } else if (flag == "--query") {
       const char* text = next();
       if (text == nullptr) return Usage();
